@@ -1,0 +1,118 @@
+// Reproduces the Section 4.2 DELETE anomalies: the zombie-update query that
+// legacy Cypher accepts (returning an empty node) and revised Cypher
+// rejects, plus the dangling-relationship commit check. Timings compare
+// legacy immediate deletion with revised collect-validate-apply deletion.
+
+#include "bench_util.h"
+
+namespace cypher {
+namespace {
+
+using bench::Banner;
+using bench::Check;
+using bench::CheckCount;
+using bench::LegacyOptions;
+using bench::Verdict;
+
+constexpr char kAnomaly[] =
+    "MATCH (user)-[order:ORDERED]->(product) "
+    "DELETE user SET user.id = 999 DELETE order RETURN user";
+
+int VerifyShapes() {
+  Banner("Section 4.2 (DELETE atomicity violations)",
+         "legacy: the query 'goes through without an error and returns an "
+         "empty node'; revised: deleting a node with attached relationships "
+         "in a clause that does not also delete them is an error");
+  Verdict verdict;
+  {
+    GraphDatabase db(LegacyOptions());
+    (void)db.Run(
+        "CREATE (:User {id: 89, name: 'Bob'})-[:ORDERED]->(:Product)");
+    auto r = db.Execute(kAnomaly);
+    verdict.Note(Check("legacy anomaly query", "ok", r.ok() ? "ok" : "error"));
+    std::string rendered =
+        r.ok() ? RenderValue(db.graph(), r->rows[0][0]) : "?";
+    verdict.Note(Check("legacy returns empty node", "()", rendered));
+  }
+  {
+    GraphDatabase db;
+    (void)db.Run("CREATE (:User {id: 89})-[:ORDERED]->(:Product)");
+    auto r = db.Execute(kAnomaly);
+    verdict.Note(Check("revised anomaly query", "error",
+                       r.ok() ? "ok" : "error"));
+    verdict.Note(CheckCount("revised graph untouched (nodes)", 2,
+                            db.graph().num_nodes()));
+  }
+  {
+    // Legacy commit-time dangling check: DELETE without cleaning up rels.
+    GraphDatabase db(LegacyOptions());
+    (void)db.Run("CREATE (:User)-[:ORDERED]->(:Product)");
+    auto r = db.Execute("MATCH (u:User) DELETE u");
+    verdict.Note(Check("legacy dangling at statement end", "error",
+                       r.ok() ? "ok" : "error"));
+    verdict.Note(CheckCount("legacy rollback restored node", 2,
+                            db.graph().num_nodes()));
+  }
+  {
+    // Revised null substitution.
+    GraphDatabase db;
+    (void)db.Run("CREATE (:User)-[:ORDERED]->(:Product)");
+    auto r = db.Execute(
+        "MATCH (u:User)-[o:ORDERED]->(p) DELETE o, u "
+        "RETURN u AS gone, p AS kept");
+    bool nulled = r.ok() && r->rows[0][0].is_null() && r->rows[0][1].is_node();
+    verdict.Note(Check("revised nulls deleted refs in table", "yes",
+                       nulled ? "yes" : "no"));
+  }
+  return verdict.Finish();
+}
+
+// ---- Timings --------------------------------------------------------------------
+
+void BM_DetachDelete(benchmark::State& state) {
+  bool legacy = state.range(1) != 0;
+  int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    GraphDatabase db(legacy ? LegacyOptions() : EvalOptions{});
+    (void)workload::LoadRandomMarketplace(&db, n, n, n * 2, 11);
+    state.ResumeTiming();
+    auto r = db.Execute("MATCH (p:Product) DETACH DELETE p");
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(legacy ? "legacy" : "revised-atomic");
+}
+BENCHMARK(BM_DetachDelete)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1});
+
+void BM_DeleteRelsThenNodes(benchmark::State& state) {
+  bool legacy = state.range(1) != 0;
+  int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    GraphDatabase db(legacy ? LegacyOptions() : EvalOptions{});
+    (void)workload::LoadRandomMarketplace(&db, n, n, n, 13);
+    state.ResumeTiming();
+    auto r = db.Execute(
+        "MATCH (u:User)-[o:ORDERED]->(p:Product) DELETE o, u, p");
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(legacy ? "legacy" : "revised-atomic");
+}
+BENCHMARK(BM_DeleteRelsThenNodes)->Args({128, 0})->Args({128, 1});
+
+}  // namespace
+}  // namespace cypher
+
+int main(int argc, char** argv) {
+  int verdict = cypher::VerifyShapes();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return verdict;
+}

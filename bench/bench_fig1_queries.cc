@@ -1,0 +1,126 @@
+// Reproduces Figure 1 and Queries (1)-(5) of Sections 2-3: the marketplace
+// graph, the read query, and the full CREATE/SET/REMOVE/DELETE/MERGE
+// lifecycle, with throughput timings for each query on scaled-up replicas.
+
+#include "bench_util.h"
+
+namespace cypher {
+namespace {
+
+using bench::Banner;
+using bench::Check;
+using bench::CheckCount;
+using bench::LegacyOptions;
+using bench::Verdict;
+
+int VerifyShapes() {
+  Banner("Figure 1 + Queries (1)-(5), Sections 2-3",
+         "Query (1) returns exactly vendor v1; Query (2) adds p4; Query (3) "
+         "relabels it; DELETE without detaching fails; Query (4) detaches; "
+         "Query (5) creates one vendor for the tablet");
+  Verdict verdict;
+
+  GraphDatabase db;
+  verdict.Note(Check("LoadMarketplace", "OK",
+                     workload::LoadMarketplace(&db).ToString()));
+  verdict.Note(CheckCount("Figure 1 nodes", 6, db.graph().num_nodes()));
+  verdict.Note(CheckCount("Figure 1 relationships", 5, db.graph().num_rels()));
+
+  auto q1 = db.Execute(
+      "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) "
+      "WHERE p.name = 'laptop' RETURN v.name AS vendor");
+  verdict.Note(CheckCount("Query (1) result rows", 1, q1.ok() ? q1->rows.size() : 0));
+  verdict.Note(Check("Query (1) vendor", "'cStore'",
+                     q1.ok() ? q1->rows[0][0].ToString() : "?"));
+
+  auto q2 = db.Execute(
+      "MATCH (u:User {id: 89}) "
+      "CREATE (u)-[:ORDERED]->(:New_Product {id: 0})");
+  verdict.Note(CheckCount("Query (2) nodes created", 1,
+                          q2.ok() ? q2->stats.nodes_created : 0));
+
+  auto q3 = db.Execute(
+      "MATCH (p:New_Product {id: 0}) "
+      "SET p:Product, p.id = 120, p.name = 'smartphone' "
+      "REMOVE p:New_Product");
+  verdict.Note(CheckCount("Query (3) properties set", 2,
+                          q3.ok() ? q3->stats.properties_set : 0));
+
+  auto bad_delete = db.Execute("MATCH (p:Product {id: 120}) DELETE p");
+  verdict.Note(Check("DELETE with attached rel fails", "error",
+                     bad_delete.ok() ? "ok" : "error"));
+
+  auto q4 = db.Execute("MATCH (p:Product {id: 120}) DETACH DELETE p");
+  verdict.Note(CheckCount("Query (4) nodes deleted", 1,
+                          q4.ok() ? q4->stats.nodes_deleted : 0));
+  verdict.Note(CheckCount("graph back to Figure 1 size", 6,
+                          db.graph().num_nodes()));
+
+  auto q5 = db.Execute(
+      "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) RETURN p, v", {},
+      LegacyOptions());
+  verdict.Note(CheckCount("Query (5) rows", 3, q5.ok() ? q5->rows.size() : 0));
+  verdict.Note(CheckCount("Query (5) vendors created", 1,
+                          q5.ok() ? q5->stats.nodes_created : 0));
+  return verdict.Finish();
+}
+
+// ---- Timings -------------------------------------------------------------------
+
+void BM_Query1_Read(benchmark::State& state) {
+  GraphDatabase db;
+  (void)workload::LoadRandomMarketplace(&db, state.range(0), state.range(0),
+                                        state.range(0) * 3, 42);
+  (void)db.Run("MATCH (v:User) SET v:Vendor");  // give the pattern vendors
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "MATCH (p:Product)<-[:ORDERED]-(v:Vendor)-[:ORDERED]->(q:Product) "
+        "RETURN count(v) AS c");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query1_Read)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Query2_Create(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    GraphDatabase db;
+    (void)db.Run("CREATE (:User {id: 89})");
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      auto r = db.Execute(
+          "MATCH (u:User {id: 89}) "
+          "CREATE (u)-[:ORDERED]->(:New_Product {id: 0})");
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query2_Create)->Arg(64);
+
+void BM_Query5_LegacyMerge(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    GraphDatabase db(LegacyOptions());
+    (void)workload::LoadRandomMarketplace(&db, 4, state.range(0), 0, 7);
+    state.ResumeTiming();
+    auto r = db.Execute(
+        "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) RETURN count(v) "
+        "AS c");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Query5_LegacyMerge)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace cypher
+
+int main(int argc, char** argv) {
+  int verdict = cypher::VerifyShapes();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return verdict;
+}

@@ -1,0 +1,153 @@
+// Reproduces Example 3 / Figure 6 and Example 4 (Sections 4.3 and 6):
+// legacy MERGE produces different graphs depending on driving-table order
+// (Figures 6a/6b); every revised variant is order-insensitive, with
+// Atomic/Grouping fixed on 6a and the collapse variants on 6b. The
+// measured part counts distinct result graphs over many shuffles.
+
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+
+namespace cypher {
+namespace {
+
+using bench::Banner;
+using bench::Check;
+using bench::CheckCount;
+using bench::CheckIso;
+using bench::LegacyOptions;
+using bench::Verdict;
+
+PropertyGraph RunExample3(const std::string& keyword,
+                          const EvalOptions& options) {
+  GraphDatabase db(options);
+  (void)db.Run(workload::Example3SetupScript());
+  auto r = db.Execute(workload::Example3Query(keyword),
+                      {{"rows", workload::Example3Rows()}});
+  if (!r.ok()) std::printf("  ERROR: %s\n", r.status().ToString().c_str());
+  return db.graph();
+}
+
+PropertyGraph ExpectedFigure(bool six_rels) {
+  GraphDatabase db;
+  (void)db.Run(
+      six_rels
+          ? "CREATE (u1:N {k: 'u1'}), (u2:N {k: 'u2'}), (p:N {k: 'p'}), "
+            "(v1:N {k: 'v1'}), (v2:N {k: 'v2'}), "
+            "(u1)-[:ORDERED]->(p), (v1)-[:OFFERS]->(p), "
+            "(u2)-[:ORDERED]->(p), (v2)-[:OFFERS]->(p), "
+            "(u1)-[:ORDERED]->(p), (v2)-[:OFFERS]->(p)"
+          : "CREATE (u1:N {k: 'u1'}), (u2:N {k: 'u2'}), (p:N {k: 'p'}), "
+            "(v1:N {k: 'v1'}), (v2:N {k: 'v2'}), "
+            "(u1)-[:ORDERED]->(p), (v1)-[:OFFERS]->(p), "
+            "(u2)-[:ORDERED]->(p), (v2)-[:OFFERS]->(p)");
+  return db.graph();
+}
+
+size_t DistinctGraphsOverShuffles(const std::string& keyword,
+                                  bool legacy, int shuffles) {
+  std::set<uint64_t> fingerprints;
+  for (int seed = 0; seed < shuffles; ++seed) {
+    EvalOptions options =
+        legacy ? LegacyOptions(ScanOrder::kShuffle, seed) : EvalOptions{};
+    if (!legacy) {
+      options.scan_order = ScanOrder::kShuffle;
+      options.shuffle_seed = seed;
+    }
+    fingerprints.insert(GraphFingerprint(RunExample3(keyword, options)));
+  }
+  return fingerprints.size();
+}
+
+int VerifyShapes() {
+  Banner("Example 3 / Figure 6 and Example 4, Sections 4.3 + 6",
+         "legacy MERGE: bottom-up -> Fig 6a (6 rels), top-down -> Fig 6b "
+         "(4 rels), i.e. nondeterministic; all five revised variants are "
+         "deterministic (Atomic/Grouping -> 6a, collapses -> 6b)");
+  Verdict verdict;
+
+  PropertyGraph fig6a = ExpectedFigure(/*six_rels=*/true);
+  PropertyGraph fig6b = ExpectedFigure(/*six_rels=*/false);
+
+  verdict.Note(CheckIso("legacy MERGE, top-down scan",
+                        RunExample3("MERGE", LegacyOptions(ScanOrder::kForward)),
+                        fig6b));
+  verdict.Note(CheckIso("legacy MERGE, bottom-up scan",
+                        RunExample3("MERGE", LegacyOptions(ScanOrder::kReverse)),
+                        fig6a));
+  verdict.Note(CheckIso("MERGE ALL (any order)",
+                        RunExample3("MERGE ALL", EvalOptions{}), fig6a));
+  verdict.Note(CheckIso("MERGE SAME (any order)",
+                        RunExample3("MERGE SAME", EvalOptions{}), fig6b));
+  for (MergeVariant variant :
+       {MergeVariant::kGrouping, MergeVariant::kWeakCollapse,
+        MergeVariant::kCollapse}) {
+    EvalOptions options;
+    options.plain_merge_variant = variant;
+    const PropertyGraph& expected =
+        variant == MergeVariant::kGrouping ? fig6a : fig6b;
+    verdict.Note(CheckIso(std::string("variant ") + MergeVariantName(variant),
+                          RunExample3("MERGE", options), expected));
+  }
+
+  constexpr int kShuffles = 64;
+  size_t legacy_distinct =
+      DistinctGraphsOverShuffles("MERGE", /*legacy=*/true, kShuffles);
+  std::printf("  legacy MERGE distinct graphs over %d shuffles: %zu\n",
+              kShuffles, legacy_distinct);
+  verdict.Note(Check("legacy MERGE is nondeterministic (>= 2 graphs)", "yes",
+                     legacy_distinct >= 2 ? "yes" : "no"));
+  for (const char* keyword : {"MERGE ALL", "MERGE SAME"}) {
+    size_t distinct =
+        DistinctGraphsOverShuffles(keyword, /*legacy=*/false, kShuffles);
+    verdict.Note(CheckCount(std::string(keyword) + " distinct graphs", 1,
+                            distinct));
+  }
+  return verdict.Finish();
+}
+
+// ---- Timings: the cost of determinism -------------------------------------------
+
+void BM_Example3Merge(benchmark::State& state) {
+  // arg0: table size multiplier; arg1: 0 legacy, 1 MERGE ALL, 2 MERGE SAME.
+  int64_t copies = state.range(0);
+  ValueList rows;
+  Value base_rows = workload::Example3Rows();  // keep the list alive
+  for (int64_t i = 0; i < copies; ++i) {
+    for (const Value& r : base_rows.AsList()) rows.push_back(r);
+  }
+  Value rows_value = Value::List(std::move(rows));
+  const char* keyword = state.range(1) == 0   ? "MERGE"
+                        : state.range(1) == 1 ? "MERGE ALL"
+                                              : "MERGE SAME";
+  for (auto _ : state) {
+    state.PauseTiming();
+    GraphDatabase db(state.range(1) == 0 ? LegacyOptions() : EvalOptions{});
+    (void)db.Run(workload::Example3SetupScript());
+    state.ResumeTiming();
+    auto r = db.Execute(workload::Example3Query(keyword),
+                        {{"rows", rows_value}});
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * copies * 3);
+  state.SetLabel(keyword);
+}
+BENCHMARK(BM_Example3Merge)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({64, 2});
+
+}  // namespace
+}  // namespace cypher
+
+int main(int argc, char** argv) {
+  int verdict = cypher::VerifyShapes();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return verdict;
+}

@@ -1,0 +1,103 @@
+// Reproduces Example 5 / Figure 7 (Sections 6-7): the order-import driving
+// table with duplicates and nulls under all five MERGE variants. Expected
+// node/relationship counts: Atomic 12/6 (Fig 7a), Grouping 8/4 (Fig 7b),
+// all collapse variants 4/4 (Fig 7c). MERGE ALL == Atomic and MERGE SAME ==
+// Strong Collapse per Section 7. Timings sweep the import-table size.
+
+#include "bench_util.h"
+
+namespace cypher {
+namespace {
+
+using bench::Banner;
+using bench::CheckCount;
+using bench::Verdict;
+using bench::VariantOptions;
+
+std::pair<size_t, size_t> RunExample5(MergeVariant variant) {
+  GraphDatabase db(VariantOptions(variant));
+  auto r = db.Execute(workload::Example5Query("MERGE"),
+                      {{"rows", workload::Example5Rows()}});
+  if (!r.ok()) return {0, 0};
+  return {db.graph().num_nodes(), db.graph().num_rels()};
+}
+
+int VerifyShapes() {
+  Banner("Example 5 / Figure 7, Sections 6-7",
+         "Atomic -> 12 nodes / 6 rels (7a); Grouping -> 8 / 4 (7b); Weak / "
+         "Collapse / Strong Collapse -> 4 / 4 (7c); nulls group together");
+  Verdict verdict;
+  struct Row {
+    MergeVariant variant;
+    size_t nodes;
+    size_t rels;
+    const char* figure;
+  };
+  const Row expected[] = {
+      {MergeVariant::kAtomic, 12, 6, "7a"},
+      {MergeVariant::kGrouping, 8, 4, "7b"},
+      {MergeVariant::kWeakCollapse, 4, 4, "7c"},
+      {MergeVariant::kCollapse, 4, 4, "7c"},
+      {MergeVariant::kStrongCollapse, 4, 4, "7c"},
+  };
+  for (const Row& row : expected) {
+    auto [nodes, rels] = RunExample5(row.variant);
+    verdict.Note(CheckCount(std::string(MergeVariantName(row.variant)) +
+                                " nodes (Fig " + row.figure + ")",
+                            row.nodes, nodes));
+    verdict.Note(CheckCount(std::string(MergeVariantName(row.variant)) +
+                                " rels (Fig " + row.figure + ")",
+                            row.rels, rels));
+  }
+  // Keyword forms.
+  {
+    GraphDatabase db;
+    (void)db.Execute(workload::Example5Query("MERGE ALL"),
+                     {{"rows", workload::Example5Rows()}});
+    verdict.Note(CheckCount("MERGE ALL nodes == Atomic", 12,
+                            db.graph().num_nodes()));
+  }
+  {
+    GraphDatabase db;
+    (void)db.Execute(workload::Example5Query("MERGE SAME"),
+                     {{"rows", workload::Example5Rows()}});
+    verdict.Note(CheckCount("MERGE SAME nodes == Strong Collapse", 4,
+                            db.graph().num_nodes()));
+  }
+  return verdict.Finish();
+}
+
+// ---- Timings: import-table scaling per variant -----------------------------------
+
+void BM_ImportMerge(benchmark::State& state) {
+  int64_t n = state.range(0);
+  auto variant = static_cast<MergeVariant>(state.range(1));
+  Value rows = workload::RandomOrderRows(n, n / 4 + 1, n / 4 + 1, 100, 77);
+  for (auto _ : state) {
+    state.PauseTiming();
+    GraphDatabase db(VariantOptions(variant));
+    state.ResumeTiming();
+    auto r = db.Execute(workload::Example5Query("MERGE"), {{"rows", rows}});
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(MergeVariantName(variant));
+}
+BENCHMARK(BM_ImportMerge)
+    ->ArgsProduct({{64, 512},
+                   {static_cast<long>(MergeVariant::kAtomic),
+                    static_cast<long>(MergeVariant::kGrouping),
+                    static_cast<long>(MergeVariant::kWeakCollapse),
+                    static_cast<long>(MergeVariant::kCollapse),
+                    static_cast<long>(MergeVariant::kStrongCollapse)}});
+
+}  // namespace
+}  // namespace cypher
+
+int main(int argc, char** argv) {
+  int verdict = cypher::VerifyShapes();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return verdict;
+}

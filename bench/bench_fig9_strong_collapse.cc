@@ -1,0 +1,132 @@
+// Reproduces Example 7 / Figure 9 (Section 6): the clickstream chain whose
+// two identical :TO hops collapse under Strong Collapse (Fig 9b) but not
+// under Collapse (Fig 9a), and the re-match experiment: after Strong
+// Collapse the merged pattern no longer matches under Cypher's trail
+// semantics but does match under homomorphism matching. Timings sweep
+// clickstream length.
+
+#include "bench_util.h"
+
+namespace cypher {
+namespace {
+
+using bench::Banner;
+using bench::Check;
+using bench::CheckCount;
+using bench::CheckIso;
+using bench::VariantOptions;
+using bench::Verdict;
+
+GraphDatabase RunExample7(MergeVariant variant) {
+  GraphDatabase db(VariantOptions(variant));
+  (void)db.Run(workload::Example7SetupScript());
+  auto r = db.Execute(workload::Example7Query("MERGE"));
+  if (!r.ok()) std::printf("  ERROR: %s\n", r.status().ToString().c_str());
+  return db;
+}
+
+int VerifyShapes() {
+  Banner("Example 7 / Figure 9, Section 6",
+         "Collapse keeps both :TO p1->p2 hops (9a, 5 rels); Strong Collapse "
+         "merges them (9b, 4 rels); re-MATCH of the merged pattern returns "
+         "no matches under single-edge-traversal semantics but matches "
+         "under homomorphism-based matching");
+  Verdict verdict;
+
+  GraphDatabase expected_b;
+  (void)expected_b.Run(
+      "CREATE (p1:P {k: 'p1'}), (p2:P {k: 'p2'}), (p3:P {k: 'p3'}), "
+      "(p4:P {k: 'p4'}), "
+      "(p1)-[:TO]->(p2), (p2)-[:TO]->(p3), (p3)-[:TO]->(p1), "
+      "(p2)-[:BOUGHT]->(p4)");
+
+  for (MergeVariant variant :
+       {MergeVariant::kAtomic, MergeVariant::kGrouping,
+        MergeVariant::kWeakCollapse, MergeVariant::kCollapse}) {
+    GraphDatabase db = RunExample7(variant);
+    verdict.Note(CheckCount(std::string(MergeVariantName(variant)) +
+                                " rels (Fig 9a)",
+                            5, db.graph().num_rels()));
+  }
+  {
+    GraphDatabase db = RunExample7(MergeVariant::kStrongCollapse);
+    verdict.Note(CheckCount("Strong Collapse rels (Fig 9b)", 4,
+                            db.graph().num_rels()));
+    verdict.Note(CheckIso("Strong Collapse graph", db.graph(),
+                          expected_b.graph()));
+    auto trail = db.Execute(workload::Example7RematchQuery());
+    verdict.Note(CheckCount("re-match under trail semantics", 0,
+                            trail.ok() ? trail->rows[0][0].AsInt() : 99));
+    EvalOptions homo;
+    homo.match_mode = MatchMode::kHomomorphism;
+    auto hom = db.Execute(workload::Example7RematchQuery(), {}, homo);
+    bool matched = hom.ok() && hom->rows[0][0].AsInt() >= 1;
+    verdict.Note(Check("re-match under homomorphism", "matched",
+                       matched ? "matched" : "not matched"));
+  }
+  {
+    GraphDatabase db = RunExample7(MergeVariant::kCollapse);
+    auto trail = db.Execute(workload::Example7RematchQuery());
+    bool matched = trail.ok() && trail->rows[0][0].AsInt() >= 1;
+    verdict.Note(Check("Collapse graph still trail-matches", "matched",
+                       matched ? "matched" : "not matched"));
+  }
+  return verdict.Finish();
+}
+
+// ---- Timings: clickstream chains -------------------------------------------------
+
+std::string ChainQuery(int hops) {
+  // MATCH product markers, then MERGE the :TO chain ending in :BOUGHT.
+  std::string match = "UNWIND $rows AS row ";
+  std::string merge = "MERGE (m0)";
+  for (int h = 0; h <= hops; ++h) {
+    match += (h == 0 ? "MATCH " : ", ");
+    match += "(m" + std::to_string(h) + ":P {k: row.p" + std::to_string(h) +
+             "})";
+  }
+  for (int h = 1; h <= hops; ++h) {
+    merge += std::string(h == hops ? "-[:BOUGHT]->" : "-[:TO]->") + "(m" +
+             std::to_string(h) + ")";
+  }
+  return match + " " + merge;
+}
+
+void BM_ClickstreamMerge(benchmark::State& state) {
+  int64_t n = state.range(0);
+  auto variant = static_cast<MergeVariant>(state.range(1));
+  constexpr int kHops = 5;
+  constexpr int64_t kProducts = 12;
+  Value rows = workload::RandomClickstreamRows(n, kProducts, kHops, 3);
+  std::string setup;
+  for (int64_t i = 1; i <= kProducts; ++i) {
+    setup += (i == 1 ? "CREATE " : ", ");
+    setup += "(:P {k: " + std::to_string(i) + "})";
+  }
+  std::string query = ChainQuery(kHops);
+  for (auto _ : state) {
+    state.PauseTiming();
+    GraphDatabase db(VariantOptions(variant));
+    (void)db.Run(setup);
+    state.ResumeTiming();
+    auto r = db.Execute(query, {{"rows", rows}});
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n * kHops);
+  state.SetLabel(MergeVariantName(variant));
+}
+BENCHMARK(BM_ClickstreamMerge)
+    ->ArgsProduct({{32, 128},
+                   {static_cast<long>(MergeVariant::kCollapse),
+                    static_cast<long>(MergeVariant::kStrongCollapse)}});
+
+}  // namespace
+}  // namespace cypher
+
+int main(int argc, char** argv) {
+  int verdict = cypher::VerifyShapes();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return verdict;
+}

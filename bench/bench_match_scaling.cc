@@ -1,0 +1,116 @@
+// Engineering bench: pattern-matching throughput — label scans, two-hop
+// joins, variable-length walks, and trail vs homomorphism overhead.
+
+#include "bench_util.h"
+#include "parser/parser.h"
+
+namespace cypher {
+namespace {
+
+void BM_LabelScan(benchmark::State& state) {
+  GraphDatabase db;
+  (void)workload::LoadRandomMarketplace(&db, state.range(0), state.range(0),
+                                        0, 1);
+  for (auto _ : state) {
+    auto r = db.Execute("MATCH (u:User) RETURN count(u) AS c");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LabelScan)->Arg(256)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_TwoHopJoin(benchmark::State& state) {
+  GraphDatabase db;
+  (void)workload::LoadRandomMarketplace(&db, state.range(0), state.range(0) / 4,
+                                        state.range(0) * 2, 2);
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "MATCH (a:User)-[:ORDERED]->(p:Product)<-[:ORDERED]-(b:User) "
+        "RETURN count(*) AS c");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TwoHopJoin)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_TrailVsHomomorphism(benchmark::State& state) {
+  GraphDatabase db;
+  (void)workload::LoadRandomMarketplace(&db, 48, 12, 96, 3);
+  EvalOptions options;
+  options.match_mode = state.range(0) == 0 ? MatchMode::kRelUnique
+                                           : MatchMode::kHomomorphism;
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "MATCH (a)-[:ORDERED]->(p), (b)-[:ORDERED]->(q) "
+        "RETURN count(*) AS c",
+        {}, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(state.range(0) == 0 ? "trail" : "homomorphism");
+}
+BENCHMARK(BM_TrailVsHomomorphism)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_VarLengthWalk(benchmark::State& state) {
+  GraphDatabase db;
+  // A chain with shortcuts: n nodes in a line plus skip links.
+  int64_t n = state.range(0);
+  ValueList ids;
+  for (int64_t i = 0; i < n; ++i) ids.push_back(Value::Int(i));
+  (void)db.Execute("UNWIND $ids AS i CREATE (:C {id: i})",
+                   {{"ids", Value::List(ids)}});
+  (void)db.Run(
+      "MATCH (a:C), (b:C) WHERE b.id = a.id + 1 CREATE (a)-[:NEXT]->(b)");
+  (void)db.Run(
+      "MATCH (a:C), (b:C) WHERE b.id = a.id + 3 CREATE (a)-[:NEXT]->(b)");
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "MATCH (a:C {id: 0})-[:NEXT*1..6]->(b) RETURN count(*) AS c");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_VarLengthWalk)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_Aggregation(benchmark::State& state) {
+  GraphDatabase db;
+  (void)workload::LoadRandomMarketplace(&db, state.range(0),
+                                        state.range(0) / 4 + 1,
+                                        state.range(0) * 4, 4);
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "MATCH (u:User)-[:ORDERED]->(p:Product) "
+        "RETURN p.id AS pid, count(u) AS buyers, collect(u.id) AS who "
+        "ORDER BY buyers DESC LIMIT 10");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_Aggregation)->Arg(128)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_ParseOnly(benchmark::State& state) {
+  const std::string query =
+      "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) "
+      "WHERE p.name = 'laptop' AND v.rating >= 4.5 "
+      "WITH v, count(q) AS range ORDER BY range DESC LIMIT 10 "
+      "RETURN v.name AS vendor, range";
+  for (auto _ : state) {
+    auto q = ParseQuery(query);
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseOnly);
+
+}  // namespace
+}  // namespace cypher
+
+int main(int argc, char** argv) {
+  cypher::bench::Banner(
+      "Engineering: pattern matching and query pipeline throughput",
+      "label-indexed scans, joins, variable-length walks, trail vs "
+      "homomorphism matching, aggregation, parser");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

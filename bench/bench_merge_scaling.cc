@@ -1,0 +1,81 @@
+// Engineering bench (not a specific figure): throughput of legacy MERGE and
+// all five revised variants as the driving table grows, on the Example 5
+// import workload. The paper predicts no particular numbers, but the shape
+// matters: legacy MERGE pays per-record re-matching against a growing
+// graph, while the revised variants match only the input graph and create
+// in one batch; collapse adds a near-linear dedup pass.
+
+#include "bench_util.h"
+
+namespace cypher {
+namespace {
+
+using bench::Banner;
+using bench::LegacyOptions;
+using bench::VariantOptions;
+
+void BM_MergeScaling(benchmark::State& state) {
+  int64_t n = state.range(0);
+  int64_t mode = state.range(1);  // 0 legacy, 1..5 variants
+  Value rows = workload::RandomOrderRows(n, n / 8 + 2, n / 8 + 2, 100, 5);
+  EvalOptions options = mode == 0
+                            ? LegacyOptions()
+                            : VariantOptions(static_cast<MergeVariant>(mode - 1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    GraphDatabase db(options);
+    state.ResumeTiming();
+    auto r = db.Execute(workload::Example5Query("MERGE"), {{"rows", rows}});
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(mode == 0 ? "Legacy"
+                           : MergeVariantName(static_cast<MergeVariant>(mode - 1)));
+}
+BENCHMARK(BM_MergeScaling)
+    ->ArgsProduct({{64, 256, 1024}, {0, 1, 2, 3, 4, 5}})
+    ->Unit(benchmark::kMicrosecond);
+
+// Re-merging into an already-populated graph: the match phase dominates.
+void BM_MergeWarmGraph(benchmark::State& state) {
+  int64_t n = state.range(0);
+  int64_t mode = state.range(1);
+  Value rows = workload::RandomOrderRows(n, n / 8 + 2, n / 8 + 2, 0, 6);
+  EvalOptions options = mode == 0
+                            ? LegacyOptions()
+                            : VariantOptions(static_cast<MergeVariant>(mode - 1));
+  GraphDatabase db(options);
+  {
+    auto seed_result =
+        db.Execute(workload::Example5Query(mode == 0 ? "MERGE" : "MERGE SAME"),
+                   {{"rows", rows}});
+    if (!seed_result.ok()) {
+      state.SkipWithError(seed_result.status().ToString().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto r = db.Execute(workload::Example5Query("MERGE"), {{"rows", rows}});
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(mode == 0 ? "Legacy"
+                           : MergeVariantName(static_cast<MergeVariant>(mode - 1)));
+}
+BENCHMARK(BM_MergeWarmGraph)
+    ->ArgsProduct({{256}, {0, 1, 5}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cypher
+
+int main(int argc, char** argv) {
+  cypher::bench::Banner(
+      "Engineering: MERGE throughput scaling (all semantics)",
+      "legacy re-matches a growing graph per record; revised variants "
+      "match once and create atomically");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

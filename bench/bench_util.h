@@ -1,0 +1,81 @@
+#ifndef CYPHER_BENCH_BENCH_UTIL_H_
+#define CYPHER_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "cypher/database.h"
+#include "exec/render.h"
+#include "graph/isomorphism.h"
+#include "graph/serialize.h"
+#include "workload/workloads.h"
+
+namespace cypher::bench {
+
+/// Prints the bench banner: which paper artifact this binary regenerates.
+inline void Banner(const char* artifact, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("Reproduces: %s\n", artifact);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+/// One verification row: expected vs measured, with a PASS/FAIL verdict.
+inline bool Check(const std::string& what, const std::string& expected,
+                  const std::string& measured) {
+  bool ok = expected == measured;
+  std::printf("  %-52s expected=%-24s measured=%-24s [%s]\n", what.c_str(),
+              expected.c_str(), measured.c_str(), ok ? "PASS" : "FAIL");
+  return ok;
+}
+
+inline bool CheckCount(const std::string& what, uint64_t expected,
+                       uint64_t measured) {
+  return Check(what, std::to_string(expected), std::to_string(measured));
+}
+
+inline bool CheckIso(const std::string& what, const PropertyGraph& got,
+                     const PropertyGraph& want) {
+  std::string why;
+  bool ok = AreIsomorphic(got, want, &why);
+  std::printf("  %-52s isomorphic-to-figure=%s [%s]%s%s\n", what.c_str(),
+              ok ? "yes" : "NO", ok ? "PASS" : "FAIL", ok ? "" : " -- ",
+              ok ? "" : why.c_str());
+  return ok;
+}
+
+/// Tracks overall verdict; returned from main.
+class Verdict {
+ public:
+  void Note(bool ok) { ok_ = ok_ && ok; }
+  int Finish() const {
+    std::printf("----------------------------------------------------------------\n");
+    std::printf("Shape verification: %s\n", ok_ ? "ALL PASS" : "FAILURES");
+    std::printf("----------------------------------------------------------------\n");
+    return ok_ ? 0 : 1;
+  }
+
+ private:
+  bool ok_ = true;
+};
+
+inline EvalOptions LegacyOptions(ScanOrder order = ScanOrder::kForward,
+                                 uint64_t seed = 0) {
+  EvalOptions o;
+  o.semantics = SemanticsMode::kLegacy;
+  o.scan_order = order;
+  o.shuffle_seed = seed;
+  return o;
+}
+
+inline EvalOptions VariantOptions(MergeVariant variant) {
+  EvalOptions o;
+  o.plain_merge_variant = variant;
+  return o;
+}
+
+}  // namespace cypher::bench
+
+#endif  // CYPHER_BENCH_BENCH_UTIL_H_

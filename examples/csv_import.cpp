@@ -1,0 +1,148 @@
+// CSV import: the workflow that motivates MERGE in the paper (Sections 3
+// and 6) — "populate a graph based on a table that has been produced by
+// importing from a relational database or a CSV file".
+//
+// Parses an orders CSV (with duplicate rows and missing product ids, like
+// Example 5), converts it to a driving table, and loads it three ways:
+//   1. legacy MERGE          (nondeterministic, duplicates under reorder)
+//   2. MERGE ALL             (atomic, keeps every row's copy)
+//   3. MERGE SAME            (atomic + collapsed: the clean import)
+//
+//   ./csv_import
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "cypher/database.h"
+#include "exec/render.h"
+#include "graph/serialize.h"
+
+using cypher::CsvDocument;
+using cypher::EvalOptions;
+using cypher::GraphDatabase;
+using cypher::ParseCsv;
+using cypher::ScanOrder;
+using cypher::SemanticsMode;
+using cypher::Value;
+using cypher::ValueList;
+using cypher::ValueMap;
+
+namespace {
+
+constexpr char kOrdersCsv[] =
+    "cid,pid,date\n"
+    "98,125,2018-06-23\n"
+    "98,125,2018-07-06\n"
+    "98,,\n"
+    "98,,\n"
+    "99,125,2018-03-11\n"
+    "99,,\n"
+    "97,85,2019-01-15\n"
+    "97,85,2019-01-15\n";
+
+/// Converts CSV fields to a list of row maps; empty fields become null,
+/// numeric fields become integers.
+Value RowsFromCsv(const CsvDocument& doc) {
+  ValueList rows;
+  for (const auto& record : doc.rows) {
+    ValueMap row;
+    for (size_t i = 0; i < doc.header.size(); ++i) {
+      const std::string& field = record[i];
+      if (field.empty()) {
+        row.emplace(doc.header[i], Value::Null());
+        continue;
+      }
+      char* end = nullptr;
+      long long as_int = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() + field.size()) {
+        row.emplace(doc.header[i], Value::Int(as_int));
+      } else {
+        row.emplace(doc.header[i], Value::String(field));
+      }
+    }
+    rows.push_back(Value::Map(std::move(row)));
+  }
+  return Value::List(std::move(rows));
+}
+
+constexpr char kImportQuery[] =
+    "UNWIND $rows AS row "
+    "WITH row.cid AS cid, row.pid AS pid "
+    "MERGE %s (:User {id: cid})-[:ORDERED]->(:Product {id: pid})";
+
+void Import(const char* label, const char* keyword, const Value& rows,
+            const EvalOptions& options) {
+  GraphDatabase db(options);
+  char query[512];
+  std::snprintf(query, sizeof(query), kImportQuery, keyword);
+  auto result = db.Execute(query, {{"rows", rows}});
+  if (!result.ok()) {
+    std::printf("%-28s -> %s\n", label, result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-28s -> %2zu nodes, %2zu relationships   (%s)\n", label,
+              db.graph().num_nodes(), db.graph().num_rels(),
+              result->stats.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== CSV import with MERGE (Example 5 workflow) ===\n\n");
+  std::printf("orders.csv:\n%s\n", kOrdersCsv);
+
+  auto doc = ParseCsv(kOrdersCsv);
+  if (!doc.ok()) {
+    std::printf("CSV error: %s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  Value rows = RowsFromCsv(*doc);
+  std::printf("parsed %zu data rows\n\n", doc->rows.size());
+
+  EvalOptions legacy_fwd;
+  legacy_fwd.semantics = SemanticsMode::kLegacy;
+  Import("legacy MERGE (top-down)", "", rows, legacy_fwd);
+
+  EvalOptions legacy_rev = legacy_fwd;
+  legacy_rev.scan_order = ScanOrder::kReverse;
+  Import("legacy MERGE (bottom-up)", "", rows, legacy_rev);
+
+  Import("MERGE ALL", "ALL", rows, EvalOptions{});
+  Import("MERGE SAME", "SAME", rows, EvalOptions{});
+
+  std::printf(
+      "\nMERGE SAME is the one you want for imports: one node per user, one "
+      "per product\n(including a single 'unknown product' node for the null "
+      "pids), one relationship\nper distinct order pair — independent of row "
+      "order.\n\n");
+
+  // Show the clean graph, then prove idempotence by re-importing.
+  GraphDatabase db;
+  char query[512];
+  std::snprintf(query, sizeof(query), kImportQuery, "SAME");
+  (void)db.Execute(query, {{"rows", rows}});
+  std::printf("clean import, serialized:\n%s\n",
+              DumpGraph(db.graph()).c_str());
+
+  auto again = db.Execute(query, {{"rows", rows}});
+  if (again.ok()) {
+    std::printf(
+        "re-importing the same file: %s\n"
+        "(rows with a real pid matched and created nothing; the null-pid "
+        "rows\n can never match — `{id: null}` is no filter match in Cypher "
+        "— so they\n create a fresh 'unknown product' once per import, as "
+        "the paper's\n Example 5 semantics prescribes)\n",
+        again->stats.ToString().c_str());
+  }
+
+  auto report = db.Execute(
+      "MATCH (u:User)-[:ORDERED]->(p:Product) "
+      "RETURN u.id AS user, count(p) AS orders, "
+      "collect(coalesce(p.id, 'unknown')) AS products "
+      "ORDER BY user");
+  if (report.ok()) {
+    std::printf("\nper-user order report:\n%s",
+                RenderResult(db.graph(), *report).c_str());
+  }
+  return 0;
+}

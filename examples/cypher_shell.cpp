@@ -1,0 +1,179 @@
+// Interactive shell over the engine: type Cypher statements, switch update
+// semantics on the fly, and inspect the graph.
+//
+//   ./cypher_shell
+//
+// Meta commands:
+//   :help                     this text
+//   :legacy | :revised        switch update semantics (default revised)
+//   :order forward|reverse|shuffle [seed]
+//                             legacy executors' driving-table scan order
+//   :variant atomic|grouping|weak|collapse|strong|off
+//                             run bare MERGE with a Section 6 variant
+//   :homo | :trail            pattern matching mode
+//   :dump                     print the graph in serialized form
+//   :save <path> | :load <path>
+//                             persist / restore the graph (dump format)
+//   :dot                      print the graph in Graphviz DOT
+//   :stats                    node/relationship counts
+//   :clear                    drop the graph
+//   :quit                     exit
+//
+// Everything else is executed as a Cypher statement.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "cypher/database.h"
+#include "exec/render.h"
+#include "graph/serialize.h"
+
+using cypher::EvalOptions;
+using cypher::GraphDatabase;
+using cypher::MatchMode;
+using cypher::MergeVariant;
+using cypher::ScanOrder;
+using cypher::SemanticsMode;
+
+namespace {
+
+bool HandleMeta(GraphDatabase* db, const std::string& line) {
+  auto& options = db->options();
+  if (line == ":help") {
+    std::printf(
+        ":legacy/:revised, :order forward|reverse|shuffle [seed],\n"
+        ":variant atomic|grouping|weak|collapse|strong|off, :homo/:trail,\n"
+        ":dump, :dot, :stats, :clear, :quit\n");
+    return true;
+  }
+  if (line == ":legacy") {
+    options.semantics = SemanticsMode::kLegacy;
+    std::printf("update semantics: legacy (Cypher 9)\n");
+    return true;
+  }
+  if (line == ":revised") {
+    options.semantics = SemanticsMode::kRevised;
+    std::printf("update semantics: revised (Sections 7-8)\n");
+    return true;
+  }
+  if (line.rfind(":order", 0) == 0) {
+    if (line.find("reverse") != std::string::npos) {
+      options.scan_order = ScanOrder::kReverse;
+    } else if (line.find("shuffle") != std::string::npos) {
+      options.scan_order = ScanOrder::kShuffle;
+      size_t space = line.rfind(' ');
+      if (space != std::string::npos) {
+        options.shuffle_seed = std::strtoull(line.c_str() + space, nullptr, 10);
+      }
+    } else {
+      options.scan_order = ScanOrder::kForward;
+    }
+    std::printf("scan order updated\n");
+    return true;
+  }
+  if (line.rfind(":variant", 0) == 0) {
+    if (line.find("atomic") != std::string::npos) {
+      options.plain_merge_variant = MergeVariant::kAtomic;
+    } else if (line.find("grouping") != std::string::npos) {
+      options.plain_merge_variant = MergeVariant::kGrouping;
+    } else if (line.find("weak") != std::string::npos) {
+      options.plain_merge_variant = MergeVariant::kWeakCollapse;
+    } else if (line.find("strong") != std::string::npos) {
+      options.plain_merge_variant = MergeVariant::kStrongCollapse;
+    } else if (line.find("collapse") != std::string::npos) {
+      options.plain_merge_variant = MergeVariant::kCollapse;
+    } else {
+      options.plain_merge_variant.reset();
+    }
+    std::printf("bare-MERGE variant: %s\n",
+                options.plain_merge_variant
+                    ? MergeVariantName(*options.plain_merge_variant)
+                    : "off");
+    return true;
+  }
+  if (line == ":homo") {
+    options.match_mode = MatchMode::kHomomorphism;
+    std::printf("matching: homomorphism\n");
+    return true;
+  }
+  if (line == ":trail") {
+    options.match_mode = MatchMode::kRelUnique;
+    std::printf("matching: relationship-unique (trail)\n");
+    return true;
+  }
+  if (line == ":dump") {
+    std::printf("%s", DumpGraph(db->graph()).c_str());
+    return true;
+  }
+  if (line.rfind(":save ", 0) == 0) {
+    auto st = db->SaveToFile(line.substr(6));
+    std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+    return true;
+  }
+  if (line.rfind(":load ", 0) == 0) {
+    auto st = db->LoadFromFile(line.substr(6));
+    std::printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
+    return true;
+  }
+  if (line == ":dot") {
+    std::printf("%s", ToDot(db->graph(), "shell").c_str());
+    return true;
+  }
+  if (line == ":stats") {
+    std::printf("%zu nodes, %zu relationships\n", db->graph().num_nodes(),
+                db->graph().num_rels());
+    return true;
+  }
+  if (line == ":schema") {
+    const auto& g = db->graph();
+    for (const auto& [label, key] : g.Indexes()) {
+      std::printf("INDEX ON :%s(%s)\n", g.LabelName(label).c_str(),
+                  g.KeyName(key).c_str());
+    }
+    for (const auto& [label, key] : g.UniqueConstraints()) {
+      std::printf("CONSTRAINT ON (n:%s) ASSERT n.%s IS UNIQUE\n",
+                  g.LabelName(label).c_str(), g.KeyName(key).c_str());
+    }
+    if (g.Indexes().empty() && g.UniqueConstraints().empty()) {
+      std::printf("(no indexes or constraints)\n");
+    }
+    return true;
+  }
+  if (line == ":clear") {
+    EvalOptions kept = db->options();
+    *db = GraphDatabase(kept);
+    std::printf("graph cleared\n");
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  GraphDatabase db;
+  std::printf(
+      "cypher-shell — property graph engine with revised update semantics\n"
+      "type :help for meta commands, :quit to exit\n");
+  std::string line;
+  while (true) {
+    std::printf("cypher> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == ":quit" || line == ":exit") break;
+    if (line[0] == ':') {
+      if (!HandleMeta(&db, line)) std::printf("unknown command; :help\n");
+      continue;
+    }
+    auto result = db.Execute(line);
+    if (!result.ok()) {
+      std::printf("%s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::string rendered = RenderResult(db.graph(), *result);
+    std::printf("%s", rendered.empty() ? "OK\n" : rendered.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,278 @@
+#include <memory>
+
+#include "ast/clause.h"
+#include "ast/expr.h"
+#include "ast/pattern.h"
+#include "common/check.h"
+
+namespace cypher {
+
+bool IsAggregateFunctionName(const std::string& name) {
+  return name == "count" || name == "collect" || name == "sum" ||
+         name == "avg" || name == "min" || name == "max";
+}
+
+bool ContainsAggregate(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kParameter:
+    case ExprKind::kVariable:
+      return false;
+    case ExprKind::kProperty:
+      return ContainsAggregate(*static_cast<const PropertyExpr&>(expr).object);
+    case ExprKind::kHasLabels:
+      return ContainsAggregate(*static_cast<const HasLabelsExpr&>(expr).object);
+    case ExprKind::kUnary:
+      return ContainsAggregate(*static_cast<const UnaryExpr&>(expr).operand);
+    case ExprKind::kBinary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      return ContainsAggregate(*e.left) || ContainsAggregate(*e.right);
+    }
+    case ExprKind::kIsNull:
+      return ContainsAggregate(*static_cast<const IsNullExpr&>(expr).operand);
+    case ExprKind::kList: {
+      for (const auto& item : static_cast<const ListExpr&>(expr).items) {
+        if (ContainsAggregate(*item)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kMap: {
+      for (const auto& [key, value] : static_cast<const MapExpr&>(expr).entries) {
+        if (ContainsAggregate(*value)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kIndex: {
+      const auto& e = static_cast<const IndexExpr&>(expr);
+      return ContainsAggregate(*e.object) || ContainsAggregate(*e.index);
+    }
+    case ExprKind::kFunction: {
+      const auto& e = static_cast<const FunctionExpr&>(expr);
+      if (IsAggregateFunctionName(e.name)) return true;
+      for (const auto& arg : e.args) {
+        if (ContainsAggregate(*arg)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kCountStar:
+      return true;
+    case ExprKind::kCase: {
+      const auto& e = static_cast<const CaseExpr&>(expr);
+      for (const auto& [cond, value] : e.whens) {
+        if (ContainsAggregate(*cond) || ContainsAggregate(*value)) return true;
+      }
+      return e.otherwise && ContainsAggregate(*e.otherwise);
+    }
+    case ExprKind::kListComprehension: {
+      const auto& e = static_cast<const ListComprehensionExpr&>(expr);
+      return ContainsAggregate(*e.list) ||
+             (e.where && ContainsAggregate(*e.where)) ||
+             (e.projection && ContainsAggregate(*e.projection));
+    }
+    case ExprKind::kQuantifier: {
+      const auto& e = static_cast<const QuantifierExpr&>(expr);
+      return ContainsAggregate(*e.list) || ContainsAggregate(*e.predicate);
+    }
+    case ExprKind::kReduce: {
+      const auto& e = static_cast<const ReduceExpr&>(expr);
+      return ContainsAggregate(*e.init) || ContainsAggregate(*e.list) ||
+             ContainsAggregate(*e.body);
+    }
+    case ExprKind::kPatternPredicate:
+      return false;  // pattern property expressions cannot aggregate
+    case ExprKind::kMapProjection: {
+      const auto& e = static_cast<const MapProjectionExpr&>(expr);
+      if (ContainsAggregate(*e.subject)) return true;
+      for (const MapProjectionItem& item : e.items) {
+        if (item.value && ContainsAggregate(*item.value)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+ExprPtr CloneExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return std::make_unique<LiteralExpr>(
+          static_cast<const LiteralExpr&>(expr).value);
+    case ExprKind::kParameter:
+      return std::make_unique<ParameterExpr>(
+          static_cast<const ParameterExpr&>(expr).name);
+    case ExprKind::kVariable:
+      return std::make_unique<VariableExpr>(
+          static_cast<const VariableExpr&>(expr).name);
+    case ExprKind::kProperty: {
+      const auto& e = static_cast<const PropertyExpr&>(expr);
+      return std::make_unique<PropertyExpr>(CloneExpr(*e.object), e.key);
+    }
+    case ExprKind::kHasLabels: {
+      const auto& e = static_cast<const HasLabelsExpr&>(expr);
+      return std::make_unique<HasLabelsExpr>(CloneExpr(*e.object), e.labels);
+    }
+    case ExprKind::kUnary: {
+      const auto& e = static_cast<const UnaryExpr&>(expr);
+      return std::make_unique<UnaryExpr>(e.op, CloneExpr(*e.operand));
+    }
+    case ExprKind::kBinary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      return std::make_unique<BinaryExpr>(e.op, CloneExpr(*e.left),
+                                          CloneExpr(*e.right));
+    }
+    case ExprKind::kIsNull: {
+      const auto& e = static_cast<const IsNullExpr&>(expr);
+      return std::make_unique<IsNullExpr>(CloneExpr(*e.operand), e.negated);
+    }
+    case ExprKind::kList: {
+      const auto& e = static_cast<const ListExpr&>(expr);
+      std::vector<ExprPtr> items;
+      items.reserve(e.items.size());
+      for (const auto& item : e.items) items.push_back(CloneExpr(*item));
+      return std::make_unique<ListExpr>(std::move(items));
+    }
+    case ExprKind::kMap: {
+      const auto& e = static_cast<const MapExpr&>(expr);
+      std::vector<std::pair<std::string, ExprPtr>> entries;
+      entries.reserve(e.entries.size());
+      for (const auto& [key, value] : e.entries) {
+        entries.emplace_back(key, CloneExpr(*value));
+      }
+      return std::make_unique<MapExpr>(std::move(entries));
+    }
+    case ExprKind::kIndex: {
+      const auto& e = static_cast<const IndexExpr&>(expr);
+      return std::make_unique<IndexExpr>(CloneExpr(*e.object),
+                                         CloneExpr(*e.index));
+    }
+    case ExprKind::kFunction: {
+      const auto& e = static_cast<const FunctionExpr&>(expr);
+      std::vector<ExprPtr> args;
+      args.reserve(e.args.size());
+      for (const auto& arg : e.args) args.push_back(CloneExpr(*arg));
+      return std::make_unique<FunctionExpr>(e.name, e.distinct, std::move(args));
+    }
+    case ExprKind::kCountStar:
+      return std::make_unique<CountStarExpr>();
+    case ExprKind::kCase: {
+      const auto& e = static_cast<const CaseExpr&>(expr);
+      std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+      whens.reserve(e.whens.size());
+      for (const auto& [cond, value] : e.whens) {
+        whens.emplace_back(CloneExpr(*cond), CloneExpr(*value));
+      }
+      return std::make_unique<CaseExpr>(
+          std::move(whens), e.otherwise ? CloneExpr(*e.otherwise) : nullptr);
+    }
+    case ExprKind::kListComprehension: {
+      const auto& e = static_cast<const ListComprehensionExpr&>(expr);
+      return std::make_unique<ListComprehensionExpr>(
+          e.variable, CloneExpr(*e.list),
+          e.where ? CloneExpr(*e.where) : nullptr,
+          e.projection ? CloneExpr(*e.projection) : nullptr);
+    }
+    case ExprKind::kQuantifier: {
+      const auto& e = static_cast<const QuantifierExpr&>(expr);
+      return std::make_unique<QuantifierExpr>(e.quantifier, e.variable,
+                                              CloneExpr(*e.list),
+                                              CloneExpr(*e.predicate));
+    }
+    case ExprKind::kReduce: {
+      const auto& e = static_cast<const ReduceExpr&>(expr);
+      return std::make_unique<ReduceExpr>(e.accumulator, CloneExpr(*e.init),
+                                          e.variable, CloneExpr(*e.list),
+                                          CloneExpr(*e.body));
+    }
+    case ExprKind::kPatternPredicate: {
+      const auto& e = static_cast<const PatternPredicateExpr&>(expr);
+      return std::make_unique<PatternPredicateExpr>(ClonePattern(e.pattern));
+    }
+    case ExprKind::kMapProjection: {
+      const auto& e = static_cast<const MapProjectionExpr&>(expr);
+      std::vector<MapProjectionItem> items;
+      items.reserve(e.items.size());
+      for (const MapProjectionItem& item : e.items) {
+        items.push_back(
+            {item.kind, item.name,
+             item.value ? CloneExpr(*item.value) : nullptr});
+      }
+      return std::make_unique<MapProjectionExpr>(CloneExpr(*e.subject),
+                                                 std::move(items));
+    }
+  }
+  CYPHER_CHECK(false && "unreachable expression kind");
+  return nullptr;
+}
+
+namespace {
+
+std::vector<std::pair<std::string, ExprPtr>> CloneProps(
+    const std::vector<std::pair<std::string, ExprPtr>>& props) {
+  std::vector<std::pair<std::string, ExprPtr>> out;
+  out.reserve(props.size());
+  for (const auto& [key, value] : props) {
+    out.emplace_back(key, CloneExpr(*value));
+  }
+  return out;
+}
+
+}  // namespace
+
+NodePattern ClonePattern(const NodePattern& pattern) {
+  NodePattern out;
+  out.variable = pattern.variable;
+  out.labels = pattern.labels;
+  out.properties = CloneProps(pattern.properties);
+  return out;
+}
+
+RelPattern ClonePattern(const RelPattern& pattern) {
+  RelPattern out;
+  out.variable = pattern.variable;
+  out.types = pattern.types;
+  out.direction = pattern.direction;
+  out.properties = CloneProps(pattern.properties);
+  out.var_length = pattern.var_length;
+  out.min_hops = pattern.min_hops;
+  out.max_hops = pattern.max_hops;
+  return out;
+}
+
+PathPattern ClonePattern(const PathPattern& pattern) {
+  PathPattern out;
+  out.path_variable = pattern.path_variable;
+  out.function = pattern.function;
+  out.start = ClonePattern(pattern.start);
+  out.steps.reserve(pattern.steps.size());
+  for (const auto& [rel, node] : pattern.steps) {
+    out.steps.emplace_back(ClonePattern(rel), ClonePattern(node));
+  }
+  return out;
+}
+
+std::vector<std::string> PatternVariables(const PathPattern& pattern) {
+  std::vector<std::string> out;
+  if (!pattern.path_variable.empty()) out.push_back(pattern.path_variable);
+  if (!pattern.start.variable.empty()) out.push_back(pattern.start.variable);
+  for (const auto& [rel, node] : pattern.steps) {
+    if (!rel.variable.empty()) out.push_back(rel.variable);
+    if (!node.variable.empty()) out.push_back(node.variable);
+  }
+  return out;
+}
+
+bool IsUpdateClause(const Clause& clause) {
+  switch (clause.kind) {
+    case ClauseKind::kCreate:
+    case ClauseKind::kSet:
+    case ClauseKind::kRemove:
+    case ClauseKind::kDelete:
+    case ClauseKind::kMerge:
+    case ClauseKind::kForeach:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace cypher

@@ -1,0 +1,196 @@
+#ifndef CYPHER_AST_CLAUSE_H_
+#define CYPHER_AST_CLAUSE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/expr.h"
+#include "ast/pattern.h"
+
+namespace cypher {
+
+enum class ClauseKind {
+  kMatch,
+  kUnwind,
+  kWith,
+  kReturn,
+  kCreate,
+  kSet,
+  kRemove,
+  kDelete,
+  kMerge,
+  kForeach,
+  kCreateIndex,
+  kConstraint,
+  kCallSubquery,
+};
+
+/// Base of all clause AST nodes.
+struct Clause {
+  explicit Clause(ClauseKind k) : kind(k) {}
+  virtual ~Clause() = default;
+
+  Clause(const Clause&) = delete;
+  Clause& operator=(const Clause&) = delete;
+
+  const ClauseKind kind;
+};
+
+using ClausePtr = std::unique_ptr<Clause>;
+
+/// True for CREATE/SET/REMOVE/DELETE/MERGE/FOREACH.
+bool IsUpdateClause(const Clause& clause);
+
+/// MATCH / OPTIONAL MATCH with an optional WHERE filter.
+struct MatchClause : Clause {
+  MatchClause() : Clause(ClauseKind::kMatch) {}
+  bool optional = false;
+  std::vector<PathPattern> patterns;
+  ExprPtr where;  // may be null
+};
+
+/// UNWIND list AS var.
+struct UnwindClause : Clause {
+  UnwindClause() : Clause(ClauseKind::kUnwind) {}
+  ExprPtr list;
+  std::string variable;
+};
+
+/// One projection item `expr AS alias` (alias always resolved by parser).
+struct ReturnItem {
+  ExprPtr expr;
+  std::string alias;
+};
+
+struct SortItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// Shared body of WITH and RETURN.
+struct ProjectionBody {
+  bool distinct = false;
+  bool include_existing = false;  // `*`
+  std::vector<ReturnItem> items;
+  std::vector<SortItem> order_by;
+  ExprPtr skip;   // may be null
+  ExprPtr limit;  // may be null
+};
+
+struct WithClause : Clause {
+  WithClause() : Clause(ClauseKind::kWith) {}
+  ProjectionBody body;
+  ExprPtr where;  // may be null
+};
+
+struct ReturnClause : Clause {
+  ReturnClause() : Clause(ClauseKind::kReturn) {}
+  ProjectionBody body;
+};
+
+struct CreateClause : Clause {
+  CreateClause() : Clause(ClauseKind::kCreate) {}
+  std::vector<PathPattern> patterns;
+};
+
+/// The three set-item shapes of Figure 4 plus the label form:
+///   kSetProperty:   expr.key = expr
+///   kReplaceProps:  var = expr        (expr evaluates to a map)
+///   kMergeProps:    var += expr       (expr evaluates to a map)
+///   kSetLabels:     var:Label1:Label2
+enum class SetItemKind { kSetProperty, kReplaceProps, kMergeProps, kSetLabels };
+
+struct SetItem {
+  SetItemKind kind;
+  ExprPtr target;                   // entity expression
+  std::string key;                  // kSetProperty only
+  ExprPtr value;                    // not for kSetLabels
+  std::vector<std::string> labels;  // kSetLabels only
+};
+
+struct SetClause : Clause {
+  SetClause() : Clause(ClauseKind::kSet) {}
+  std::vector<SetItem> items;
+};
+
+enum class RemoveItemKind { kProperty, kLabels };
+
+struct RemoveItem {
+  RemoveItemKind kind;
+  ExprPtr target;
+  std::string key;                  // kProperty only
+  std::vector<std::string> labels;  // kLabels only
+};
+
+struct RemoveClause : Clause {
+  RemoveClause() : Clause(ClauseKind::kRemove) {}
+  std::vector<RemoveItem> items;
+};
+
+/// DELETE / DETACH DELETE expr, ...
+struct DeleteClause : Clause {
+  DeleteClause() : Clause(ClauseKind::kDelete) {}
+  bool detach = false;
+  std::vector<ExprPtr> exprs;
+};
+
+/// Which MERGE the query wrote (paper Sections 3, 7):
+///  * kLegacy — Cypher 9 `MERGE`, record-at-a-time match-or-create, reads
+///    its own writes (the problematic one, Section 4.3);
+///  * kAll — revised `MERGE ALL`, Atomic semantics;
+///  * kSame — revised `MERGE SAME`, Strong Collapse semantics.
+enum class MergeForm { kLegacy, kAll, kSame };
+
+struct MergeClause : Clause {
+  MergeClause() : Clause(ClauseKind::kMerge) {}
+  MergeForm form = MergeForm::kLegacy;
+  /// kLegacy allows exactly one pattern (Figure 3); kAll/kSame allow a
+  /// tuple (Figure 10).
+  std::vector<PathPattern> patterns;
+  /// Cypher 9 `ON CREATE SET` / `ON MATCH SET` sub-clauses (legacy only).
+  std::vector<SetItem> on_create;
+  std::vector<SetItem> on_match;
+};
+
+/// CREATE INDEX ON :Label(key) / DROP INDEX ON :Label(key) — DDL; a hash
+/// index used by MATCH and MERGE for (label {key: value}) lookups.
+/// Idempotent in both directions.
+struct CreateIndexClause : Clause {
+  CreateIndexClause() : Clause(ClauseKind::kCreateIndex) {}
+  bool drop = false;
+  std::string label;
+  std::string key;
+};
+
+/// CREATE/DROP CONSTRAINT ON (n:Label) ASSERT n.key IS UNIQUE — declares
+/// that no two alive nodes with `label` share a (non-null) value for `key`.
+/// Creation validates existing data; afterwards every statement is checked
+/// before commit and rolled back wholesale on violation.
+struct ConstraintClause : Clause {
+  ConstraintClause() : Clause(ClauseKind::kConstraint) {}
+  bool drop = false;
+  std::string label;
+  std::string key;
+};
+
+/// FOREACH (var IN list | update-clauses).
+struct ForeachClause : Clause {
+  ForeachClause() : Clause(ClauseKind::kForeach) {}
+  std::string variable;
+  ExprPtr list;
+  std::vector<ClausePtr> body;  // update clauses only (checked semantically)
+};
+
+/// CALL { <clauses> } — a correlated subquery executed once per driving
+/// record. The subquery sees the outer record's variables; if it ends in
+/// RETURN, its rows join onto the record (aliases must be fresh), otherwise
+/// it runs for its side effects and the record passes through unchanged.
+struct CallSubqueryClause : Clause {
+  CallSubqueryClause() : Clause(ClauseKind::kCallSubquery) {}
+  std::vector<ClausePtr> body;
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_AST_CLAUSE_H_

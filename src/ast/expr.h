@@ -1,0 +1,263 @@
+#ifndef CYPHER_AST_EXPR_H_
+#define CYPHER_AST_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "value/value.h"
+
+namespace cypher {
+
+/// Kind tag for Expr nodes. The evaluator dispatches on this (no virtual
+/// Evaluate; the tree stays a passive description, per the paper's
+/// expression semantics [[e]]_{G,u}).
+enum class ExprKind {
+  kLiteral,
+  kParameter,
+  kVariable,
+  kProperty,
+  kHasLabels,
+  kUnary,
+  kBinary,
+  kIsNull,
+  kList,
+  kMap,
+  kIndex,
+  kFunction,
+  kCountStar,
+  kCase,
+  kListComprehension,
+  kQuantifier,
+  kReduce,
+  kPatternPredicate,
+  kMapProjection,
+};
+
+/// Base of all expression AST nodes.
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  const ExprKind kind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A constant: 42, 'laptop', true, null, 3.5.
+struct LiteralExpr : Expr {
+  explicit LiteralExpr(Value v) : Expr(ExprKind::kLiteral), value(std::move(v)) {}
+  Value value;
+};
+
+/// $name — resolved against the statement's parameter map.
+struct ParameterExpr : Expr {
+  explicit ParameterExpr(std::string n)
+      : Expr(ExprKind::kParameter), name(std::move(n)) {}
+  std::string name;
+};
+
+/// A driving-table variable reference.
+struct VariableExpr : Expr {
+  explicit VariableExpr(std::string n)
+      : Expr(ExprKind::kVariable), name(std::move(n)) {}
+  std::string name;
+};
+
+/// object.key property access (nodes, relationships, and maps).
+struct PropertyExpr : Expr {
+  PropertyExpr(ExprPtr obj, std::string k)
+      : Expr(ExprKind::kProperty), object(std::move(obj)), key(std::move(k)) {}
+  ExprPtr object;
+  std::string key;
+};
+
+/// `expr:Label1:Label2` label predicate (WHERE n:Product).
+struct HasLabelsExpr : Expr {
+  HasLabelsExpr(ExprPtr obj, std::vector<std::string> l)
+      : Expr(ExprKind::kHasLabels), object(std::move(obj)), labels(std::move(l)) {}
+  ExprPtr object;
+  std::vector<std::string> labels;
+};
+
+enum class UnaryOp { kNot, kMinus, kPlus };
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp o, ExprPtr e)
+      : Expr(ExprKind::kUnary), op(o), operand(std::move(e)) {}
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+enum class BinaryOp {
+  kAnd,
+  kOr,
+  kXor,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kPow,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kIn,
+  kStartsWith,
+  kEndsWith,
+  kContains,
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp o, ExprPtr l, ExprPtr r)
+      : Expr(ExprKind::kBinary), op(o), left(std::move(l)), right(std::move(r)) {}
+  BinaryOp op;
+  ExprPtr left;
+  ExprPtr right;
+};
+
+/// expr IS NULL / expr IS NOT NULL.
+struct IsNullExpr : Expr {
+  IsNullExpr(ExprPtr e, bool neg)
+      : Expr(ExprKind::kIsNull), operand(std::move(e)), negated(neg) {}
+  ExprPtr operand;
+  bool negated;
+};
+
+struct ListExpr : Expr {
+  explicit ListExpr(std::vector<ExprPtr> i)
+      : Expr(ExprKind::kList), items(std::move(i)) {}
+  std::vector<ExprPtr> items;
+};
+
+struct MapExpr : Expr {
+  explicit MapExpr(std::vector<std::pair<std::string, ExprPtr>> e)
+      : Expr(ExprKind::kMap), entries(std::move(e)) {}
+  std::vector<std::pair<std::string, ExprPtr>> entries;
+};
+
+/// object[index] subscript on lists (0-based, negative from end) and maps.
+struct IndexExpr : Expr {
+  IndexExpr(ExprPtr obj, ExprPtr idx)
+      : Expr(ExprKind::kIndex), object(std::move(obj)), index(std::move(idx)) {}
+  ExprPtr object;
+  ExprPtr index;
+};
+
+/// Scalar or aggregate function call. `name` is stored lowercase.
+struct FunctionExpr : Expr {
+  FunctionExpr(std::string n, bool d, std::vector<ExprPtr> a)
+      : Expr(ExprKind::kFunction),
+        name(std::move(n)),
+        distinct(d),
+        args(std::move(a)) {}
+  std::string name;
+  bool distinct;
+  std::vector<ExprPtr> args;
+};
+
+/// count(*).
+struct CountStarExpr : Expr {
+  CountStarExpr() : Expr(ExprKind::kCountStar) {}
+};
+
+/// Generic CASE WHEN cond THEN val ... [ELSE val] END.
+struct CaseExpr : Expr {
+  CaseExpr(std::vector<std::pair<ExprPtr, ExprPtr>> w, ExprPtr e)
+      : Expr(ExprKind::kCase), whens(std::move(w)), otherwise(std::move(e)) {}
+  std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+  ExprPtr otherwise;  // may be null (-> null)
+};
+
+/// List comprehension `[var IN list WHERE pred | proj]`; `where` and
+/// `projection` may each be null (copy / filter-only forms).
+struct ListComprehensionExpr : Expr {
+  ListComprehensionExpr(std::string v, ExprPtr l, ExprPtr w, ExprPtr p)
+      : Expr(ExprKind::kListComprehension),
+        variable(std::move(v)),
+        list(std::move(l)),
+        where(std::move(w)),
+        projection(std::move(p)) {}
+  std::string variable;
+  ExprPtr list;
+  ExprPtr where;       // may be null
+  ExprPtr projection;  // may be null
+};
+
+enum class QuantifierKind { kAll, kAny, kNone, kSingle };
+
+/// all/any/none/single(var IN list WHERE pred) with ternary-logic results.
+struct QuantifierExpr : Expr {
+  QuantifierExpr(QuantifierKind q, std::string v, ExprPtr l, ExprPtr p)
+      : Expr(ExprKind::kQuantifier),
+        quantifier(q),
+        variable(std::move(v)),
+        list(std::move(l)),
+        predicate(std::move(p)) {}
+  QuantifierKind quantifier;
+  std::string variable;
+  ExprPtr list;
+  ExprPtr predicate;
+};
+
+/// reduce(acc = init, var IN list | body).
+struct ReduceExpr : Expr {
+  ReduceExpr(std::string a, ExprPtr i, std::string v, ExprPtr l, ExprPtr b)
+      : Expr(ExprKind::kReduce),
+        accumulator(std::move(a)),
+        init(std::move(i)),
+        variable(std::move(v)),
+        list(std::move(l)),
+        body(std::move(b)) {}
+  std::string accumulator;
+  ExprPtr init;
+  std::string variable;
+  ExprPtr list;
+  ExprPtr body;
+};
+
+/// One item of a map projection `subject {.key, name: expr, var, .*}`.
+struct MapProjectionItem {
+  enum class Kind {
+    kProperty,  // .key       -> key: subject.key
+    kPair,      // key: expr
+    kVariable,  // var        -> var: <value of var>
+    kAll,       // .*         -> every property of subject
+  };
+  Kind kind;
+  std::string name;  // key / variable name (empty for kAll)
+  ExprPtr value;     // kPair only
+};
+
+/// `n {.name, id: n.id * 10, other, .*}` — builds a map from an entity or
+/// map subject.
+struct MapProjectionExpr : Expr {
+  MapProjectionExpr(ExprPtr s, std::vector<MapProjectionItem> i)
+      : Expr(ExprKind::kMapProjection),
+        subject(std::move(s)),
+        items(std::move(i)) {}
+  ExprPtr subject;
+  std::vector<MapProjectionItem> items;
+};
+
+/// True for the aggregate function names (count, collect, sum, avg, min,
+/// max); `name` must be lowercase.
+bool IsAggregateFunctionName(const std::string& name);
+
+/// True if the expression tree contains an aggregate call or count(*)
+/// anywhere (drives implicit grouping in RETURN/WITH).
+bool ContainsAggregate(const Expr& expr);
+
+/// Deep copy of an expression tree.
+ExprPtr CloneExpr(const Expr& expr);
+
+}  // namespace cypher
+
+#endif  // CYPHER_AST_EXPR_H_

@@ -1,0 +1,76 @@
+#ifndef CYPHER_AST_PATTERN_H_
+#define CYPHER_AST_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/expr.h"
+
+namespace cypher {
+
+/// `(v:Label1:Label2 {key: expr, ...})`. In MATCH/MERGE the property map is
+/// a filter; in CREATE (and the writing part of MERGE) it is an assignment.
+struct NodePattern {
+  std::string variable;  // empty = anonymous
+  std::vector<std::string> labels;
+  std::vector<std::pair<std::string, ExprPtr>> properties;
+};
+
+/// Relationship arrow direction as written in the pattern.
+enum class RelDirection {
+  kLeftToRight,  // -[...]->
+  kRightToLeft,  // <-[...]-
+  kUndirected,   // -[...]-
+};
+
+/// `-[v:TYPE|TYPE2 {k: e} *min..max]->`.
+///
+/// MATCH allows multiple alternative types, undirected arrows, omitted
+/// types, and variable length. CREATE (and revised MERGE, Figure 10)
+/// requires exactly one type, a direction, and fixed length — enforced by
+/// semantic checks, not the grammar.
+struct RelPattern {
+  std::string variable;  // empty = anonymous
+  std::vector<std::string> types;
+  RelDirection direction = RelDirection::kUndirected;
+  std::vector<std::pair<std::string, ExprPtr>> properties;
+  bool var_length = false;
+  int64_t min_hops = 1;
+  int64_t max_hops = 1;  // -1 = unbounded (only when var_length)
+};
+
+/// Path-function wrapper: `shortestPath((a)-[:T*]->(b))` /
+/// `allShortestPaths(...)`. kNone is a plain pattern.
+enum class PathFunction { kNone, kShortest, kAllShortest };
+
+/// `p = (a)-[r]->(b)-[s]->(c)`: a node followed by (rel, node) steps.
+struct PathPattern {
+  std::string path_variable;  // empty = unnamed
+  PathFunction function = PathFunction::kNone;
+  NodePattern start;
+  std::vector<std::pair<RelPattern, NodePattern>> steps;
+};
+
+/// `exists((n)-[:T]->(:Label))` — an existential pattern predicate: true
+/// when the pattern matches at least once given the current bindings.
+/// Defined here (not expr.h) because it embeds a PathPattern.
+struct PatternPredicateExpr : Expr {
+  explicit PatternPredicateExpr(PathPattern p)
+      : Expr(ExprKind::kPatternPredicate), pattern(std::move(p)) {}
+  PathPattern pattern;
+};
+
+/// Deep copies (patterns own expression trees).
+NodePattern ClonePattern(const NodePattern& pattern);
+RelPattern ClonePattern(const RelPattern& pattern);
+PathPattern ClonePattern(const PathPattern& pattern);
+
+/// All variable names appearing in the pattern (path, node and rel
+/// variables), in syntactic order, with duplicates preserved.
+std::vector<std::string> PatternVariables(const PathPattern& pattern);
+
+}  // namespace cypher
+
+#endif  // CYPHER_AST_PATTERN_H_

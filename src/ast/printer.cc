@@ -1,0 +1,454 @@
+#include "ast/printer.h"
+
+#include "common/check.h"
+
+namespace cypher {
+
+namespace {
+
+const char* BinaryOpText(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kXor:
+      return "XOR";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kPow:
+      return "^";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kIn:
+      return "IN";
+    case BinaryOp::kStartsWith:
+      return "STARTS WITH";
+    case BinaryOp::kEndsWith:
+      return "ENDS WITH";
+    case BinaryOp::kContains:
+      return "CONTAINS";
+  }
+  return "?";
+}
+
+std::string PropsText(
+    const std::vector<std::pair<std::string, ExprPtr>>& props) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : props) {
+    if (!first) out += ", ";
+    first = false;
+    out += key + ": " + ToCypher(*value);
+  }
+  out += "}";
+  return out;
+}
+
+std::string NodeText(const NodePattern& node) {
+  std::string out = "(" + node.variable;
+  for (const auto& label : node.labels) out += ":" + label;
+  if (!node.properties.empty()) {
+    if (out.size() > 1) out += " ";
+    out += PropsText(node.properties);
+  }
+  out += ")";
+  return out;
+}
+
+std::string RelText(const RelPattern& rel) {
+  std::string body = rel.variable;
+  for (size_t i = 0; i < rel.types.size(); ++i) {
+    body += (i == 0 ? ":" : "|") + rel.types[i];
+  }
+  if (rel.var_length) {
+    body += "*";
+    if (rel.min_hops != 1 || rel.max_hops != -1) {
+      body += std::to_string(rel.min_hops) + "..";
+      if (rel.max_hops >= 0) body += std::to_string(rel.max_hops);
+    }
+  }
+  if (!rel.properties.empty()) {
+    if (!body.empty()) body += " ";
+    body += PropsText(rel.properties);
+  }
+  std::string arrow = body.empty() ? "" : "[" + body + "]";
+  switch (rel.direction) {
+    case RelDirection::kLeftToRight:
+      return "-" + arrow + "->";
+    case RelDirection::kRightToLeft:
+      return "<-" + arrow + "-";
+    case RelDirection::kUndirected:
+      return "-" + arrow + "-";
+  }
+  return "?";
+}
+
+std::string SetItemText(const SetItem& item) {
+  switch (item.kind) {
+    case SetItemKind::kSetProperty:
+      return ToCypher(*item.target) + "." + item.key + " = " +
+             ToCypher(*item.value);
+    case SetItemKind::kReplaceProps:
+      return ToCypher(*item.target) + " = " + ToCypher(*item.value);
+    case SetItemKind::kMergeProps:
+      return ToCypher(*item.target) + " += " + ToCypher(*item.value);
+    case SetItemKind::kSetLabels: {
+      std::string out = ToCypher(*item.target);
+      for (const auto& label : item.labels) out += ":" + label;
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string ProjectionText(const ProjectionBody& body) {
+  std::string out;
+  if (body.distinct) out += "DISTINCT ";
+  bool first = true;
+  if (body.include_existing) {
+    out += "*";
+    first = false;
+  }
+  for (const auto& item : body.items) {
+    if (!first) out += ", ";
+    first = false;
+    out += ToCypher(*item.expr) + " AS " + item.alias;
+  }
+  if (!body.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < body.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ToCypher(*body.order_by[i].expr);
+      out += body.order_by[i].ascending ? " ASC" : " DESC";
+    }
+  }
+  if (body.skip) out += " SKIP " + ToCypher(*body.skip);
+  if (body.limit) out += " LIMIT " + ToCypher(*body.limit);
+  return out;
+}
+
+}  // namespace
+
+std::string ToCypher(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value.ToString();
+    case ExprKind::kParameter:
+      return "$" + static_cast<const ParameterExpr&>(expr).name;
+    case ExprKind::kVariable:
+      return static_cast<const VariableExpr&>(expr).name;
+    case ExprKind::kProperty: {
+      const auto& e = static_cast<const PropertyExpr&>(expr);
+      return ToCypher(*e.object) + "." + e.key;
+    }
+    case ExprKind::kHasLabels: {
+      const auto& e = static_cast<const HasLabelsExpr&>(expr);
+      std::string out = ToCypher(*e.object);
+      for (const auto& label : e.labels) out += ":" + label;
+      return out;
+    }
+    case ExprKind::kUnary: {
+      const auto& e = static_cast<const UnaryExpr&>(expr);
+      switch (e.op) {
+        case UnaryOp::kNot:
+          return "(NOT " + ToCypher(*e.operand) + ")";
+        case UnaryOp::kMinus:
+          return "(-" + ToCypher(*e.operand) + ")";
+        case UnaryOp::kPlus:
+          return "(+" + ToCypher(*e.operand) + ")";
+      }
+      return "?";
+    }
+    case ExprKind::kBinary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      return "(" + ToCypher(*e.left) + " " + BinaryOpText(e.op) + " " +
+             ToCypher(*e.right) + ")";
+    }
+    case ExprKind::kIsNull: {
+      const auto& e = static_cast<const IsNullExpr&>(expr);
+      return "(" + ToCypher(*e.operand) +
+             (e.negated ? " IS NOT NULL)" : " IS NULL)");
+    }
+    case ExprKind::kList: {
+      const auto& e = static_cast<const ListExpr&>(expr);
+      std::string out = "[";
+      for (size_t i = 0; i < e.items.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ToCypher(*e.items[i]);
+      }
+      return out + "]";
+    }
+    case ExprKind::kMap: {
+      const auto& e = static_cast<const MapExpr&>(expr);
+      std::string out = "{";
+      for (size_t i = 0; i < e.entries.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += e.entries[i].first + ": " + ToCypher(*e.entries[i].second);
+      }
+      return out + "}";
+    }
+    case ExprKind::kIndex: {
+      const auto& e = static_cast<const IndexExpr&>(expr);
+      return ToCypher(*e.object) + "[" + ToCypher(*e.index) + "]";
+    }
+    case ExprKind::kFunction: {
+      const auto& e = static_cast<const FunctionExpr&>(expr);
+      std::string out = e.name + "(";
+      if (e.distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ToCypher(*e.args[i]);
+      }
+      return out + ")";
+    }
+    case ExprKind::kCountStar:
+      return "count(*)";
+    case ExprKind::kCase: {
+      const auto& e = static_cast<const CaseExpr&>(expr);
+      std::string out = "CASE";
+      for (const auto& [cond, value] : e.whens) {
+        out += " WHEN " + ToCypher(*cond) + " THEN " + ToCypher(*value);
+      }
+      if (e.otherwise) out += " ELSE " + ToCypher(*e.otherwise);
+      return out + " END";
+    }
+    case ExprKind::kListComprehension: {
+      const auto& e = static_cast<const ListComprehensionExpr&>(expr);
+      std::string out = "[" + e.variable + " IN " + ToCypher(*e.list);
+      if (e.where) out += " WHERE " + ToCypher(*e.where);
+      if (e.projection) out += " | " + ToCypher(*e.projection);
+      return out + "]";
+    }
+    case ExprKind::kQuantifier: {
+      const auto& e = static_cast<const QuantifierExpr&>(expr);
+      const char* name = "?";
+      switch (e.quantifier) {
+        case QuantifierKind::kAll:
+          name = "all";
+          break;
+        case QuantifierKind::kAny:
+          name = "any";
+          break;
+        case QuantifierKind::kNone:
+          name = "none";
+          break;
+        case QuantifierKind::kSingle:
+          name = "single";
+          break;
+      }
+      return std::string(name) + "(" + e.variable + " IN " +
+             ToCypher(*e.list) + " WHERE " + ToCypher(*e.predicate) + ")";
+    }
+    case ExprKind::kReduce: {
+      const auto& e = static_cast<const ReduceExpr&>(expr);
+      return "reduce(" + e.accumulator + " = " + ToCypher(*e.init) + ", " +
+             e.variable + " IN " + ToCypher(*e.list) + " | " +
+             ToCypher(*e.body) + ")";
+    }
+    case ExprKind::kPatternPredicate: {
+      const auto& e = static_cast<const PatternPredicateExpr&>(expr);
+      return "exists(" + ToCypher(e.pattern) + ")";
+    }
+    case ExprKind::kMapProjection: {
+      const auto& e = static_cast<const MapProjectionExpr&>(expr);
+      std::string out = ToCypher(*e.subject) + " {";
+      for (size_t i = 0; i < e.items.size(); ++i) {
+        if (i > 0) out += ", ";
+        const MapProjectionItem& item = e.items[i];
+        switch (item.kind) {
+          case MapProjectionItem::Kind::kProperty:
+            out += "." + item.name;
+            break;
+          case MapProjectionItem::Kind::kPair:
+            out += item.name + ": " + ToCypher(*item.value);
+            break;
+          case MapProjectionItem::Kind::kVariable:
+            out += item.name;
+            break;
+          case MapProjectionItem::Kind::kAll:
+            out += ".*";
+            break;
+        }
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+std::string ToCypher(const PathPattern& pattern) {
+  std::string out;
+  if (!pattern.path_variable.empty()) out += pattern.path_variable + " = ";
+  if (pattern.function == PathFunction::kShortest) out += "shortestPath(";
+  if (pattern.function == PathFunction::kAllShortest) {
+    out += "allShortestPaths(";
+  }
+  out += NodeText(pattern.start);
+  for (const auto& [rel, node] : pattern.steps) {
+    out += RelText(rel) + NodeText(node);
+  }
+  if (pattern.function != PathFunction::kNone) out += ")";
+  return out;
+}
+
+std::string ToCypher(const Clause& clause) {
+  switch (clause.kind) {
+    case ClauseKind::kMatch: {
+      const auto& c = static_cast<const MatchClause&>(clause);
+      std::string out = c.optional ? "OPTIONAL MATCH " : "MATCH ";
+      for (size_t i = 0; i < c.patterns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ToCypher(c.patterns[i]);
+      }
+      if (c.where) out += " WHERE " + ToCypher(*c.where);
+      return out;
+    }
+    case ClauseKind::kUnwind: {
+      const auto& c = static_cast<const UnwindClause&>(clause);
+      return "UNWIND " + ToCypher(*c.list) + " AS " + c.variable;
+    }
+    case ClauseKind::kWith: {
+      const auto& c = static_cast<const WithClause&>(clause);
+      std::string out = "WITH " + ProjectionText(c.body);
+      if (c.where) out += " WHERE " + ToCypher(*c.where);
+      return out;
+    }
+    case ClauseKind::kReturn: {
+      const auto& c = static_cast<const ReturnClause&>(clause);
+      return "RETURN " + ProjectionText(c.body);
+    }
+    case ClauseKind::kCreate: {
+      const auto& c = static_cast<const CreateClause&>(clause);
+      std::string out = "CREATE ";
+      for (size_t i = 0; i < c.patterns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ToCypher(c.patterns[i]);
+      }
+      return out;
+    }
+    case ClauseKind::kSet: {
+      const auto& c = static_cast<const SetClause&>(clause);
+      std::string out = "SET ";
+      for (size_t i = 0; i < c.items.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += SetItemText(c.items[i]);
+      }
+      return out;
+    }
+    case ClauseKind::kRemove: {
+      const auto& c = static_cast<const RemoveClause&>(clause);
+      std::string out = "REMOVE ";
+      for (size_t i = 0; i < c.items.size(); ++i) {
+        if (i > 0) out += ", ";
+        const RemoveItem& item = c.items[i];
+        if (item.kind == RemoveItemKind::kProperty) {
+          out += ToCypher(*item.target) + "." + item.key;
+        } else {
+          out += ToCypher(*item.target);
+          for (const auto& label : item.labels) out += ":" + label;
+        }
+      }
+      return out;
+    }
+    case ClauseKind::kDelete: {
+      const auto& c = static_cast<const DeleteClause&>(clause);
+      std::string out = c.detach ? "DETACH DELETE " : "DELETE ";
+      for (size_t i = 0; i < c.exprs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ToCypher(*c.exprs[i]);
+      }
+      return out;
+    }
+    case ClauseKind::kMerge: {
+      const auto& c = static_cast<const MergeClause&>(clause);
+      std::string out = "MERGE ";
+      if (c.form == MergeForm::kAll) out += "ALL ";
+      if (c.form == MergeForm::kSame) out += "SAME ";
+      for (size_t i = 0; i < c.patterns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ToCypher(c.patterns[i]);
+      }
+      if (!c.on_create.empty()) {
+        out += " ON CREATE SET ";
+        for (size_t i = 0; i < c.on_create.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += SetItemText(c.on_create[i]);
+        }
+      }
+      if (!c.on_match.empty()) {
+        out += " ON MATCH SET ";
+        for (size_t i = 0; i < c.on_match.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += SetItemText(c.on_match[i]);
+        }
+      }
+      return out;
+    }
+    case ClauseKind::kCreateIndex: {
+      const auto& c = static_cast<const CreateIndexClause&>(clause);
+      return std::string(c.drop ? "DROP" : "CREATE") + " INDEX ON :" +
+             c.label + "(" + c.key + ")";
+    }
+    case ClauseKind::kConstraint: {
+      const auto& c = static_cast<const ConstraintClause&>(clause);
+      return std::string(c.drop ? "DROP" : "CREATE") + " CONSTRAINT ON (n:" +
+             c.label + ") ASSERT n." + c.key + " IS UNIQUE";
+    }
+    case ClauseKind::kCallSubquery: {
+      const auto& c = static_cast<const CallSubqueryClause&>(clause);
+      std::string out = "CALL { ";
+      for (size_t i = 0; i < c.body.size(); ++i) {
+        if (i > 0) out += " ";
+        out += ToCypher(*c.body[i]);
+      }
+      return out + " }";
+    }
+    case ClauseKind::kForeach: {
+      const auto& c = static_cast<const ForeachClause&>(clause);
+      std::string out =
+          "FOREACH (" + c.variable + " IN " + ToCypher(*c.list) + " | ";
+      for (size_t i = 0; i < c.body.size(); ++i) {
+        if (i > 0) out += " ";
+        out += ToCypher(*c.body[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::string ToCypher(const Query& query) {
+  std::string out;
+  for (size_t p = 0; p < query.parts.size(); ++p) {
+    if (p > 0) {
+      out += query.union_all[p - 1] ? " UNION ALL " : " UNION ";
+    }
+    const SingleQuery& part = query.parts[p];
+    for (size_t i = 0; i < part.clauses.size(); ++i) {
+      if (i > 0) out += " ";
+      out += ToCypher(*part.clauses[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace cypher

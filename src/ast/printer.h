@@ -1,0 +1,20 @@
+#ifndef CYPHER_AST_PRINTER_H_
+#define CYPHER_AST_PRINTER_H_
+
+#include <string>
+
+#include "ast/query.h"
+
+namespace cypher {
+
+/// Renders AST back to canonical Cypher text. Round-trip property:
+/// Parse(ToCypher(Parse(q))) produces the same tree as Parse(q) (tested in
+/// tests/parser_test.cc).
+std::string ToCypher(const Expr& expr);
+std::string ToCypher(const PathPattern& pattern);
+std::string ToCypher(const Clause& clause);
+std::string ToCypher(const Query& query);
+
+}  // namespace cypher
+
+#endif  // CYPHER_AST_PRINTER_H_

@@ -1,0 +1,32 @@
+#ifndef CYPHER_AST_QUERY_H_
+#define CYPHER_AST_QUERY_H_
+
+#include <vector>
+
+#include "ast/clause.h"
+
+namespace cypher {
+
+/// One UNION-free clause sequence.
+struct SingleQuery {
+  std::vector<ClausePtr> clauses;
+};
+
+/// Execution mode prefix: EXPLAIN describes the plan without executing;
+/// PROFILE executes and reports per-clause driving-table cardinalities.
+enum class QueryMode { kNormal, kExplain, kProfile };
+
+/// A full statement: one or more single queries combined with UNION [ALL].
+/// Updates in unions are applied left-to-right as side effects, tables are
+/// unioned (Section 8, "Composition of clauses").
+struct Query {
+  QueryMode mode = QueryMode::kNormal;
+  std::vector<SingleQuery> parts;  // size >= 1
+  /// union_all[i] is true when parts[i] and parts[i+1] are joined by
+  /// UNION ALL, false for plain UNION (distinct).
+  std::vector<bool> union_all;
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_AST_QUERY_H_

@@ -1,0 +1,26 @@
+#ifndef CYPHER_COMMON_CHECK_H_
+#define CYPHER_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cypher::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "CYPHER_CHECK failed at %s:%d: %s\n", file, line,
+               condition);
+  std::abort();
+}
+
+}  // namespace cypher::internal
+
+/// Always-on invariant check (independent of NDEBUG). Use for engine
+/// invariants whose violation indicates a bug, never for user input errors
+/// (those return Status).
+#define CYPHER_CHECK(cond)                                          \
+  do {                                                              \
+    if (!(cond)) ::cypher::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+#endif  // CYPHER_COMMON_CHECK_H_

@@ -1,0 +1,126 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+namespace cypher {
+
+namespace {
+
+// Parses one record starting at *pos; advances *pos past the record
+// terminator. Returns false (with error set) on unterminated quotes.
+bool ParseRecord(std::string_view text, size_t* pos,
+                 std::vector<std::string>* fields, std::string* error) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields->push_back(std::move(field));
+      field.clear();
+      ++i;
+      continue;
+    }
+    if (c == '\n' || c == '\r') {
+      break;
+    }
+    field += c;
+    ++i;
+  }
+  if (in_quotes) {
+    *error = "unterminated quoted field";
+    return false;
+  }
+  fields->push_back(std::move(field));
+  // Consume the record terminator (\n, \r\n, or \r).
+  if (i < text.size() && text[i] == '\r') ++i;
+  if (i < text.size() && text[i] == '\n') ++i;
+  *pos = i;
+  return true;
+}
+
+bool NeedsQuoting(std::string_view field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<CsvDocument> ParseCsv(std::string_view text) {
+  CsvDocument doc;
+  size_t pos = 0;
+  std::string error;
+  if (text.empty()) {
+    return Status::InvalidArgument("CSV input is empty");
+  }
+  if (!ParseRecord(text, &pos, &doc.header, &error)) {
+    return Status::InvalidArgument("CSV header: " + error);
+  }
+  size_t line = 2;
+  while (pos < text.size()) {
+    std::vector<std::string> fields;
+    if (!ParseRecord(text, &pos, &fields, &error)) {
+      return Status::InvalidArgument("CSV line " + std::to_string(line) + ": " +
+                                     error);
+    }
+    // Skip trailing blank line.
+    if (fields.size() == 1 && fields[0].empty() && pos >= text.size()) break;
+    if (fields.size() != doc.header.size()) {
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(line) + ": expected " +
+          std::to_string(doc.header.size()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    doc.rows.push_back(std::move(fields));
+    ++line;
+  }
+  return doc;
+}
+
+std::string WriteCsv(const CsvDocument& doc) {
+  std::string out;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      if (NeedsQuoting(row[i])) {
+        out += '"';
+        for (char c : row[i]) {
+          if (c == '"') out += '"';
+          out += c;
+        }
+        out += '"';
+      } else {
+        out += row[i];
+      }
+    }
+    out += '\n';
+  };
+  write_row(doc.header);
+  for (const auto& row : doc.rows) write_row(row);
+  return out;
+}
+
+}  // namespace cypher

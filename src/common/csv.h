@@ -1,0 +1,34 @@
+#ifndef CYPHER_COMMON_CSV_H_
+#define CYPHER_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cypher {
+
+/// A parsed CSV document: a header row plus data rows, all as raw strings.
+///
+/// The paper motivates MERGE with the "populate a graph from a CSV import"
+/// workflow (Sections 3 and 6); this reader is the substrate for that
+/// workflow in examples and benchmarks. Empty fields are preserved; the
+/// conventional spelling "null" (case-insensitive) is left to the table
+/// loader to interpret.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses RFC-4180-style CSV text: comma separated, double-quote quoting,
+/// doubled quotes as escapes, LF or CRLF line endings. The first record is
+/// the header. Returns InvalidArgument on ragged rows or unterminated quotes.
+Result<CsvDocument> ParseCsv(std::string_view text);
+
+/// Serializes a document back to CSV text (quoting only when needed).
+std::string WriteCsv(const CsvDocument& doc);
+
+}  // namespace cypher
+
+#endif  // CYPHER_COMMON_CSV_H_

@@ -1,0 +1,72 @@
+#ifndef CYPHER_COMMON_IDS_H_
+#define CYPHER_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace cypher {
+
+/// Identifier of a node in a PropertyGraph. Strongly typed to prevent mixing
+/// with relationship ids. Ids are dense indexes into the graph's node store
+/// and are never reused within one graph's lifetime (deleted slots are
+/// tombstoned), so an id captured in a driving table stays unambiguous.
+struct NodeId {
+  uint32_t value = kInvalid;
+
+  static constexpr uint32_t kInvalid = static_cast<uint32_t>(-1);
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+
+  friend constexpr bool operator==(NodeId a, NodeId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(NodeId a, NodeId b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(NodeId a, NodeId b) {
+    return a.value < b.value;
+  }
+};
+
+/// Identifier of a relationship in a PropertyGraph. See NodeId.
+struct RelId {
+  uint32_t value = kInvalid;
+
+  static constexpr uint32_t kInvalid = static_cast<uint32_t>(-1);
+
+  constexpr RelId() = default;
+  constexpr explicit RelId(uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+
+  friend constexpr bool operator==(RelId a, RelId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(RelId a, RelId b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(RelId a, RelId b) {
+    return a.value < b.value;
+  }
+};
+
+}  // namespace cypher
+
+template <>
+struct std::hash<cypher::NodeId> {
+  size_t operator()(cypher::NodeId id) const noexcept {
+    return std::hash<uint32_t>()(id.value);
+  }
+};
+
+template <>
+struct std::hash<cypher::RelId> {
+  size_t operator()(cypher::RelId id) const noexcept {
+    return std::hash<uint32_t>()(id.value ^ 0x9e3779b9u);
+  }
+};
+
+#endif  // CYPHER_COMMON_IDS_H_

@@ -1,0 +1,23 @@
+#include "common/interner.h"
+
+#include "common/check.h"
+
+namespace cypher {
+
+Symbol Interner::Intern(std::string_view text) {
+  auto it = index_.find(std::string(text));
+  if (it != index_.end()) return it->second;
+  Symbol symbol = static_cast<Symbol>(names_.size());
+  CYPHER_CHECK(symbol != kNoSymbol);
+  names_.emplace_back(text);
+  index_.emplace(names_.back(), symbol);
+  return symbol;
+}
+
+Symbol Interner::Find(std::string_view text) const {
+  auto it = index_.find(std::string(text));
+  if (it == index_.end()) return kNoSymbol;
+  return it->second;
+}
+
+}  // namespace cypher

@@ -1,0 +1,50 @@
+#ifndef CYPHER_COMMON_INTERNER_H_
+#define CYPHER_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cypher {
+
+/// Dense integer handle for an interned string (label, relationship type, or
+/// property key). Symbols are only meaningful relative to the Interner that
+/// produced them.
+using Symbol = uint32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr Symbol kNoSymbol = static_cast<Symbol>(-1);
+
+/// Bidirectional string <-> dense-id map.
+///
+/// The graph store keeps one interner per graph and represents node labels,
+/// relationship types and property keys as Symbols, so hot-path comparisons
+/// are integer comparisons. Not thread-safe.
+class Interner {
+ public:
+  Interner() = default;
+  Interner(const Interner&) = default;
+  Interner& operator=(const Interner&) = default;
+
+  /// Returns the symbol for `text`, interning it on first use.
+  Symbol Intern(std::string_view text);
+
+  /// Returns the symbol for `text`, or kNoSymbol if never interned.
+  /// Does not modify the interner; usable for lookups on const graphs.
+  Symbol Find(std::string_view text) const;
+
+  /// Returns the string for a symbol previously returned by Intern.
+  const std::string& Name(Symbol symbol) const { return names_[symbol]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, Symbol> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_COMMON_INTERNER_H_

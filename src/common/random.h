@@ -1,0 +1,55 @@
+#ifndef CYPHER_COMMON_RANDOM_H_
+#define CYPHER_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cypher {
+
+/// Deterministic splitmix64 PRNG.
+///
+/// Used wherever the engine needs controlled randomness: the legacy
+/// executor's shuffled scan order (to demonstrate MERGE nondeterminism,
+/// paper Example 3) and the synthetic workload generators. A fixed seed
+/// yields an identical stream on every platform, which the figure benches
+/// rely on for reproducibility.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound); bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_COMMON_RANDOM_H_

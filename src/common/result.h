@@ -1,0 +1,81 @@
+#ifndef CYPHER_COMMON_RESULT_H_
+#define CYPHER_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace cypher {
+
+/// Either a value of type T or an error Status (Arrow's Result<T> idiom).
+///
+/// A Result is never in an "OK but empty" state: constructing one from an OK
+/// Status is an internal error. Access to the value of a failed Result is a
+/// programming error guarded by assertions.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result. Intentionally implicit so functions can
+  /// `return value;`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result. Intentionally implicit so functions can
+  /// `return Status::...;`.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error; Status::OK() if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace cypher
+
+/// Evaluates a Result-returning expression; on error propagates the Status,
+/// otherwise assigns the value to `lhs` (which may include a declaration).
+#define CYPHER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define CYPHER_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define CYPHER_ASSIGN_OR_RETURN_NAME(a, b) CYPHER_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define CYPHER_ASSIGN_OR_RETURN(lhs, expr)                                    \
+  CYPHER_ASSIGN_OR_RETURN_IMPL(                                               \
+      CYPHER_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+#endif  // CYPHER_COMMON_RESULT_H_

@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace cypher {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kSyntaxError:
+      return "SyntaxError";
+    case StatusCode::kSemanticError:
+      return "SemanticError";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kInternalError:
+      return "InternalError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace cypher

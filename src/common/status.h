@@ -1,0 +1,101 @@
+#ifndef CYPHER_COMMON_STATUS_H_
+#define CYPHER_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace cypher {
+
+/// Category of failure carried by a Status.
+///
+/// The engine never throws across public API boundaries; every fallible
+/// operation returns a Status (or a Result<T>, see result.h). Codes are
+/// coarse: the message carries the precise diagnostic.
+enum class StatusCode {
+  kOk = 0,
+  /// Lexical or grammatical error in a query string.
+  kSyntaxError,
+  /// Query is grammatical but ill-formed (unknown variable, re-declared
+  /// variable, CREATE pattern restrictions violated, ...).
+  kSemanticError,
+  /// Well-formed query whose evaluation is undefined: conflicting SET values
+  /// (paper Example 2), deleting a node while relationships remain attached,
+  /// type errors in expressions, ...
+  kExecutionError,
+  /// Malformed input to a non-query API (CSV reader, graph loader, ...).
+  kInvalidArgument,
+  /// Internal invariant violation; indicates an engine bug.
+  kInternalError,
+};
+
+/// Returns a short stable name for a status code, e.g. "SyntaxError".
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: either OK or a code plus message.
+///
+/// Modeled on the RocksDB/Arrow Status idiom. The OK status stores no
+/// allocation; error states share an immutable representation so Status is
+/// cheap to copy and return by value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status SyntaxError(std::string msg) {
+    return Status(StatusCode::kSyntaxError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status InternalError(std::string msg) {
+    return Status(StatusCode::kInternalError, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// Diagnostic message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace cypher
+
+/// Propagates a non-OK Status to the caller.
+#define CYPHER_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::cypher::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#endif  // CYPHER_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef CYPHER_COMMON_STRINGS_H_
+#define CYPHER_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cypher {
+
+/// Case-insensitive ASCII equality (Cypher keywords are case-insensitive).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Uppercases ASCII letters.
+std::string ToUpperAscii(std::string_view text);
+
+/// Splits on a delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Formats a double the way Cypher prints floats: integral values keep a
+/// trailing ".0", non-integral values use shortest round-trip form.
+std::string FormatDouble(double value);
+
+/// Quotes and escapes a string as a single-quoted Cypher literal.
+std::string QuoteString(std::string_view text);
+
+}  // namespace cypher
+
+#endif  // CYPHER_COMMON_STRINGS_H_

@@ -1,0 +1,71 @@
+#include "cypher/database.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "graph/serialize.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace cypher {
+
+Result<QueryResult> GraphDatabase::Execute(std::string_view query,
+                                           const ValueMap& params,
+                                           const EvalOptions& options) {
+  CYPHER_ASSIGN_OR_RETURN(Query ast, ParseQuery(query));
+  return ExecuteQuery(&graph_, ast, params, options);
+}
+
+Status GraphDatabase::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open file for writing: " + path);
+  }
+  out << DumpGraph(graph_);
+  if (!out.good()) return Status::InvalidArgument("write failed: " + path);
+  return Status::OK();
+}
+
+Status GraphDatabase::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open file for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  CYPHER_ASSIGN_OR_RETURN(PropertyGraph loaded, LoadGraph(buffer.str()));
+  graph_ = std::move(loaded);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> SplitStatements(std::string_view script) {
+  CYPHER_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(script));
+  std::vector<std::string> statements;
+  size_t begin = 0;  // byte offset of the current statement
+  for (const Token& token : tokens) {
+    if (token.kind != TokenKind::kSemicolon && token.kind != TokenKind::kEnd) {
+      continue;
+    }
+    std::string_view piece = script.substr(begin, token.offset - begin);
+    piece = StripAsciiWhitespace(piece);
+    if (!piece.empty()) statements.emplace_back(piece);
+    begin = token.offset + 1;
+  }
+  return statements;
+}
+
+Result<std::vector<QueryResult>> GraphDatabase::ExecuteScript(
+    std::string_view script) {
+  CYPHER_ASSIGN_OR_RETURN(std::vector<std::string> statements,
+                          SplitStatements(script));
+  std::vector<QueryResult> results;
+  results.reserve(statements.size());
+  for (const std::string& statement : statements) {
+    CYPHER_ASSIGN_OR_RETURN(QueryResult result, Execute(statement));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace cypher

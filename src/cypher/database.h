@@ -1,0 +1,82 @@
+#ifndef CYPHER_CYPHER_DATABASE_H_
+#define CYPHER_CYPHER_DATABASE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/interpreter.h"
+#include "exec/options.h"
+#include "graph/graph.h"
+
+namespace cypher {
+
+/// The public entry point: an in-process property graph database speaking
+/// the Cypher dialect of the paper, with both the legacy (Cypher 9) and the
+/// revised (Sections 7-8) update semantics selectable per database or per
+/// statement.
+///
+/// Typical use:
+///
+///   GraphDatabase db;                       // revised semantics by default
+///   CYPHER_RETURN_NOT_OK(db.Run("CREATE (:User {id: 89, name: 'Bob'})"));
+///   auto result = db.Execute(
+///       "MATCH (u:User) WHERE u.id = $id RETURN u.name",
+///       {{"id", Value::Int(89)}});
+///
+/// Statements are atomic: a failed statement (including a conflicting SET
+/// or a dangling-relationship DELETE) leaves the graph unchanged.
+/// Not thread-safe; callers serialize access.
+class GraphDatabase {
+ public:
+  explicit GraphDatabase(EvalOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// The stored graph; mutate directly only from loaders/tests.
+  PropertyGraph& graph() { return graph_; }
+  const PropertyGraph& graph() const { return graph_; }
+
+  /// Session defaults, applied to Execute calls without explicit options.
+  EvalOptions& options() { return options_; }
+  const EvalOptions& options() const { return options_; }
+
+  /// Parses and executes one statement with the session options.
+  Result<QueryResult> Execute(std::string_view query) {
+    return Execute(query, ValueMap());
+  }
+  Result<QueryResult> Execute(std::string_view query, const ValueMap& params) {
+    return Execute(query, params, options_);
+  }
+
+  /// Parses and executes one statement with explicit options (benches use
+  /// this to sweep semantics/variants without touching session state).
+  Result<QueryResult> Execute(std::string_view query, const ValueMap& params,
+                              const EvalOptions& options);
+
+  /// Execute, discarding the result table; convenient for setup code.
+  Status Run(std::string_view query) { return Execute(query).status(); }
+
+  /// Splits a script on top-level semicolons (string-literal aware) and
+  /// executes each statement in order, stopping at the first error.
+  Result<std::vector<QueryResult>> ExecuteScript(std::string_view script);
+
+  /// Serializes the graph to `path` in the DumpGraph text format.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Replaces the graph with the contents of a DumpGraph-format file.
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  PropertyGraph graph_;
+  EvalOptions options_;
+};
+
+/// Splits a script into statements at top-level ';' boundaries using the
+/// lexer (so ';' inside string literals does not split). Whitespace-only
+/// statements are dropped.
+Result<std::vector<std::string>> SplitStatements(std::string_view script);
+
+}  // namespace cypher
+
+#endif  // CYPHER_CYPHER_DATABASE_H_

@@ -1,0 +1,41 @@
+#ifndef CYPHER_EVAL_EVALUATOR_H_
+#define CYPHER_EVAL_EVALUATOR_H_
+
+#include <vector>
+
+#include "ast/expr.h"
+#include "common/result.h"
+#include "eval/env.h"
+#include "value/compare.h"
+
+namespace cypher {
+
+/// Rows an aggregate ranges over: one group produced by the projection
+/// executor's implicit grouping. Aggregate subexpressions iterate these
+/// rows; everything outside an aggregate sees the group's representative
+/// bindings.
+struct AggregateScope {
+  const Table* table = nullptr;
+  const std::vector<size_t>* rows = nullptr;
+};
+
+/// Evaluates [[e]]_{G,u}: expression `expr` on graph `ctx.graph` under the
+/// variable assignment `bindings` (the record u).
+///
+/// `agg` must be non-null when `expr` may contain aggregate functions
+/// (RETURN/WITH item evaluation); anywhere else an aggregate yields a
+/// SemanticError. Type errors (e.g. `1 + 'a'.prop`) yield ExecutionError;
+/// null inputs propagate per Cypher's ternary logic instead of erroring.
+Result<Value> Evaluate(const EvalContext& ctx, const Bindings& bindings,
+                       const Expr& expr, const AggregateScope* agg = nullptr);
+
+/// Evaluates a predicate to a ternary truth value: null and non-boolean
+/// results count as kNull (per openCypher WHERE semantics a non-boolean
+/// non-null predicate is an error; we fold it to kNull and the caller of
+/// EvaluatePredicateStrict can choose to error).
+Result<Tri> EvaluatePredicate(const EvalContext& ctx, const Bindings& bindings,
+                              const Expr& expr);
+
+}  // namespace cypher
+
+#endif  // CYPHER_EVAL_EVALUATOR_H_

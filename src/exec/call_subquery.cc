@@ -1,0 +1,45 @@
+#include "exec/clauses.h"
+
+namespace cypher {
+
+Status ExecCallSubquery(ExecContext* ctx, const CallSubqueryClause& clause,
+                        Table* table) {
+  bool has_return = clause.body.back()->kind == ClauseKind::kReturn;
+  // Without a RETURN the subquery is a per-record side effect and the
+  // driving table passes through unchanged.
+  Table out = Table::WithColumns(table->columns());
+  bool out_extended = false;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    // The subquery is correlated: it starts from a single-record table
+    // carrying the outer record's bindings.
+    Table inner = Table::WithColumns(table->columns());
+    inner.AddRow(table->row(r));
+    for (const ClausePtr& clause_ptr : clause.body) {
+      CYPHER_RETURN_NOT_OK(ExecClause(ctx, *clause_ptr, &inner));
+    }
+    if (!has_return) {
+      out.AddRow(table->row(r));
+      continue;
+    }
+    if (!out_extended) {
+      for (const std::string& column : inner.columns()) {
+        if (out.HasColumn(column)) {
+          return Status::SemanticError(
+              "subquery RETURN alias '" + column +
+              "' collides with a variable already in scope");
+        }
+        out.AddColumn(column);
+      }
+      out_extended = true;
+    }
+    for (size_t ir = 0; ir < inner.num_rows(); ++ir) {
+      std::vector<Value> row = table->row(r);
+      for (const Value& cell : inner.row(ir)) row.push_back(cell);
+      out.AddRow(std::move(row));
+    }
+  }
+  *table = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace cypher

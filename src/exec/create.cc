@@ -1,0 +1,128 @@
+#include "common/check.h"
+#include "eval/evaluator.h"
+#include "exec/clauses.h"
+#include "exec/update_common.h"
+
+namespace cypher {
+
+namespace {
+
+/// Creates (or resolves) the node of one node pattern for one record.
+/// `env` carries both the table record and the variables bound so far in
+/// this clause (the paper's saturation temporaries behave the same way but
+/// never become table columns because anonymous patterns have no name).
+Result<NodeId> ResolveCreateNode(ExecContext* ctx, Bindings* env,
+                                 const NodePattern& pattern) {
+  if (!pattern.variable.empty()) {
+    if (std::optional<Value> bound = env->Lookup(pattern.variable)) {
+      if (!pattern.labels.empty() || !pattern.properties.empty()) {
+        return Status::SemanticError(
+            "variable '" + pattern.variable +
+            "' is already bound; it cannot be redeclared with labels or "
+            "properties");
+      }
+      if (bound->is_null()) {
+        return Status::ExecutionError("cannot create a relationship to null "
+                                      "(variable '" +
+                                      pattern.variable + "')");
+      }
+      if (!bound->is_node()) {
+        return Status::ExecutionError(
+            "variable '" + pattern.variable + "' is bound to " +
+            ValueTypeName(bound->type()) + ", expected a node");
+      }
+      NodeId id = bound->AsNode();
+      if (!ctx->graph->IsNodeAlive(id)) {
+        return Status::ExecutionError("variable '" + pattern.variable +
+                                      "' refers to a deleted node");
+      }
+      return id;
+    }
+  }
+  std::vector<Symbol> labels;
+  labels.reserve(pattern.labels.size());
+  for (const std::string& label : pattern.labels) {
+    labels.push_back(ctx->graph->InternLabel(label));
+  }
+  CYPHER_ASSIGN_OR_RETURN(PropertyMap props,
+                          EvalPatternProps(ctx, *env, pattern.properties));
+  NodeId id = ctx->graph->CreateNode(std::move(labels), std::move(props));
+  ++ctx->stats.nodes_created;
+  if (!pattern.variable.empty()) {
+    env->Push(pattern.variable, Value::Node(id));
+  }
+  return id;
+}
+
+}  // namespace
+
+Status CreatePatternInstance(ExecContext* ctx, Bindings* env,
+                             const PathPattern& pattern) {
+  PathValue path;
+  CYPHER_ASSIGN_OR_RETURN(NodeId cur, ResolveCreateNode(ctx, env, pattern.start));
+  path.nodes.push_back(cur);
+  for (const auto& [rel_pattern, node_pattern] : pattern.steps) {
+    if (!rel_pattern.variable.empty() && env->IsBound(rel_pattern.variable)) {
+      return Status::SemanticError("relationship variable '" +
+                                   rel_pattern.variable +
+                                   "' is already bound");
+    }
+    CYPHER_ASSIGN_OR_RETURN(NodeId next,
+                            ResolveCreateNode(ctx, env, node_pattern));
+    CYPHER_ASSIGN_OR_RETURN(
+        PropertyMap props,
+        EvalPatternProps(ctx, *env, rel_pattern.properties));
+    Symbol type = ctx->graph->InternType(rel_pattern.types.front());
+    // An undirected arrow only reaches here via legacy MERGE's create part;
+    // it materializes left-to-right (the nondeterminism Figure 10's syntax
+    // change removes).
+    NodeId src = cur;
+    NodeId tgt = next;
+    if (rel_pattern.direction == RelDirection::kRightToLeft) std::swap(src, tgt);
+    CYPHER_ASSIGN_OR_RETURN(RelId rel,
+                            ctx->graph->CreateRel(src, tgt, type,
+                                                  std::move(props)));
+    ++ctx->stats.rels_created;
+    if (!rel_pattern.variable.empty()) {
+      env->Push(rel_pattern.variable, Value::Rel(rel));
+    }
+    path.rels.push_back(rel);
+    path.nodes.push_back(next);
+    cur = next;
+  }
+  if (!pattern.path_variable.empty()) {
+    if (env->IsBound(pattern.path_variable)) {
+      return Status::SemanticError("path variable '" + pattern.path_variable +
+                                   "' is already bound");
+    }
+    env->Push(pattern.path_variable, Value::Path(std::move(path)));
+  }
+  return Status::OK();
+}
+
+Status ExecCreate(ExecContext* ctx, const CreateClause& clause, Table* table) {
+  CYPHER_RETURN_NOT_OK(
+      ValidateUpdatePatterns(clause.patterns, /*allow_undirected=*/false));
+  std::vector<std::string> new_vars = NewPatternVariables(clause.patterns, *table);
+  Table out = Table::WithColumns(table->columns());
+  for (const std::string& var : new_vars) out.AddColumn(var);
+  // CREATE never reads the graph beyond bound endpoints, so record order
+  // cannot matter; both semantics modes share this executor.
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    Bindings env(table, r);
+    for (const PathPattern& pattern : clause.patterns) {
+      CYPHER_RETURN_NOT_OK(CreatePatternInstance(ctx, &env, pattern));
+    }
+    std::vector<Value> row = table->row(r);
+    for (const std::string& var : new_vars) {
+      std::optional<Value> v = env.Lookup(var);
+      CYPHER_CHECK(v.has_value() && "CREATE did not bind a pattern variable");
+      row.push_back(*std::move(v));
+    }
+    out.AddRow(std::move(row));
+  }
+  *table = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace cypher

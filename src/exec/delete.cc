@@ -1,0 +1,207 @@
+#include <unordered_set>
+
+#include "eval/evaluator.h"
+#include "exec/clauses.h"
+
+namespace cypher {
+
+namespace {
+
+// ---- Legacy (Cypher 9): immediate per-record deletion -----------------------
+
+Status DeleteValueLegacy(ExecContext* ctx, const Value& value, bool detach) {
+  PropertyGraph& graph = *ctx->graph;
+  if (value.is_null()) return Status::OK();
+  if (value.is_rel()) {
+    if (graph.IsRelAlive(value.AsRel())) {
+      graph.DeleteRel(value.AsRel());
+      ++ctx->stats.rels_deleted;
+    }
+    return Status::OK();
+  }
+  if (value.is_node()) {
+    NodeId id = value.AsNode();
+    if (!graph.IsNodeAlive(id)) return Status::OK();
+    if (detach) {
+      for (RelId r : graph.OutRels(id)) {
+        graph.DeleteRel(r);
+        ++ctx->stats.rels_deleted;
+      }
+      for (RelId r : graph.InRels(id)) {
+        graph.DeleteRel(r);
+        ++ctx->stats.rels_deleted;
+      }
+    }
+    // The legacy anomaly: the node dies immediately even when relationships
+    // remain attached; the graph is temporarily illegal (Section 4.2) and
+    // only a statement-end check catches it.
+    graph.DeleteNodeForce(id);
+    ++ctx->stats.nodes_deleted;
+    return Status::OK();
+  }
+  if (value.is_path()) {
+    for (RelId r : value.AsPath().rels) {
+      if (graph.IsRelAlive(r)) {
+        graph.DeleteRel(r);
+        ++ctx->stats.rels_deleted;
+      }
+    }
+    for (NodeId n : value.AsPath().nodes) {
+      CYPHER_RETURN_NOT_OK(DeleteValueLegacy(ctx, Value::Node(n), detach));
+    }
+    return Status::OK();
+  }
+  return Status::ExecutionError(
+      std::string("DELETE expects a node, relationship or path, got ") +
+      ValueTypeName(value.type()));
+}
+
+Status ExecDeleteLegacy(ExecContext* ctx, const DeleteClause& clause,
+                        Table* table) {
+  EvalContext ec = ctx->Eval();
+  for (size_t r : ctx->LegacyScanOrder(table->num_rows())) {
+    Bindings bindings(table, r);
+    for (const ExprPtr& expr : clause.exprs) {
+      CYPHER_ASSIGN_OR_RETURN(Value value, Evaluate(ec, bindings, *expr));
+      CYPHER_RETURN_NOT_OK(DeleteValueLegacy(ctx, value, clause.detach));
+    }
+  }
+  return Status::OK();
+}
+
+// ---- Revised (Section 8): collect, validate, apply, null-substitute --------
+
+struct DeleteSet {
+  std::unordered_set<uint32_t> nodes;
+  std::unordered_set<uint32_t> rels;
+};
+
+Status CollectValue(const PropertyGraph& graph, const Value& value,
+                    DeleteSet* out) {
+  if (value.is_null()) return Status::OK();
+  if (value.is_node()) {
+    if (graph.IsNodeAlive(value.AsNode())) out->nodes.insert(value.AsNode().value);
+    return Status::OK();
+  }
+  if (value.is_rel()) {
+    if (graph.IsRelAlive(value.AsRel())) out->rels.insert(value.AsRel().value);
+    return Status::OK();
+  }
+  if (value.is_path()) {
+    for (NodeId n : value.AsPath().nodes) {
+      if (graph.IsNodeAlive(n)) out->nodes.insert(n.value);
+    }
+    for (RelId r : value.AsPath().rels) {
+      if (graph.IsRelAlive(r)) out->rels.insert(r.value);
+    }
+    return Status::OK();
+  }
+  return Status::ExecutionError(
+      std::string("DELETE expects a node, relationship or path, got ") +
+      ValueTypeName(value.type()));
+}
+
+/// Rewrites a value, replacing references to deleted entities by null
+/// ("any reference to a deleted entity in the driving table is replaced by
+/// a null", Section 7). A path touching any deleted entity becomes null
+/// wholesale; lists are scrubbed elementwise.
+Value ScrubValue(const Value& value, const DeleteSet& deleted) {
+  switch (value.type()) {
+    case ValueType::kNode:
+      return deleted.nodes.count(value.AsNode().value) ? Value::Null() : value;
+    case ValueType::kRel:
+      return deleted.rels.count(value.AsRel().value) ? Value::Null() : value;
+    case ValueType::kPath: {
+      for (NodeId n : value.AsPath().nodes) {
+        if (deleted.nodes.count(n.value)) return Value::Null();
+      }
+      for (RelId r : value.AsPath().rels) {
+        if (deleted.rels.count(r.value)) return Value::Null();
+      }
+      return value;
+    }
+    case ValueType::kList: {
+      ValueList out;
+      out.reserve(value.AsList().size());
+      for (const Value& v : value.AsList()) {
+        out.push_back(ScrubValue(v, deleted));
+      }
+      return Value::List(std::move(out));
+    }
+    case ValueType::kMap: {
+      ValueMap out;
+      for (const auto& [key, v] : value.AsMap()) {
+        out.emplace(key, ScrubValue(v, deleted));
+      }
+      return Value::Map(std::move(out));
+    }
+    default:
+      return value;
+  }
+}
+
+Status ExecDeleteRevised(ExecContext* ctx, const DeleteClause& clause,
+                         Table* table) {
+  EvalContext ec = ctx->Eval();
+  PropertyGraph& graph = *ctx->graph;
+  DeleteSet to_delete;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    Bindings bindings(table, r);
+    for (const ExprPtr& expr : clause.exprs) {
+      CYPHER_ASSIGN_OR_RETURN(Value value, Evaluate(ec, bindings, *expr));
+      CYPHER_RETURN_NOT_OK(CollectValue(graph, value, &to_delete));
+    }
+  }
+  if (clause.detach) {
+    for (uint32_t n : to_delete.nodes) {
+      for (RelId r : graph.OutRels(NodeId(n))) to_delete.rels.insert(r.value);
+      for (RelId r : graph.InRels(NodeId(n))) to_delete.rels.insert(r.value);
+    }
+  } else {
+    // Deleting these nodes must not leave dangling relationships: every
+    // incident relationship has to be deleted in the same clause.
+    for (uint32_t n : to_delete.nodes) {
+      for (RelId r : graph.OutRels(NodeId(n))) {
+        if (!to_delete.rels.count(r.value)) {
+          return Status::ExecutionError(
+              "cannot DELETE a node that still has relationships; delete "
+              "them in the same clause or use DETACH DELETE");
+        }
+      }
+      for (RelId r : graph.InRels(NodeId(n))) {
+        if (!to_delete.rels.count(r.value)) {
+          return Status::ExecutionError(
+              "cannot DELETE a node that still has relationships; delete "
+              "them in the same clause or use DETACH DELETE");
+        }
+      }
+    }
+  }
+  for (uint32_t r : to_delete.rels) {
+    graph.DeleteRel(RelId(r));
+    ++ctx->stats.rels_deleted;
+  }
+  for (uint32_t n : to_delete.nodes) {
+    graph.DeleteNode(NodeId(n));
+    ++ctx->stats.nodes_deleted;
+  }
+  // Null-substitute references to deleted entities throughout the table.
+  if (!to_delete.nodes.empty() || !to_delete.rels.empty()) {
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      std::vector<Value>& row = table->mutable_row(r);
+      for (Value& cell : row) cell = ScrubValue(cell, to_delete);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ExecDelete(ExecContext* ctx, const DeleteClause& clause, Table* table) {
+  if (ctx->options.semantics == SemanticsMode::kLegacy) {
+    return ExecDeleteLegacy(ctx, clause, table);
+  }
+  return ExecDeleteRevised(ctx, clause, table);
+}
+
+}  // namespace cypher

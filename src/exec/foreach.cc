@@ -1,0 +1,41 @@
+#include "eval/evaluator.h"
+#include "exec/clauses.h"
+
+namespace cypher {
+
+Status ExecForeach(ExecContext* ctx, const ForeachClause& clause,
+                   Table* table) {
+  EvalContext ec = ctx->Eval();
+  // FOREACH introduces no bindings into the driving table; its body runs
+  // once per (record, list element) on a single-record scratch table whose
+  // columns are the outer columns plus the iteration variable. Each body
+  // clause executes under the session's semantics mode, so e.g. a SET
+  // inside FOREACH is atomic per element under the revised semantics.
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    Bindings bindings(table, r);
+    CYPHER_ASSIGN_OR_RETURN(Value list, Evaluate(ec, bindings, *clause.list));
+    if (list.is_null()) continue;
+    if (!list.is_list()) {
+      return Status::ExecutionError(
+          std::string("FOREACH expects a list, got ") +
+          ValueTypeName(list.type()));
+    }
+    for (const Value& element : list.AsList()) {
+      Table scratch = Table::WithColumns(table->columns());
+      if (scratch.HasColumn(clause.variable)) {
+        return Status::SemanticError("FOREACH variable '" + clause.variable +
+                                     "' is already bound");
+      }
+      scratch.AddColumn(clause.variable);
+      std::vector<Value> row = table->row(r);
+      row.push_back(element);
+      scratch.AddRow(std::move(row));
+      for (const ClausePtr& inner : clause.body) {
+        CYPHER_RETURN_NOT_OK(ExecClause(ctx, *inner, &scratch));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cypher

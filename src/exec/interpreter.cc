@@ -1,0 +1,310 @@
+#include "exec/interpreter.h"
+
+#include "ast/printer.h"
+#include "common/check.h"
+#include "exec/clauses.h"
+#include "exec/context.h"
+
+namespace cypher {
+
+std::string UpdateStats::ToString() const {
+  std::string out;
+  auto add = [&out](uint64_t n, const char* what) {
+    if (n == 0) return;
+    if (!out.empty()) out += ", ";
+    out += std::to_string(n);
+    out += " ";
+    out += what;
+  };
+  add(nodes_created, "nodes created");
+  add(rels_created, "relationships created");
+  add(properties_set, "properties set");
+  add(labels_added, "labels added");
+  add(labels_removed, "labels removed");
+  add(nodes_deleted, "nodes deleted");
+  add(rels_deleted, "relationships deleted");
+  if (out.empty()) out = "no changes";
+  return out;
+}
+
+namespace {
+
+/// The Cypher 9 clause-ordering rule of Figure 2: reading clauses may not
+/// follow an update clause without an intervening WITH (Section 4.4).
+Status CheckStrictCypher9Ordering(const SingleQuery& part) {
+  bool updates_pending = false;
+  for (const ClausePtr& clause : part.clauses) {
+    if (IsUpdateClause(*clause)) {
+      updates_pending = true;
+      continue;
+    }
+    switch (clause->kind) {
+      case ClauseKind::kWith:
+        updates_pending = false;
+        break;
+      case ClauseKind::kMatch:
+      case ClauseKind::kUnwind:
+        if (updates_pending) {
+          return Status::SemanticError(
+              "Cypher 9 syntax requires WITH between an updating clause and "
+              "a subsequent reading clause");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+/// Per-clause cardinality record for PROFILE.
+struct ProfileRow {
+  std::string clause;
+  size_t rows_out;
+};
+
+const char* ClauseName(const Clause& clause);
+
+Status RunSingleQuery(ExecContext* ctx, const SingleQuery& part, Table* table,
+                      bool* has_return, std::vector<ProfileRow>* profile) {
+  *has_return = false;
+  *table = Table::Unit();
+  for (const ClausePtr& clause : part.clauses) {
+    CYPHER_RETURN_NOT_OK(ExecClause(ctx, *clause, table));
+    if (ctx->options.max_rows != 0 &&
+        table->num_rows() > ctx->options.max_rows) {
+      return Status::ExecutionError(
+          "driving table exceeded the configured row limit (" +
+          std::to_string(ctx->options.max_rows) + " records) after " +
+          ClauseName(*clause));
+    }
+    if (clause->kind == ClauseKind::kReturn) *has_return = true;
+    if (profile != nullptr) {
+      profile->push_back({ToCypher(*clause), table->num_rows()});
+    }
+  }
+  if (!*has_return) *table = Table();
+  return Status::OK();
+}
+
+const char* ClauseName(const Clause& clause) {
+  switch (clause.kind) {
+    case ClauseKind::kMatch:
+      return static_cast<const MatchClause&>(clause).optional
+                 ? "OPTIONAL MATCH"
+                 : "MATCH";
+    case ClauseKind::kUnwind:
+      return "UNWIND";
+    case ClauseKind::kWith:
+      return "WITH";
+    case ClauseKind::kReturn:
+      return "RETURN";
+    case ClauseKind::kCreate:
+      return "CREATE";
+    case ClauseKind::kSet:
+      return "SET";
+    case ClauseKind::kRemove:
+      return "REMOVE";
+    case ClauseKind::kDelete:
+      return static_cast<const DeleteClause&>(clause).detach ? "DETACH DELETE"
+                                                             : "DELETE";
+    case ClauseKind::kMerge:
+      switch (static_cast<const MergeClause&>(clause).form) {
+        case MergeForm::kAll:
+          return "MERGE ALL";
+        case MergeForm::kSame:
+          return "MERGE SAME";
+        case MergeForm::kLegacy:
+          return "MERGE";
+      }
+      return "MERGE";
+    case ClauseKind::kForeach:
+      return "FOREACH";
+    case ClauseKind::kCreateIndex:
+      return static_cast<const CreateIndexClause&>(clause).drop
+                 ? "DROP INDEX"
+                 : "CREATE INDEX";
+    case ClauseKind::kConstraint:
+      return static_cast<const ConstraintClause&>(clause).drop
+                 ? "DROP CONSTRAINT"
+                 : "CREATE CONSTRAINT";
+    case ClauseKind::kCallSubquery:
+      return "CALL {...}";
+  }
+  return "?";
+}
+
+/// The access path the matcher will pick for a pattern's start node:
+/// property index, label index, or full scan.
+std::string ScanNote(const PropertyGraph& graph,
+                     const std::vector<PathPattern>& patterns) {
+  std::string note;
+  for (const PathPattern& pattern : patterns) {
+    const NodePattern& start = pattern.start;
+    if (!note.empty()) note += "; ";
+    std::string how = "scan: all nodes";
+    for (const std::string& label : start.labels) {
+      Symbol lsym = graph.FindLabel(label);
+      how = "scan: label :" + label;
+      if (lsym == kNoSymbol) continue;
+      for (const auto& [key, expr] : start.properties) {
+        Symbol ksym = graph.FindKey(key);
+        if (ksym != kNoSymbol && graph.HasIndex(lsym, ksym)) {
+          how = "index: :" + label + "(" + key + ")";
+          break;
+        }
+      }
+      break;  // matcher uses the first label
+    }
+    if (!start.variable.empty()) {
+      how += " (unless '" + start.variable + "' is bound)";
+    }
+    note += how;
+  }
+  return note;
+}
+
+/// EXPLAIN: a plan description, no execution.
+QueryResult BuildExplainPlan(const PropertyGraph& graph, const Query& query,
+                             const EvalOptions& options) {
+  QueryResult result;
+  result.columns = {"step", "clause", "details"};
+  int step = 0;
+  for (size_t p = 0; p < query.parts.size(); ++p) {
+    if (p > 0) {
+      result.rows.push_back(
+          {Value::Int(step++),
+           Value::String(query.union_all[p - 1] ? "UNION ALL" : "UNION"),
+           Value::String("combine branch output tables")});
+    }
+    for (const ClausePtr& clause : query.parts[p].clauses) {
+      std::string details = ToCypher(*clause);
+      if (clause->kind == ClauseKind::kMatch) {
+        details +=
+            "  [" +
+            ScanNote(graph, static_cast<const MatchClause&>(*clause).patterns) +
+            "]";
+      } else if (clause->kind == ClauseKind::kMerge) {
+        details +=
+            "  [match phase " +
+            ScanNote(graph, static_cast<const MergeClause&>(*clause).patterns) +
+            "]";
+      }
+      result.rows.push_back({Value::Int(step++),
+                             Value::String(ClauseName(*clause)),
+                             Value::String(details)});
+    }
+  }
+  result.rows.push_back(
+      {Value::Int(step), Value::String("SEMANTICS"),
+       Value::String(options.semantics == SemanticsMode::kLegacy
+                         ? "legacy (Cypher 9), record-at-a-time updates"
+                         : "revised (Sections 7-8), atomic updates")});
+  return result;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteQuery(PropertyGraph* graph, const Query& query,
+                                 const ValueMap& params,
+                                 const EvalOptions& options) {
+  CYPHER_CHECK(!query.parts.empty());
+  // Mixing UNION and UNION ALL is ambiguous; reject like Neo4j does.
+  if (!query.union_all.empty()) {
+    bool first = query.union_all.front();
+    for (bool all : query.union_all) {
+      if (all != first) {
+        return Status::SemanticError(
+            "cannot mix UNION and UNION ALL in one statement");
+      }
+    }
+  }
+
+  if (query.mode == QueryMode::kExplain) {
+    return BuildExplainPlan(*graph, query, options);
+  }
+
+  ExecContext ctx(graph, &params, options);
+  std::vector<ProfileRow> profile;
+  std::vector<ProfileRow>* profile_ptr =
+      query.mode == QueryMode::kProfile ? &profile : nullptr;
+  PropertyGraph::JournalMark mark = graph->BeginJournal();
+  auto fail = [&](Status status) -> Status {
+    graph->RollbackTo(mark);
+    return status;
+  };
+
+  Table combined;
+  bool combined_has_return = false;
+  for (size_t p = 0; p < query.parts.size(); ++p) {
+    const SingleQuery& part = query.parts[p];
+    if (options.semantics == SemanticsMode::kLegacy &&
+        options.strict_cypher9_syntax) {
+      if (Status st = CheckStrictCypher9Ordering(part); !st.ok()) {
+        return fail(st);
+      }
+    }
+    Table table;
+    bool has_return = false;
+    if (Status st =
+            RunSingleQuery(&ctx, part, &table, &has_return, profile_ptr);
+        !st.ok()) {
+      return fail(st);
+    }
+    if (p == 0) {
+      combined = std::move(table);
+      combined_has_return = has_return;
+      continue;
+    }
+    if (has_return != combined_has_return) {
+      return fail(Status::SemanticError(
+          "all UNION branches must RETURN, or none may"));
+    }
+    if (has_return) {
+      Result<Table> merged = Table::BagUnion(combined, table);
+      if (!merged.ok()) return fail(merged.status());
+      combined = *std::move(merged);
+    }
+  }
+  if (!query.union_all.empty() && !query.union_all.front() &&
+      combined_has_return) {
+    combined = combined.Distinct();
+  }
+
+  // Legacy mode defers the dangling-relationship check to statement end
+  // (Neo4j's commit-time validation; Section 4.2).
+  if (options.semantics == SemanticsMode::kLegacy &&
+      graph->HasDanglingRels()) {
+    return fail(Status::ExecutionError(
+        "cannot commit: deleting nodes left relationships without "
+        "endpoints (delete the relationships too, or use DETACH DELETE)"));
+  }
+
+  // Uniqueness constraints are enforced at statement granularity: a
+  // violating statement rolls back in full (same atomicity story as the
+  // revised SET/DELETE).
+  if (Status st = graph->ValidateUniqueConstraints(); !st.ok()) {
+    return fail(st);
+  }
+
+  graph->CommitTo(mark);
+  QueryResult result;
+  if (query.mode == QueryMode::kProfile) {
+    // PROFILE commits the statement but reports per-clause cardinalities
+    // instead of the query output.
+    result.columns = {"step", "clause", "rows_out"};
+    for (size_t i = 0; i < profile.size(); ++i) {
+      result.rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                             Value::String(profile[i].clause),
+                             Value::Int(static_cast<int64_t>(
+                                 profile[i].rows_out))});
+    }
+  } else {
+    result.columns = combined.columns();
+    result.rows = combined.rows();
+  }
+  result.stats = ctx.stats;
+  return result;
+}
+
+}  // namespace cypher

@@ -1,0 +1,39 @@
+#ifndef CYPHER_EXEC_INTERPRETER_H_
+#define CYPHER_EXEC_INTERPRETER_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "common/result.h"
+#include "exec/options.h"
+#include "exec/stats.h"
+#include "graph/graph.h"
+#include "table/table.h"
+#include "value/value.h"
+
+namespace cypher {
+
+/// The observable outcome of one statement: the output table (empty for
+/// update-only statements) and the mutation summary.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+  UpdateStats stats;
+
+  size_t num_rows() const { return rows.size(); }
+};
+
+/// Executes a parsed statement: output(Q, G) of Section 8.
+///
+/// The graph mutates in place on success. On any error the statement's
+/// mutations are rolled back via the graph's undo journal, so a failed
+/// statement is a no-op — including legacy-mode statements that fail the
+/// end-of-statement dangling-relationship check.
+Result<QueryResult> ExecuteQuery(PropertyGraph* graph, const Query& query,
+                                 const ValueMap& params,
+                                 const EvalOptions& options);
+
+}  // namespace cypher
+
+#endif  // CYPHER_EXEC_INTERPRETER_H_

@@ -1,0 +1,74 @@
+#ifndef CYPHER_EXEC_OPTIONS_H_
+#define CYPHER_EXEC_OPTIONS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "match/matcher.h"
+
+namespace cypher {
+
+/// Which update semantics the engine runs.
+///
+/// kLegacy is Cypher 9 as described in Sections 3-4: record-at-a-time
+/// updates that read their own writes, immediate per-record deletes with
+/// zombie entities, and order-dependent MERGE. kRevised is the semantics of
+/// Sections 7-8: two-phase atomic SET with conflict errors, atomic DELETE
+/// with dangling detection and null substitution, and MERGE ALL/SAME.
+enum class SemanticsMode { kLegacy, kRevised };
+
+/// The order in which legacy executors walk the driving table. The paper
+/// treats tables as unordered bags that "may be reordered at will by the
+/// query-processing engine" — this knob makes that reordering explicit so
+/// Example 3's nondeterminism is mechanically demonstrable. Revised
+/// executors are order-insensitive by construction and ignore it.
+enum class ScanOrder { kForward, kReverse, kShuffle };
+
+/// The five repaired MERGE semantics proposed in Section 6.
+/// `MERGE ALL` is kAtomic and `MERGE SAME` is kStrongCollapse (Section 7);
+/// the other three are exposed for the Figure 7-9 comparisons.
+enum class MergeVariant {
+  kAtomic,
+  kGrouping,
+  kWeakCollapse,
+  kCollapse,
+  kStrongCollapse,
+};
+
+/// Returns a stable display name ("Atomic", "Strong Collapse", ...).
+const char* MergeVariantName(MergeVariant variant);
+
+/// Engine configuration for one statement (or a whole session).
+struct EvalOptions {
+  SemanticsMode semantics = SemanticsMode::kRevised;
+
+  /// Pattern-matching repetition policy (Section 2 trail semantics vs the
+  /// homomorphism matching planned for later Cypher versions, Section 6).
+  MatchMode match_mode = MatchMode::kRelUnique;
+
+  /// Driving-table scan order for legacy executors.
+  ScanOrder scan_order = ScanOrder::kForward;
+
+  /// Seed for ScanOrder::kShuffle.
+  uint64_t shuffle_seed = 0;
+
+  /// In revised semantics a bare `MERGE` (without ALL/SAME) is rejected, as
+  /// decided in Section 7 ("the query used in Example 5 will no longer be
+  /// allowed"). Setting this runs bare MERGE with the given Section 6
+  /// variant instead — the knob the figure benches use to compare all five.
+  std::optional<MergeVariant> plain_merge_variant;
+
+  /// Enforce the Cypher 9 rule that a reading clause may not follow an
+  /// update clause without an intervening WITH (Section 4.4). Off by
+  /// default; the revised syntax (Figure 10) drops the rule.
+  bool strict_cypher9_syntax = false;
+
+  /// Runaway-query guard: when non-zero, a statement whose driving table
+  /// exceeds this many records after any clause aborts (and rolls back)
+  /// with an ExecutionError. 0 = unlimited.
+  size_t max_rows = 0;
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_EXEC_OPTIONS_H_

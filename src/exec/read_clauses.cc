@@ -1,0 +1,395 @@
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "eval/evaluator.h"
+#include "exec/clauses.h"
+
+namespace cypher {
+
+// ---- MATCH / OPTIONAL MATCH ---------------------------------------------
+
+Status ExecMatch(ExecContext* ctx, const MatchClause& clause, Table* table) {
+  // Fresh variables this MATCH introduces (consistent across records).
+  std::vector<std::string> new_vars;
+  for (const PathPattern& pattern : clause.patterns) {
+    for (const std::string& var : PatternVariables(pattern)) {
+      if (table->HasColumn(var)) continue;
+      if (std::find(new_vars.begin(), new_vars.end(), var) == new_vars.end()) {
+        new_vars.push_back(var);
+      }
+    }
+  }
+  Table out = Table::WithColumns(table->columns());
+  for (const std::string& var : new_vars) out.AddColumn(var);
+
+  EvalContext ec = ctx->Eval();
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    Bindings bindings(table, r);
+    bool any = false;
+    Status st = MatchPatterns(
+        ec, bindings, clause.patterns, ctx->Match(),
+        [&](const MatchAssignment& assignment) -> Result<bool> {
+          if (clause.where != nullptr) {
+            Bindings wb = bindings;
+            for (const auto& [name, value] : assignment.entries()) {
+              wb.Push(name, value);
+            }
+            CYPHER_ASSIGN_OR_RETURN(Tri pass,
+                                    EvaluatePredicate(ec, wb, *clause.where));
+            if (pass != Tri::kTrue) return true;  // keep enumerating
+          }
+          std::vector<Value> row = table->row(r);
+          for (const std::string& var : new_vars) {
+            const Value* v = assignment.Find(var);
+            CYPHER_CHECK(v != nullptr && "pattern variable not assigned");
+            row.push_back(*v);
+          }
+          out.AddRow(std::move(row));
+          any = true;
+          return true;
+        });
+    CYPHER_RETURN_NOT_OK(st);
+    if (clause.optional && !any) {
+      std::vector<Value> row = table->row(r);
+      row.resize(row.size() + new_vars.size());  // nulls
+      out.AddRow(std::move(row));
+    }
+  }
+  *table = std::move(out);
+  return Status::OK();
+}
+
+// ---- UNWIND ---------------------------------------------------------------
+
+Status ExecUnwind(ExecContext* ctx, const UnwindClause& clause, Table* table) {
+  if (table->HasColumn(clause.variable)) {
+    return Status::SemanticError("variable '" + clause.variable +
+                                 "' is already bound");
+  }
+  Table out = Table::WithColumns(table->columns());
+  out.AddColumn(clause.variable);
+  EvalContext ec = ctx->Eval();
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    Bindings bindings(table, r);
+    CYPHER_ASSIGN_OR_RETURN(Value list, Evaluate(ec, bindings, *clause.list));
+    if (list.is_null()) continue;  // UNWIND null -> no rows
+    if (list.is_list()) {
+      for (const Value& element : list.AsList()) {
+        std::vector<Value> row = table->row(r);
+        row.push_back(element);
+        out.AddRow(std::move(row));
+      }
+    } else {
+      std::vector<Value> row = table->row(r);
+      row.push_back(std::move(list));
+      out.AddRow(std::move(row));
+    }
+  }
+  *table = std::move(out);
+  return Status::OK();
+}
+
+// ---- WITH / RETURN ----------------------------------------------------------
+
+namespace {
+
+struct ProjItem {
+  const Expr* expr;
+  std::string alias;
+  bool has_agg;
+};
+
+/// Lexicographic comparison of sort-key vectors with per-key direction.
+struct SortKeyLess {
+  const std::vector<bool>* ascending;
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    for (size_t i = 0; i < a.size(); ++i) {
+      int cmp = TotalOrderCompare(a[i], b[i]);
+      if (cmp != 0) return (*ascending)[i] ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  }
+};
+
+Result<int64_t> EvalRowCount(const EvalContext& ec, const Expr& expr,
+                             const char* what) {
+  Bindings empty;
+  CYPHER_ASSIGN_OR_RETURN(Value v, Evaluate(ec, empty, expr));
+  if (!v.is_int() || v.AsInt() < 0) {
+    return Status::ExecutionError(std::string(what) +
+                                  " expects a non-negative integer");
+  }
+  return v.AsInt();
+}
+
+}  // namespace
+
+Status ExecProjection(ExecContext* ctx, const ProjectionBody& body,
+                      const Expr* where, Table* table) {
+  EvalContext ec = ctx->Eval();
+
+  // Assemble the item list; `*` expands to all existing columns first.
+  std::vector<ExprPtr> synthesized;
+  std::vector<ProjItem> items;
+  if (body.include_existing) {
+    for (const std::string& column : table->columns()) {
+      synthesized.push_back(std::make_unique<VariableExpr>(column));
+      items.push_back({synthesized.back().get(), column, false});
+    }
+  }
+  for (const ReturnItem& item : body.items) {
+    items.push_back({item.expr.get(), item.alias, ContainsAggregate(*item.expr)});
+  }
+  if (items.empty()) {
+    return Status::SemanticError("projection requires at least one item");
+  }
+  {
+    std::unordered_set<std::string> seen;
+    for (const ProjItem& item : items) {
+      if (!seen.insert(item.alias).second) {
+        return Status::SemanticError("duplicate projection alias: " +
+                                     item.alias);
+      }
+    }
+  }
+  bool aggregated = false;
+  for (const ProjItem& item : items) aggregated |= item.has_agg;
+  for (const SortItem& sort : body.order_by) {
+    aggregated |= ContainsAggregate(*sort.expr);
+  }
+
+  std::vector<std::string> aliases;
+  aliases.reserve(items.size());
+  for (const ProjItem& item : items) aliases.push_back(item.alias);
+  Table out = Table::WithColumns(aliases);
+
+  bool has_order = !body.order_by.empty();
+  std::vector<std::vector<Value>> sort_keys;
+
+  // Evaluates ORDER BY keys for one output row: projected aliases shadow
+  // the underlying record's variables.
+  auto eval_sort_keys =
+      [&](const Bindings& base, const std::vector<Value>& out_row,
+          const AggregateScope* scope) -> Result<std::vector<Value>> {
+    Bindings sb = base;
+    for (size_t i = 0; i < items.size(); ++i) {
+      sb.Push(items[i].alias, out_row[i]);
+    }
+    std::vector<Value> keys;
+    keys.reserve(body.order_by.size());
+    for (const SortItem& sort : body.order_by) {
+      CYPHER_ASSIGN_OR_RETURN(Value v, Evaluate(ec, sb, *sort.expr, scope));
+      keys.push_back(std::move(v));
+    }
+    return keys;
+  };
+
+  if (!aggregated) {
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      Bindings bindings(table, r);
+      std::vector<Value> row;
+      row.reserve(items.size());
+      for (const ProjItem& item : items) {
+        CYPHER_ASSIGN_OR_RETURN(Value v, Evaluate(ec, bindings, *item.expr));
+        row.push_back(std::move(v));
+      }
+      if (has_order) {
+        CYPHER_ASSIGN_OR_RETURN(std::vector<Value> keys,
+                                eval_sort_keys(bindings, row, nullptr));
+        sort_keys.push_back(std::move(keys));
+      }
+      out.AddRow(std::move(row));
+    }
+  } else {
+    // Implicit grouping: non-aggregate items are the grouping key.
+    std::vector<size_t> key_items;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (!items[i].has_agg) key_items.push_back(i);
+    }
+    std::vector<std::vector<size_t>> groups;
+    std::vector<std::vector<Value>> group_keys;
+    std::unordered_map<std::vector<Value>, size_t, ValueVecHash, ValueVecEq>
+        group_index;
+    if (key_items.empty()) {
+      groups.emplace_back();  // one global group, present even for 0 rows
+      group_keys.emplace_back();
+    }
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      Bindings bindings(table, r);
+      std::vector<Value> key;
+      key.reserve(key_items.size());
+      for (size_t i : key_items) {
+        CYPHER_ASSIGN_OR_RETURN(Value v,
+                                Evaluate(ec, bindings, *items[i].expr));
+        key.push_back(std::move(v));
+      }
+      if (key_items.empty()) {
+        groups[0].push_back(r);
+        continue;
+      }
+      auto [it, inserted] = group_index.try_emplace(key, groups.size());
+      if (inserted) {
+        groups.emplace_back();
+        group_keys.push_back(std::move(key));
+      }
+      groups[it->second].push_back(r);
+    }
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      const std::vector<size_t>& rows = groups[gi];
+      Bindings rep =
+          rows.empty() ? Bindings() : Bindings(table, rows.front());
+      AggregateScope scope{table, &rows};
+      std::vector<Value> row(items.size());
+      size_t key_slot = 0;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (!items[i].has_agg) {
+          row[i] = group_keys[gi][key_slot++];
+        } else {
+          CYPHER_ASSIGN_OR_RETURN(row[i],
+                                  Evaluate(ec, rep, *items[i].expr, &scope));
+        }
+      }
+      if (has_order) {
+        CYPHER_ASSIGN_OR_RETURN(std::vector<Value> keys,
+                                eval_sort_keys(rep, row, &scope));
+        sort_keys.push_back(std::move(keys));
+      }
+      out.AddRow(std::move(row));
+    }
+  }
+
+  // DISTINCT (dedupe output rows, keeping sort keys aligned).
+  if (body.distinct) {
+    Table deduped = Table::WithColumns(out.columns());
+    std::vector<std::vector<Value>> deduped_keys;
+    std::unordered_set<std::vector<Value>, ValueVecHash, ValueVecEq> seen;
+    for (size_t r = 0; r < out.num_rows(); ++r) {
+      if (seen.insert(out.row(r)).second) {
+        deduped.AddRow(out.row(r));
+        if (has_order) deduped_keys.push_back(std::move(sort_keys[r]));
+      }
+    }
+    out = std::move(deduped);
+    sort_keys = std::move(deduped_keys);
+  }
+
+  // WHERE (WITH ... WHERE): filter on the projected record.
+  if (where != nullptr) {
+    Table filtered = Table::WithColumns(out.columns());
+    std::vector<std::vector<Value>> filtered_keys;
+    for (size_t r = 0; r < out.num_rows(); ++r) {
+      Bindings bindings(&out, r);
+      CYPHER_ASSIGN_OR_RETURN(Tri pass, EvaluatePredicate(ec, bindings, *where));
+      if (pass == Tri::kTrue) {
+        filtered.AddRow(out.row(r));
+        if (has_order) filtered_keys.push_back(std::move(sort_keys[r]));
+      }
+    }
+    out = std::move(filtered);
+    sort_keys = std::move(filtered_keys);
+  }
+
+  // ORDER BY: stable sort by key vectors.
+  if (has_order) {
+    std::vector<bool> ascending;
+    ascending.reserve(body.order_by.size());
+    for (const SortItem& sort : body.order_by) {
+      ascending.push_back(sort.ascending);
+    }
+    std::vector<size_t> order(out.num_rows());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    SortKeyLess less{&ascending};
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return less(sort_keys[a], sort_keys[b]);
+    });
+    Table sorted = Table::WithColumns(out.columns());
+    for (size_t i : order) sorted.AddRow(out.row(i));
+    out = std::move(sorted);
+  }
+
+  // SKIP / LIMIT.
+  size_t begin = 0;
+  size_t end = out.num_rows();
+  if (body.skip != nullptr) {
+    CYPHER_ASSIGN_OR_RETURN(int64_t skip, EvalRowCount(ec, *body.skip, "SKIP"));
+    begin = std::min<size_t>(static_cast<size_t>(skip), end);
+  }
+  if (body.limit != nullptr) {
+    CYPHER_ASSIGN_OR_RETURN(int64_t limit,
+                            EvalRowCount(ec, *body.limit, "LIMIT"));
+    end = std::min(end, begin + static_cast<size_t>(limit));
+  }
+  if (begin != 0 || end != out.num_rows()) {
+    Table window = Table::WithColumns(out.columns());
+    for (size_t r = begin; r < end; ++r) window.AddRow(out.row(r));
+    out = std::move(window);
+  }
+
+  *table = std::move(out);
+  return Status::OK();
+}
+
+// ---- Dispatch ---------------------------------------------------------------
+
+Status ExecClause(ExecContext* ctx, const Clause& clause, Table* table) {
+  switch (clause.kind) {
+    case ClauseKind::kMatch:
+      return ExecMatch(ctx, static_cast<const MatchClause&>(clause), table);
+    case ClauseKind::kUnwind:
+      return ExecUnwind(ctx, static_cast<const UnwindClause&>(clause), table);
+    case ClauseKind::kWith: {
+      const auto& c = static_cast<const WithClause&>(clause);
+      return ExecProjection(ctx, c.body, c.where.get(), table);
+    }
+    case ClauseKind::kReturn: {
+      const auto& c = static_cast<const ReturnClause&>(clause);
+      return ExecProjection(ctx, c.body, nullptr, table);
+    }
+    case ClauseKind::kCreate:
+      return ExecCreate(ctx, static_cast<const CreateClause&>(clause), table);
+    case ClauseKind::kSet:
+      return ExecSet(ctx, static_cast<const SetClause&>(clause), table);
+    case ClauseKind::kRemove:
+      return ExecRemove(ctx, static_cast<const RemoveClause&>(clause), table);
+    case ClauseKind::kDelete:
+      return ExecDelete(ctx, static_cast<const DeleteClause&>(clause), table);
+    case ClauseKind::kMerge:
+      return ExecMerge(ctx, static_cast<const MergeClause&>(clause), table);
+    case ClauseKind::kForeach:
+      return ExecForeach(ctx, static_cast<const ForeachClause&>(clause), table);
+    case ClauseKind::kCreateIndex: {
+      const auto& c = static_cast<const CreateIndexClause&>(clause);
+      // DDL: applied immediately and not journaled — an index is a pure
+      // accelerator (lookups validate against the live graph), so leaving
+      // it behind after a rollback is harmless and idempotent.
+      Symbol label = ctx->graph->InternLabel(c.label);
+      Symbol key = ctx->graph->InternKey(c.key);
+      if (c.drop) {
+        ctx->graph->DropIndex(label, key);
+      } else {
+        ctx->graph->CreateIndex(label, key);
+      }
+      return Status::OK();
+    }
+    case ClauseKind::kCallSubquery:
+      return ExecCallSubquery(
+          ctx, static_cast<const CallSubqueryClause&>(clause), table);
+    case ClauseKind::kConstraint: {
+      const auto& c = static_cast<const ConstraintClause&>(clause);
+      Symbol label = ctx->graph->InternLabel(c.label);
+      Symbol key = ctx->graph->InternKey(c.key);
+      if (c.drop) {
+        ctx->graph->DropUniqueConstraint(label, key);
+        return Status::OK();
+      }
+      return ctx->graph->AddUniqueConstraint(label, key);
+    }
+  }
+  return Status::InternalError("unknown clause kind");
+}
+
+}  // namespace cypher

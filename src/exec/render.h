@@ -1,0 +1,23 @@
+#ifndef CYPHER_EXEC_RENDER_H_
+#define CYPHER_EXEC_RENDER_H_
+
+#include <string>
+
+#include "exec/interpreter.h"
+#include "graph/graph.h"
+#include "value/value.h"
+
+namespace cypher {
+
+/// Renders a value with entities expanded against the graph:
+/// nodes as `(:User {id: 89, name: 'Bob'})`, relationships as
+/// `[:ORDERED {...}]`, paths as node-arrow chains. Deleted (zombie)
+/// entities render as `()` / `[]` — the "empty node" of Section 4.2.
+std::string RenderValue(const PropertyGraph& graph, const Value& value);
+
+/// Renders the result as an aligned text table followed by the stats line.
+std::string RenderResult(const PropertyGraph& graph, const QueryResult& result);
+
+}  // namespace cypher
+
+#endif  // CYPHER_EXEC_RENDER_H_

@@ -1,0 +1,356 @@
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "eval/evaluator.h"
+#include "exec/clauses.h"
+#include "exec/update_common.h"
+#include "graph/property_map.h"
+#include "value/compare.h"
+
+namespace cypher {
+
+namespace {
+
+bool EntityAlive(const PropertyGraph& graph, EntityRef entity) {
+  return entity.kind == EntityRef::Kind::kNode
+             ? graph.IsNodeAlive(entity.AsNode())
+             : graph.IsRelAlive(entity.AsRel());
+}
+
+/// Resolves a SET/REMOVE target value to an entity. Returns nullopt for
+/// null (item is skipped); errors on non-entity values.
+Result<std::optional<EntityRef>> ResolveEntity(const Value& value,
+                                               const char* clause_name) {
+  if (value.is_null()) return std::optional<EntityRef>();
+  if (value.is_node()) {
+    return std::optional<EntityRef>(EntityRef::Node(value.AsNode()));
+  }
+  if (value.is_rel()) {
+    return std::optional<EntityRef>(EntityRef::Rel(value.AsRel()));
+  }
+  return Status::ExecutionError(std::string(clause_name) +
+                                " expects a node or relationship, got " +
+                                ValueTypeName(value.type()));
+}
+
+/// Normalizes the right-hand side of `SET n = e` / `SET n += e` to a
+/// property map: map values directly, node/relationship values by copying
+/// their stored properties.
+Result<std::vector<std::pair<std::string, Value>>> SourcePropsOf(
+    const PropertyGraph& graph, const Value& value) {
+  std::vector<std::pair<std::string, Value>> out;
+  if (value.is_map()) {
+    for (const auto& [key, v] : value.AsMap()) out.emplace_back(key, v);
+    return out;
+  }
+  const PropertyMap* props = nullptr;
+  if (value.is_node()) {
+    props = &graph.node(value.AsNode()).props;
+  } else if (value.is_rel()) {
+    props = &graph.rel(value.AsRel()).props;
+  } else {
+    return Status::ExecutionError(
+        std::string("SET expects a map, node or relationship source, got ") +
+        ValueTypeName(value.type()));
+  }
+  for (const auto& [key, v] : props->entries()) {
+    out.emplace_back(graph.KeyName(key), v);
+  }
+  return out;
+}
+
+Status CheckStorable(const std::string& key, const Value& value) {
+  if (!value.is_null() && !IsStorableProperty(value)) {
+    return Status::ExecutionError("property '" + key +
+                                  "' cannot store a value of type " +
+                                  ValueTypeName(value.type()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---- Legacy (Cypher 9): immediate, record-at-a-time ------------------------
+
+Status ApplySetItemsLegacy(ExecContext* ctx, const std::vector<SetItem>& items,
+                           const Bindings& bindings) {
+  EvalContext ec = ctx->Eval();
+  PropertyGraph& graph = *ctx->graph;
+  for (const SetItem& item : items) {
+    CYPHER_ASSIGN_OR_RETURN(Value target, Evaluate(ec, bindings, *item.target));
+    CYPHER_ASSIGN_OR_RETURN(std::optional<EntityRef> entity,
+                            ResolveEntity(target, "SET"));
+    if (!entity.has_value()) continue;
+    // Legacy anomaly (Section 4.2): updates to deleted entities silently
+    // succeed as no-ops, which is how `DELETE user SET user.id = 999`
+    // runs without error and returns an empty node.
+    if (!EntityAlive(graph, *entity)) continue;
+    switch (item.kind) {
+      case SetItemKind::kSetProperty: {
+        CYPHER_ASSIGN_OR_RETURN(Value value, Evaluate(ec, bindings, *item.value));
+        CYPHER_RETURN_NOT_OK(CheckStorable(item.key, value));
+        if (graph.SetProperty(*entity, graph.InternKey(item.key),
+                              std::move(value))) {
+          ++ctx->stats.properties_set;
+        }
+        break;
+      }
+      case SetItemKind::kReplaceProps: {
+        CYPHER_ASSIGN_OR_RETURN(Value value, Evaluate(ec, bindings, *item.value));
+        if (value.is_null()) break;
+        CYPHER_ASSIGN_OR_RETURN(auto source, SourcePropsOf(graph, value));
+        PropertyMap next;
+        for (auto& [key, v] : source) {
+          CYPHER_RETURN_NOT_OK(CheckStorable(key, v));
+          next.Set(graph.InternKey(key), std::move(v));
+        }
+        ctx->stats.properties_set += next.size();
+        graph.ReplaceProperties(*entity, std::move(next));
+        break;
+      }
+      case SetItemKind::kMergeProps: {
+        CYPHER_ASSIGN_OR_RETURN(Value value, Evaluate(ec, bindings, *item.value));
+        if (value.is_null()) break;
+        CYPHER_ASSIGN_OR_RETURN(auto source, SourcePropsOf(graph, value));
+        for (auto& [key, v] : source) {
+          CYPHER_RETURN_NOT_OK(CheckStorable(key, v));
+          if (graph.SetProperty(*entity, graph.InternKey(key), std::move(v))) {
+            ++ctx->stats.properties_set;
+          }
+        }
+        break;
+      }
+      case SetItemKind::kSetLabels: {
+        if (entity->kind != EntityRef::Kind::kNode) {
+          return Status::ExecutionError("labels can only be set on nodes");
+        }
+        for (const std::string& label : item.labels) {
+          if (graph.AddLabel(entity->AsNode(), graph.InternLabel(label))) {
+            ++ctx->stats.labels_added;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status ExecSetLegacy(ExecContext* ctx, const SetClause& clause, Table* table) {
+  for (size_t r : ctx->LegacyScanOrder(table->num_rows())) {
+    Bindings bindings(table, r);
+    CYPHER_RETURN_NOT_OK(ApplySetItemsLegacy(ctx, clause.items, bindings));
+  }
+  return Status::OK();
+}
+
+// ---- Revised (Section 8): two-phase with conflict detection ----------------
+
+/// Collected intent of the whole SET clause before anything is applied:
+/// the paper's propchanges(T, s) and labchanges(T, s, n) relations.
+struct SetPlan {
+  /// (entity, key) -> value; null value = remove the key.
+  std::map<std::pair<EntityRef, Symbol>, Value> writes;
+  /// entity -> full replacement map (SET n = {...}).
+  std::map<EntityRef, PropertyMap> replacements;
+  /// (node, label) additions.
+  std::map<std::pair<EntityRef, Symbol>, bool> label_adds;
+};
+
+Status AddWrite(SetPlan* plan, EntityRef entity, Symbol key, Value value,
+                const PropertyGraph& graph) {
+  auto slot = plan->writes.find({entity, key});
+  if (slot == plan->writes.end()) {
+    plan->writes.emplace(std::make_pair(entity, key), std::move(value));
+    return Status::OK();
+  }
+  // Both null (two removals) or group-equal values are compatible;
+  // anything else is the Example 2 ambiguity and must abort.
+  const Value& existing = slot->second;
+  bool compatible = (existing.is_null() && value.is_null()) ||
+                    (!existing.is_null() && !value.is_null() &&
+                     GroupEquals(existing, value));
+  if (!compatible) {
+    return Status::ExecutionError(
+        "conflicting SET: property '" + graph.KeyName(key) +
+        "' would be assigned both " + existing.ToString() + " and " +
+        value.ToString());
+  }
+  return Status::OK();
+}
+
+Status ExecSetRevised(ExecContext* ctx, const SetClause& clause, Table* table) {
+  EvalContext ec = ctx->Eval();
+  PropertyGraph& graph = *ctx->graph;
+  SetPlan plan;
+  // Phase 1: evaluate every item for every record against the INPUT graph,
+  // accumulating changes; nothing is applied yet.
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    Bindings bindings(table, r);
+    for (const SetItem& item : clause.items) {
+      CYPHER_ASSIGN_OR_RETURN(Value target,
+                              Evaluate(ec, bindings, *item.target));
+      CYPHER_ASSIGN_OR_RETURN(std::optional<EntityRef> entity,
+                              ResolveEntity(target, "SET"));
+      if (!entity.has_value()) continue;
+      if (!EntityAlive(graph, *entity)) continue;  // ref to deleted: no-op
+      switch (item.kind) {
+        case SetItemKind::kSetProperty: {
+          CYPHER_ASSIGN_OR_RETURN(Value value,
+                                  Evaluate(ec, bindings, *item.value));
+          CYPHER_RETURN_NOT_OK(CheckStorable(item.key, value));
+          CYPHER_RETURN_NOT_OK(AddWrite(&plan, *entity,
+                                        graph.InternKey(item.key),
+                                        std::move(value), graph));
+          break;
+        }
+        case SetItemKind::kReplaceProps: {
+          CYPHER_ASSIGN_OR_RETURN(Value value,
+                                  Evaluate(ec, bindings, *item.value));
+          if (value.is_null()) break;
+          CYPHER_ASSIGN_OR_RETURN(auto source, SourcePropsOf(graph, value));
+          PropertyMap next;
+          for (auto& [key, v] : source) {
+            CYPHER_RETURN_NOT_OK(CheckStorable(key, v));
+            next.Set(graph.InternKey(key), std::move(v));
+          }
+          auto slot = plan.replacements.find(*entity);
+          if (slot == plan.replacements.end()) {
+            plan.replacements.emplace(*entity, std::move(next));
+          } else if (!PropsEquivalent(slot->second, next)) {
+            return Status::ExecutionError(
+                "conflicting SET: entity would be assigned two different "
+                "property maps");
+          }
+          break;
+        }
+        case SetItemKind::kMergeProps: {
+          CYPHER_ASSIGN_OR_RETURN(Value value,
+                                  Evaluate(ec, bindings, *item.value));
+          if (value.is_null()) break;
+          CYPHER_ASSIGN_OR_RETURN(auto source, SourcePropsOf(graph, value));
+          for (auto& [key, v] : source) {
+            CYPHER_RETURN_NOT_OK(CheckStorable(key, v));
+            CYPHER_RETURN_NOT_OK(AddWrite(&plan, *entity,
+                                          graph.InternKey(key), std::move(v),
+                                          graph));
+          }
+          break;
+        }
+        case SetItemKind::kSetLabels: {
+          if (entity->kind != EntityRef::Kind::kNode) {
+            return Status::ExecutionError("labels can only be set on nodes");
+          }
+          for (const std::string& label : item.labels) {
+            plan.label_adds[{*entity, graph.InternLabel(label)}] = true;
+          }
+          break;
+        }
+      }
+    }
+  }
+  // Phase 2: apply. Replacements first, point writes on top, then labels
+  // (label additions can never conflict, as the paper notes).
+  for (auto& [entity, props] : plan.replacements) {
+    ctx->stats.properties_set += props.size();
+    graph.ReplaceProperties(entity, std::move(props));
+  }
+  for (auto& [slot, value] : plan.writes) {
+    if (graph.SetProperty(slot.first, slot.second, std::move(value))) {
+      ++ctx->stats.properties_set;
+    }
+  }
+  for (const auto& [slot, unused] : plan.label_adds) {
+    if (graph.AddLabel(slot.first.AsNode(), slot.second)) {
+      ++ctx->stats.labels_added;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ExecSet(ExecContext* ctx, const SetClause& clause, Table* table) {
+  if (ctx->options.semantics == SemanticsMode::kLegacy) {
+    return ExecSetLegacy(ctx, clause, table);
+  }
+  return ExecSetRevised(ctx, clause, table);
+}
+
+// ---- REMOVE -----------------------------------------------------------------
+
+Status ExecRemove(ExecContext* ctx, const RemoveClause& clause, Table* table) {
+  EvalContext ec = ctx->Eval();
+  PropertyGraph& graph = *ctx->graph;
+  // Removals cannot conflict (Section 8), so the two-phase plan degenerates
+  // to collect-then-apply; the legacy mode applies immediately instead.
+  bool legacy = ctx->options.semantics == SemanticsMode::kLegacy;
+  std::vector<std::pair<EntityRef, Symbol>> prop_removals;
+  std::vector<std::pair<EntityRef, Symbol>> label_removals;
+  auto process = [&](size_t r) -> Status {
+    Bindings bindings(table, r);
+    for (const RemoveItem& item : clause.items) {
+      CYPHER_ASSIGN_OR_RETURN(Value target,
+                              Evaluate(ec, bindings, *item.target));
+      CYPHER_ASSIGN_OR_RETURN(std::optional<EntityRef> entity,
+                              ResolveEntity(target, "REMOVE"));
+      if (!entity.has_value()) continue;
+      if (!EntityAlive(graph, *entity)) continue;
+      if (item.kind == RemoveItemKind::kProperty) {
+        Symbol key = graph.FindKey(item.key);
+        if (key == kNoSymbol) continue;
+        if (legacy) {
+          if (graph.SetProperty(*entity, key, Value::Null())) {
+            ++ctx->stats.properties_set;
+          }
+        } else {
+          prop_removals.emplace_back(*entity, key);
+        }
+      } else {
+        if (entity->kind != EntityRef::Kind::kNode) {
+          return Status::ExecutionError(
+              "labels can only be removed from nodes");
+        }
+        for (const std::string& label : item.labels) {
+          Symbol sym = graph.FindLabel(label);
+          if (sym == kNoSymbol) continue;
+          if (legacy) {
+            if (graph.RemoveLabel(entity->AsNode(), sym)) {
+              ++ctx->stats.labels_removed;
+            }
+          } else {
+            label_removals.emplace_back(*entity, sym);
+          }
+        }
+      }
+    }
+    return Status::OK();
+  };
+  if (legacy) {
+    for (size_t r : ctx->LegacyScanOrder(table->num_rows())) {
+      CYPHER_RETURN_NOT_OK(process(r));
+    }
+    return Status::OK();
+  }
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    CYPHER_RETURN_NOT_OK(process(r));
+  }
+  for (const auto& [entity, key] : prop_removals) {
+    if (graph.SetProperty(entity, key, Value::Null())) {
+      ++ctx->stats.properties_set;
+    }
+  }
+  for (const auto& [entity, label] : label_removals) {
+    if (graph.RemoveLabel(entity.AsNode(), label)) {
+      ++ctx->stats.labels_removed;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cypher

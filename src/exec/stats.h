@@ -1,0 +1,30 @@
+#ifndef CYPHER_EXEC_STATS_H_
+#define CYPHER_EXEC_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cypher {
+
+/// Mutation counters for one statement (Neo4j-style summary).
+struct UpdateStats {
+  uint64_t nodes_created = 0;
+  uint64_t nodes_deleted = 0;
+  uint64_t rels_created = 0;
+  uint64_t rels_deleted = 0;
+  uint64_t properties_set = 0;
+  uint64_t labels_added = 0;
+  uint64_t labels_removed = 0;
+
+  bool AnyUpdates() const {
+    return nodes_created || nodes_deleted || rels_created || rels_deleted ||
+           properties_set || labels_added || labels_removed;
+  }
+
+  /// "Added 3 nodes, created 2 relationships, set 5 properties"-style line.
+  std::string ToString() const;
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_EXEC_STATS_H_

@@ -1,0 +1,87 @@
+#include "exec/update_common.h"
+
+#include <algorithm>
+
+#include "eval/evaluator.h"
+
+namespace cypher {
+
+Status ValidateUpdatePatterns(const std::vector<PathPattern>& patterns,
+                              bool allow_undirected) {
+  for (const PathPattern& pattern : patterns) {
+    if (pattern.function != PathFunction::kNone) {
+      return Status::SemanticError(
+          "shortestPath()/allShortestPaths() are not allowed in updating "
+          "patterns");
+    }
+    for (const auto& [rel, node] : pattern.steps) {
+      if (rel.types.size() != 1) {
+        return Status::SemanticError(
+            "a relationship in an updating pattern must have exactly one "
+            "type");
+      }
+      if (rel.var_length) {
+        return Status::SemanticError(
+            "variable-length relationships are not allowed in updating "
+            "patterns");
+      }
+      if (!allow_undirected && rel.direction == RelDirection::kUndirected) {
+        return Status::SemanticError(
+            "a relationship in an updating pattern must be directed");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool IsStorableProperty(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kBool:
+    case ValueType::kInt:
+    case ValueType::kFloat:
+    case ValueType::kString:
+      return true;
+    case ValueType::kList: {
+      for (const Value& v : value.AsList()) {
+        if (!IsStorableProperty(v)) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+Result<PropertyMap> EvalPatternProps(
+    ExecContext* ctx, const Bindings& bindings,
+    const std::vector<std::pair<std::string, ExprPtr>>& props) {
+  PropertyMap out;
+  EvalContext ec = ctx->Eval();
+  for (const auto& [key, expr] : props) {
+    CYPHER_ASSIGN_OR_RETURN(Value value, Evaluate(ec, bindings, *expr));
+    if (value.is_null()) continue;  // null assignments store nothing
+    if (!IsStorableProperty(value)) {
+      return Status::ExecutionError(
+          "property '" + key + "' cannot store a value of type " +
+          ValueTypeName(value.type()));
+    }
+    out.Set(ctx->graph->InternKey(key), std::move(value));
+  }
+  return out;
+}
+
+std::vector<std::string> NewPatternVariables(
+    const std::vector<PathPattern>& patterns, const Table& table) {
+  std::vector<std::string> out;
+  for (const PathPattern& pattern : patterns) {
+    for (const std::string& var : PatternVariables(pattern)) {
+      if (table.HasColumn(var)) continue;
+      if (std::find(out.begin(), out.end(), var) == out.end()) {
+        out.push_back(var);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cypher

@@ -1,0 +1,49 @@
+#ifndef CYPHER_EXEC_UPDATE_COMMON_H_
+#define CYPHER_EXEC_UPDATE_COMMON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/pattern.h"
+#include "common/result.h"
+#include "exec/context.h"
+
+namespace cypher {
+
+/// Validates the shape restrictions on updating patterns (the
+/// <dir. upd. pat.> of Figure 5 / Figure 10): every relationship pattern
+/// must carry exactly one type, must not be variable-length, and — unless
+/// `allow_undirected` (legacy MERGE's <upd. pat.>) — must be directed.
+Status ValidateUpdatePatterns(const std::vector<PathPattern>& patterns,
+                              bool allow_undirected);
+
+/// Evaluates a pattern/property-map assignment `{key: expr, ...}` against
+/// the record. Null values are dropped (setting a property to null stores
+/// nothing, Section 8 / Example 5); entity and map values are rejected
+/// (property graphs store scalars and lists of scalars).
+Result<PropertyMap> EvalPatternProps(
+    ExecContext* ctx, const Bindings& bindings,
+    const std::vector<std::pair<std::string, ExprPtr>>& props);
+
+/// True if `value` may be stored as a property (scalar, or list of
+/// storable values).
+bool IsStorableProperty(const Value& value);
+
+/// Creates the entities of one path pattern for one record, extending
+/// `env` with every variable the pattern binds (CREATE semantics:
+/// saturation + creation + binding, Section 8). Shared by CREATE and by
+/// legacy MERGE's create branch; undirected relationships (legal only in
+/// legacy MERGE patterns) materialize left-to-right.
+Status CreatePatternInstance(ExecContext* ctx, Bindings* env,
+                             const PathPattern& pattern);
+
+/// The variables of `patterns` that are not yet columns of `table`,
+/// deduplicated in syntactic order — the columns an update clause binding
+/// these patterns will add.
+std::vector<std::string> NewPatternVariables(
+    const std::vector<PathPattern>& patterns, const Table& table);
+
+}  // namespace cypher
+
+#endif  // CYPHER_EXEC_UPDATE_COMMON_H_

@@ -1,0 +1,545 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "value/compare.h"
+
+namespace cypher {
+
+namespace {
+
+void SortUnique(std::vector<Symbol>* labels) {
+  std::sort(labels->begin(), labels->end());
+  labels->erase(std::unique(labels->begin(), labels->end()), labels->end());
+}
+
+void EraseOne(std::vector<RelId>* rels, RelId id) {
+  auto it = std::find(rels->begin(), rels->end(), id);
+  if (it != rels->end()) rels->erase(it);
+}
+
+}  // namespace
+
+NodeId PropertyGraph::CreateNode(std::vector<Symbol> labels,
+                                 PropertyMap props) {
+  SortUnique(&labels);
+  NodeId id(static_cast<uint32_t>(nodes_.size()));
+  NodeData data;
+  data.labels = std::move(labels);
+  data.props = std::move(props);
+  nodes_.push_back(std::move(data));
+  ++alive_nodes_;
+  for (Symbol label : nodes_.back().labels) AddToLabelIndex(id, label);
+  IndexNode(id);
+  Record({.kind = OpKind::kCreateNode, .entity = EntityRef::Node(id)});
+  return id;
+}
+
+Result<RelId> PropertyGraph::CreateRel(NodeId src, NodeId tgt, Symbol type,
+                                       PropertyMap props) {
+  if (!IsNodeAlive(src) || !IsNodeAlive(tgt)) {
+    return Status::ExecutionError(
+        "cannot create relationship: endpoint node does not exist");
+  }
+  CYPHER_CHECK(type != kNoSymbol);
+  RelId id(static_cast<uint32_t>(rels_.size()));
+  RelData data;
+  data.type = type;
+  data.src = src;
+  data.tgt = tgt;
+  data.props = std::move(props);
+  rels_.push_back(std::move(data));
+  ++alive_rels_;
+  RelinkRel(id);
+  Record({.kind = OpKind::kCreateRel, .entity = EntityRef::Rel(id)});
+  return id;
+}
+
+bool PropertyGraph::NodeHasLabel(NodeId id, Symbol label) const {
+  const auto& labels = nodes_[id.value].labels;
+  return std::binary_search(labels.begin(), labels.end(), label);
+}
+
+std::vector<NodeId> PropertyGraph::AllNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(alive_nodes_);
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].alive) out.push_back(NodeId(i));
+  }
+  return out;
+}
+
+std::vector<RelId> PropertyGraph::AllRels() const {
+  std::vector<RelId> out;
+  out.reserve(alive_rels_);
+  for (uint32_t i = 0; i < rels_.size(); ++i) {
+    if (rels_[i].alive) out.push_back(RelId(i));
+  }
+  return out;
+}
+
+std::vector<NodeId> PropertyGraph::NodesByLabel(Symbol label) const {
+  std::vector<NodeId> out;
+  auto it = label_index_.find(label);
+  if (it == label_index_.end()) return out;
+  for (NodeId id : it->second) {
+    if (IsNodeAlive(id) && NodeHasLabel(id, label)) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<RelId> PropertyGraph::OutRels(NodeId id) const {
+  std::vector<RelId> out;
+  for (RelId r : nodes_[id.value].out_rels) {
+    if (IsRelAlive(r)) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RelId> PropertyGraph::InRels(NodeId id) const {
+  std::vector<RelId> out;
+  for (RelId r : nodes_[id.value].in_rels) {
+    if (IsRelAlive(r)) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t PropertyGraph::Degree(NodeId id) const {
+  size_t n = 0;
+  for (RelId r : nodes_[id.value].out_rels) n += IsRelAlive(r) ? 1 : 0;
+  for (RelId r : nodes_[id.value].in_rels) n += IsRelAlive(r) ? 1 : 0;
+  return n;
+}
+
+bool PropertyGraph::AddLabel(NodeId id, Symbol label) {
+  NodeData& data = nodes_[id.value];
+  auto it = std::lower_bound(data.labels.begin(), data.labels.end(), label);
+  if (it != data.labels.end() && *it == label) return false;
+  data.labels.insert(it, label);
+  AddToLabelIndex(id, label);
+  for (const PropertyIndex& index : property_indexes_) {
+    if (index.label != label) continue;
+    const Value& value = data.props.Get(index.key);
+    if (!value.is_null()) IndexNodeKey(id, index.key);
+  }
+  Record({.kind = OpKind::kAddLabel,
+          .entity = EntityRef::Node(id),
+          .symbol = label});
+  return true;
+}
+
+bool PropertyGraph::RemoveLabel(NodeId id, Symbol label) {
+  NodeData& data = nodes_[id.value];
+  auto it = std::lower_bound(data.labels.begin(), data.labels.end(), label);
+  if (it == data.labels.end() || *it != label) return false;
+  data.labels.erase(it);
+  Record({.kind = OpKind::kRemoveLabel,
+          .entity = EntityRef::Node(id),
+          .symbol = label});
+  return true;
+}
+
+bool PropertyGraph::SetProperty(EntityRef entity, Symbol key, Value value) {
+  PropertyMap& props = entity.kind == EntityRef::Kind::kNode
+                           ? nodes_[entity.id].props
+                           : rels_[entity.id].props;
+  Value old = props.Get(key);
+  if (!props.Set(key, std::move(value))) return false;
+  if (entity.kind == EntityRef::Kind::kNode) {
+    IndexNodeKey(entity.AsNode(), key);
+  }
+  Record({.kind = OpKind::kSetProp,
+          .entity = entity,
+          .symbol = key,
+          .old_value = std::move(old)});
+  return true;
+}
+
+void PropertyGraph::ReplaceProperties(EntityRef entity, PropertyMap props) {
+  PropertyMap& target = entity.kind == EntityRef::Kind::kNode
+                            ? nodes_[entity.id].props
+                            : rels_[entity.id].props;
+  Record({.kind = OpKind::kReplaceProps,
+          .entity = entity,
+          .old_props = target});
+  target = std::move(props);
+  if (entity.kind == EntityRef::Kind::kNode) IndexNode(entity.AsNode());
+}
+
+const PropertyMap& PropertyGraph::Properties(EntityRef entity) const {
+  return entity.kind == EntityRef::Kind::kNode ? nodes_[entity.id].props
+                                               : rels_[entity.id].props;
+}
+
+void PropertyGraph::DeleteRel(RelId id) {
+  if (!IsRelAlive(id)) return;
+  RelData& data = rels_[id.value];
+  Record({.kind = OpKind::kDeleteRel,
+          .entity = EntityRef::Rel(id),
+          .old_rel = data});
+  UnlinkRel(id);
+  data.alive = false;
+  data.props.Clear();
+  --alive_rels_;
+}
+
+void PropertyGraph::DeleteNode(NodeId id) {
+  if (!IsNodeAlive(id)) return;
+  CYPHER_CHECK(Degree(id) == 0 &&
+               "DeleteNode requires no alive incident relationships");
+  DeleteNodeForce(id);
+}
+
+void PropertyGraph::DeleteNodeForce(NodeId id) {
+  if (!IsNodeAlive(id)) return;
+  NodeData& data = nodes_[id.value];
+  Record({.kind = OpKind::kDeleteNode,
+          .entity = EntityRef::Node(id),
+          .old_props = data.props,
+          .old_labels = data.labels});
+  data.alive = false;
+  data.labels.clear();
+  data.props.Clear();
+  --alive_nodes_;
+}
+
+bool PropertyGraph::HasDanglingRels() const {
+  for (uint32_t i = 0; i < rels_.size(); ++i) {
+    const RelData& data = rels_[i];
+    if (!data.alive) continue;
+    if (!IsNodeAlive(data.src) || !IsNodeAlive(data.tgt)) return true;
+  }
+  return false;
+}
+
+PropertyGraph::JournalMark PropertyGraph::BeginJournal() {
+  journaling_ = true;
+  return journal_.size();
+}
+
+void PropertyGraph::RollbackTo(JournalMark mark) {
+  bool was_journaling = journaling_;
+  journaling_ = false;  // Rollback mutations must not journal themselves.
+  while (journal_.size() > mark) {
+    JournalOp op = std::move(journal_.back());
+    journal_.pop_back();
+    switch (op.kind) {
+      case OpKind::kCreateNode: {
+        NodeData& data = nodes_[op.entity.id];
+        CYPHER_CHECK(data.alive);
+        data.alive = false;
+        data.labels.clear();
+        data.props.Clear();
+        --alive_nodes_;
+        break;
+      }
+      case OpKind::kCreateRel: {
+        RelData& data = rels_[op.entity.id];
+        if (data.alive) {
+          UnlinkRel(op.entity.AsRel());
+          data.alive = false;
+          data.props.Clear();
+          --alive_rels_;
+        }
+        break;
+      }
+      case OpKind::kDeleteRel: {
+        RelData& data = rels_[op.entity.id];
+        CYPHER_CHECK(!data.alive);
+        data = op.old_rel;
+        data.alive = true;
+        RelinkRel(op.entity.AsRel());
+        ++alive_rels_;
+        break;
+      }
+      case OpKind::kDeleteNode: {
+        NodeData& data = nodes_[op.entity.id];
+        CYPHER_CHECK(!data.alive);
+        data.alive = true;
+        data.labels = std::move(op.old_labels);
+        data.props = std::move(op.old_props);
+        ++alive_nodes_;
+        for (Symbol label : data.labels) {
+          AddToLabelIndex(op.entity.AsNode(), label);
+        }
+        break;
+      }
+      case OpKind::kForceDeleteNode:
+        CYPHER_CHECK(false && "kForceDeleteNode is recorded as kDeleteNode");
+        break;
+      case OpKind::kAddLabel: {
+        NodeData& data = nodes_[op.entity.id];
+        auto it = std::lower_bound(data.labels.begin(), data.labels.end(),
+                                   op.symbol);
+        if (it != data.labels.end() && *it == op.symbol) data.labels.erase(it);
+        break;
+      }
+      case OpKind::kRemoveLabel: {
+        NodeData& data = nodes_[op.entity.id];
+        auto it = std::lower_bound(data.labels.begin(), data.labels.end(),
+                                   op.symbol);
+        data.labels.insert(it, op.symbol);
+        AddToLabelIndex(op.entity.AsNode(), op.symbol);
+        break;
+      }
+      case OpKind::kSetProp: {
+        PropertyMap& props = op.entity.kind == EntityRef::Kind::kNode
+                                 ? nodes_[op.entity.id].props
+                                 : rels_[op.entity.id].props;
+        props.Set(op.symbol, std::move(op.old_value));
+        break;
+      }
+      case OpKind::kReplaceProps: {
+        PropertyMap& props = op.entity.kind == EntityRef::Kind::kNode
+                                 ? nodes_[op.entity.id].props
+                                 : rels_[op.entity.id].props;
+        props = std::move(op.old_props);
+        break;
+      }
+    }
+  }
+  journaling_ = was_journaling && !journal_.empty();
+  if (journal_.empty()) journaling_ = false;
+}
+
+void PropertyGraph::CommitTo(JournalMark mark) {
+  CYPHER_CHECK(mark <= journal_.size());
+  journal_.resize(mark);
+  if (journal_.empty()) journaling_ = false;
+}
+
+void PropertyGraph::UnlinkRel(RelId id) {
+  const RelData& data = rels_[id.value];
+  EraseOne(&nodes_[data.src.value].out_rels, id);
+  EraseOne(&nodes_[data.tgt.value].in_rels, id);
+}
+
+void PropertyGraph::RelinkRel(RelId id) {
+  const RelData& data = rels_[id.value];
+  nodes_[data.src.value].out_rels.push_back(id);
+  nodes_[data.tgt.value].in_rels.push_back(id);
+}
+
+void PropertyGraph::AddToLabelIndex(NodeId id, Symbol label) {
+  label_index_[label].push_back(id);
+}
+
+// ---- Property indexes ---------------------------------------------------------
+
+void PropertyGraph::CreateIndex(Symbol label, Symbol key) {
+  if (FindPropertyIndex(label, key) != nullptr) return;
+  PropertyIndex index;
+  index.label = label;
+  index.key = key;
+  property_indexes_.push_back(std::move(index));
+  PropertyIndex& created = property_indexes_.back();
+  for (NodeId id : NodesByLabel(label)) {
+    const Value& value = nodes_[id.value].props.Get(key);
+    if (!value.is_null()) created.buckets[HashValue(value)].push_back(id);
+  }
+}
+
+bool PropertyGraph::HasIndex(Symbol label, Symbol key) const {
+  return FindPropertyIndex(label, key) != nullptr;
+}
+
+std::vector<std::pair<Symbol, Symbol>> PropertyGraph::Indexes() const {
+  std::vector<std::pair<Symbol, Symbol>> out;
+  out.reserve(property_indexes_.size());
+  for (const PropertyIndex& index : property_indexes_) {
+    out.emplace_back(index.label, index.key);
+  }
+  return out;
+}
+
+std::vector<NodeId> PropertyGraph::IndexLookup(Symbol label, Symbol key,
+                                               const Value& value) const {
+  std::vector<NodeId> out;
+  const PropertyIndex* index = FindPropertyIndex(label, key);
+  CYPHER_CHECK(index != nullptr && "IndexLookup without an index");
+  auto it = index->buckets.find(HashValue(value));
+  if (it == index->buckets.end()) return out;
+  for (NodeId id : it->second) {
+    if (!IsNodeAlive(id)) continue;
+    if (!NodeHasLabel(id, label)) continue;
+    const Value& stored = nodes_[id.value].props.Get(key);
+    if (!GroupEquals(stored, value)) continue;
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void PropertyGraph::DropIndex(Symbol label, Symbol key) {
+  for (size_t i = 0; i < property_indexes_.size(); ++i) {
+    if (property_indexes_[i].label == label &&
+        property_indexes_[i].key == key) {
+      property_indexes_.erase(property_indexes_.begin() +
+                              static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+// ---- Uniqueness constraints ----------------------------------------------------
+
+namespace {
+
+/// Finds a pair of distinct alive nodes with group-equal non-null values;
+/// returns the duplicated value's text or empty when unique.
+std::string FindDuplicateValue(const PropertyGraph& graph, Symbol label,
+                               Symbol key) {
+  std::unordered_map<uint64_t, std::vector<std::pair<NodeId, Value>>> seen;
+  for (NodeId id : graph.NodesByLabel(label)) {
+    const Value& value = graph.node(id).props.Get(key);
+    if (value.is_null()) continue;
+    auto& bucket = seen[HashValue(value)];
+    for (const auto& [other, other_value] : bucket) {
+      if (GroupEquals(other_value, value)) return value.ToString();
+    }
+    bucket.emplace_back(id, value);
+  }
+  return "";
+}
+
+}  // namespace
+
+Status PropertyGraph::AddUniqueConstraint(Symbol label, Symbol key) {
+  if (HasUniqueConstraint(label, key)) return Status::OK();
+  std::string duplicate = FindDuplicateValue(*this, label, key);
+  if (!duplicate.empty()) {
+    return Status::ExecutionError(
+        "cannot create uniqueness constraint on :" + LabelName(label) + "(" +
+        KeyName(key) + "): existing nodes share the value " + duplicate);
+  }
+  unique_constraints_.emplace_back(label, key);
+  return Status::OK();
+}
+
+void PropertyGraph::DropUniqueConstraint(Symbol label, Symbol key) {
+  for (size_t i = 0; i < unique_constraints_.size(); ++i) {
+    if (unique_constraints_[i] == std::make_pair(label, key)) {
+      unique_constraints_.erase(unique_constraints_.begin() +
+                                static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+bool PropertyGraph::HasUniqueConstraint(Symbol label, Symbol key) const {
+  for (const auto& constraint : unique_constraints_) {
+    if (constraint == std::make_pair(label, key)) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<Symbol, Symbol>> PropertyGraph::UniqueConstraints()
+    const {
+  return unique_constraints_;
+}
+
+Status PropertyGraph::ValidateUniqueConstraints() const {
+  for (const auto& [label, key] : unique_constraints_) {
+    std::string duplicate = FindDuplicateValue(*this, label, key);
+    if (!duplicate.empty()) {
+      return Status::ExecutionError(
+          "uniqueness constraint on :" + LabelName(label) + "(" +
+          KeyName(key) + ") violated: two nodes share the value " + duplicate);
+    }
+  }
+  return Status::OK();
+}
+
+PropertyGraph::PropertyIndex* PropertyGraph::FindPropertyIndex(Symbol label,
+                                                               Symbol key) {
+  for (PropertyIndex& index : property_indexes_) {
+    if (index.label == label && index.key == key) return &index;
+  }
+  return nullptr;
+}
+
+const PropertyGraph::PropertyIndex* PropertyGraph::FindPropertyIndex(
+    Symbol label, Symbol key) const {
+  for (const PropertyIndex& index : property_indexes_) {
+    if (index.label == label && index.key == key) return &index;
+  }
+  return nullptr;
+}
+
+void PropertyGraph::IndexNode(NodeId id) {
+  if (property_indexes_.empty()) return;
+  const NodeData& data = nodes_[id.value];
+  for (PropertyIndex& index : property_indexes_) {
+    if (!std::binary_search(data.labels.begin(), data.labels.end(),
+                            index.label)) {
+      continue;
+    }
+    const Value& value = data.props.Get(index.key);
+    if (!value.is_null()) index.buckets[HashValue(value)].push_back(id);
+  }
+}
+
+void PropertyGraph::IndexNodeKey(NodeId id, Symbol key) {
+  if (property_indexes_.empty()) return;
+  const NodeData& data = nodes_[id.value];
+  for (PropertyIndex& index : property_indexes_) {
+    if (index.key != key) continue;
+    if (!std::binary_search(data.labels.begin(), data.labels.end(),
+                            index.label)) {
+      continue;
+    }
+    const Value& value = data.props.Get(index.key);
+    if (!value.is_null()) index.buckets[HashValue(value)].push_back(id);
+  }
+}
+
+std::string DescribeProps(const PropertyGraph& graph, const PropertyMap& map) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : map.entries()) {
+    if (!first) out += ", ";
+    first = false;
+    out += graph.KeyName(key);
+    out += ": ";
+    out += value.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+std::string DescribeNode(const PropertyGraph& graph, NodeId id) {
+  if (!graph.IsValidNode(id)) return "(?invalid?)";
+  const NodeData& data = graph.node(id);
+  std::string out = "(";
+  for (Symbol label : data.labels) {
+    out += ":";
+    out += graph.LabelName(label);
+  }
+  if (!data.props.empty()) {
+    if (!data.labels.empty()) out += " ";
+    out += DescribeProps(graph, data.props);
+  }
+  out += ")";
+  return out;
+}
+
+std::string DescribeRel(const PropertyGraph& graph, RelId id) {
+  if (!graph.IsValidRel(id)) return "-[?invalid?]-";
+  const RelData& data = graph.rel(id);
+  std::string out = "(" + std::to_string(data.src.value) + ")-[:";
+  out += graph.TypeName(data.type);
+  if (!data.props.empty()) {
+    out += " ";
+    out += DescribeProps(graph, data.props);
+  }
+  out += "]->(" + std::to_string(data.tgt.value) + ")";
+  return out;
+}
+
+}  // namespace cypher

@@ -1,0 +1,312 @@
+#ifndef CYPHER_GRAPH_GRAPH_H_
+#define CYPHER_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/interner.h"
+#include "common/result.h"
+#include "graph/property_map.h"
+
+namespace cypher {
+
+/// A node or relationship reference, for APIs that apply to both (SET,
+/// REMOVE, DELETE operate on either kind).
+struct EntityRef {
+  enum class Kind { kNode, kRel };
+  Kind kind;
+  uint32_t id;
+
+  static EntityRef Node(NodeId n) { return {Kind::kNode, n.value}; }
+  static EntityRef Rel(RelId r) { return {Kind::kRel, r.value}; }
+
+  NodeId AsNode() const { return NodeId(id); }
+  RelId AsRel() const { return RelId(id); }
+
+  friend bool operator==(const EntityRef& a, const EntityRef& b) {
+    return a.kind == b.kind && a.id == b.id;
+  }
+  friend bool operator<(const EntityRef& a, const EntityRef& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.id < b.id;
+  }
+};
+
+/// Stored node record. `alive` is false for deleted nodes; slots are
+/// tombstoned, never reused, so dangling references in driving tables remain
+/// detectable. In legacy mode (paper §4.2) a deleted node's labels and
+/// properties are cleared, which is how "RETURN user" after "DELETE user"
+/// yields an empty node.
+struct NodeData {
+  bool alive = true;
+  std::vector<Symbol> labels;  // sorted, deduplicated
+  PropertyMap props;
+  std::vector<RelId> out_rels;
+  std::vector<RelId> in_rels;
+};
+
+/// Stored relationship record. Always has exactly one source, target and
+/// type (the property graph model, Section 2). In legacy mode a relationship
+/// can temporarily dangle (endpoint deleted); ValidateNoDangling detects
+/// this at end-of-statement, mirroring Neo4j's commit-time check.
+struct RelData {
+  bool alive = true;
+  Symbol type = kNoSymbol;
+  NodeId src;
+  NodeId tgt;
+  PropertyMap props;
+};
+
+/// The property graph G = <N, R, src, tgt, ι, λ, τ> of the paper, plus the
+/// operational machinery an engine needs:
+///
+///  * interned labels / relationship types / property keys;
+///  * adjacency lists for pattern matching;
+///  * a label index for MATCH scans;
+///  * an undo journal so a failed statement leaves the graph untouched
+///    (the paper's output(Q, G) commits only on success);
+///  * tombstoned deletes, including "force" deletes that model the legacy
+///    Cypher 9 anomalies of Section 4.2.
+///
+/// Not thread-safe; one writer at a time (statement-level isolation is the
+/// concern of the paper, not concurrency control).
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+
+  // Copyable: benches snapshot graphs to replay workloads.
+  PropertyGraph(const PropertyGraph&) = default;
+  PropertyGraph& operator=(const PropertyGraph&) = default;
+  PropertyGraph(PropertyGraph&&) = default;
+  PropertyGraph& operator=(PropertyGraph&&) = default;
+
+  // ---- Vocabulary ---------------------------------------------------------
+
+  Symbol InternLabel(std::string_view name) { return labels_.Intern(name); }
+  Symbol InternType(std::string_view name) { return types_.Intern(name); }
+  Symbol InternKey(std::string_view name) { return keys_.Intern(name); }
+
+  /// Lookup without interning; kNoSymbol if unknown (a MATCH against a label
+  /// that was never created simply finds nothing).
+  Symbol FindLabel(std::string_view name) const { return labels_.Find(name); }
+  Symbol FindType(std::string_view name) const { return types_.Find(name); }
+  Symbol FindKey(std::string_view name) const { return keys_.Find(name); }
+
+  const std::string& LabelName(Symbol s) const { return labels_.Name(s); }
+  const std::string& TypeName(Symbol s) const { return types_.Name(s); }
+  const std::string& KeyName(Symbol s) const { return keys_.Name(s); }
+
+  // ---- Creation -----------------------------------------------------------
+
+  /// Creates a node with the given (unsorted, possibly duplicated) labels.
+  NodeId CreateNode(std::vector<Symbol> labels, PropertyMap props);
+
+  /// Creates a relationship; fails if either endpoint is dead or invalid.
+  Result<RelId> CreateRel(NodeId src, NodeId tgt, Symbol type,
+                          PropertyMap props);
+
+  // ---- Access -------------------------------------------------------------
+
+  bool IsValidNode(NodeId id) const { return id.value < nodes_.size(); }
+  bool IsValidRel(RelId id) const { return id.value < rels_.size(); }
+  bool IsNodeAlive(NodeId id) const {
+    return IsValidNode(id) && nodes_[id.value].alive;
+  }
+  bool IsRelAlive(RelId id) const {
+    return IsValidRel(id) && rels_[id.value].alive;
+  }
+
+  const NodeData& node(NodeId id) const { return nodes_[id.value]; }
+  const RelData& rel(RelId id) const { return rels_[id.value]; }
+
+  bool NodeHasLabel(NodeId id, Symbol label) const;
+
+  /// Alive node count / alive relationship count.
+  size_t num_nodes() const { return alive_nodes_; }
+  size_t num_rels() const { return alive_rels_; }
+
+  /// Total slots ever allocated (alive + tombstoned).
+  size_t node_capacity() const { return nodes_.size(); }
+  size_t rel_capacity() const { return rels_.size(); }
+
+  /// All alive node ids in ascending order.
+  std::vector<NodeId> AllNodes() const;
+  /// All alive relationship ids in ascending order.
+  std::vector<RelId> AllRels() const;
+
+  /// Alive nodes carrying `label`, ascending. Uses the label index.
+  std::vector<NodeId> NodesByLabel(Symbol label) const;
+
+  /// Alive incident relationships (out / in / both), ascending.
+  std::vector<RelId> OutRels(NodeId id) const;
+  std::vector<RelId> InRels(NodeId id) const;
+
+  /// Count of alive incident relationships.
+  size_t Degree(NodeId id) const;
+
+  // ---- Mutation -----------------------------------------------------------
+
+  /// Adds a label; returns true if the node changed.
+  bool AddLabel(NodeId id, Symbol label);
+  /// Removes a label; returns true if the node changed.
+  bool RemoveLabel(NodeId id, Symbol label);
+
+  /// Sets one property (null value removes); returns true if changed.
+  bool SetProperty(EntityRef entity, Symbol key, Value value);
+
+  /// Replaces the whole property map (SET n = {...}).
+  void ReplaceProperties(EntityRef entity, PropertyMap props);
+
+  const PropertyMap& Properties(EntityRef entity) const;
+
+  /// Deletes a relationship (idempotent on dead rels).
+  void DeleteRel(RelId id);
+
+  /// Deletes a node that has no alive incident relationships. It is an
+  /// internal error to call this with incident relationships; executors
+  /// check first (revised DELETE returns an ExecutionError instead).
+  void DeleteNode(NodeId id);
+
+  /// Legacy-mode delete (§4.2): marks the node dead and clears labels and
+  /// properties but leaves incident relationships alive and dangling.
+  void DeleteNodeForce(NodeId id);
+
+  /// True if some alive relationship has a dead endpoint. Legacy mode runs
+  /// this at end of statement (Neo4j's commit-time validation).
+  bool HasDanglingRels() const;
+
+  // ---- Property indexes -----------------------------------------------------
+
+  /// Creates (or re-creates, idempotently) a hash index over
+  /// (label, property key). Existing nodes are indexed immediately; later
+  /// mutations maintain the index. Lookups validate entries against the
+  /// live graph, so rolled-back states can never serve stale matches.
+  void CreateIndex(Symbol label, Symbol key);
+
+  bool HasIndex(Symbol label, Symbol key) const;
+
+  /// Drops the index if present (idempotent).
+  void DropIndex(Symbol label, Symbol key);
+
+  /// All (label, key) pairs with an index, in creation order.
+  std::vector<std::pair<Symbol, Symbol>> Indexes() const;
+
+  // ---- Uniqueness constraints -----------------------------------------------
+
+  /// Declares that alive `label` nodes have pairwise distinct non-null
+  /// values for `key`. Fails (without registering) if existing data
+  /// already violates it. Idempotent.
+  Status AddUniqueConstraint(Symbol label, Symbol key);
+
+  /// Drops the constraint if present (idempotent).
+  void DropUniqueConstraint(Symbol label, Symbol key);
+
+  bool HasUniqueConstraint(Symbol label, Symbol key) const;
+
+  /// All registered constraints, in creation order.
+  std::vector<std::pair<Symbol, Symbol>> UniqueConstraints() const;
+
+  /// Checks every registered constraint against the live graph; returns
+  /// ExecutionError naming the first violation. The interpreter runs this
+  /// before committing each statement.
+  Status ValidateUniqueConstraints() const;
+
+  /// Alive nodes with `label` whose `key` property is group-equal to
+  /// `value`, ascending. Only valid when HasIndex(label, key).
+  std::vector<NodeId> IndexLookup(Symbol label, Symbol key,
+                                  const Value& value) const;
+
+  // ---- Undo journal -------------------------------------------------------
+
+  /// A position in the journal; RollbackTo(mark) undoes everything after.
+  using JournalMark = size_t;
+
+  /// Starts (or continues) journaling and returns the current mark.
+  JournalMark BeginJournal();
+
+  /// Undoes all journaled mutations after `mark`, most recent first.
+  void RollbackTo(JournalMark mark);
+
+  /// Forgets journal entries after `mark` (commit) and stops journaling if
+  /// the journal becomes empty.
+  void CommitTo(JournalMark mark);
+
+ private:
+  enum class OpKind {
+    kCreateNode,
+    kCreateRel,
+    kDeleteRel,
+    kDeleteNode,
+    kForceDeleteNode,
+    kAddLabel,
+    kRemoveLabel,
+    kSetProp,
+    kReplaceProps,
+  };
+
+  struct JournalOp {
+    OpKind kind;
+    EntityRef entity;
+    Symbol symbol = kNoSymbol;  // label or key
+    Value old_value;            // kSetProp
+    PropertyMap old_props;      // kReplaceProps / kForceDeleteNode
+    std::vector<Symbol> old_labels;  // kForceDeleteNode
+    RelData old_rel;                 // kDeleteRel
+  };
+
+  void Record(JournalOp op) {
+    if (journaling_) journal_.push_back(std::move(op));
+  }
+
+  void UnlinkRel(RelId id);
+  void RelinkRel(RelId id);
+  void AddToLabelIndex(NodeId id, Symbol label);
+
+  /// Value-hash buckets; entries are validated on read and never removed
+  /// (tombstone-tolerant, rollback-tolerant).
+  struct PropertyIndex {
+    Symbol label;
+    Symbol key;
+    std::unordered_map<uint64_t, std::vector<NodeId>> buckets;
+  };
+
+  PropertyIndex* FindPropertyIndex(Symbol label, Symbol key);
+  const PropertyIndex* FindPropertyIndex(Symbol label, Symbol key) const;
+
+  /// Inserts `id` into every index it currently satisfies (used on node
+  /// creation and label addition).
+  void IndexNode(NodeId id);
+  /// Inserts `id` into indexes on `key` whose label the node carries (used
+  /// on property writes).
+  void IndexNodeKey(NodeId id, Symbol key);
+
+  Interner labels_;
+  Interner types_;
+  Interner keys_;
+  std::vector<NodeData> nodes_;
+  std::vector<RelData> rels_;
+  std::unordered_map<Symbol, std::vector<NodeId>> label_index_;
+  std::vector<PropertyIndex> property_indexes_;
+  std::vector<std::pair<Symbol, Symbol>> unique_constraints_;
+  size_t alive_nodes_ = 0;
+  size_t alive_rels_ = 0;
+  std::vector<JournalOp> journal_;
+  bool journaling_ = false;
+};
+
+/// Renders a node in Cypher-ish form, e.g. `(:User {id: 89, name: 'Bob'})`.
+std::string DescribeNode(const PropertyGraph& graph, NodeId id);
+
+/// Renders a relationship, e.g. `(0)-[:ORDERED {}]->(2)`.
+std::string DescribeRel(const PropertyGraph& graph, RelId id);
+
+/// Renders `{k: v, ...}` for a property map of `graph`.
+std::string DescribeProps(const PropertyGraph& graph, const PropertyMap& map);
+
+}  // namespace cypher
+
+#endif  // CYPHER_GRAPH_GRAPH_H_

@@ -1,0 +1,262 @@
+#include "graph/isomorphism.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "value/compare.h"
+
+namespace cypher {
+
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HashString(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Graph view normalized to strings so two graphs with different interners
+/// compare correctly.
+struct NormView {
+  struct Node {
+    NodeId id;
+    std::vector<std::string> labels;  // sorted
+    ValueMap props;
+    std::vector<RelId> out_rels;
+    std::vector<RelId> in_rels;
+    uint64_t sig = 0;  // static signature hash
+  };
+  struct Rel {
+    RelId id;
+    std::string type;
+    ValueMap props;
+    size_t src;  // index into nodes
+    size_t tgt;
+    uint64_t key = 0;  // hash of (type, props)
+  };
+  std::vector<Node> nodes;
+  std::vector<Rel> rels;
+  std::unordered_map<uint32_t, size_t> node_index;  // NodeId.value -> index
+};
+
+ValueMap NormalizeProps(const PropertyGraph& g, const PropertyMap& props) {
+  ValueMap out;
+  for (const auto& [key, value] : props.entries()) {
+    out.emplace(g.KeyName(key), value);
+  }
+  return out;
+}
+
+uint64_t HashNormProps(const ValueMap& props) {
+  uint64_t h = 31;
+  for (const auto& [k, v] : props) {
+    h = Mix(h, HashString(k));
+    h = Mix(h, HashValue(v));
+  }
+  return h;
+}
+
+bool NormPropsEqual(const ValueMap& a, const ValueMap& b) {
+  if (a.size() != b.size()) return false;
+  auto ita = a.begin();
+  auto itb = b.begin();
+  for (; ita != a.end(); ++ita, ++itb) {
+    if (ita->first != itb->first) return false;
+    if (!GroupEquals(ita->second, itb->second)) return false;
+  }
+  return true;
+}
+
+NormView BuildView(const PropertyGraph& g) {
+  NormView view;
+  for (NodeId id : g.AllNodes()) {
+    NormView::Node n;
+    n.id = id;
+    for (Symbol label : g.node(id).labels) {
+      n.labels.push_back(g.LabelName(label));
+    }
+    std::sort(n.labels.begin(), n.labels.end());
+    n.props = NormalizeProps(g, g.node(id).props);
+    n.out_rels = g.OutRels(id);
+    n.in_rels = g.InRels(id);
+    view.node_index[id.value] = view.nodes.size();
+    view.nodes.push_back(std::move(n));
+  }
+  for (RelId id : g.AllRels()) {
+    NormView::Rel r;
+    r.id = id;
+    r.type = g.TypeName(g.rel(id).type);
+    r.props = NormalizeProps(g, g.rel(id).props);
+    r.src = view.node_index.at(g.rel(id).src.value);
+    r.tgt = view.node_index.at(g.rel(id).tgt.value);
+    r.key = Mix(HashString(r.type), HashNormProps(r.props));
+    view.rels.push_back(std::move(r));
+  }
+  // Static node signatures: labels, props, degrees, incident rel keys.
+  std::unordered_map<uint32_t, size_t>& idx = view.node_index;
+  for (auto& n : view.nodes) {
+    uint64_t h = 37;
+    for (const auto& label : n.labels) h = Mix(h, HashString(label));
+    h = Mix(h, HashNormProps(n.props));
+    h = Mix(h, n.out_rels.size());
+    h = Mix(h, n.in_rels.size());
+    n.sig = h;
+  }
+  // Fold incident relationship keys in (order-independent sums).
+  std::vector<uint64_t> extra(view.nodes.size(), 0);
+  for (const auto& r : view.rels) {
+    extra[r.src] += Mix(2, r.key);
+    extra[r.tgt] += Mix(3, r.key);
+  }
+  for (size_t i = 0; i < view.nodes.size(); ++i) {
+    view.nodes[i].sig = Mix(view.nodes[i].sig, extra[i]);
+  }
+  (void)idx;
+  return view;
+}
+
+/// Multiset key of one relationship as seen between a specific ordered node
+/// pair: direction is implied by which (src,tgt) lookup the caller does.
+std::vector<uint64_t> EdgeKeysBetween(const NormView& v, size_t src,
+                                      size_t tgt) {
+  std::vector<uint64_t> keys;
+  for (const auto& r : v.rels) {
+    if (r.src == src && r.tgt == tgt) keys.push_back(r.key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+struct Matcher {
+  const NormView& a;
+  const NormView& b;
+  std::vector<int> a_to_b;  // index mapping, -1 = unmapped
+  std::vector<bool> b_used;
+
+  Matcher(const NormView& av, const NormView& bv)
+      : a(av), b(bv), a_to_b(av.nodes.size(), -1), b_used(bv.nodes.size()) {}
+
+  bool NodesCompatible(size_t ia, size_t ib) const {
+    const auto& na = a.nodes[ia];
+    const auto& nb = b.nodes[ib];
+    if (na.sig != nb.sig) return false;
+    if (na.labels != nb.labels) return false;
+    if (!NormPropsEqual(na.props, nb.props)) return false;
+    if (na.out_rels.size() != nb.out_rels.size()) return false;
+    if (na.in_rels.size() != nb.in_rels.size()) return false;
+    // Pairwise edge-multiset consistency with every already-mapped node.
+    for (size_t ja = 0; ja < a_to_b.size(); ++ja) {
+      if (a_to_b[ja] < 0) continue;
+      size_t jb = static_cast<size_t>(a_to_b[ja]);
+      if (EdgeKeysBetween(a, ia, ja) != EdgeKeysBetween(b, ib, jb)) {
+        return false;
+      }
+      if (EdgeKeysBetween(a, ja, ia) != EdgeKeysBetween(b, jb, ib)) {
+        return false;
+      }
+      if (EdgeKeysBetween(a, ia, ia) != EdgeKeysBetween(b, ib, ib)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Extend(size_t next) {
+    if (next == a.nodes.size()) return true;
+    for (size_t ib = 0; ib < b.nodes.size(); ++ib) {
+      if (b_used[ib]) continue;
+      if (!NodesCompatible(next, ib)) continue;
+      a_to_b[next] = static_cast<int>(ib);
+      b_used[ib] = true;
+      if (Extend(next + 1)) return true;
+      a_to_b[next] = -1;
+      b_used[ib] = false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool AreIsomorphic(const PropertyGraph& a, const PropertyGraph& b,
+                   std::string* why) {
+  if (why) why->clear();
+  if (a.num_nodes() != b.num_nodes()) {
+    if (why) {
+      *why = "node counts differ: " + std::to_string(a.num_nodes()) + " vs " +
+             std::to_string(b.num_nodes());
+    }
+    return false;
+  }
+  if (a.num_rels() != b.num_rels()) {
+    if (why) {
+      *why = "relationship counts differ: " + std::to_string(a.num_rels()) +
+             " vs " + std::to_string(b.num_rels());
+    }
+    return false;
+  }
+  NormView va = BuildView(a);
+  NormView vb = BuildView(b);
+  // Histogram pruning on static signatures.
+  std::map<uint64_t, int> ha;
+  std::map<uint64_t, int> hb;
+  for (const auto& n : va.nodes) ++ha[n.sig];
+  for (const auto& n : vb.nodes) ++hb[n.sig];
+  if (ha != hb) {
+    if (why) *why = "node signature histograms differ";
+    return false;
+  }
+  std::map<uint64_t, int> ra;
+  std::map<uint64_t, int> rb;
+  for (const auto& r : va.rels) ++ra[r.key];
+  for (const auto& r : vb.rels) ++rb[r.key];
+  if (ra != rb) {
+    if (why) *why = "relationship (type, properties) multisets differ";
+    return false;
+  }
+  Matcher matcher(va, vb);
+  if (!matcher.Extend(0)) {
+    if (why) *why = "no structure-preserving node mapping exists";
+    return false;
+  }
+  return true;
+}
+
+bool AreIsomorphic(const PropertyGraph& a, const PropertyGraph& b) {
+  return AreIsomorphic(a, b, nullptr);
+}
+
+uint64_t GraphFingerprint(const PropertyGraph& graph) {
+  NormView v = BuildView(graph);
+  // Two rounds of Weisfeiler-Leman-style refinement.
+  std::vector<uint64_t> h(v.nodes.size());
+  for (size_t i = 0; i < v.nodes.size(); ++i) h[i] = v.nodes[i].sig;
+  for (int round = 0; round < 2; ++round) {
+    std::vector<uint64_t> next = h;
+    for (const auto& r : v.rels) {
+      next[r.src] += Mix(Mix(41, r.key), h[r.tgt]);
+      next[r.tgt] += Mix(Mix(43, r.key), h[r.src]);
+    }
+    h = std::move(next);
+  }
+  uint64_t out = Mix(v.nodes.size(), v.rels.size());
+  uint64_t sum = 0;
+  for (uint64_t x : h) sum += Mix(47, x);
+  out = Mix(out, sum);
+  uint64_t rsum = 0;
+  for (const auto& r : v.rels) rsum += Mix(53, Mix(r.key, h[r.src] + h[r.tgt]));
+  out = Mix(out, rsum);
+  return out;
+}
+
+}  // namespace cypher

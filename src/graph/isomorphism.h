@@ -1,0 +1,38 @@
+#ifndef CYPHER_GRAPH_ISOMORPHISM_H_
+#define CYPHER_GRAPH_ISOMORPHISM_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace cypher {
+
+/// Decides whether two property graphs are isomorphic: a bijection between
+/// alive nodes and a bijection between alive relationships preserving
+/// labels, types, property maps (PropsEquivalent), sources and targets.
+///
+/// This is the oracle for the paper's "output graph-table pairs are the same
+/// up to id renaming" (Section 8) and for checking bench outputs against the
+/// expected figures. Vocabularies may differ between the graphs; names are
+/// compared as strings.
+///
+/// The search is VF2-style backtracking with signature pruning (label set,
+/// property fingerprint, in/out degree, incident type multiset). Intended
+/// for figure-sized and test-sized graphs, not million-node graphs.
+bool AreIsomorphic(const PropertyGraph& a, const PropertyGraph& b);
+
+/// Like AreIsomorphic, but on mismatch stores a short human-readable reason
+/// (first divergence found) into *why; on success clears it.
+bool AreIsomorphic(const PropertyGraph& a, const PropertyGraph& b,
+                   std::string* why);
+
+/// Canonical multiset fingerprint of a graph: a hash that is invariant
+/// under id renaming but (unlike full isomorphism) cheap. Used by the
+/// nondeterminism bench to count distinct result graphs across many runs:
+/// different fingerprints imply non-isomorphic graphs; equal fingerprints
+/// are confirmed with AreIsomorphic.
+uint64_t GraphFingerprint(const PropertyGraph& graph);
+
+}  // namespace cypher
+
+#endif  // CYPHER_GRAPH_ISOMORPHISM_H_

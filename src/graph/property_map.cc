@@ -1,0 +1,85 @@
+#include "graph/property_map.h"
+
+#include <algorithm>
+
+#include "value/compare.h"
+
+namespace cypher {
+
+namespace {
+
+const Value kNullValue;
+
+auto LowerBound(const std::vector<std::pair<Symbol, Value>>& entries,
+                Symbol key) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const std::pair<Symbol, Value>& e, Symbol k) { return e.first < k; });
+}
+
+}  // namespace
+
+const Value& PropertyMap::Get(Symbol key) const {
+  auto it = LowerBound(entries_, key);
+  if (it != entries_.end() && it->first == key) return it->second;
+  return kNullValue;
+}
+
+bool PropertyMap::Has(Symbol key) const {
+  auto it = LowerBound(entries_, key);
+  return it != entries_.end() && it->first == key;
+}
+
+bool PropertyMap::Set(Symbol key, Value value) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const std::pair<Symbol, Value>& e, Symbol k) { return e.first < k; });
+  bool present = it != entries_.end() && it->first == key;
+  if (value.is_null()) {
+    if (!present) return false;
+    entries_.erase(it);
+    return true;
+  }
+  if (present) {
+    if (GroupEquals(it->second, value) &&
+        it->second.type() == value.type()) {
+      return false;
+    }
+    it->second = std::move(value);
+    return true;
+  }
+  entries_.insert(it, {key, std::move(value)});
+  return true;
+}
+
+bool PropertyMap::Erase(Symbol key) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const std::pair<Symbol, Value>& e, Symbol k) { return e.first < k; });
+  if (it == entries_.end() || it->first != key) return false;
+  entries_.erase(it);
+  return true;
+}
+
+bool PropsEquivalent(const PropertyMap& a, const PropertyMap& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.entries().size(); ++i) {
+    if (a.entries()[i].first != b.entries()[i].first) return false;
+    if (!GroupEquals(a.entries()[i].second, b.entries()[i].second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t HashProps(const PropertyMap& map) {
+  uint64_t h = 29;
+  for (const auto& [key, value] : map.entries()) {
+    h ^= (static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+          (h >> 2));
+    h ^= (HashValue(value) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  }
+  return h;
+}
+
+}  // namespace cypher

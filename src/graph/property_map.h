@@ -1,0 +1,59 @@
+#ifndef CYPHER_GRAPH_PROPERTY_MAP_H_
+#define CYPHER_GRAPH_PROPERTY_MAP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/interner.h"
+#include "value/value.h"
+
+namespace cypher {
+
+/// Property map of a node or relationship: key symbol -> value, kept sorted
+/// by key for deterministic iteration and O(log n) lookup.
+///
+/// Mirrors the paper's ι function: ι(n, k) = null when no value is defined
+/// for key k, which is why Get returns null (not an error) for absent keys
+/// and why storing a null value erases the key — "setting to null" and
+/// "absent" are indistinguishable, exactly as Definition 1(ii) requires.
+class PropertyMap {
+ public:
+  PropertyMap() = default;
+
+  /// Returns the stored value, or null if the key is absent.
+  const Value& Get(Symbol key) const;
+
+  bool Has(Symbol key) const;
+
+  /// Sets key := value; a null value removes the key. Returns true if the
+  /// map changed observably.
+  bool Set(Symbol key, Value value);
+
+  /// Removes the key if present; returns true if it was present.
+  bool Erase(Symbol key);
+
+  void Clear() { entries_.clear(); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Sorted (key, value) entries.
+  const std::vector<std::pair<Symbol, Value>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<Symbol, Value>> entries_;
+};
+
+/// GroupEquals lifted to property maps: same key set, group-equal values.
+/// This is the ι-equality of collapsibility (Definitions 1 and 2).
+bool PropsEquivalent(const PropertyMap& a, const PropertyMap& b);
+
+/// Hash compatible with PropsEquivalent.
+uint64_t HashProps(const PropertyMap& map);
+
+}  // namespace cypher
+
+#endif  // CYPHER_GRAPH_PROPERTY_MAP_H_

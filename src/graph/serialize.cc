@@ -1,0 +1,354 @@
+#include "graph/serialize.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace cypher {
+
+namespace {
+
+// ---- Literal writer ---------------------------------------------------------
+
+// Value::ToString already prints Cypher literal syntax for scalar/list/map
+// values; entities never appear in property maps.
+
+// ---- Literal reader ---------------------------------------------------------
+
+/// Minimal recursive-descent parser for the property-literal subset:
+/// null, true/false, integers, floats, single-quoted strings, [lists],
+/// {key: value} maps. Kept independent of the full query parser so the
+/// graph layer has no dependency on the language layer.
+class LiteralParser {
+ public:
+  explicit LiteralParser(std::string_view text) : text_(text) {}
+
+  Result<Value> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of literal");
+    char c = text_[pos_];
+    if (c == '\'') return ParseString();
+    if (c == '[') return ParseList();
+    if (c == '{') return ParseMap();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber();
+    }
+    if (ConsumeWord("null")) return Value::Null();
+    if (ConsumeWord("true")) return Value::Bool(true);
+    if (ConsumeWord("false")) return Value::Bool(false);
+    if (ConsumeWord("NaN")) return Value::Float(std::nan(""));
+    if (ConsumeWord("Infinity")) return Value::Float(HUGE_VAL);
+    return Fail("unrecognized literal");
+  }
+
+  Result<ValueMap> ParseMapBody() {
+    CYPHER_ASSIGN_OR_RETURN(Value v, ParseMap());
+    return v.AsMap();
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  size_t position() const { return pos_; }
+
+ private:
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument(what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    size_t end = pos_ + word.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          default:
+            out += e;
+        }
+        continue;
+      }
+      if (c == '\'') return Value::String(std::move(out));
+      out += c;
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool is_float = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_float = true;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_float = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (is_float) {
+      double d = 0;
+      auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), d);
+      if (ec != std::errc() || ptr != token.data() + token.size()) {
+        return Fail("malformed float");
+      }
+      return Value::Float(d);
+    }
+    int64_t i = 0;
+    auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), i);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Fail("malformed integer");
+    }
+    return Value::Int(i);
+  }
+
+  Result<Value> ParseList() {
+    ++pos_;  // '['
+    ValueList items;
+    SkipSpace();
+    if (Consume(']')) return Value::List(std::move(items));
+    while (true) {
+      CYPHER_ASSIGN_OR_RETURN(Value v, ParseValue());
+      items.push_back(std::move(v));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value::List(std::move(items));
+      return Fail("expected ',' or ']' in list");
+    }
+  }
+
+  Result<Value> ParseMap() {
+    if (!Consume('{')) return Fail("expected '{'");
+    ValueMap out;
+    if (Consume('}')) return Value::Map(std::move(out));
+    while (true) {
+      SkipSpace();
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      if (pos_ == start) return Fail("expected map key");
+      std::string key(text_.substr(start, pos_ - start));
+      if (!Consume(':')) return Fail("expected ':' after map key");
+      CYPHER_ASSIGN_OR_RETURN(Value v, ParseValue());
+      out.emplace(std::move(key), std::move(v));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value::Map(std::move(out));
+      return Fail("expected ',' or '}' in map");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+std::string PropsLiteral(const PropertyGraph& graph, const PropertyMap& map) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : map.entries()) {
+    if (!first) out += ", ";
+    first = false;
+    out += graph.KeyName(key);
+    out += ": ";
+    out += value.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+PropertyMap MapToProps(PropertyGraph* graph, const ValueMap& map) {
+  PropertyMap props;
+  for (const auto& [key, value] : map) {
+    props.Set(graph->InternKey(key), value);
+  }
+  return props;
+}
+
+}  // namespace
+
+std::string DumpGraph(const PropertyGraph& graph) {
+  std::string out;
+  std::unordered_map<uint32_t, size_t> node_ordinal;
+  size_t next = 0;
+  for (NodeId id : graph.AllNodes()) {
+    node_ordinal[id.value] = next;
+    out += "node " + std::to_string(next);
+    for (Symbol label : graph.node(id).labels) {
+      out += " :" + graph.LabelName(label);
+    }
+    out += " " + PropsLiteral(graph, graph.node(id).props) + "\n";
+    ++next;
+  }
+  size_t rel_next = 0;
+  for (RelId id : graph.AllRels()) {
+    const RelData& rel = graph.rel(id);
+    out += "rel " + std::to_string(rel_next) + " " +
+           std::to_string(node_ordinal.at(rel.src.value)) + " " +
+           std::to_string(node_ordinal.at(rel.tgt.value)) + " :" +
+           graph.TypeName(rel.type) + " " + PropsLiteral(graph, rel.props) +
+           "\n";
+    ++rel_next;
+  }
+  return out;
+}
+
+Result<PropertyGraph> LoadGraph(const std::string& text) {
+  PropertyGraph graph;
+  std::vector<NodeId> by_ordinal;
+  size_t line_no = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripAsciiWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    auto fail = [&](const std::string& what) {
+      return Status::InvalidArgument("graph line " + std::to_string(line_no) +
+                                     ": " + what);
+    };
+    size_t space = line.find(' ');
+    if (space == std::string_view::npos) return fail("malformed line");
+    std::string_view kind = line.substr(0, space);
+    std::string_view rest = line.substr(space + 1);
+    if (kind == "node") {
+      // node <ordinal> :Label... {props}
+      size_t pos = 0;
+      while (pos < rest.size() && rest[pos] != ' ') ++pos;  // skip ordinal
+      std::vector<Symbol> labels;
+      while (true) {
+        while (pos < rest.size() && rest[pos] == ' ') ++pos;
+        if (pos >= rest.size() || rest[pos] != ':') break;
+        size_t start = ++pos;
+        while (pos < rest.size() && rest[pos] != ' ' && rest[pos] != ':') ++pos;
+        labels.push_back(graph.InternLabel(rest.substr(start, pos - start)));
+      }
+      LiteralParser parser(rest.substr(pos));
+      auto map = parser.ParseMapBody();
+      if (!map.ok()) return fail(map.status().message());
+      by_ordinal.push_back(
+          graph.CreateNode(std::move(labels), MapToProps(&graph, *map)));
+      continue;
+    }
+    if (kind == "rel") {
+      // rel <ordinal> <src> <tgt> :TYPE {props}
+      std::vector<std::string> head;
+      size_t pos = 0;
+      for (int i = 0; i < 3; ++i) {
+        while (pos < rest.size() && rest[pos] == ' ') ++pos;
+        size_t start = pos;
+        while (pos < rest.size() && rest[pos] != ' ') ++pos;
+        head.emplace_back(rest.substr(start, pos - start));
+      }
+      while (pos < rest.size() && rest[pos] == ' ') ++pos;
+      if (head.size() != 3 || pos >= rest.size() || rest[pos] != ':') {
+        return fail("malformed rel line");
+      }
+      size_t type_start = ++pos;
+      while (pos < rest.size() && rest[pos] != ' ') ++pos;
+      Symbol type = graph.InternType(rest.substr(type_start, pos - type_start));
+      size_t src = 0;
+      size_t tgt = 0;
+      auto parse_index = [](const std::string& s, size_t* out) {
+        auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+        return ec == std::errc() && ptr == s.data() + s.size();
+      };
+      if (!parse_index(head[1], &src) || !parse_index(head[2], &tgt)) {
+        return fail("malformed rel endpoints");
+      }
+      if (src >= by_ordinal.size() || tgt >= by_ordinal.size()) {
+        return fail("rel references unknown node ordinal");
+      }
+      LiteralParser parser(rest.substr(pos));
+      auto map = parser.ParseMapBody();
+      if (!map.ok()) return fail(map.status().message());
+      auto rel = graph.CreateRel(by_ordinal[src], by_ordinal[tgt], type,
+                                 MapToProps(&graph, *map));
+      if (!rel.ok()) return fail(rel.status().message());
+      continue;
+    }
+    return fail("unknown record kind '" + std::string(kind) + "'");
+  }
+  return graph;
+}
+
+std::string ToDot(const PropertyGraph& graph, const std::string& name) {
+  std::string out = "digraph \"" + name + "\" {\n";
+  out += "  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (NodeId id : graph.AllNodes()) {
+    std::string label;
+    for (Symbol s : graph.node(id).labels) {
+      label += ":" + graph.LabelName(s);
+    }
+    if (!graph.node(id).props.empty()) {
+      if (!label.empty()) label += "\\n";
+      label += DescribeProps(graph, graph.node(id).props);
+    }
+    out += "  n" + std::to_string(id.value) + " [label=\"" + label + "\"];\n";
+  }
+  for (RelId id : graph.AllRels()) {
+    const RelData& rel = graph.rel(id);
+    out += "  n" + std::to_string(rel.src.value) + " -> n" +
+           std::to_string(rel.tgt.value) + " [label=\":" +
+           graph.TypeName(rel.type) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cypher

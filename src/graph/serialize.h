@@ -1,0 +1,32 @@
+#ifndef CYPHER_GRAPH_SERIALIZE_H_
+#define CYPHER_GRAPH_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace cypher {
+
+/// Serializes the alive portion of a graph to a line-oriented text format:
+///
+///   node <ordinal> :Label:Label {key: literal, ...}
+///   rel <ordinal> <src-ordinal> <tgt-ordinal> :TYPE {key: literal, ...}
+///
+/// Ordinals are dense (0..n-1) in ascending id order, so dump/load performs
+/// an id-compaction; the loaded graph is isomorphic to, not identical to,
+/// the source. Property literals use Cypher literal syntax (null, booleans,
+/// integers, floats, single-quoted strings, lists, maps).
+std::string DumpGraph(const PropertyGraph& graph);
+
+/// Parses the DumpGraph format. Lines starting with '#' and blank lines are
+/// ignored. Returns InvalidArgument with a line number on malformed input.
+Result<PropertyGraph> LoadGraph(const std::string& text);
+
+/// Renders the graph in Graphviz DOT syntax (for the examples' visual
+/// output).
+std::string ToDot(const PropertyGraph& graph, const std::string& name);
+
+}  // namespace cypher
+
+#endif  // CYPHER_GRAPH_SERIALIZE_H_

@@ -1,0 +1,603 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "eval/evaluator.h"
+#include "value/compare.h"
+
+namespace cypher {
+
+namespace {
+
+/// A candidate traversal step: an alive relationship leaving `from` toward
+/// `to` (direction already resolved).
+struct RelCandidate {
+  RelId rel;
+  NodeId to;
+};
+
+class MatchEngine {
+ public:
+  MatchEngine(const EvalContext& ctx, const Bindings& bindings,
+              const std::vector<PathPattern>& patterns,
+              const MatchOptions& options, const MatchSink& sink)
+      : ctx_(ctx),
+        input_(bindings),
+        patterns_(patterns),
+        options_(options),
+        sink_(sink),
+        graph_(*ctx.graph) {}
+
+  Status Run() {
+    for (const PathPattern& pattern : patterns_) {
+      CYPHER_RETURN_NOT_OK(ValidatePattern(pattern));
+    }
+    return MatchPattern(0);
+  }
+
+ private:
+  Status ValidatePattern(const PathPattern& pattern) const {
+    for (const auto& [rel, node] : pattern.steps) {
+      if (rel.var_length && options_.mode == MatchMode::kHomomorphism &&
+          rel.max_hops < 0) {
+        return Status::SemanticError(
+            "unbounded variable-length patterns are not finite under "
+            "homomorphism matching; specify an upper bound");
+      }
+      if (rel.var_length && rel.min_hops < 0) {
+        return Status::SemanticError("variable-length lower bound is negative");
+      }
+      if (rel.var_length && rel.max_hops >= 0 &&
+          rel.max_hops < rel.min_hops) {
+        return Status::SemanticError(
+            "variable-length upper bound below lower bound");
+      }
+    }
+    return Status::OK();
+  }
+
+  // ---- Variable environment -------------------------------------------------
+
+  const Value* LookupAssigned(std::string_view name) const {
+    return assigned_.Find(name);
+  }
+
+  std::optional<Value> LookupVar(std::string_view name) const {
+    if (const Value* v = LookupAssigned(name)) return *v;
+    return input_.Lookup(name);
+  }
+
+  // ---- Filters --------------------------------------------------------------
+
+  /// Evaluates pattern property filters against the input record only
+  /// (pattern-internal variables are not visible, as in Cypher).
+  Result<bool> PropsFilterPass(
+      const std::vector<std::pair<std::string, ExprPtr>>& filters,
+      const PropertyMap& stored) {
+    for (const auto& [key, expr] : filters) {
+      CYPHER_ASSIGN_OR_RETURN(Value want, Evaluate(ctx_, input_, *expr));
+      Symbol sym = graph_.FindKey(key);
+      const Value& have =
+          sym == kNoSymbol ? Value() : stored.Get(sym);
+      if (CypherEquals(have, want) != Tri::kTrue) return false;
+    }
+    return true;
+  }
+
+  Result<bool> NodeMatches(const NodePattern& pattern, NodeId id) {
+    if (!graph_.IsNodeAlive(id)) return false;
+    for (const std::string& label : pattern.labels) {
+      Symbol sym = graph_.FindLabel(label);
+      if (sym == kNoSymbol || !graph_.NodeHasLabel(id, sym)) return false;
+    }
+    return PropsFilterPass(pattern.properties, graph_.node(id).props);
+  }
+
+  Result<bool> RelMatches(const RelPattern& pattern, RelId id) {
+    const RelData& rel = graph_.rel(id);
+    if (!pattern.types.empty()) {
+      bool any = false;
+      for (const std::string& type : pattern.types) {
+        Symbol sym = graph_.FindType(type);
+        if (sym != kNoSymbol && rel.type == sym) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) return false;
+    }
+    return PropsFilterPass(pattern.properties, rel.props);
+  }
+
+  // ---- Candidate enumeration ------------------------------------------------
+
+  /// All alive traversal candidates from `from` under the pattern's
+  /// direction, ascending by relationship id (determinism).
+  std::vector<RelCandidate> RelCandidates(NodeId from,
+                                          const RelPattern& pattern) {
+    std::vector<RelCandidate> out;
+    bool want_out = pattern.direction != RelDirection::kRightToLeft;
+    bool want_in = pattern.direction != RelDirection::kLeftToRight;
+    if (want_out) {
+      for (RelId r : graph_.OutRels(from)) {
+        out.push_back({r, graph_.rel(r).tgt});
+      }
+    }
+    if (want_in) {
+      for (RelId r : graph_.InRels(from)) {
+        // A self-loop already appeared in the out-scan of an undirected
+        // pattern; do not produce it twice.
+        if (want_out && graph_.rel(r).src == graph_.rel(r).tgt) continue;
+        out.push_back({r, graph_.rel(r).src});
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RelCandidate& a, const RelCandidate& b) {
+                return a.rel < b.rel;
+              });
+    return out;
+  }
+
+  bool RelUsable(RelId id) const {
+    return options_.mode == MatchMode::kHomomorphism ||
+           used_rels_.find(id.value) == used_rels_.end();
+  }
+
+  // ---- Search ---------------------------------------------------------------
+
+  Status MatchPattern(size_t pattern_idx) {
+    if (stopped_) return Status::OK();
+    if (pattern_idx == patterns_.size()) {
+      CYPHER_ASSIGN_OR_RETURN(bool more, sink_(assigned_));
+      if (!more) stopped_ = true;
+      return Status::OK();
+    }
+    const PathPattern& pattern = patterns_[pattern_idx];
+    if (pattern.function != PathFunction::kNone) {
+      return MatchShortestPattern(pattern, pattern_idx);
+    }
+    // Resolve start-node candidates.
+    const NodePattern& start = pattern.start;
+    auto try_start = [&](NodeId id) -> Status {
+      CYPHER_ASSIGN_OR_RETURN(bool ok, NodeMatches(start, id));
+      if (!ok) return Status::OK();
+      size_t mark = assigned_.size();
+      if (!start.variable.empty() && !LookupVar(start.variable)) {
+        assigned_.Push(start.variable, Value::Node(id));
+      }
+      PathValue path;
+      path.nodes.push_back(id);
+      Status st = MatchStep(pattern, 0, id, &path, pattern_idx);
+      assigned_.PopTo(mark);
+      return st;
+    };
+    if (!start.variable.empty()) {
+      if (std::optional<Value> bound = LookupVar(start.variable)) {
+        if (bound->is_null()) return Status::OK();  // null never matches
+        if (!bound->is_node()) {
+          return Status::ExecutionError("variable '" + start.variable +
+                                        "' is bound to " +
+                                        ValueTypeName(bound->type()) +
+                                        ", expected a node");
+        }
+        return try_start(bound->AsNode());
+      }
+    }
+    // Unbound: prefer a property index, then the label index, then a full
+    // scan. NodeMatches re-checks every filter, so index candidates only
+    // need to be a superset of the true matches.
+    std::vector<NodeId> candidates;
+    bool resolved = false;
+    for (const std::string& label : start.labels) {
+      Symbol lsym = graph_.FindLabel(label);
+      if (lsym == kNoSymbol) return Status::OK();  // label never created
+      for (const auto& [key, expr] : start.properties) {
+        Symbol ksym = graph_.FindKey(key);
+        if (ksym == kNoSymbol || !graph_.HasIndex(lsym, ksym)) continue;
+        CYPHER_ASSIGN_OR_RETURN(Value want, Evaluate(ctx_, input_, *expr));
+        if (want.is_null()) return Status::OK();  // null filter: no match
+        candidates = graph_.IndexLookup(lsym, ksym, want);
+        resolved = true;
+        break;
+      }
+      if (resolved) break;
+    }
+    if (!resolved) {
+      if (!start.labels.empty()) {
+        Symbol sym = graph_.FindLabel(start.labels.front());
+        if (sym == kNoSymbol) return Status::OK();
+        candidates = graph_.NodesByLabel(sym);
+      } else {
+        candidates = graph_.AllNodes();
+      }
+    }
+    for (NodeId id : candidates) {
+      if (stopped_) break;
+      CYPHER_RETURN_NOT_OK(try_start(id));
+    }
+    return Status::OK();
+  }
+
+  // ---- shortestPath / allShortestPaths -------------------------------------
+
+  /// BFS state for one shortest-path search: distance and the shortest-
+  /// predecessor links of every reached node.
+  struct BfsState {
+    std::unordered_map<uint32_t, int64_t> dist;
+    std::unordered_map<uint32_t, std::vector<std::pair<NodeId, RelId>>>
+        parents;
+  };
+
+  Result<BfsState> RunBfs(NodeId source, const RelPattern& rel_pattern) {
+    BfsState state;
+    state.dist[source.value] = 0;
+    std::vector<NodeId> frontier{source};
+    int64_t level = 0;
+    while (!frontier.empty() &&
+           (rel_pattern.max_hops < 0 || level < rel_pattern.max_hops)) {
+      std::vector<NodeId> next;
+      for (NodeId n : frontier) {
+        for (const RelCandidate& cand : RelCandidates(n, rel_pattern)) {
+          if (!RelUsable(cand.rel)) continue;  // trail constraint
+          CYPHER_ASSIGN_OR_RETURN(bool ok, RelMatches(rel_pattern, cand.rel));
+          if (!ok) continue;
+          auto [it, inserted] = state.dist.try_emplace(cand.to.value, level + 1);
+          if (inserted) {
+            state.parents[cand.to.value].emplace_back(n, cand.rel);
+            next.push_back(cand.to);
+          } else if (it->second == level + 1) {
+            // Another shortest predecessor (for allShortestPaths).
+            state.parents[cand.to.value].emplace_back(n, cand.rel);
+          }
+        }
+      }
+      frontier = std::move(next);
+      ++level;
+    }
+    return state;
+  }
+
+  /// Enumerates shortest paths from the BFS source to `target`
+  /// (all of them for kAllShortest, the rel-id-minimal one for kShortest)
+  /// and emits each through `emit(path)`.
+  Status ReconstructPaths(const BfsState& state, NodeId source, NodeId target,
+                          bool all_shortest,
+                          const std::function<Status(const PathValue&)>& emit) {
+    // Build paths backwards from target.
+    std::vector<std::pair<NodeId, RelId>> suffix;  // reversed (node, rel-in)
+    std::function<Status(NodeId)> walk = [&](NodeId cur) -> Status {
+      if (cur == source) {
+        PathValue path;
+        path.nodes.push_back(source);
+        for (auto it = suffix.rbegin(); it != suffix.rend(); ++it) {
+          path.rels.push_back(it->second);
+          path.nodes.push_back(it->first);
+        }
+        return emit(path);
+      }
+      auto pit = state.parents.find(cur.value);
+      CYPHER_CHECK(pit != state.parents.end());
+      std::vector<std::pair<NodeId, RelId>> links = pit->second;
+      std::sort(links.begin(), links.end(),
+                [](const auto& a, const auto& b) { return a.second < b.second; });
+      size_t limit = all_shortest ? links.size() : 1;
+      for (size_t i = 0; i < limit; ++i) {
+        if (stopped_) break;
+        suffix.emplace_back(cur, links[i].second);
+        CYPHER_RETURN_NOT_OK(walk(links[i].first));
+        suffix.pop_back();
+      }
+      return Status::OK();
+    };
+    return walk(target);
+  }
+
+  Status MatchShortestPattern(const PathPattern& pattern, size_t pattern_idx) {
+    const auto& [rel_pattern, end_pattern] = pattern.steps.front();
+    bool all_shortest = pattern.function == PathFunction::kAllShortest;
+    // Resolve start candidates exactly like a plain pattern start.
+    std::vector<NodeId> starts;
+    const NodePattern& start = pattern.start;
+    if (!start.variable.empty()) {
+      if (std::optional<Value> bound = LookupVar(start.variable)) {
+        if (bound->is_null()) return Status::OK();
+        if (!bound->is_node()) {
+          return Status::ExecutionError("variable '" + start.variable +
+                                        "' is bound to " +
+                                        ValueTypeName(bound->type()) +
+                                        ", expected a node");
+        }
+        starts.push_back(bound->AsNode());
+      }
+    }
+    if (starts.empty()) {
+      if (!start.labels.empty()) {
+        Symbol sym = graph_.FindLabel(start.labels.front());
+        if (sym == kNoSymbol) return Status::OK();
+        starts = graph_.NodesByLabel(sym);
+      } else {
+        starts = graph_.AllNodes();
+      }
+    }
+    // Resolve a bound end variable once (restricts BFS targets).
+    std::optional<NodeId> bound_end;
+    if (!end_pattern.variable.empty()) {
+      if (std::optional<Value> bound = LookupVar(end_pattern.variable)) {
+        if (bound->is_null()) return Status::OK();
+        if (!bound->is_node()) {
+          return Status::ExecutionError("variable '" + end_pattern.variable +
+                                        "' is bound to " +
+                                        ValueTypeName(bound->type()) +
+                                        ", expected a node");
+        }
+        bound_end = bound->AsNode();
+      }
+    }
+    for (NodeId s : starts) {
+      if (stopped_) break;
+      CYPHER_ASSIGN_OR_RETURN(bool start_ok, NodeMatches(start, s));
+      if (!start_ok) continue;
+      CYPHER_ASSIGN_OR_RETURN(BfsState state, RunBfs(s, rel_pattern));
+      // Deterministic target order: ascending node id.
+      std::vector<NodeId> targets;
+      if (bound_end.has_value()) {
+        if (state.dist.count(bound_end->value)) targets.push_back(*bound_end);
+      } else {
+        for (const auto& [id, d] : state.dist) targets.push_back(NodeId(id));
+        std::sort(targets.begin(), targets.end());
+      }
+      for (NodeId t : targets) {
+        if (stopped_) break;
+        int64_t d = state.dist.at(t.value);
+        if (d < rel_pattern.min_hops) continue;
+        if (rel_pattern.max_hops >= 0 && d > rel_pattern.max_hops) continue;
+        CYPHER_ASSIGN_OR_RETURN(bool end_ok, NodeMatches(end_pattern, t));
+        if (!end_ok) continue;
+        Status st = ReconstructPaths(
+            state, s, t, all_shortest, [&](const PathValue& path) -> Status {
+              size_t mark = assigned_.size();
+              if (!start.variable.empty() && !LookupVar(start.variable)) {
+                assigned_.Push(start.variable, Value::Node(s));
+              }
+              if (!end_pattern.variable.empty() &&
+                  !LookupVar(end_pattern.variable)) {
+                assigned_.Push(end_pattern.variable, Value::Node(t));
+              }
+              if (!rel_pattern.variable.empty()) {
+                if (LookupVar(rel_pattern.variable)) {
+                  return Status::SemanticError(
+                      "variable-length relationship variable '" +
+                      rel_pattern.variable + "' is already bound");
+                }
+                ValueList rels;
+                for (RelId r : path.rels) rels.push_back(Value::Rel(r));
+                assigned_.Push(rel_pattern.variable,
+                               Value::List(std::move(rels)));
+              }
+              if (!pattern.path_variable.empty()) {
+                assigned_.Push(pattern.path_variable, Value::Path(path));
+              }
+              for (RelId r : path.rels) used_rels_.insert(r.value);
+              Status inner = MatchPattern(pattern_idx + 1);
+              for (RelId r : path.rels) used_rels_.erase(r.value);
+              assigned_.PopTo(mark);
+              return inner;
+            });
+        CYPHER_RETURN_NOT_OK(st);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status MatchStep(const PathPattern& pattern, size_t step_idx, NodeId cur,
+                   PathValue* path, size_t pattern_idx) {
+    if (stopped_) return Status::OK();
+    if (step_idx == pattern.steps.size()) {
+      size_t mark = assigned_.size();
+      if (!pattern.path_variable.empty()) {
+        if (LookupVar(pattern.path_variable)) {
+          return Status::SemanticError("path variable '" +
+                                       pattern.path_variable +
+                                       "' is already bound");
+        }
+        assigned_.Push(pattern.path_variable, Value::Path(*path));
+      }
+      Status st = MatchPattern(pattern_idx + 1);
+      assigned_.PopTo(mark);
+      return st;
+    }
+    const auto& [rel_pattern, node_pattern] = pattern.steps[step_idx];
+    if (rel_pattern.var_length) {
+      return MatchVarLength(pattern, step_idx, cur, path, pattern_idx);
+    }
+    // Bound relationship variable: a single candidate.
+    if (!rel_pattern.variable.empty()) {
+      if (std::optional<Value> bound = LookupVar(rel_pattern.variable)) {
+        if (bound->is_null()) return Status::OK();
+        if (!bound->is_rel()) {
+          return Status::ExecutionError("variable '" + rel_pattern.variable +
+                                        "' is bound to " +
+                                        ValueTypeName(bound->type()) +
+                                        ", expected a relationship");
+        }
+        RelId id = bound->AsRel();
+        if (!graph_.IsRelAlive(id) || !RelUsable(id)) return Status::OK();
+        const RelData& rel = graph_.rel(id);
+        NodeId next;
+        bool connects = false;
+        if (rel_pattern.direction != RelDirection::kRightToLeft &&
+            rel.src == cur) {
+          next = rel.tgt;
+          connects = true;
+        } else if (rel_pattern.direction != RelDirection::kLeftToRight &&
+                   rel.tgt == cur) {
+          next = rel.src;
+          connects = true;
+        }
+        if (!connects) return Status::OK();
+        CYPHER_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rel_pattern, id));
+        if (!rel_ok) return Status::OK();
+        return EnterNode(pattern, step_idx, id, next, path, pattern_idx);
+      }
+    }
+    for (const RelCandidate& cand : RelCandidates(cur, rel_pattern)) {
+      if (stopped_) break;
+      if (!RelUsable(cand.rel)) continue;
+      CYPHER_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rel_pattern, cand.rel));
+      if (!rel_ok) continue;
+      size_t mark = assigned_.size();
+      if (!rel_pattern.variable.empty()) {
+        assigned_.Push(rel_pattern.variable, Value::Rel(cand.rel));
+      }
+      CYPHER_RETURN_NOT_OK(
+          EnterNode(pattern, step_idx, cand.rel, cand.to, path, pattern_idx));
+      assigned_.PopTo(mark);
+    }
+    return Status::OK();
+  }
+
+  /// Checks the target node pattern of a step against `next`, binds its
+  /// variable, marks the relationship used, and recurses to the next step.
+  Status EnterNode(const PathPattern& pattern, size_t step_idx, RelId via,
+                   NodeId next, PathValue* path, size_t pattern_idx) {
+    const NodePattern& node_pattern = pattern.steps[step_idx].second;
+    if (!node_pattern.variable.empty()) {
+      if (std::optional<Value> bound = LookupVar(node_pattern.variable)) {
+        if (bound->is_null()) return Status::OK();
+        if (!bound->is_node()) {
+          return Status::ExecutionError("variable '" + node_pattern.variable +
+                                        "' is bound to " +
+                                        ValueTypeName(bound->type()) +
+                                        ", expected a node");
+        }
+        if (bound->AsNode() != next) return Status::OK();
+      }
+    }
+    CYPHER_ASSIGN_OR_RETURN(bool node_ok, NodeMatches(node_pattern, next));
+    if (!node_ok) return Status::OK();
+    size_t mark = assigned_.size();
+    if (!node_pattern.variable.empty() && !LookupVar(node_pattern.variable)) {
+      assigned_.Push(node_pattern.variable, Value::Node(next));
+    }
+    used_rels_.insert(via.value);
+    path->rels.push_back(via);
+    path->nodes.push_back(next);
+    Status st = MatchStep(pattern, step_idx + 1, next, path, pattern_idx);
+    path->nodes.pop_back();
+    path->rels.pop_back();
+    used_rels_.erase(via.value);
+    assigned_.PopTo(mark);
+    return st;
+  }
+
+  Status MatchVarLength(const PathPattern& pattern, size_t step_idx,
+                        NodeId cur, PathValue* path, size_t pattern_idx) {
+    const auto& [rel_pattern, node_pattern] = pattern.steps[step_idx];
+    if (!rel_pattern.variable.empty() && LookupVar(rel_pattern.variable)) {
+      return Status::SemanticError(
+          "variable-length relationship variable '" + rel_pattern.variable +
+          "' is already bound");
+    }
+    std::vector<RelId> hops;
+    return VarLengthFrom(pattern, step_idx, cur, 0, &hops, path, pattern_idx);
+  }
+
+  Status VarLengthFrom(const PathPattern& pattern, size_t step_idx,
+                       NodeId cur, int64_t count, std::vector<RelId>* hops,
+                       PathValue* path, size_t pattern_idx) {
+    if (stopped_) return Status::OK();
+    const auto& [rel_pattern, node_pattern] = pattern.steps[step_idx];
+    if (count >= rel_pattern.min_hops) {
+      // Try to terminate the variable-length section at `cur`.
+      if (!node_pattern.variable.empty()) {
+        std::optional<Value> bound = LookupVar(node_pattern.variable);
+        if (bound && (!bound->is_node() || bound->AsNode() != cur)) {
+          goto extend;  // cannot terminate here; keep walking
+        }
+      }
+      {
+        CYPHER_ASSIGN_OR_RETURN(bool node_ok, NodeMatches(node_pattern, cur));
+        if (node_ok) {
+          size_t mark = assigned_.size();
+          if (!rel_pattern.variable.empty()) {
+            ValueList rel_values;
+            rel_values.reserve(hops->size());
+            for (RelId r : *hops) rel_values.push_back(Value::Rel(r));
+            assigned_.Push(rel_pattern.variable,
+                           Value::List(std::move(rel_values)));
+          }
+          if (!node_pattern.variable.empty() &&
+              !LookupVar(node_pattern.variable)) {
+            assigned_.Push(node_pattern.variable, Value::Node(cur));
+          }
+          CYPHER_RETURN_NOT_OK(
+              MatchStep(pattern, step_idx + 1, cur, path, pattern_idx));
+          assigned_.PopTo(mark);
+        }
+      }
+    }
+  extend:
+    if (rel_pattern.max_hops >= 0 && count >= rel_pattern.max_hops) {
+      return Status::OK();
+    }
+    for (const RelCandidate& cand : RelCandidates(cur, rel_pattern)) {
+      if (stopped_) break;
+      // Within a variable-length walk the trail constraint always applies
+      // (it is what bounds unbounded walks); homomorphism mode still skips
+      // cross-pattern uniqueness but cannot revisit within the walk.
+      if (std::find(hops->begin(), hops->end(), cand.rel) != hops->end()) {
+        continue;
+      }
+      if (!RelUsable(cand.rel)) continue;
+      CYPHER_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rel_pattern, cand.rel));
+      if (!rel_ok) continue;
+      used_rels_.insert(cand.rel.value);
+      hops->push_back(cand.rel);
+      path->rels.push_back(cand.rel);
+      path->nodes.push_back(cand.to);
+      CYPHER_RETURN_NOT_OK(VarLengthFrom(pattern, step_idx, cand.to, count + 1,
+                                         hops, path, pattern_idx));
+      path->nodes.pop_back();
+      path->rels.pop_back();
+      hops->pop_back();
+      used_rels_.erase(cand.rel.value);
+    }
+    return Status::OK();
+  }
+
+  const EvalContext& ctx_;
+  const Bindings& input_;
+  const std::vector<PathPattern>& patterns_;
+  const MatchOptions& options_;
+  const MatchSink& sink_;
+  const PropertyGraph& graph_;
+  MatchAssignment assigned_;
+  std::unordered_set<uint32_t> used_rels_;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+Status MatchPatterns(const EvalContext& ctx, const Bindings& bindings,
+                     const std::vector<PathPattern>& patterns,
+                     const MatchOptions& options, const MatchSink& sink) {
+  return MatchEngine(ctx, bindings, patterns, options, sink).Run();
+}
+
+Result<bool> HasMatch(const EvalContext& ctx, const Bindings& bindings,
+                      const std::vector<PathPattern>& patterns,
+                      const MatchOptions& options) {
+  bool found = false;
+  Status st = MatchPatterns(ctx, bindings, patterns, options,
+                            [&found](const MatchAssignment&) -> Result<bool> {
+                              found = true;
+                              return false;  // stop at first match
+                            });
+  CYPHER_RETURN_NOT_OK(st);
+  return found;
+}
+
+}  // namespace cypher

@@ -1,0 +1,74 @@
+#ifndef CYPHER_MATCH_MATCHER_H_
+#define CYPHER_MATCH_MATCHER_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/pattern.h"
+#include "common/result.h"
+#include "eval/env.h"
+
+namespace cypher {
+
+// MatchMode lives in eval/env.h (part of EvalContext so expression-level
+// pattern predicates use the session's matching mode).
+
+struct MatchOptions {
+  MatchMode mode = MatchMode::kRelUnique;
+};
+
+/// Variable assignment produced by one successful match: the bindings added
+/// on top of the input record, in deterministic order (pattern syntactic
+/// order, first occurrence).
+class MatchAssignment {
+ public:
+  void Push(const std::string& name, Value value) {
+    entries_.emplace_back(name, std::move(value));
+  }
+  void PopTo(size_t size) { entries_.resize(size); }
+  size_t size() const { return entries_.size(); }
+
+  /// Looks up a variable in this assignment only; nullptr when absent.
+  const Value* Find(std::string_view name) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->first == name) return &it->second;
+    }
+    return nullptr;
+  }
+
+  const std::vector<std::pair<std::string, Value>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Value>> entries_;
+};
+
+/// Receives each complete match. Return false to stop enumeration early
+/// (used by MERGE's existence checks), or an error Status to abort.
+using MatchSink = std::function<Result<bool>(const MatchAssignment&)>;
+
+/// Enumerates all matches of a conjunction of path patterns in `ctx.graph`,
+/// consistent with the already-bound variables in `bindings` (the driving
+/// table record). Matches are emitted in a deterministic order (ascending
+/// entity ids at every choice point), which the legacy executors rely on
+/// for reproducible anomaly demonstrations.
+///
+/// Property expressions inside patterns are evaluated against `bindings`
+/// and compared with CypherEquals: a filter value of null never matches
+/// (exactly why Example 5's null-keyed records always fall through to
+/// MERGE's create branch).
+Status MatchPatterns(const EvalContext& ctx, const Bindings& bindings,
+                     const std::vector<PathPattern>& patterns,
+                     const MatchOptions& options, const MatchSink& sink);
+
+/// True if at least one match exists.
+Result<bool> HasMatch(const EvalContext& ctx, const Bindings& bindings,
+                      const std::vector<PathPattern>& patterns,
+                      const MatchOptions& options);
+
+}  // namespace cypher
+
+#endif  // CYPHER_MATCH_MATCHER_H_

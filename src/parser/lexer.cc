@@ -1,0 +1,361 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace cypher {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kFloat:
+      return "float";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kParameter:
+      return "parameter";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kDotDot:
+      return "'..'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kPlusEq:
+      return "'+='";
+    case TokenKind::kDash:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kCaret:
+      return "'^'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'<>'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      CYPHER_RETURN_NOT_OK(SkipSpaceAndComments());
+      Token token = MakeToken(TokenKind::kEnd);
+      if (pos_ >= text_.size()) {
+        tokens.push_back(token);
+        return tokens;
+      }
+      CYPHER_RETURN_NOT_OK(Next(&token));
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    return Status::SyntaxError(what + " at line " + std::to_string(line_) +
+                               ", column " + std::to_string(column_));
+  }
+
+  Token MakeToken(TokenKind kind) {
+    Token t;
+    t.kind = kind;
+    t.offset = pos_;
+    t.line = line_;
+    t.column = column_;
+    return t;
+  }
+
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (pos_ < text_.size()) {
+      if (text_[pos_] == '\n') {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+      ++pos_;
+    }
+  }
+
+  Status SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') Advance();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (pos_ < text_.size() && !(Peek() == '*' && Peek(1) == '/')) {
+          Advance();
+        }
+        if (pos_ >= text_.size()) return Error("unterminated block comment");
+        Advance();
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status Next(Token* out) {
+    char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdentifier(out);
+    }
+    if (c == '`') return LexBackquoted(out);
+    if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber(out);
+    if (c == '\'' || c == '"') return LexString(out);
+    if (c == '$') return LexParameter(out);
+    return LexOperator(out);
+  }
+
+  Status LexIdentifier(Token* out) {
+    *out = MakeToken(TokenKind::kIdentifier);
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      Advance();
+    }
+    out->text = std::string(text_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  Status LexBackquoted(Token* out) {
+    *out = MakeToken(TokenKind::kIdentifier);
+    Advance();  // opening backquote
+    std::string name;
+    while (pos_ < text_.size() && text_[pos_] != '`') {
+      name += text_[pos_];
+      Advance();
+    }
+    if (pos_ >= text_.size()) return Error("unterminated backquoted name");
+    Advance();  // closing backquote
+    if (name.empty()) return Error("empty backquoted name");
+    out->text = std::move(name);
+    return Status::OK();
+  }
+
+  Status LexNumber(Token* out) {
+    *out = MakeToken(TokenKind::kInteger);
+    size_t start = pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    bool is_float = false;
+    // A '.' starts a fraction only when not '..' (range operator) and when
+    // followed by a digit (so `n.prop` never lexes into the number).
+    if (Peek() == '.' && Peek(1) != '.' &&
+        std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      Advance();
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      char sign = Peek(1);
+      size_t digits_at = (sign == '+' || sign == '-') ? 2 : 1;
+      if (std::isdigit(static_cast<unsigned char>(Peek(digits_at)))) {
+        is_float = true;
+        Advance();  // e
+        if (sign == '+' || sign == '-') Advance();
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (is_float) {
+      out->kind = TokenKind::kFloat;
+      auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(),
+                          out->float_value);
+      if (ec != std::errc()) return Error("malformed float literal");
+      (void)ptr;
+    } else {
+      auto [ptr, ec] = std::from_chars(
+          token.data(), token.data() + token.size(), out->int_value);
+      if (ec != std::errc()) return Error("integer literal out of range");
+      (void)ptr;
+    }
+    return Status::OK();
+  }
+
+  Status LexString(Token* out) {
+    *out = MakeToken(TokenKind::kString);
+    char quote = Peek();
+    Advance();
+    std::string value;
+    while (pos_ < text_.size()) {
+      char c = Peek();
+      if (c == quote) {
+        Advance();
+        out->text = std::move(value);
+        return Status::OK();
+      }
+      if (c == '\\') {
+        Advance();
+        char e = Peek();
+        switch (e) {
+          case 'n':
+            value += '\n';
+            break;
+          case 't':
+            value += '\t';
+            break;
+          case 'r':
+            value += '\r';
+            break;
+          case '\\':
+          case '\'':
+          case '"':
+          case '`':
+            value += e;
+            break;
+          default:
+            return Error(std::string("unknown escape '\\") + e + "'");
+        }
+        Advance();
+        continue;
+      }
+      value += c;
+      Advance();
+    }
+    return Error("unterminated string literal");
+  }
+
+  Status LexParameter(Token* out) {
+    *out = MakeToken(TokenKind::kParameter);
+    Advance();  // $
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      Advance();
+    }
+    if (pos_ == start) return Error("expected parameter name after '$'");
+    out->text = std::string(text_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  Status LexOperator(Token* out) {
+    char c = Peek();
+    char n = Peek(1);
+    auto emit = [&](TokenKind kind, int chars) {
+      *out = MakeToken(kind);
+      for (int i = 0; i < chars; ++i) Advance();
+      return Status::OK();
+    };
+    switch (c) {
+      case '(':
+        return emit(TokenKind::kLParen, 1);
+      case ')':
+        return emit(TokenKind::kRParen, 1);
+      case '[':
+        return emit(TokenKind::kLBracket, 1);
+      case ']':
+        return emit(TokenKind::kRBracket, 1);
+      case '{':
+        return emit(TokenKind::kLBrace, 1);
+      case '}':
+        return emit(TokenKind::kRBrace, 1);
+      case ',':
+        return emit(TokenKind::kComma, 1);
+      case ':':
+        return emit(TokenKind::kColon, 1);
+      case ';':
+        return emit(TokenKind::kSemicolon, 1);
+      case '|':
+        return emit(TokenKind::kPipe, 1);
+      case '.':
+        if (n == '.') return emit(TokenKind::kDotDot, 2);
+        return emit(TokenKind::kDot, 1);
+      case '+':
+        if (n == '=') return emit(TokenKind::kPlusEq, 2);
+        return emit(TokenKind::kPlus, 1);
+      case '-':
+        return emit(TokenKind::kDash, 1);
+      case '*':
+        return emit(TokenKind::kStar, 1);
+      case '/':
+        return emit(TokenKind::kSlash, 1);
+      case '%':
+        return emit(TokenKind::kPercent, 1);
+      case '^':
+        return emit(TokenKind::kCaret, 1);
+      case '=':
+        return emit(TokenKind::kEq, 1);
+      case '<':
+        if (n == '=') return emit(TokenKind::kLe, 2);
+        if (n == '>') return emit(TokenKind::kNe, 2);
+        return emit(TokenKind::kLt, 1);
+      case '>':
+        if (n == '=') return emit(TokenKind::kGe, 2);
+        return emit(TokenKind::kGt, 1);
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  return Lexer(text).Run();
+}
+
+}  // namespace cypher

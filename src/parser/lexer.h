@@ -1,0 +1,31 @@
+#ifndef CYPHER_PARSER_LEXER_H_
+#define CYPHER_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "parser/token.h"
+
+namespace cypher {
+
+/// Tokenizes a full query string.
+///
+/// Supported lexical syntax:
+///  * identifiers `[A-Za-z_][A-Za-z0-9_]*` and backquoted identifiers;
+///  * integer and float literals (decimal; exponents); `1..2` lexes as
+///    INTEGER DOTDOT INTEGER, not FLOAT FLOAT;
+///  * single- or double-quoted strings with \\, \', \", \n, \t escapes;
+///  * `$name` parameters;
+///  * line comments `//` and block comments `/* */`;
+///  * multi-char operators `<=`, `>=`, `<>`, `+=`, `..`.
+///
+/// Pattern arrows (`-[`, `]->`, `<-[`) are not lexed as units; the parser
+/// assembles them from kDash/kLt/kGt, which keeps `a - b > c` unambiguous in
+/// expression position.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace cypher
+
+#endif  // CYPHER_PARSER_LEXER_H_

@@ -1,0 +1,1035 @@
+#include "parser/parser.h"
+
+#include <cctype>
+#include <memory>
+#include <utility>
+
+#include "common/strings.h"
+#include "parser/lexer.h"
+
+namespace cypher {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view source, std::vector<Token> tokens)
+      : source_(source), tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseStatement() {
+    Query query;
+    if (ConsumeKeyword("EXPLAIN")) {
+      query.mode = QueryMode::kExplain;
+    } else if (ConsumeKeyword("PROFILE")) {
+      query.mode = QueryMode::kProfile;
+    }
+    CYPHER_ASSIGN_OR_RETURN(SingleQuery first, ParseSingleQuery());
+    query.parts.push_back(std::move(first));
+    while (ConsumeKeyword("UNION")) {
+      bool all = ConsumeKeyword("ALL");
+      CYPHER_ASSIGN_OR_RETURN(SingleQuery next, ParseSingleQuery());
+      query.parts.push_back(std::move(next));
+      query.union_all.push_back(all);
+    }
+    Consume(TokenKind::kSemicolon);
+    if (!AtEnd()) return Error("unexpected input after end of query");
+    return query;
+  }
+
+  Result<ExprPtr> ParseWholeExpression() {
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    if (!AtEnd()) return Error("unexpected input after expression");
+    return expr;
+  }
+
+ private:
+  // ---- Token utilities ------------------------------------------------------
+
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t ahead = 1) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEnd() const { return Cur().kind == TokenKind::kEnd; }
+
+  bool At(TokenKind kind) const { return Cur().kind == kind; }
+
+  bool Consume(TokenKind kind) {
+    if (!At(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Consume(kind)) return Status::OK();
+    return Error(std::string("expected ") + TokenKindName(kind));
+  }
+
+  static bool TokenIsKeyword(const Token& token, std::string_view keyword) {
+    return token.kind == TokenKind::kIdentifier &&
+           EqualsIgnoreCase(token.text, keyword);
+  }
+
+  bool AtKeyword(std::string_view keyword) const {
+    return TokenIsKeyword(Cur(), keyword);
+  }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    if (!AtKeyword(keyword)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (ConsumeKeyword(keyword)) return Status::OK();
+    return Error("expected keyword " + std::string(keyword));
+  }
+
+  Status Error(const std::string& what) const {
+    const Token& t = Cur();
+    std::string got = t.kind == TokenKind::kIdentifier
+                          ? "'" + t.text + "'"
+                          : TokenKindName(t.kind);
+    return Status::SyntaxError(what + ", got " + got + " at line " +
+                               std::to_string(t.line) + ", column " +
+                               std::to_string(t.column));
+  }
+
+  /// Source text between two token offsets, trimmed (used for implicit
+  /// projection aliases).
+  std::string SourceBetween(size_t begin_token, size_t end_token) const {
+    size_t begin = tokens_[begin_token].offset;
+    size_t end = end_token < tokens_.size() ? tokens_[end_token].offset
+                                            : source_.size();
+    return std::string(StripAsciiWhitespace(source_.substr(begin, end - begin)));
+  }
+
+  // ---- Clauses --------------------------------------------------------------
+
+  bool AtClauseBoundary() const {
+    if (AtEnd() || At(TokenKind::kSemicolon) || At(TokenKind::kRParen)) {
+      return true;
+    }
+    return AtKeyword("UNION");
+  }
+
+  Result<SingleQuery> ParseSingleQuery() {
+    SingleQuery query;
+    if (AtClauseBoundary()) return Error("expected a clause");
+    while (!AtClauseBoundary()) {
+      CYPHER_ASSIGN_OR_RETURN(ClausePtr clause, ParseClause());
+      bool is_return = clause->kind == ClauseKind::kReturn;
+      query.clauses.push_back(std::move(clause));
+      if (is_return && !AtClauseBoundary()) {
+        return Error("RETURN must be the final clause");
+      }
+    }
+    return query;
+  }
+
+  Result<ClausePtr> ParseClause() {
+    if (ConsumeKeyword("OPTIONAL")) {
+      CYPHER_RETURN_NOT_OK(ExpectKeyword("MATCH"));
+      return ParseMatch(/*optional=*/true);
+    }
+    if (ConsumeKeyword("MATCH")) return ParseMatch(/*optional=*/false);
+    if (ConsumeKeyword("UNWIND")) return ParseUnwind();
+    if (ConsumeKeyword("WITH")) return ParseWith();
+    if (ConsumeKeyword("RETURN")) return ParseReturn();
+    if (ConsumeKeyword("CREATE")) {
+      if (ConsumeKeyword("INDEX")) return ParseIndexClause(/*drop=*/false);
+      if (ConsumeKeyword("CONSTRAINT")) {
+        return ParseConstraintClause(/*drop=*/false);
+      }
+      return ParseCreate();
+    }
+    if (ConsumeKeyword("DROP")) {
+      if (ConsumeKeyword("INDEX")) return ParseIndexClause(/*drop=*/true);
+      if (ConsumeKeyword("CONSTRAINT")) {
+        return ParseConstraintClause(/*drop=*/true);
+      }
+      return Error("expected INDEX or CONSTRAINT after DROP");
+    }
+    if (ConsumeKeyword("SET")) return ParseSet();
+    if (ConsumeKeyword("REMOVE")) return ParseRemove();
+    if (ConsumeKeyword("DETACH")) {
+      CYPHER_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+      return ParseDelete(/*detach=*/true);
+    }
+    if (ConsumeKeyword("DELETE")) return ParseDelete(/*detach=*/false);
+    if (ConsumeKeyword("MERGE")) return ParseMerge();
+    if (ConsumeKeyword("FOREACH")) return ParseForeach();
+    if (AtKeyword("CALL") && Peek().kind == TokenKind::kLBrace) {
+      ++pos_;
+      return ParseCallSubquery();
+    }
+    return Error("expected a clause keyword");
+  }
+
+  Result<ClausePtr> ParseMatch(bool optional) {
+    auto clause = std::make_unique<MatchClause>();
+    clause->optional = optional;
+    CYPHER_ASSIGN_OR_RETURN(clause->patterns, ParsePatternList());
+    if (ConsumeKeyword("WHERE")) {
+      CYPHER_ASSIGN_OR_RETURN(clause->where, ParseExpr());
+    }
+    return ClausePtr(std::move(clause));
+  }
+
+  Result<ClausePtr> ParseUnwind() {
+    auto clause = std::make_unique<UnwindClause>();
+    CYPHER_ASSIGN_OR_RETURN(clause->list, ParseExpr());
+    CYPHER_RETURN_NOT_OK(ExpectKeyword("AS"));
+    CYPHER_ASSIGN_OR_RETURN(clause->variable, ParseName("variable"));
+    return ClausePtr(std::move(clause));
+  }
+
+  Result<ClausePtr> ParseWith() {
+    auto clause = std::make_unique<WithClause>();
+    CYPHER_ASSIGN_OR_RETURN(clause->body, ParseProjectionBody());
+    if (ConsumeKeyword("WHERE")) {
+      CYPHER_ASSIGN_OR_RETURN(clause->where, ParseExpr());
+    }
+    return ClausePtr(std::move(clause));
+  }
+
+  Result<ClausePtr> ParseReturn() {
+    auto clause = std::make_unique<ReturnClause>();
+    CYPHER_ASSIGN_OR_RETURN(clause->body, ParseProjectionBody());
+    return ClausePtr(std::move(clause));
+  }
+
+  Result<ClausePtr> ParseCreate() {
+    auto clause = std::make_unique<CreateClause>();
+    CYPHER_ASSIGN_OR_RETURN(clause->patterns, ParsePatternList());
+    return ClausePtr(std::move(clause));
+  }
+
+  Result<ClausePtr> ParseSet() {
+    auto clause = std::make_unique<SetClause>();
+    CYPHER_ASSIGN_OR_RETURN(clause->items, ParseSetItems());
+    return ClausePtr(std::move(clause));
+  }
+
+  Result<ClausePtr> ParseRemove() {
+    auto clause = std::make_unique<RemoveClause>();
+    while (true) {
+      CYPHER_ASSIGN_OR_RETURN(ExprPtr target, ParsePostfixExpr());
+      RemoveItem item;
+      if (target->kind == ExprKind::kProperty) {
+        auto* prop = static_cast<PropertyExpr*>(target.get());
+        item.kind = RemoveItemKind::kProperty;
+        item.key = prop->key;
+        item.target = std::move(prop->object);
+      } else if (target->kind == ExprKind::kHasLabels) {
+        auto* has = static_cast<HasLabelsExpr*>(target.get());
+        item.kind = RemoveItemKind::kLabels;
+        item.labels = has->labels;
+        item.target = std::move(has->object);
+      } else {
+        return Error("REMOVE item must be expr.key or expr:Label");
+      }
+      clause->items.push_back(std::move(item));
+      if (!Consume(TokenKind::kComma)) break;
+    }
+    return ClausePtr(std::move(clause));
+  }
+
+  Result<ClausePtr> ParseDelete(bool detach) {
+    auto clause = std::make_unique<DeleteClause>();
+    clause->detach = detach;
+    while (true) {
+      CYPHER_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+      clause->exprs.push_back(std::move(expr));
+      if (!Consume(TokenKind::kComma)) break;
+    }
+    return ClausePtr(std::move(clause));
+  }
+
+  Result<ClausePtr> ParseMerge() {
+    auto clause = std::make_unique<MergeClause>();
+    // `MERGE ALL` / `MERGE SAME` unless ALL/SAME is a path variable
+    // (`MERGE all = (...)`, disambiguated by the '=').
+    if (AtKeyword("ALL") && Peek().kind != TokenKind::kEq) {
+      ++pos_;
+      clause->form = MergeForm::kAll;
+    } else if (AtKeyword("SAME") && Peek().kind != TokenKind::kEq) {
+      ++pos_;
+      clause->form = MergeForm::kSame;
+    }
+    if (clause->form == MergeForm::kLegacy) {
+      CYPHER_ASSIGN_OR_RETURN(PathPattern pattern, ParsePathPattern());
+      clause->patterns.push_back(std::move(pattern));
+      while (AtKeyword("ON")) {
+        ++pos_;
+        bool on_create = false;
+        if (ConsumeKeyword("CREATE")) {
+          on_create = true;
+        } else if (!ConsumeKeyword("MATCH")) {
+          return Error("expected CREATE or MATCH after ON");
+        }
+        CYPHER_RETURN_NOT_OK(ExpectKeyword("SET"));
+        CYPHER_ASSIGN_OR_RETURN(std::vector<SetItem> items, ParseSetItems());
+        auto& dest = on_create ? clause->on_create : clause->on_match;
+        for (auto& item : items) dest.push_back(std::move(item));
+      }
+    } else {
+      CYPHER_ASSIGN_OR_RETURN(clause->patterns, ParsePatternList());
+    }
+    return ClausePtr(std::move(clause));
+  }
+
+  Result<ClausePtr> ParseIndexClause(bool drop) {
+    auto clause = std::make_unique<CreateIndexClause>();
+    clause->drop = drop;
+    CYPHER_RETURN_NOT_OK(ExpectKeyword("ON"));
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kColon));
+    CYPHER_ASSIGN_OR_RETURN(clause->label, ParseName("label"));
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    CYPHER_ASSIGN_OR_RETURN(clause->key, ParseName("property key"));
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    return ClausePtr(std::move(clause));
+  }
+
+  /// `ON (n:Label) ASSERT n.key IS UNIQUE` after CREATE/DROP CONSTRAINT.
+  Result<ClausePtr> ParseConstraintClause(bool drop) {
+    auto clause = std::make_unique<ConstraintClause>();
+    clause->drop = drop;
+    CYPHER_RETURN_NOT_OK(ExpectKeyword("ON"));
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    CYPHER_ASSIGN_OR_RETURN(std::string var, ParseName("variable"));
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kColon));
+    CYPHER_ASSIGN_OR_RETURN(clause->label, ParseName("label"));
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    CYPHER_RETURN_NOT_OK(ExpectKeyword("ASSERT"));
+    CYPHER_ASSIGN_OR_RETURN(std::string var2, ParseName("variable"));
+    if (var2 != var) {
+      return Error("constraint variable '" + var2 + "' does not match '" +
+                   var + "'");
+    }
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kDot));
+    CYPHER_ASSIGN_OR_RETURN(clause->key, ParseName("property key"));
+    CYPHER_RETURN_NOT_OK(ExpectKeyword("IS"));
+    CYPHER_RETURN_NOT_OK(ExpectKeyword("UNIQUE"));
+    return ClausePtr(std::move(clause));
+  }
+
+  Result<ClausePtr> ParseForeach() {
+    auto clause = std::make_unique<ForeachClause>();
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    CYPHER_ASSIGN_OR_RETURN(clause->variable, ParseName("variable"));
+    CYPHER_RETURN_NOT_OK(ExpectKeyword("IN"));
+    CYPHER_ASSIGN_OR_RETURN(clause->list, ParseExpr());
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kPipe));
+    while (!At(TokenKind::kRParen)) {
+      CYPHER_ASSIGN_OR_RETURN(ClausePtr inner, ParseClause());
+      if (!IsUpdateClause(*inner)) {
+        return Error("FOREACH body allows update clauses only");
+      }
+      clause->body.push_back(std::move(inner));
+    }
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    if (clause->body.empty()) return Error("FOREACH body is empty");
+    return ClausePtr(std::move(clause));
+  }
+
+  Result<ClausePtr> ParseCallSubquery() {
+    auto clause = std::make_unique<CallSubqueryClause>();
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kLBrace));
+    while (!At(TokenKind::kRBrace)) {
+      if (AtEnd()) return Error("unterminated CALL { ... } subquery");
+      CYPHER_ASSIGN_OR_RETURN(ClausePtr inner, ParseClause());
+      bool is_return = inner->kind == ClauseKind::kReturn;
+      clause->body.push_back(std::move(inner));
+      if (is_return && !At(TokenKind::kRBrace)) {
+        return Error("RETURN must be the final clause of a subquery");
+      }
+    }
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRBrace));
+    if (clause->body.empty()) return Error("CALL { } subquery is empty");
+    return ClausePtr(std::move(clause));
+  }
+
+  Result<std::string> ParseName(const char* what) {
+    if (!At(TokenKind::kIdentifier)) {
+      return Error(std::string("expected ") + what + " name");
+    }
+    std::string name = Cur().text;
+    ++pos_;
+    return name;
+  }
+
+  Result<std::vector<SetItem>> ParseSetItems() {
+    std::vector<SetItem> items;
+    while (true) {
+      CYPHER_ASSIGN_OR_RETURN(SetItem item, ParseSetItem());
+      items.push_back(std::move(item));
+      if (!Consume(TokenKind::kComma)) break;
+    }
+    return items;
+  }
+
+  Result<SetItem> ParseSetItem() {
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr target, ParsePostfixExpr());
+    SetItem item;
+    if (Consume(TokenKind::kEq)) {
+      if (target->kind == ExprKind::kProperty) {
+        auto* prop = static_cast<PropertyExpr*>(target.get());
+        item.kind = SetItemKind::kSetProperty;
+        item.key = prop->key;
+        item.target = std::move(prop->object);
+      } else if (target->kind == ExprKind::kVariable) {
+        item.kind = SetItemKind::kReplaceProps;
+        item.target = std::move(target);
+      } else {
+        return Error("SET target must be expr.key or a variable");
+      }
+      CYPHER_ASSIGN_OR_RETURN(item.value, ParseExpr());
+      return item;
+    }
+    if (Consume(TokenKind::kPlusEq)) {
+      item.kind = SetItemKind::kMergeProps;
+      item.target = std::move(target);
+      CYPHER_ASSIGN_OR_RETURN(item.value, ParseExpr());
+      return item;
+    }
+    if (target->kind == ExprKind::kHasLabels) {
+      auto* has = static_cast<HasLabelsExpr*>(target.get());
+      item.kind = SetItemKind::kSetLabels;
+      item.labels = has->labels;
+      item.target = std::move(has->object);
+      return item;
+    }
+    return Error("malformed SET item");
+  }
+
+  Result<ProjectionBody> ParseProjectionBody() {
+    ProjectionBody body;
+    body.distinct = ConsumeKeyword("DISTINCT");
+    bool expect_items = true;
+    if (Consume(TokenKind::kStar)) {
+      body.include_existing = true;
+      expect_items = Consume(TokenKind::kComma);
+    }
+    if (expect_items) {
+      while (true) {
+        size_t begin_token = pos_;
+        ReturnItem item;
+        CYPHER_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("AS")) {
+          CYPHER_ASSIGN_OR_RETURN(item.alias, ParseName("alias"));
+        } else {
+          item.alias = SourceBetween(begin_token, pos_);
+        }
+        body.items.push_back(std::move(item));
+        if (!Consume(TokenKind::kComma)) break;
+      }
+    }
+    if (AtKeyword("ORDER")) {
+      ++pos_;
+      CYPHER_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        SortItem sort;
+        CYPHER_ASSIGN_OR_RETURN(sort.expr, ParseExpr());
+        if (ConsumeKeyword("DESC") || ConsumeKeyword("DESCENDING")) {
+          sort.ascending = false;
+        } else if (ConsumeKeyword("ASC") || ConsumeKeyword("ASCENDING")) {
+          sort.ascending = true;
+        }
+        body.order_by.push_back(std::move(sort));
+        if (!Consume(TokenKind::kComma)) break;
+      }
+    }
+    if (ConsumeKeyword("SKIP")) {
+      CYPHER_ASSIGN_OR_RETURN(body.skip, ParseExpr());
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      CYPHER_ASSIGN_OR_RETURN(body.limit, ParseExpr());
+    }
+    return body;
+  }
+
+  // ---- Patterns -------------------------------------------------------------
+
+  Result<std::vector<PathPattern>> ParsePatternList() {
+    std::vector<PathPattern> patterns;
+    while (true) {
+      CYPHER_ASSIGN_OR_RETURN(PathPattern pattern, ParsePathPattern());
+      patterns.push_back(std::move(pattern));
+      if (!Consume(TokenKind::kComma)) break;
+    }
+    return patterns;
+  }
+
+  Result<PathPattern> ParsePathPattern() {
+    PathPattern pattern;
+    if (At(TokenKind::kIdentifier) && Peek().kind == TokenKind::kEq) {
+      pattern.path_variable = Cur().text;
+      pos_ += 2;
+    }
+    bool wrapped = false;
+    if (At(TokenKind::kIdentifier) && Peek().kind == TokenKind::kLParen) {
+      if (EqualsIgnoreCase(Cur().text, "shortestPath")) {
+        pattern.function = PathFunction::kShortest;
+        wrapped = true;
+      } else if (EqualsIgnoreCase(Cur().text, "allShortestPaths")) {
+        pattern.function = PathFunction::kAllShortest;
+        wrapped = true;
+      }
+      if (wrapped) pos_ += 2;  // name, '('
+    }
+    CYPHER_ASSIGN_OR_RETURN(pattern.start, ParseNodePattern());
+    while (At(TokenKind::kDash) || At(TokenKind::kLt)) {
+      CYPHER_ASSIGN_OR_RETURN(RelPattern rel, ParseRelPattern());
+      CYPHER_ASSIGN_OR_RETURN(NodePattern node, ParseNodePattern());
+      pattern.steps.emplace_back(std::move(rel), std::move(node));
+    }
+    if (wrapped) {
+      CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      if (pattern.steps.size() != 1 || !pattern.steps[0].first.var_length) {
+        return Error(
+            "shortestPath()/allShortestPaths() expects a single "
+            "variable-length relationship pattern");
+      }
+    }
+    return pattern;
+  }
+
+  Result<NodePattern> ParseNodePattern() {
+    NodePattern node;
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    if (At(TokenKind::kIdentifier)) {
+      node.variable = Cur().text;
+      ++pos_;
+    }
+    while (Consume(TokenKind::kColon)) {
+      CYPHER_ASSIGN_OR_RETURN(std::string label, ParseName("label"));
+      node.labels.push_back(std::move(label));
+    }
+    if (At(TokenKind::kLBrace)) {
+      CYPHER_ASSIGN_OR_RETURN(node.properties, ParsePropertyMap());
+    }
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    return node;
+  }
+
+  Result<RelPattern> ParseRelPattern() {
+    RelPattern rel;
+    bool left = false;
+    if (Consume(TokenKind::kLt)) {
+      left = true;
+    }
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kDash));
+    if (Consume(TokenKind::kLBracket)) {
+      if (At(TokenKind::kIdentifier)) {
+        rel.variable = Cur().text;
+        ++pos_;
+      }
+      if (Consume(TokenKind::kColon)) {
+        CYPHER_ASSIGN_OR_RETURN(std::string type, ParseName("relationship type"));
+        rel.types.push_back(std::move(type));
+        while (Consume(TokenKind::kPipe)) {
+          Consume(TokenKind::kColon);  // both :A|B and :A|:B accepted
+          CYPHER_ASSIGN_OR_RETURN(std::string more, ParseName("relationship type"));
+          rel.types.push_back(std::move(more));
+        }
+      }
+      if (Consume(TokenKind::kStar)) {
+        rel.var_length = true;
+        rel.min_hops = 1;
+        rel.max_hops = -1;
+        if (At(TokenKind::kInteger)) {
+          rel.min_hops = Cur().int_value;
+          rel.max_hops = rel.min_hops;
+          ++pos_;
+        }
+        if (Consume(TokenKind::kDotDot)) {
+          rel.max_hops = -1;
+          if (At(TokenKind::kInteger)) {
+            rel.max_hops = Cur().int_value;
+            ++pos_;
+          }
+        }
+      }
+      if (At(TokenKind::kLBrace)) {
+        CYPHER_ASSIGN_OR_RETURN(rel.properties, ParsePropertyMap());
+      }
+      CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRBracket));
+    }
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kDash));
+    bool right = Consume(TokenKind::kGt);
+    if (left && right) {
+      return Error("relationship pattern cannot point both ways");
+    }
+    rel.direction = left ? RelDirection::kRightToLeft
+                         : right ? RelDirection::kLeftToRight
+                                 : RelDirection::kUndirected;
+    return rel;
+  }
+
+  Result<std::vector<std::pair<std::string, ExprPtr>>> ParsePropertyMap() {
+    std::vector<std::pair<std::string, ExprPtr>> props;
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kLBrace));
+    if (Consume(TokenKind::kRBrace)) return props;
+    while (true) {
+      CYPHER_ASSIGN_OR_RETURN(std::string key, ParseName("property key"));
+      CYPHER_RETURN_NOT_OK(Expect(TokenKind::kColon));
+      CYPHER_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+      props.emplace_back(std::move(key), std::move(value));
+      if (Consume(TokenKind::kComma)) continue;
+      CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRBrace));
+      return props;
+    }
+  }
+
+  // ---- Expressions ----------------------------------------------------------
+
+  /// Hard cap on expression nesting so adversarial inputs ("((((((...")
+  /// produce a SyntaxError instead of exhausting the stack.
+  static constexpr int kMaxExpressionDepth = 400;
+
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    int* depth_;
+  };
+
+  Result<ExprPtr> ParseExpr() {
+    if (expr_depth_ >= kMaxExpressionDepth) {
+      return Error("expression nesting too deep");
+    }
+    DepthGuard guard(&expr_depth_);
+    return ParseOr();
+  }
+
+  Result<ExprPtr> ParseOr() {
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr left, ParseXor());
+    while (ConsumeKeyword("OR")) {
+      CYPHER_ASSIGN_OR_RETURN(ExprPtr right, ParseXor());
+      left = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(left),
+                                          std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseXor() {
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (ConsumeKeyword("XOR")) {
+      CYPHER_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = std::make_unique<BinaryExpr>(BinaryOp::kXor, std::move(left),
+                                          std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (ConsumeKeyword("AND")) {
+      CYPHER_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(left),
+                                          std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      if (expr_depth_ >= kMaxExpressionDepth) {
+        return Error("expression nesting too deep");
+      }
+      DepthGuard guard(&expr_depth_);
+      CYPHER_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return ExprPtr(
+          std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(operand)));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr left, ParseAddSub());
+    while (true) {
+      BinaryOp op;
+      if (Consume(TokenKind::kEq)) {
+        op = BinaryOp::kEq;
+      } else if (Consume(TokenKind::kNe)) {
+        op = BinaryOp::kNe;
+      } else if (Consume(TokenKind::kLe)) {
+        op = BinaryOp::kLe;
+      } else if (Consume(TokenKind::kGe)) {
+        op = BinaryOp::kGe;
+      } else if (Consume(TokenKind::kLt)) {
+        op = BinaryOp::kLt;
+      } else if (Consume(TokenKind::kGt)) {
+        op = BinaryOp::kGt;
+      } else if (ConsumeKeyword("IN")) {
+        op = BinaryOp::kIn;
+      } else if (AtKeyword("STARTS")) {
+        ++pos_;
+        CYPHER_RETURN_NOT_OK(ExpectKeyword("WITH"));
+        op = BinaryOp::kStartsWith;
+      } else if (AtKeyword("ENDS")) {
+        ++pos_;
+        CYPHER_RETURN_NOT_OK(ExpectKeyword("WITH"));
+        op = BinaryOp::kEndsWith;
+      } else if (ConsumeKeyword("CONTAINS")) {
+        op = BinaryOp::kContains;
+      } else if (AtKeyword("IS")) {
+        ++pos_;
+        bool negated = ConsumeKeyword("NOT");
+        CYPHER_RETURN_NOT_OK(ExpectKeyword("NULL"));
+        left = std::make_unique<IsNullExpr>(std::move(left), negated);
+        continue;
+      } else {
+        return left;
+      }
+      CYPHER_ASSIGN_OR_RETURN(ExprPtr right, ParseAddSub());
+      left = std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseAddSub() {
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr left, ParseMulDiv());
+    while (true) {
+      BinaryOp op;
+      if (Consume(TokenKind::kPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (Consume(TokenKind::kDash)) {
+        op = BinaryOp::kSub;
+      } else {
+        return left;
+      }
+      CYPHER_ASSIGN_OR_RETURN(ExprPtr right, ParseMulDiv());
+      left = std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParseMulDiv() {
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr left, ParsePower());
+    while (true) {
+      BinaryOp op;
+      if (Consume(TokenKind::kStar)) {
+        op = BinaryOp::kMul;
+      } else if (Consume(TokenKind::kSlash)) {
+        op = BinaryOp::kDiv;
+      } else if (Consume(TokenKind::kPercent)) {
+        op = BinaryOp::kMod;
+      } else {
+        return left;
+      }
+      CYPHER_ASSIGN_OR_RETURN(ExprPtr right, ParsePower());
+      left = std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+    }
+  }
+
+  Result<ExprPtr> ParsePower() {
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    if (Consume(TokenKind::kCaret)) {
+      CYPHER_ASSIGN_OR_RETURN(ExprPtr right, ParsePower());  // right-assoc
+      return ExprPtr(std::make_unique<BinaryExpr>(
+          BinaryOp::kPow, std::move(left), std::move(right)));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (At(TokenKind::kDash) || At(TokenKind::kPlus)) {
+      if (expr_depth_ >= kMaxExpressionDepth) {
+        return Error("expression nesting too deep");
+      }
+      DepthGuard guard(&expr_depth_);
+      if (Consume(TokenKind::kDash)) {
+        CYPHER_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+        return ExprPtr(
+            std::make_unique<UnaryExpr>(UnaryOp::kMinus, std::move(operand)));
+      }
+      Consume(TokenKind::kPlus);
+      CYPHER_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return ExprPtr(
+          std::make_unique<UnaryExpr>(UnaryOp::kPlus, std::move(operand)));
+    }
+    return ParsePostfixExpr();
+  }
+
+  Result<ExprPtr> ParsePostfixExpr() {
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr expr, ParseAtom());
+    while (true) {
+      if (Consume(TokenKind::kDot)) {
+        CYPHER_ASSIGN_OR_RETURN(std::string key, ParseName("property key"));
+        expr = std::make_unique<PropertyExpr>(std::move(expr), std::move(key));
+        continue;
+      }
+      if (Consume(TokenKind::kLBracket)) {
+        CYPHER_ASSIGN_OR_RETURN(ExprPtr index, ParseExpr());
+        CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRBracket));
+        expr = std::make_unique<IndexExpr>(std::move(expr), std::move(index));
+        continue;
+      }
+      if (At(TokenKind::kColon) && Peek().kind == TokenKind::kIdentifier) {
+        std::vector<std::string> labels;
+        while (Consume(TokenKind::kColon)) {
+          CYPHER_ASSIGN_OR_RETURN(std::string label, ParseName("label"));
+          labels.push_back(std::move(label));
+        }
+        expr = std::make_unique<HasLabelsExpr>(std::move(expr),
+                                               std::move(labels));
+        continue;
+      }
+      if (At(TokenKind::kLBrace)) {
+        CYPHER_ASSIGN_OR_RETURN(auto items, ParseMapProjectionItems());
+        expr = std::make_unique<MapProjectionExpr>(std::move(expr),
+                                                   std::move(items));
+        continue;
+      }
+      return expr;
+    }
+  }
+
+  Result<std::vector<MapProjectionItem>> ParseMapProjectionItems() {
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kLBrace));
+    std::vector<MapProjectionItem> items;
+    if (Consume(TokenKind::kRBrace)) return items;
+    while (true) {
+      MapProjectionItem item;
+      if (Consume(TokenKind::kDot)) {
+        if (Consume(TokenKind::kStar)) {
+          item.kind = MapProjectionItem::Kind::kAll;
+        } else {
+          CYPHER_ASSIGN_OR_RETURN(item.name, ParseName("property key"));
+          item.kind = MapProjectionItem::Kind::kProperty;
+        }
+      } else {
+        CYPHER_ASSIGN_OR_RETURN(item.name, ParseName("projection key"));
+        if (Consume(TokenKind::kColon)) {
+          item.kind = MapProjectionItem::Kind::kPair;
+          CYPHER_ASSIGN_OR_RETURN(item.value, ParseExpr());
+        } else {
+          item.kind = MapProjectionItem::Kind::kVariable;
+        }
+      }
+      items.push_back(std::move(item));
+      if (Consume(TokenKind::kComma)) continue;
+      CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRBrace));
+      return items;
+    }
+  }
+
+  Result<ExprPtr> ParseAtom() {
+    const Token& t = Cur();
+    switch (t.kind) {
+      case TokenKind::kInteger: {
+        ++pos_;
+        return ExprPtr(std::make_unique<LiteralExpr>(Value::Int(t.int_value)));
+      }
+      case TokenKind::kFloat: {
+        ++pos_;
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(Value::Float(t.float_value)));
+      }
+      case TokenKind::kString: {
+        ++pos_;
+        return ExprPtr(std::make_unique<LiteralExpr>(Value::String(t.text)));
+      }
+      case TokenKind::kParameter: {
+        ++pos_;
+        return ExprPtr(std::make_unique<ParameterExpr>(t.text));
+      }
+      case TokenKind::kLParen: {
+        ++pos_;
+        CYPHER_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+        CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+        return expr;
+      }
+      case TokenKind::kLBracket: {
+        // `[x IN list ...]` is a comprehension, not a list literal.
+        if (Peek(1).kind == TokenKind::kIdentifier &&
+            TokenIsKeyword(Peek(2), "IN")) {
+          return ParseListComprehension();
+        }
+        ++pos_;
+        std::vector<ExprPtr> items;
+        if (!Consume(TokenKind::kRBracket)) {
+          while (true) {
+            CYPHER_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+            items.push_back(std::move(item));
+            if (Consume(TokenKind::kComma)) continue;
+            CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRBracket));
+            break;
+          }
+        }
+        return ExprPtr(std::make_unique<ListExpr>(std::move(items)));
+      }
+      case TokenKind::kLBrace: {
+        CYPHER_ASSIGN_OR_RETURN(auto entries, ParsePropertyMap());
+        return ExprPtr(std::make_unique<MapExpr>(std::move(entries)));
+      }
+      case TokenKind::kIdentifier:
+        break;  // handled below
+      default:
+        return Error("expected an expression");
+    }
+    // Identifier-led atoms.
+    if (TokenIsKeyword(t, "true")) {
+      ++pos_;
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::Bool(true)));
+    }
+    if (TokenIsKeyword(t, "false")) {
+      ++pos_;
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::Bool(false)));
+    }
+    if (TokenIsKeyword(t, "null")) {
+      ++pos_;
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::Null()));
+    }
+    if (TokenIsKeyword(t, "case")) {
+      ++pos_;
+      return ParseCase();
+    }
+    if (Peek().kind == TokenKind::kLParen) {
+      // Function call.
+      std::string name;
+      name.reserve(t.text.size());
+      for (char c : t.text) {
+        name += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      pos_ += 2;  // name, '('
+      if (name == "count" && Consume(TokenKind::kStar)) {
+        CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+        return ExprPtr(std::make_unique<CountStarExpr>());
+      }
+      if (name == "all" || name == "any" || name == "none" ||
+          name == "single") {
+        QuantifierKind q = name == "all"    ? QuantifierKind::kAll
+                           : name == "any"  ? QuantifierKind::kAny
+                           : name == "none" ? QuantifierKind::kNone
+                                            : QuantifierKind::kSingle;
+        return ParseQuantifier(q);
+      }
+      if (name == "reduce") return ParseReduce();
+      if (name == "exists") {
+        // `exists(<pattern>)` is a pattern predicate; `exists(<expr>)` is
+        // the scalar non-null test. Try the pattern form first and
+        // backtrack (patterns with at least one relationship step are
+        // unambiguous; a bare `(x)` falls through to the scalar form).
+        size_t saved = pos_;
+        auto pattern = ParsePathPattern();
+        if (pattern.ok() && !pattern->steps.empty() &&
+            Consume(TokenKind::kRParen)) {
+          return ExprPtr(
+              std::make_unique<PatternPredicateExpr>(std::move(*pattern)));
+        }
+        pos_ = saved;
+      }
+      bool distinct = ConsumeKeyword("DISTINCT");
+      std::vector<ExprPtr> args;
+      if (!Consume(TokenKind::kRParen)) {
+        while (true) {
+          CYPHER_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          args.push_back(std::move(arg));
+          if (Consume(TokenKind::kComma)) continue;
+          CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+          break;
+        }
+      }
+      return ExprPtr(std::make_unique<FunctionExpr>(std::move(name), distinct,
+                                                    std::move(args)));
+    }
+    ++pos_;
+    return ExprPtr(std::make_unique<VariableExpr>(t.text));
+  }
+
+  Result<ExprPtr> ParseListComprehension() {
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kLBracket));
+    CYPHER_ASSIGN_OR_RETURN(std::string variable, ParseName("variable"));
+    CYPHER_RETURN_NOT_OK(ExpectKeyword("IN"));
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr list, ParseExpr());
+    ExprPtr where;
+    if (ConsumeKeyword("WHERE")) {
+      CYPHER_ASSIGN_OR_RETURN(where, ParseExpr());
+    }
+    ExprPtr projection;
+    if (Consume(TokenKind::kPipe)) {
+      CYPHER_ASSIGN_OR_RETURN(projection, ParseExpr());
+    }
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRBracket));
+    return ExprPtr(std::make_unique<ListComprehensionExpr>(
+        std::move(variable), std::move(list), std::move(where),
+        std::move(projection)));
+  }
+
+  /// Parses `(x IN list WHERE pred)` after the quantifier name + '('.
+  Result<ExprPtr> ParseQuantifier(QuantifierKind quantifier) {
+    CYPHER_ASSIGN_OR_RETURN(std::string variable, ParseName("variable"));
+    CYPHER_RETURN_NOT_OK(ExpectKeyword("IN"));
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr list, ParseExpr());
+    CYPHER_RETURN_NOT_OK(ExpectKeyword("WHERE"));
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr predicate, ParseExpr());
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    return ExprPtr(std::make_unique<QuantifierExpr>(
+        quantifier, std::move(variable), std::move(list),
+        std::move(predicate)));
+  }
+
+  /// Parses `(acc = init, x IN list | body)` after `reduce(`.
+  Result<ExprPtr> ParseReduce() {
+    CYPHER_ASSIGN_OR_RETURN(std::string accumulator, ParseName("accumulator"));
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kEq));
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr init, ParseExpr());
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kComma));
+    CYPHER_ASSIGN_OR_RETURN(std::string variable, ParseName("variable"));
+    CYPHER_RETURN_NOT_OK(ExpectKeyword("IN"));
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr list, ParseExpr());
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kPipe));
+    CYPHER_ASSIGN_OR_RETURN(ExprPtr body, ParseExpr());
+    CYPHER_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    return ExprPtr(std::make_unique<ReduceExpr>(
+        std::move(accumulator), std::move(init), std::move(variable),
+        std::move(list), std::move(body)));
+  }
+
+  Result<ExprPtr> ParseCase() {
+    std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+    // Simple-form CASE (CASE expr WHEN v THEN r ...) is desugared to the
+    // generic form with equality comparisons.
+    ExprPtr subject;
+    if (!AtKeyword("WHEN")) {
+      CYPHER_ASSIGN_OR_RETURN(subject, ParseExpr());
+    }
+    while (ConsumeKeyword("WHEN")) {
+      CYPHER_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+      if (subject) {
+        cond = std::make_unique<BinaryExpr>(BinaryOp::kEq, CloneExpr(*subject),
+                                            std::move(cond));
+      }
+      CYPHER_RETURN_NOT_OK(ExpectKeyword("THEN"));
+      CYPHER_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+      whens.emplace_back(std::move(cond), std::move(then));
+    }
+    if (whens.empty()) return Error("CASE requires at least one WHEN");
+    ExprPtr otherwise;
+    if (ConsumeKeyword("ELSE")) {
+      CYPHER_ASSIGN_OR_RETURN(otherwise, ParseExpr());
+    }
+    CYPHER_RETURN_NOT_OK(ExpectKeyword("END"));
+    return ExprPtr(
+        std::make_unique<CaseExpr>(std::move(whens), std::move(otherwise)));
+  }
+
+  std::string_view source_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int expr_depth_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  CYPHER_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(text, std::move(tokens)).ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view text) {
+  CYPHER_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(text, std::move(tokens)).ParseWholeExpression();
+}
+
+}  // namespace cypher

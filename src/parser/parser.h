@@ -1,0 +1,28 @@
+#ifndef CYPHER_PARSER_PARSER_H_
+#define CYPHER_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "ast/query.h"
+#include "common/result.h"
+
+namespace cypher {
+
+/// Parses a full Cypher statement.
+///
+/// The grammar is the union of Figures 2-5 (Cypher 9) and Figure 10 (the
+/// revised syntax): reading and update clauses interleave freely without
+/// mandatory WITH demarcation, CREATE and MERGE ALL / MERGE SAME accept
+/// tuples of directed path patterns, and legacy MERGE accepts a single
+/// (possibly undirected) pattern plus ON CREATE SET / ON MATCH SET.
+/// Shape restrictions that are semantic rather than lexical (e.g. CREATE
+/// relationships need exactly one type and a direction) are enforced by the
+/// executor's validation pass, not here.
+Result<Query> ParseQuery(std::string_view text);
+
+/// Parses a standalone expression (testing / REPL convenience).
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace cypher
+
+#endif  // CYPHER_PARSER_PARSER_H_

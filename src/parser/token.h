@@ -1,0 +1,61 @@
+#ifndef CYPHER_PARSER_TOKEN_H_
+#define CYPHER_PARSER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cypher {
+
+/// Lexical token kinds. Keywords are lexed as kIdentifier; the parser
+/// matches them case-insensitively (Cypher keywords are not reserved
+/// globally, so `id` can be both a property key and a function name).
+enum class TokenKind {
+  kEnd,
+  kIdentifier,
+  kInteger,
+  kFloat,
+  kString,
+  kParameter,  // $name
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kColon,
+  kSemicolon,
+  kDot,
+  kDotDot,  // ..
+  kPipe,
+  kPlus,
+  kPlusEq,  // +=
+  kDash,
+  kStar,
+  kSlash,
+  kPercent,
+  kCaret,
+  kEq,
+  kNe,  // <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// Returns a printable description for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier/parameter name or string contents
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t offset = 0;  // byte offset in the source
+  int line = 1;
+  int column = 1;
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_PARSER_TOKEN_H_

@@ -1,0 +1,303 @@
+#include "value/compare.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cypher {
+
+Tri TriAnd(Tri a, Tri b) {
+  if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
+  if (a == Tri::kNull || b == Tri::kNull) return Tri::kNull;
+  return Tri::kTrue;
+}
+
+Tri TriOr(Tri a, Tri b) {
+  if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+  if (a == Tri::kNull || b == Tri::kNull) return Tri::kNull;
+  return Tri::kFalse;
+}
+
+Tri TriXor(Tri a, Tri b) {
+  if (a == Tri::kNull || b == Tri::kNull) return Tri::kNull;
+  return TriFromBool((a == Tri::kTrue) != (b == Tri::kTrue));
+}
+
+Tri TriNot(Tri a) {
+  if (a == Tri::kNull) return Tri::kNull;
+  return a == Tri::kTrue ? Tri::kFalse : Tri::kTrue;
+}
+
+namespace {
+
+bool NumericEquals(const Value& a, const Value& b) {
+  if (a.is_int() && b.is_int()) return a.AsInt() == b.AsInt();
+  return a.AsNumber() == b.AsNumber();
+}
+
+}  // namespace
+
+Tri CypherEquals(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Tri::kNull;
+  if (a.is_number() && b.is_number()) return TriFromBool(NumericEquals(a, b));
+  if (a.type() != b.type()) return Tri::kFalse;
+  switch (a.type()) {
+    case ValueType::kBool:
+      return TriFromBool(a.AsBool() == b.AsBool());
+    case ValueType::kString:
+      return TriFromBool(a.AsString() == b.AsString());
+    case ValueType::kNode:
+      return TriFromBool(a.AsNode() == b.AsNode());
+    case ValueType::kRel:
+      return TriFromBool(a.AsRel() == b.AsRel());
+    case ValueType::kPath:
+      return TriFromBool(a.AsPath() == b.AsPath());
+    case ValueType::kList: {
+      const ValueList& la = a.AsList();
+      const ValueList& lb = b.AsList();
+      if (la.size() != lb.size()) return Tri::kFalse;
+      Tri acc = Tri::kTrue;
+      for (size_t i = 0; i < la.size(); ++i) {
+        Tri t = CypherEquals(la[i], lb[i]);
+        if (t == Tri::kFalse) return Tri::kFalse;
+        acc = TriAnd(acc, t);
+      }
+      return acc;
+    }
+    case ValueType::kMap: {
+      const ValueMap& ma = a.AsMap();
+      const ValueMap& mb = b.AsMap();
+      if (ma.size() != mb.size()) return Tri::kFalse;
+      Tri acc = Tri::kTrue;
+      auto ita = ma.begin();
+      auto itb = mb.begin();
+      for (; ita != ma.end(); ++ita, ++itb) {
+        if (ita->first != itb->first) return Tri::kFalse;
+        Tri t = CypherEquals(ita->second, itb->second);
+        if (t == Tri::kFalse) return Tri::kFalse;
+        acc = TriAnd(acc, t);
+      }
+      return acc;
+    }
+    default:
+      CYPHER_CHECK(false && "unreachable value type in CypherEquals");
+  }
+  return Tri::kNull;
+}
+
+Tri CypherLess(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Tri::kNull;
+  if (a.is_number() && b.is_number()) {
+    if (a.is_int() && b.is_int()) return TriFromBool(a.AsInt() < b.AsInt());
+    return TriFromBool(a.AsNumber() < b.AsNumber());
+  }
+  if (a.is_string() && b.is_string()) {
+    return TriFromBool(a.AsString() < b.AsString());
+  }
+  if (a.is_bool() && b.is_bool()) {
+    return TriFromBool(!a.AsBool() && b.AsBool());
+  }
+  return Tri::kNull;
+}
+
+bool GroupEquals(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  if (a.is_number() && b.is_number()) return NumericEquals(a, b);
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case ValueType::kBool:
+      return a.AsBool() == b.AsBool();
+    case ValueType::kString:
+      return a.AsString() == b.AsString();
+    case ValueType::kNode:
+      return a.AsNode() == b.AsNode();
+    case ValueType::kRel:
+      return a.AsRel() == b.AsRel();
+    case ValueType::kPath:
+      return a.AsPath() == b.AsPath();
+    case ValueType::kList: {
+      const ValueList& la = a.AsList();
+      const ValueList& lb = b.AsList();
+      if (la.size() != lb.size()) return false;
+      for (size_t i = 0; i < la.size(); ++i) {
+        if (!GroupEquals(la[i], lb[i])) return false;
+      }
+      return true;
+    }
+    case ValueType::kMap: {
+      const ValueMap& ma = a.AsMap();
+      const ValueMap& mb = b.AsMap();
+      if (ma.size() != mb.size()) return false;
+      auto ita = ma.begin();
+      auto itb = mb.begin();
+      for (; ita != ma.end(); ++ita, ++itb) {
+        if (ita->first != itb->first) return false;
+        if (!GroupEquals(ita->second, itb->second)) return false;
+      }
+      return true;
+    }
+    default:
+      CYPHER_CHECK(false && "unreachable value type in GroupEquals");
+  }
+  return false;
+}
+
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HashDoubleCanonical(double d) {
+  // Integral doubles hash like the equivalent int so 1 and 1.0 group
+  // together (GroupEquals compatibility).
+  if (d == std::floor(d) && std::fabs(d) < 9.2e18) {
+    return static_cast<uint64_t>(static_cast<int64_t>(d));
+  }
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t HashValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0xA5A5A5A5A5A5A5A5ULL;
+    case ValueType::kBool:
+      return v.AsBool() ? 3 : 5;
+    case ValueType::kInt:
+      return Mix(1, static_cast<uint64_t>(v.AsInt()));
+    case ValueType::kFloat:
+      return Mix(1, HashDoubleCanonical(v.AsFloat()));
+    case ValueType::kString: {
+      uint64_t h = 7;
+      for (char c : v.AsString()) h = Mix(h, static_cast<unsigned char>(c));
+      return h;
+    }
+    case ValueType::kNode:
+      return Mix(11, v.AsNode().value);
+    case ValueType::kRel:
+      return Mix(13, v.AsRel().value);
+    case ValueType::kPath: {
+      uint64_t h = 17;
+      for (NodeId n : v.AsPath().nodes) h = Mix(h, n.value);
+      for (RelId r : v.AsPath().rels) h = Mix(h, r.value);
+      return h;
+    }
+    case ValueType::kList: {
+      uint64_t h = 19;
+      for (const Value& e : v.AsList()) h = Mix(h, HashValue(e));
+      return h;
+    }
+    case ValueType::kMap: {
+      uint64_t h = 23;
+      for (const auto& [k, e] : v.AsMap()) {
+        for (char c : k) h = Mix(h, static_cast<unsigned char>(c));
+        h = Mix(h, HashValue(e));
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+/// Rank in Neo4j's global sort order; null sorts last.
+int TypeRank(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kMap:
+      return 0;
+    case ValueType::kNode:
+      return 1;
+    case ValueType::kRel:
+      return 2;
+    case ValueType::kList:
+      return 3;
+    case ValueType::kPath:
+      return 4;
+    case ValueType::kString:
+      return 5;
+    case ValueType::kBool:
+      return 6;
+    case ValueType::kInt:
+    case ValueType::kFloat:
+      return 7;
+    case ValueType::kNull:
+      return 8;
+  }
+  return 9;
+}
+
+template <typename T>
+int Cmp(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int TotalOrderCompare(const Value& a, const Value& b) {
+  int ra = TypeRank(a);
+  int rb = TypeRank(b);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (a.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return Cmp(a.AsBool(), b.AsBool());
+    case ValueType::kInt:
+      if (b.is_int()) return Cmp(a.AsInt(), b.AsInt());
+      return Cmp(a.AsNumber(), b.AsNumber());
+    case ValueType::kFloat:
+      return Cmp(a.AsNumber(), b.AsNumber());
+    case ValueType::kString:
+      return Cmp(a.AsString(), b.AsString());
+    case ValueType::kNode:
+      return Cmp(a.AsNode().value, b.AsNode().value);
+    case ValueType::kRel:
+      return Cmp(a.AsRel().value, b.AsRel().value);
+    case ValueType::kPath: {
+      const PathValue& pa = a.AsPath();
+      const PathValue& pb = b.AsPath();
+      if (int c = Cmp(pa.nodes.size(), pb.nodes.size()); c != 0) return c;
+      for (size_t i = 0; i < pa.nodes.size(); ++i) {
+        if (int c = Cmp(pa.nodes[i].value, pb.nodes[i].value); c != 0) return c;
+      }
+      for (size_t i = 0; i < pa.rels.size(); ++i) {
+        if (int c = Cmp(pa.rels[i].value, pb.rels[i].value); c != 0) return c;
+      }
+      return 0;
+    }
+    case ValueType::kList: {
+      const ValueList& la = a.AsList();
+      const ValueList& lb = b.AsList();
+      size_t n = std::min(la.size(), lb.size());
+      for (size_t i = 0; i < n; ++i) {
+        if (int c = TotalOrderCompare(la[i], lb[i]); c != 0) return c;
+      }
+      return Cmp(la.size(), lb.size());
+    }
+    case ValueType::kMap: {
+      const ValueMap& ma = a.AsMap();
+      const ValueMap& mb = b.AsMap();
+      auto ita = ma.begin();
+      auto itb = mb.begin();
+      for (; ita != ma.end() && itb != mb.end(); ++ita, ++itb) {
+        if (int c = Cmp(ita->first, itb->first); c != 0) return c;
+        if (int c = TotalOrderCompare(ita->second, itb->second); c != 0) {
+          return c;
+        }
+      }
+      return Cmp(ma.size(), mb.size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace cypher

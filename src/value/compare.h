@@ -1,0 +1,57 @@
+#ifndef CYPHER_VALUE_COMPARE_H_
+#define CYPHER_VALUE_COMPARE_H_
+
+#include <cstdint>
+
+#include "value/value.h"
+
+namespace cypher {
+
+/// Three-valued logic truth value (SQL/Cypher ternary logic).
+enum class Tri { kFalse = 0, kTrue = 1, kNull = 2 };
+
+inline Tri TriFromBool(bool b) { return b ? Tri::kTrue : Tri::kFalse; }
+
+/// Logical connectives under ternary logic.
+Tri TriAnd(Tri a, Tri b);
+Tri TriOr(Tri a, Tri b);
+Tri TriXor(Tri a, Tri b);
+Tri TriNot(Tri a);
+
+/// Cypher `=` comparison.
+///
+/// Rules (documented simplification of openCypher, sufficient for the paper):
+///  * any operand null -> kNull;
+///  * numbers compare numerically across int/float;
+///  * same-type bool/string compare by value;
+///  * nodes/relationships compare by identity, paths by their id sequences;
+///  * lists: different lengths -> kFalse; otherwise elementwise with null
+///    propagation (any element-pair kFalse -> kFalse, else any kNull -> kNull);
+///  * maps: analogous, over the union of keys (a key missing on one side
+///    makes the comparison kFalse);
+///  * values of incomparable types -> kFalse.
+Tri CypherEquals(const Value& a, const Value& b);
+
+/// Cypher `<` comparison: defined within numbers, within strings, and within
+/// booleans (false < true). Nulls or cross-family comparisons -> kNull.
+Tri CypherLess(const Value& a, const Value& b);
+
+/// Equivalence used by DISTINCT, aggregation grouping, and the Grouping /
+/// Collapse MERGE semantics (paper Sections 6 and 8): like CypherEquals but
+/// total — null is equivalent to null, and values of different types are
+/// simply not equivalent. This is what lets Example 5 group the rows whose
+/// pid is null into one bucket.
+bool GroupEquals(const Value& a, const Value& b);
+
+/// Hash compatible with GroupEquals (group-equal values hash identically;
+/// in particular 1 and 1.0 share a hash).
+uint64_t HashValue(const Value& v);
+
+/// Total deterministic order used by ORDER BY, following Neo4j's documented
+/// global sort order: Map < Node < Relationship < List < Path < String <
+/// Boolean < Number, with null ordered last. Returns <0, 0, >0.
+int TotalOrderCompare(const Value& a, const Value& b);
+
+}  // namespace cypher
+
+#endif  // CYPHER_VALUE_COMPARE_H_

@@ -1,0 +1,89 @@
+#include "value/value.h"
+
+#include "common/strings.h"
+
+namespace cypher {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOLEAN";
+    case ValueType::kInt:
+      return "INTEGER";
+    case ValueType::kFloat:
+      return "FLOAT";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kList:
+      return "LIST";
+    case ValueType::kMap:
+      return "MAP";
+    case ValueType::kNode:
+      return "NODE";
+    case ValueType::kRel:
+      return "RELATIONSHIP";
+    case ValueType::kPath:
+      return "PATH";
+  }
+  return "UNKNOWN";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kFloat:
+      return FormatDouble(AsFloat());
+    case ValueType::kString:
+      return QuoteString(AsString());
+    case ValueType::kList: {
+      std::string out = "[";
+      bool first = true;
+      for (const Value& v : AsList()) {
+        if (!first) out += ", ";
+        first = false;
+        out += v.ToString();
+      }
+      out += "]";
+      return out;
+    }
+    case ValueType::kMap: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : AsMap()) {
+        if (!first) out += ", ";
+        first = false;
+        out += k;
+        out += ": ";
+        out += v.ToString();
+      }
+      out += "}";
+      return out;
+    }
+    case ValueType::kNode:
+      return "Node(" + std::to_string(AsNode().value) + ")";
+    case ValueType::kRel:
+      return "Rel(" + std::to_string(AsRel().value) + ")";
+    case ValueType::kPath: {
+      const PathValue& p = AsPath();
+      std::string out = "Path(";
+      for (size_t i = 0; i < p.nodes.size(); ++i) {
+        if (i > 0) {
+          out += "-[" + std::to_string(p.rels[i - 1].value) + "]-";
+        }
+        out += std::to_string(p.nodes[i].value);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace cypher

@@ -1,0 +1,127 @@
+#ifndef CYPHER_VALUE_VALUE_H_
+#define CYPHER_VALUE_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace cypher {
+
+class Value;
+
+/// Map values are ordered by key so printing and comparison are
+/// deterministic.
+using ValueMap = std::map<std::string, Value>;
+using ValueList = std::vector<Value>;
+
+/// A path: alternating nodes and relationships, nodes.size() == rels.size()+1.
+/// Stored by id; rendering resolves ids against a graph.
+struct PathValue {
+  std::vector<NodeId> nodes;
+  std::vector<RelId> rels;
+
+  friend bool operator==(const PathValue& a, const PathValue& b) {
+    return a.nodes == b.nodes && a.rels == b.rels;
+  }
+};
+
+/// Runtime type tag of a Value.
+enum class ValueType {
+  kNull,
+  kBool,
+  kInt,
+  kFloat,
+  kString,
+  kList,
+  kMap,
+  kNode,
+  kRel,
+  kPath,
+};
+
+/// Returns a human-readable type name ("INTEGER", "NODE", ...).
+const char* ValueTypeName(ValueType type);
+
+/// A Cypher runtime value.
+///
+/// Values are immutable; lists, maps and paths are shared (copy is O(1)).
+/// `null` is the default-constructed value. Node and relationship values are
+/// graph-entity references (ids), matching the paper's driving-table model
+/// where table cells hold entity ids.
+class Value {
+ public:
+  /// Constructs null.
+  Value() : rep_(NullTag{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Float(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+  static Value List(ValueList v) {
+    return Value(Rep(std::make_shared<const ValueList>(std::move(v))));
+  }
+  static Value Map(ValueMap v) {
+    return Value(Rep(std::make_shared<const ValueMap>(std::move(v))));
+  }
+  static Value Node(NodeId id) { return Value(Rep(id)); }
+  static Value Rel(RelId id) { return Value(Rep(id)); }
+  static Value Path(PathValue p) {
+    return Value(Rep(std::make_shared<const PathValue>(std::move(p))));
+  }
+
+  ValueType type() const { return static_cast<ValueType>(rep_.index()); }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_float() const { return type() == ValueType::kFloat; }
+  bool is_number() const { return is_int() || is_float(); }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_list() const { return type() == ValueType::kList; }
+  bool is_map() const { return type() == ValueType::kMap; }
+  bool is_node() const { return type() == ValueType::kNode; }
+  bool is_rel() const { return type() == ValueType::kRel; }
+  bool is_path() const { return type() == ValueType::kPath; }
+
+  /// Accessors. Calling the wrong accessor is a programming error
+  /// (std::get aborts via exception; executors type-check first).
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsFloat() const { return std::get<double>(rep_); }
+  /// Numeric value widened to double; valid for is_number().
+  double AsNumber() const { return is_int() ? static_cast<double>(AsInt()) : AsFloat(); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  const ValueList& AsList() const { return *std::get<ListPtr>(rep_); }
+  const ValueMap& AsMap() const { return *std::get<MapPtr>(rep_); }
+  NodeId AsNode() const { return std::get<NodeId>(rep_); }
+  RelId AsRel() const { return std::get<RelId>(rep_); }
+  const PathValue& AsPath() const { return *std::get<PathPtr>(rep_); }
+
+  /// Graph-independent rendering: entities print as "Node(3)" / "Rel(7)".
+  /// Use RenderValue (exec/render.h) for the full `(:Label {k:v})` form.
+  std::string ToString() const;
+
+ private:
+  struct NullTag {
+    friend bool operator==(NullTag, NullTag) { return true; }
+  };
+  using ListPtr = std::shared_ptr<const ValueList>;
+  using MapPtr = std::shared_ptr<const ValueMap>;
+  using PathPtr = std::shared_ptr<const PathValue>;
+  using Rep = std::variant<NullTag, bool, int64_t, double, std::string,
+                           ListPtr, MapPtr, NodeId, RelId, PathPtr>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_VALUE_VALUE_H_

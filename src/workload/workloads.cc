@@ -1,0 +1,197 @@
+#include "workload/workloads.h"
+
+#include "common/random.h"
+
+namespace cypher::workload {
+
+namespace {
+
+Value Row(std::initializer_list<std::pair<const char*, Value>> entries) {
+  ValueMap map;
+  for (const auto& [key, value] : entries) map.emplace(key, value);
+  return Value::Map(std::move(map));
+}
+
+}  // namespace
+
+Status LoadMarketplace(GraphDatabase* db) {
+  auto results = db->ExecuteScript(R"(
+    CREATE (v1:Vendor {id: 60, name: 'cStore'});
+    CREATE (p1:Product {id: 125, name: 'laptop'});
+    CREATE (p2:Product {id: 125, name: 'notebook'});
+    CREATE (p3:Product {id: 85, name: 'tablet'});
+    CREATE (u1:User {id: 89, name: 'Bob'});
+    CREATE (u2:User {id: 99, name: 'Jane'});
+    MATCH (v:Vendor {name: 'cStore'}), (p:Product {name: 'laptop'})
+      CREATE (v)-[:OFFERS]->(p);
+    MATCH (v:Vendor {name: 'cStore'}), (p:Product {name: 'notebook'})
+      CREATE (v)-[:OFFERS]->(p);
+    MATCH (u:User {name: 'Bob'}), (p:Product {name: 'laptop'})
+      CREATE (u)-[:ORDERED]->(p);
+    MATCH (u:User {name: 'Bob'}), (p:Product {name: 'tablet'})
+      CREATE (u)-[:ORDERED]->(p);
+    MATCH (u:User {name: 'Jane'}), (p:Product {name: 'notebook'})
+      CREATE (u)-[:ORDERED]->(p);
+  )");
+  return results.status();
+}
+
+Value Example3Rows() {
+  return Value::List({
+      Row({{"u", Value::String("u1")},
+           {"p", Value::String("p")},
+           {"v", Value::String("v1")}}),
+      Row({{"u", Value::String("u2")},
+           {"p", Value::String("p")},
+           {"v", Value::String("v2")}}),
+      Row({{"u", Value::String("u1")},
+           {"p", Value::String("p")},
+           {"v", Value::String("v2")}}),
+  });
+}
+
+std::string Example3SetupScript() {
+  return "CREATE (:N {k: 'u1'}), (:N {k: 'u2'}), (:N {k: 'p'}), "
+         "(:N {k: 'v1'}), (:N {k: 'v2'})";
+}
+
+std::string Example3Query(const std::string& merge_keyword) {
+  return "UNWIND $rows AS row "
+         "MATCH (user:N {k: row.u}), (product:N {k: row.p}), "
+         "(vendor:N {k: row.v}) " +
+         merge_keyword +
+         " (user)-[:ORDERED]->(product)<-[:OFFERS]-(vendor)";
+}
+
+Value Example5Rows() {
+  auto row = [](Value cid, Value pid, Value date) {
+    ValueMap map;
+    map.emplace("cid", std::move(cid));
+    map.emplace("pid", std::move(pid));
+    map.emplace("date", std::move(date));
+    return Value::Map(std::move(map));
+  };
+  return Value::List({
+      row(Value::Int(98), Value::Int(125), Value::String("2018-06-23")),
+      row(Value::Int(98), Value::Int(125), Value::String("2018-07-06")),
+      row(Value::Int(98), Value::Null(), Value::Null()),
+      row(Value::Int(98), Value::Null(), Value::Null()),
+      row(Value::Int(99), Value::Int(125), Value::String("2018-03-11")),
+      row(Value::Int(99), Value::Null(), Value::Null()),
+  });
+}
+
+std::string Example5Query(const std::string& merge_keyword) {
+  return "UNWIND $rows AS row "
+         "WITH row.cid AS cid, row.pid AS pid, row.date AS date " +
+         merge_keyword + " (:User {id: cid})-[:ORDERED]->(:Product {id: pid})";
+}
+
+Value Example6Rows() {
+  auto row = [](int64_t bid, int64_t pid, int64_t sid) {
+    ValueMap map;
+    map.emplace("bid", Value::Int(bid));
+    map.emplace("pid", Value::Int(pid));
+    map.emplace("sid", Value::Int(sid));
+    return Value::Map(std::move(map));
+  };
+  return Value::List({row(98, 125, 97), row(99, 85, 98)});
+}
+
+std::string Example6Query(const std::string& merge_keyword) {
+  return "UNWIND $rows AS row "
+         "WITH row.bid AS bid, row.pid AS pid, row.sid AS sid " +
+         merge_keyword +
+         " (:User {id: bid})-[:ORDERED]->(:Product {id: pid})"
+         "<-[:OFFERS]-(:User {id: sid})";
+}
+
+std::string Example7SetupScript() {
+  return "CREATE (:P {k: 'p1'}), (:P {k: 'p2'}), (:P {k: 'p3'}), "
+         "(:P {k: 'p4'})";
+}
+
+std::string Example7Query(const std::string& merge_keyword) {
+  return "MATCH (a:P {k: 'p1'}), (b:P {k: 'p2'}), (c:P {k: 'p3'}), "
+         "(d:P {k: 'p1'}), (e:P {k: 'p2'}), (tgt:P {k: 'p4'}) " +
+         merge_keyword +
+         " (a)-[:TO]->(b)-[:TO]->(c)-[:TO]->(d)-[:TO]->(e)"
+         "-[:BOUGHT]->(tgt)";
+}
+
+std::string Example7RematchQuery() {
+  return "MATCH (a)-[:TO]->(b)-[:TO]->(c)-[:TO]->(d)-[:TO]->(e)"
+         "-[:BOUGHT]->(tgt) RETURN count(*) AS matches";
+}
+
+Value RandomOrderRows(size_t n, int64_t num_users, int64_t num_products,
+                      int null_permille, uint64_t seed) {
+  SplitMix64 rng(seed);
+  ValueList rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ValueMap map;
+    map.emplace("cid", Value::Int(rng.NextInRange(1, num_users)));
+    bool is_null =
+        static_cast<int>(rng.NextBelow(1000)) < null_permille;
+    map.emplace("pid", is_null
+                           ? Value::Null()
+                           : Value::Int(rng.NextInRange(1, num_products)));
+    map.emplace("date",
+                Value::String("2018-" +
+                              std::to_string(1 + rng.NextBelow(12)) + "-" +
+                              std::to_string(1 + rng.NextBelow(28))));
+    rows.push_back(Value::Map(std::move(map)));
+  }
+  return Value::List(std::move(rows));
+}
+
+Status LoadRandomMarketplace(GraphDatabase* db, int64_t users,
+                             int64_t products, int64_t orders, uint64_t seed) {
+  // Bulk-build through the public API: UNWIND a generated id list.
+  ValueList user_ids;
+  for (int64_t i = 1; i <= users; ++i) user_ids.push_back(Value::Int(i));
+  CYPHER_RETURN_NOT_OK(
+      db->Execute("UNWIND $ids AS id CREATE (:User {id: id})",
+                  {{"ids", Value::List(std::move(user_ids))}})
+          .status());
+  ValueList product_ids;
+  for (int64_t i = 1; i <= products; ++i) product_ids.push_back(Value::Int(i));
+  CYPHER_RETURN_NOT_OK(
+      db->Execute("UNWIND $ids AS id CREATE (:Product {id: id})",
+                  {{"ids", Value::List(std::move(product_ids))}})
+          .status());
+  SplitMix64 rng(seed);
+  ValueList order_rows;
+  for (int64_t i = 0; i < orders; ++i) {
+    ValueMap map;
+    map.emplace("u", Value::Int(rng.NextInRange(1, users)));
+    map.emplace("p", Value::Int(rng.NextInRange(1, products)));
+    order_rows.push_back(Value::Map(std::move(map)));
+  }
+  return db
+      ->Execute(
+          "UNWIND $rows AS row "
+          "MATCH (u:User {id: row.u}), (p:Product {id: row.p}) "
+          "CREATE (u)-[:ORDERED]->(p)",
+          {{"rows", Value::List(std::move(order_rows))}})
+      .status();
+}
+
+Value RandomClickstreamRows(size_t n, int64_t num_products, int hops,
+                            uint64_t seed) {
+  SplitMix64 rng(seed);
+  ValueList rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ValueMap map;
+    for (int h = 0; h <= hops; ++h) {
+      map.emplace("p" + std::to_string(h),
+                  Value::Int(rng.NextInRange(1, num_products)));
+    }
+    rows.push_back(Value::Map(std::move(map)));
+  }
+  return Value::List(std::move(rows));
+}
+
+}  // namespace cypher::workload

@@ -1,0 +1,78 @@
+#ifndef CYPHER_WORKLOAD_WORKLOADS_H_
+#define CYPHER_WORKLOAD_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "cypher/database.h"
+#include "value/value.h"
+
+namespace cypher::workload {
+
+// =============================================================================
+// Paper scenarios (Figures 1, 6-9; Examples 1-7)
+// =============================================================================
+
+/// Loads the solid-line marketplace graph of Figure 1 (vendor v1 "cStore",
+/// products laptop/notebook/tablet, users Bob and Jane, OFFERS/ORDERED
+/// relationships) via Cypher CREATE statements.
+Status LoadMarketplace(GraphDatabase* db);
+
+/// Example 3 / Figure 6 driving table as a parameter list: records
+/// (u1,p,v1), (u2,p,v2), (u1,p,v2) by node marker names.
+Value Example3Rows();
+
+/// The statement that seeds Example 3's five relationship-less nodes.
+std::string Example3SetupScript();
+
+/// The UNWIND+MATCH+MERGE statement reproducing Example 3's clause over
+/// `merge_keyword` ("MERGE", "MERGE ALL", or "MERGE SAME").
+std::string Example3Query(const std::string& merge_keyword);
+
+/// Example 5 / Figure 7 driving table (cid, pid, date) with duplicate rows
+/// and nulls, exactly as printed in the paper.
+Value Example5Rows();
+
+/// The Example 5 statement over the given merge keyword:
+/// ... MERGE <kw> (:User{id:cid})-[:ORDERED]->(:Product{id:pid}).
+std::string Example5Query(const std::string& merge_keyword);
+
+/// Example 6 / Figure 8 driving table (bid, pid, sid).
+Value Example6Rows();
+std::string Example6Query(const std::string& merge_keyword);
+
+/// Example 7 / Figure 9: seeds products p1..p4 and merges the
+/// search-and-purchase chain (a)-[:TO]->...(e)-[:BOUGHT]->(tgt).
+std::string Example7SetupScript();
+std::string Example7Query(const std::string& merge_keyword);
+
+/// The re-match probe of Example 7 (same chain as a MATCH; expected to find
+/// nothing under trail matching after Strong Collapse, one match under
+/// homomorphism matching).
+std::string Example7RematchQuery();
+
+// =============================================================================
+// Scalable synthetic workloads (benchmarks)
+// =============================================================================
+
+/// Order-import rows shaped like Example 5: `n` records over
+/// `num_users` users and `num_products` products; `null_permille` of the
+/// product ids are null (dirty import data). Deterministic in `seed`.
+Value RandomOrderRows(size_t n, int64_t num_users, int64_t num_products,
+                      int null_permille, uint64_t seed);
+
+/// Populates `db` with a random user/product graph: `users` :User nodes,
+/// `products` :Product nodes, and `orders` random :ORDERED relationships.
+Status LoadRandomMarketplace(GraphDatabase* db, int64_t users,
+                             int64_t products, int64_t orders, uint64_t seed);
+
+/// Clickstream rows shaped like Example 7: each record references `hops`+1
+/// distinct product markers out of `num_products`. Used by the Strong
+/// Collapse scaling bench.
+Value RandomClickstreamRows(size_t n, int64_t num_products, int hops,
+                            uint64_t seed);
+
+}  // namespace cypher::workload
+
+#endif  // CYPHER_WORKLOAD_WORKLOADS_H_

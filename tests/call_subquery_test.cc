@@ -1,0 +1,124 @@
+// CALL { ... } subquery tests: correlation, row joining, side-effect-only
+// form, aggregation-per-row, and error handling.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunErr;
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+class CallSubqueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Run("CREATE (a:User {id: 1}), (b:User {id: 2}), "
+                        "(p:Product {id: 10, price: 5}), "
+                        "(q:Product {id: 11, price: 9}), "
+                        "(a)-[:ORDERED]->(p), (a)-[:ORDERED]->(q), "
+                        "(b)-[:ORDERED]->(q)")
+                    .ok());
+  }
+  GraphDatabase db_;
+};
+
+TEST_F(CallSubqueryTest, PerRowAggregation) {
+  // The classic use: an aggregate scoped per outer row.
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User) "
+                        "CALL { MATCH (u)-[:ORDERED]->(p) "
+                        "RETURN sum(p.price) AS spent } "
+                        "RETURN u.id AS id, spent ORDER BY id");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 14);
+  EXPECT_EQ(r.rows[1][1].AsInt(), 9);
+}
+
+TEST_F(CallSubqueryTest, RowMultiplication) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User {id: 1}) "
+                        "CALL { UNWIND [1, 2, 3] AS x RETURN x } "
+                        "RETURN u.id AS id, x");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(CallSubqueryTest, EmptySubqueryResultDropsRow) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User) "
+                        "CALL { MATCH (u)-[:ORDERED]->(p {price: 5}) "
+                        "RETURN p.id AS pid } "
+                        "RETURN u.id AS id, pid");
+  // Only user 1 ordered the price-5 product.
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+}
+
+TEST_F(CallSubqueryTest, SideEffectOnlyFormKeepsRows) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User) "
+                        "CALL { CREATE (:Audit {who: u.id}) } "
+                        "RETURN count(u) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 2);
+  EXPECT_EQ(r.stats.nodes_created, 2u);
+  QueryResult audits =
+      RunOk(&db_, "MATCH (a:Audit) RETURN count(a) AS c");
+  EXPECT_EQ(Scalar(audits).AsInt(), 2);
+}
+
+TEST_F(CallSubqueryTest, AliasCollisionRejected) {
+  Status st = RunErr(&db_,
+                     "MATCH (u:User) CALL { RETURN 1 AS u } RETURN u");
+  EXPECT_EQ(st.code(), StatusCode::kSemanticError);
+}
+
+TEST_F(CallSubqueryTest, InnerReturnMustBeLast) {
+  EXPECT_FALSE(
+      db_.Execute("CALL { RETURN 1 AS x MATCH (n) } RETURN x").ok());
+}
+
+TEST_F(CallSubqueryTest, EmptyBodyRejected) {
+  EXPECT_FALSE(db_.Execute("CALL { } RETURN 1 AS x").ok());
+}
+
+TEST_F(CallSubqueryTest, NestedSubqueries) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User {id: 1}) "
+                        "CALL { CALL { RETURN 5 AS inner } "
+                        "RETURN inner * 2 AS doubled } "
+                        "RETURN u.id AS id, doubled");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 10);
+}
+
+TEST_F(CallSubqueryTest, UpdatesInsideSubqueryAreAtomicWithStatement) {
+  EXPECT_FALSE(db_.Execute("MATCH (u:User) "
+                           "CALL { CREATE (:Tmp {v: u.id}) } "
+                           "WITH u RETURN u.id / 0")
+                   .ok());
+  QueryResult r = RunOk(&db_, "MATCH (t:Tmp) RETURN count(t) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 0);
+}
+
+TEST_F(CallSubqueryTest, SubqueryOverEmptyOuterTable) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (m:Missing) "
+                        "CALL { RETURN 1 AS x } RETURN m, x");
+  EXPECT_EQ(r.rows.size(), 0u);
+}
+
+TEST_F(CallSubqueryTest, WorksBeforeUpdateClauses) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User) "
+                        "CALL { MATCH (u)-[:ORDERED]->(p) "
+                        "RETURN count(p) AS orders } "
+                        "SET u.orders = orders "
+                        "RETURN u.id AS id, u.orders AS o ORDER BY id");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_EQ(r.rows[1][1].AsInt(), 1);
+}
+
+}  // namespace
+}  // namespace cypher

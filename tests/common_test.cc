@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/interner.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace cypher {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::SyntaxError("bad token");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kSyntaxError);
+  EXPECT_EQ(st.message(), "bad token");
+  EXPECT_EQ(st.ToString(), "SyntaxError: bad token");
+}
+
+TEST(StatusTest, CopyShares) {
+  Status a = Status::ExecutionError("boom");
+  Status b = a;
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_EQ(b.code(), StatusCode::kExecutionError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Doubled(Result<int> in) {
+  CYPHER_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(Status::InternalError("x")).ok());
+}
+
+TEST(InternerTest, InternIsIdempotent) {
+  Interner interner;
+  Symbol a = interner.Intern("User");
+  Symbol b = interner.Intern("Product");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Intern("User"), a);
+  EXPECT_EQ(interner.Name(a), "User");
+  EXPECT_EQ(interner.Name(b), "Product");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, FindDoesNotIntern) {
+  Interner interner;
+  EXPECT_EQ(interner.Find("missing"), kNoSymbol);
+  EXPECT_EQ(interner.size(), 0u);
+  Symbol s = interner.Intern("present");
+  EXPECT_EQ(interner.Find("present"), s);
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("MERGE", "merge"));
+  EXPECT_TRUE(EqualsIgnoreCase("MaTcH", "mAtCh"));
+  EXPECT_FALSE(EqualsIgnoreCase("MATCH", "MATC"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.0), "1.0");
+  EXPECT_EQ(FormatDouble(-3.0), "-3.0");
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+  EXPECT_EQ(FormatDouble(0.1), "0.1");
+}
+
+TEST(StringsTest, QuoteString) {
+  EXPECT_EQ(QuoteString("it's"), "'it\\'s'");
+  EXPECT_EQ(QuoteString("a\nb"), "'a\\nb'");
+}
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  auto doc = ParseCsv("cid,pid\n98,125\n99,\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"cid", "pid"}));
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[1][1], "");
+}
+
+TEST(CsvTest, QuotedFieldsAndEscapes) {
+  auto doc = ParseCsv("name\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "a,b");
+  EXPECT_EQ(doc->rows[1][0], "say \"hi\"");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto doc = ParseCsv("a,b\n1\n");
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  CsvDocument doc;
+  doc.header = {"x", "y"};
+  doc.rows = {{"1", "a,b"}, {"2", "plain"}};
+  auto parsed = ParseCsv(WriteCsv(doc));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, doc.header);
+  EXPECT_EQ(parsed->rows, doc.rows);
+}
+
+TEST(RandomTest, DeterministicStream) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, RangesRespected) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, ShufflePermutes) {
+  SplitMix64 rng(11);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = items;
+  rng.Shuffle(&items);
+  std::vector<int> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+}  // namespace
+}  // namespace cypher

@@ -1,0 +1,154 @@
+// Uniqueness-constraint tests: DDL, data validation at creation, and the
+// statement-granularity enforcement that rides on the engine's atomicity
+// machinery (violating statements roll back in full, both semantics).
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunErr;
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+TEST(ConstraintTest, CreateAndDropParse) {
+  GraphDatabase db;
+  ASSERT_TRUE(
+      db.Run("CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE").ok());
+  EXPECT_TRUE(db.graph().HasUniqueConstraint(db.graph().FindLabel("User"),
+                                             db.graph().FindKey("id")));
+  ASSERT_TRUE(
+      db.Run("DROP CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE").ok());
+  EXPECT_FALSE(db.graph().HasUniqueConstraint(db.graph().FindLabel("User"),
+                                              db.graph().FindKey("id")));
+  // Variable mismatch is a syntax error.
+  EXPECT_FALSE(
+      db.Run("CREATE CONSTRAINT ON (u:User) ASSERT x.id IS UNIQUE").ok());
+}
+
+TEST(ConstraintTest, CreationValidatesExistingData) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1}), (:User {id: 1})").ok());
+  Status st = RunErr(&db,
+                     "CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE");
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+  EXPECT_FALSE(db.graph().HasUniqueConstraint(db.graph().FindLabel("User"),
+                                              db.graph().FindKey("id")));
+}
+
+TEST(ConstraintTest, BlocksDuplicateCreate) {
+  GraphDatabase db;
+  ASSERT_TRUE(
+      db.Run("CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE").ok());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1})").ok());
+  Status st = RunErr(&db, "CREATE (:User {id: 1})");
+  EXPECT_NE(st.message().find("uniqueness constraint"), std::string::npos);
+  EXPECT_EQ(db.graph().num_nodes(), 1u);  // rolled back
+  // Different value is fine; so are nulls (unconstrained).
+  EXPECT_TRUE(db.Run("CREATE (:User {id: 2})").ok());
+  EXPECT_TRUE(db.Run("CREATE (:User), (:User)").ok());
+}
+
+TEST(ConstraintTest, WholeStatementRollsBackOnViolation) {
+  GraphDatabase db;
+  ASSERT_TRUE(
+      db.Run("CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE").ok());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1})").ok());
+  // The statement creates unrelated data too; all of it must vanish.
+  EXPECT_FALSE(db.Run("CREATE (:Log {at: 1}) "
+                      "CREATE (:User {id: 1})")
+                   .ok());
+  EXPECT_EQ(Scalar(RunOk(&db, "MATCH (l:Log) RETURN count(l) AS c")).AsInt(),
+            0);
+}
+
+TEST(ConstraintTest, SetIntoViolationBlocked) {
+  GraphDatabase db;
+  ASSERT_TRUE(
+      db.Run("CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE").ok());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1}), (:User {id: 2})").ok());
+  EXPECT_FALSE(db.Run("MATCH (u:User {id: 2}) SET u.id = 1").ok());
+  QueryResult r = RunOk(&db, "MATCH (u:User {id: 2}) RETURN count(u) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 1);  // unchanged
+}
+
+TEST(ConstraintTest, LabelAdditionIntoViolationBlocked) {
+  GraphDatabase db;
+  ASSERT_TRUE(
+      db.Run("CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE").ok());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1}), (:Person {id: 1})").ok());
+  EXPECT_FALSE(db.Run("MATCH (p:Person) SET p:User").ok());
+}
+
+TEST(ConstraintTest, SwapWithinOneStatementIsLegal) {
+  // Atomic SET swaps two unique ids in one statement: no intermediate
+  // state exists, so the constraint holds before and after — must pass.
+  GraphDatabase db;
+  ASSERT_TRUE(
+      db.Run("CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE").ok());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1, name: 'a'}), "
+                     "(:User {id: 2, name: 'b'})")
+                  .ok());
+  EXPECT_TRUE(db.Run("MATCH (a:User {name: 'a'}), (b:User {name: 'b'}) "
+                     "SET a.id = b.id, b.id = a.id")
+                  .ok());
+  QueryResult r = RunOk(&db,
+                        "MATCH (u:User) RETURN u.id AS id ORDER BY u.name");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 1);
+}
+
+TEST(ConstraintTest, MergeSameCannotViolate) {
+  GraphDatabase db;
+  ASSERT_TRUE(
+      db.Run("CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE").ok());
+  ASSERT_TRUE(db.Run("UNWIND [1, 1, 2] AS v MERGE SAME (:User {id: v})").ok());
+  EXPECT_EQ(db.graph().num_nodes(), 2u);
+  // MERGE ALL with duplicates, however, violates and rolls back.
+  EXPECT_FALSE(db.Run("UNWIND [9, 9] AS v MERGE ALL (:User {id: v})").ok());
+  EXPECT_EQ(db.graph().num_nodes(), 2u);
+}
+
+TEST(ConstraintTest, LegacySemanticsAlsoEnforced) {
+  EvalOptions legacy;
+  legacy.semantics = SemanticsMode::kLegacy;
+  GraphDatabase db(legacy);
+  ASSERT_TRUE(
+      db.Run("CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE").ok());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1})").ok());
+  EXPECT_FALSE(db.Run("CREATE (:User {id: 1})").ok());
+  EXPECT_EQ(db.graph().num_nodes(), 1u);
+}
+
+TEST(ConstraintTest, GroupEqualValuesCountAsDuplicates) {
+  GraphDatabase db;
+  ASSERT_TRUE(
+      db.Run("CREATE CONSTRAINT ON (n:N) ASSERT n.v IS UNIQUE").ok());
+  ASSERT_TRUE(db.Run("CREATE (:N {v: 1})").ok());
+  EXPECT_FALSE(db.Run("CREATE (:N {v: 1.0})").ok());  // 1 == 1.0
+}
+
+TEST(ConstraintTest, DeleteResolvesViolationPotential) {
+  GraphDatabase db;
+  ASSERT_TRUE(
+      db.Run("CREATE CONSTRAINT ON (u:User) ASSERT u.id IS UNIQUE").ok());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1, old: true})").ok());
+  // Replace the node in one statement: delete + create, net unique.
+  EXPECT_TRUE(db.Run("MATCH (u:User {id: 1}) DELETE u "
+                     "CREATE (:User {id: 1, old: false})")
+                  .ok());
+  EXPECT_EQ(db.graph().num_nodes(), 1u);
+}
+
+TEST(ConstraintTest, ExplainListsConstraintClause) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db,
+                        "EXPLAIN CREATE CONSTRAINT ON (u:User) "
+                        "ASSERT u.id IS UNIQUE");
+  EXPECT_EQ(r.rows[0][1].AsString(), "CREATE CONSTRAINT");
+}
+
+}  // namespace
+}  // namespace cypher

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunErr;
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+TEST(CreateTest, SingleNode) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db, "CREATE (n:User {id: 1}) RETURN n.id AS id");
+  EXPECT_EQ(Scalar(r).AsInt(), 1);
+  EXPECT_EQ(r.stats.nodes_created, 1u);
+  EXPECT_EQ(db.graph().num_nodes(), 1u);
+}
+
+TEST(CreateTest, FullPathWithMultipleLabels) {
+  GraphDatabase db;
+  RunOk(&db,
+        "CREATE (a:User:Admin {id: 1})-[:KNOWS {since: 2020}]->(b:User)");
+  QueryResult r = RunOk(&db,
+                        "MATCH (a:Admin)-[k:KNOWS]->(b) "
+                        "RETURN labels(a) AS la, k.since AS s");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsList().size(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2020);
+}
+
+TEST(CreateTest, PerRecordCreation) {
+  GraphDatabase db;
+  QueryResult r =
+      RunOk(&db, "UNWIND [1, 2, 3] AS x CREATE (:N {v: x * 10})");
+  EXPECT_EQ(r.stats.nodes_created, 3u);
+  QueryResult check = RunOk(&db, "MATCH (n:N) RETURN sum(n.v) AS s");
+  EXPECT_EQ(Scalar(check).AsInt(), 60);
+}
+
+TEST(CreateTest, BoundVariableReused) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 89})").ok());
+  RunOk(&db,
+        "MATCH (u:User {id: 89}) "
+        "CREATE (u)-[:ORDERED]->(:New_Product {id: 0})");
+  EXPECT_EQ(db.graph().num_nodes(), 2u);
+  EXPECT_EQ(db.graph().num_rels(), 1u);
+}
+
+TEST(CreateTest, SameVariableTwiceMakesSelfLoop) {
+  GraphDatabase db;
+  RunOk(&db, "CREATE (a:N)-[:LOOP]->(a)");
+  EXPECT_EQ(db.graph().num_nodes(), 1u);
+  EXPECT_EQ(db.graph().num_rels(), 1u);
+  QueryResult r = RunOk(&db, "MATCH (a)-[:LOOP]->(a) RETURN count(*) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 1);
+}
+
+TEST(CreateTest, NullPropertiesAreDropped) {
+  GraphDatabase db;
+  RunOk(&db, "CREATE (n:N {a: 1, b: null})");
+  QueryResult r = RunOk(&db, "MATCH (n:N) RETURN size(keys(n)) AS k");
+  EXPECT_EQ(Scalar(r).AsInt(), 1);
+}
+
+TEST(CreateTest, PropertiesCanReferenceEarlierCreations) {
+  GraphDatabase db;
+  RunOk(&db, "CREATE (a:N {v: 7})-[:T {w: a.v}]->(b:N {v: a.v + 1})");
+  QueryResult r =
+      RunOk(&db, "MATCH (a)-[t:T]->(b) RETURN t.w AS w, b.v AS v");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 7);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 8);
+}
+
+TEST(CreateTest, PathVariable) {
+  GraphDatabase db;
+  QueryResult r = RunOk(
+      &db, "CREATE p = (:A)-[:T]->(:B)-[:T]->(:C) RETURN length(p) AS len");
+  EXPECT_EQ(Scalar(r).AsInt(), 2);
+}
+
+TEST(CreateTest, RightToLeftArrow) {
+  GraphDatabase db;
+  RunOk(&db, "CREATE (a:A)<-[:T]-(b:B)");
+  QueryResult r = RunOk(&db, "MATCH (b:B)-[:T]->(a:A) RETURN count(*) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 1);
+}
+
+// ---- Validation ----------------------------------------------------------------
+
+TEST(CreateTest, RejectsUndirectedRelationship) {
+  GraphDatabase db;
+  Status st = RunErr(&db, "CREATE (a)-[:T]-(b)");
+  EXPECT_EQ(st.code(), StatusCode::kSemanticError);
+}
+
+TEST(CreateTest, RejectsMissingOrMultipleTypes) {
+  GraphDatabase db;
+  EXPECT_EQ(RunErr(&db, "CREATE (a)-[]->(b)").code(),
+            StatusCode::kSemanticError);
+  EXPECT_EQ(RunErr(&db, "CREATE (a)-[:X|Y]->(b)").code(),
+            StatusCode::kSemanticError);
+}
+
+TEST(CreateTest, RejectsVariableLength) {
+  GraphDatabase db;
+  EXPECT_EQ(RunErr(&db, "CREATE (a)-[:T*2]->(b)").code(),
+            StatusCode::kSemanticError);
+}
+
+TEST(CreateTest, RejectsRedeclaredBoundVariableWithLabels) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1})").ok());
+  Status st = RunErr(&db, "MATCH (u:User) CREATE (u:Extra)");
+  EXPECT_EQ(st.code(), StatusCode::kSemanticError);
+}
+
+TEST(CreateTest, RejectsRelVariableRebinding) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:A)-[:T]->(:B)").ok());
+  Status st = RunErr(&db, "MATCH ()-[r:T]->() CREATE (:X)-[r:T]->(:Y)");
+  EXPECT_EQ(st.code(), StatusCode::kSemanticError);
+}
+
+TEST(CreateTest, RejectsCreatingFromNullEndpoint) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1})").ok());
+  Status st = RunErr(&db,
+                     "OPTIONAL MATCH (u:Missing) CREATE (u)-[:T]->(:X)");
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+  // Atomicity: the X node from the failing record must not survive.
+  EXPECT_EQ(db.graph().num_nodes(), 1u);
+}
+
+TEST(CreateTest, RejectsEntityValuedProperties) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1})").ok());
+  Status st = RunErr(&db, "MATCH (u:User) CREATE (:N {owner: u})");
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+}
+
+TEST(CreateTest, ListPropertiesAllowed) {
+  GraphDatabase db;
+  RunOk(&db, "CREATE (:N {tags: ['a', 'b'], nums: [1, 2, 3]})");
+  QueryResult r = RunOk(&db, "MATCH (n:N) RETURN size(n.tags) AS s");
+  EXPECT_EQ(Scalar(r).AsInt(), 2);
+}
+
+TEST(CreateTest, MultiplePatternsShareVariables) {
+  GraphDatabase db;
+  RunOk(&db, "CREATE (a:A), (b:B), (a)-[:T]->(b)");
+  EXPECT_EQ(db.graph().num_nodes(), 2u);
+  EXPECT_EQ(db.graph().num_rels(), 1u);
+}
+
+}  // namespace
+}  // namespace cypher

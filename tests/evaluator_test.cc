@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "parser/parser.h"
+
+namespace cypher {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest() {
+    user_ = graph_.CreateNode({graph_.InternLabel("User")}, MakeProps());
+    product_ = graph_.CreateNode({graph_.InternLabel("Product")}, {});
+    rel_ = *graph_.CreateRel(user_, product_, graph_.InternType("ORDERED"),
+                             {});
+  }
+
+  PropertyMap MakeProps() {
+    PropertyMap props;
+    props.Set(graph_.InternKey("id"), Value::Int(89));
+    props.Set(graph_.InternKey("name"), Value::String("Bob"));
+    return props;
+  }
+
+  Result<Value> Eval(const std::string& text) {
+    auto expr = ParseExpression(text);
+    if (!expr.ok()) return expr.status();
+    EvalContext ctx{&graph_, &params_};
+    return Evaluate(ctx, bindings_, **expr);
+  }
+
+  Value EvalOk(const std::string& text) {
+    auto v = Eval(text);
+    EXPECT_TRUE(v.ok()) << text << " -> " << v.status().ToString();
+    return v.ok() ? *v : Value();
+  }
+
+  PropertyGraph graph_;
+  ValueMap params_;
+  Bindings bindings_;
+  NodeId user_;
+  NodeId product_;
+  RelId rel_;
+};
+
+TEST_F(EvaluatorTest, Literals) {
+  EXPECT_EQ(EvalOk("42").AsInt(), 42);
+  EXPECT_EQ(EvalOk("2.5").AsFloat(), 2.5);
+  EXPECT_EQ(EvalOk("'hi'").AsString(), "hi");
+  EXPECT_TRUE(EvalOk("TRUE").AsBool());
+  EXPECT_TRUE(EvalOk("null").is_null());
+}
+
+TEST_F(EvaluatorTest, Arithmetic) {
+  EXPECT_EQ(EvalOk("1 + 2 * 3").AsInt(), 7);
+  EXPECT_EQ(EvalOk("7 / 2").AsInt(), 3);       // integer division
+  EXPECT_EQ(EvalOk("7.0 / 2").AsFloat(), 3.5);
+  EXPECT_EQ(EvalOk("7 % 3").AsInt(), 1);
+  EXPECT_EQ(EvalOk("2 ^ 3").AsFloat(), 8.0);   // pow is float
+  EXPECT_EQ(EvalOk("-(3)").AsInt(), -3);
+  EXPECT_TRUE(EvalOk("1 + null").is_null());
+}
+
+TEST_F(EvaluatorTest, ArithmeticErrors) {
+  EXPECT_FALSE(Eval("1 / 0").ok());
+  EXPECT_FALSE(Eval("1 % 0").ok());
+  EXPECT_FALSE(Eval("true + 1").ok());
+  EXPECT_FALSE(Eval("9223372036854775807 + 1").ok());  // overflow
+}
+
+TEST_F(EvaluatorTest, StringConcat) {
+  EXPECT_EQ(EvalOk("'a' + 'b'").AsString(), "ab");
+  EXPECT_EQ(EvalOk("'v' + 1").AsString(), "v1");
+  EXPECT_TRUE(EvalOk("'a' + null").is_null());
+}
+
+TEST_F(EvaluatorTest, ListConcatAndAppend) {
+  EXPECT_EQ(EvalOk("[1] + [2, 3]").AsList().size(), 3u);
+  EXPECT_EQ(EvalOk("[1] + 2").AsList().size(), 2u);
+}
+
+TEST_F(EvaluatorTest, ComparisonsWithTernaryLogic) {
+  EXPECT_TRUE(EvalOk("1 < 2").AsBool());
+  EXPECT_TRUE(EvalOk("2 <= 2").AsBool());
+  EXPECT_TRUE(EvalOk("3 <> 4").AsBool());
+  EXPECT_TRUE(EvalOk("null = null").is_null());
+  EXPECT_TRUE(EvalOk("1 < null").is_null());
+  EXPECT_TRUE(EvalOk("1 < 'a'").is_null());  // incomparable
+  EXPECT_FALSE(EvalOk("1 = 'a'").AsBool());
+}
+
+TEST_F(EvaluatorTest, LogicalConnectives) {
+  EXPECT_TRUE(EvalOk("true AND true").AsBool());
+  EXPECT_FALSE(EvalOk("false AND null").AsBool());  // false dominates
+  EXPECT_TRUE(EvalOk("true OR null").AsBool());
+  EXPECT_TRUE(EvalOk("false OR null").is_null());
+  EXPECT_TRUE(EvalOk("NOT null").is_null());
+  EXPECT_TRUE(EvalOk("true XOR false").AsBool());
+  EXPECT_FALSE(Eval("1 AND true").ok());  // type error
+}
+
+TEST_F(EvaluatorTest, InOperator) {
+  EXPECT_TRUE(EvalOk("2 IN [1, 2, 3]").AsBool());
+  EXPECT_FALSE(EvalOk("5 IN [1, 2]").AsBool());
+  EXPECT_TRUE(EvalOk("5 IN [1, null]").is_null());
+  EXPECT_TRUE(EvalOk("1 IN [1, null]").AsBool());
+  EXPECT_TRUE(EvalOk("1 IN null").is_null());
+}
+
+TEST_F(EvaluatorTest, StringPredicates) {
+  EXPECT_TRUE(EvalOk("'laptop' STARTS WITH 'lap'").AsBool());
+  EXPECT_TRUE(EvalOk("'laptop' ENDS WITH 'top'").AsBool());
+  EXPECT_TRUE(EvalOk("'laptop' CONTAINS 'apt'").AsBool());
+  EXPECT_TRUE(EvalOk("null CONTAINS 'x'").is_null());
+}
+
+TEST_F(EvaluatorTest, IsNullPredicates) {
+  EXPECT_TRUE(EvalOk("null IS NULL").AsBool());
+  EXPECT_FALSE(EvalOk("1 IS NULL").AsBool());
+  EXPECT_TRUE(EvalOk("1 IS NOT NULL").AsBool());
+}
+
+TEST_F(EvaluatorTest, PropertyAccess) {
+  bindings_.Push("u", Value::Node(user_));
+  EXPECT_EQ(EvalOk("u.id").AsInt(), 89);
+  EXPECT_EQ(EvalOk("u.name").AsString(), "Bob");
+  EXPECT_TRUE(EvalOk("u.missing").is_null());
+  bindings_.Push("m", Value::Map({{"k", Value::Int(1)}}));
+  EXPECT_EQ(EvalOk("m.k").AsInt(), 1);
+  EXPECT_TRUE(EvalOk("m.other").is_null());
+  bindings_.Push("n", Value::Null());
+  EXPECT_TRUE(EvalOk("n.id").is_null());
+  EXPECT_FALSE(Eval("1 .id").ok());
+}
+
+TEST_F(EvaluatorTest, LabelPredicate) {
+  bindings_.Push("u", Value::Node(user_));
+  EXPECT_TRUE(EvalOk("u:User").AsBool());
+  EXPECT_FALSE(EvalOk("u:Product").AsBool());
+  bindings_.Push("n", Value::Null());
+  EXPECT_TRUE(EvalOk("n:User").is_null());
+}
+
+TEST_F(EvaluatorTest, Subscripts) {
+  EXPECT_EQ(EvalOk("[10, 20, 30][1]").AsInt(), 20);
+  EXPECT_EQ(EvalOk("[10, 20, 30][-1]").AsInt(), 30);
+  EXPECT_TRUE(EvalOk("[10][5]").is_null());
+  EXPECT_EQ(EvalOk("{a: 7}['a']").AsInt(), 7);
+  EXPECT_TRUE(EvalOk("{a: 7}['b']").is_null());
+}
+
+TEST_F(EvaluatorTest, Parameters) {
+  params_.emplace("id", Value::Int(5));
+  EXPECT_EQ(EvalOk("$id + 1").AsInt(), 6);
+  EXPECT_FALSE(Eval("$missing").ok());
+}
+
+TEST_F(EvaluatorTest, UndefinedVariableErrors) {
+  auto v = Eval("nobody");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kSemanticError);
+}
+
+TEST_F(EvaluatorTest, GraphFunctions) {
+  bindings_.Push("u", Value::Node(user_));
+  bindings_.Push("r", Value::Rel(rel_));
+  EXPECT_EQ(EvalOk("id(u)").AsInt(), user_.value);
+  EXPECT_EQ(EvalOk("labels(u)").AsList().size(), 1u);
+  EXPECT_EQ(EvalOk("labels(u)").AsList()[0].AsString(), "User");
+  EXPECT_EQ(EvalOk("type(r)").AsString(), "ORDERED");
+  EXPECT_EQ(EvalOk("properties(u)").AsMap().at("name").AsString(), "Bob");
+  EXPECT_EQ(EvalOk("keys(u)").AsList().size(), 2u);
+  EXPECT_TRUE(EvalOk("startNode(r)").is_node());
+  EXPECT_EQ(EvalOk("endNode(r)").AsNode(), product_);
+}
+
+TEST_F(EvaluatorTest, ScalarFunctions) {
+  EXPECT_EQ(EvalOk("size([1, 2, 3])").AsInt(), 3);
+  EXPECT_EQ(EvalOk("size('abcd')").AsInt(), 4);
+  EXPECT_EQ(EvalOk("coalesce(null, null, 7)").AsInt(), 7);
+  EXPECT_TRUE(EvalOk("coalesce(null)").is_null());
+  EXPECT_EQ(EvalOk("head([5, 6])").AsInt(), 5);
+  EXPECT_EQ(EvalOk("last([5, 6])").AsInt(), 6);
+  EXPECT_TRUE(EvalOk("head([])").is_null());
+  EXPECT_EQ(EvalOk("abs(-4)").AsInt(), 4);
+  EXPECT_EQ(EvalOk("toString(12)").AsString(), "12");
+  EXPECT_EQ(EvalOk("toInteger('42')").AsInt(), 42);
+  EXPECT_TRUE(EvalOk("toInteger('nope')").is_null());
+  EXPECT_EQ(EvalOk("toFloat('2.5')").AsFloat(), 2.5);
+  EXPECT_EQ(EvalOk("range(1, 4)").AsList().size(), 4u);
+  EXPECT_EQ(EvalOk("range(5, 1, -2)").AsList().size(), 3u);
+  EXPECT_EQ(EvalOk("reverse('abc')").AsString(), "cba");
+  EXPECT_EQ(EvalOk("toUpper('aB')").AsString(), "AB");
+  EXPECT_EQ(EvalOk("toLower('aB')").AsString(), "ab");
+  EXPECT_TRUE(EvalOk("exists(null)").AsBool() == false);
+  EXPECT_FALSE(Eval("unknown_fn(1)").ok());
+  EXPECT_FALSE(Eval("range(1, 5, 0)").ok());
+}
+
+TEST_F(EvaluatorTest, PathFunctions) {
+  PathValue path;
+  path.nodes = {user_, product_};
+  path.rels = {rel_};
+  bindings_.Push("p", Value::Path(path));
+  EXPECT_EQ(EvalOk("length(p)").AsInt(), 1);
+  EXPECT_EQ(EvalOk("nodes(p)").AsList().size(), 2u);
+  EXPECT_EQ(EvalOk("relationships(p)").AsList().size(), 1u);
+}
+
+TEST_F(EvaluatorTest, CaseExpression) {
+  EXPECT_EQ(EvalOk("CASE WHEN 1 < 2 THEN 'yes' ELSE 'no' END").AsString(),
+            "yes");
+  EXPECT_EQ(EvalOk("CASE WHEN false THEN 1 END").is_null(), true);
+  EXPECT_EQ(EvalOk("CASE 2 WHEN 1 THEN 'a' WHEN 2 THEN 'b' END").AsString(),
+            "b");
+}
+
+TEST_F(EvaluatorTest, AggregatesRejectedOutsideProjection) {
+  auto v = Eval("count(*)");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kSemanticError);
+  EXPECT_FALSE(Eval("sum(1)").ok());
+}
+
+TEST_F(EvaluatorTest, AggregatesOverScope) {
+  Table table = Table::WithColumns({"x"});
+  table.AddRow({Value::Int(1)});
+  table.AddRow({Value::Int(2)});
+  table.AddRow({Value::Null()});
+  table.AddRow({Value::Int(2)});
+  std::vector<size_t> rows{0, 1, 2, 3};
+  AggregateScope scope{&table, &rows};
+  EvalContext ctx{&graph_, &params_};
+  Bindings rep(&table, 0);
+  auto eval = [&](const std::string& text) {
+    auto expr = ParseExpression(text);
+    EXPECT_TRUE(expr.ok());
+    auto v = Evaluate(ctx, rep, **expr, &scope);
+    EXPECT_TRUE(v.ok()) << text << " -> " << v.status().ToString();
+    return v.ok() ? *v : Value();
+  };
+  EXPECT_EQ(eval("count(*)").AsInt(), 4);       // counts null rows too
+  EXPECT_EQ(eval("count(x)").AsInt(), 3);       // skips nulls
+  EXPECT_EQ(eval("count(DISTINCT x)").AsInt(), 2);
+  EXPECT_EQ(eval("sum(x)").AsInt(), 5);
+  EXPECT_EQ(eval("collect(x)").AsList().size(), 3u);
+  EXPECT_EQ(eval("collect(DISTINCT x)").AsList().size(), 2u);
+  EXPECT_EQ(eval("min(x)").AsInt(), 1);
+  EXPECT_EQ(eval("max(x)").AsInt(), 2);
+  EXPECT_DOUBLE_EQ(eval("avg(x)").AsFloat(), 5.0 / 3.0);
+  EXPECT_EQ(eval("sum(x) + count(*)").AsInt(), 9);
+}
+
+TEST_F(EvaluatorTest, EmptyAggregates) {
+  Table table = Table::WithColumns({"x"});
+  std::vector<size_t> rows;
+  AggregateScope scope{&table, &rows};
+  EvalContext ctx{&graph_, &params_};
+  Bindings none;
+  auto expr = ParseExpression("count(*)");
+  auto v = Evaluate(ctx, none, **expr, &scope);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 0);
+  auto sum_expr = ParseExpression("sum(x)");
+  auto sum = Evaluate(ctx, none, **sum_expr, &scope);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->AsInt(), 0);  // sum of nothing is 0
+  auto min_expr = ParseExpression("min(x)");
+  auto mn = Evaluate(ctx, none, **min_expr, &scope);
+  ASSERT_TRUE(mn.ok());
+  EXPECT_TRUE(mn->is_null());
+}
+
+}  // namespace
+}  // namespace cypher

@@ -1,0 +1,125 @@
+// Executor error corpus: well-parsed statements whose execution must fail
+// with the right error class, and must leave the graph untouched.
+
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.h"
+#include "test_util.h"
+
+namespace cypher {
+namespace {
+
+struct ErrorCase {
+  const char* name;
+  const char* setup;
+  const char* query;
+  StatusCode code;
+};
+
+class ExecErrorTest : public ::testing::TestWithParam<ErrorCase> {};
+
+TEST_P(ExecErrorTest, FailsCleanlyAndRollsBack) {
+  const ErrorCase& c = GetParam();
+  GraphDatabase db;
+  if (*c.setup != '\0') {
+    auto setup = db.ExecuteScript(c.setup);
+    ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+  }
+  uint64_t before = GraphFingerprint(db.graph());
+  auto result = db.Execute(c.query);
+  ASSERT_FALSE(result.ok()) << c.name << " unexpectedly succeeded";
+  EXPECT_EQ(result.status().code(), c.code)
+      << c.name << ": " << result.status().ToString();
+  EXPECT_EQ(GraphFingerprint(db.graph()), before)
+      << c.name << ": failed statement mutated the graph";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ExecErrorTest,
+    ::testing::Values(
+        // Type errors in expressions.
+        ErrorCase{"add_bool", "", "RETURN true + 1 AS x",
+                  StatusCode::kExecutionError},
+        ErrorCase{"divide_by_zero", "", "RETURN 1 / 0 AS x",
+                  StatusCode::kExecutionError},
+        ErrorCase{"modulo_by_zero", "", "RETURN 1 % 0 AS x",
+                  StatusCode::kExecutionError},
+        ErrorCase{"int_overflow", "",
+                  "RETURN 9223372036854775807 + 1 AS x",
+                  StatusCode::kExecutionError},
+        ErrorCase{"not_on_int", "", "RETURN NOT 5 AS x",
+                  StatusCode::kExecutionError},
+        ErrorCase{"and_on_strings", "", "RETURN 'a' AND 'b' AS x",
+                  StatusCode::kExecutionError},
+        ErrorCase{"property_of_int", "", "RETURN (1).key AS x",
+                  StatusCode::kExecutionError},
+        ErrorCase{"where_non_boolean", "CREATE (:N)",
+                  "MATCH (n:N) WHERE 42 RETURN n",
+                  StatusCode::kExecutionError},
+        // Undefined variables / misuse.
+        ErrorCase{"undefined_variable", "", "RETURN nobody AS x",
+                  StatusCode::kSemanticError},
+        ErrorCase{"aggregate_in_where", "CREATE (:N)",
+                  "MATCH (n:N) WHERE count(n) > 0 RETURN n",
+                  StatusCode::kSemanticError},
+        ErrorCase{"duplicate_alias", "CREATE (:N {v: 1})",
+                  "MATCH (n:N) RETURN n.v AS x, n.v AS x",
+                  StatusCode::kSemanticError},
+        ErrorCase{"unwind_shadow", "CREATE (:N)",
+                  "MATCH (n:N) UNWIND [1] AS n RETURN n",
+                  StatusCode::kSemanticError},
+        // Update misuse.
+        ErrorCase{"set_on_scalar", "", "UNWIND [1] AS x SET x.y = 1",
+                  StatusCode::kExecutionError},
+        ErrorCase{"delete_scalar", "", "UNWIND [1] AS x DELETE x",
+                  StatusCode::kExecutionError},
+        ErrorCase{"delete_with_rels", "CREATE (:A)-[:T]->(:B)",
+                  "MATCH (a:A) DELETE a", StatusCode::kExecutionError},
+        ErrorCase{"create_redeclare", "CREATE (:U)",
+                  "MATCH (u:U) CREATE (u:Extra)",
+                  StatusCode::kSemanticError},
+        ErrorCase{"create_undirected", "", "CREATE (a)-[:T]-(b)",
+                  StatusCode::kSemanticError},
+        ErrorCase{"create_entity_property", "CREATE (:U)",
+                  "MATCH (u:U) CREATE (:N {owner: u})",
+                  StatusCode::kExecutionError},
+        ErrorCase{"merge_bare_revised", "",
+                  "UNWIND [1] AS v MERGE (:N {v: v})",
+                  StatusCode::kSemanticError},
+        ErrorCase{"merge_all_varlength", "",
+                  "MERGE ALL (a)-[:T*2]->(b)", StatusCode::kSemanticError},
+        ErrorCase{"set_conflict", "CREATE (:S {v: 1}); CREATE (:S {v: 2}); "
+                                  "CREATE (:T)",
+                  "MATCH (s:S), (t:T) SET t.x = s.v",
+                  StatusCode::kExecutionError},
+        // Parameters and functions.
+        ErrorCase{"missing_parameter", "", "RETURN $absent AS x",
+                  StatusCode::kExecutionError},
+        ErrorCase{"unknown_function", "", "RETURN frobnicate(1) AS x",
+                  StatusCode::kExecutionError},
+        ErrorCase{"bad_arity", "", "RETURN labels() AS x",
+                  StatusCode::kExecutionError},
+        // FOREACH / subquery.
+        ErrorCase{"foreach_non_list", "", "FOREACH (x IN 1 | CREATE (:N))",
+                  StatusCode::kExecutionError},
+        ErrorCase{"subquery_alias_collision", "CREATE (:N {v: 1})",
+                  "MATCH (n:N) CALL { RETURN 2 AS n } RETURN n",
+                  StatusCode::kSemanticError},
+        // Constraints.
+        ErrorCase{"constraint_violation",
+                  "CREATE CONSTRAINT ON (n:K) ASSERT n.id IS UNIQUE; "
+                  "CREATE (:K {id: 1})",
+                  "CREATE (:K {id: 1})", StatusCode::kExecutionError},
+        // Homomorphism-mode guard is a matcher-level semantic error.
+        ErrorCase{"skip_negative", "CREATE (:N)",
+                  "MATCH (n:N) RETURN n SKIP -2",
+                  StatusCode::kExecutionError},
+        ErrorCase{"limit_non_integer", "CREATE (:N)",
+                  "MATCH (n:N) RETURN n LIMIT 1.5",
+                  StatusCode::kExecutionError},
+        ErrorCase{"union_column_mismatch", "",
+                  "RETURN 1 AS a UNION RETURN 2 AS b",
+                  StatusCode::kExecutionError}));
+
+}  // namespace
+}  // namespace cypher

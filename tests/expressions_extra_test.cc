@@ -1,0 +1,177 @@
+// List comprehensions, quantifiers, reduce, and the extended scalar
+// function library.
+
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "parser/parser.h"
+#include "test_util.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+class ExprExtraTest : public ::testing::Test {
+ protected:
+  Value Eval(const std::string& expr) {
+    QueryResult r = RunOk(&db_, "RETURN " + expr + " AS v");
+    return Scalar(r);
+  }
+  Status EvalErr(const std::string& expr) {
+    auto r = db_.Execute("RETURN " + expr + " AS v");
+    EXPECT_FALSE(r.ok()) << expr;
+    return r.status();
+  }
+  GraphDatabase db_;
+};
+
+// ---- List comprehensions -------------------------------------------------------
+
+TEST_F(ExprExtraTest, ComprehensionFilterAndProject) {
+  EXPECT_EQ(Eval("[x IN [1,2,3,4] WHERE x % 2 = 0 | x * 10]").ToString(),
+            "[20, 40]");
+  EXPECT_EQ(Eval("[x IN [1,2,3] | x + 1]").ToString(), "[2, 3, 4]");
+  EXPECT_EQ(Eval("[x IN [1,2,3] WHERE x > 1]").ToString(), "[2, 3]");
+  EXPECT_EQ(Eval("[x IN [1,2,3]]").ToString(), "[1, 2, 3]");
+  EXPECT_EQ(Eval("[x IN []]").ToString(), "[]");
+}
+
+TEST_F(ExprExtraTest, ComprehensionNullAndErrors) {
+  EXPECT_TRUE(Eval("[x IN null | x]").is_null());
+  EXPECT_FALSE(db_.Execute("RETURN [x IN 42 | x] AS v").ok());
+  // Null predicate results filter out (not error).
+  EXPECT_EQ(Eval("[x IN [1, null, 3] WHERE x > 0]").ToString(), "[1, 3]");
+}
+
+TEST_F(ExprExtraTest, ComprehensionShadowsOuterVariable) {
+  QueryResult r = RunOk(&db_,
+                        "WITH 100 AS x RETURN [x IN [1,2] | x] AS inner, "
+                        "x AS outer");
+  EXPECT_EQ(r.rows[0][0].ToString(), "[1, 2]");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 100);
+}
+
+TEST_F(ExprExtraTest, NestedComprehension) {
+  EXPECT_EQ(
+      Eval("[x IN [1,2] | [y IN [10,20] | x * y]]").ToString(),
+      "[[10, 20], [20, 40]]");
+}
+
+// ---- Quantifiers ----------------------------------------------------------------
+
+TEST_F(ExprExtraTest, Quantifiers) {
+  EXPECT_TRUE(Eval("all(x IN [1,2,3] WHERE x > 0)").AsBool());
+  EXPECT_FALSE(Eval("all(x IN [1,-2,3] WHERE x > 0)").AsBool());
+  EXPECT_TRUE(Eval("any(x IN [0,0,5] WHERE x > 1)").AsBool());
+  EXPECT_FALSE(Eval("any(x IN [] WHERE x > 1)").AsBool());
+  EXPECT_TRUE(Eval("none(x IN [1,2] WHERE x > 5)").AsBool());
+  EXPECT_TRUE(Eval("single(x IN [1,2,3] WHERE x = 2)").AsBool());
+  EXPECT_FALSE(Eval("single(x IN [2,2] WHERE x = 2)").AsBool());
+}
+
+TEST_F(ExprExtraTest, QuantifierTernaryLogic) {
+  EXPECT_TRUE(Eval("all(x IN [1, null] WHERE x > 0)").is_null());
+  EXPECT_FALSE(Eval("all(x IN [-1, null] WHERE x > 0)").AsBool());
+  EXPECT_TRUE(Eval("any(x IN [5, null] WHERE x > 0)").AsBool());
+  EXPECT_TRUE(Eval("any(x IN [null] WHERE x > 0)").is_null());
+  EXPECT_TRUE(Eval("all(x IN null WHERE x > 0)").is_null());
+}
+
+// ---- reduce ----------------------------------------------------------------------
+
+TEST_F(ExprExtraTest, Reduce) {
+  EXPECT_EQ(Eval("reduce(acc = 0, x IN [1,2,3] | acc + x)").AsInt(), 6);
+  EXPECT_EQ(Eval("reduce(s = '', w IN ['a','b'] | s + w)").AsString(), "ab");
+  EXPECT_EQ(Eval("reduce(acc = 10, x IN [] | acc + x)").AsInt(), 10);
+  EXPECT_TRUE(Eval("reduce(acc = 0, x IN null | acc + x)").is_null());
+}
+
+TEST_F(ExprExtraTest, ReduceOverGraphData) {
+  ASSERT_TRUE(db_.Run("CREATE (:N {v: 1}), (:N {v: 2}), (:N {v: 3})").ok());
+  QueryResult r = RunOk(&db_,
+                        "MATCH (n:N) WITH collect(n.v) AS vs "
+                        "RETURN reduce(acc = 1, x IN vs | acc * x) AS prod");
+  EXPECT_EQ(Scalar(r).AsInt(), 6);
+}
+
+// ---- Extended scalar functions -----------------------------------------------------
+
+TEST_F(ExprExtraTest, StringFunctions) {
+  EXPECT_EQ(Eval("substring('laptop', 3)").AsString(), "top");
+  EXPECT_EQ(Eval("substring('laptop', 0, 3)").AsString(), "lap");
+  EXPECT_EQ(Eval("substring('ab', 7)").AsString(), "");
+  EXPECT_EQ(Eval("left('laptop', 3)").AsString(), "lap");
+  EXPECT_EQ(Eval("right('laptop', 3)").AsString(), "top");
+  EXPECT_EQ(Eval("replace('a-b-c', '-', '+')").AsString(), "a+b+c");
+  EXPECT_EQ(Eval("split('a,b,,c', ',')").ToString(),
+            "['a', 'b', '', 'c']");
+  EXPECT_EQ(Eval("trim('  x ')").AsString(), "x");
+  EXPECT_EQ(Eval("ltrim('  x ')").AsString(), "x ");
+  EXPECT_EQ(Eval("rtrim('  x ')").AsString(), "  x");
+  EXPECT_TRUE(Eval("substring(null, 1)").is_null());
+}
+
+TEST_F(ExprExtraTest, NumericFunctions) {
+  EXPECT_EQ(Eval("floor(2.7)").AsFloat(), 2.0);
+  EXPECT_EQ(Eval("ceil(2.1)").AsFloat(), 3.0);
+  EXPECT_EQ(Eval("round(2.5)").AsFloat(), 3.0);
+  EXPECT_EQ(Eval("sqrt(16)").AsFloat(), 4.0);
+  EXPECT_EQ(Eval("sign(-9)").AsInt(), -1);
+  EXPECT_EQ(Eval("sign(0)").AsInt(), 0);
+  EXPECT_FALSE(db_.Execute("RETURN sqrt(-1) AS v").ok());
+}
+
+TEST_F(ExprExtraTest, TailFunction) {
+  EXPECT_EQ(Eval("tail([1,2,3])").ToString(), "[2, 3]");
+  EXPECT_EQ(Eval("tail([])").ToString(), "[]");
+}
+
+// ---- In real queries ----------------------------------------------------------------
+
+TEST_F(ExprExtraTest, QuantifierInWhere) {
+  ASSERT_TRUE(db_.Run("CREATE (:Cart {items: [1, 2, 3]}), "
+                      "(:Cart {items: [4, 5]})")
+                  .ok());
+  QueryResult r = RunOk(&db_,
+                        "MATCH (c:Cart) "
+                        "WHERE any(i IN c.items WHERE i >= 5) "
+                        "RETURN size(c.items) AS n");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ExprExtraTest, ComprehensionOverPathNodes) {
+  ASSERT_TRUE(db_.Run("CREATE (:S {v: 1})-[:T]->(:S {v: 2})-[:T]->(:S {v: 3})")
+                  .ok());
+  QueryResult r = RunOk(&db_,
+                        "MATCH p = (:S {v: 1})-[:T*2]->(:S) "
+                        "RETURN [n IN nodes(p) | n.v] AS vs");
+  EXPECT_EQ(Scalar(r).ToString(), "[1, 2, 3]");
+}
+
+// ---- Round trip through the printer ---------------------------------------------------
+
+class ExtraRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExtraRoundTripTest, Stable) {
+  auto e1 = ParseExpression(GetParam());
+  ASSERT_TRUE(e1.ok()) << e1.status().ToString();
+  std::string printed = ToCypher(**e1);
+  auto e2 = ParseExpression(printed);
+  ASSERT_TRUE(e2.ok()) << printed;
+  EXPECT_EQ(ToCypher(**e2), printed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, ExtraRoundTripTest,
+    ::testing::Values("[x IN [1, 2] WHERE x > 1 | x * 2]",
+                      "[x IN list]",
+                      "all(x IN xs WHERE x > 0)",
+                      "single(y IN ys WHERE y = 1)",
+                      "reduce(acc = 0, x IN xs | acc + x)",
+                      "reduce(s = '', w IN words | s + w)"));
+
+}  // namespace
+}  // namespace cypher

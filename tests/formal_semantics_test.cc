@@ -1,0 +1,201 @@
+// Tests keyed directly to the definitional equations of Section 8 ("the
+// formal semantics of updates"): clause composition, the MERGE ALL
+// equation with its bag-semantics multiplicities, the collapsibility
+// relations of Definitions 1-2, and the graph-table pair threading.
+
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.h"
+#include "value/compare.h"
+#include "test_util.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::GraphFromScript;
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+// [[C S]](G, T) = [[S]]([[C]](G, T)) — composition is left to right; a
+// later clause sees the graph and table produced by the earlier one.
+TEST(CompositionTest, ClausesComposeLeftToRight) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db,
+                        "CREATE (a:N {v: 1}) "     // (G1, T1)
+                        "SET a.v = a.v + 1 "       // reads G1
+                        "CREATE (b:N {v: a.v}) "   // reads G2
+                        "RETURN a.v AS av, b.v AS bv");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+}
+
+// output(Q, G) = [[Q]](G, T()) — evaluation starts from the unit table:
+// a query with no reading clause still runs exactly once.
+TEST(CompositionTest, EvaluationStartsFromUnitTable) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db, "CREATE (:N) RETURN 1 AS one");
+  EXPECT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(db.graph().num_nodes(), 1u);
+}
+
+// Read-only clauses satisfy [[C]](G, T) = (G, [[C]]^ro_G(T)): the graph is
+// untouched.
+TEST(CompositionTest, ReadOnlyClausesDoNotTouchTheGraph) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:N {v: 1})-[:T]->(:N {v: 2})").ok());
+  uint64_t before = GraphFingerprint(db.graph());
+  RunOk(&db,
+        "MATCH (a)-[t:T]->(b) WHERE a.v < b.v "
+        "WITH a, b UNWIND [1, 2] AS x "
+        "RETURN DISTINCT a.v + b.v + x AS s ORDER BY s");
+  EXPECT_EQ(GraphFingerprint(db.graph()), before);
+}
+
+// ---- The MERGE ALL equation -------------------------------------------------
+//
+// [[MERGE ALL pi]](G, T) = (G_create, T_match ⊎ T_create) where
+//   (G, T_match)       = [[MATCH pi]](G, T)
+//   T_fail             = {{ u in T | [[MATCH pi]](G, {{u}}) = {} }}
+//   (G_create, T_create) = [[CREATE pi]](G, T_fail)
+
+class MergeAllEquationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // One :X{v:1} node with TWO matching self-descriptions so T_match gets
+    // multiplicity > 1 per matched record, plus records that fail.
+    ASSERT_TRUE(db_.Run("CREATE (:X {v: 1}), (:X {v: 1})").ok());
+  }
+  GraphDatabase db_;
+};
+
+TEST_F(MergeAllEquationTest, OutputIsBagUnionOfMatchAndCreate) {
+  // T = {{ v=1, v=1, v=2 }} (bag with a duplicate record).
+  // For v=1: MATCH (x:X{v:1}) has 2 matches -> each of the two v=1 records
+  // contributes 2 rows to T_match (4 rows total).
+  // For v=2: no match -> T_fail = {{ v=2 }} -> CREATE adds 1 row.
+  QueryResult r = RunOk(&db_,
+                        "UNWIND [1, 1, 2] AS v "
+                        "MERGE ALL (x:X {v: v}) "
+                        "RETURN v, id(x) AS node");
+  EXPECT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.stats.nodes_created, 1u);
+}
+
+TEST_F(MergeAllEquationTest, TFailKeepsMultiplicities) {
+  // "u occurs as many times in T_fail as in T": two identical failing
+  // records create two instances under Atomic semantics.
+  QueryResult r = RunOk(&db_,
+                        "UNWIND [7, 7] AS v MERGE ALL (x:X {v: v}) "
+                        "RETURN id(x) AS node");
+  EXPECT_EQ(r.stats.nodes_created, 2u);
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_FALSE(GroupEquals(r.rows[0][0], r.rows[1][0]));
+}
+
+TEST_F(MergeAllEquationTest, MatchPhaseUsesOriginalGraphOnly) {
+  // The v=2 record's creation must NOT be matchable by the second v=2
+  // record (no reading of own writes).
+  QueryResult r = RunOk(&db_,
+                        "UNWIND [2, 2] AS v MERGE ALL (x:X {v: v}) "
+                        "RETURN count(*) AS c");
+  EXPECT_EQ(r.stats.nodes_created, 2u);
+}
+
+// ---- Definition 1: node collapsibility ----------------------------------------
+
+TEST(Definition1Test, RequiresEqualLabels) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db,
+                        "UNWIND [1] AS v "
+                        "MERGE SAME (:A {k: v})-[:T]->(:B {k: v})");
+  EXPECT_EQ(r.stats.nodes_created, 2u);  // different labels: no collapse
+}
+
+TEST(Definition1Test, RequiresEqualPropertyMapsOnEveryKey) {
+  GraphDatabase db;
+  // Same k but one node carries an extra key: iota differs on that key.
+  QueryResult r = RunOk(&db,
+                        "UNWIND [1] AS v "
+                        "MERGE SAME (:A {k: v})-[:T]->(:A {k: v, extra: 1})");
+  EXPECT_EQ(r.stats.nodes_created, 2u);
+}
+
+TEST(Definition1Test, CollapsesEqualNewNodes) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db,
+                        "UNWIND [1] AS v "
+                        "MERGE SAME (:A {k: v})-[:T]->(:A {k: v})");
+  EXPECT_EQ(r.stats.nodes_created, 1u);  // self-loop created
+  QueryResult loop = RunOk(&db, "MATCH (a)-[:T]->(a) RETURN count(*) AS c");
+  EXPECT_EQ(Scalar(loop).AsInt(), 1);
+}
+
+TEST(Definition1Test, ExistingNodesOnlyCollapsibleWithThemselves) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:A {k: 1}), (:A {k: 1})").ok());
+  // Both existing duplicates stay; merging an identical pattern matches
+  // (two ways) and creates nothing, never unifies pre-existing nodes.
+  QueryResult r = RunOk(&db, "UNWIND [1] AS v MERGE SAME (a:A {k: v}) "
+                             "RETURN count(a) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 2);
+  EXPECT_EQ(db.graph().num_nodes(), 2u);
+}
+
+// ---- Definition 2: relationship collapsibility ---------------------------------
+
+TEST(Definition2Test, RequiresSameTypeAndProps) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:P {k: 1}), (:P {k: 2})").ok());
+  QueryResult r = RunOk(&db,
+                        "MATCH (a:P {k: 1}), (b:P {k: 2}) "
+                        "MERGE SAME (a)-[:T {w: 1}]->(b)-[:T {w: 2}]->(a)");
+  EXPECT_EQ(r.stats.rels_created, 2u);  // different props
+  GraphDatabase db2;
+  ASSERT_TRUE(db2.Run("CREATE (:P {k: 1}), (:P {k: 2})").ok());
+  QueryResult r2 = RunOk(&db2,
+                         "MATCH (a:P {k: 1}), (b:P {k: 2}) "
+                         "MERGE SAME (a)-[:T {w: 1}]->(b), "
+                         "(a)-[:T {w: 1}]->(b)");
+  EXPECT_EQ(r2.stats.rels_created, 1u);  // identical: collapsed
+}
+
+TEST(Definition2Test, EndpointEquivalenceIsPostNodeCollapse) {
+  // The endpoints differ as vnodes but collapse to the same node; the two
+  // relationships then collapse too (src ~ src', tgt ~ tgt').
+  GraphDatabase db;
+  QueryResult r = RunOk(&db,
+                        "UNWIND [1] AS v "
+                        "MERGE SAME (:A {k: v})-[:T]->(:B {k: v}), "
+                        "(:A {k: v})-[:T]->(:B {k: v})");
+  EXPECT_EQ(r.stats.nodes_created, 2u);
+  EXPECT_EQ(r.stats.rels_created, 1u);
+}
+
+// T'' replaces every occurrence of x by [x]: records that created collapsed
+// nodes must be rebound to the representative.
+TEST(Definition2Test, TableRewrittenToRepresentatives) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db,
+                        "UNWIND [1, 1] AS v MERGE SAME (x:A {k: v}) "
+                        "RETURN id(x) AS node");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_TRUE(GroupEquals(r.rows[0][0], r.rows[1][0]));
+}
+
+// ---- Union side-effect threading (Section 8, composition of clauses) -----------
+
+TEST(UnionSemanticsTest, GraphThreadsLeftToRightTablesUnion) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db,
+                        "CREATE (:N {v: 1}) WITH 1 AS one "
+                        "MATCH (n:N) RETURN count(n) AS c "
+                        "UNION ALL "
+                        "CREATE (:N {v: 2}) WITH 1 AS one "
+                        "MATCH (n:N) RETURN count(n) AS c");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);  // first branch saw its own node
+  EXPECT_EQ(r.rows[1][0].AsInt(), 2);  // second saw both
+}
+
+}  // namespace
+}  // namespace cypher

@@ -1,0 +1,103 @@
+// Golden end-to-end tests: run a script, render the final statement's
+// result, and compare against the expected text verbatim. These lock the
+// full pipeline (parser -> executor -> renderer) against drift.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cypher {
+namespace {
+
+struct Golden {
+  const char* name;
+  const char* setup;  // script, may be empty
+  const char* query;
+  const char* expected;  // exact RenderResult output
+};
+
+class GoldenTest : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenTest, OutputMatches) {
+  const Golden& g = GetParam();
+  GraphDatabase db;
+  if (*g.setup != '\0') {
+    auto setup = db.ExecuteScript(g.setup);
+    ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+  }
+  auto result = db.Execute(g.query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(RenderResult(db.graph(), *result), g.expected) << g.query;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, GoldenTest,
+    ::testing::Values(
+        Golden{"scalar_row", "", "RETURN 1 + 1 AS two, 'x' AS s",
+               "| two | s   |\n"
+               "+-----+-----+\n"
+               "| 2   | 'x' |\n"
+               "1 row\n"},
+        Golden{"node_rendering",
+               "CREATE (:User {id: 89, name: 'Bob'})",
+               "MATCH (u:User) RETURN u",
+               "| u                             |\n"
+               "+-------------------------------+\n"
+               "| (:User {id: 89, name: 'Bob'}) |\n"
+               "1 row\n"},
+        Golden{"ordering_and_nulls",
+               "CREATE (:N {v: 2}); CREATE (:N); CREATE (:N {v: 1})",
+               "MATCH (n:N) RETURN n.v AS v ORDER BY v",
+               "| v    |\n"
+               "+------+\n"
+               "| 1    |\n"
+               "| 2    |\n"
+               "| null |\n"
+               "3 rows\n"},
+        Golden{"aggregation",
+               "CREATE (:U {g: 'a', v: 1}); CREATE (:U {g: 'a', v: 2}); "
+               "CREATE (:U {g: 'b', v: 5})",
+               "MATCH (u:U) RETURN u.g AS g, sum(u.v) AS total, "
+               "count(*) AS n ORDER BY g",
+               "| g   | total | n |\n"
+               "+-----+-------+---+\n"
+               "| 'a' | 3     | 2 |\n"
+               "| 'b' | 5     | 1 |\n"
+               "2 rows\n"},
+        Golden{"update_stats_line",
+               "",
+               "CREATE (:A {x: 1})-[:T]->(:B)",
+               "2 nodes created, 1 relationships created\n"},
+        Golden{"merge_same_stats",
+               "",
+               "UNWIND [1, 1, 2] AS v MERGE SAME (:N {id: v})",
+               "2 nodes created\n"},
+        Golden{"path_row",
+               "CREATE (:A {k: 1})-[:T]->(:B {k: 2})",
+               "MATCH p = (:A)-->(:B) RETURN p, length(p) AS len",
+               "| p                             | len |\n"
+               "+-------------------------------+-----+\n"
+               "| (:A {k: 1})-[:T]->(:B {k: 2}) | 1   |\n"
+               "1 row\n"},
+        Golden{"collected_list",
+               "CREATE (:N {v: 3}); CREATE (:N {v: 1}); CREATE (:N {v: 2})",
+               "MATCH (n:N) WITH n.v AS v ORDER BY v "
+               "RETURN collect(v) AS vs",
+               "| vs        |\n"
+               "+-----------+\n"
+               "| [1, 2, 3] |\n"
+               "1 row\n"},
+        Golden{"case_and_strings",
+               "",
+               "UNWIND ['laptop', 'pen'] AS w "
+               "RETURN w, CASE WHEN size(w) > 3 THEN 'long' ELSE 'short' "
+               "END AS kind",
+               "| w        | kind    |\n"
+               "+----------+---------+\n"
+               "| 'laptop' | 'long'  |\n"
+               "| 'pen'    | 'short' |\n"
+               "2 rows\n"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace cypher

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/serialize.h"
+
+namespace cypher {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  PropertyGraph g;
+
+  NodeId MakeNode(const std::string& label, int64_t id) {
+    PropertyMap props;
+    props.Set(g.InternKey("id"), Value::Int(id));
+    return g.CreateNode({g.InternLabel(label)}, std::move(props));
+  }
+};
+
+TEST_F(GraphTest, CreateNodeBasics) {
+  NodeId n = MakeNode("User", 89);
+  EXPECT_TRUE(g.IsNodeAlive(n));
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_TRUE(g.NodeHasLabel(n, g.FindLabel("User")));
+  EXPECT_EQ(g.node(n).props.Get(g.FindKey("id")).AsInt(), 89);
+}
+
+TEST_F(GraphTest, LabelsAreSortedAndDeduplicated) {
+  Symbol a = g.InternLabel("B");
+  Symbol b = g.InternLabel("A");
+  NodeId n = g.CreateNode({a, b, a}, {});
+  EXPECT_EQ(g.node(n).labels.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(g.node(n).labels.begin(), g.node(n).labels.end()));
+}
+
+TEST_F(GraphTest, CreateRelLinksAdjacency) {
+  NodeId u = MakeNode("User", 1);
+  NodeId p = MakeNode("Product", 2);
+  auto r = g.CreateRel(u, p, g.InternType("ORDERED"), {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(g.num_rels(), 1u);
+  EXPECT_EQ(g.OutRels(u).size(), 1u);
+  EXPECT_EQ(g.InRels(p).size(), 1u);
+  EXPECT_EQ(g.rel(*r).src, u);
+  EXPECT_EQ(g.rel(*r).tgt, p);
+  EXPECT_EQ(g.Degree(u), 1u);
+}
+
+TEST_F(GraphTest, CreateRelToDeadNodeFails) {
+  NodeId u = MakeNode("User", 1);
+  NodeId p = MakeNode("Product", 2);
+  g.DeleteNode(p);
+  EXPECT_FALSE(g.CreateRel(u, p, g.InternType("T"), {}).ok());
+}
+
+TEST_F(GraphTest, NodesByLabelFiltersDeadAndRelabeled) {
+  NodeId a = MakeNode("User", 1);
+  NodeId b = MakeNode("User", 2);
+  MakeNode("Product", 3);
+  EXPECT_EQ(g.NodesByLabel(g.FindLabel("User")).size(), 2u);
+  g.DeleteNode(a);
+  EXPECT_EQ(g.NodesByLabel(g.FindLabel("User")).size(), 1u);
+  g.RemoveLabel(b, g.FindLabel("User"));
+  EXPECT_TRUE(g.NodesByLabel(g.FindLabel("User")).empty());
+}
+
+TEST_F(GraphTest, DeleteRelUnlinksAdjacency) {
+  NodeId u = MakeNode("User", 1);
+  NodeId p = MakeNode("Product", 2);
+  RelId r = *g.CreateRel(u, p, g.InternType("T"), {});
+  g.DeleteRel(r);
+  EXPECT_FALSE(g.IsRelAlive(r));
+  EXPECT_TRUE(g.OutRels(u).empty());
+  EXPECT_EQ(g.num_rels(), 0u);
+  g.DeleteRel(r);  // idempotent
+  EXPECT_EQ(g.num_rels(), 0u);
+}
+
+TEST_F(GraphTest, ForceDeleteLeavesDanglingRel) {
+  NodeId u = MakeNode("User", 1);
+  NodeId p = MakeNode("Product", 2);
+  ASSERT_TRUE(g.CreateRel(u, p, g.InternType("T"), {}).ok());
+  EXPECT_FALSE(g.HasDanglingRels());
+  g.DeleteNodeForce(u);
+  EXPECT_TRUE(g.HasDanglingRels());
+  EXPECT_FALSE(g.IsNodeAlive(u));
+  // The zombie's labels and properties are cleared (Section 4.2's "empty
+  // node").
+  EXPECT_TRUE(g.node(u).labels.empty());
+  EXPECT_TRUE(g.node(u).props.empty());
+}
+
+TEST_F(GraphTest, SetPropertyAndNullErases) {
+  NodeId n = MakeNode("User", 1);
+  EntityRef e = EntityRef::Node(n);
+  Symbol key = g.InternKey("name");
+  EXPECT_TRUE(g.SetProperty(e, key, Value::String("Bob")));
+  EXPECT_FALSE(g.SetProperty(e, key, Value::String("Bob")));  // unchanged
+  EXPECT_TRUE(g.SetProperty(e, key, Value::Null()));
+  EXPECT_FALSE(g.node(n).props.Has(key));
+}
+
+TEST_F(GraphTest, ReplaceProperties) {
+  NodeId n = MakeNode("User", 1);
+  PropertyMap next;
+  next.Set(g.InternKey("x"), Value::Int(1));
+  g.ReplaceProperties(EntityRef::Node(n), std::move(next));
+  EXPECT_FALSE(g.node(n).props.Has(g.FindKey("id")));
+  EXPECT_EQ(g.node(n).props.Get(g.FindKey("x")).AsInt(), 1);
+}
+
+// ---- Journal ----------------------------------------------------------------
+
+TEST_F(GraphTest, RollbackUndoesCreation) {
+  NodeId before = MakeNode("Keep", 0);
+  auto mark = g.BeginJournal();
+  NodeId n = MakeNode("User", 1);
+  NodeId m = MakeNode("User", 2);
+  ASSERT_TRUE(g.CreateRel(n, m, g.InternType("T"), {}).ok());
+  g.RollbackTo(mark);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.num_rels(), 0u);
+  EXPECT_TRUE(g.IsNodeAlive(before));
+  EXPECT_FALSE(g.IsNodeAlive(n));
+}
+
+TEST_F(GraphTest, RollbackUndoesDeletion) {
+  NodeId u = MakeNode("User", 1);
+  NodeId p = MakeNode("Product", 2);
+  RelId r = *g.CreateRel(u, p, g.InternType("T"), {});
+  auto mark = g.BeginJournal();
+  g.DeleteRel(r);
+  g.DeleteNode(u);
+  EXPECT_EQ(g.num_nodes(), 1u);
+  g.RollbackTo(mark);
+  EXPECT_TRUE(g.IsNodeAlive(u));
+  EXPECT_TRUE(g.IsRelAlive(r));
+  EXPECT_EQ(g.OutRels(u).size(), 1u);
+  EXPECT_TRUE(g.NodeHasLabel(u, g.FindLabel("User")));
+  EXPECT_EQ(g.node(u).props.Get(g.FindKey("id")).AsInt(), 1);
+}
+
+TEST_F(GraphTest, RollbackUndoesPropertyAndLabelChanges) {
+  NodeId n = MakeNode("User", 1);
+  auto mark = g.BeginJournal();
+  g.SetProperty(EntityRef::Node(n), g.InternKey("id"), Value::Int(999));
+  g.SetProperty(EntityRef::Node(n), g.InternKey("fresh"), Value::Bool(true));
+  g.AddLabel(n, g.InternLabel("Extra"));
+  g.RemoveLabel(n, g.FindLabel("User"));
+  PropertyMap next;
+  g.ReplaceProperties(EntityRef::Node(n), std::move(next));
+  g.RollbackTo(mark);
+  EXPECT_EQ(g.node(n).props.Get(g.FindKey("id")).AsInt(), 1);
+  EXPECT_FALSE(g.node(n).props.Has(g.FindKey("fresh")));
+  EXPECT_TRUE(g.NodeHasLabel(n, g.FindLabel("User")));
+  EXPECT_FALSE(g.NodeHasLabel(n, g.FindLabel("Extra")));
+}
+
+TEST_F(GraphTest, CommitKeepsChanges) {
+  auto mark = g.BeginJournal();
+  NodeId n = MakeNode("User", 1);
+  g.CommitTo(mark);
+  EXPECT_TRUE(g.IsNodeAlive(n));
+  // After commit the journal is empty; a rollback to 0 is a no-op.
+  g.RollbackTo(0);
+  EXPECT_TRUE(g.IsNodeAlive(n));
+}
+
+TEST_F(GraphTest, RollbackForceDeleteRestoresLabelsAndProps) {
+  NodeId u = MakeNode("User", 42);
+  auto mark = g.BeginJournal();
+  g.DeleteNodeForce(u);
+  g.RollbackTo(mark);
+  EXPECT_TRUE(g.IsNodeAlive(u));
+  EXPECT_TRUE(g.NodeHasLabel(u, g.FindLabel("User")));
+  EXPECT_EQ(g.node(u).props.Get(g.FindKey("id")).AsInt(), 42);
+}
+
+// ---- Serialization -----------------------------------------------------------
+
+TEST_F(GraphTest, DumpLoadRoundTrip) {
+  NodeId u = MakeNode("User", 89);
+  g.SetProperty(EntityRef::Node(u), g.InternKey("name"),
+                Value::String("Bob"));
+  NodeId p = MakeNode("Product", 125);
+  PropertyMap rel_props;
+  rel_props.Set(g.InternKey("qty"), Value::Int(2));
+  ASSERT_TRUE(g.CreateRel(u, p, g.InternType("ORDERED"),
+                          std::move(rel_props)).ok());
+  std::string dump = DumpGraph(g);
+  auto loaded = LoadGraph(dump);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 2u);
+  EXPECT_EQ(loaded->num_rels(), 1u);
+  EXPECT_EQ(DumpGraph(*loaded), dump);
+}
+
+TEST_F(GraphTest, LoadRejectsMalformedInput) {
+  EXPECT_FALSE(LoadGraph("garbage 1 2 3").ok());
+  EXPECT_FALSE(LoadGraph("rel 0 0 1 :T {}").ok());  // unknown ordinals
+  EXPECT_FALSE(LoadGraph("node 0 :User {id: }").ok());
+}
+
+TEST_F(GraphTest, ToDotMentionsEntities) {
+  NodeId u = MakeNode("User", 1);
+  NodeId p = MakeNode("Product", 2);
+  ASSERT_TRUE(g.CreateRel(u, p, g.InternType("ORDERED"), {}).ok());
+  std::string dot = ToDot(g, "test");
+  EXPECT_NE(dot.find(":User"), std::string::npos);
+  EXPECT_NE(dot.find(":ORDERED"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST_F(GraphTest, DescribeNode) {
+  NodeId u = MakeNode("User", 89);
+  g.SetProperty(EntityRef::Node(u), g.InternKey("name"), Value::String("Bob"));
+  EXPECT_EQ(DescribeNode(g, u), "(:User {id: 89, name: 'Bob'})");
+}
+
+}  // namespace
+}  // namespace cypher

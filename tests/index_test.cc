@@ -1,0 +1,165 @@
+// Property-index tests: DDL, lookup correctness under mutation and
+// rollback, matcher integration equivalence (indexed and unindexed MATCH
+// return identical results).
+
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.h"
+#include "value/compare.h"
+#include "test_util.h"
+#include "workload/workloads.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+TEST(IndexTest, CreateIndexStatementParsesAndApplies) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE INDEX ON :User(id)").ok());
+  EXPECT_TRUE(db.graph().HasIndex(db.graph().FindLabel("User"),
+                                  db.graph().FindKey("id")));
+  // Idempotent.
+  ASSERT_TRUE(db.Run("CREATE INDEX ON :User(id)").ok());
+  EXPECT_EQ(db.graph().Indexes().size(), 1u);
+}
+
+TEST(IndexTest, IndexesExistingNodes) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1}), (:User {id: 2}), "
+                     "(:Product {id: 1})")
+                  .ok());
+  ASSERT_TRUE(db.Run("CREATE INDEX ON :User(id)").ok());
+  const PropertyGraph& g = db.graph();
+  auto hits = g.IndexLookup(g.FindLabel("User"), g.FindKey("id"),
+                            Value::Int(1));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_TRUE(g.NodeHasLabel(hits[0], g.FindLabel("User")));
+}
+
+TEST(IndexTest, MaintainsOnCreateSetLabelAndReplace) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE INDEX ON :User(id)").ok());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 10})").ok());  // create
+  ASSERT_TRUE(db.Run("CREATE (:Person {id: 20})").ok());
+  ASSERT_TRUE(db.Run("MATCH (p:Person) SET p:User").ok());  // label add
+  ASSERT_TRUE(db.Run("CREATE (:User)").ok());
+  ASSERT_TRUE(db.Run("MATCH (u:User) WHERE u.id IS NULL SET u.id = 30").ok());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 0})").ok());
+  ASSERT_TRUE(db.Run("MATCH (u:User {id: 0}) SET u = {id: 40}").ok());
+  const PropertyGraph& g = db.graph();
+  Symbol user = g.FindLabel("User");
+  Symbol id = g.FindKey("id");
+  for (int64_t want : {10, 20, 30, 40}) {
+    EXPECT_EQ(g.IndexLookup(user, id, Value::Int(want)).size(), 1u)
+        << "id " << want;
+  }
+}
+
+TEST(IndexTest, StaleEntriesFilteredAfterChanges) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE INDEX ON :User(id)").ok());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1})").ok());
+  ASSERT_TRUE(db.Run("MATCH (u:User {id: 1}) SET u.id = 2").ok());
+  const PropertyGraph& g = db.graph();
+  EXPECT_TRUE(g.IndexLookup(g.FindLabel("User"), g.FindKey("id"),
+                            Value::Int(1))
+                  .empty());
+  EXPECT_EQ(g.IndexLookup(g.FindLabel("User"), g.FindKey("id"), Value::Int(2))
+                .size(),
+            1u);
+  // Delete: no longer served.
+  ASSERT_TRUE(db.Run("MATCH (u:User {id: 2}) DELETE u").ok());
+  EXPECT_TRUE(g.IndexLookup(g.FindLabel("User"), g.FindKey("id"),
+                            Value::Int(2))
+                  .empty());
+}
+
+TEST(IndexTest, RollbackSafety) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE INDEX ON :User(id)").ok());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1})").ok());
+  // This statement changes id to 9, then fails; rollback restores id 1.
+  EXPECT_FALSE(
+      db.Run("MATCH (u:User {id: 1}) SET u.id = 9 WITH u RETURN u.id / 0")
+          .ok());
+  QueryResult r = RunOk(&db, "MATCH (u:User {id: 1}) RETURN count(u) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 1);
+  QueryResult r9 = RunOk(&db, "MATCH (u:User {id: 9}) RETURN count(u) AS c");
+  EXPECT_EQ(Scalar(r9).AsInt(), 0);
+}
+
+TEST(IndexTest, GroupEqualNumericLookup) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE INDEX ON :N(v)").ok());
+  ASSERT_TRUE(db.Run("CREATE (:N {v: 1})").ok());
+  // Filter with 1.0 must find the node stored with integer 1.
+  QueryResult r = RunOk(&db, "MATCH (n:N {v: 1.0}) RETURN count(n) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 1);
+}
+
+TEST(IndexTest, MatchResultsIdenticalWithAndWithoutIndex) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    GraphDatabase plain;
+    GraphDatabase indexed;
+    ASSERT_TRUE(indexed.Run("CREATE INDEX ON :User(id)").ok());
+    ASSERT_TRUE(indexed.Run("CREATE INDEX ON :Product(id)").ok());
+    ASSERT_TRUE(
+        workload::LoadRandomMarketplace(&plain, 20, 10, 40, seed).ok());
+    ASSERT_TRUE(
+        workload::LoadRandomMarketplace(&indexed, 20, 10, 40, seed).ok());
+    const char* probes[] = {
+        "MATCH (u:User {id: 3}) RETURN count(u) AS c",
+        "MATCH (u:User {id: 3})-[:ORDERED]->(p:Product) "
+        "RETURN count(p) AS c",
+        "MATCH (u:User {id: 99}) RETURN count(u) AS c",  // absent id
+        "MATCH (p:Product {id: 2})<-[:ORDERED]-(u) RETURN count(u) AS c",
+    };
+    for (const char* probe : probes) {
+      QueryResult a = RunOk(&plain, probe);
+      QueryResult b = RunOk(&indexed, probe);
+      EXPECT_TRUE(GroupEquals(a.rows[0][0], b.rows[0][0]))
+          << probe << " seed " << seed;
+    }
+  }
+}
+
+TEST(IndexTest, MergeUsesIndexSemanticsUnchanged) {
+  GraphDatabase plain;
+  GraphDatabase indexed;
+  ASSERT_TRUE(indexed.Run("CREATE INDEX ON :User(id)").ok());
+  ASSERT_TRUE(indexed.Run("CREATE INDEX ON :Product(id)").ok());
+  Value rows = workload::RandomOrderRows(60, 10, 10, 100, 8);
+  ASSERT_TRUE(plain
+                  .Execute(workload::Example5Query("MERGE SAME"),
+                           {{"rows", rows}})
+                  .ok());
+  ASSERT_TRUE(indexed
+                  .Execute(workload::Example5Query("MERGE SAME"),
+                           {{"rows", rows}})
+                  .ok());
+  EXPECT_TRUE(AreIsomorphic(plain.graph(), indexed.graph()));
+}
+
+TEST(IndexTest, NullFilterNeverServedByIndex) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE INDEX ON :N(v)").ok());
+  ASSERT_TRUE(db.Run("CREATE (:N {v: 1}), (:N)").ok());
+  QueryResult r = RunOk(&db, "MATCH (n:N {v: null}) RETURN count(n) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 0);
+}
+
+TEST(IndexTest, IndexSurvivesFailedStatement) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE INDEX ON :N(v)").ok());
+  EXPECT_FALSE(db.Run("CREATE (:N {v: 1}) WITH 1 AS x RETURN x / 0").ok());
+  EXPECT_TRUE(db.graph().HasIndex(db.graph().FindLabel("N"),
+                                  db.graph().FindKey("v")));
+  // The rolled-back node is not served.
+  QueryResult r = RunOk(&db, "MATCH (n:N {v: 1}) RETURN count(n) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 0);
+}
+
+}  // namespace
+}  // namespace cypher

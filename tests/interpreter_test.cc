@@ -1,0 +1,218 @@
+// Statement-level behaviours: atomicity/rollback, unions with updates,
+// parameters, script splitting, rendering, strict Cypher 9 syntax mode.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunErr;
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+TEST(InterpreterTest, UpdateOnlyStatementsReturnNoRows) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db, "CREATE (:N)");
+  EXPECT_TRUE(r.columns.empty());
+  EXPECT_TRUE(r.rows.empty());
+  EXPECT_EQ(r.stats.nodes_created, 1u);
+}
+
+TEST(InterpreterTest, FailedStatementIsCompletelyRolledBack) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:Base {v: 1})").ok());
+  // Creates nodes, sets properties, deletes things... then errors.
+  EXPECT_FALSE(db.Execute("MATCH (b:Base) "
+                          "CREATE (x:Tmp {v: 2}) "
+                          "SET b.v = 99 "
+                          "DETACH DELETE b "
+                          "WITH x RETURN x.v / 0")
+                   .ok());
+  QueryResult r = RunOk(&db, "MATCH (n) RETURN count(n) AS c, sum(n.v) AS s");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 1);
+}
+
+TEST(InterpreterTest, SequentialStatementsCommitIndependently) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:A)").ok());
+  EXPECT_FALSE(db.Run("CREATE (:B) WITH 1 AS x RETURN x / 0").ok());
+  ASSERT_TRUE(db.Run("CREATE (:C)").ok());
+  EXPECT_EQ(db.graph().num_nodes(), 2u);  // A and C, not B
+}
+
+TEST(InterpreterTest, UnionAppliesUpdatesLeftToRight) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db,
+                        "CREATE (a:N {v: 1}) RETURN a.v AS v "
+                        "UNION ALL CREATE (b:N {v: 2}) RETURN b.v AS v");
+  EXPECT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(db.graph().num_nodes(), 2u);
+  // The second branch ran against the graph updated by the first.
+  QueryResult r2 = RunOk(&db,
+                         "MATCH (n:N) RETURN count(n) AS c "
+                         "UNION ALL CREATE (:N {v: 3}) "
+                         "WITH 1 AS one MATCH (n:N) RETURN count(n) AS c");
+  ASSERT_EQ(r2.rows.size(), 2u);
+  EXPECT_EQ(r2.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r2.rows[1][0].AsInt(), 3);
+}
+
+TEST(InterpreterTest, MixedUnionKindsRejected) {
+  GraphDatabase db;
+  EXPECT_FALSE(db.Execute("RETURN 1 AS x UNION RETURN 2 AS x "
+                          "UNION ALL RETURN 3 AS x")
+                   .ok());
+}
+
+TEST(InterpreterTest, UnionBranchReturnMismatchRejected) {
+  GraphDatabase db;
+  EXPECT_FALSE(db.Execute("CREATE (:N) UNION ALL RETURN 1 AS x").ok());
+}
+
+TEST(InterpreterTest, ParametersOfAllTypes) {
+  GraphDatabase db;
+  ValueMap params;
+  params.emplace("i", Value::Int(42));
+  params.emplace("s", Value::String("hi"));
+  params.emplace("list", Value::List({Value::Int(1), Value::Int(2)}));
+  params.emplace("map", Value::Map({{"k", Value::Bool(true)}}));
+  QueryResult r = RunOk(&db,
+                        "RETURN $i AS i, $s AS s, size($list) AS n, "
+                        "$map.k AS k",
+                        params);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 42);
+  EXPECT_EQ(r.rows[0][1].AsString(), "hi");
+  EXPECT_EQ(r.rows[0][2].AsInt(), 2);
+  EXPECT_TRUE(r.rows[0][3].AsBool());
+}
+
+TEST(InterpreterTest, SplitStatementsIgnoresSemicolonsInStrings) {
+  auto statements = SplitStatements(
+      "CREATE (:A {s: 'a;b'});\nCREATE (:B); \n ;RETURN 1 AS x");
+  ASSERT_TRUE(statements.ok());
+  ASSERT_EQ(statements->size(), 3u);
+  EXPECT_EQ((*statements)[0], "CREATE (:A {s: 'a;b'})");
+  EXPECT_EQ((*statements)[2], "RETURN 1 AS x");
+}
+
+TEST(InterpreterTest, ExecuteScriptStopsAtFirstError) {
+  GraphDatabase db;
+  auto results = db.ExecuteScript("CREATE (:A); CREATE (:B)-[:T]-(:C); "
+                                  "CREATE (:D)");
+  EXPECT_FALSE(results.ok());
+  EXPECT_EQ(db.graph().num_nodes(), 1u);  // only :A committed
+}
+
+TEST(InterpreterTest, StrictCypher9SyntaxRule) {
+  EvalOptions options;
+  options.semantics = SemanticsMode::kLegacy;
+  options.strict_cypher9_syntax = true;
+  GraphDatabase db(options);
+  // Reading clause directly after update: rejected under the strict rule.
+  Status st = RunErr(&db, "CREATE (:N) MATCH (m:N) RETURN m");
+  EXPECT_EQ(st.code(), StatusCode::kSemanticError);
+  // WITH in between makes it legal.
+  EXPECT_TRUE(
+      db.Execute("CREATE (:N) WITH 1 AS one MATCH (m:N) RETURN m").ok());
+  // The revised syntax (default) drops the rule.
+  GraphDatabase relaxed;
+  EXPECT_TRUE(
+      relaxed.Execute("CREATE (:N) MATCH (m:N) RETURN m").ok());
+}
+
+TEST(InterpreterTest, StatsLine) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db, "CREATE (:A {x: 1})-[:T]->(:B)");
+  std::string stats = r.stats.ToString();
+  EXPECT_NE(stats.find("2 nodes created"), std::string::npos);
+  EXPECT_NE(stats.find("1 relationships created"), std::string::npos);
+  UpdateStats empty;
+  EXPECT_EQ(empty.ToString(), "no changes");
+}
+
+TEST(InterpreterTest, RenderResultTable) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 89, name: 'Bob'})").ok());
+  QueryResult r = RunOk(&db, "MATCH (u:User) RETURN u, u.name AS name");
+  std::string text = RenderResult(db.graph(), r);
+  EXPECT_NE(text.find("(:User {id: 89, name: 'Bob'})"), std::string::npos);
+  EXPECT_NE(text.find("'Bob'"), std::string::npos);
+  EXPECT_NE(text.find("1 row"), std::string::npos);
+}
+
+TEST(InterpreterTest, RenderPathAndRel) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:A)-[:T {w: 1}]->(:B)").ok());
+  QueryResult r = RunOk(&db, "MATCH p = (:A)-[t:T]->(:B) RETURN p, t");
+  std::string text = RenderResult(db.graph(), r);
+  EXPECT_NE(text.find("-[:T {w: 1}]->"), std::string::npos);
+}
+
+TEST(InterpreterTest, PerStatementOptionOverride) {
+  GraphDatabase db;  // revised session
+  ASSERT_TRUE(db.Run("CREATE (:P {name: 'laptop', id: 1}), "
+                     "(:P {name: 'tablet', id: 2})")
+                  .ok());
+  EvalOptions legacy;
+  legacy.semantics = SemanticsMode::kLegacy;
+  auto r = db.Execute(
+      "MATCH (a:P {name: 'laptop'}), (b:P {name: 'tablet'}) "
+      "SET a.id = b.id, b.id = a.id",
+      {}, legacy);
+  ASSERT_TRUE(r.ok());
+  // Legacy behaviour even though the session default is revised.
+  QueryResult ids = RunOk(&db, "MATCH (p:P) RETURN p.id AS i ORDER BY p.name");
+  EXPECT_EQ(ids.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(ids.rows[1][0].AsInt(), 2);
+}
+
+TEST(InterpreterTest, RowLimitGuard) {
+  EvalOptions options;
+  options.max_rows = 10;
+  GraphDatabase db(options);
+  // 4 x 4 = 16 rows exceeds the limit of 10.
+  auto blown = db.Execute(
+      "UNWIND range(1, 4) AS a UNWIND range(1, 4) AS b CREATE (:N)");
+  ASSERT_FALSE(blown.ok());
+  EXPECT_EQ(blown.status().code(), StatusCode::kExecutionError);
+  EXPECT_NE(blown.status().message().find("row limit"), std::string::npos);
+  EXPECT_EQ(db.graph().num_nodes(), 0u);  // rolled back
+  // Within the limit everything works.
+  EXPECT_TRUE(db.Run("UNWIND range(1, 10) AS a RETURN a").ok());
+  // 0 means unlimited.
+  db.options().max_rows = 0;
+  EXPECT_TRUE(
+      db.Run("UNWIND range(1, 50) AS a UNWIND range(1, 50) AS b RETURN a")
+          .ok());
+}
+
+TEST(InterpreterTest, EmptyStatementRejected) {
+  GraphDatabase db;
+  EXPECT_FALSE(db.Execute("").ok());
+  EXPECT_FALSE(db.Execute("   ").ok());
+}
+
+TEST(InterpreterTest, LargeChainOfClauses) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db,
+                        "CREATE (a:N {v: 1}) "
+                        "CREATE (b:N {v: 2}) "
+                        "CREATE (a)-[:T]->(b) "
+                        "WITH a, b "
+                        "MATCH (x:N)-[:T]->(y:N) "
+                        "SET x.seen = true "
+                        "CREATE (y)-[:BACK]->(x) "
+                        "WITH x, y "
+                        "MATCH (p)-[:BACK]->(q) "
+                        "RETURN p.v AS pv, q.v AS qv, q.seen AS seen");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 1);
+  EXPECT_TRUE(r.rows[0][2].AsBool());
+}
+
+}  // namespace
+}  // namespace cypher

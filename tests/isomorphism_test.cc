@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.h"
+#include "test_util.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::GraphFromScript;
+
+TEST(IsomorphismTest, EmptyGraphs) {
+  PropertyGraph a, b;
+  EXPECT_TRUE(AreIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, IdRenamingIsInvisible) {
+  // Same structure created in different orders.
+  PropertyGraph a = GraphFromScript(
+      "CREATE (x:A {v: 1})-[:T]->(y:B {v: 2}), (y)-[:T]->(x)");
+  PropertyGraph b = GraphFromScript(
+      "CREATE (y:B {v: 2}), (x:A {v: 1}), (y)-[:T]->(x), (x)-[:T]->(y)");
+  EXPECT_TRUE(AreIsomorphic(a, b));
+  EXPECT_EQ(GraphFingerprint(a), GraphFingerprint(b));
+}
+
+TEST(IsomorphismTest, CountMismatch) {
+  PropertyGraph a = GraphFromScript("CREATE (:A), (:A)");
+  PropertyGraph b = GraphFromScript("CREATE (:A)");
+  std::string why;
+  EXPECT_FALSE(AreIsomorphic(a, b, &why));
+  EXPECT_NE(why.find("node counts"), std::string::npos);
+}
+
+TEST(IsomorphismTest, LabelMismatch) {
+  PropertyGraph a = GraphFromScript("CREATE (:A)");
+  PropertyGraph b = GraphFromScript("CREATE (:B)");
+  EXPECT_FALSE(AreIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, PropertyMismatch) {
+  PropertyGraph a = GraphFromScript("CREATE (:A {v: 1})");
+  PropertyGraph b = GraphFromScript("CREATE (:A {v: 2})");
+  EXPECT_FALSE(AreIsomorphic(a, b));
+  // ... but 1 vs 1.0 are equivalent properties.
+  PropertyGraph c = GraphFromScript("CREATE (:A {v: 1.0})");
+  EXPECT_TRUE(AreIsomorphic(a, c));
+}
+
+TEST(IsomorphismTest, DirectionMatters) {
+  PropertyGraph a = GraphFromScript("CREATE (:A)-[:T]->(:B)");
+  PropertyGraph b = GraphFromScript("CREATE (:A)<-[:T]-(:B)");
+  EXPECT_FALSE(AreIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, ParallelEdgeMultiplicity) {
+  PropertyGraph a = GraphFromScript(
+      "CREATE (x:A), (y:B), (x)-[:T]->(y), (x)-[:T]->(y)");
+  PropertyGraph b = GraphFromScript(
+      "CREATE (x:A), (y:B), (x)-[:T]->(y), (x)-[:T]->(y)");
+  PropertyGraph c = GraphFromScript(
+      "CREATE (x:A), (y:B), (z:A), (w:B), "
+      "(x)-[:T]->(y), (z)-[:T]->(w), (z)-[:T]->(w)");
+  EXPECT_TRUE(AreIsomorphic(a, b));
+  EXPECT_FALSE(AreIsomorphic(a, c));
+}
+
+TEST(IsomorphismTest, StructuralDifferenceWithEqualHistograms) {
+  // A 6-cycle vs two 3-cycles: identical local signatures, different
+  // structure — needs actual search, not just histogram pruning.
+  PropertyGraph six = GraphFromScript(
+      "CREATE (a:N), (b:N), (c:N), (d:N), (e:N), (f:N), "
+      "(a)-[:T]->(b), (b)-[:T]->(c), (c)-[:T]->(d), "
+      "(d)-[:T]->(e), (e)-[:T]->(f), (f)-[:T]->(a)");
+  PropertyGraph two_threes = GraphFromScript(
+      "CREATE (a:N), (b:N), (c:N), (d:N), (e:N), (f:N), "
+      "(a)-[:T]->(b), (b)-[:T]->(c), (c)-[:T]->(a), "
+      "(d)-[:T]->(e), (e)-[:T]->(f), (f)-[:T]->(d)");
+  EXPECT_FALSE(AreIsomorphic(six, two_threes));
+}
+
+TEST(IsomorphismTest, CrossVocabularyComparison) {
+  // Two graphs whose interners assign different symbol ids to the same
+  // names must still compare equal.
+  PropertyGraph a;
+  a.InternLabel("Padding1");
+  a.InternLabel("Padding2");
+  PropertyMap pa;
+  pa.Set(a.InternKey("pad"), Value::Int(0));
+  NodeId an = a.CreateNode({a.InternLabel("User")}, {});
+  NodeId am = a.CreateNode({a.InternLabel("Product")}, {});
+  ASSERT_TRUE(a.CreateRel(an, am, a.InternType("ORDERED"), {}).ok());
+
+  PropertyGraph b;
+  NodeId bn = b.CreateNode({b.InternLabel("User")}, {});
+  NodeId bm = b.CreateNode({b.InternLabel("Product")}, {});
+  ASSERT_TRUE(b.CreateRel(bn, bm, b.InternType("ORDERED"), {}).ok());
+  EXPECT_TRUE(AreIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, TombstonesAreIgnored) {
+  PropertyGraph a = GraphFromScript("CREATE (:A), (:B)");
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:A), (:B), (:Gone)").ok());
+  ASSERT_TRUE(db.Run("MATCH (g:Gone) DELETE g").ok());
+  EXPECT_TRUE(AreIsomorphic(a, db.graph()));
+}
+
+TEST(IsomorphismTest, SelfLoops) {
+  PropertyGraph a = GraphFromScript("CREATE (x:N)-[:T]->(x)");
+  PropertyGraph b = GraphFromScript("CREATE (x:N)-[:T]->(x)");
+  PropertyGraph c = GraphFromScript("CREATE (x:N)-[:T]->(:N)");
+  EXPECT_TRUE(AreIsomorphic(a, b));
+  EXPECT_FALSE(AreIsomorphic(a, c));
+}
+
+TEST(IsomorphismTest, FingerprintSeparatesFigure6Graphs) {
+  PropertyGraph fig6a = GraphFromScript(
+      "CREATE (u1:N {k: 'u1'}), (u2:N {k: 'u2'}), (p:N {k: 'p'}), "
+      "(v1:N {k: 'v1'}), (v2:N {k: 'v2'}), "
+      "(u1)-[:ORDERED]->(p), (v1)-[:OFFERS]->(p), "
+      "(u2)-[:ORDERED]->(p), (v2)-[:OFFERS]->(p), "
+      "(u1)-[:ORDERED]->(p), (v2)-[:OFFERS]->(p)");
+  PropertyGraph fig6b = GraphFromScript(
+      "CREATE (u1:N {k: 'u1'}), (u2:N {k: 'u2'}), (p:N {k: 'p'}), "
+      "(v1:N {k: 'v1'}), (v2:N {k: 'v2'}), "
+      "(u1)-[:ORDERED]->(p), (v1)-[:OFFERS]->(p), "
+      "(u2)-[:ORDERED]->(p), (v2)-[:OFFERS]->(p)");
+  EXPECT_NE(GraphFingerprint(fig6a), GraphFingerprint(fig6b));
+}
+
+}  // namespace
+}  // namespace cypher

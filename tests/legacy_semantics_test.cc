@@ -1,0 +1,169 @@
+// Focused legacy (Cypher 9) semantics coverage beyond the paper's headline
+// examples: record-at-a-time visibility, scan-order sweeps across all
+// legacy executors, and the syntactic WITH rule's (non-)relationship to
+// visibility.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/isomorphism.h"
+#include "test_util.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+EvalOptions Legacy(ScanOrder order = ScanOrder::kForward, uint64_t seed = 0) {
+  EvalOptions o;
+  o.semantics = SemanticsMode::kLegacy;
+  o.scan_order = order;
+  o.shuffle_seed = seed;
+  return o;
+}
+
+TEST(LegacyVisibilityTest, WritesVisibleImmediatelyWithoutWith) {
+  // In legacy Cypher the WITH rule was purely syntactic (Section 4.4): the
+  // effects are visible as soon as the clause ran, WITH or not. Our engine
+  // accepts the free ordering and shows the same visibility.
+  GraphDatabase db(Legacy());
+  QueryResult r = RunOk(&db, "CREATE (:N {v: 1}) MATCH (m:N) RETURN m.v AS v");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+}
+
+TEST(LegacyVisibilityTest, StrictSyntaxOnlyRejectsShape) {
+  // strict_cypher9_syntax enforces the grammar of Figure 2 but does not
+  // change visibility: with a WITH in between the result is identical.
+  EvalOptions strict = Legacy();
+  strict.strict_cypher9_syntax = true;
+  GraphDatabase db(strict);
+  QueryResult r = RunOk(
+      &db, "CREATE (:N {v: 1}) WITH 1 AS one MATCH (m:N) RETURN m.v AS v");
+  EXPECT_EQ(Scalar(r).AsInt(), 1);
+}
+
+TEST(LegacyScanOrderTest, SetLastWriterWinsFollowsOrder) {
+  for (ScanOrder order : {ScanOrder::kForward, ScanOrder::kReverse}) {
+    GraphDatabase db(Legacy(order));
+    ASSERT_TRUE(db.Run("CREATE (:S {v: 'first'}), (:S {v: 'second'}), (:T)")
+                    .ok());
+    ASSERT_TRUE(db.Run("MATCH (s:S), (t:T) SET t.x = s.v").ok());
+    Value got = Scalar(RunOk(&db, "MATCH (t:T) RETURN t.x AS x"));
+    // Last processed record wins; the record order flips with scan order.
+    EXPECT_EQ(got.AsString(),
+              order == ScanOrder::kForward ? "second" : "first");
+  }
+}
+
+TEST(LegacyScanOrderTest, RevisedModeRejectsTheSameQueryInstead) {
+  GraphDatabase db;  // revised
+  ASSERT_TRUE(db.Run("CREATE (:S {v: 'first'}), (:S {v: 'second'}), (:T)")
+                  .ok());
+  EXPECT_FALSE(db.Run("MATCH (s:S), (t:T) SET t.x = s.v").ok());
+}
+
+TEST(LegacyScanOrderTest, ShuffleSweepFindsBothSetOutcomes) {
+  std::set<std::string> outcomes;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    GraphDatabase db(Legacy(ScanOrder::kShuffle, seed));
+    ASSERT_TRUE(db.Run("CREATE (:S {v: 'a'}), (:S {v: 'b'}), (:T)").ok());
+    ASSERT_TRUE(db.Run("MATCH (s:S), (t:T) SET t.x = s.v").ok());
+    outcomes.insert(
+        Scalar(RunOk(&db, "MATCH (t:T) RETURN t.x AS x")).AsString());
+  }
+  EXPECT_EQ(outcomes.size(), 2u) << "legacy SET should be order-dependent";
+}
+
+TEST(LegacyMergeChainTest, SelfFeedingMergeGrowsOrderDependently) {
+  // A MERGE whose created nodes can satisfy later records: the classic
+  // read-own-writes cascade. Forward order lets later records match
+  // earlier creations; reverse order creates more.
+  auto run = [](ScanOrder order) {
+    GraphDatabase db(Legacy(order));
+    auto r = db.Execute(
+        "UNWIND [1, 1, 2, 2, 3, 3] AS v MERGE (:N {v: v})");
+    EXPECT_TRUE(r.ok());
+    return db.graph().num_nodes();
+  };
+  EXPECT_EQ(run(ScanOrder::kForward), 3u);
+  EXPECT_EQ(run(ScanOrder::kReverse), 3u);  // symmetric table: same count
+  // An asymmetric cascade: each record merges a rel from the previous
+  // record's node; the created graph differs by order.
+  auto cascade = [](ScanOrder order) {
+    GraphDatabase db(Legacy(order));
+    EXPECT_TRUE(db.Run("CREATE (:P {k: 1}), (:P {k: 2})").ok());
+    EXPECT_TRUE(db.Run("UNWIND [[1, 2], [2, 1]] AS pair "
+                       "MATCH (a:P {k: pair[0]}), (b:P {k: pair[1]}) "
+                       "MERGE (a)-[:T]-(b)")
+                    .ok());
+    return db.graph().num_rels();
+  };
+  // Undirected merge: the second record matches the first record's rel in
+  // reverse, so only one rel exists regardless of order here.
+  EXPECT_EQ(cascade(ScanOrder::kForward), 1u);
+  EXPECT_EQ(cascade(ScanOrder::kReverse), 1u);
+}
+
+TEST(LegacyZombieTest, ZombiePropertiesUnreadable) {
+  GraphDatabase db(Legacy());
+  ASSERT_TRUE(db.Run("CREATE (:N {id: 1, secret: 'x'})").ok());
+  QueryResult r = RunOk(&db,
+                        "MATCH (n:N) DELETE n "
+                        "RETURN n.secret AS s, labels(n) AS l");
+  EXPECT_TRUE(r.rows[0][0].is_null());
+  EXPECT_EQ(r.rows[0][1].AsList().size(), 0u);
+}
+
+TEST(LegacyZombieTest, ZombieCannotAnchorNewRelationships) {
+  GraphDatabase db(Legacy());
+  ASSERT_TRUE(db.Run("CREATE (:N {id: 1}), (:M {id: 2})").ok());
+  // CREATE from a deleted node must fail (even legacy Neo4j errors here).
+  auto r = db.Execute("MATCH (n:N), (m:M) DELETE n CREATE (n)-[:T]->(m)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(db.graph().num_nodes(), 2u);  // rolled back
+}
+
+TEST(LegacyDeleteTest, DetachDeleteOrderInsensitiveHere) {
+  // DETACH DELETE is idempotent per entity, so scan order cannot matter.
+  std::set<uint64_t> fingerprints;
+  for (ScanOrder order :
+       {ScanOrder::kForward, ScanOrder::kReverse, ScanOrder::kShuffle}) {
+    GraphDatabase db(Legacy(order, 3));
+    ASSERT_TRUE(db.Run("CREATE (a:N {k: 1})-[:T]->(b:N {k: 2}), "
+                       "(b)-[:T]->(c:N {k: 3}), (c)-[:T]->(a)")
+                    .ok());
+    ASSERT_TRUE(db.Run("MATCH (n:N) WHERE n.k < 3 DETACH DELETE n").ok());
+    fingerprints.insert(GraphFingerprint(db.graph()));
+  }
+  EXPECT_EQ(fingerprints.size(), 1u);
+}
+
+TEST(LegacyRemoveTest, RemoveIsOrderInsensitive) {
+  std::set<uint64_t> fingerprints;
+  for (ScanOrder order : {ScanOrder::kForward, ScanOrder::kReverse}) {
+    GraphDatabase db(Legacy(order));
+    ASSERT_TRUE(db.Run("CREATE (:A:Tag {v: 1, junk: 9}), "
+                       "(:B:Tag {v: 2, junk: 8})")
+                    .ok());
+    ASSERT_TRUE(db.Run("MATCH (n:Tag) REMOVE n:Tag, n.junk").ok());
+    fingerprints.insert(GraphFingerprint(db.graph()));
+  }
+  EXPECT_EQ(fingerprints.size(), 1u);
+}
+
+TEST(LegacyOnMatchTest, OnMatchSetAppliesPerMatchedRow) {
+  GraphDatabase db(Legacy());
+  ASSERT_TRUE(db.Run("CREATE (:N {k: 1, hits: 0}), (:N {k: 1, hits: 0})")
+                  .ok());
+  // Both matching nodes get their ON MATCH SET applied.
+  ASSERT_TRUE(db.Run("MERGE (n:N {k: 1}) ON MATCH SET n.hits = n.hits + 1")
+                  .ok());
+  QueryResult r = RunOk(&db, "MATCH (n:N) RETURN sum(n.hits) AS h");
+  EXPECT_EQ(Scalar(r).AsInt(), 2);
+}
+
+}  // namespace
+}  // namespace cypher

@@ -1,0 +1,247 @@
+// Legacy MERGE and MERGE ALL / MERGE SAME executor tests (variant engine
+// details are in merge_variants_test.cc).
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "value/compare.h"
+#include "workload/workloads.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunErr;
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+EvalOptions Legacy() {
+  EvalOptions o;
+  o.semantics = SemanticsMode::kLegacy;
+  return o;
+}
+
+// ---- Legacy MERGE ---------------------------------------------------------------
+
+TEST(LegacyMergeTest, MatchesInsteadOfCreating) {
+  GraphDatabase db(Legacy());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1})").ok());
+  QueryResult r = RunOk(&db, "MERGE (u:User {id: 1}) RETURN id(u) AS i");
+  EXPECT_EQ(r.stats.nodes_created, 0u);
+  EXPECT_EQ(db.graph().num_nodes(), 1u);
+}
+
+TEST(LegacyMergeTest, CreatesWhenMissing) {
+  GraphDatabase db(Legacy());
+  QueryResult r = RunOk(&db, "MERGE (u:User {id: 1}) RETURN u.id AS i");
+  EXPECT_EQ(r.stats.nodes_created, 1u);
+  EXPECT_EQ(Scalar(r).AsInt(), 1);
+}
+
+TEST(LegacyMergeTest, EmitsAllMatches) {
+  GraphDatabase db(Legacy());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1}), (:User {id: 1})").ok());
+  QueryResult r = RunOk(&db, "MERGE (u:User {id: 1}) RETURN count(u) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 2);
+}
+
+TEST(LegacyMergeTest, ReadsOwnWritesAcrossRecords) {
+  GraphDatabase db(Legacy());
+  // Two identical records: the first creates, the second matches it.
+  QueryResult r = RunOk(&db, "UNWIND [1, 1] AS x MERGE (:N {v: x})");
+  EXPECT_EQ(r.stats.nodes_created, 1u);
+}
+
+TEST(LegacyMergeTest, UndirectedPatternAllowedAndCreatesLeftToRight) {
+  GraphDatabase db(Legacy());
+  ASSERT_TRUE(db.Run("CREATE (:A {k: 1}), (:B {k: 2})").ok());
+  RunOk(&db, "MATCH (a:A), (b:B) MERGE (a)-[:T]-(b)");
+  QueryResult r = RunOk(&db, "MATCH (a:A)-[:T]->(b:B) RETURN count(*) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 1);
+  // Re-merging undirected now matches the existing rel in either direction.
+  QueryResult again =
+      RunOk(&db, "MATCH (a:A), (b:B) MERGE (b)-[:T]-(a)");
+  EXPECT_EQ(again.stats.rels_created, 0u);
+}
+
+TEST(LegacyMergeTest, OnCreateAndOnMatchSet) {
+  GraphDatabase db(Legacy());
+  QueryResult first = RunOk(&db,
+                            "MERGE (u:User {id: 1}) "
+                            "ON CREATE SET u.created = true, u.n = 1 "
+                            "ON MATCH SET u.n = u.n + 1");
+  EXPECT_EQ(first.stats.nodes_created, 1u);
+  QueryResult second = RunOk(&db,
+                             "MERGE (u:User {id: 1}) "
+                             "ON CREATE SET u.created = true, u.n = 1 "
+                             "ON MATCH SET u.n = u.n + 1");
+  EXPECT_EQ(second.stats.nodes_created, 0u);
+  QueryResult r = RunOk(&db,
+                        "MATCH (u:User {id: 1}) "
+                        "RETURN u.created AS c, u.n AS n");
+  EXPECT_TRUE(r.rows[0][0].AsBool());
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+}
+
+TEST(LegacyMergeTest, PartialPatternNotReused) {
+  // The classic trap from Section 5: MERGE on a whole pattern creates the
+  // WHOLE pattern when any part is missing, duplicating the user node.
+  GraphDatabase db(Legacy());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1})").ok());
+  RunOk(&db, "MERGE (:User {id: 1})-[:ORDERED]->(:Product {id: 9})");
+  // The existing user was NOT reused: a duplicate got created.
+  EXPECT_EQ(Scalar(RunOk(&db, "MATCH (u:User {id: 1}) RETURN count(u) AS c"))
+                .AsInt(),
+            2);
+}
+
+TEST(LegacyMergeTest, BoundVariablesRestrictMatching) {
+  GraphDatabase db(Legacy());
+  ASSERT_TRUE(workload::LoadMarketplace(&db).ok());
+  // Query (5) shape: per-product vendor merge with p bound.
+  QueryResult r = RunOk(&db,
+                        "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) "
+                        "RETURN count(v) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 3);
+}
+
+// ---- MERGE ALL / MERGE SAME ------------------------------------------------------
+
+TEST(MergeAllTest, NeverReadsOwnWrites) {
+  GraphDatabase db;
+  // Two identical records: BOTH create under Atomic semantics.
+  QueryResult r = RunOk(&db, "UNWIND [1, 1] AS x MERGE ALL (:N {v: x})");
+  EXPECT_EQ(r.stats.nodes_created, 2u);
+}
+
+TEST(MergeSameTest, CollapsesIdenticalCreations) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db, "UNWIND [1, 1] AS x MERGE SAME (:N {v: x})");
+  EXPECT_EQ(r.stats.nodes_created, 1u);
+  // But both records bind the single created node.
+  QueryResult bind = RunOk(
+      &db, "UNWIND [2, 2] AS x MERGE SAME (n:N {v: x}) RETURN id(n) AS i");
+  ASSERT_EQ(bind.rows.size(), 2u);
+  EXPECT_TRUE(GroupEquals(bind.rows[0][0], bind.rows[1][0]));
+}
+
+TEST(MergeSameTest, ExistingNodesOnlyCollapseWithThemselves) {
+  // Definition 1(iii): two pre-existing identical nodes stay distinct.
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:N {v: 1}), (:N {v: 1})").ok());
+  QueryResult r = RunOk(&db, "UNWIND [1] AS x MERGE SAME (:N {v: x})");
+  EXPECT_EQ(r.stats.nodes_created, 0u);  // matched, not created
+  EXPECT_EQ(db.graph().num_nodes(), 2u);
+}
+
+TEST(MergeSameTest, MatchedRecordsDoNotCreate) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:N {v: 1})").ok());
+  QueryResult r = RunOk(&db,
+                        "UNWIND [1, 2] AS x MERGE SAME (n:N {v: x}) "
+                        "RETURN n.v AS v ORDER BY v");
+  EXPECT_EQ(r.stats.nodes_created, 1u);  // only v=2
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 2);
+}
+
+TEST(MergeRevisedTest, MatchPhaseSeesOnlyInputGraph) {
+  GraphDatabase db;
+  // Record 2's pattern would match record 1's creation, but must not.
+  QueryResult r = RunOk(
+      &db, "UNWIND [1, 1] AS x MERGE ALL (:A {v: x})-[:T]->(:B {v: x})");
+  EXPECT_EQ(r.stats.nodes_created, 4u);
+  EXPECT_EQ(r.stats.rels_created, 2u);
+}
+
+TEST(MergeRevisedTest, TuplesOfPatterns) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db, "MERGE ALL (a:A {v: 1}), (b:B {v: 2})");
+  EXPECT_EQ(r.stats.nodes_created, 2u);
+  // All patterns must match for the record to count as matched.
+  QueryResult r2 = RunOk(&db, "MERGE ALL (a:A {v: 1}), (b:B {v: 99})");
+  EXPECT_EQ(r2.stats.nodes_created, 2u);  // re-creates both
+  EXPECT_EQ(db.graph().num_nodes(), 4u);
+}
+
+TEST(MergeRevisedTest, SharedVariableAcrossPatterns) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db, "MERGE ALL (a:A {v: 1}), (a)-[:T]->(b:B)");
+  EXPECT_EQ(r.stats.nodes_created, 2u);
+  EXPECT_EQ(r.stats.rels_created, 1u);
+  QueryResult check =
+      RunOk(&db, "MATCH (a:A)-[:T]->(b:B) RETURN count(*) AS c");
+  EXPECT_EQ(Scalar(check).AsInt(), 1);
+}
+
+TEST(MergeRevisedTest, RejectsUndirectedAndOnClauses) {
+  GraphDatabase db;
+  EXPECT_EQ(RunErr(&db, "MERGE ALL (a)-[:T]-(b)").code(),
+            StatusCode::kSemanticError);
+  EXPECT_EQ(RunErr(&db, "MERGE ALL (u:U {id: 1}) ON CREATE SET u.x = 1")
+                .code(),
+            StatusCode::kSyntaxError);  // ON only parses after legacy MERGE
+}
+
+TEST(MergeRevisedTest, MergeOverNullBoundVariableErrors) {
+  GraphDatabase db;
+  Status st = RunErr(&db, "OPTIONAL MATCH (m:Missing) MERGE ALL (m)-[:T]->(:X)");
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+  EXPECT_EQ(db.graph().num_nodes(), 0u);  // rolled back
+}
+
+TEST(MergeRevisedTest, PathVariableFromMergedPattern) {
+  GraphDatabase db;
+  QueryResult r = RunOk(
+      &db, "MERGE ALL p = (:A)-[:T]->(:B) RETURN length(p) AS len");
+  EXPECT_EQ(Scalar(r).AsInt(), 1);
+}
+
+TEST(MergeRevisedTest, WorksInLegacySessionToo) {
+  // MERGE ALL / SAME are new clauses; they run identically regardless of
+  // the session's semantics mode.
+  GraphDatabase db(Legacy());
+  QueryResult r = RunOk(&db, "UNWIND [1, 1] AS x MERGE SAME (:N {v: x})");
+  EXPECT_EQ(r.stats.nodes_created, 1u);
+}
+
+TEST(MergeRevisedTest, HomomorphismModeAffectsMatchPhase) {
+  // The paper (Section 6): under homomorphism matching, Strong Collapse
+  // outputs stay re-matchable, so a MERGE of the collapsed pattern finds a
+  // match and creates nothing; under trail matching it must create.
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (a:P {k: 1}), (b:P {k: 2}), "
+                     "(a)-[:TO]->(b), (b)-[:TO]->(a)").ok());
+  const char* merge =
+      "MATCH (a:P {k: 1}), (b:P {k: 2}) "
+      "MERGE ALL (a)-[:TO]->(b)-[:TO]->(a)-[:TO]->(b)";
+  {
+    GraphDatabase trail_db;
+    ASSERT_TRUE(trail_db.Run("CREATE (a:P {k: 1}), (b:P {k: 2}), "
+                             "(a)-[:TO]->(b), (b)-[:TO]->(a)").ok());
+    auto r = trail_db.Execute(merge);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // Trail matching cannot reuse the a->b edge twice: pattern fails,
+    // MERGE creates all three relationships.
+    EXPECT_EQ(r->stats.rels_created, 3u);
+  }
+  {
+    EvalOptions homo;
+    homo.match_mode = MatchMode::kHomomorphism;
+    auto r = db.Execute(merge, {}, homo);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->stats.rels_created, 0u);  // matched via edge reuse
+  }
+}
+
+TEST(MergeRevisedTest, PropertyFiltersWithParameters) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 7})").ok());
+  QueryResult r = RunOk(&db, "MERGE ALL (u:User {id: $id}) RETURN id(u) AS i",
+                        {{"id", Value::Int(7)}});
+  EXPECT_EQ(r.stats.nodes_created, 0u);
+  ASSERT_EQ(r.rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cypher

@@ -1,0 +1,260 @@
+// Systematic tests of the Section 6 variant engine: for each scenario, the
+// expected (nodes, rels) counts per variant, exercised as a parameterized
+// sweep. This encodes the variant lattice the paper's Figures 6-9 sample.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "value/compare.h"
+
+#include "graph/isomorphism.h"
+#include "test_util.h"
+#include "workload/workloads.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunOk;
+
+constexpr MergeVariant kAllVariants[] = {
+    MergeVariant::kAtomic, MergeVariant::kGrouping,
+    MergeVariant::kWeakCollapse, MergeVariant::kCollapse,
+    MergeVariant::kStrongCollapse};
+
+struct Scenario {
+  const char* name;
+  const char* setup;        // may be empty
+  const char* query;        // uses plain MERGE; $rows may be referenced
+  Value rows;               // null -> no parameter
+  // expected (nodes_created, rels_created) per variant, in kAllVariants
+  // order: Atomic, Grouping, Weak, Collapse, Strong.
+  std::array<std::pair<int, int>, 5> expected;
+};
+
+class VariantSweepTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(VariantSweepTest, CreationCountsMatch) {
+  const Scenario& s = GetParam();
+  for (size_t i = 0; i < 5; ++i) {
+    EvalOptions options;
+    options.plain_merge_variant = kAllVariants[i];
+    GraphDatabase db(options);
+    if (*s.setup != '\0') {
+      ASSERT_TRUE(db.Run(s.setup).ok());
+    }
+    ValueMap params;
+    if (!s.rows.is_null()) params.emplace("rows", s.rows);
+    auto result = db.Execute(s.query, params);
+    ASSERT_TRUE(result.ok())
+        << s.name << " / " << MergeVariantName(kAllVariants[i]) << ": "
+        << result.status().ToString();
+    EXPECT_EQ(result->stats.nodes_created,
+              static_cast<uint64_t>(s.expected[i].first))
+        << s.name << " nodes under " << MergeVariantName(kAllVariants[i]);
+    EXPECT_EQ(result->stats.rels_created,
+              static_cast<uint64_t>(s.expected[i].second))
+        << s.name << " rels under " << MergeVariantName(kAllVariants[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, VariantSweepTest,
+    ::testing::Values(
+        // Example 5 / Figure 7: 12/6, 8/4, 4/4, 4/4, 4/4.
+        Scenario{"example5",
+                 "",
+                 "UNWIND $rows AS row "
+                 "WITH row.cid AS cid, row.pid AS pid, row.date AS date "
+                 "MERGE (:User {id: cid})-[:ORDERED]->(:Product {id: pid})",
+                 workload::Example5Rows(),
+                 {{{12, 6}, {8, 4}, {4, 4}, {4, 4}, {4, 4}}}},
+        // Example 6 / Figure 8: cross-position node collapse.
+        Scenario{"example6",
+                 "",
+                 "UNWIND $rows AS row "
+                 "WITH row.bid AS bid, row.pid AS pid, row.sid AS sid "
+                 "MERGE (:User {id: bid})-[:ORDERED]->(:Product {id: pid})"
+                 "<-[:OFFERS]-(:User {id: sid})",
+                 workload::Example6Rows(),
+                 {{{6, 4}, {6, 4}, {6, 4}, {5, 4}, {5, 4}}}},
+        // Two identical records, single node pattern: everything but
+        // Atomic collapses/groups them.
+        Scenario{"identical_records",
+                 "",
+                 "UNWIND [1, 1] AS x MERGE (:N {v: x})",
+                 Value(),
+                 {{{2, 0}, {1, 0}, {1, 0}, {1, 0}, {1, 0}}}},
+        // Same node value at two positions of one pattern: only
+        // cross-position variants unify them.
+        Scenario{"two_positions",
+                 "",
+                 "UNWIND [1] AS x MERGE (:N {v: x})-[:T]->(:N {v: x})",
+                 Value(),
+                 {{{2, 1}, {2, 1}, {2, 1}, {1, 1}, {1, 1}}}},
+        // Parallel identical rels at different positions (Example 7 shape,
+        // miniature): strong collapse merges the rels.
+        Scenario{"parallel_rels",
+                 "CREATE (:P {k: 1}), (:P {k: 2})",
+                 "MATCH (a:P {k: 1}), (b:P {k: 2}), (c:P {k: 1}), "
+                 "(d:P {k: 2}) "
+                 "MERGE (a)-[:TO]->(b)-[:BACK]->(c)-[:TO]->(d)",
+                 Value(),
+                 {{{0, 3}, {0, 3}, {0, 3}, {0, 3}, {0, 2}}}},
+        // Differing properties prevent collapse everywhere.
+        Scenario{"distinct_props",
+                 "",
+                 "UNWIND [1, 2] AS x MERGE (:N {v: x})",
+                 Value(),
+                 {{{2, 0}, {2, 0}, {2, 0}, {2, 0}, {2, 0}}}},
+        // Labels differ -> no collapse even with equal properties.
+        Scenario{"distinct_labels",
+                 "",
+                 "UNWIND [1] AS x MERGE (:A {v: x})-[:T]->(:B {v: x})",
+                 Value(),
+                 {{{2, 1}, {2, 1}, {2, 1}, {2, 1}, {2, 1}}}},
+        // Null-keyed records group together (Example 5's nulls).
+        Scenario{"null_grouping",
+                 "",
+                 "UNWIND [null, null] AS x MERGE (:N {v: x})",
+                 Value(),
+                 {{{2, 0}, {1, 0}, {1, 0}, {1, 0}, {1, 0}}}},
+        // Grouping keys include extra record columns only via pattern
+        // expressions: the unused column y must not split groups.
+        Scenario{"irrelevant_columns",
+                 "",
+                 "UNWIND [1, 2] AS y WITH 7 AS v, y MERGE (:N {id: v})",
+                 Value(),
+                 {{{2, 0}, {1, 0}, {1, 0}, {1, 0}, {1, 0}}}}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// ---- Bound-variable interaction -------------------------------------------------
+
+TEST(VariantBoundVarTest, BoundVariablesSplitGroups) {
+  // Same property values but different bound endpoints must not group.
+  for (MergeVariant variant : kAllVariants) {
+    EvalOptions options;
+    options.plain_merge_variant = variant;
+    GraphDatabase db(options);
+    ASSERT_TRUE(db.Run("CREATE (:U {k: 1}), (:U {k: 2})").ok());
+    QueryResult r = RunOk(&db, "MATCH (u:U) MERGE (u)-[:T]->(:V {v: 9})");
+    EXPECT_EQ(r.stats.rels_created, 2u) << MergeVariantName(variant);
+    // Weak+: the two :V{v:9} nodes are newly created at the same position
+    // and identical, so they collapse into one; Atomic/Grouping keep two.
+    bool collapses = variant != MergeVariant::kAtomic &&
+                     variant != MergeVariant::kGrouping;
+    EXPECT_EQ(r.stats.nodes_created, collapses ? 1u : 2u)
+        << MergeVariantName(variant);
+  }
+}
+
+TEST(VariantBoundVarTest, ExistingEndpointsKeepIdentity) {
+  // Definition 2: rels collapse only when (collapsed) endpoints agree;
+  // distinct existing endpoints block rel collapse.
+  EvalOptions options;
+  options.plain_merge_variant = MergeVariant::kStrongCollapse;
+  GraphDatabase db(options);
+  ASSERT_TRUE(db.Run("CREATE (:U {k: 1}), (:U {k: 2}), (:W {k: 9})").ok());
+  QueryResult r = RunOk(&db, "MATCH (u:U), (w:W) MERGE (u)-[:T]->(w)");
+  EXPECT_EQ(r.stats.rels_created, 2u);
+}
+
+TEST(VariantBoundVarTest, SameExistingEndpointCollapsesRels) {
+  EvalOptions options;
+  options.plain_merge_variant = MergeVariant::kStrongCollapse;
+  GraphDatabase db(options);
+  ASSERT_TRUE(db.Run("CREATE (:U {k: 1}), (:W {k: 9})").ok());
+  // Two records, same endpoints after matching: rel created once.
+  QueryResult r = RunOk(
+      &db, "UNWIND [1, 2] AS i MATCH (u:U), (w:W) MERGE (u)-[:T]->(w)");
+  EXPECT_EQ(r.stats.rels_created, 1u);
+}
+
+// ---- Output table shape -----------------------------------------------------------
+
+TEST(VariantOutputTest, FailedRecordsBindCollapsedEntities) {
+  EvalOptions options;
+  options.plain_merge_variant = MergeVariant::kStrongCollapse;
+  GraphDatabase db(options);
+  QueryResult r = RunOk(&db,
+                        "UNWIND [1, 1, 1] AS x "
+                        "MERGE (n:N {v: x}) RETURN id(n) AS i");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_TRUE(GroupEquals(r.rows[0][0], r.rows[1][0]));
+  EXPECT_TRUE(GroupEquals(r.rows[1][0], r.rows[2][0]));
+}
+
+TEST(VariantOutputTest, MatchedAndCreatedRowsCoexist) {
+  EvalOptions options;
+  options.plain_merge_variant = MergeVariant::kAtomic;
+  GraphDatabase db(options);
+  ASSERT_TRUE(db.Run("CREATE (:N {v: 1})").ok());
+  QueryResult r = RunOk(&db,
+                        "UNWIND [1, 2] AS x MERGE (n:N {v: x}) "
+                        "RETURN n.v AS v ORDER BY v");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 2);
+}
+
+// ---- Determinism property: all variants ignore record order ----------------------
+
+class VariantDeterminismTest : public ::testing::TestWithParam<MergeVariant> {};
+
+TEST_P(VariantDeterminismTest, ShuffleInvariant) {
+  std::set<uint64_t> fingerprints;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    EvalOptions options;
+    options.plain_merge_variant = GetParam();
+    options.scan_order = ScanOrder::kShuffle;
+    options.shuffle_seed = seed;
+    GraphDatabase db(options);
+    auto result =
+        db.Execute(workload::Example5Query("MERGE"),
+                    {{"rows", workload::RandomOrderRows(40, 5, 5, 200, 99)}});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    fingerprints.insert(GraphFingerprint(db.graph()));
+  }
+  EXPECT_EQ(fingerprints.size(), 1u) << MergeVariantName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantDeterminismTest,
+                         ::testing::ValuesIn(kAllVariants),
+                         [](const auto& info) {
+                           std::string name = MergeVariantName(info.param);
+                           name.erase(
+                               std::remove(name.begin(), name.end(), ' '),
+                               name.end());
+                           return name;
+                         });
+
+// ---- Monotonicity property: variants form a collapse lattice ---------------------
+
+TEST(VariantLatticeTest, CreationCountsDecreaseAlongTheLattice) {
+  // On arbitrary inputs: Atomic >= Grouping >= Weak >= Collapse >= Strong
+  // in created node count, and likewise for relationships.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Value rows = workload::RandomOrderRows(60, 6, 6, 150, seed);
+    std::array<uint64_t, 5> nodes{};
+    std::array<uint64_t, 5> rels{};
+    for (size_t i = 0; i < 5; ++i) {
+      EvalOptions options;
+      options.plain_merge_variant = kAllVariants[i];
+      GraphDatabase db(options);
+      auto result =
+          db.Execute(workload::Example5Query("MERGE"), {{"rows", rows}});
+      ASSERT_TRUE(result.ok());
+      nodes[i] = result->stats.nodes_created;
+      rels[i] = result->stats.rels_created;
+    }
+    for (size_t i = 1; i < 5; ++i) {
+      EXPECT_GE(nodes[i - 1], nodes[i]) << "seed " << seed << " step " << i;
+      EXPECT_GE(rels[i - 1], rels[i]) << "seed " << seed << " step " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cypher

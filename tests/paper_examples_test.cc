@@ -1,0 +1,665 @@
+// End-to-end reproduction of every worked example and figure in
+// "Updating Graph Databases with Cypher" (Green et al., PVLDB 2019).
+// Each test states the paper artifact it checks. These tests ARE the
+// paper's "evaluation": the engine must exhibit the legacy anomalies and
+// the revised semantics must eliminate them with exactly the graphs the
+// figures show.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/isomorphism.h"
+#include "test_util.h"
+#include "workload/workloads.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::ExpectIsomorphic;
+using ::cypher::testing::GraphFromScript;
+using ::cypher::testing::RunErr;
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+EvalOptions Legacy() {
+  EvalOptions o;
+  o.semantics = SemanticsMode::kLegacy;
+  return o;
+}
+
+EvalOptions Revised() { return EvalOptions{}; }
+
+// =============================================================================
+// Section 2/3: Figure 1 and Queries (1)-(5)
+// =============================================================================
+
+class MarketplaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::LoadMarketplace(&db_).ok());
+  }
+  GraphDatabase db_;
+};
+
+TEST_F(MarketplaceTest, Figure1HasExpectedShape) {
+  EXPECT_EQ(db_.graph().num_nodes(), 6u);
+  EXPECT_EQ(db_.graph().num_rels(), 5u);
+}
+
+TEST_F(MarketplaceTest, Query1FindsVendorOnce) {
+  // Query (1): vendors offering two products, one named "laptop". The
+  // record (p:p2, v:v1, q:p1) is filtered by WHERE, leaving one row.
+  QueryResult result = RunOk(
+      &db_,
+      "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) "
+      "WHERE p.name = 'laptop' RETURN v.name AS name");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].AsString(), "cStore");
+}
+
+TEST_F(MarketplaceTest, Query1WithoutWhereReturnsBagOfTwo) {
+  // Without the WHERE the driving table keeps both records (bag semantics).
+  QueryResult result = RunOk(
+      &db_,
+      "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) "
+      "RETURN v.name AS name");
+  EXPECT_EQ(result.rows.size(), 2u);
+}
+
+TEST_F(MarketplaceTest, Query1RelationshipUniqueness) {
+  // p and q cannot use the same OFFERS relationship twice (Section 2), so
+  // p = q matches do not appear.
+  QueryResult result = RunOk(
+      &db_,
+      "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) "
+      "WHERE p.name = q.name RETURN v");
+  EXPECT_EQ(result.rows.size(), 0u);
+}
+
+TEST_F(MarketplaceTest, Queries2Through4Lifecycle) {
+  // Query (2): insert the dotted node p4 and its ORDERED relationship.
+  QueryResult q2 = RunOk(&db_,
+                         "MATCH (u:User {id: 89}) "
+                         "CREATE (u)-[:ORDERED]->(:New_Product {id: 0})");
+  EXPECT_EQ(q2.stats.nodes_created, 1u);
+  EXPECT_EQ(q2.stats.rels_created, 1u);
+  EXPECT_EQ(db_.graph().num_nodes(), 7u);
+
+  // Query (3): change id, add name, swap the label.
+  QueryResult q3 = RunOk(&db_,
+                         "MATCH (p:New_Product {id: 0}) "
+                         "SET p:Product, p.id = 120, p.name = 'smartphone' "
+                         "REMOVE p:New_Product");
+  EXPECT_EQ(q3.stats.properties_set, 2u);
+  EXPECT_EQ(q3.stats.labels_added, 1u);
+  EXPECT_EQ(q3.stats.labels_removed, 1u);
+  EXPECT_EQ(Scalar(RunOk(&db_, "MATCH (p:New_Product) RETURN count(*) AS c"))
+                .AsInt(),
+            0);
+
+  // Plain DELETE must fail: the node still has its ORDERED relationship.
+  RunErr(&db_, "MATCH (p:Product {id: 120}) DELETE p");
+  EXPECT_EQ(db_.graph().num_nodes(), 7u);  // statement rolled back
+
+  // Deleting relationship and node in the same clause works.
+  QueryResult del =
+      RunOk(&db_, "MATCH ()-[r]->(p:Product {id: 120}) DELETE r, p");
+  EXPECT_EQ(del.stats.nodes_deleted, 1u);
+  EXPECT_EQ(del.stats.rels_deleted, 1u);
+  EXPECT_EQ(db_.graph().num_nodes(), 6u);
+  EXPECT_EQ(db_.graph().num_rels(), 5u);
+}
+
+TEST_F(MarketplaceTest, Query4DetachDelete) {
+  RunOk(&db_,
+        "MATCH (u:User {id: 89}) "
+        "CREATE (u)-[:ORDERED]->(:Product {id: 120})");
+  QueryResult del = RunOk(&db_, "MATCH (p:Product {id: 120}) DETACH DELETE p");
+  EXPECT_EQ(del.stats.nodes_deleted, 1u);
+  EXPECT_EQ(del.stats.rels_deleted, 1u);
+  EXPECT_EQ(db_.graph().num_nodes(), 6u);
+}
+
+TEST_F(MarketplaceTest, Query5LegacyMergeCreatesVendorForTablet) {
+  // Query (5): p1, p2 match vendor v1; p3 (tablet) has no vendor, so MERGE
+  // creates v2 and the dashed OFFERS relationship. Legacy semantics.
+  auto result = db_.Execute(
+      "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) "
+      "RETURN p.name AS product, v.name AS vendor",
+      {}, Legacy());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->stats.nodes_created, 1u);
+  EXPECT_EQ(result->stats.rels_created, 1u);
+  EXPECT_EQ(db_.graph().num_nodes(), 7u);
+  // The tablet's row has a vendor without a name.
+  int null_vendor_rows = 0;
+  for (const auto& row : result->rows) {
+    if (row[1].is_null()) ++null_vendor_rows;
+  }
+  EXPECT_EQ(null_vendor_rows, 1);
+}
+
+// =============================================================================
+// Section 4.1 / Example 1: SET atomicity (the id swap)
+// =============================================================================
+
+class SetSwapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Run("CREATE (:Product {name: 'laptop', id: 85}), "
+                        "(:Product {name: 'tablet', id: 125})")
+                    .ok());
+  }
+
+  std::pair<int64_t, int64_t> Ids() {
+    QueryResult r = RunOk(&db_,
+                          "MATCH (p:Product) RETURN p.id AS id "
+                          "ORDER BY p.name");
+    return {r.rows[0][0].AsInt(), r.rows[1][0].AsInt()};
+  }
+
+  GraphDatabase db_;
+  const std::string swap_ =
+      "MATCH (p1:Product {name: 'laptop'}), (p2:Product {name: 'tablet'}) "
+      "SET p1.id = p2.id, p2.id = p1.id";
+};
+
+TEST_F(SetSwapTest, LegacySetDoesNotSwap) {
+  // Example 1: under Cypher 9 both products end up with the tablet's id.
+  ASSERT_TRUE(db_.Execute(swap_, {}, Legacy()).ok());
+  auto [laptop, tablet] = Ids();
+  EXPECT_EQ(laptop, 125);
+  EXPECT_EQ(tablet, 125);
+}
+
+TEST_F(SetSwapTest, RevisedSetSwaps) {
+  // Section 7: all expressions evaluate against the input graph, so the
+  // swap works as an SQL programmer expects.
+  ASSERT_TRUE(db_.Execute(swap_, {}, Revised()).ok());
+  auto [laptop, tablet] = Ids();
+  EXPECT_EQ(laptop, 125);
+  EXPECT_EQ(tablet, 85);
+}
+
+TEST_F(SetSwapTest, LegacySequentialSetsBehaveLikeCombined) {
+  // The paper: the combined clause behaves like two sequential SETs.
+  ASSERT_TRUE(db_.Execute(
+                     "MATCH (p1:Product {name: 'laptop'}), "
+                     "(p2:Product {name: 'tablet'}) "
+                     "SET p1.id = p2.id SET p2.id = p1.id",
+                     {}, Legacy())
+                  .ok());
+  auto [laptop, tablet] = Ids();
+  EXPECT_EQ(laptop, 125);
+  EXPECT_EQ(tablet, 125);
+}
+
+// =============================================================================
+// Section 4.1 / Example 2: ambiguous SET must abort (revised)
+// =============================================================================
+
+TEST(SetConflictTest, Example2RevisedAbortsOnConflict) {
+  GraphDatabase db;
+  // Dirty data: two :Product nodes share id 125 with different names.
+  ASSERT_TRUE(db.Run("CREATE (:Product {id: 125, name: 'laptop'}), "
+                     "(:Product {id: 125, name: 'notebook'}), "
+                     "(:Product {id: 85, name: 'tablet'})")
+                  .ok());
+  Status st = RunErr(&db,
+                     "MATCH (p1:Product {id: 85}), (p2:Product {id: 125}) "
+                     "SET p1.name = p2.name");
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+  EXPECT_NE(st.message().find("conflicting SET"), std::string::npos);
+  // Atomicity: the failed statement changed nothing.
+  EXPECT_EQ(Scalar(RunOk(&db,
+                         "MATCH (p:Product {id: 85}) "
+                         "RETURN p.name AS n"))
+                .AsString(),
+            "tablet");
+}
+
+TEST(SetConflictTest, Example2LegacySilentlyPicksAnOrder) {
+  GraphDatabase db(Legacy());
+  ASSERT_TRUE(db.Run("CREATE (:Product {id: 125, name: 'laptop'}), "
+                     "(:Product {id: 125, name: 'notebook'}), "
+                     "(:Product {id: 85, name: 'tablet'})")
+                  .ok());
+  ASSERT_TRUE(db.Run("MATCH (p1:Product {id: 85}), (p2:Product {id: 125}) "
+                     "SET p1.name = p2.name")
+                  .ok());
+  Value name = Scalar(
+      RunOk(&db, "MATCH (p:Product {id: 85}) RETURN p.name AS n"));
+  // Nondeterministic in principle; our deterministic scan makes it the
+  // last-processed record's value. Either paper value is "correct".
+  EXPECT_TRUE(name.AsString() == "laptop" || name.AsString() == "notebook");
+}
+
+TEST(SetConflictTest, RevisedAllowsAgreeingWrites) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:P {id: 1}), (:P {id: 2}), (:T)").ok());
+  // Two records write the same value: no conflict.
+  ASSERT_TRUE(db.Run("MATCH (:P), (t:T) SET t.x = 42").ok());
+  EXPECT_EQ(Scalar(RunOk(&db, "MATCH (t:T) RETURN t.x AS x")).AsInt(), 42);
+}
+
+// =============================================================================
+// Section 4.2: DELETE anomalies
+// =============================================================================
+
+const char kDeleteAnomalyQuery[] =
+    "MATCH (user)-[order:ORDERED]->(product) "
+    "DELETE user SET user.id = 999 DELETE order RETURN user";
+
+TEST(DeleteAnomalyTest, LegacyRunsAndReturnsEmptyNode) {
+  GraphDatabase db(Legacy());
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 89, name: 'Bob'})"
+                     "-[:ORDERED]->(:Product {id: 125})")
+                  .ok());
+  auto result = db.Execute(kDeleteAnomalyQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // "goes through without an error and returns an empty node without any
+  // labels or properties"
+  ASSERT_EQ(result->rows.size(), 1u);
+  ASSERT_TRUE(result->rows[0][0].is_node());
+  const PropertyGraph& g = db.graph();
+  NodeId zombie = result->rows[0][0].AsNode();
+  EXPECT_FALSE(g.IsNodeAlive(zombie));
+  EXPECT_TRUE(g.node(zombie).labels.empty());
+  EXPECT_TRUE(g.node(zombie).props.empty());
+  EXPECT_EQ(RenderValue(g, result->rows[0][0]), "()");
+}
+
+TEST(DeleteAnomalyTest, RevisedRejectsDanglingDelete) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 89})-[:ORDERED]->(:Product)").ok());
+  Status st = RunErr(&db, kDeleteAnomalyQuery);
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+  // Rolled back: nothing deleted.
+  EXPECT_EQ(db.graph().num_nodes(), 2u);
+  EXPECT_EQ(db.graph().num_rels(), 1u);
+}
+
+TEST(DeleteAnomalyTest, RevisedNullsReferencesAfterDelete) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 89})-[:ORDERED]->(:Product)").ok());
+  // Deleting rel + node in one clause is fine; later references are null.
+  QueryResult result = RunOk(&db,
+                             "MATCH (user)-[order:ORDERED]->(product) "
+                             "DELETE order, user "
+                             "SET user.id = 999 "
+                             "RETURN user AS u, order AS o, product AS p");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_TRUE(result.rows[0][0].is_null());
+  EXPECT_TRUE(result.rows[0][1].is_null());
+  EXPECT_TRUE(result.rows[0][2].is_node());
+  EXPECT_EQ(db.graph().num_nodes(), 1u);
+}
+
+TEST(DeleteAnomalyTest, LegacyDanglingAtStatementEndFails) {
+  GraphDatabase db(Legacy());
+  ASSERT_TRUE(db.Run("CREATE (:User)-[:ORDERED]->(:Product)").ok());
+  // DELETE user but never the relationship: Neo4j-style commit check fires.
+  Status st = RunErr(&db, "MATCH (user:User) DELETE user");
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+  // Rolled back.
+  EXPECT_EQ(db.graph().num_nodes(), 2u);
+  EXPECT_EQ(db.graph().num_rels(), 1u);
+}
+
+// =============================================================================
+// Section 4.3 / Examples 3-4 / Figure 6: MERGE nondeterminism
+// =============================================================================
+
+class Figure6Test : public ::testing::Test {
+ protected:
+  PropertyGraph RunMerge(const std::string& keyword, EvalOptions options) {
+    GraphDatabase db(options);
+    EXPECT_TRUE(db.Run(workload::Example3SetupScript()).ok());
+    auto result = db.Execute(workload::Example3Query(keyword),
+                             {{"rows", workload::Example3Rows()}});
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return db.graph();
+  }
+
+  // Expected graphs, built independently with CREATE.
+  PropertyGraph Figure6a() {
+    return GraphFromScript(
+        "CREATE (u1:N {k: 'u1'}), (u2:N {k: 'u2'}), (p:N {k: 'p'}), "
+        "(v1:N {k: 'v1'}), (v2:N {k: 'v2'}), "
+        "(u1)-[:ORDERED]->(p), (v1)-[:OFFERS]->(p), "
+        "(u2)-[:ORDERED]->(p), (v2)-[:OFFERS]->(p), "
+        "(u1)-[:ORDERED]->(p), (v2)-[:OFFERS]->(p)");
+  }
+  PropertyGraph Figure6b() {
+    return GraphFromScript(
+        "CREATE (u1:N {k: 'u1'}), (u2:N {k: 'u2'}), (p:N {k: 'p'}), "
+        "(v1:N {k: 'v1'}), (v2:N {k: 'v2'}), "
+        "(u1)-[:ORDERED]->(p), (v1)-[:OFFERS]->(p), "
+        "(u2)-[:ORDERED]->(p), (v2)-[:OFFERS]->(p)");
+  }
+};
+
+TEST_F(Figure6Test, LegacyTopDownYieldsFigure6b) {
+  EvalOptions options = Legacy();
+  options.scan_order = ScanOrder::kForward;
+  PropertyGraph got = RunMerge("MERGE", options);
+  ExpectIsomorphic(got, Figure6b(), "legacy MERGE top-down");
+}
+
+TEST_F(Figure6Test, LegacyBottomUpYieldsFigure6a) {
+  EvalOptions options = Legacy();
+  options.scan_order = ScanOrder::kReverse;
+  PropertyGraph got = RunMerge("MERGE", options);
+  ExpectIsomorphic(got, Figure6a(), "legacy MERGE bottom-up");
+}
+
+TEST_F(Figure6Test, LegacyMergeIsOrderDependent) {
+  // The two scan orders produce non-isomorphic graphs: nondeterminism.
+  EvalOptions fwd = Legacy();
+  fwd.scan_order = ScanOrder::kForward;
+  EvalOptions rev = Legacy();
+  rev.scan_order = ScanOrder::kReverse;
+  EXPECT_FALSE(AreIsomorphic(RunMerge("MERGE", fwd), RunMerge("MERGE", rev)));
+}
+
+TEST_F(Figure6Test, MergeAllYieldsFigure6a) {
+  // Example 4: Atomic (and Grouping) always produce Figure 6a.
+  ExpectIsomorphic(RunMerge("MERGE ALL", Revised()), Figure6a(), "MERGE ALL");
+}
+
+TEST_F(Figure6Test, MergeSameYieldsFigure6b) {
+  // Example 4: all collapse variants produce the minimal graph 6b.
+  ExpectIsomorphic(RunMerge("MERGE SAME", Revised()), Figure6b(), "MERGE SAME");
+}
+
+TEST_F(Figure6Test, AllRevisedVariantsAreOrderInsensitive) {
+  for (MergeVariant variant :
+       {MergeVariant::kAtomic, MergeVariant::kGrouping,
+        MergeVariant::kWeakCollapse, MergeVariant::kCollapse,
+        MergeVariant::kStrongCollapse}) {
+    EvalOptions options = Revised();
+    options.plain_merge_variant = variant;
+    std::set<uint64_t> fingerprints;
+    for (ScanOrder order :
+         {ScanOrder::kForward, ScanOrder::kReverse, ScanOrder::kShuffle}) {
+      options.scan_order = order;  // must be ignored by revised executors
+      options.shuffle_seed = 1234;
+      fingerprints.insert(GraphFingerprint(RunMerge("MERGE", options)));
+    }
+    EXPECT_EQ(fingerprints.size(), 1u)
+        << MergeVariantName(variant) << " varied with scan order";
+  }
+}
+
+TEST_F(Figure6Test, GroupingMatchesAtomicHere) {
+  // Example 4: Grouping also yields 6a (three distinct records).
+  EvalOptions options = Revised();
+  options.plain_merge_variant = MergeVariant::kGrouping;
+  ExpectIsomorphic(RunMerge("MERGE", options), Figure6a(), "Grouping MERGE");
+}
+
+TEST_F(Figure6Test, WeakCollapseMatchesFigure6b) {
+  EvalOptions options = Revised();
+  options.plain_merge_variant = MergeVariant::kWeakCollapse;
+  ExpectIsomorphic(RunMerge("MERGE", options), Figure6b(), "Weak Collapse");
+}
+
+// =============================================================================
+// Example 5 / Figure 7: Atomic vs Grouping vs Collapse on import data
+// =============================================================================
+
+class Figure7Test : public ::testing::Test {
+ protected:
+  PropertyGraph RunVariant(MergeVariant variant) {
+    EvalOptions options;
+    options.plain_merge_variant = variant;
+    GraphDatabase db(options);
+    auto result = db.Execute(workload::Example5Query("MERGE"),
+                             {{"rows", workload::Example5Rows()}});
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return db.graph();
+  }
+};
+
+TEST_F(Figure7Test, AtomicCreatesTwelveNodesSixRels) {
+  PropertyGraph g = RunVariant(MergeVariant::kAtomic);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_rels(), 6u);
+  ExpectIsomorphic(
+      g,
+      GraphFromScript(
+          "CREATE (:User {id: 98})-[:ORDERED]->(:Product {id: 125});"
+          "CREATE (:User {id: 98})-[:ORDERED]->(:Product {id: 125});"
+          "CREATE (:User {id: 98})-[:ORDERED]->(:Product);"
+          "CREATE (:User {id: 98})-[:ORDERED]->(:Product);"
+          "CREATE (:User {id: 99})-[:ORDERED]->(:Product {id: 125});"
+          "CREATE (:User {id: 99})-[:ORDERED]->(:Product)"),
+      "Figure 7a");
+}
+
+TEST_F(Figure7Test, GroupingCreatesEightNodesFourRels) {
+  // Duplicate (cid, pid) pairs collapse regardless of the date column;
+  // null pids group with null pids.
+  PropertyGraph g = RunVariant(MergeVariant::kGrouping);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_rels(), 4u);
+  ExpectIsomorphic(
+      g,
+      GraphFromScript(
+          "CREATE (:User {id: 98})-[:ORDERED]->(:Product {id: 125});"
+          "CREATE (:User {id: 98})-[:ORDERED]->(:Product);"
+          "CREATE (:User {id: 99})-[:ORDERED]->(:Product {id: 125});"
+          "CREATE (:User {id: 99})-[:ORDERED]->(:Product)"),
+      "Figure 7b");
+}
+
+TEST_F(Figure7Test, CollapseVariantsCreateMinimalGraph) {
+  // One node per cid, one per pid (null included), one rel per unique
+  // (cid, pid) pair; identical for all three collapse variants here.
+  PropertyGraph expected = GraphFromScript(
+      "CREATE (u98:User {id: 98}), (u99:User {id: 99}), "
+      "(p125:Product {id: 125}), (pnull:Product), "
+      "(u98)-[:ORDERED]->(p125), (u98)-[:ORDERED]->(pnull), "
+      "(u99)-[:ORDERED]->(p125), (u99)-[:ORDERED]->(pnull)");
+  for (MergeVariant variant :
+       {MergeVariant::kWeakCollapse, MergeVariant::kCollapse,
+        MergeVariant::kStrongCollapse}) {
+    PropertyGraph g = RunVariant(variant);
+    EXPECT_EQ(g.num_nodes(), 4u) << MergeVariantName(variant);
+    EXPECT_EQ(g.num_rels(), 4u) << MergeVariantName(variant);
+    ExpectIsomorphic(g, expected,
+                     std::string("Figure 7c via ") + MergeVariantName(variant));
+  }
+}
+
+TEST_F(Figure7Test, MergeAllAndSameKeywordsMatchSection7) {
+  // Section 7: MERGE ALL produces Figure 7a, MERGE SAME Figure 7c.
+  GraphDatabase db_all;
+  ASSERT_TRUE(db_all
+                  .Execute(workload::Example5Query("MERGE ALL"),
+                           {{"rows", workload::Example5Rows()}})
+                  .ok());
+  EXPECT_EQ(db_all.graph().num_nodes(), 12u);
+  EXPECT_EQ(db_all.graph().num_rels(), 6u);
+
+  GraphDatabase db_same;
+  ASSERT_TRUE(db_same
+                  .Execute(workload::Example5Query("MERGE SAME"),
+                           {{"rows", workload::Example5Rows()}})
+                  .ok());
+  EXPECT_EQ(db_same.graph().num_nodes(), 4u);
+  EXPECT_EQ(db_same.graph().num_rels(), 4u);
+}
+
+TEST_F(Figure7Test, BareMergeIsRejectedInRevisedSemantics) {
+  // Section 7: "The query used in Example 5 (without ALL or SAME) will no
+  // longer be allowed."
+  GraphDatabase db;  // revised, no plain_merge_variant
+  Status st = RunErr(&db, workload::Example5Query("MERGE"),
+                     {{"rows", workload::Example5Rows()}});
+  EXPECT_EQ(st.code(), StatusCode::kSemanticError);
+}
+
+// =============================================================================
+// Example 6 / Figure 8: Weak Collapse vs Collapse
+// =============================================================================
+
+class Figure8Test : public ::testing::Test {
+ protected:
+  PropertyGraph RunVariant(MergeVariant variant) {
+    EvalOptions options;
+    options.plain_merge_variant = variant;
+    GraphDatabase db(options);
+    auto result = db.Execute(workload::Example6Query("MERGE"),
+                             {{"rows", workload::Example6Rows()}});
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return db.graph();
+  }
+};
+
+TEST_F(Figure8Test, WeakCollapseKeepsDuplicateUser98) {
+  // Figure 8a: :User{id:98} appears twice because the two occurrences sit
+  // at different pattern positions (buyer vs seller).
+  PropertyGraph g = RunVariant(MergeVariant::kWeakCollapse);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_rels(), 4u);
+  ExpectIsomorphic(
+      g,
+      GraphFromScript(
+          "CREATE (:User {id: 98})-[:ORDERED]->(p125:Product {id: 125}), "
+          "(:User {id: 97})-[:OFFERS]->(p125);"
+          "CREATE (:User {id: 99})-[:ORDERED]->(p85:Product {id: 85}), "
+          "(:User {id: 98})-[:OFFERS]->(p85)"),
+      "Figure 8a");
+}
+
+TEST_F(Figure8Test, AtomicAndGroupingAlsoYieldFigure8a) {
+  // Two distinct records: Atomic == Grouping == Weak Collapse here.
+  PropertyGraph weak = RunVariant(MergeVariant::kWeakCollapse);
+  ExpectIsomorphic(RunVariant(MergeVariant::kAtomic), weak, "Atomic vs 8a");
+  ExpectIsomorphic(RunVariant(MergeVariant::kGrouping), weak, "Grouping vs 8a");
+}
+
+TEST_F(Figure8Test, CollapseCombinesUser98AcrossPositions) {
+  // Figure 8b: the buyer 98 of record 1 and seller 98 of record 2 merge.
+  PropertyGraph expected = GraphFromScript(
+      "CREATE (u98:User {id: 98}), (u99:User {id: 99}), "
+      "(u97:User {id: 97}), (p125:Product {id: 125}), "
+      "(p85:Product {id: 85}), "
+      "(u98)-[:ORDERED]->(p125), (u97)-[:OFFERS]->(p125), "
+      "(u99)-[:ORDERED]->(p85), (u98)-[:OFFERS]->(p85)");
+  for (MergeVariant variant :
+       {MergeVariant::kCollapse, MergeVariant::kStrongCollapse}) {
+    PropertyGraph g = RunVariant(variant);
+    EXPECT_EQ(g.num_nodes(), 5u) << MergeVariantName(variant);
+    ExpectIsomorphic(g, expected,
+                     std::string("Figure 8b via ") + MergeVariantName(variant));
+  }
+}
+
+// =============================================================================
+// Example 7 / Figure 9: Collapse vs Strong Collapse; re-match semantics
+// =============================================================================
+
+class Figure9Test : public ::testing::Test {
+ protected:
+  GraphDatabase RunVariant(MergeVariant variant) {
+    EvalOptions options;
+    options.plain_merge_variant = variant;
+    GraphDatabase db(options);
+    EXPECT_TRUE(db.Run(workload::Example7SetupScript()).ok());
+    auto result = db.Execute(workload::Example7Query("MERGE"));
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return db;
+  }
+};
+
+TEST_F(Figure9Test, CollapseKeepsParallelToEdges) {
+  // Figure 9a: two parallel :TO edges p1 -> p2 (positions 0 and 3).
+  GraphDatabase db = RunVariant(MergeVariant::kCollapse);
+  EXPECT_EQ(db.graph().num_nodes(), 4u);
+  EXPECT_EQ(db.graph().num_rels(), 5u);
+  for (MergeVariant variant :
+       {MergeVariant::kAtomic, MergeVariant::kGrouping,
+        MergeVariant::kWeakCollapse}) {
+    GraphDatabase other = RunVariant(variant);
+    EXPECT_EQ(other.graph().num_rels(), 5u) << MergeVariantName(variant);
+  }
+}
+
+TEST_F(Figure9Test, StrongCollapseMergesParallelToEdges) {
+  // Figure 9b: the two :TO p1->p2 edges collapse; 4 relationships remain.
+  GraphDatabase db = RunVariant(MergeVariant::kStrongCollapse);
+  EXPECT_EQ(db.graph().num_nodes(), 4u);
+  EXPECT_EQ(db.graph().num_rels(), 4u);
+  ExpectIsomorphic(
+      db.graph(),
+      GraphFromScript(
+          "CREATE (p1:P {k: 'p1'}), (p2:P {k: 'p2'}), (p3:P {k: 'p3'}), "
+          "(p4:P {k: 'p4'}), "
+          "(p1)-[:TO]->(p2), (p2)-[:TO]->(p3), (p3)-[:TO]->(p1), "
+          "(p2)-[:BOUGHT]->(p4)"),
+      "Figure 9b");
+}
+
+TEST_F(Figure9Test, RematchFailsUnderTrailSemantics) {
+  // After Strong Collapse, the merged pattern cannot be re-matched under
+  // Cypher's relationship-uniqueness semantics...
+  GraphDatabase db = RunVariant(MergeVariant::kStrongCollapse);
+  QueryResult r = RunOk(&db, workload::Example7RematchQuery());
+  EXPECT_EQ(Scalar(r).AsInt(), 0);
+}
+
+TEST_F(Figure9Test, RematchSucceedsUnderHomomorphism) {
+  // ...but succeeds under homomorphism-based matching (Section 6).
+  GraphDatabase db = RunVariant(MergeVariant::kStrongCollapse);
+  EvalOptions homo;
+  homo.match_mode = MatchMode::kHomomorphism;
+  auto r = db.Execute(workload::Example7RematchQuery(), {}, homo);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(r->rows[0][0].AsInt(), 1);
+}
+
+TEST_F(Figure9Test, RematchSucceedsAfterCollapse) {
+  // Figure 9a keeps both parallel edges, so trail matching still works.
+  GraphDatabase db = RunVariant(MergeVariant::kCollapse);
+  QueryResult r = RunOk(&db, workload::Example7RematchQuery());
+  EXPECT_GE(Scalar(r).AsInt(), 1);
+}
+
+// =============================================================================
+// Example 3 under shuffled orders: statistical nondeterminism check
+// =============================================================================
+
+TEST(NondeterminismTest, LegacyMergeProducesMultipleGraphsAcrossShuffles) {
+  std::set<uint64_t> legacy_fps;
+  std::set<uint64_t> revised_fps;
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    {
+      EvalOptions options = Legacy();
+      options.scan_order = ScanOrder::kShuffle;
+      options.shuffle_seed = seed;
+      GraphDatabase db(options);
+      ASSERT_TRUE(db.Run(workload::Example3SetupScript()).ok());
+      ASSERT_TRUE(db.Execute(workload::Example3Query("MERGE"),
+                             {{"rows", workload::Example3Rows()}})
+                      .ok());
+      legacy_fps.insert(GraphFingerprint(db.graph()));
+    }
+    {
+      GraphDatabase db;
+      ASSERT_TRUE(db.Run(workload::Example3SetupScript()).ok());
+      ASSERT_TRUE(db.Execute(workload::Example3Query("MERGE SAME"),
+                             {{"rows", workload::Example3Rows()}})
+                      .ok());
+      revised_fps.insert(GraphFingerprint(db.graph()));
+    }
+  }
+  EXPECT_GE(legacy_fps.size(), 2u) << "legacy MERGE should be order-dependent";
+  EXPECT_EQ(revised_fps.size(), 1u) << "MERGE SAME must be deterministic";
+}
+
+}  // namespace
+}  // namespace cypher

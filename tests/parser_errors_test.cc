@@ -1,0 +1,151 @@
+// Negative parser tests: every malformed input must fail with a
+// SyntaxError (never crash, never mis-parse), and messages carry
+// locations. Parameterized sweep over a corpus of broken queries.
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace cypher {
+namespace {
+
+class ParserErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserErrorTest, FailsWithSyntaxError) {
+  auto q = ParseQuery(GetParam());
+  ASSERT_FALSE(q.ok()) << "unexpectedly parsed: " << GetParam();
+  EXPECT_EQ(q.status().code(), StatusCode::kSyntaxError) << GetParam();
+  EXPECT_NE(q.status().message().find("line"), std::string::npos)
+      << "no location in: " << q.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ParserErrorTest,
+    ::testing::Values(
+        // Lexical errors.
+        "MATCH (n) WHERE n.x = 'unterminated",
+        "MATCH (n) RETURN n /* unterminated comment",
+        "MATCH (n) WHERE n.x = $ RETURN n",
+        "MATCH (n) RETURN n ~",
+        "MATCH (n) WHERE n.s = 'bad \\q escape' RETURN n",
+        // Unbalanced structure.
+        "MATCH (n RETURN n",
+        "MATCH (n) RETURN n)",
+        "MATCH (n)-[:T->(m) RETURN n",
+        "MATCH (n) WHERE (n.x = 1 RETURN n",
+        "RETURN [1, 2",
+        "RETURN {a: 1",
+        // Clause-level mistakes.
+        "MATCH",
+        "RETURN",
+        "MATCH (n) RETURN",
+        "WHERE n.x = 1 RETURN n",           // WHERE is not a clause
+        "MATCH (n) RETURN n MATCH (m)",     // RETURN must be last
+        "UNWIND [1,2] x RETURN x",          // missing AS
+        "MATCH (n) DELETE",                  // missing expression
+        "MATCH (n) SET",                     // missing items
+        "MATCH (n) SET n..x = 1",
+        "MATCH (n) SET 1 = 2",               // bad target
+        "MATCH (n) REMOVE n",                // bare variable
+        "MATCH (n) DETACH (n)",              // DETACH without DELETE
+        // Patterns.
+        "MATCH (n)<-[:T]->(m) RETURN n",     // both directions
+        "MATCH (n)-[:T*..2..3]->(m) RETURN n",
+        "MATCH ()-] RETURN 1 AS x",
+        "CREATE (a)-(b)",                    // missing brackets arrow
+        // MERGE forms.
+        "MERGE",
+        "MERGE ALL",
+        "MERGE (a) ON SET a.x = 1",          // ON needs CREATE/MATCH
+        "MERGE (a) ON CREATE a.x = 1",       // missing SET
+        // Projections.
+        "MATCH (n) RETURN n AS",             // missing alias
+        "MATCH (n) RETURN n ORDER n",        // ORDER without BY
+        "MATCH (n) RETURN n SKIP",           // missing count
+        // Unions.
+        "RETURN 1 AS x UNION",
+        // FOREACH.
+        "FOREACH (x IN [1] CREATE (:N))",    // missing pipe
+        "FOREACH (x IN [1] | )",             // empty body
+        "FOREACH (x IN [1] | RETURN x)",     // reading clause in body
+        // Comprehension / quantifier / reduce.
+        "RETURN [x IN [1] WHERE]",
+        "RETURN all(x IN [1])",              // missing WHERE
+        "RETURN reduce(acc, x IN [1] | acc)",  // missing init
+        // DDL.
+        "CREATE INDEX ON User(id)",          // missing colon
+        "CREATE INDEX ON :User",             // missing key
+        "DROP (n)",                          // DROP needs INDEX/CONSTRAINT
+        "CREATE CONSTRAINT ON (u:User) ASSERT v.id IS UNIQUE",
+        "CREATE CONSTRAINT ON (u:User) ASSERT u.id IS",
+        // shortestPath shape errors.
+        "MATCH p = shortestPath((a)) RETURN p",
+        "MATCH p = shortestPath((a)-[:T]->(b)) RETURN p",
+        // Trailing garbage.
+        "MATCH (n) RETURN n extra_token_here (",
+        "MATCH (n) RETURN n; MATCH (m) RETURN m"));
+
+// Messages should name what was expected where possible.
+TEST(ParserErrorMessageTest, MentionsExpectedToken) {
+  auto q = ParseQuery("MATCH (n RETURN n");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("expected"), std::string::npos);
+}
+
+TEST(ParserErrorMessageTest, MentionsOffendingIdentifier) {
+  auto q = ParseQuery("FROB (n) RETURN n");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("FROB"), std::string::npos);
+}
+
+TEST(ParserErrorMessageTest, DeepNestingRejectedNotCrashing) {
+  std::string deep = "RETURN ";
+  for (int i = 0; i < 2000; ++i) deep += "(";
+  deep += "1";
+  for (int i = 0; i < 2000; ++i) deep += ")";
+  auto q = ParseQuery(deep);
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("nesting too deep"), std::string::npos);
+  // Long unary chains likewise.
+  std::string minus = "RETURN " + std::string(5000, '-') + "1 AS x";
+  EXPECT_FALSE(ParseQuery(minus).ok());
+  // Moderate nesting still parses.
+  std::string moderate = "RETURN ";
+  for (int i = 0; i < 50; ++i) moderate += "(";
+  moderate += "1";
+  for (int i = 0; i < 50; ++i) moderate += ")";
+  moderate += " AS x";
+  EXPECT_TRUE(ParseQuery(moderate).ok());
+}
+
+// A few near-miss inputs that MUST parse (guard against over-rejection).
+class ParserAcceptTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserAcceptTest, Parses) {
+  auto q = ParseQuery(GetParam());
+  EXPECT_TRUE(q.ok()) << GetParam() << " -> " << q.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ParserAcceptTest,
+    ::testing::Values(
+        "MATCH (n) RETURN n;",                       // trailing semicolon
+        "match (n) return n",                        // lowercase keywords
+        "MATCH (`weird name`) RETURN `weird name`",  // backquoted
+        "MATCH (match) RETURN match",                // keyword as variable
+        "RETURN -1 AS x",
+        "RETURN - - 1 AS x",
+        "RETURN 1+-2 AS x",
+        "MATCH (a)--(b) RETURN a",                   // bare undirected
+        "MATCH (a)-->(b)<--(c) RETURN a",
+        "MERGE all = (a)-[:T]->(b)",                 // path var named all
+        "MERGE (same:Label) RETURN same",            // var named same
+        "RETURN [x IN [1,2]] AS copy",
+        "MATCH (n) WHERE exists(n.prop) RETURN n",
+        "RETURN {a: 1, b: [2, {c: 3}]} AS nested",
+        "MATCH (n) RETURN count(DISTINCT n)",
+        "CREATE INDEX ON :User(id)",
+        "/* leading comment */ MATCH (n) RETURN n // trailing"));
+
+}  // namespace
+}  // namespace cypher

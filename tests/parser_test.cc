@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace cypher {
+namespace {
+
+// ---- Lexer -------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("MATCH (n) RETURN n.id");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // incl. kEnd
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "MATCH");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kLParen);
+  EXPECT_EQ((*tokens)[7].text, "id");
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, NumbersAndRanges) {
+  auto tokens = Tokenize("1 2.5 1e3 1..3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kFloat);
+  EXPECT_EQ((*tokens)[1].float_value, 2.5);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kFloat);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kDotDot);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kInteger);
+}
+
+TEST(LexerTest, PropertyAccessDoesNotEatDot) {
+  auto tokens = Tokenize("n.prop");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDot);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Tokenize(R"('it\'s' "dq\n")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's");
+  EXPECT_EQ((*tokens)[1].text, "dq\n");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("MATCH // comment\n(n) /* block */ RETURN n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "MATCH");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kLParen);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto tokens = Tokenize("<= >= <> += .. <");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kLe);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kGe);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNe);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kPlusEq);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kDotDot);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kLt);
+}
+
+TEST(LexerTest, ParametersAndBackquotes) {
+  auto tokens = Tokenize("$rows `weird name`");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kParameter);
+  EXPECT_EQ((*tokens)[0].text, "rows");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "weird name");
+}
+
+TEST(LexerTest, ErrorsCarryPosition) {
+  auto tokens = Tokenize("MATCH (n) WHERE n.x = 'unterminated");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("line 1"), std::string::npos);
+}
+
+// ---- Parser: structure ---------------------------------------------------------
+
+TEST(ParserTest, Query1FromThePaper) {
+  auto q = ParseQuery(
+      "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) "
+      "WHERE p.name = \"laptop\" RETURN v");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->parts.size(), 1u);
+  ASSERT_EQ(q->parts[0].clauses.size(), 2u);
+  const auto& match = static_cast<const MatchClause&>(*q->parts[0].clauses[0]);
+  ASSERT_EQ(match.patterns.size(), 1u);
+  const PathPattern& p = match.patterns[0];
+  EXPECT_EQ(p.start.variable, "p");
+  EXPECT_EQ(p.start.labels, std::vector<std::string>{"Product"});
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].first.direction, RelDirection::kRightToLeft);
+  EXPECT_EQ(p.steps[0].first.types, std::vector<std::string>{"OFFERS"});
+  EXPECT_EQ(p.steps[1].first.direction, RelDirection::kLeftToRight);
+  EXPECT_NE(match.where, nullptr);
+}
+
+TEST(ParserTest, MergeForms) {
+  auto legacy = ParseQuery("MERGE (p)<-[:OFFERS]-(v:Vendor)");
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(static_cast<const MergeClause&>(*legacy->parts[0].clauses[0]).form,
+            MergeForm::kLegacy);
+
+  auto all = ParseQuery("MERGE ALL (:User {id: cid})-[:ORDERED]->(:Product)");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(static_cast<const MergeClause&>(*all->parts[0].clauses[0]).form,
+            MergeForm::kAll);
+
+  auto same = ParseQuery("MERGE SAME (a)-[:TO]->(b), (c)-[:TO]->(d)");
+  ASSERT_TRUE(same.ok());
+  const auto& clause = static_cast<const MergeClause&>(*same->parts[0].clauses[0]);
+  EXPECT_EQ(clause.form, MergeForm::kSame);
+  EXPECT_EQ(clause.patterns.size(), 2u);
+}
+
+TEST(ParserTest, MergePathVariableNamedAllIsLegacy) {
+  auto q = ParseQuery("MERGE all = (a)-[:T]->(b) RETURN all");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& clause = static_cast<const MergeClause&>(*q->parts[0].clauses[0]);
+  EXPECT_EQ(clause.form, MergeForm::kLegacy);
+  EXPECT_EQ(clause.patterns[0].path_variable, "all");
+}
+
+TEST(ParserTest, MergeOnCreateOnMatch) {
+  auto q = ParseQuery(
+      "MERGE (u:User {id: 1}) "
+      "ON CREATE SET u.created = true, u.n = 0 "
+      "ON MATCH SET u.n = u.n + 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& clause = static_cast<const MergeClause&>(*q->parts[0].clauses[0]);
+  EXPECT_EQ(clause.on_create.size(), 2u);
+  EXPECT_EQ(clause.on_match.size(), 1u);
+}
+
+TEST(ParserTest, SetItemKinds) {
+  auto q = ParseQuery(
+      "MATCH (p) SET p:Product, p.id = 120, p += {a: 1}, p = {b: 2}");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& set = static_cast<const SetClause&>(*q->parts[0].clauses[1]);
+  ASSERT_EQ(set.items.size(), 4u);
+  EXPECT_EQ(set.items[0].kind, SetItemKind::kSetLabels);
+  EXPECT_EQ(set.items[1].kind, SetItemKind::kSetProperty);
+  EXPECT_EQ(set.items[1].key, "id");
+  EXPECT_EQ(set.items[2].kind, SetItemKind::kMergeProps);
+  EXPECT_EQ(set.items[3].kind, SetItemKind::kReplaceProps);
+}
+
+TEST(ParserTest, RemoveItems) {
+  auto q = ParseQuery("MATCH (p) REMOVE p:New_Product, p.name");
+  ASSERT_TRUE(q.ok());
+  const auto& rem = static_cast<const RemoveClause&>(*q->parts[0].clauses[1]);
+  ASSERT_EQ(rem.items.size(), 2u);
+  EXPECT_EQ(rem.items[0].kind, RemoveItemKind::kLabels);
+  EXPECT_EQ(rem.items[1].kind, RemoveItemKind::kProperty);
+}
+
+TEST(ParserTest, DetachDelete) {
+  auto q = ParseQuery("MATCH (p:Product {id: 120}) DETACH DELETE p");
+  ASSERT_TRUE(q.ok());
+  const auto& del = static_cast<const DeleteClause&>(*q->parts[0].clauses[1]);
+  EXPECT_TRUE(del.detach);
+  EXPECT_EQ(del.exprs.size(), 1u);
+}
+
+TEST(ParserTest, VariableLengthRelationships) {
+  auto q = ParseQuery("MATCH (v)-[*]->(v) RETURN v");
+  ASSERT_TRUE(q.ok());
+  const auto& match = static_cast<const MatchClause&>(*q->parts[0].clauses[0]);
+  const RelPattern& rel = match.patterns[0].steps[0].first;
+  EXPECT_TRUE(rel.var_length);
+  EXPECT_EQ(rel.min_hops, 1);
+  EXPECT_EQ(rel.max_hops, -1);
+
+  auto q2 = ParseQuery("MATCH (a)-[r:T*2..5]->(b) RETURN r");
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  const auto& match2 = static_cast<const MatchClause&>(*q2->parts[0].clauses[0]);
+  const RelPattern& rel2 = match2.patterns[0].steps[0].first;
+  EXPECT_EQ(rel2.min_hops, 2);
+  EXPECT_EQ(rel2.max_hops, 5);
+
+  auto q3 = ParseQuery("MATCH (a)-[*..4]-(b) RETURN a");
+  ASSERT_TRUE(q3.ok());
+  const auto& rel3 = static_cast<const MatchClause&>(*q3->parts[0].clauses[0])
+                         .patterns[0].steps[0].first;
+  EXPECT_EQ(rel3.min_hops, 1);
+  EXPECT_EQ(rel3.max_hops, 4);
+  EXPECT_EQ(rel3.direction, RelDirection::kUndirected);
+}
+
+TEST(ParserTest, UnionAndUnionAll) {
+  auto q = ParseQuery("MATCH (a) RETURN a UNION MATCH (b) RETURN b AS a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->parts.size(), 2u);
+  EXPECT_FALSE(q->union_all[0]);
+  auto q2 = ParseQuery("RETURN 1 AS x UNION ALL RETURN 2 AS x");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q2->union_all[0]);
+}
+
+TEST(ParserTest, ForeachBody) {
+  auto q = ParseQuery(
+      "MATCH (n) FOREACH (x IN [1,2,3] | SET n.last = x CREATE (:Log {v: x}))");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& fe = static_cast<const ForeachClause&>(*q->parts[0].clauses[1]);
+  EXPECT_EQ(fe.variable, "x");
+  EXPECT_EQ(fe.body.size(), 2u);
+}
+
+TEST(ParserTest, ForeachRejectsReadingClauses) {
+  EXPECT_FALSE(ParseQuery("FOREACH (x IN [1] | MATCH (n) DELETE n)").ok());
+}
+
+TEST(ParserTest, ProjectionFeatures) {
+  auto q = ParseQuery(
+      "MATCH (n) WITH DISTINCT n.id AS id, count(*) AS c "
+      "ORDER BY c DESC, id SKIP 1 LIMIT 2 WHERE c > 1 RETURN *");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& with = static_cast<const WithClause&>(*q->parts[0].clauses[1]);
+  EXPECT_TRUE(with.body.distinct);
+  EXPECT_EQ(with.body.items.size(), 2u);
+  EXPECT_EQ(with.body.order_by.size(), 2u);
+  EXPECT_FALSE(with.body.order_by[0].ascending);
+  EXPECT_TRUE(with.body.order_by[1].ascending);
+  EXPECT_NE(with.body.skip, nullptr);
+  EXPECT_NE(with.body.limit, nullptr);
+  EXPECT_NE(with.where, nullptr);
+  const auto& ret = static_cast<const ReturnClause&>(*q->parts[0].clauses[2]);
+  EXPECT_TRUE(ret.body.include_existing);
+}
+
+TEST(ParserTest, ImplicitAliasIsSourceText) {
+  auto q = ParseQuery("MATCH (v) RETURN v.name, count( * )");
+  ASSERT_TRUE(q.ok());
+  const auto& ret = static_cast<const ReturnClause&>(*q->parts[0].clauses[1]);
+  EXPECT_EQ(ret.body.items[0].alias, "v.name");
+  EXPECT_EQ(ret.body.items[1].alias, "count( * )");
+}
+
+TEST(ParserTest, ReturnMustBeLast) {
+  EXPECT_FALSE(ParseQuery("RETURN 1 AS x MATCH (n)").ok());
+}
+
+TEST(ParserTest, ErrorsMentionLocation) {
+  auto q = ParseQuery("MATCH (n RETURN n");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kSyntaxError);
+  EXPECT_NE(q.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParserTest, CaseExpression) {
+  auto e = ParseExpression(
+      "CASE WHEN x > 1 THEN 'big' ELSE 'small' END");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->kind, ExprKind::kCase);
+  auto simple = ParseExpression("CASE x WHEN 1 THEN 'one' END");
+  ASSERT_TRUE(simple.ok());
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3 = 7 AND NOT false");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(ToCypher(**e), "(((1 + (2 * 3)) = 7) AND (NOT false))");
+}
+
+TEST(ParserTest, StringOperators) {
+  auto e = ParseExpression("name STARTS WITH 'a' OR name ENDS WITH 'z' OR "
+                           "name CONTAINS 'q' OR name IN ['x'] OR "
+                           "name IS NOT NULL");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+}
+
+// ---- Round-trip property --------------------------------------------------------
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintParsePrintIsStable) {
+  auto q1 = ParseQuery(GetParam());
+  ASSERT_TRUE(q1.ok()) << GetParam() << " -> " << q1.status().ToString();
+  std::string printed = ToCypher(*q1);
+  auto q2 = ParseQuery(printed);
+  ASSERT_TRUE(q2.ok()) << printed << " -> " << q2.status().ToString();
+  EXPECT_EQ(ToCypher(*q2), printed) << "original: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperQueries, RoundTripTest,
+    ::testing::Values(
+        "MATCH (p:Product)<-[:OFFERS]-(v:Vendor)-[:OFFERS]->(q:Product) "
+        "WHERE p.name = 'laptop' RETURN v",
+        "MATCH (u:User {id: 89}) "
+        "CREATE (u)-[:ORDERED]->(:New_Product {id: 0})",
+        "MATCH (p:New_Product {id: 0}) "
+        "SET p:Product, p.id = 120, p.name = 'smartphone' "
+        "REMOVE p:New_Product",
+        "MATCH (p:Product {id: 120}) DETACH DELETE p",
+        "MATCH ()-[r]->(p:Product {id: 120}) DELETE r, p",
+        "MATCH (p:Product) MERGE (p)<-[:OFFERS]-(v:Vendor) RETURN p, v",
+        "MERGE ALL (:User {id: cid})-[:ORDERED]->(:Product {id: pid})",
+        "MERGE SAME (:User {id: bid})-[:ORDERED]->(:Product {id: pid})"
+        "<-[:OFFERS]-(:User {id: sid})",
+        "MATCH (user)-[order:ORDERED]->(product) DELETE user "
+        "SET user.id = 999 DELETE order RETURN user",
+        "MERGE (a)-[:TO]->(b)-[:TO]->(c)-[:TO]->(d)-[:TO]->(e)"
+        "-[:BOUGHT]->(tgt)",
+        "UNWIND $rows AS row WITH row.cid AS cid, row.pid AS pid "
+        "MERGE ALL (:User {id: cid})-[:ORDERED]->(:Product {id: pid})",
+        "MATCH (a) RETURN a.x AS x UNION ALL MATCH (b) RETURN b.y AS x",
+        "MATCH p = (a)-[r:T*1..3]-(b) RETURN p, r",
+        "FOREACH (x IN range(1, 10) | CREATE (:N {v: x}))",
+        "MATCH (n) WHERE n.a = 1 AND (n.b < 2 OR n.c IS NULL) "
+        "RETURN DISTINCT n ORDER BY n.a DESC SKIP 1 LIMIT 5"));
+
+}  // namespace
+}  // namespace cypher

@@ -1,0 +1,104 @@
+// exists(<pattern>) pattern-predicate tests.
+
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "parser/parser.h"
+#include "test_util.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+class PatternPredicateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Run("CREATE (a:User {id: 1}), (b:User {id: 2}), "
+                        "(p:Product {id: 9}), "
+                        "(a)-[:ORDERED]->(p)")
+                    .ok());
+  }
+  GraphDatabase db_;
+};
+
+TEST_F(PatternPredicateTest, FiltersByExistence) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User) WHERE exists((u)-[:ORDERED]->()) "
+                        "RETURN u.id AS id");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+}
+
+TEST_F(PatternPredicateTest, NegatedExistence) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User) "
+                        "WHERE NOT exists((u)-[:ORDERED]->()) "
+                        "RETURN u.id AS id");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(PatternPredicateTest, FullPatternWithFilters) {
+  QueryResult yes = RunOk(
+      &db_,
+      "MATCH (u:User {id: 1}) "
+      "RETURN exists((u)-[:ORDERED]->(:Product {id: 9})) AS e");
+  EXPECT_TRUE(Scalar(yes).AsBool());
+  QueryResult no = RunOk(
+      &db_,
+      "MATCH (u:User {id: 1}) "
+      "RETURN exists((u)-[:ORDERED]->(:Product {id: 5})) AS e");
+  EXPECT_FALSE(Scalar(no).AsBool());
+}
+
+TEST_F(PatternPredicateTest, UsableInReturnAndCase) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User) "
+                        "RETURN u.id AS id, "
+                        "CASE WHEN exists((u)-->()) THEN 'buyer' "
+                        "ELSE 'lurker' END AS kind ORDER BY id");
+  EXPECT_EQ(r.rows[0][1].AsString(), "buyer");
+  EXPECT_EQ(r.rows[1][1].AsString(), "lurker");
+}
+
+TEST_F(PatternPredicateTest, ScalarExistsStillWorks) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User {id: 1}) "
+                        "RETURN exists(u.id) AS has_id, "
+                        "exists(u.ghost) AS has_ghost");
+  EXPECT_TRUE(r.rows[0][0].AsBool());
+  EXPECT_FALSE(r.rows[0][1].AsBool());
+}
+
+TEST_F(PatternPredicateTest, UndirectedAndVarLength) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (p:Product) WHERE exists((p)--()) "
+                        "RETURN count(p) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 1);
+  QueryResult vl = RunOk(&db_,
+                         "MATCH (u:User {id: 1}) "
+                         "RETURN exists((u)-[*1..2]->()) AS e");
+  EXPECT_TRUE(Scalar(vl).AsBool());
+}
+
+TEST_F(PatternPredicateTest, RoundTripsThroughPrinter) {
+  auto e = ParseExpression("exists((u)-[:ORDERED]->(:Product {id: 9}))");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  ASSERT_EQ((*e)->kind, ExprKind::kPatternPredicate);
+  std::string printed = ToCypher(**e);
+  auto e2 = ParseExpression(printed);
+  ASSERT_TRUE(e2.ok()) << printed;
+  EXPECT_EQ(ToCypher(**e2), printed);
+}
+
+TEST_F(PatternPredicateTest, AnonymousStartScansGraph) {
+  QueryResult r = RunOk(&db_, "RETURN exists(()-[:ORDERED]->()) AS any");
+  EXPECT_TRUE(Scalar(r).AsBool());
+  QueryResult none = RunOk(&db_, "RETURN exists(()-[:MISSING]->()) AS any");
+  EXPECT_FALSE(Scalar(none).AsBool());
+}
+
+}  // namespace
+}  // namespace cypher

@@ -1,0 +1,267 @@
+// Property-style invariant tests over randomized workloads: statement
+// atomicity, order-insensitivity of the revised semantics, idempotence of
+// MERGE SAME, store consistency, and dump/load round-trips.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "graph/isomorphism.h"
+#include "graph/serialize.h"
+#include "test_util.h"
+#include "workload/workloads.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunOk;
+
+/// Store consistency: every alive relationship has alive endpoints and is
+/// present in their adjacency; alive counts agree with enumeration.
+void CheckStoreInvariants(const PropertyGraph& g) {
+  std::vector<NodeId> nodes = g.AllNodes();
+  std::vector<RelId> rels = g.AllRels();
+  EXPECT_EQ(nodes.size(), g.num_nodes());
+  EXPECT_EQ(rels.size(), g.num_rels());
+  for (RelId r : rels) {
+    const RelData& rel = g.rel(r);
+    ASSERT_TRUE(g.IsNodeAlive(rel.src));
+    ASSERT_TRUE(g.IsNodeAlive(rel.tgt));
+    auto out = g.OutRels(rel.src);
+    auto in = g.InRels(rel.tgt);
+    EXPECT_TRUE(std::find(out.begin(), out.end(), r) != out.end());
+    EXPECT_TRUE(std::find(in.begin(), in.end(), r) != in.end());
+  }
+  size_t degree_sum = 0;
+  for (NodeId n : nodes) degree_sum += g.Degree(n);
+  size_t rel_ends = 0;
+  for (RelId r : rels) {
+    rel_ends += (g.rel(r).src == g.rel(r).tgt) ? 2 : 2;
+  }
+  EXPECT_EQ(degree_sum, rel_ends);
+}
+
+/// A random small statement generator over a bounded vocabulary. Some
+/// statements intentionally fail (division by zero, dangling delete).
+std::string RandomStatement(SplitMix64* rng) {
+  switch (rng->NextBelow(10)) {
+    case 0:
+      return "CREATE (:A {v: " + std::to_string(rng->NextBelow(4)) + "})";
+    case 1:
+      return "CREATE (:A {v: 1})-[:T]->(:B {v: 2})";
+    case 2:
+      return "MATCH (a:A) SET a.v = a.v + 1";
+    case 3:
+      return "MATCH (a:A {v: 2}) DETACH DELETE a";
+    case 4:
+      return "MATCH (a:A)-[t:T]->(b) DELETE t";
+    case 5:
+      return "UNWIND [1, 2] AS x MERGE SAME (:C {v: x})";
+    case 6:
+      return "MATCH (b:B) SET b:Seen";
+    case 7:
+      return "MATCH (a:A) REMOVE a.v";
+    case 8:  // fails sometimes: dangling delete
+      return "MATCH (a:A)-[:T]->() DELETE a";
+    default:  // always fails
+      return "MATCH (a:A) RETURN a.v / 0";
+  }
+}
+
+TEST(AtomicityPropertyTest, FailedStatementsNeverChangeTheGraph) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    SplitMix64 rng(seed * 7919 + 1);
+    GraphDatabase db;
+    for (int i = 0; i < 60; ++i) {
+      uint64_t before = GraphFingerprint(db.graph());
+      size_t nodes_before = db.graph().num_nodes();
+      size_t rels_before = db.graph().num_rels();
+      auto result = db.Execute(RandomStatement(&rng));
+      if (!result.ok()) {
+        EXPECT_EQ(GraphFingerprint(db.graph()), before) << "seed " << seed;
+        EXPECT_EQ(db.graph().num_nodes(), nodes_before);
+        EXPECT_EQ(db.graph().num_rels(), rels_before);
+      }
+      CheckStoreInvariants(db.graph());
+    }
+  }
+}
+
+TEST(AtomicityPropertyTest, LegacyModeAlsoRollsBackOnError) {
+  EvalOptions legacy;
+  legacy.semantics = SemanticsMode::kLegacy;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    SplitMix64 rng(seed * 31337 + 5);
+    GraphDatabase db(legacy);
+    for (int i = 0; i < 60; ++i) {
+      uint64_t before = GraphFingerprint(db.graph());
+      auto result = db.Execute(RandomStatement(&rng));
+      if (!result.ok()) {
+        EXPECT_EQ(GraphFingerprint(db.graph()), before) << "seed " << seed;
+      }
+      CheckStoreInvariants(db.graph());
+    }
+  }
+}
+
+class RevisedOrderInsensitivityTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RevisedOrderInsensitivityTest, SetDeleteMergeIgnoreScanOrder) {
+  uint64_t seed = GetParam();
+  Value rows = workload::RandomOrderRows(50, 8, 8, 100, seed);
+  std::set<uint64_t> fingerprints;
+  for (ScanOrder order :
+       {ScanOrder::kForward, ScanOrder::kReverse, ScanOrder::kShuffle}) {
+    EvalOptions options;
+    options.scan_order = order;
+    options.shuffle_seed = seed + 17;
+    GraphDatabase db(options);
+    ASSERT_TRUE(
+        db.Execute(workload::Example5Query("MERGE SAME"), {{"rows", rows}})
+            .ok());
+    // May conflict when a user ordered two products; the conflict decision
+    // is itself order-independent, so either outcome is consistent across
+    // scan orders (and a failure changes nothing).
+    db.Run("MATCH (u:User)-[:ORDERED]->(p:Product) SET u.buys = p.id")
+        .ok();
+    ASSERT_TRUE(
+        db.Run("MATCH (p:Product) WHERE p.id IS NULL DETACH DELETE p").ok());
+    fingerprints.insert(GraphFingerprint(db.graph()));
+  }
+  EXPECT_EQ(fingerprints.size(), 1u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RevisedOrderInsensitivityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+class MergeIdempotenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MergeIdempotenceTest, SecondMergeSameCreatesNothing) {
+  // Without nulls, re-merging the same rows must match everything the
+  // first merge created.
+  Value rows = workload::RandomOrderRows(40, 6, 6, /*null_permille=*/0,
+                                         GetParam());
+  GraphDatabase db;
+  auto first =
+      db.Execute(workload::Example5Query("MERGE SAME"), {{"rows", rows}});
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first->stats.nodes_created, 0u);
+  uint64_t fp = GraphFingerprint(db.graph());
+  auto second =
+      db.Execute(workload::Example5Query("MERGE SAME"), {{"rows", rows}});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.nodes_created, 0u);
+  EXPECT_EQ(second->stats.rels_created, 0u);
+  EXPECT_EQ(GraphFingerprint(db.graph()), fp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeIdempotenceTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+class DumpLoadPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DumpLoadPropertyTest, RoundTripIsIsomorphic) {
+  GraphDatabase db;
+  ASSERT_TRUE(
+      workload::LoadRandomMarketplace(&db, 10, 8, 25, GetParam()).ok());
+  std::string dump = DumpGraph(db.graph());
+  auto loaded = LoadGraph(dump);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(AreIsomorphic(db.graph(), *loaded));
+  EXPECT_EQ(DumpGraph(*loaded), dump);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DumpLoadPropertyTest,
+                         ::testing::Values(3, 5, 7, 9));
+
+TEST(EquivalencePropertyTest, SemanticsAgreeOnNonInterferingStatements) {
+  // Single-record statements without cross-record reads behave identically
+  // under both semantics.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    GraphDatabase legacy_db{[] {
+      EvalOptions o;
+      o.semantics = SemanticsMode::kLegacy;
+      return o;
+    }()};
+    GraphDatabase revised_db;
+    SplitMix64 rng(seed + 101);
+    for (int i = 0; i < 30; ++i) {
+      int64_t v = static_cast<int64_t>(rng.NextBelow(5));
+      std::string statement;
+      switch (rng.NextBelow(4)) {
+        case 0:
+          statement = "CREATE (:A {v: " + std::to_string(v) + "})";
+          break;
+        case 1:
+          statement = "MATCH (a:A {v: " + std::to_string(v) +
+                      "}) SET a.touched = true";
+          break;
+        case 2:
+          statement = "MATCH (a:A {v: " + std::to_string(v) +
+                      "}) WHERE a.touched DETACH DELETE a";
+          break;
+        default:
+          statement = "MERGE ALL (:B {v: " + std::to_string(v) + "})";
+          break;
+      }
+      auto lr = legacy_db.Execute(statement);
+      auto rr = revised_db.Execute(statement);
+      ASSERT_EQ(lr.ok(), rr.ok()) << statement;
+    }
+    EXPECT_TRUE(AreIsomorphic(legacy_db.graph(), revised_db.graph()))
+        << "seed " << seed;
+  }
+}
+
+TEST(MatcherPropertyTest, HomomorphismFindsAtLeastAsManyMatches) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    GraphDatabase db;
+    ASSERT_TRUE(workload::LoadRandomMarketplace(&db, 6, 5, 15, seed).ok());
+    const char* probes[] = {
+        "MATCH (a)-[:ORDERED]->(p)<-[:ORDERED]-(b) RETURN count(*) AS c",
+        "MATCH (a)-[*1..2]->(b) RETURN count(*) AS c",
+        "MATCH (a)-[:ORDERED]->(), (b)-[:ORDERED]->() RETURN count(*) AS c",
+    };
+    for (const char* probe : probes) {
+      auto trail = db.Execute(probe);
+      EvalOptions homo;
+      homo.match_mode = MatchMode::kHomomorphism;
+      auto hom = db.Execute(probe, {}, homo);
+      ASSERT_TRUE(trail.ok() && hom.ok());
+      EXPECT_GE(hom->rows[0][0].AsInt(), trail->rows[0][0].AsInt()) << probe;
+    }
+  }
+}
+
+TEST(JournalPropertyTest, InterleavedCommitRollbackSequences) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:Base {id: 0})").ok());
+  SplitMix64 rng(2024);
+  PropertyGraph& g = db.graph();
+  for (int round = 0; round < 20; ++round) {
+    uint64_t before = GraphFingerprint(g);
+    auto mark = g.BeginJournal();
+    // Random direct mutations.
+    NodeId n = g.CreateNode({g.InternLabel("Tmp")}, {});
+    g.SetProperty(EntityRef::Node(n), g.InternKey("r"),
+                  Value::Int(static_cast<int64_t>(rng.NextBelow(100))));
+    if (rng.NextBelow(2) == 0) {
+      NodeId m = g.CreateNode({g.InternLabel("Tmp")}, {});
+      auto rel = g.CreateRel(n, m, g.InternType("T"), {});
+      ASSERT_TRUE(rel.ok());
+      if (rng.NextBelow(2) == 0) g.DeleteRel(*rel);
+    }
+    if (rng.NextBelow(2) == 0) {
+      g.RollbackTo(mark);
+      EXPECT_EQ(GraphFingerprint(g), before) << "round " << round;
+    } else {
+      g.CommitTo(mark);
+    }
+    CheckStoreInvariants(g);
+  }
+}
+
+}  // namespace
+}  // namespace cypher

@@ -1,0 +1,213 @@
+// MATCH / OPTIONAL MATCH / UNWIND / WITH / RETURN executor tests, driven
+// through the public API.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+class ReadClausesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Run("CREATE (a:User {id: 1, name: 'ann'}),"
+                        "(b:User {id: 2, name: 'bob'}),"
+                        "(c:User {id: 3}),"
+                        "(p:Product {id: 10, price: 5}),"
+                        "(q:Product {id: 11, price: 7}),"
+                        "(a)-[:ORDERED {qty: 2}]->(p),"
+                        "(b)-[:ORDERED {qty: 1}]->(p),"
+                        "(b)-[:ORDERED {qty: 4}]->(q)")
+                    .ok());
+  }
+  GraphDatabase db_;
+};
+
+TEST_F(ReadClausesTest, MatchExtendsDrivingTable) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User) MATCH (u)-[:ORDERED]->(p) "
+                        "RETURN u.name AS n, p.id AS pid ORDER BY n, pid");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "ann");
+  EXPECT_EQ(r.rows[1][0].AsString(), "bob");
+  EXPECT_EQ(r.rows[1][1].AsInt(), 10);
+  EXPECT_EQ(r.rows[2][1].AsInt(), 11);
+}
+
+TEST_F(ReadClausesTest, MatchWhereFilters) {
+  QueryResult r = RunOk(
+      &db_, "MATCH (u:User) WHERE u.id > 1 RETURN count(*) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 2);
+  // WHERE evaluating to null filters the row out (c has no name).
+  QueryResult r2 = RunOk(
+      &db_, "MATCH (u:User) WHERE u.name CONTAINS 'n' RETURN count(*) AS c");
+  EXPECT_EQ(Scalar(r2).AsInt(), 1);
+}
+
+TEST_F(ReadClausesTest, MatchOnEmptyTableYieldsNothing) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (x:Missing) MATCH (u:User) "
+                        "RETURN count(*) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 0);
+}
+
+TEST_F(ReadClausesTest, OptionalMatchPadsWithNulls) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User) OPTIONAL MATCH (u)-[:ORDERED]->(p) "
+                        "RETURN u.id AS id, p.id AS pid ORDER BY id, pid");
+  ASSERT_EQ(r.rows.size(), 4u);  // ann x1, bob x2, carol x1 (null)
+  EXPECT_TRUE(r.rows[3][1].is_null());
+}
+
+TEST_F(ReadClausesTest, OptionalMatchWhereIsPartOfMatching) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User {id: 1}) "
+                        "OPTIONAL MATCH (u)-[o:ORDERED]->(p) WHERE o.qty > 5 "
+                        "RETURN u.id AS id, p.id AS pid");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(ReadClausesTest, UnwindBasics) {
+  QueryResult r =
+      RunOk(&db_, "UNWIND [3, 1, 2] AS x RETURN x ORDER BY x");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  // UNWIND null produces no rows; a scalar unwinds to itself.
+  EXPECT_EQ(RunOk(&db_, "UNWIND null AS x RETURN x").rows.size(), 0u);
+  EXPECT_EQ(RunOk(&db_, "UNWIND 5 AS x RETURN x").rows.size(), 1u);
+}
+
+TEST_F(ReadClausesTest, UnwindCartesian) {
+  QueryResult r = RunOk(
+      &db_, "UNWIND [1, 2] AS a UNWIND ['x', 'y'] AS b RETURN a, b");
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST_F(ReadClausesTest, ReturnDistinct) {
+  QueryResult r =
+      RunOk(&db_, "MATCH (:User)-[:ORDERED]->(p) RETURN DISTINCT p.id AS pid");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(ReadClausesTest, ReturnStar) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User {id: 1})-[o:ORDERED]->(p) RETURN *");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.columns.size(), 3u);  // u, o, p in table order
+}
+
+TEST_F(ReadClausesTest, OrderBySkipLimit) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User) RETURN u.id AS id "
+                        "ORDER BY id DESC SKIP 1 LIMIT 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ReadClausesTest, OrderByNullsLast) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User) RETURN u.name AS n ORDER BY n");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_TRUE(r.rows[2][0].is_null());
+}
+
+TEST_F(ReadClausesTest, WithChainsAndFilters) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User)-[o:ORDERED]->(p) "
+                        "WITH u, sum(o.qty) AS total WHERE total > 2 "
+                        "RETURN u.name AS n, total");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "bob");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 5);
+}
+
+TEST_F(ReadClausesTest, ImplicitGroupingByNonAggregates) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User)-[:ORDERED]->(p) "
+                        "RETURN p.id AS pid, count(u) AS buyers "
+                        "ORDER BY pid");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_EQ(r.rows[1][1].AsInt(), 1);
+}
+
+TEST_F(ReadClausesTest, GlobalAggregateOnEmptyInputIsOneRow) {
+  QueryResult r = RunOk(&db_, "MATCH (x:Missing) RETURN count(x) AS c");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(ReadClausesTest, OrderByAggregate) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User)-[o:ORDERED]->() "
+                        "RETURN u.name AS n ORDER BY sum(o.qty) DESC");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "bob");
+}
+
+TEST_F(ReadClausesTest, CollectBuildsLists) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User)-[:ORDERED]->(p) "
+                        "WITH u, collect(p.id) AS pids "
+                        "WHERE size(pids) = 2 RETURN u.name AS n, pids");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][1].AsList().size(), 2u);
+}
+
+TEST_F(ReadClausesTest, DuplicateAliasRejected) {
+  auto r = db_.Execute("MATCH (u:User) RETURN u.id AS x, u.name AS x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kSemanticError);
+}
+
+TEST_F(ReadClausesTest, SkipLimitValidation) {
+  EXPECT_FALSE(db_.Execute("MATCH (u:User) RETURN u SKIP -1").ok());
+  EXPECT_FALSE(db_.Execute("MATCH (u:User) RETURN u LIMIT 'x'").ok());
+}
+
+TEST_F(ReadClausesTest, UnionDistinctAndAll) {
+  QueryResult all = RunOk(&db_,
+                          "MATCH (u:User {id: 1}) RETURN u.id AS id "
+                          "UNION ALL MATCH (u:User {id: 1}) RETURN u.id AS id");
+  EXPECT_EQ(all.rows.size(), 2u);
+  QueryResult dist = RunOk(&db_,
+                           "MATCH (u:User {id: 1}) RETURN u.id AS id "
+                           "UNION MATCH (u:User {id: 1}) RETURN u.id AS id");
+  EXPECT_EQ(dist.rows.size(), 1u);
+}
+
+TEST_F(ReadClausesTest, UnionColumnMismatchRejected) {
+  EXPECT_FALSE(
+      db_.Execute("RETURN 1 AS a UNION RETURN 2 AS b").ok());
+  EXPECT_FALSE(
+      db_.Execute("RETURN 1 AS a UNION ALL RETURN 2 AS a UNION RETURN 3 AS a")
+          .ok());
+}
+
+TEST_F(ReadClausesTest, VariableLengthEndToEnd) {
+  ASSERT_TRUE(db_.Run("MATCH (a:User {id: 1}), (b:User {id: 2}) "
+                      "CREATE (a)-[:KNOWS]->(b)")
+                  .ok());
+  QueryResult r = RunOk(&db_,
+                        "MATCH (a:User {id: 1})-[*1..2]->(x) "
+                        "RETURN count(*) AS c");
+  // a->p, a->b, a->b->p(10), a->b->q(11)
+  EXPECT_EQ(Scalar(r).AsInt(), 4);
+}
+
+TEST_F(ReadClausesTest, PathVariableEndToEnd) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH p = (u:User {id: 2})-[:ORDERED]->() "
+                        "RETURN length(p) AS len, size(nodes(p)) AS n");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+}
+
+}  // namespace
+}  // namespace cypher

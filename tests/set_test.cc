@@ -1,0 +1,211 @@
+// SET and REMOVE executor tests across both semantics modes.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunErr;
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+EvalOptions Legacy() {
+  EvalOptions o;
+  o.semantics = SemanticsMode::kLegacy;
+  return o;
+}
+
+class SetTest : public ::testing::TestWithParam<SemanticsMode> {
+ protected:
+  SetTest() {
+    db_.options().semantics = GetParam();
+    EXPECT_TRUE(db_.Run("CREATE (:User {id: 1, name: 'ann'}), "
+                        "(:User {id: 2, name: 'bob'})")
+                    .ok());
+  }
+  GraphDatabase db_;
+};
+
+// Behaviours where legacy and revised agree.
+INSTANTIATE_TEST_SUITE_P(BothModes, SetTest,
+                         ::testing::Values(SemanticsMode::kLegacy,
+                                           SemanticsMode::kRevised),
+                         [](const auto& info) {
+                           return info.param == SemanticsMode::kLegacy
+                                      ? "Legacy"
+                                      : "Revised";
+                         });
+
+TEST_P(SetTest, SetPropertyOnMatchedNodes) {
+  QueryResult r = RunOk(&db_, "MATCH (u:User) SET u.age = u.id * 10");
+  EXPECT_EQ(r.stats.properties_set, 2u);
+  EXPECT_EQ(Scalar(RunOk(&db_,
+                         "MATCH (u:User {id: 2}) RETURN u.age AS a"))
+                .AsInt(),
+            20);
+}
+
+TEST_P(SetTest, SetNullRemovesProperty) {
+  RunOk(&db_, "MATCH (u:User {id: 1}) SET u.name = null");
+  QueryResult r =
+      RunOk(&db_, "MATCH (u:User {id: 1}) RETURN size(keys(u)) AS k");
+  EXPECT_EQ(Scalar(r).AsInt(), 1);
+}
+
+TEST_P(SetTest, SetOnNullIsNoOp) {
+  QueryResult r = RunOk(&db_,
+                        "OPTIONAL MATCH (m:Missing) SET m.x = 1");
+  EXPECT_EQ(r.stats.properties_set, 0u);
+}
+
+TEST_P(SetTest, SetLabels) {
+  QueryResult r = RunOk(&db_, "MATCH (u:User {id: 1}) SET u:Admin:Active");
+  EXPECT_EQ(r.stats.labels_added, 2u);
+  EXPECT_EQ(Scalar(RunOk(&db_, "MATCH (u:Admin:Active) RETURN count(*) AS c"))
+                .AsInt(),
+            1);
+}
+
+TEST_P(SetTest, ReplaceProperties) {
+  RunOk(&db_, "MATCH (u:User {id: 1}) SET u = {fresh: true}");
+  QueryResult r = RunOk(&db_, "MATCH (u:User) WHERE u.fresh "
+                              "RETURN size(keys(u)) AS k");
+  EXPECT_EQ(Scalar(r).AsInt(), 1);
+}
+
+TEST_P(SetTest, MergeProperties) {
+  RunOk(&db_, "MATCH (u:User {id: 1}) SET u += {name: 'anna', extra: 1}");
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User {id: 1}) "
+                        "RETURN u.name AS n, u.extra AS e, u.id AS id");
+  EXPECT_EQ(r.rows[0][0].AsString(), "anna");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 1);
+  EXPECT_EQ(r.rows[0][2].AsInt(), 1);
+}
+
+TEST_P(SetTest, CopyPropertiesFromEntity) {
+  RunOk(&db_, "MATCH (a:User {id: 1}), (b:User {id: 2}) SET a = b");
+  QueryResult r = RunOk(&db_,
+                        "MATCH (u:User) WHERE u.name = 'bob' "
+                        "RETURN count(*) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 2);
+}
+
+TEST_P(SetTest, SetOnRelationship) {
+  RunOk(&db_, "MATCH (a:User {id: 1}), (b:User {id: 2}) "
+              "CREATE (a)-[:KNOWS]->(b)");
+  RunOk(&db_, "MATCH ()-[k:KNOWS]->() SET k.since = 2019");
+  EXPECT_EQ(Scalar(RunOk(&db_,
+                         "MATCH ()-[k:KNOWS]->() RETURN k.since AS s"))
+                .AsInt(),
+            2019);
+}
+
+TEST_P(SetTest, SetOnNonEntityErrors) {
+  EXPECT_EQ(RunErr(&db_, "UNWIND [1] AS x SET x.y = 1").code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_P(SetTest, LabelsOnRelationshipErrors) {
+  RunOk(&db_, "MATCH (a:User {id: 1}), (b:User {id: 2}) "
+              "CREATE (a)-[:KNOWS]->(b)");
+  EXPECT_FALSE(db_.Execute("MATCH ()-[k:KNOWS]->() SET k:Label").ok());
+}
+
+TEST_P(SetTest, RemoveProperty) {
+  QueryResult r = RunOk(&db_, "MATCH (u:User) REMOVE u.name");
+  EXPECT_EQ(r.stats.properties_set, 2u);
+  EXPECT_EQ(Scalar(RunOk(&db_,
+                         "MATCH (u:User) WHERE u.name IS NULL "
+                         "RETURN count(*) AS c"))
+                .AsInt(),
+            2);
+}
+
+TEST_P(SetTest, RemoveLabel) {
+  RunOk(&db_, "MATCH (u:User {id: 1}) SET u:Admin");
+  QueryResult r = RunOk(&db_, "MATCH (u:Admin) REMOVE u:Admin:User");
+  EXPECT_EQ(r.stats.labels_removed, 2u);
+  EXPECT_EQ(Scalar(RunOk(&db_, "MATCH (u:User) RETURN count(*) AS c"))
+                .AsInt(),
+            1);
+}
+
+TEST_P(SetTest, RemoveMissingIsNoOp) {
+  QueryResult r = RunOk(&db_, "MATCH (u:User) REMOVE u.ghost, u:Ghost");
+  EXPECT_EQ(r.stats.properties_set, 0u);
+  EXPECT_EQ(r.stats.labels_removed, 0u);
+}
+
+// ---- Mode-specific behaviour -------------------------------------------------
+
+TEST(SetModesTest, RevisedReadsInputGraphAcrossRecords) {
+  // A chain rotation: n1.v <- n2.v <- n3.v <- n1.v, only correct when all
+  // reads see the input graph.
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (a:N {id: 1, v: 'A'}), (b:N {id: 2, v: 'B'}), "
+                     "(c:N {id: 3, v: 'C'}), "
+                     "(a)-[:NEXT]->(b), (b)-[:NEXT]->(c), (c)-[:NEXT]->(a)")
+                  .ok());
+  RunOk(&db, "MATCH (x:N)-[:NEXT]->(y:N) SET x.v = y.v");
+  QueryResult r = RunOk(&db, "MATCH (n:N) RETURN n.v AS v ORDER BY n.id");
+  EXPECT_EQ(r.rows[0][0].AsString(), "B");
+  EXPECT_EQ(r.rows[1][0].AsString(), "C");
+  EXPECT_EQ(r.rows[2][0].AsString(), "A");
+}
+
+TEST(SetModesTest, LegacyChainRotationCorrupts) {
+  GraphDatabase db(Legacy());
+  ASSERT_TRUE(db.Run("CREATE (a:N {id: 1, v: 'A'}), (b:N {id: 2, v: 'B'}), "
+                     "(c:N {id: 3, v: 'C'}), "
+                     "(a)-[:NEXT]->(b), (b)-[:NEXT]->(c), (c)-[:NEXT]->(a)")
+                  .ok());
+  RunOk(&db, "MATCH (x:N)-[:NEXT]->(y:N) SET x.v = y.v");
+  QueryResult r = RunOk(&db, "MATCH (n:N) RETURN n.v AS v ORDER BY n.id");
+  // Record order (a), (b), (c): a:=B, b:=C, then c:=a.v which is ALREADY B,
+  // not the input 'A' — the legacy read-own-writes corruption.
+  EXPECT_EQ(r.rows[0][0].AsString(), "B");
+  EXPECT_EQ(r.rows[1][0].AsString(), "C");
+  EXPECT_EQ(r.rows[2][0].AsString(), "B");
+}
+
+TEST(SetModesTest, RevisedConflictWithDifferentTypes) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:T), (:S {v: 1}), (:S {v: 'one'})").ok());
+  Status st = RunErr(&db, "MATCH (t:T), (s:S) SET t.x = s.v");
+  EXPECT_NE(st.message().find("conflicting SET"), std::string::npos);
+}
+
+TEST(SetModesTest, RevisedConflictingReplaceMapsError) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:T), (:S {v: 1}), (:S {v: 2})").ok());
+  EXPECT_FALSE(db.Execute("MATCH (t:T), (s:S) SET t = {copy: s.v}").ok());
+  // Identical maps are fine.
+  ASSERT_TRUE(db.Run("CREATE (:R {v: 5}), (:R {v: 5})").ok());
+  EXPECT_TRUE(db.Execute("MATCH (t:T), (r:R) SET t = {copy: r.v}").ok());
+}
+
+TEST(SetModesTest, FailedSetRollsBackEverything) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:T), (:S {v: 1}), (:S {v: 2})").ok());
+  // CREATE succeeds, then SET conflicts: the whole statement must roll back.
+  EXPECT_FALSE(
+      db.Execute("MATCH (s:S) CREATE (:Log) WITH s MATCH (t:T) "
+                 "SET t.x = s.v")
+          .ok());
+  EXPECT_EQ(Scalar(RunOk(&db, "MATCH (l:Log) RETURN count(*) AS c")).AsInt(),
+            0);
+}
+
+TEST(SetModesTest, LegacySetOnZombieIsSilentNoOp) {
+  GraphDatabase db(Legacy());
+  ASSERT_TRUE(db.Run("CREATE (:N {id: 1})").ok());
+  QueryResult r = RunOk(&db, "MATCH (n:N) DELETE n SET n.id = 99");
+  EXPECT_EQ(r.stats.properties_set, 0u);
+  EXPECT_EQ(r.stats.nodes_deleted, 1u);
+}
+
+}  // namespace
+}  // namespace cypher

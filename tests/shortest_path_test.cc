@@ -1,0 +1,166 @@
+// shortestPath / allShortestPaths tests.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+class ShortestPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A diamond with a long detour:
+    //   a -> b -> d,  a -> c -> d  (two 2-hop routes)
+    //   a -> e -> f -> d           (3-hop route)
+    //   a -> d is NOT direct.
+    ASSERT_TRUE(db_.Run("CREATE (a:N {k: 'a'}), (b:N {k: 'b'}), "
+                        "(c:N {k: 'c'}), (d:N {k: 'd'}), (e:N {k: 'e'}), "
+                        "(f:N {k: 'f'}), "
+                        "(a)-[:T]->(b), (b)-[:T]->(d), "
+                        "(a)-[:T]->(c), (c)-[:T]->(d), "
+                        "(a)-[:T]->(e), (e)-[:T]->(f), (f)-[:T]->(d)")
+                    .ok());
+  }
+  GraphDatabase db_;
+};
+
+TEST_F(ShortestPathTest, FindsMinimalLength) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (a:N {k: 'a'}), (d:N {k: 'd'}) "
+                        "MATCH p = shortestPath((a)-[:T*]->(d)) "
+                        "RETURN length(p) AS len");
+  ASSERT_EQ(r.rows.size(), 1u);  // exactly one path per endpoint pair
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ShortestPathTest, AllShortestEnumeratesTies) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (a:N {k: 'a'}), (d:N {k: 'd'}) "
+                        "MATCH p = allShortestPaths((a)-[:T*]->(d)) "
+                        "RETURN length(p) AS len");
+  ASSERT_EQ(r.rows.size(), 2u);  // via b and via c
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 2);
+}
+
+TEST_F(ShortestPathTest, DeterministicChoiceAmongTies) {
+  // shortestPath picks the relationship-id-minimal route: via b (created
+  // first).
+  QueryResult r = RunOk(&db_,
+                        "MATCH (a:N {k: 'a'}), (d:N {k: 'd'}) "
+                        "MATCH p = shortestPath((a)-[:T*]->(d)) "
+                        "RETURN [n IN nodes(p) | n.k] AS ks");
+  EXPECT_EQ(Scalar(r).ToString(), "['a', 'b', 'd']");
+}
+
+TEST_F(ShortestPathTest, UnboundEndEnumeratesAllTargets) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (a:N {k: 'a'}) "
+                        "MATCH p = shortestPath((a)-[:T*]->(x)) "
+                        "RETURN x.k AS k, length(p) AS len ORDER BY k");
+  // Reaches b, c, d, e, f.
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[2][0].AsString(), "d");
+  EXPECT_EQ(r.rows[2][1].AsInt(), 2);
+}
+
+TEST_F(ShortestPathTest, RespectsBounds) {
+  // Minimum 3 hops: the 2-hop routes are excluded, but d is at BFS
+  // distance 2, so no path qualifies (shortest-path semantics, not "any
+  // path of length >= 3").
+  QueryResult r = RunOk(&db_,
+                        "MATCH (a:N {k: 'a'}), (d:N {k: 'd'}) "
+                        "OPTIONAL MATCH p = shortestPath((a)-[:T*3..]->(d)) "
+                        "RETURN p IS NULL AS missing");
+  EXPECT_TRUE(Scalar(r).AsBool());
+  // Max 1 hop: nothing reaches d.
+  QueryResult r2 = RunOk(&db_,
+                         "MATCH (a:N {k: 'a'}), (d:N {k: 'd'}) "
+                         "OPTIONAL MATCH p = shortestPath((a)-[:T*..1]->(d)) "
+                         "RETURN p IS NULL AS missing");
+  EXPECT_TRUE(Scalar(r2).AsBool());
+}
+
+TEST_F(ShortestPathTest, DirectionAndTypeFilter) {
+  // Walking incoming edges from d reaches a (the reverse orientation of
+  // the a ->* d routes); from a there are no incoming edges at all.
+  QueryResult rev = RunOk(&db_,
+                          "MATCH (a:N {k: 'a'}), (d:N {k: 'd'}) "
+                          "OPTIONAL MATCH p = shortestPath((d)<-[:T*]-(a)) "
+                          "RETURN p IS NULL AS missing, length(p) AS len");
+  EXPECT_FALSE(rev.rows[0][0].AsBool());
+  EXPECT_EQ(rev.rows[0][1].AsInt(), 2);
+  QueryResult none_in = RunOk(&db_,
+                              "MATCH (a:N {k: 'a'}), (d:N {k: 'd'}) "
+                              "OPTIONAL MATCH p = shortestPath((a)<-[:T*]-(d)) "
+                              "RETURN p IS NULL AS missing");
+  EXPECT_TRUE(Scalar(none_in).AsBool());
+  QueryResult none = RunOk(&db_,
+                           "MATCH (a:N {k: 'a'}), (d:N {k: 'd'}) "
+                           "OPTIONAL MATCH p = shortestPath((a)-[:X*]->(d)) "
+                           "RETURN p IS NULL AS missing");
+  EXPECT_TRUE(Scalar(none).AsBool());
+}
+
+TEST_F(ShortestPathTest, NoPathMeansNoRow) {
+  ASSERT_TRUE(db_.Run("CREATE (:Island {k: 'z'})").ok());
+  QueryResult r = RunOk(&db_,
+                        "MATCH (a:N {k: 'a'}), (z:Island) "
+                        "MATCH p = shortestPath((a)-[:T*]->(z)) "
+                        "RETURN p");
+  EXPECT_EQ(r.rows.size(), 0u);
+}
+
+TEST_F(ShortestPathTest, WorksInsideLargerQueries) {
+  QueryResult r = RunOk(
+      &db_,
+      "MATCH (a:N {k: 'a'}) "
+      "MATCH p = shortestPath((a)-[:T*]->(x:N {k: 'f'})) "
+      "WITH p, [n IN nodes(p) | n.k] AS route "
+      "RETURN length(p) AS len, route");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[0][1].ToString(), "['a', 'e', 'f']");
+}
+
+TEST_F(ShortestPathTest, RejectedInUpdatingPatterns) {
+  EXPECT_FALSE(db_.Execute("CREATE p = shortestPath((a)-[:T*]->(b))").ok());
+  EXPECT_FALSE(
+      db_.Execute("MERGE ALL p = shortestPath((a)-[:T*]->(b))").ok());
+}
+
+TEST_F(ShortestPathTest, RequiresVarLength) {
+  EXPECT_FALSE(
+      db_.Execute("MATCH p = shortestPath((a)-[:T]->(b)) RETURN p").ok());
+  EXPECT_FALSE(
+      db_.Execute("MATCH p = shortestPath((a)-[:T*]->(b)-[:T*]->(c)) "
+                  "RETURN p")
+          .ok());
+}
+
+TEST_F(ShortestPathTest, RelListVariableBinds) {
+  QueryResult r = RunOk(&db_,
+                        "MATCH (a:N {k: 'a'}), (d:N {k: 'd'}) "
+                        "MATCH shortestPath((a)-[rs:T*]->(d)) "
+                        "RETURN size(rs) AS n");
+  EXPECT_EQ(Scalar(r).AsInt(), 2);
+}
+
+TEST_F(ShortestPathTest, CyclesTerminate) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (a:C {k: 1}), (b:C {k: 2}), "
+                     "(a)-[:T]->(b), (b)-[:T]->(a)")
+                  .ok());
+  QueryResult r = RunOk(&db,
+                        "MATCH (a:C {k: 1}), (b:C {k: 2}) "
+                        "MATCH p = shortestPath((a)-[:T*]->(b)) "
+                        "RETURN length(p) AS len");
+  EXPECT_EQ(Scalar(r).AsInt(), 1);
+}
+
+}  // namespace
+}  // namespace cypher

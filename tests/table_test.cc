@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "table/table.h"
+
+namespace cypher {
+namespace {
+
+TEST(TableTest, UnitHasOneEmptyRecord) {
+  Table t = Table::Unit();
+  EXPECT_EQ(t.num_columns(), 0u);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, DefaultIsEmpty) {
+  Table t;
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, ColumnsAndRows) {
+  Table t = Table::WithColumns({"a", "b"});
+  EXPECT_EQ(t.ColumnIndex("a"), 0u);
+  EXPECT_EQ(t.ColumnIndex("b"), 1u);
+  EXPECT_EQ(t.ColumnIndex("c"), Table::kNoColumn);
+  t.AddRow({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(t.At(0, 1).AsInt(), 2);
+}
+
+TEST(TableTest, AddColumnNullFillsExistingRows) {
+  Table t = Table::WithColumns({"a"});
+  t.AddRow({Value::Int(1)});
+  size_t idx = t.AddColumn("b");
+  EXPECT_EQ(idx, 1u);
+  EXPECT_TRUE(t.At(0, 1).is_null());
+}
+
+TEST(TableTest, BagUnionReordersColumns) {
+  Table a = Table::WithColumns({"x", "y"});
+  a.AddRow({Value::Int(1), Value::Int(2)});
+  Table b = Table::WithColumns({"y", "x"});
+  b.AddRow({Value::Int(20), Value::Int(10)});
+  auto u = Table::BagUnion(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->num_rows(), 2u);
+  EXPECT_EQ(u->At(1, 0).AsInt(), 10);  // x
+  EXPECT_EQ(u->At(1, 1).AsInt(), 20);  // y
+}
+
+TEST(TableTest, BagUnionKeepsDuplicates) {
+  Table a = Table::WithColumns({"x"});
+  a.AddRow({Value::Int(1)});
+  Table b = Table::WithColumns({"x"});
+  b.AddRow({Value::Int(1)});
+  auto u = Table::BagUnion(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->num_rows(), 2u);
+}
+
+TEST(TableTest, BagUnionRejectsMismatchedColumns) {
+  Table a = Table::WithColumns({"x"});
+  Table b = Table::WithColumns({"y"});
+  EXPECT_FALSE(Table::BagUnion(a, b).ok());
+  Table c = Table::WithColumns({"x", "y"});
+  EXPECT_FALSE(Table::BagUnion(a, c).ok());
+}
+
+TEST(TableTest, DistinctUsesGroupingEquivalence) {
+  Table t = Table::WithColumns({"x"});
+  t.AddRow({Value::Int(1)});
+  t.AddRow({Value::Float(1.0)});  // group-equal to 1
+  t.AddRow({Value::Null()});
+  t.AddRow({Value::Null()});  // null == null for DISTINCT
+  t.AddRow({Value::Int(2)});
+  Table d = t.Distinct();
+  EXPECT_EQ(d.num_rows(), 3u);
+}
+
+TEST(TableTest, ValueVecHashersAgreeWithEq) {
+  ValueVecHash hash;
+  ValueVecEq eq;
+  std::vector<Value> a{Value::Int(1), Value::Null()};
+  std::vector<Value> b{Value::Float(1.0), Value::Null()};
+  EXPECT_TRUE(eq(a, b));
+  EXPECT_EQ(hash(a), hash(b));
+  std::vector<Value> c{Value::Int(2), Value::Null()};
+  EXPECT_FALSE(eq(a, c));
+}
+
+}  // namespace
+}  // namespace cypher

@@ -1,0 +1,62 @@
+#ifndef CYPHER_TESTS_TEST_UTIL_H_
+#define CYPHER_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cypher/database.h"
+#include "exec/render.h"
+#include "graph/isomorphism.h"
+#include "graph/serialize.h"
+
+namespace cypher::testing {
+
+/// Executes and returns the result, failing the test on error.
+inline QueryResult RunOk(GraphDatabase* db, std::string_view query,
+                         const ValueMap& params = {}) {
+  auto result = db->Execute(query, params);
+  EXPECT_TRUE(result.ok()) << query << "\n  -> " << result.status().ToString();
+  if (!result.ok()) return QueryResult{};
+  return *std::move(result);
+}
+
+/// Executes expecting failure; returns the status.
+inline Status RunErr(GraphDatabase* db, std::string_view query,
+                     const ValueMap& params = {}) {
+  auto result = db->Execute(query, params);
+  EXPECT_FALSE(result.ok()) << query << " unexpectedly succeeded";
+  return result.status();
+}
+
+/// Builds a fresh graph from a Cypher script (used to construct expected
+/// figures for isomorphism comparison).
+inline PropertyGraph GraphFromScript(const std::string& script) {
+  GraphDatabase db;
+  auto results = db.ExecuteScript(script);
+  EXPECT_TRUE(results.ok()) << results.status().ToString();
+  return db.graph();
+}
+
+/// EXPECT_* wrapper around AreIsomorphic with a readable dump on failure.
+inline void ExpectIsomorphic(const PropertyGraph& got,
+                             const PropertyGraph& want,
+                             const std::string& what) {
+  std::string why;
+  EXPECT_TRUE(AreIsomorphic(got, want, &why))
+      << what << ": graphs are not isomorphic (" << why << ")\n--- got:\n"
+      << DumpGraph(got) << "--- want:\n"
+      << DumpGraph(want);
+}
+
+/// The single cell of a single-row, single-column result.
+inline Value Scalar(const QueryResult& result) {
+  EXPECT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.columns.size(), 1u);
+  if (result.rows.size() != 1 || result.rows[0].size() != 1) return Value();
+  return result.rows[0][0];
+}
+
+}  // namespace cypher::testing
+
+#endif  // CYPHER_TESTS_TEST_UTIL_H_

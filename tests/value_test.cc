@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "value/compare.h"
+#include "value/value.h"
+
+namespace cypher {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, ScalarAccessors) {
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_EQ(Value::Float(2.5).AsFloat(), 2.5);
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Int(5).AsNumber(), 5.0);
+}
+
+TEST(ValueTest, ListAndMap) {
+  Value list = Value::List({Value::Int(1), Value::String("a")});
+  ASSERT_EQ(list.AsList().size(), 2u);
+  Value map = Value::Map({{"k", Value::Int(9)}});
+  EXPECT_EQ(map.AsMap().at("k").AsInt(), 9);
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Float(1.0).ToString(), "1.0");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::String("x").ToString(), "'x'");
+  EXPECT_EQ(Value::List({Value::Int(1), Value::Int(2)}).ToString(), "[1, 2]");
+  EXPECT_EQ(Value::Map({{"a", Value::Int(1)}}).ToString(), "{a: 1}");
+  EXPECT_EQ(Value::Node(NodeId(3)).ToString(), "Node(3)");
+}
+
+TEST(ValueTest, PathToString) {
+  PathValue p;
+  p.nodes = {NodeId(0), NodeId(2)};
+  p.rels = {RelId(1)};
+  EXPECT_EQ(Value::Path(p).ToString(), "Path(0-[1]-2)");
+  PathValue single;
+  single.nodes = {NodeId(7)};
+  EXPECT_EQ(Value::Path(single).ToString(), "Path(7)");
+}
+
+TEST(ValueTest, RelAndPathEquality) {
+  PathValue a;
+  a.nodes = {NodeId(0), NodeId(1)};
+  a.rels = {RelId(0)};
+  PathValue b = a;
+  EXPECT_EQ(CypherEquals(Value::Path(a), Value::Path(b)), Tri::kTrue);
+  b.rels = {RelId(9)};
+  EXPECT_EQ(CypherEquals(Value::Path(a), Value::Path(b)), Tri::kFalse);
+}
+
+TEST(ValueTest, SharedRepresentationCopiesAreCheapAndIndependent) {
+  ValueList big(1000, Value::Int(7));
+  Value a = Value::List(std::move(big));
+  Value b = a;  // shares the representation
+  EXPECT_EQ(a.AsList().size(), b.AsList().size());
+  EXPECT_TRUE(GroupEquals(a, b));
+}
+
+// ---- Ternary logic -----------------------------------------------------------
+
+TEST(TriTest, AndTruthTable) {
+  EXPECT_EQ(TriAnd(Tri::kTrue, Tri::kTrue), Tri::kTrue);
+  EXPECT_EQ(TriAnd(Tri::kTrue, Tri::kFalse), Tri::kFalse);
+  EXPECT_EQ(TriAnd(Tri::kFalse, Tri::kNull), Tri::kFalse);
+  EXPECT_EQ(TriAnd(Tri::kTrue, Tri::kNull), Tri::kNull);
+  EXPECT_EQ(TriAnd(Tri::kNull, Tri::kNull), Tri::kNull);
+}
+
+TEST(TriTest, OrTruthTable) {
+  EXPECT_EQ(TriOr(Tri::kFalse, Tri::kFalse), Tri::kFalse);
+  EXPECT_EQ(TriOr(Tri::kTrue, Tri::kNull), Tri::kTrue);
+  EXPECT_EQ(TriOr(Tri::kFalse, Tri::kNull), Tri::kNull);
+}
+
+TEST(TriTest, XorAndNot) {
+  EXPECT_EQ(TriXor(Tri::kTrue, Tri::kFalse), Tri::kTrue);
+  EXPECT_EQ(TriXor(Tri::kTrue, Tri::kTrue), Tri::kFalse);
+  EXPECT_EQ(TriXor(Tri::kTrue, Tri::kNull), Tri::kNull);
+  EXPECT_EQ(TriNot(Tri::kNull), Tri::kNull);
+  EXPECT_EQ(TriNot(Tri::kFalse), Tri::kTrue);
+}
+
+// ---- CypherEquals -------------------------------------------------------------
+
+TEST(CypherEqualsTest, NullPropagates) {
+  EXPECT_EQ(CypherEquals(Value::Null(), Value::Null()), Tri::kNull);
+  EXPECT_EQ(CypherEquals(Value::Null(), Value::Int(1)), Tri::kNull);
+}
+
+TEST(CypherEqualsTest, NumbersCompareAcrossKinds) {
+  EXPECT_EQ(CypherEquals(Value::Int(1), Value::Float(1.0)), Tri::kTrue);
+  EXPECT_EQ(CypherEquals(Value::Int(1), Value::Float(1.5)), Tri::kFalse);
+}
+
+TEST(CypherEqualsTest, MismatchedTypesAreFalse) {
+  EXPECT_EQ(CypherEquals(Value::Int(1), Value::String("1")), Tri::kFalse);
+  EXPECT_EQ(CypherEquals(Value::Bool(true), Value::Int(1)), Tri::kFalse);
+}
+
+TEST(CypherEqualsTest, ListElementwiseWithNullPropagation) {
+  Value a = Value::List({Value::Int(1), Value::Null()});
+  Value b = Value::List({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(CypherEquals(a, b), Tri::kNull);
+  Value c = Value::List({Value::Int(7), Value::Null()});
+  EXPECT_EQ(CypherEquals(a, c), Tri::kFalse);  // 1 != 7 decides
+  EXPECT_EQ(CypherEquals(a, Value::List({Value::Int(1)})), Tri::kFalse);
+}
+
+TEST(CypherEqualsTest, MapComparison) {
+  Value a = Value::Map({{"x", Value::Int(1)}});
+  Value b = Value::Map({{"x", Value::Int(1)}});
+  Value c = Value::Map({{"y", Value::Int(1)}});
+  EXPECT_EQ(CypherEquals(a, b), Tri::kTrue);
+  EXPECT_EQ(CypherEquals(a, c), Tri::kFalse);
+}
+
+TEST(CypherEqualsTest, Entities) {
+  EXPECT_EQ(CypherEquals(Value::Node(NodeId(1)), Value::Node(NodeId(1))),
+            Tri::kTrue);
+  EXPECT_EQ(CypherEquals(Value::Node(NodeId(1)), Value::Node(NodeId(2))),
+            Tri::kFalse);
+  EXPECT_EQ(CypherEquals(Value::Rel(RelId(1)), Value::Rel(RelId(1))),
+            Tri::kTrue);
+}
+
+// ---- CypherLess ---------------------------------------------------------------
+
+TEST(CypherLessTest, Numbers) {
+  EXPECT_EQ(CypherLess(Value::Int(1), Value::Int(2)), Tri::kTrue);
+  EXPECT_EQ(CypherLess(Value::Float(2.5), Value::Int(2)), Tri::kFalse);
+  EXPECT_EQ(CypherLess(Value::Int(1), Value::Null()), Tri::kNull);
+}
+
+TEST(CypherLessTest, StringsAndBooleans) {
+  EXPECT_EQ(CypherLess(Value::String("a"), Value::String("b")), Tri::kTrue);
+  EXPECT_EQ(CypherLess(Value::Bool(false), Value::Bool(true)), Tri::kTrue);
+}
+
+TEST(CypherLessTest, CrossFamilyIsNull) {
+  EXPECT_EQ(CypherLess(Value::Int(1), Value::String("a")), Tri::kNull);
+}
+
+// ---- GroupEquals (the DISTINCT/grouping equivalence) --------------------------
+
+TEST(GroupEqualsTest, NullEqualsNull) {
+  EXPECT_TRUE(GroupEquals(Value::Null(), Value::Null()));
+  EXPECT_FALSE(GroupEquals(Value::Null(), Value::Int(0)));
+}
+
+TEST(GroupEqualsTest, NumericCanonicalization) {
+  EXPECT_TRUE(GroupEquals(Value::Int(1), Value::Float(1.0)));
+  EXPECT_EQ(HashValue(Value::Int(1)), HashValue(Value::Float(1.0)));
+}
+
+TEST(GroupEqualsTest, ListsWithNulls) {
+  Value a = Value::List({Value::Int(98), Value::Null()});
+  Value b = Value::List({Value::Int(98), Value::Null()});
+  EXPECT_TRUE(GroupEquals(a, b));
+  EXPECT_EQ(HashValue(a), HashValue(b));
+}
+
+TEST(GroupEqualsTest, HashConsistency) {
+  Value a = Value::Map({{"k", Value::String("v")}, {"n", Value::Int(3)}});
+  Value b = Value::Map({{"k", Value::String("v")}, {"n", Value::Float(3.0)}});
+  EXPECT_TRUE(GroupEquals(a, b));
+  EXPECT_EQ(HashValue(a), HashValue(b));
+}
+
+// ---- Total order ---------------------------------------------------------------
+
+TEST(TotalOrderTest, NullSortsLast) {
+  EXPECT_LT(TotalOrderCompare(Value::Int(5), Value::Null()), 0);
+  EXPECT_GT(TotalOrderCompare(Value::Null(), Value::String("z")), 0);
+  EXPECT_EQ(TotalOrderCompare(Value::Null(), Value::Null()), 0);
+}
+
+TEST(TotalOrderTest, WithinNumbers) {
+  EXPECT_LT(TotalOrderCompare(Value::Int(1), Value::Float(1.5)), 0);
+  EXPECT_EQ(TotalOrderCompare(Value::Int(2), Value::Float(2.0)), 0);
+}
+
+TEST(TotalOrderTest, StringsBeforeBooleansBeforeNumbers) {
+  EXPECT_LT(TotalOrderCompare(Value::String("z"), Value::Bool(false)), 0);
+  EXPECT_LT(TotalOrderCompare(Value::Bool(true), Value::Int(0)), 0);
+}
+
+TEST(TotalOrderTest, ListsLexicographic) {
+  Value a = Value::List({Value::Int(1), Value::Int(2)});
+  Value b = Value::List({Value::Int(1), Value::Int(3)});
+  Value c = Value::List({Value::Int(1)});
+  EXPECT_LT(TotalOrderCompare(a, b), 0);
+  EXPECT_LT(TotalOrderCompare(c, a), 0);
+}
+
+}  // namespace
+}  // namespace cypher

@@ -1,0 +1,124 @@
+// Workload-generator and persistence tests: the scenario builders that
+// benches and examples rely on, and file round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/isomorphism.h"
+#include "value/compare.h"
+#include "test_util.h"
+#include "workload/workloads.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+TEST(WorkloadTest, MarketplaceMatchesFigure1) {
+  GraphDatabase db;
+  ASSERT_TRUE(workload::LoadMarketplace(&db).ok());
+  EXPECT_EQ(db.graph().num_nodes(), 6u);
+  EXPECT_EQ(db.graph().num_rels(), 5u);
+  // Figure 1 details: both laptop and notebook carry id 125 (the paper's
+  // deliberate dirty data), the vendor offers exactly two products.
+  QueryResult dirty = RunOk(&db,
+                            "MATCH (p:Product {id: 125}) "
+                            "RETURN count(p) AS c");
+  EXPECT_EQ(Scalar(dirty).AsInt(), 2);
+  QueryResult offers = RunOk(&db,
+                             "MATCH (:Vendor)-[:OFFERS]->(p) "
+                             "RETURN count(p) AS c");
+  EXPECT_EQ(Scalar(offers).AsInt(), 2);
+}
+
+TEST(WorkloadTest, Example3RowsShape) {
+  Value rows = workload::Example3Rows();
+  ASSERT_TRUE(rows.is_list());
+  ASSERT_EQ(rows.AsList().size(), 3u);
+  const ValueMap& first = rows.AsList()[0].AsMap();
+  EXPECT_EQ(first.at("u").AsString(), "u1");
+  EXPECT_EQ(first.at("p").AsString(), "p");
+  EXPECT_EQ(first.at("v").AsString(), "v1");
+}
+
+TEST(WorkloadTest, Example5RowsMatchThePaperTable) {
+  Value rows = workload::Example5Rows();
+  ASSERT_EQ(rows.AsList().size(), 6u);
+  int nulls = 0;
+  for (const Value& row : rows.AsList()) {
+    if (row.AsMap().at("pid").is_null()) ++nulls;
+  }
+  EXPECT_EQ(nulls, 3);
+  EXPECT_EQ(rows.AsList()[0].AsMap().at("cid").AsInt(), 98);
+  EXPECT_EQ(rows.AsList()[4].AsMap().at("date").AsString(), "2018-03-11");
+}
+
+TEST(WorkloadTest, RandomOrderRowsDeterministicInSeed) {
+  Value a = workload::RandomOrderRows(30, 5, 5, 100, 42);
+  Value b = workload::RandomOrderRows(30, 5, 5, 100, 42);
+  Value c = workload::RandomOrderRows(30, 5, 5, 100, 43);
+  EXPECT_TRUE(GroupEquals(a, b));
+  EXPECT_FALSE(GroupEquals(a, c));
+}
+
+TEST(WorkloadTest, RandomOrderRowsRespectBounds) {
+  Value rows = workload::RandomOrderRows(200, 7, 9, 0, 3);
+  for (const Value& row : rows.AsList()) {
+    int64_t cid = row.AsMap().at("cid").AsInt();
+    EXPECT_GE(cid, 1);
+    EXPECT_LE(cid, 7);
+    const Value& pid = row.AsMap().at("pid");
+    ASSERT_FALSE(pid.is_null());  // null_permille = 0
+    EXPECT_GE(pid.AsInt(), 1);
+    EXPECT_LE(pid.AsInt(), 9);
+  }
+  // All-null pids at permille 1000.
+  Value nulls = workload::RandomOrderRows(50, 7, 9, 1000, 3);
+  for (const Value& row : nulls.AsList()) {
+    EXPECT_TRUE(row.AsMap().at("pid").is_null());
+  }
+}
+
+TEST(WorkloadTest, RandomMarketplaceCounts) {
+  GraphDatabase db;
+  ASSERT_TRUE(workload::LoadRandomMarketplace(&db, 12, 8, 30, 77).ok());
+  EXPECT_EQ(db.graph().num_nodes(), 20u);
+  EXPECT_EQ(db.graph().num_rels(), 30u);
+  QueryResult users = RunOk(&db, "MATCH (u:User) RETURN count(u) AS c");
+  EXPECT_EQ(Scalar(users).AsInt(), 12);
+}
+
+TEST(WorkloadTest, ClickstreamRowsHaveHopColumns) {
+  Value rows = workload::RandomClickstreamRows(10, 6, 4, 5);
+  for (const Value& row : rows.AsList()) {
+    EXPECT_EQ(row.AsMap().size(), 5u);  // p0..p4
+    EXPECT_TRUE(row.AsMap().count("p0"));
+    EXPECT_TRUE(row.AsMap().count("p4"));
+  }
+}
+
+TEST(PersistenceTest, SaveLoadRoundTrip) {
+  GraphDatabase db;
+  ASSERT_TRUE(workload::LoadMarketplace(&db).ok());
+  std::string path = ::testing::TempDir() + "/cypher_graph_roundtrip.txt";
+  ASSERT_TRUE(db.SaveToFile(path).ok());
+  GraphDatabase loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_TRUE(AreIsomorphic(db.graph(), loaded.graph()));
+  // The loaded database is fully queryable.
+  QueryResult r = RunOk(&loaded,
+                        "MATCH (u:User {name: 'Bob'})-[:ORDERED]->(p) "
+                        "RETURN count(p) AS c");
+  EXPECT_EQ(Scalar(r).AsInt(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, LoadFromMissingFileFails) {
+  GraphDatabase db;
+  EXPECT_FALSE(db.LoadFromFile("/nonexistent/path/graph.txt").ok());
+}
+
+}  // namespace
+}  // namespace cypher
