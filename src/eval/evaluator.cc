@@ -540,6 +540,46 @@ Result<Value> CallScalarFunction(const EvalContext& ctx,
 
 }  // namespace
 
+// ---- Row-loop fast path -----------------------------------------------------
+
+RowEval::RowEval(const EvalContext& ctx, const Table& table, const Expr& expr)
+    : ctx_(&ctx), table_(&table), expr_(&expr) {
+  const Expr* base = &expr;
+  const PropertyExpr* prop = nullptr;
+  if (expr.kind == ExprKind::kProperty) {
+    prop = static_cast<const PropertyExpr*>(&expr);
+    base = prop->object.get();
+  }
+  if (base->kind != ExprKind::kVariable) return;
+  size_t col = table.ColumnIndex(static_cast<const VariableExpr*>(base)->name);
+  if (col == Table::kNoColumn) return;  // FOREACH/CREATE overlay or error
+  col_ = col;
+  if (prop == nullptr) {
+    mode_ = Mode::kColumn;
+  } else {
+    key_ = ctx.graph->FindKey(prop->key);
+    mode_ = Mode::kColumnProp;
+  }
+}
+
+Result<Value> RowEval::Eval(size_t row) const {
+  if (mode_ != Mode::kGeneric) {
+    const Value& base = table_->At(row, col_);
+    if (mode_ == Mode::kColumn) return base;
+    if (base.is_null()) return Value::Null();
+    if (base.is_node()) {
+      if (key_ == kNoSymbol) return Value::Null();
+      return ctx_->graph->node(base.AsNode()).props.Get(key_);
+    }
+    if (base.is_rel()) {
+      if (key_ == kNoSymbol) return Value::Null();
+      return ctx_->graph->rel(base.AsRel()).props.Get(key_);
+    }
+    // Maps and type errors: the generic property rules apply below.
+  }
+  return Evaluate(*ctx_, Bindings(table_, row), *expr_);
+}
+
 // ---- Aggregates -------------------------------------------------------------
 
 namespace {
@@ -547,25 +587,26 @@ namespace {
 Result<Value> EvaluateAggregateCall(const EvalContext& ctx,
                                     const FunctionExpr* call, bool count_star,
                                     const AggregateScope& agg) {
-  // Gather the argument value for every row of the group.
-  std::vector<Value> inputs;
-  inputs.reserve(agg.rows->size());
-  if (!count_star) {
-    CYPHER_CHECK(call != nullptr && call->args.size() == 1);
-    for (size_t row : *agg.rows) {
-      Bindings rb(agg.table, row);
-      CYPHER_ASSIGN_OR_RETURN(Value v,
-                              Evaluate(ctx, rb, *call->args[0], nullptr));
-      inputs.push_back(std::move(v));
-    }
-  }
   if (count_star) {
     return Value::Int(static_cast<int64_t>(agg.rows->size()));
   }
-  // Null inputs are skipped by every aggregate (SQL-style).
+  CYPHER_CHECK(call != nullptr && call->args.size() == 1);
+  RowEval arg(ctx, *agg.table, *call->args[0]);
+  // count(expr) without DISTINCT needs no materialized values at all.
+  if (call->name == "count" && !call->distinct) {
+    int64_t n = 0;
+    for (size_t row : *agg.rows) {
+      CYPHER_ASSIGN_OR_RETURN(Value v, arg.Eval(row));
+      if (!v.is_null()) ++n;
+    }
+    return Value::Int(n);
+  }
+  // Gather the argument value for every row of the group; null inputs are
+  // skipped by every aggregate (SQL-style).
   std::vector<Value> values;
-  values.reserve(inputs.size());
-  for (Value& v : inputs) {
+  values.reserve(agg.rows->size());
+  for (size_t row : *agg.rows) {
+    CYPHER_ASSIGN_OR_RETURN(Value v, arg.Eval(row));
     if (!v.is_null()) values.push_back(std::move(v));
   }
   if (call->distinct) {

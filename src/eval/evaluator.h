@@ -19,6 +19,31 @@ struct AggregateScope {
   const std::vector<size_t>* rows = nullptr;
 };
 
+/// Per-row evaluator with name resolution hoisted out of the loop, for the
+/// two expression shapes that dominate projection and aggregation workloads:
+/// a bare variable (`u`) and a property of a bare variable (`u.name`). The
+/// table column and property Symbol are resolved once at construction;
+/// Eval(row) then reads cells directly, with no string hashing per row.
+/// Any other shape — or a cell whose type the fast path does not cover —
+/// falls back to the generic evaluator, so semantics are identical.
+///
+/// Valid only while `table` and `expr` outlive the evaluator, and only for
+/// bindings with no local overlay (the projection executor's row loops).
+class RowEval {
+ public:
+  RowEval(const EvalContext& ctx, const Table& table, const Expr& expr);
+  Result<Value> Eval(size_t row) const;
+
+ private:
+  enum class Mode { kGeneric, kColumn, kColumnProp };
+  const EvalContext* ctx_;
+  const Table* table_;
+  const Expr* expr_;
+  Mode mode_ = Mode::kGeneric;
+  size_t col_ = 0;
+  Symbol key_ = kNoSymbol;  // kColumnProp; kNoSymbol when never interned
+};
+
 /// Evaluates [[e]]_{G,u}: expression `expr` on graph `ctx.graph` under the
 /// variable assignment `bindings` (the record u).
 ///

@@ -23,6 +23,9 @@ Status DeleteValueLegacy(ExecContext* ctx, const Value& value, bool detach) {
     NodeId id = value.AsNode();
     if (!graph.IsNodeAlive(id)) return Status::OK();
     if (detach) {
+      // Materialized copies on purpose: DeleteRel unlinks from the very
+      // adjacency lists being iterated, so the zero-copy ForEach walkers
+      // cannot be used here.
       for (RelId r : graph.OutRels(id)) {
         graph.DeleteRel(r);
         ++ctx->stats.rels_deleted;
@@ -153,27 +156,34 @@ Status ExecDeleteRevised(ExecContext* ctx, const DeleteClause& clause,
     }
   }
   if (clause.detach) {
+    // The graph is not mutated until the apply step below, so the incident
+    // relationships can be walked in place — no materialized copies.
     for (uint32_t n : to_delete.nodes) {
-      for (RelId r : graph.OutRels(NodeId(n))) to_delete.rels.insert(r.value);
-      for (RelId r : graph.InRels(NodeId(n))) to_delete.rels.insert(r.value);
+      auto collect = [&to_delete](RelId r) {
+        to_delete.rels.insert(r.value);
+        return true;
+      };
+      graph.ForEachOutRel(NodeId(n), collect);
+      graph.ForEachInRel(NodeId(n), collect);
     }
   } else {
     // Deleting these nodes must not leave dangling relationships: every
     // incident relationship has to be deleted in the same clause.
     for (uint32_t n : to_delete.nodes) {
-      for (RelId r : graph.OutRels(NodeId(n))) {
+      bool dangling = false;
+      auto check = [&to_delete, &dangling](RelId r) {
         if (!to_delete.rels.count(r.value)) {
-          return Status::ExecutionError(
-              "cannot DELETE a node that still has relationships; delete "
-              "them in the same clause or use DETACH DELETE");
+          dangling = true;
+          return false;  // stop: one survivor is enough to reject
         }
-      }
-      for (RelId r : graph.InRels(NodeId(n))) {
-        if (!to_delete.rels.count(r.value)) {
-          return Status::ExecutionError(
-              "cannot DELETE a node that still has relationships; delete "
-              "them in the same clause or use DETACH DELETE");
-        }
+        return true;
+      };
+      graph.ForEachOutRel(NodeId(n), check);
+      if (!dangling) graph.ForEachInRel(NodeId(n), check);
+      if (dangling) {
+        return Status::ExecutionError(
+            "cannot DELETE a node that still has relationships; delete "
+            "them in the same clause or use DETACH DELETE");
       }
     }
   }

@@ -1,9 +1,12 @@
 #include "exec/interpreter.h"
 
+#include <unordered_set>
+
 #include "ast/printer.h"
 #include "common/check.h"
 #include "exec/clauses.h"
 #include "exec/context.h"
+#include "match/compiled_pattern.h"
 
 namespace cypher {
 
@@ -134,41 +137,15 @@ const char* ClauseName(const Clause& clause) {
   return "?";
 }
 
-/// The access path the matcher will pick for a pattern's start node:
-/// property index, label index, or full scan.
-std::string ScanNote(const PropertyGraph& graph,
-                     const std::vector<PathPattern>& patterns) {
-  std::string note;
-  for (const PathPattern& pattern : patterns) {
-    const NodePattern& start = pattern.start;
-    if (!note.empty()) note += "; ";
-    std::string how = "scan: all nodes";
-    for (const std::string& label : start.labels) {
-      Symbol lsym = graph.FindLabel(label);
-      how = "scan: label :" + label;
-      if (lsym == kNoSymbol) continue;
-      for (const auto& [key, expr] : start.properties) {
-        Symbol ksym = graph.FindKey(key);
-        if (ksym != kNoSymbol && graph.HasIndex(lsym, ksym)) {
-          how = "index: :" + label + "(" + key + ")";
-          break;
-        }
-      }
-      break;  // matcher uses the first label
-    }
-    if (!start.variable.empty()) {
-      how += " (unless '" + start.variable + "' is bound)";
-    }
-    note += how;
-  }
-  return note;
-}
-
-/// EXPLAIN: a plan description, no execution.
+/// EXPLAIN: a plan description, no execution. MATCH and MERGE clauses show
+/// the access path the compiled pipeline selects (see DescribeMatchPlan),
+/// computed against the variables earlier clauses would have bound.
 QueryResult BuildExplainPlan(const PropertyGraph& graph, const Query& query,
+                             const ValueMap& params,
                              const EvalOptions& options) {
   QueryResult result;
   result.columns = {"step", "clause", "details"};
+  EvalContext ec{&graph, &params, options.match_mode};
   int step = 0;
   for (size_t p = 0; p < query.parts.size(); ++p) {
     if (p > 0) {
@@ -177,18 +154,54 @@ QueryResult BuildExplainPlan(const PropertyGraph& graph, const Query& query,
            Value::String(query.union_all[p - 1] ? "UNION ALL" : "UNION"),
            Value::String("combine branch output tables")});
     }
+    // Variables in scope at each clause; UNION branches start fresh.
+    std::unordered_set<std::string> bound;
+    auto bind_patterns = [&bound](const std::vector<PathPattern>& patterns) {
+      for (const PathPattern& pattern : patterns) {
+        for (const std::string& var : PatternVariables(pattern)) {
+          bound.insert(var);
+        }
+      }
+    };
     for (const ClausePtr& clause : query.parts[p].clauses) {
       std::string details = ToCypher(*clause);
-      if (clause->kind == ClauseKind::kMatch) {
-        details +=
-            "  [" +
-            ScanNote(graph, static_cast<const MatchClause&>(*clause).patterns) +
-            "]";
-      } else if (clause->kind == ClauseKind::kMerge) {
-        details +=
-            "  [match phase " +
-            ScanNote(graph, static_cast<const MergeClause&>(*clause).patterns) +
-            "]";
+      switch (clause->kind) {
+        case ClauseKind::kMatch: {
+          const auto& match = static_cast<const MatchClause&>(*clause);
+          CompiledMatch compiled =
+              CompileMatchForExplain(ec, bound, match.patterns);
+          details += "  [" + DescribeMatchPlan(graph, compiled) + "]";
+          bind_patterns(match.patterns);
+          break;
+        }
+        case ClauseKind::kMerge: {
+          const auto& merge = static_cast<const MergeClause&>(*clause);
+          CompiledMatch compiled =
+              CompileMatchForExplain(ec, bound, merge.patterns);
+          details += "  [match phase " + DescribeMatchPlan(graph, compiled) +
+                     "]";
+          bind_patterns(merge.patterns);
+          break;
+        }
+        case ClauseKind::kCreate:
+          bind_patterns(static_cast<const CreateClause&>(*clause).patterns);
+          break;
+        case ClauseKind::kUnwind:
+          bound.insert(static_cast<const UnwindClause&>(*clause).variable);
+          break;
+        case ClauseKind::kWith:
+        case ClauseKind::kReturn: {
+          // A projection replaces the scope with its aliases.
+          const ProjectionBody& body =
+              clause->kind == ClauseKind::kWith
+                  ? static_cast<const WithClause&>(*clause).body
+                  : static_cast<const ReturnClause&>(*clause).body;
+          if (!body.include_existing) bound.clear();  // `WITH *` keeps scope
+          for (const ReturnItem& item : body.items) bound.insert(item.alias);
+          break;
+        }
+        default:
+          break;  // SET/REMOVE/DELETE/FOREACH/DDL bind nothing
       }
       result.rows.push_back({Value::Int(step++),
                              Value::String(ClauseName(*clause)),
@@ -221,7 +234,7 @@ Result<QueryResult> ExecuteQuery(PropertyGraph* graph, const Query& query,
   }
 
   if (query.mode == QueryMode::kExplain) {
-    return BuildExplainPlan(*graph, query, options);
+    return BuildExplainPlan(*graph, query, params, options);
   }
 
   ExecContext ctx(graph, &params, options);

@@ -48,6 +48,9 @@ Status ExecMergeLegacy(ExecContext* ctx, const MergeClause& clause,
   for (size_t r : ctx->LegacyScanOrder(table->num_rows())) {
     Bindings bindings(table, r);
     std::vector<MatchAssignment> matches;
+    // MatchPatterns (not a clause-level compile): each record matches the
+    // graph as mutated by earlier records, so a label interned by record
+    // one's create branch must be visible to record two's match phase.
     CYPHER_RETURN_NOT_OK(MatchPatterns(
         ec, bindings, clause.patterns, ctx->Match(),
         [&matches](const MatchAssignment& assignment) -> Result<bool> {
@@ -376,12 +379,18 @@ Status ExecMergeRevised(ExecContext* ctx, const MergeClause& clause,
   EvalContext ec = ctx->Eval();
 
   // ---- Phase A: match against the input graph --------------------------------
+  // Revised MERGE matches every record against the same (input) graph, so
+  // one compile serves the whole phase — creations happen only in Phase D.
+  std::optional<CompiledMatch> compiled;
+  if (table->num_rows() > 0) {
+    compiled = CompileMatch(ec, Bindings(table, 0), clause.patterns);
+  }
   std::vector<size_t> failed;
   for (size_t r = 0; r < table->num_rows(); ++r) {
     Bindings bindings(table, r);
     bool any = false;
-    CYPHER_RETURN_NOT_OK(MatchPatterns(
-        ec, bindings, clause.patterns, ctx->Match(),
+    CYPHER_RETURN_NOT_OK(MatchCompiled(
+        ec, bindings, *compiled, ctx->Match(),
         [&](const MatchAssignment& assignment) -> Result<bool> {
           std::vector<Value> row = table->row(r);
           for (const std::string& var : new_vars) {

@@ -26,11 +26,20 @@ Status ExecMatch(ExecContext* ctx, const MatchClause& clause, Table* table) {
   for (const std::string& var : new_vars) out.AddColumn(var);
 
   EvalContext ec = ctx->Eval();
+  if (table->num_rows() == 0) {
+    *table = std::move(out);  // still introduces the new (empty) columns
+    return Status::OK();
+  }
+  // Compile once per clause: boundness and interned symbols are identical
+  // across records of one table; only row values differ (memoized per
+  // record inside the engine).
+  CompiledMatch compiled =
+      CompileMatch(ec, Bindings(table, 0), clause.patterns);
   for (size_t r = 0; r < table->num_rows(); ++r) {
     Bindings bindings(table, r);
     bool any = false;
-    Status st = MatchPatterns(
-        ec, bindings, clause.patterns, ctx->Match(),
+    Status st = MatchCompiled(
+        ec, bindings, compiled, ctx->Match(),
         [&](const MatchAssignment& assignment) -> Result<bool> {
           if (clause.where != nullptr) {
             Bindings wb = bindings;
@@ -41,7 +50,10 @@ Status ExecMatch(ExecContext* ctx, const MatchClause& clause, Table* table) {
                                     EvaluatePredicate(ec, wb, *clause.where));
             if (pass != Tri::kTrue) return true;  // keep enumerating
           }
-          std::vector<Value> row = table->row(r);
+          const std::vector<Value>& base = table->row(r);
+          std::vector<Value> row;
+          row.reserve(base.size() + new_vars.size());
+          row.insert(row.end(), base.begin(), base.end());
           for (const std::string& var : new_vars) {
             const Value* v = assignment.Find(var);
             CYPHER_CHECK(v != nullptr && "pattern variable not assigned");
@@ -189,17 +201,21 @@ Status ExecProjection(ExecContext* ctx, const ProjectionBody& body,
   };
 
   if (!aggregated) {
+    // Hoist name resolution out of the row loop (RowEval falls back to the
+    // generic evaluator for anything beyond `u` / `u.prop`).
+    std::vector<RowEval> fast;
+    fast.reserve(items.size());
+    for (const ProjItem& item : items) fast.emplace_back(ec, *table, *item.expr);
     for (size_t r = 0; r < table->num_rows(); ++r) {
-      Bindings bindings(table, r);
       std::vector<Value> row;
       row.reserve(items.size());
-      for (const ProjItem& item : items) {
-        CYPHER_ASSIGN_OR_RETURN(Value v, Evaluate(ec, bindings, *item.expr));
+      for (const RowEval& item : fast) {
+        CYPHER_ASSIGN_OR_RETURN(Value v, item.Eval(r));
         row.push_back(std::move(v));
       }
       if (has_order) {
         CYPHER_ASSIGN_OR_RETURN(std::vector<Value> keys,
-                                eval_sort_keys(bindings, row, nullptr));
+                                eval_sort_keys(Bindings(table, r), row, nullptr));
         sort_keys.push_back(std::move(keys));
       }
       out.AddRow(std::move(row));
@@ -207,8 +223,12 @@ Status ExecProjection(ExecContext* ctx, const ProjectionBody& body,
   } else {
     // Implicit grouping: non-aggregate items are the grouping key.
     std::vector<size_t> key_items;
+    std::vector<RowEval> key_eval;
     for (size_t i = 0; i < items.size(); ++i) {
-      if (!items[i].has_agg) key_items.push_back(i);
+      if (!items[i].has_agg) {
+        key_items.push_back(i);
+        key_eval.emplace_back(ec, *table, *items[i].expr);
+      }
     }
     std::vector<std::vector<size_t>> groups;
     std::vector<std::vector<Value>> group_keys;
@@ -219,12 +239,10 @@ Status ExecProjection(ExecContext* ctx, const ProjectionBody& body,
       group_keys.emplace_back();
     }
     for (size_t r = 0; r < table->num_rows(); ++r) {
-      Bindings bindings(table, r);
       std::vector<Value> key;
       key.reserve(key_items.size());
-      for (size_t i : key_items) {
-        CYPHER_ASSIGN_OR_RETURN(Value v,
-                                Evaluate(ec, bindings, *items[i].expr));
+      for (const RowEval& ke : key_eval) {
+        CYPHER_ASSIGN_OR_RETURN(Value v, ke.Eval(r));
         key.push_back(std::move(v));
       }
       if (key_items.empty()) {

@@ -14,9 +14,21 @@ void SortUnique(std::vector<Symbol>* labels) {
   labels->erase(std::unique(labels->begin(), labels->end()), labels->end());
 }
 
-void EraseOne(std::vector<RelId>* rels, RelId id) {
-  auto it = std::find(rels->begin(), rels->end(), id);
-  if (it != rels->end()) rels->erase(it);
+// Adjacency lists stay sorted by rel id, so link/unlink are binary searches
+// and the matcher can merge-walk out/in lists without materializing.
+
+void SortedInsert(std::vector<RelId>* rels, RelId id) {
+  if (rels->empty() || rels->back() < id) {  // common case: fresh rel id
+    rels->push_back(id);
+    return;
+  }
+  auto it = std::lower_bound(rels->begin(), rels->end(), id);
+  if (it == rels->end() || *it != id) rels->insert(it, id);
+}
+
+void SortedErase(std::vector<RelId>* rels, RelId id) {
+  auto it = std::lower_bound(rels->begin(), rels->end(), id);
+  if (it != rels->end() && *it == id) rels->erase(it);
 }
 
 }  // namespace
@@ -81,31 +93,29 @@ std::vector<RelId> PropertyGraph::AllRels() const {
 
 std::vector<NodeId> PropertyGraph::NodesByLabel(Symbol label) const {
   std::vector<NodeId> out;
-  auto it = label_index_.find(label);
-  if (it == label_index_.end()) return out;
-  for (NodeId id : it->second) {
-    if (IsNodeAlive(id) && NodeHasLabel(id, label)) out.push_back(id);
-  }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.reserve(LabelCount(label));
+  ForEachNodeWithLabel(label, [&](NodeId id) {
+    out.push_back(id);
+    return true;
+  });
   return out;
 }
 
 std::vector<RelId> PropertyGraph::OutRels(NodeId id) const {
   std::vector<RelId> out;
-  for (RelId r : nodes_[id.value].out_rels) {
-    if (IsRelAlive(r)) out.push_back(r);
-  }
-  std::sort(out.begin(), out.end());
+  ForEachOutRel(id, [&](RelId r) {
+    out.push_back(r);
+    return true;
+  });
   return out;
 }
 
 std::vector<RelId> PropertyGraph::InRels(NodeId id) const {
   std::vector<RelId> out;
-  for (RelId r : nodes_[id.value].in_rels) {
-    if (IsRelAlive(r)) out.push_back(r);
-  }
-  std::sort(out.begin(), out.end());
+  ForEachInRel(id, [&](RelId r) {
+    out.push_back(r);
+    return true;
+  });
   return out;
 }
 
@@ -138,6 +148,12 @@ bool PropertyGraph::RemoveLabel(NodeId id, Symbol label) {
   auto it = std::lower_bound(data.labels.begin(), data.labels.end(), label);
   if (it == data.labels.end() || *it != label) return false;
   data.labels.erase(it);
+  DecLabelCount(label);
+  for (PropertyIndex& index : property_indexes_) {
+    if (index.label == label && !data.props.Get(index.key).is_null()) {
+      ++index.stale_hint;
+    }
+  }
   Record({.kind = OpKind::kRemoveLabel,
           .entity = EntityRef::Node(id),
           .symbol = label});
@@ -151,6 +167,16 @@ bool PropertyGraph::SetProperty(EntityRef entity, Symbol key, Value value) {
   Value old = props.Get(key);
   if (!props.Set(key, std::move(value))) return false;
   if (entity.kind == EntityRef::Kind::kNode) {
+    if (!old.is_null()) {
+      const NodeData& data = nodes_[entity.id];
+      for (PropertyIndex& index : property_indexes_) {
+        if (index.key == key &&
+            std::binary_search(data.labels.begin(), data.labels.end(),
+                               index.label)) {
+          ++index.stale_hint;  // the entry under the old value's hash
+        }
+      }
+    }
     IndexNodeKey(entity.AsNode(), key);
   }
   Record({.kind = OpKind::kSetProp,
@@ -167,6 +193,16 @@ void PropertyGraph::ReplaceProperties(EntityRef entity, PropertyMap props) {
   Record({.kind = OpKind::kReplaceProps,
           .entity = entity,
           .old_props = target});
+  if (entity.kind == EntityRef::Kind::kNode) {
+    const NodeData& data = nodes_[entity.id];
+    for (PropertyIndex& index : property_indexes_) {
+      if (std::binary_search(data.labels.begin(), data.labels.end(),
+                             index.label) &&
+          !target.Get(index.key).is_null()) {
+        ++index.stale_hint;
+      }
+    }
+  }
   target = std::move(props);
   if (entity.kind == EntityRef::Kind::kNode) IndexNode(entity.AsNode());
 }
@@ -202,6 +238,14 @@ void PropertyGraph::DeleteNodeForce(NodeId id) {
           .entity = EntityRef::Node(id),
           .old_props = data.props,
           .old_labels = data.labels});
+  for (Symbol label : data.labels) DecLabelCount(label);
+  for (PropertyIndex& index : property_indexes_) {
+    if (std::binary_search(data.labels.begin(), data.labels.end(),
+                           index.label) &&
+        !data.props.Get(index.key).is_null()) {
+      ++index.stale_hint;
+    }
+  }
   data.alive = false;
   data.labels.clear();
   data.props.Clear();
@@ -232,6 +276,7 @@ void PropertyGraph::RollbackTo(JournalMark mark) {
       case OpKind::kCreateNode: {
         NodeData& data = nodes_[op.entity.id];
         CYPHER_CHECK(data.alive);
+        for (Symbol label : data.labels) DecLabelCount(label);
         data.alive = false;
         data.labels.clear();
         data.props.Clear();
@@ -276,7 +321,10 @@ void PropertyGraph::RollbackTo(JournalMark mark) {
         NodeData& data = nodes_[op.entity.id];
         auto it = std::lower_bound(data.labels.begin(), data.labels.end(),
                                    op.symbol);
-        if (it != data.labels.end() && *it == op.symbol) data.labels.erase(it);
+        if (it != data.labels.end() && *it == op.symbol) {
+          data.labels.erase(it);
+          DecLabelCount(op.symbol);
+        }
         break;
       }
       case OpKind::kRemoveLabel: {
@@ -310,23 +358,49 @@ void PropertyGraph::RollbackTo(JournalMark mark) {
 void PropertyGraph::CommitTo(JournalMark mark) {
   CYPHER_CHECK(mark <= journal_.size());
   journal_.resize(mark);
-  if (journal_.empty()) journaling_ = false;
+  if (journal_.empty()) {
+    journaling_ = false;
+    // Nothing left to roll back, so no tombstoned node can be resurrected:
+    // stale index entries are now provably dead and safe to prune.
+    CompactIndexes();
+  }
 }
 
 void PropertyGraph::UnlinkRel(RelId id) {
   const RelData& data = rels_[id.value];
-  EraseOne(&nodes_[data.src.value].out_rels, id);
-  EraseOne(&nodes_[data.tgt.value].in_rels, id);
+  SortedErase(&nodes_[data.src.value].out_rels, id);
+  SortedErase(&nodes_[data.tgt.value].in_rels, id);
 }
 
 void PropertyGraph::RelinkRel(RelId id) {
   const RelData& data = rels_[id.value];
-  nodes_[data.src.value].out_rels.push_back(id);
-  nodes_[data.tgt.value].in_rels.push_back(id);
+  SortedInsert(&nodes_[data.src.value].out_rels, id);
+  SortedInsert(&nodes_[data.tgt.value].in_rels, id);
 }
 
 void PropertyGraph::AddToLabelIndex(NodeId id, Symbol label) {
-  label_index_[label].push_back(id);
+  // Every call site adds `label` to an alive node that did not carry it, so
+  // the cached cardinality is maintained here; removals decrement at their
+  // own sites (the index bucket itself keeps stale ids — readers validate).
+  IncLabelCount(label);
+  std::vector<NodeId>& bucket = label_index_[label];
+  if (bucket.empty() || bucket.back() < id) {
+    bucket.push_back(id);
+    return;
+  }
+  auto it = std::lower_bound(bucket.begin(), bucket.end(), id);
+  if (it == bucket.end() || *it != id) bucket.insert(it, id);
+}
+
+size_t PropertyGraph::LabelCount(Symbol label) const {
+  auto it = label_counts_.find(label);
+  return it == label_counts_.end() ? 0 : it->second;
+}
+
+void PropertyGraph::DecLabelCount(Symbol label) {
+  auto it = label_counts_.find(label);
+  CYPHER_CHECK(it != label_counts_.end() && it->second > 0);
+  --it->second;
 }
 
 // ---- Property indexes ---------------------------------------------------------
@@ -340,7 +414,10 @@ void PropertyGraph::CreateIndex(Symbol label, Symbol key) {
   PropertyIndex& created = property_indexes_.back();
   for (NodeId id : NodesByLabel(label)) {
     const Value& value = nodes_[id.value].props.Get(key);
-    if (!value.is_null()) created.buckets[HashValue(value)].push_back(id);
+    if (!value.is_null()) {
+      created.buckets[HashValue(value)].push_back(id);
+      ++created.entries;
+    }
   }
 }
 
@@ -374,6 +451,48 @@ std::vector<NodeId> PropertyGraph::IndexLookup(Symbol label, Symbol key,
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+size_t PropertyGraph::IndexEntryCount(Symbol label, Symbol key) const {
+  const PropertyIndex* index = FindPropertyIndex(label, key);
+  return index == nullptr ? 0 : index->entries;
+}
+
+void PropertyGraph::CompactIndexes() {
+  for (PropertyIndex& index : property_indexes_) {
+    // Amortize: only sweep an index once at least half its entries are
+    // suspected stale (deleted / relabeled / value-changed nodes).
+    if (index.entries == 0 || index.stale_hint * 2 < index.entries) continue;
+    index.stale_hint = 0;
+    auto valid = [&](uint64_t hash, NodeId id) {
+      if (!IsNodeAlive(id) || !NodeHasLabel(id, index.label)) return false;
+      const Value& value = nodes_[id.value].props.Get(index.key);
+      return !value.is_null() && HashValue(value) == hash;
+    };
+    size_t total = 0;
+    for (auto it = index.buckets.begin(); it != index.buckets.end();) {
+      std::vector<NodeId>& bucket = it->second;
+      std::vector<NodeId> kept;
+      kept.reserve(bucket.size());
+      for (NodeId id : bucket) {
+        if (valid(it->first, id)) kept.push_back(id);
+      }
+      std::sort(kept.begin(), kept.end());
+      kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+      // Rewrite only buckets whose stale ratio (dead, relabeled, rehashed,
+      // or duplicate entries) exceeds 50%; others keep their storage.
+      if ((bucket.size() - kept.size()) * 2 > bucket.size()) {
+        if (kept.empty()) {
+          it = index.buckets.erase(it);
+          continue;
+        }
+        bucket = std::move(kept);
+      }
+      total += bucket.size();
+      ++it;
+    }
+    index.entries = total;
+  }
 }
 
 void PropertyGraph::DropIndex(Symbol label, Symbol key) {
@@ -481,7 +600,10 @@ void PropertyGraph::IndexNode(NodeId id) {
       continue;
     }
     const Value& value = data.props.Get(index.key);
-    if (!value.is_null()) index.buckets[HashValue(value)].push_back(id);
+    if (!value.is_null()) {
+      index.buckets[HashValue(value)].push_back(id);
+      ++index.entries;
+    }
   }
 }
 
@@ -495,7 +617,10 @@ void PropertyGraph::IndexNodeKey(NodeId id, Symbol key) {
       continue;
     }
     const Value& value = data.props.Get(index.key);
-    if (!value.is_null()) index.buckets[HashValue(value)].push_back(id);
+    if (!value.is_null()) {
+      index.buckets[HashValue(value)].push_back(id);
+      ++index.entries;
+    }
   }
 }
 

@@ -45,8 +45,8 @@ struct NodeData {
   bool alive = true;
   std::vector<Symbol> labels;  // sorted, deduplicated
   PropertyMap props;
-  std::vector<RelId> out_rels;
-  std::vector<RelId> in_rels;
+  std::vector<RelId> out_rels;  // sorted ascending by rel id
+  std::vector<RelId> in_rels;   // sorted ascending by rel id
 };
 
 /// Stored relationship record. Always has exactly one source, target and
@@ -145,8 +145,64 @@ class PropertyGraph {
   std::vector<RelId> OutRels(NodeId id) const;
   std::vector<RelId> InRels(NodeId id) const;
 
-  /// Count of alive incident relationships.
+  /// Count of alive incident relationships. Does not allocate.
   size_t Degree(NodeId id) const;
+
+  /// Cached count of alive nodes carrying `label`. O(1); maintained across
+  /// creation, deletion, label mutation and rollback. The match planner uses
+  /// this as the label-scan cardinality estimate.
+  size_t LabelCount(Symbol label) const;
+
+  // ---- Zero-copy iteration ------------------------------------------------
+  //
+  // Callback-style scans that allocate nothing. The callback takes the id
+  // and returns true to continue, false to stop early. Iteration is in
+  // ascending id order — the matcher's determinism contract — and must not
+  // mutate the graph. The vector-returning APIs above remain for callers
+  // that need materialized lists (or that mutate while iterating).
+
+  template <typename Fn>
+  void ForEachNode(Fn&& fn) const {
+    for (uint32_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].alive && !fn(NodeId(i))) return;
+    }
+  }
+
+  /// Visits alive nodes carrying `label`, ascending. The label-index bucket
+  /// is sorted and deduplicated but may hold tombstoned or relabeled ids;
+  /// those are skipped here, exactly as in NodesByLabel.
+  template <typename Fn>
+  void ForEachNodeWithLabel(Symbol label, Fn&& fn) const {
+    auto it = label_index_.find(label);
+    if (it == label_index_.end()) return;
+    for (NodeId id : it->second) {
+      if (!IsNodeAlive(id) || !NodeHasLabel(id, label)) continue;
+      if (!fn(id)) return;
+    }
+  }
+
+  template <typename Fn>
+  void ForEachOutRel(NodeId id, Fn&& fn) const {
+    for (RelId r : nodes_[id.value].out_rels) {
+      if (rels_[r.value].alive && !fn(r)) return;
+    }
+  }
+
+  template <typename Fn>
+  void ForEachInRel(NodeId id, Fn&& fn) const {
+    for (RelId r : nodes_[id.value].in_rels) {
+      if (rels_[r.value].alive && !fn(r)) return;
+    }
+  }
+
+  /// Raw sorted adjacency (no aliveness filtering) — the matcher's expansion
+  /// cursor merge-walks these directly.
+  const std::vector<RelId>& RawOutRels(NodeId id) const {
+    return nodes_[id.value].out_rels;
+  }
+  const std::vector<RelId>& RawInRels(NodeId id) const {
+    return nodes_[id.value].in_rels;
+  }
 
   // ---- Mutation -----------------------------------------------------------
 
@@ -220,6 +276,11 @@ class PropertyGraph {
   std::vector<NodeId> IndexLookup(Symbol label, Symbol key,
                                   const Value& value) const;
 
+  /// Total entries stored for the (label, key) index, including stale ones
+  /// awaiting compaction; 0 when no such index exists. Observability hook
+  /// for the compaction policy (tests, monitoring).
+  size_t IndexEntryCount(Symbol label, Symbol key) const;
+
   // ---- Undo journal -------------------------------------------------------
 
   /// A position in the journal; RollbackTo(mark) undoes everything after.
@@ -266,13 +327,24 @@ class PropertyGraph {
   void RelinkRel(RelId id);
   void AddToLabelIndex(NodeId id, Symbol label);
 
-  /// Value-hash buckets; entries are validated on read and never removed
-  /// (tombstone-tolerant, rollback-tolerant).
+  /// Value-hash buckets; entries are validated on read and appended blindly
+  /// during a statement (tombstone-tolerant, rollback-tolerant: rollback
+  /// resurrects nodes without touching the index, so stale entries simply
+  /// become valid again). Compaction therefore only runs from CommitTo once
+  /// the journal is empty — past that point no rollback can resurrect a
+  /// pruned entry.
   struct PropertyIndex {
     Symbol label;
     Symbol key;
     std::unordered_map<uint64_t, std::vector<NodeId>> buckets;
+    size_t entries = 0;     // total ids across buckets
+    size_t stale_hint = 0;  // upper bound on entries gone stale since sweep
   };
+
+  /// Compacts buckets whose stale ratio exceeds 50% (dead / relabeled /
+  /// value-changed / duplicate entries). Only safe when the journal is
+  /// empty; see PropertyIndex.
+  void CompactIndexes();
 
   PropertyIndex* FindPropertyIndex(Symbol label, Symbol key);
   const PropertyIndex* FindPropertyIndex(Symbol label, Symbol key) const;
@@ -289,7 +361,14 @@ class PropertyGraph {
   Interner keys_;
   std::vector<NodeData> nodes_;
   std::vector<RelData> rels_;
+  void IncLabelCount(Symbol label) { ++label_counts_[label]; }
+  void DecLabelCount(Symbol label);
+
+  /// Buckets are sorted, deduplicated, and may hold stale ids (dead or
+  /// relabeled nodes); readers validate.
   std::unordered_map<Symbol, std::vector<NodeId>> label_index_;
+  /// Alive-node count per label, maintained eagerly (including rollback).
+  std::unordered_map<Symbol, size_t> label_counts_;
   std::vector<PropertyIndex> property_indexes_;
   std::vector<std::pair<Symbol, Symbol>> unique_constraints_;
   size_t alive_nodes_ = 0;

@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <functional>
-#include <unordered_set>
+#include <optional>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "eval/evaluator.h"
+#include "match/compiled_pattern.h"
 #include "value/compare.h"
 
 namespace cypher {
 
 namespace {
+
+const Value kNullValue;
 
 /// A candidate traversal step: an alive relationship leaving `from` toward
 /// `to` (direction already resolved).
@@ -19,22 +23,83 @@ struct RelCandidate {
   NodeId to;
 };
 
+/// Zero-copy enumeration of traversal candidates from one node: merge-walks
+/// the (sorted) out/in adjacency lists directly, yielding candidates in
+/// ascending relationship-id order (the determinism contract) without
+/// materializing a vector.
+class RelCandidateCursor {
+ public:
+  RelCandidateCursor(const PropertyGraph& graph, NodeId from, RelDirection dir)
+      : graph_(graph),
+        out_(graph.RawOutRels(from)),
+        in_(graph.RawInRels(from)),
+        want_out_(dir != RelDirection::kRightToLeft),
+        want_in_(dir != RelDirection::kLeftToRight) {}
+
+  bool Next(RelCandidate* cand) {
+    while (true) {
+      if (want_out_) {
+        while (oi_ < out_.size() && !graph_.IsRelAlive(out_[oi_])) ++oi_;
+      }
+      if (want_in_) {
+        while (ii_ < in_.size() && !graph_.IsRelAlive(in_[ii_])) ++ii_;
+      }
+      bool have_out = want_out_ && oi_ < out_.size();
+      bool have_in = want_in_ && ii_ < in_.size();
+      if (!have_out && !have_in) return false;
+      // On equal ids (a self-loop listed on both sides) the out side wins.
+      if (have_out && (!have_in || !(in_[ii_] < out_[oi_]))) {
+        RelId r = out_[oi_++];
+        *cand = {r, graph_.rel(r).tgt};
+        return true;
+      }
+      RelId r = in_[ii_++];
+      const RelData& data = graph_.rel(r);
+      // A self-loop already surfaced via the out side of an undirected
+      // pattern; do not produce it twice.
+      if (want_out_ && data.src == data.tgt) continue;
+      *cand = {r, data.src};
+      return true;
+    }
+  }
+
+ private:
+  const PropertyGraph& graph_;
+  const std::vector<RelId>& out_;
+  const std::vector<RelId>& in_;
+  size_t oi_ = 0;
+  size_t ii_ = 0;
+  bool want_out_;
+  bool want_in_;
+};
+
+/// Record-at-a-time executor of a CompiledMatch. The candidate loops touch
+/// no strings: labels/types/keys are pre-resolved Symbols, filter values
+/// are pre-folded constants or per-record memos, and every variable
+/// occurrence carries its compile-time VarClass (bind fresh, check against
+/// the local assignment stack, or check against a prefetched record value).
 class MatchEngine {
  public:
   MatchEngine(const EvalContext& ctx, const Bindings& bindings,
-              const std::vector<PathPattern>& patterns,
-              const MatchOptions& options, const MatchSink& sink)
+              const CompiledMatch& compiled, const MatchOptions& options,
+              const MatchSink& sink)
       : ctx_(ctx),
         input_(bindings),
-        patterns_(patterns),
+        compiled_(compiled),
         options_(options),
         sink_(sink),
-        graph_(*ctx.graph) {}
+        graph_(*ctx.graph),
+        memo_(compiled.memo_slots),
+        input_cache_(compiled.input_slots) {}
 
   Status Run() {
-    for (const PathPattern& pattern : patterns_) {
-      CYPHER_RETURN_NOT_OK(ValidatePattern(pattern));
+    for (const CompiledPath& path : compiled_.paths) {
+      CYPHER_RETURN_NOT_OK(ValidatePattern(*path.source));
     }
+    // A pattern naming a never-interned label/type cannot match: zero rows,
+    // zero per-candidate work (semantic validation above still applies).
+    if (compiled_.impossible) return Status::OK();
+    PrefetchInputs();
     return MatchPattern(0);
   }
 
@@ -61,164 +126,190 @@ class MatchEngine {
 
   // ---- Variable environment -------------------------------------------------
 
-  const Value* LookupAssigned(std::string_view name) const {
-    return assigned_.Find(name);
+  /// Record values never change while one engine runs (the engine lives for
+  /// exactly one record), so every kCheckInput variable is fetched from the
+  /// driving record once, up front, instead of per candidate.
+  template <typename Compiled>
+  void PrefetchInput(const Compiled& c) {
+    if (c.var_class != VarClass::kCheckInput) return;
+    std::optional<Value>& slot = input_cache_[c.input_slot];
+    if (!slot.has_value()) slot = input_.Lookup(c.source->variable);
   }
 
-  std::optional<Value> LookupVar(std::string_view name) const {
-    if (const Value* v = LookupAssigned(name)) return *v;
-    return input_.Lookup(name);
+  void PrefetchInputs() {
+    for (const CompiledPath& path : compiled_.paths) {
+      PrefetchInput(path.start);
+      for (const auto& [rel, node] : path.steps) {
+        PrefetchInput(rel);
+        PrefetchInput(node);
+      }
+    }
+  }
+
+  /// The already-bound value this occurrence must match, or nullptr when it
+  /// binds fresh. nullptr for a kCheck* occurrence means the runtime
+  /// environment contradicts the compile-time one; the engine then treats
+  /// the variable as unbound (the interpreted engine's behavior).
+  template <typename Compiled>
+  const Value* BoundValue(const Compiled& c) const {
+    switch (c.var_class) {
+      case VarClass::kCheckLocal:
+        return assigned_.Find(c.source->variable);
+      case VarClass::kCheckInput: {
+        const std::optional<Value>& v = input_cache_[c.input_slot];
+        return v.has_value() ? &*v : nullptr;
+      }
+      default:
+        return nullptr;
+    }
   }
 
   // ---- Filters --------------------------------------------------------------
 
-  /// Evaluates pattern property filters against the input record only
+  /// The wanted value of one filter: the compile-time constant, or the
+  /// record-level memo (row-dependent expressions are evaluated at most
+  /// once per record).
+  Result<const Value*> FilterValue(const CompiledFilter& filter) {
+    if (filter.is_constant) return &filter.constant;
+    std::optional<Value>& slot = memo_[filter.memo_slot];
+    if (!slot.has_value()) {
+      CYPHER_ASSIGN_OR_RETURN(Value v, Evaluate(ctx_, input_, *filter.expr));
+      slot = std::move(v);
+    }
+    return &*slot;
+  }
+
+  /// Pattern property filters are evaluated against the input record only
   /// (pattern-internal variables are not visible, as in Cypher).
-  Result<bool> PropsFilterPass(
-      const std::vector<std::pair<std::string, ExprPtr>>& filters,
-      const PropertyMap& stored) {
-    for (const auto& [key, expr] : filters) {
-      CYPHER_ASSIGN_OR_RETURN(Value want, Evaluate(ctx_, input_, *expr));
-      Symbol sym = graph_.FindKey(key);
+  Result<bool> PropsFilterPass(const std::vector<CompiledFilter>& filters,
+                               const PropertyMap& stored) {
+    for (const CompiledFilter& filter : filters) {
+      CYPHER_ASSIGN_OR_RETURN(const Value* want, FilterValue(filter));
       const Value& have =
-          sym == kNoSymbol ? Value() : stored.Get(sym);
-      if (CypherEquals(have, want) != Tri::kTrue) return false;
+          filter.key == kNoSymbol ? kNullValue : stored.Get(filter.key);
+      if (CypherEquals(have, *want) != Tri::kTrue) return false;
     }
     return true;
   }
 
-  Result<bool> NodeMatches(const NodePattern& pattern, NodeId id) {
+  Result<bool> NodeMatches(const CompiledNode& pattern, NodeId id) {
     if (!graph_.IsNodeAlive(id)) return false;
-    for (const std::string& label : pattern.labels) {
-      Symbol sym = graph_.FindLabel(label);
-      if (sym == kNoSymbol || !graph_.NodeHasLabel(id, sym)) return false;
+    for (Symbol label : pattern.labels) {
+      if (!graph_.NodeHasLabel(id, label)) return false;
     }
-    return PropsFilterPass(pattern.properties, graph_.node(id).props);
+    return PropsFilterPass(pattern.filters, graph_.node(id).props);
   }
 
-  Result<bool> RelMatches(const RelPattern& pattern, RelId id) {
+  Result<bool> RelMatches(const CompiledRel& pattern, RelId id) {
     const RelData& rel = graph_.rel(id);
     if (!pattern.types.empty()) {
       bool any = false;
-      for (const std::string& type : pattern.types) {
-        Symbol sym = graph_.FindType(type);
-        if (sym != kNoSymbol && rel.type == sym) {
+      for (Symbol type : pattern.types) {
+        if (rel.type == type) {
           any = true;
           break;
         }
       }
       if (!any) return false;
     }
-    return PropsFilterPass(pattern.properties, rel.props);
-  }
-
-  // ---- Candidate enumeration ------------------------------------------------
-
-  /// All alive traversal candidates from `from` under the pattern's
-  /// direction, ascending by relationship id (determinism).
-  std::vector<RelCandidate> RelCandidates(NodeId from,
-                                          const RelPattern& pattern) {
-    std::vector<RelCandidate> out;
-    bool want_out = pattern.direction != RelDirection::kRightToLeft;
-    bool want_in = pattern.direction != RelDirection::kLeftToRight;
-    if (want_out) {
-      for (RelId r : graph_.OutRels(from)) {
-        out.push_back({r, graph_.rel(r).tgt});
-      }
-    }
-    if (want_in) {
-      for (RelId r : graph_.InRels(from)) {
-        // A self-loop already appeared in the out-scan of an undirected
-        // pattern; do not produce it twice.
-        if (want_out && graph_.rel(r).src == graph_.rel(r).tgt) continue;
-        out.push_back({r, graph_.rel(r).src});
-      }
-    }
-    std::sort(out.begin(), out.end(),
-              [](const RelCandidate& a, const RelCandidate& b) {
-                return a.rel < b.rel;
-              });
-    return out;
+    return PropsFilterPass(pattern.filters, rel.props);
   }
 
   bool RelUsable(RelId id) const {
-    return options_.mode == MatchMode::kHomomorphism ||
-           used_rels_.find(id.value) == used_rels_.end();
+    if (options_.mode == MatchMode::kHomomorphism) return true;
+    // Linear scan: the trail stack holds at most the current pattern depth,
+    // small enough that hashing would cost more than the walk.
+    for (RelId r : used_rels_) {
+      if (r == id) return false;
+    }
+    return true;
+  }
+
+  // ---- Start-point enumeration ----------------------------------------------
+
+  /// Enumerates start candidates, ascending by node id. A resolved bound
+  /// value yields a single candidate; otherwise the compiled anchor plan
+  /// picks the access path. Every plan yields a superset of the true
+  /// matches (callers re-check NodeMatches), so the plan affects cost only.
+  template <typename Fn>
+  Status ForEachStartCandidate(const CompiledPath& cpath, const Value* bound,
+                               const Fn& fn) {
+    if (bound != nullptr) {
+      if (bound->is_null()) return Status::OK();  // null never matches
+      if (!bound->is_node()) {
+        return Status::ExecutionError(
+            "variable '" + cpath.start.source->variable + "' is bound to " +
+            ValueTypeName(bound->type()) + ", expected a node");
+      }
+      return fn(bound->AsNode());
+    }
+    switch (cpath.anchor.kind) {
+      case AnchorKind::kIndex: {
+        const CompiledFilter& filter =
+            cpath.start.filters[cpath.anchor.index_filter];
+        CYPHER_ASSIGN_OR_RETURN(const Value* want, FilterValue(filter));
+        if (want->is_null()) return Status::OK();  // null filter: no match
+        for (NodeId id :
+             graph_.IndexLookup(cpath.anchor.label, cpath.anchor.key, *want)) {
+          if (stopped_) break;
+          CYPHER_RETURN_NOT_OK(fn(id));
+        }
+        return Status::OK();
+      }
+      case AnchorKind::kLabelScan: {
+        Status st;
+        graph_.ForEachNodeWithLabel(cpath.anchor.label, [&](NodeId id) {
+          if (stopped_) return false;
+          st = fn(id);
+          return st.ok();
+        });
+        return st;
+      }
+      case AnchorKind::kBound:  // planned bound but unbound at runtime
+      case AnchorKind::kAllScan: {
+        Status st;
+        graph_.ForEachNode([&](NodeId id) {
+          if (stopped_) return false;
+          st = fn(id);
+          return st.ok();
+        });
+        return st;
+      }
+    }
+    return Status::OK();
   }
 
   // ---- Search ---------------------------------------------------------------
 
   Status MatchPattern(size_t pattern_idx) {
     if (stopped_) return Status::OK();
-    if (pattern_idx == patterns_.size()) {
+    if (pattern_idx == compiled_.paths.size()) {
       CYPHER_ASSIGN_OR_RETURN(bool more, sink_(assigned_));
       if (!more) stopped_ = true;
       return Status::OK();
     }
-    const PathPattern& pattern = patterns_[pattern_idx];
-    if (pattern.function != PathFunction::kNone) {
-      return MatchShortestPattern(pattern, pattern_idx);
+    const CompiledPath& cpath = compiled_.paths[pattern_idx];
+    if (cpath.source->function != PathFunction::kNone) {
+      return MatchShortestPattern(cpath, pattern_idx);
     }
-    // Resolve start-node candidates.
-    const NodePattern& start = pattern.start;
-    auto try_start = [&](NodeId id) -> Status {
+    const CompiledNode& start = cpath.start;
+    const std::string& var = start.source->variable;
+    const Value* bound_start = BoundValue(start);
+    // Bind when this is the variable's first occurrence, or when a checked
+    // variable turned out unbound at runtime (environment mismatch).
+    bool push_start = !var.empty() && bound_start == nullptr;
+    PathValue path;  // reused across candidates to amortize allocation
+    return ForEachStartCandidate(cpath, bound_start, [&](NodeId id) -> Status {
       CYPHER_ASSIGN_OR_RETURN(bool ok, NodeMatches(start, id));
       if (!ok) return Status::OK();
       size_t mark = assigned_.size();
-      if (!start.variable.empty() && !LookupVar(start.variable)) {
-        assigned_.Push(start.variable, Value::Node(id));
-      }
-      PathValue path;
-      path.nodes.push_back(id);
-      Status st = MatchStep(pattern, 0, id, &path, pattern_idx);
+      if (push_start) assigned_.Push(var, Value::Node(id));
+      path.nodes.assign(1, id);
+      path.rels.clear();
+      Status st = MatchStep(cpath, 0, id, &path, pattern_idx);
       assigned_.PopTo(mark);
       return st;
-    };
-    if (!start.variable.empty()) {
-      if (std::optional<Value> bound = LookupVar(start.variable)) {
-        if (bound->is_null()) return Status::OK();  // null never matches
-        if (!bound->is_node()) {
-          return Status::ExecutionError("variable '" + start.variable +
-                                        "' is bound to " +
-                                        ValueTypeName(bound->type()) +
-                                        ", expected a node");
-        }
-        return try_start(bound->AsNode());
-      }
-    }
-    // Unbound: prefer a property index, then the label index, then a full
-    // scan. NodeMatches re-checks every filter, so index candidates only
-    // need to be a superset of the true matches.
-    std::vector<NodeId> candidates;
-    bool resolved = false;
-    for (const std::string& label : start.labels) {
-      Symbol lsym = graph_.FindLabel(label);
-      if (lsym == kNoSymbol) return Status::OK();  // label never created
-      for (const auto& [key, expr] : start.properties) {
-        Symbol ksym = graph_.FindKey(key);
-        if (ksym == kNoSymbol || !graph_.HasIndex(lsym, ksym)) continue;
-        CYPHER_ASSIGN_OR_RETURN(Value want, Evaluate(ctx_, input_, *expr));
-        if (want.is_null()) return Status::OK();  // null filter: no match
-        candidates = graph_.IndexLookup(lsym, ksym, want);
-        resolved = true;
-        break;
-      }
-      if (resolved) break;
-    }
-    if (!resolved) {
-      if (!start.labels.empty()) {
-        Symbol sym = graph_.FindLabel(start.labels.front());
-        if (sym == kNoSymbol) return Status::OK();
-        candidates = graph_.NodesByLabel(sym);
-      } else {
-        candidates = graph_.AllNodes();
-      }
-    }
-    for (NodeId id : candidates) {
-      if (stopped_) break;
-      CYPHER_RETURN_NOT_OK(try_start(id));
-    }
-    return Status::OK();
+    });
   }
 
   // ---- shortestPath / allShortestPaths -------------------------------------
@@ -231,20 +322,24 @@ class MatchEngine {
         parents;
   };
 
-  Result<BfsState> RunBfs(NodeId source, const RelPattern& rel_pattern) {
+  Result<BfsState> RunBfs(NodeId source, const CompiledRel& rel_pattern) {
+    const RelPattern& rel_src = *rel_pattern.source;
     BfsState state;
     state.dist[source.value] = 0;
     std::vector<NodeId> frontier{source};
     int64_t level = 0;
     while (!frontier.empty() &&
-           (rel_pattern.max_hops < 0 || level < rel_pattern.max_hops)) {
+           (rel_src.max_hops < 0 || level < rel_src.max_hops)) {
       std::vector<NodeId> next;
       for (NodeId n : frontier) {
-        for (const RelCandidate& cand : RelCandidates(n, rel_pattern)) {
+        RelCandidateCursor cursor(graph_, n, rel_pattern.direction);
+        RelCandidate cand;
+        while (cursor.Next(&cand)) {
           if (!RelUsable(cand.rel)) continue;  // trail constraint
           CYPHER_ASSIGN_OR_RETURN(bool ok, RelMatches(rel_pattern, cand.rel));
           if (!ok) continue;
-          auto [it, inserted] = state.dist.try_emplace(cand.to.value, level + 1);
+          auto [it, inserted] =
+              state.dist.try_emplace(cand.to.value, level + 1);
           if (inserted) {
             state.parents[cand.to.value].emplace_back(n, cand.rel);
             next.push_back(cand.to);
@@ -295,51 +390,32 @@ class MatchEngine {
     return walk(target);
   }
 
-  Status MatchShortestPattern(const PathPattern& pattern, size_t pattern_idx) {
-    const auto& [rel_pattern, end_pattern] = pattern.steps.front();
+  Status MatchShortestPattern(const CompiledPath& cpath, size_t pattern_idx) {
+    const PathPattern& pattern = *cpath.source;
+    const CompiledRel& rel_pattern = cpath.steps.front().first;
+    const CompiledNode& end_pattern = cpath.steps.front().second;
+    const RelPattern& rel_src = *rel_pattern.source;
+    const NodePattern& start_src = *cpath.start.source;
+    const NodePattern& end_src = *end_pattern.source;
     bool all_shortest = pattern.function == PathFunction::kAllShortest;
-    // Resolve start candidates exactly like a plain pattern start.
-    std::vector<NodeId> starts;
-    const NodePattern& start = pattern.start;
-    if (!start.variable.empty()) {
-      if (std::optional<Value> bound = LookupVar(start.variable)) {
-        if (bound->is_null()) return Status::OK();
-        if (!bound->is_node()) {
-          return Status::ExecutionError("variable '" + start.variable +
-                                        "' is bound to " +
-                                        ValueTypeName(bound->type()) +
-                                        ", expected a node");
-        }
-        starts.push_back(bound->AsNode());
-      }
-    }
-    if (starts.empty()) {
-      if (!start.labels.empty()) {
-        Symbol sym = graph_.FindLabel(start.labels.front());
-        if (sym == kNoSymbol) return Status::OK();
-        starts = graph_.NodesByLabel(sym);
-      } else {
-        starts = graph_.AllNodes();
-      }
-    }
     // Resolve a bound end variable once (restricts BFS targets).
     std::optional<NodeId> bound_end;
-    if (!end_pattern.variable.empty()) {
-      if (std::optional<Value> bound = LookupVar(end_pattern.variable)) {
-        if (bound->is_null()) return Status::OK();
-        if (!bound->is_node()) {
-          return Status::ExecutionError("variable '" + end_pattern.variable +
-                                        "' is bound to " +
-                                        ValueTypeName(bound->type()) +
-                                        ", expected a node");
-        }
-        bound_end = bound->AsNode();
+    if (const Value* bound = BoundValue(end_pattern)) {
+      if (bound->is_null()) return Status::OK();
+      if (!bound->is_node()) {
+        return Status::ExecutionError("variable '" + end_src.variable +
+                                      "' is bound to " +
+                                      ValueTypeName(bound->type()) +
+                                      ", expected a node");
       }
+      bound_end = bound->AsNode();
     }
-    for (NodeId s : starts) {
-      if (stopped_) break;
-      CYPHER_ASSIGN_OR_RETURN(bool start_ok, NodeMatches(start, s));
-      if (!start_ok) continue;
+    const Value* bound_start = BoundValue(cpath.start);
+    bool push_start = !start_src.variable.empty() && bound_start == nullptr;
+    return ForEachStartCandidate(cpath, bound_start, [&](NodeId s) -> Status {
+      if (stopped_) return Status::OK();
+      CYPHER_ASSIGN_OR_RETURN(bool start_ok, NodeMatches(cpath.start, s));
+      if (!start_ok) return Status::OK();
       CYPHER_ASSIGN_OR_RETURN(BfsState state, RunBfs(s, rel_pattern));
       // Deterministic target order: ascending node id.
       std::vector<NodeId> targets;
@@ -352,108 +428,121 @@ class MatchEngine {
       for (NodeId t : targets) {
         if (stopped_) break;
         int64_t d = state.dist.at(t.value);
-        if (d < rel_pattern.min_hops) continue;
-        if (rel_pattern.max_hops >= 0 && d > rel_pattern.max_hops) continue;
+        if (d < rel_src.min_hops) continue;
+        if (rel_src.max_hops >= 0 && d > rel_src.max_hops) continue;
         CYPHER_ASSIGN_OR_RETURN(bool end_ok, NodeMatches(end_pattern, t));
         if (!end_ok) continue;
         Status st = ReconstructPaths(
             state, s, t, all_shortest, [&](const PathValue& path) -> Status {
               size_t mark = assigned_.size();
-              if (!start.variable.empty() && !LookupVar(start.variable)) {
-                assigned_.Push(start.variable, Value::Node(s));
+              if (push_start) {
+                assigned_.Push(start_src.variable, Value::Node(s));
               }
-              if (!end_pattern.variable.empty() &&
-                  !LookupVar(end_pattern.variable)) {
-                assigned_.Push(end_pattern.variable, Value::Node(t));
+              // The end binds only on its first occurrence; when it repeats
+              // the start variable (`(a)-[*]->(a)`) the start's push above
+              // already bound it.
+              if (end_pattern.var_class == VarClass::kBind) {
+                assigned_.Push(end_src.variable, Value::Node(t));
               }
-              if (!rel_pattern.variable.empty()) {
-                if (LookupVar(rel_pattern.variable)) {
+              if (!rel_src.variable.empty()) {
+                if (rel_pattern.var_class != VarClass::kBind) {
                   return Status::SemanticError(
                       "variable-length relationship variable '" +
-                      rel_pattern.variable + "' is already bound");
+                      rel_src.variable + "' is already bound");
                 }
                 ValueList rels;
                 for (RelId r : path.rels) rels.push_back(Value::Rel(r));
-                assigned_.Push(rel_pattern.variable,
-                               Value::List(std::move(rels)));
+                assigned_.Push(rel_src.variable, Value::List(std::move(rels)));
               }
               if (!pattern.path_variable.empty()) {
                 assigned_.Push(pattern.path_variable, Value::Path(path));
               }
-              for (RelId r : path.rels) used_rels_.insert(r.value);
+              size_t rel_mark = used_rels_.size();
+              for (RelId r : path.rels) used_rels_.push_back(r);
               Status inner = MatchPattern(pattern_idx + 1);
-              for (RelId r : path.rels) used_rels_.erase(r.value);
+              used_rels_.resize(rel_mark);
               assigned_.PopTo(mark);
               return inner;
             });
         CYPHER_RETURN_NOT_OK(st);
       }
-    }
-    return Status::OK();
+      return Status::OK();
+    });
   }
 
-  Status MatchStep(const PathPattern& pattern, size_t step_idx, NodeId cur,
+  Status MatchStep(const CompiledPath& cpath, size_t step_idx, NodeId cur,
                    PathValue* path, size_t pattern_idx) {
     if (stopped_) return Status::OK();
-    if (step_idx == pattern.steps.size()) {
+    const PathPattern& pattern = *cpath.source;
+    if (step_idx == cpath.steps.size()) {
       size_t mark = assigned_.size();
       if (!pattern.path_variable.empty()) {
-        if (LookupVar(pattern.path_variable)) {
+        if (cpath.path_var_conflict) {
           return Status::SemanticError("path variable '" +
                                        pattern.path_variable +
                                        "' is already bound");
         }
-        assigned_.Push(pattern.path_variable, Value::Path(*path));
+        if (cpath.reversed) {
+          // Execution ran end->start; the named path observes syntactic
+          // order.
+          PathValue forward;
+          forward.nodes.assign(path->nodes.rbegin(), path->nodes.rend());
+          forward.rels.assign(path->rels.rbegin(), path->rels.rend());
+          assigned_.Push(pattern.path_variable,
+                         Value::Path(std::move(forward)));
+        } else {
+          assigned_.Push(pattern.path_variable, Value::Path(*path));
+        }
       }
       Status st = MatchPattern(pattern_idx + 1);
       assigned_.PopTo(mark);
       return st;
     }
-    const auto& [rel_pattern, node_pattern] = pattern.steps[step_idx];
-    if (rel_pattern.var_length) {
-      return MatchVarLength(pattern, step_idx, cur, path, pattern_idx);
+    const auto& [rel_pattern, node_pattern] = cpath.steps[step_idx];
+    const RelPattern& rel_src = *rel_pattern.source;
+    if (rel_src.var_length) {
+      return MatchVarLength(cpath, step_idx, cur, path, pattern_idx);
     }
     // Bound relationship variable: a single candidate.
-    if (!rel_pattern.variable.empty()) {
-      if (std::optional<Value> bound = LookupVar(rel_pattern.variable)) {
-        if (bound->is_null()) return Status::OK();
-        if (!bound->is_rel()) {
-          return Status::ExecutionError("variable '" + rel_pattern.variable +
-                                        "' is bound to " +
-                                        ValueTypeName(bound->type()) +
-                                        ", expected a relationship");
-        }
-        RelId id = bound->AsRel();
-        if (!graph_.IsRelAlive(id) || !RelUsable(id)) return Status::OK();
-        const RelData& rel = graph_.rel(id);
-        NodeId next;
-        bool connects = false;
-        if (rel_pattern.direction != RelDirection::kRightToLeft &&
-            rel.src == cur) {
-          next = rel.tgt;
-          connects = true;
-        } else if (rel_pattern.direction != RelDirection::kLeftToRight &&
-                   rel.tgt == cur) {
-          next = rel.src;
-          connects = true;
-        }
-        if (!connects) return Status::OK();
-        CYPHER_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rel_pattern, id));
-        if (!rel_ok) return Status::OK();
-        return EnterNode(pattern, step_idx, id, next, path, pattern_idx);
+    if (const Value* bound = BoundValue(rel_pattern)) {
+      if (bound->is_null()) return Status::OK();
+      if (!bound->is_rel()) {
+        return Status::ExecutionError("variable '" + rel_src.variable +
+                                      "' is bound to " +
+                                      ValueTypeName(bound->type()) +
+                                      ", expected a relationship");
       }
+      RelId id = bound->AsRel();
+      if (!graph_.IsRelAlive(id) || !RelUsable(id)) return Status::OK();
+      const RelData& rel = graph_.rel(id);
+      NodeId next;
+      bool connects = false;
+      if (rel_pattern.direction != RelDirection::kRightToLeft &&
+          rel.src == cur) {
+        next = rel.tgt;
+        connects = true;
+      } else if (rel_pattern.direction != RelDirection::kLeftToRight &&
+                 rel.tgt == cur) {
+        next = rel.src;
+        connects = true;
+      }
+      if (!connects) return Status::OK();
+      CYPHER_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rel_pattern, id));
+      if (!rel_ok) return Status::OK();
+      return EnterNode(cpath, step_idx, id, next, path, pattern_idx);
     }
-    for (const RelCandidate& cand : RelCandidates(cur, rel_pattern)) {
+    bool push_rel = !rel_src.variable.empty();
+    RelCandidateCursor cursor(graph_, cur, rel_pattern.direction);
+    RelCandidate cand;
+    while (cursor.Next(&cand)) {
       if (stopped_) break;
       if (!RelUsable(cand.rel)) continue;
       CYPHER_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rel_pattern, cand.rel));
       if (!rel_ok) continue;
       size_t mark = assigned_.size();
-      if (!rel_pattern.variable.empty()) {
-        assigned_.Push(rel_pattern.variable, Value::Rel(cand.rel));
-      }
+      if (push_rel) assigned_.Push(rel_src.variable, Value::Rel(cand.rel));
       CYPHER_RETURN_NOT_OK(
-          EnterNode(pattern, step_idx, cand.rel, cand.to, path, pattern_idx));
+          EnterNode(cpath, step_idx, cand.rel, cand.to, path, pattern_idx));
       assigned_.PopTo(mark);
     }
     return Status::OK();
@@ -461,89 +550,90 @@ class MatchEngine {
 
   /// Checks the target node pattern of a step against `next`, binds its
   /// variable, marks the relationship used, and recurses to the next step.
-  Status EnterNode(const PathPattern& pattern, size_t step_idx, RelId via,
+  Status EnterNode(const CompiledPath& cpath, size_t step_idx, RelId via,
                    NodeId next, PathValue* path, size_t pattern_idx) {
-    const NodePattern& node_pattern = pattern.steps[step_idx].second;
-    if (!node_pattern.variable.empty()) {
-      if (std::optional<Value> bound = LookupVar(node_pattern.variable)) {
-        if (bound->is_null()) return Status::OK();
-        if (!bound->is_node()) {
-          return Status::ExecutionError("variable '" + node_pattern.variable +
-                                        "' is bound to " +
-                                        ValueTypeName(bound->type()) +
-                                        ", expected a node");
-        }
-        if (bound->AsNode() != next) return Status::OK();
+    const CompiledNode& node_pattern = cpath.steps[step_idx].second;
+    const std::string& var = node_pattern.source->variable;
+    const Value* bound = BoundValue(node_pattern);
+    if (bound != nullptr) {
+      if (bound->is_null()) return Status::OK();
+      if (!bound->is_node()) {
+        return Status::ExecutionError("variable '" + var + "' is bound to " +
+                                      ValueTypeName(bound->type()) +
+                                      ", expected a node");
       }
+      if (bound->AsNode() != next) return Status::OK();
     }
     CYPHER_ASSIGN_OR_RETURN(bool node_ok, NodeMatches(node_pattern, next));
     if (!node_ok) return Status::OK();
     size_t mark = assigned_.size();
-    if (!node_pattern.variable.empty() && !LookupVar(node_pattern.variable)) {
-      assigned_.Push(node_pattern.variable, Value::Node(next));
+    if (!var.empty() && bound == nullptr) {
+      assigned_.Push(var, Value::Node(next));
     }
-    used_rels_.insert(via.value);
+    used_rels_.push_back(via);
     path->rels.push_back(via);
     path->nodes.push_back(next);
-    Status st = MatchStep(pattern, step_idx + 1, next, path, pattern_idx);
+    Status st = MatchStep(cpath, step_idx + 1, next, path, pattern_idx);
     path->nodes.pop_back();
     path->rels.pop_back();
-    used_rels_.erase(via.value);
+    used_rels_.pop_back();
     assigned_.PopTo(mark);
     return st;
   }
 
-  Status MatchVarLength(const PathPattern& pattern, size_t step_idx,
+  Status MatchVarLength(const CompiledPath& cpath, size_t step_idx,
                         NodeId cur, PathValue* path, size_t pattern_idx) {
-    const auto& [rel_pattern, node_pattern] = pattern.steps[step_idx];
-    if (!rel_pattern.variable.empty() && LookupVar(rel_pattern.variable)) {
-      return Status::SemanticError(
-          "variable-length relationship variable '" + rel_pattern.variable +
-          "' is already bound");
+    const CompiledRel& rel_pattern = cpath.steps[step_idx].first;
+    const RelPattern& rel_src = *rel_pattern.source;
+    if (!rel_src.variable.empty() &&
+        rel_pattern.var_class != VarClass::kBind) {
+      return Status::SemanticError("variable-length relationship variable '" +
+                                   rel_src.variable + "' is already bound");
     }
     std::vector<RelId> hops;
-    return VarLengthFrom(pattern, step_idx, cur, 0, &hops, path, pattern_idx);
+    return VarLengthFrom(cpath, step_idx, cur, 0, &hops, path, pattern_idx);
   }
 
-  Status VarLengthFrom(const PathPattern& pattern, size_t step_idx,
+  Status VarLengthFrom(const CompiledPath& cpath, size_t step_idx,
                        NodeId cur, int64_t count, std::vector<RelId>* hops,
                        PathValue* path, size_t pattern_idx) {
     if (stopped_) return Status::OK();
-    const auto& [rel_pattern, node_pattern] = pattern.steps[step_idx];
-    if (count >= rel_pattern.min_hops) {
+    const auto& [rel_pattern, node_pattern] = cpath.steps[step_idx];
+    const RelPattern& rel_src = *rel_pattern.source;
+    const std::string& node_var = node_pattern.source->variable;
+    if (count >= rel_src.min_hops) {
       // Try to terminate the variable-length section at `cur`.
-      if (!node_pattern.variable.empty()) {
-        std::optional<Value> bound = LookupVar(node_pattern.variable);
-        if (bound && (!bound->is_node() || bound->AsNode() != cur)) {
-          goto extend;  // cannot terminate here; keep walking
-        }
+      const Value* bound = BoundValue(node_pattern);
+      if (bound != nullptr && (!bound->is_node() || bound->AsNode() != cur)) {
+        goto extend;  // cannot terminate here; keep walking
       }
       {
         CYPHER_ASSIGN_OR_RETURN(bool node_ok, NodeMatches(node_pattern, cur));
         if (node_ok) {
           size_t mark = assigned_.size();
-          if (!rel_pattern.variable.empty()) {
+          if (!rel_src.variable.empty()) {
             ValueList rel_values;
             rel_values.reserve(hops->size());
             for (RelId r : *hops) rel_values.push_back(Value::Rel(r));
-            assigned_.Push(rel_pattern.variable,
+            assigned_.Push(rel_src.variable,
                            Value::List(std::move(rel_values)));
           }
-          if (!node_pattern.variable.empty() &&
-              !LookupVar(node_pattern.variable)) {
-            assigned_.Push(node_pattern.variable, Value::Node(cur));
+          if (!node_var.empty() && BoundValue(node_pattern) == nullptr) {
+            assigned_.Push(node_var, Value::Node(cur));
           }
           CYPHER_RETURN_NOT_OK(
-              MatchStep(pattern, step_idx + 1, cur, path, pattern_idx));
+              MatchStep(cpath, step_idx + 1, cur, path, pattern_idx));
           assigned_.PopTo(mark);
         }
       }
     }
   extend:
-    if (rel_pattern.max_hops >= 0 && count >= rel_pattern.max_hops) {
+    if (rel_src.max_hops >= 0 && count >= rel_src.max_hops) {
       return Status::OK();
     }
-    for (const RelCandidate& cand : RelCandidates(cur, rel_pattern)) {
+    RelCandidateCursor cursor(graph_, cur, rel_pattern.direction);
+    RelCandidate cand;
+    while (cursor.Next(&cand)) {
       if (stopped_) break;
       // Within a variable-length walk the trail constraint always applies
       // (it is what bounds unbounded walks); homomorphism mode still skips
@@ -554,37 +644,52 @@ class MatchEngine {
       if (!RelUsable(cand.rel)) continue;
       CYPHER_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rel_pattern, cand.rel));
       if (!rel_ok) continue;
-      used_rels_.insert(cand.rel.value);
+      used_rels_.push_back(cand.rel);
       hops->push_back(cand.rel);
       path->rels.push_back(cand.rel);
       path->nodes.push_back(cand.to);
-      CYPHER_RETURN_NOT_OK(VarLengthFrom(pattern, step_idx, cand.to, count + 1,
+      CYPHER_RETURN_NOT_OK(VarLengthFrom(cpath, step_idx, cand.to, count + 1,
                                          hops, path, pattern_idx));
       path->nodes.pop_back();
       path->rels.pop_back();
       hops->pop_back();
-      used_rels_.erase(cand.rel.value);
+      used_rels_.pop_back();
     }
     return Status::OK();
   }
 
   const EvalContext& ctx_;
   const Bindings& input_;
-  const std::vector<PathPattern>& patterns_;
+  const CompiledMatch& compiled_;
   const MatchOptions& options_;
   const MatchSink& sink_;
   const PropertyGraph& graph_;
   MatchAssignment assigned_;
-  std::unordered_set<uint32_t> used_rels_;
+  /// Relationships used by the (partial) match, LIFO: pushed entering a
+  /// step, popped unwinding it. RelUsable scans it linearly.
+  std::vector<RelId> used_rels_;
+  /// Per-record cache for row-dependent filter values, indexed by
+  /// CompiledFilter::memo_slot.
+  std::vector<std::optional<Value>> memo_;
+  /// Per-record cache of driving-record variable values, indexed by
+  /// input_slot (see PrefetchInputs).
+  std::vector<std::optional<Value>> input_cache_;
   bool stopped_ = false;
 };
 
 }  // namespace
 
+Status MatchCompiled(const EvalContext& ctx, const Bindings& bindings,
+                     const CompiledMatch& compiled,
+                     const MatchOptions& options, const MatchSink& sink) {
+  return MatchEngine(ctx, bindings, compiled, options, sink).Run();
+}
+
 Status MatchPatterns(const EvalContext& ctx, const Bindings& bindings,
                      const std::vector<PathPattern>& patterns,
                      const MatchOptions& options, const MatchSink& sink) {
-  return MatchEngine(ctx, bindings, patterns, options, sink).Run();
+  CompiledMatch compiled = CompileMatch(ctx, bindings, patterns);
+  return MatchCompiled(ctx, bindings, compiled, options, sink);
 }
 
 Result<bool> HasMatch(const EvalContext& ctx, const Bindings& bindings,

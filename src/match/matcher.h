@@ -9,6 +9,7 @@
 #include "ast/pattern.h"
 #include "common/result.h"
 #include "eval/env.h"
+#include "match/compiled_pattern.h"
 
 namespace cypher {
 
@@ -63,6 +64,15 @@ using MatchSink = std::function<Result<bool>(const MatchAssignment&)>;
 Status MatchPatterns(const EvalContext& ctx, const Bindings& bindings,
                      const std::vector<PathPattern>& patterns,
                      const MatchOptions& options, const MatchSink& sink);
+
+/// Same, over an already-compiled match (see CompileMatch). Executors that
+/// drive many records through one clause compile once and call this per
+/// record; MatchPatterns is the compile-per-call convenience wrapper.
+/// `bindings` must bind the same variables as the compile-time environment
+/// (boundness is a column property) but may hold different row values.
+Status MatchCompiled(const EvalContext& ctx, const Bindings& bindings,
+                     const CompiledMatch& compiled, const MatchOptions& options,
+                     const MatchSink& sink);
 
 /// True if at least one match exists.
 Result<bool> HasMatch(const EvalContext& ctx, const Bindings& bindings,

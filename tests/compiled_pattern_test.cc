@@ -1,0 +1,231 @@
+// Compiled match pipeline tests: symbol resolution (unknown labels/types
+// short-circuit), constant folding vs per-record memo filters, anchor
+// selection (bound / index / label scan / all scan, reversal), and the
+// executors that ride on the pipeline (MATCH re-evaluating row-dependent
+// filters per record, MERGE matching through it after a rollback).
+
+#include <gtest/gtest.h>
+
+#include "eval/env.h"
+#include "match/compiled_pattern.h"
+#include "parser/parser.h"
+#include "table/table.h"
+#include "test_util.h"
+#include "value/compare.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+/// Patterns of the first MATCH clause of `query` (which must start with one).
+const std::vector<PathPattern>& FirstMatchPatterns(const Query& query) {
+  const Clause& clause = *query.parts[0].clauses[0];
+  EXPECT_EQ(clause.kind, ClauseKind::kMatch);
+  return static_cast<const MatchClause&>(clause).patterns;
+}
+
+/// Compiles the first MATCH of `text` against `db`'s graph with no bound
+/// variables and no parameters.
+CompiledMatch CompileFirstMatch(const GraphDatabase& db, const Query& query) {
+  static const ValueMap kNoParams;
+  EvalContext ec{&db.graph(), &kNoParams, MatchMode::kRelUnique};
+  Table unit = Table::Unit();
+  return CompileMatch(ec, Bindings(&unit, 0), FirstMatchPatterns(query));
+}
+
+TEST(CompiledPatternTest, UnknownLabelIsImpossible) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1})").ok());
+  auto query = ParseQuery("MATCH (n:Ghost) RETURN n");
+  ASSERT_TRUE(query.ok());
+  CompiledMatch compiled = CompileFirstMatch(db, *query);
+  EXPECT_TRUE(compiled.impossible);
+  EXPECT_TRUE(compiled.paths[0].impossible);
+  // End to end: zero rows, no error.
+  EXPECT_EQ(RunOk(&db, "MATCH (n:Ghost) RETURN n").rows.size(), 0u);
+}
+
+TEST(CompiledPatternTest, UnknownRelTypeIsImpossible) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User)-[:KNOWS]->(:User)").ok());
+  auto query = ParseQuery("MATCH (a)-[:NEVER]->(b) RETURN a");
+  ASSERT_TRUE(query.ok());
+  EXPECT_TRUE(CompileFirstMatch(db, *query).impossible);
+  EXPECT_EQ(RunOk(&db, "MATCH (a)-[:NEVER]->(b) RETURN a").rows.size(), 0u);
+  // A known alternative keeps the pattern alive: unknown alternatives are
+  // merely dropped.
+  auto query2 = ParseQuery("MATCH (a)-[:NEVER|KNOWS]->(b) RETURN a");
+  ASSERT_TRUE(query2.ok());
+  CompiledMatch both = CompileFirstMatch(db, *query2);
+  EXPECT_FALSE(both.impossible);
+  ASSERT_EQ(both.paths[0].steps.size(), 1u);
+  EXPECT_EQ(both.paths[0].steps[0].first.types.size(), 1u);
+}
+
+TEST(CompiledPatternTest, ConstantFilterFoldsOnce) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 2})").ok());
+  auto query = ParseQuery("MATCH (n:User {id: 1 + 1}) RETURN n");
+  ASSERT_TRUE(query.ok());
+  CompiledMatch compiled = CompileFirstMatch(db, *query);
+  ASSERT_EQ(compiled.paths.size(), 1u);
+  ASSERT_EQ(compiled.paths[0].start.filters.size(), 1u);
+  const CompiledFilter& filter = compiled.paths[0].start.filters[0];
+  EXPECT_TRUE(filter.is_constant);
+  EXPECT_EQ(CypherEquals(filter.constant, Value::Int(2)), Tri::kTrue);
+  EXPECT_EQ(compiled.memo_slots, 0u);
+}
+
+TEST(CompiledPatternTest, RowDependentFilterGetsMemoSlot) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1}), (:User {id: 2})").ok());
+  auto query = ParseQuery("MATCH (n:User {id: x}) RETURN n");
+  ASSERT_TRUE(query.ok());
+  static const ValueMap kNoParams;
+  EvalContext ec{&db.graph(), &kNoParams, MatchMode::kRelUnique};
+  Table t = Table::WithColumns({"x"});
+  t.AddRow({Value::Int(1)});
+  CompiledMatch compiled =
+      CompileMatch(ec, Bindings(&t, 0), FirstMatchPatterns(*query));
+  ASSERT_EQ(compiled.paths.size(), 1u);
+  ASSERT_EQ(compiled.paths[0].start.filters.size(), 1u);
+  EXPECT_FALSE(compiled.paths[0].start.filters[0].is_constant);
+  EXPECT_EQ(compiled.memo_slots, 1u);
+}
+
+TEST(CompiledPatternTest, RowDependentFilterReEvaluatesPerRow) {
+  // One compiled clause drives many records; each record must see its own
+  // filter value, not the first record's.
+  GraphDatabase db;
+  ASSERT_TRUE(
+      db.Run("CREATE (:User {id: 1, name: 'a'}), (:User {id: 2, name: 'b'}), "
+             "(:User {id: 3, name: 'c'})")
+          .ok());
+  QueryResult result = RunOk(
+      &db,
+      "UNWIND [3, 1, 2] AS x MATCH (n:User {id: x}) RETURN n.name AS name");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(CypherEquals(result.rows[0][0], Value::String("c")), Tri::kTrue);
+  EXPECT_EQ(CypherEquals(result.rows[1][0], Value::String("a")), Tri::kTrue);
+  EXPECT_EQ(CypherEquals(result.rows[2][0], Value::String("b")), Tri::kTrue);
+}
+
+TEST(CompiledPatternTest, AnchorSelection) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("UNWIND range(1, 50) AS i CREATE (:User {id: i})").ok());
+  ASSERT_TRUE(db.Run("CREATE (:Rare {id: 1})").ok());
+
+  auto all = ParseQuery("MATCH (n) RETURN n");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(CompileFirstMatch(db, *all).paths[0].anchor.kind,
+            AnchorKind::kAllScan);
+
+  auto label = ParseQuery("MATCH (n:User) RETURN n");
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(CompileFirstMatch(db, *label).paths[0].anchor.kind,
+            AnchorKind::kLabelScan);
+
+  // Property filter alone is no index; with the index it becomes the anchor.
+  auto filtered = ParseQuery("MATCH (n:User {id: 7}) RETURN n");
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(CompileFirstMatch(db, *filtered).paths[0].anchor.kind,
+            AnchorKind::kLabelScan);
+  ASSERT_TRUE(db.Run("CREATE INDEX ON :User(id)").ok());
+  EXPECT_EQ(CompileFirstMatch(db, *filtered).paths[0].anchor.kind,
+            AnchorKind::kIndex);
+
+  // A bound pattern variable beats everything.
+  auto bound = ParseQuery("MATCH (n:User) RETURN n");
+  ASSERT_TRUE(bound.ok());
+  static const ValueMap kNoParams;
+  EvalContext ec{&db.graph(), &kNoParams, MatchMode::kRelUnique};
+  Table t = Table::WithColumns({"n"});
+  t.AddRow({Value::Node(NodeId(0))});
+  CompiledMatch from_bound =
+      CompileMatch(ec, Bindings(&t, 0), FirstMatchPatterns(*bound));
+  EXPECT_EQ(from_bound.paths[0].anchor.kind, AnchorKind::kBound);
+}
+
+TEST(CompiledPatternTest, ReversalPicksCheaperFarAnchor) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("UNWIND range(1, 40) AS i CREATE (:Src {id: i})").ok());
+  ASSERT_TRUE(db.Run("CREATE (:Dst {id: 0})").ok());
+  ASSERT_TRUE(
+      db.Run("MATCH (s:Src), (d:Dst) WHERE s.id <= 3 CREATE (s)-[:TO]->(d)")
+          .ok());
+  auto query = ParseQuery("MATCH (a:Src)-[:TO]->(b:Dst) RETURN a.id AS id");
+  ASSERT_TRUE(query.ok());
+  CompiledMatch compiled = CompileFirstMatch(db, *query);
+  ASSERT_EQ(compiled.paths.size(), 1u);
+  EXPECT_TRUE(compiled.paths[0].reversed);  // :Dst is 1 node, :Src is 40
+  // Execution direction is an implementation detail: results are identical
+  // to the forward reading, in ascending order of the emitted ids.
+  QueryResult result =
+      RunOk(&db, "MATCH (a:Src)-[:TO]->(b:Dst) RETURN a.id AS id ORDER BY id");
+  ASSERT_EQ(result.rows.size(), 3u);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(CypherEquals(result.rows[i][0], Value::Int(i + 1)), Tri::kTrue);
+  }
+}
+
+TEST(CompiledPatternTest, MergeAfterRollbackMatchesThroughPipeline) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1})").ok());
+  // The failing statement creates a node (interning :Ghost) and then
+  // errors; the whole statement rolls back.
+  EXPECT_FALSE(db.Run("CREATE (:Ghost {id: 9}) CREATE (:Bad {p: 1/0})").ok());
+  EXPECT_EQ(db.graph().num_nodes(), 1u);
+
+  // MERGE on the surviving node matches (no duplicate)...
+  ASSERT_TRUE(db.Run("MERGE SAME (n:User {id: 1})").ok());
+  EXPECT_EQ(CypherEquals(
+                Scalar(RunOk(&db, "MATCH (n:User) RETURN count(n) AS c")),
+                Value::Int(1)),
+            Tri::kTrue);
+  // ...and MERGE on the rolled-back label must create, even though the
+  // label symbol itself survived interning (symbols are not journaled).
+  ASSERT_TRUE(db.Run("MERGE SAME (n:Ghost {id: 9})").ok());
+  EXPECT_EQ(CypherEquals(
+                Scalar(RunOk(&db, "MATCH (n:Ghost) RETURN count(n) AS c")),
+                Value::Int(1)),
+            Tri::kTrue);
+}
+
+TEST(CompiledPatternTest, LegacyMergeSeesOwnWrites) {
+  // Legacy MERGE matches the graph as mutated by earlier records, so the
+  // per-record recompile must pick up a label interned mid-clause: record
+  // one creates (:Fresh), record two must match it, not duplicate it.
+  EvalOptions legacy;
+  legacy.semantics = SemanticsMode::kLegacy;
+  GraphDatabase db(legacy);
+  ASSERT_TRUE(db.Run("UNWIND [1, 1] AS x MERGE (n:Fresh {id: x})").ok());
+  EXPECT_EQ(CypherEquals(
+                Scalar(RunOk(&db, "MATCH (n:Fresh) RETURN count(n) AS c")),
+                Value::Int(1)),
+            Tri::kTrue);
+}
+
+TEST(CompiledPatternTest, LabelCountTracksMutationsAndRollback) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:User {id: 1}), (:User {id: 2})").ok());
+  const PropertyGraph& g = db.graph();
+  Symbol user = g.FindLabel("User");
+  ASSERT_NE(user, kNoSymbol);
+  EXPECT_EQ(g.LabelCount(user), 2u);
+
+  ASSERT_TRUE(db.Run("MATCH (n:User {id: 2}) REMOVE n:User").ok());
+  EXPECT_EQ(g.LabelCount(user), 1u);
+  ASSERT_TRUE(db.Run("MATCH (n {id: 2}) SET n:User").ok());
+  EXPECT_EQ(g.LabelCount(user), 2u);
+  ASSERT_TRUE(db.Run("MATCH (n:User {id: 1}) DELETE n").ok());
+  EXPECT_EQ(g.LabelCount(user), 1u);
+
+  // A failed statement must restore the count it bumped.
+  EXPECT_FALSE(db.Run("CREATE (:User {id: 3}) CREATE (:Bad {p: 1/0})").ok());
+  EXPECT_EQ(g.LabelCount(user), 1u);
+}
+
+}  // namespace
+}  // namespace cypher

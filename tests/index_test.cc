@@ -150,6 +150,33 @@ TEST(IndexTest, NullFilterNeverServedByIndex) {
   EXPECT_EQ(Scalar(r).AsInt(), 0);
 }
 
+TEST(IndexTest, CompactsBucketsOnceMostlyStale) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE INDEX ON :User(id)").ok());
+  ASSERT_TRUE(db.Run("UNWIND range(1, 20) AS i CREATE (:User {id: i})").ok());
+  const PropertyGraph& g = db.graph();
+  Symbol user = g.FindLabel("User");
+  Symbol id = g.FindKey("id");
+  EXPECT_EQ(g.IndexEntryCount(user, id), 20u);
+
+  // Rewriting every id leaves the old entries stale: half the index. The
+  // commit-time sweep must drop them instead of letting the index grow
+  // without bound.
+  ASSERT_TRUE(db.Run("MATCH (u:User) SET u.id = u.id + 100").ok());
+  EXPECT_EQ(g.IndexEntryCount(user, id), 20u)
+      << "commit-time sweep should have dropped the 20 stale entries";
+
+  // Lookups stay correct throughout.
+  EXPECT_TRUE(g.IndexLookup(user, id, Value::Int(1)).empty());
+  EXPECT_EQ(g.IndexLookup(user, id, Value::Int(101)).size(), 1u);
+
+  // A failed statement must not compact away entries its rollback revives.
+  EXPECT_FALSE(
+      db.Run("MATCH (u:User) SET u.id = u.id + 1 WITH u RETURN u.id / 0")
+          .ok());
+  EXPECT_EQ(g.IndexLookup(user, id, Value::Int(101)).size(), 1u);
+}
+
 TEST(IndexTest, IndexSurvivesFailedStatement) {
   GraphDatabase db;
   ASSERT_TRUE(db.Run("CREATE INDEX ON :N(v)").ok());

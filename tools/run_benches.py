@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Runs every bench_* binary in a build tree and aggregates results.
+
+Each binary is executed with --benchmark_format=json; the real (wall) time
+of every benchmark is collected into one flat {name: ns_per_op} map and
+written to BENCH_results.json. Usage:
+
+    tools/run_benches.py <build-dir>/bench [-o BENCH_results.json]
+
+Exits non-zero if any binary fails to run or produces unparsable output.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# Google Benchmark time units, normalized to nanoseconds.
+_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def run_one(path):
+    """Runs one benchmark binary, returns {benchmark_name: ns_per_op}."""
+    proc = subprocess.run(
+        [path, "--benchmark_format=json"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{os.path.basename(path)} exited {proc.returncode}:\n"
+            f"{proc.stderr.strip()}"
+        )
+    # The binaries print a human-readable banner (which may itself contain
+    # braces, e.g. Cypher snippets) before the JSON document. The document
+    # starts at a line whose first character is '{'; try each such line and
+    # accept the first that parses to a benchmark report.
+    doc = None
+    decoder = json.JSONDecoder()
+    offset = 0
+    for line in proc.stdout.splitlines(keepends=True):
+        if line.lstrip().startswith("{"):
+            try:
+                candidate, _ = decoder.raw_decode(proc.stdout[offset:].lstrip())
+                if isinstance(candidate, dict) and "benchmarks" in candidate:
+                    doc = candidate
+                    break
+            except json.JSONDecodeError:
+                pass
+        offset += len(line)
+    if doc is None:
+        raise RuntimeError(f"{os.path.basename(path)}: no JSON report in output")
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue  # keep raw repetitions out of the flat map
+        unit = bench.get("time_unit", "ns")
+        out[bench["name"]] = bench["real_time"] * _TO_NS[unit]
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_dir", help="directory holding bench_* binaries")
+    parser.add_argument("-o", "--output", default="BENCH_results.json")
+    args = parser.parse_args()
+
+    binaries = sorted(
+        os.path.join(args.bench_dir, f)
+        for f in os.listdir(args.bench_dir)
+        if f.startswith("bench_") and os.access(
+            os.path.join(args.bench_dir, f), os.X_OK)
+        and os.path.isfile(os.path.join(args.bench_dir, f))
+    )
+    if not binaries:
+        print(f"no bench_* binaries in {args.bench_dir}", file=sys.stderr)
+        return 1
+
+    results = {}
+    for path in binaries:
+        name = os.path.basename(path)
+        print(f"[bench] {name}", flush=True)
+        try:
+            results.update(run_one(path))
+        except (RuntimeError, json.JSONDecodeError, KeyError) as err:
+            print(f"[bench] {name} FAILED: {err}", file=sys.stderr)
+            return 1
+
+    with open(args.output, "w") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"[bench] wrote {len(results)} results to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
