@@ -1,0 +1,92 @@
+// Engineering bench: morsel-driven parallel read execution — anchor-
+// partitioned scans, row-partitioned expansion, and parallel partial
+// aggregation, swept over worker counts. workers=1 runs the sequential
+// path (the regression baseline); speedups require physical cores, so on
+// single-core machines the interesting column is that workers>1 stays
+// close to sequential (scheduling overhead only) while remaining
+// byte-identical.
+
+#include "bench_util.h"
+
+namespace cypher {
+namespace {
+
+EvalOptions ParallelOptions(int64_t workers) {
+  EvalOptions o;
+  o.parallel_workers = static_cast<size_t>(workers);
+  o.parallel_min_cost = 1;  // measure the machinery, not the heuristic
+  return o;
+}
+
+std::string WorkerLabel(int64_t workers) {
+  return "workers=" + std::to_string(workers);
+}
+
+/// Anchor-mode morsels: one driving record fanning a big label scan with a
+/// property filter evaluated per candidate.
+void BM_ParallelScan(benchmark::State& state) {
+  GraphDatabase db;
+  (void)workload::LoadRandomMarketplace(&db, state.range(0), 16, 0, 1);
+  EvalOptions options = ParallelOptions(state.range(1));
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "MATCH (u:User) WHERE u.id % 7 <> 0 RETURN count(u) AS c", {},
+        options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(WorkerLabel(state.range(1)));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelScan)
+    ->Args({4096, 1})->Args({4096, 2})->Args({4096, 4})->Args({4096, 8})
+    ->Args({32768, 1})->Args({32768, 2})->Args({32768, 4})->Args({32768, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Row-mode morsels: many driving records each expanding a two-hop join.
+void BM_ParallelTwoHop(benchmark::State& state) {
+  GraphDatabase db;
+  (void)workload::LoadRandomMarketplace(&db, state.range(0), state.range(0) / 4,
+                                        state.range(0) * 2, 2);
+  EvalOptions options = ParallelOptions(state.range(1));
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "MATCH (a:User)-[:ORDERED]->(p:Product)<-[:ORDERED]-(b:User) "
+        "RETURN count(*) AS c",
+        {}, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(WorkerLabel(state.range(1)));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelTwoHop)
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4})->Args({256, 8})
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})->Args({1024, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Parallel partial aggregation: per-morsel group-by with count / sum /
+/// min / max / DISTINCT partials merged in morsel order.
+void BM_ParallelAggregation(benchmark::State& state) {
+  GraphDatabase db;
+  (void)workload::LoadRandomMarketplace(&db, state.range(0) / 8, 64,
+                                        state.range(0), 3);
+  EvalOptions options = ParallelOptions(state.range(1));
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "MATCH (u:User)-[:ORDERED]->(p:Product) "
+        "RETURN u.id AS uid, count(*) AS n, sum(p.id) AS s, "
+        "min(p.id) AS mn, max(p.id) AS mx, count(DISTINCT p.id) AS dp",
+        {}, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(WorkerLabel(state.range(1)));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelAggregation)
+    ->Args({4096, 1})->Args({4096, 2})->Args({4096, 4})->Args({4096, 8})
+    ->Args({32768, 1})->Args({32768, 2})->Args({32768, 4})->Args({32768, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cypher
+
+BENCHMARK_MAIN();

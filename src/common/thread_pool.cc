@@ -1,0 +1,112 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace cypher {
+
+namespace {
+
+/// Set while the current thread is executing pool tasks; nested Run calls
+/// from inside a task run inline instead of deadlocking on run_mu_.
+thread_local bool t_in_pool_task = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t max_helpers) : max_helpers_(max_helpers) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Enough helpers for the determinism tests' worker sweeps even on small
+  // machines; parked helpers cost a stack apiece and no cycles.
+  static ThreadPool pool(15);
+  return pool;
+}
+
+void ThreadPool::EnsureThreads(size_t helpers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (threads_.size() < helpers) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+void ThreadPool::TaskLoop(const std::function<void(size_t)>& fn,
+                          size_t num_tasks) {
+  while (true) {
+    size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (task >= num_tasks) return;
+    fn(task);
+  }
+}
+
+void ThreadPool::WorkerMain() {
+  t_in_pool_task = true;  // workers never start nested regions
+  uint64_t seen = 0;
+  while (true) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t num_tasks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_fn_ != nullptr && generation_ != seen &&
+                         joined_ < helpers_wanted_);
+      });
+      if (stop_) return;
+      seen = generation_;
+      ++joined_;
+      ++active_;
+      fn = job_fn_;
+      num_tasks = job_tasks_;
+    }
+    TaskLoop(*fn, num_tasks);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Run(size_t num_tasks, size_t workers,
+                     const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  size_t helpers =
+      std::min({workers > 0 ? workers - 1 : size_t{0}, max_helpers_,
+                num_tasks - 1});
+  if (helpers == 0 || t_in_pool_task) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> region(run_mu_);
+  EnsureThreads(helpers);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    helpers_wanted_ = helpers;
+    joined_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is a full participant: it drains the same task counter, so a
+  // region never blocks waiting for a helper to wake up.
+  bool was_in_task = t_in_pool_task;
+  t_in_pool_task = true;
+  TaskLoop(fn, num_tasks);
+  t_in_pool_task = was_in_task;
+  std::unique_lock<std::mutex> lock(mu_);
+  // All tasks are claimed; wait for helpers still finishing theirs. Closing
+  // the job slot keeps late wakers (notified but not yet joined) out.
+  job_fn_ = nullptr;
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+}
+
+}  // namespace cypher

@@ -1,0 +1,83 @@
+#ifndef CYPHER_COMMON_THREAD_POOL_H_
+#define CYPHER_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cypher {
+
+/// Reusable worker pool for morsel-driven parallel execution.
+///
+/// One process-wide pool (`Shared()`) serves every parallel region; worker
+/// threads are spawned lazily up to `max_helpers` and then parked on a
+/// condition variable between regions, so a region costs two lock/notify
+/// round-trips rather than thread creation. Regions are serialized: the
+/// parallel executor runs strictly between write clauses, one statement at
+/// a time, so overlapping regions would only fight over the same cores.
+///
+/// Tasks are claimed from a shared atomic counter (the morsel dispenser of
+/// morsel-driven scheduling): a slow task does not stall the others, and
+/// task index — not thread identity — determines where each result lands,
+/// which is what keeps parallel output deterministic.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t max_helpers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs `fn(0) .. fn(num_tasks - 1)`, each exactly once, across up to
+  /// `workers` threads (the calling thread participates, so at most
+  /// `workers - 1` helpers join). Blocks until every task has finished.
+  /// Tasks must not throw and must not touch the pool; a task that needs
+  /// nested parallelism runs its inner region inline (re-entrant Run calls
+  /// from worker threads degrade to sequential execution on purpose —
+  /// the outer region already owns the cores).
+  void Run(size_t num_tasks, size_t workers,
+           const std::function<void(size_t)>& fn);
+
+  /// Helper threads this pool may spawn (not counting callers).
+  size_t max_helpers() const { return max_helpers_; }
+
+  /// Process-wide pool used by the parallel executor.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerMain();
+  void TaskLoop(const std::function<void(size_t)>& fn, size_t num_tasks);
+  void EnsureThreads(size_t helpers);
+
+  const size_t max_helpers_;
+
+  /// Serializes whole regions (see class comment).
+  std::mutex run_mu_;
+
+  /// Protects the job slot below and the worker lifecycle.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+
+  // One active job at a time. `generation_` lets parked workers distinguish
+  // a new job from the one they already finished; `joined_` caps how many
+  // helpers adopt the job so `workers` is honored even when the pool has
+  // more threads parked.
+  const std::function<void(size_t)>* job_fn_ = nullptr;
+  size_t job_tasks_ = 0;
+  std::atomic<size_t> next_task_{0};
+  uint64_t generation_ = 0;
+  size_t helpers_wanted_ = 0;
+  size_t joined_ = 0;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_COMMON_THREAD_POOL_H_

@@ -29,6 +29,12 @@ struct AggregateScope {
 ///
 /// Valid only while `table` and `expr` outlive the evaluator, and only for
 /// bindings with no local overlay (the projection executor's row loops).
+///
+/// Thread-compatibility: construction resolves names (may intern — must
+/// happen before a parallel region); Eval() is const and touches only the
+/// immutable resolution, the table and the graph, so one RowEval may be
+/// shared by every worker of a parallel region, each evaluating its own
+/// row range concurrently.
 class RowEval {
  public:
   RowEval(const EvalContext& ctx, const Table& table, const Expr& expr);

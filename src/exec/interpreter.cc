@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "exec/clauses.h"
 #include "exec/context.h"
+#include "exec/parallel.h"
 #include "match/compiled_pattern.h"
 
 namespace cypher {
@@ -171,6 +172,8 @@ QueryResult BuildExplainPlan(const PropertyGraph& graph, const Query& query,
           CompiledMatch compiled =
               CompileMatchForExplain(ec, bound, match.patterns);
           details += "  [" + DescribeMatchPlan(graph, compiled) + "]";
+          std::string par = DescribeParallelMatch(options, compiled);
+          if (!par.empty()) details += "  [" + par + "]";
           bind_patterns(match.patterns);
           break;
         }
@@ -180,6 +183,12 @@ QueryResult BuildExplainPlan(const PropertyGraph& graph, const Query& query,
               CompileMatchForExplain(ec, bound, merge.patterns);
           details += "  [match phase " + DescribeMatchPlan(graph, compiled) +
                      "]";
+          // Only the revised variants fan out their match phase; legacy
+          // MERGE reads its own writes record by record.
+          if (options.semantics == SemanticsMode::kRevised) {
+            std::string par = DescribeParallelMatch(options, compiled);
+            if (!par.empty()) details += "  [" + par + "]";
+          }
           bind_patterns(merge.patterns);
           break;
         }

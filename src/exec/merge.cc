@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "eval/evaluator.h"
 #include "exec/clauses.h"
+#include "exec/parallel.h"
 #include "exec/update_common.h"
 #include "value/compare.h"
 
@@ -383,10 +384,24 @@ Status ExecMergeRevised(ExecContext* ctx, const MergeClause& clause,
   // one compile serves the whole phase — creations happen only in Phase D.
   std::optional<CompiledMatch> compiled;
   if (table->num_rows() > 0) {
-    compiled = CompileMatch(ec, Bindings(table, 0), clause.patterns);
+    compiled = CompileMatch(ec, Bindings(table, 0), clause.patterns,
+                            {.num_rows = table->num_rows()});
   }
   std::vector<size_t> failed;
-  for (size_t r = 0; r < table->num_rows(); ++r) {
+  std::optional<ParallelPlan> par_plan;
+  if (compiled.has_value()) {
+    par_plan =
+        PlanParallelMatch(ctx->options, *ec.graph, *compiled, table->num_rows());
+  }
+  if (par_plan.has_value()) {
+    // The match phase reads only the input graph (creations happen in
+    // Phase D), so it fans out like any MATCH; `failed` comes back in
+    // ascending record order, exactly as Phases B-D require.
+    CYPHER_RETURN_NOT_OK(ParallelMatchRows(
+        ec, ctx->Match(), *par_plan, *table, *compiled, /*where=*/nullptr,
+        new_vars, /*optional_match=*/false, &failed, &out));
+  }
+  for (size_t r = 0; !par_plan.has_value() && r < table->num_rows(); ++r) {
     Bindings bindings(table, r);
     bool any = false;
     CYPHER_RETURN_NOT_OK(MatchCompiled(

@@ -67,6 +67,29 @@ struct EvalOptions {
   /// exceeds this many records after any clause aborts (and rolls back)
   /// with an ExecutionError. 0 = unlimited.
   size_t max_rows = 0;
+
+  // ---- Morsel-driven parallel read execution --------------------------------
+  //
+  // The read-only fragment (MATCH enumeration, projection, partial
+  // aggregation, and the match phase of MERGE ALL / MERGE SAME) can fan out
+  // across a worker pool; results are re-merged in morsel order, so the
+  // driving table is byte-identical to the sequential one. Updating clauses
+  // always apply sequentially, exactly as the paper specifies. Legacy MERGE
+  // never parallelizes: it reads its own writes record by record.
+
+  /// Worker threads for the parallel read path, including the calling
+  /// thread. 0 or 1 = fully sequential (the default: parallelism is opt-in
+  /// per statement or per session).
+  size_t parallel_workers = 0;
+
+  /// Work-unit size: anchor-scan domain positions (anchor-partitioned
+  /// clauses) or driving-table rows (row-partitioned clauses) per morsel.
+  size_t parallel_morsel_size = 256;
+
+  /// Minimum estimated work (records x anchor cost from the compiled plan,
+  /// or input rows for projection/aggregation) before the parallel path
+  /// engages; below it, fan-out overhead beats the win.
+  size_t parallel_min_cost = 2048;
 };
 
 }  // namespace cypher

@@ -1,0 +1,746 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "eval/evaluator.h"
+#include "value/compare.h"
+
+namespace cypher {
+namespace {
+
+// ---- Task plumbing ----------------------------------------------------------
+
+/// Runs `fn(0) .. fn(num_tasks - 1)` on the shared pool and returns the
+/// error of the LOWEST failing task — the error the sequential walk would
+/// hit first, because tasks partition the sequential enumeration in order
+/// and the read fragment is side-effect-free (a later task's error cannot
+/// have been caused by an earlier task's work).
+Status RunOrdered(size_t num_tasks, size_t workers,
+                  const std::function<Status(size_t)>& fn) {
+  std::vector<Status> status(num_tasks);  // default OK
+  ThreadPool::Shared().Run(num_tasks, workers,
+                           [&](size_t task) { status[task] = fn(task); });
+  for (Status& st : status) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+/// Row-range chunk size: the configured morsel, shrunk so every worker gets
+/// several tasks (load balancing against skewed per-row match costs), never
+/// below one row.
+size_t RowChunk(const ParallelPlan& plan, size_t num_rows) {
+  size_t spread = plan.workers * 8;
+  size_t balanced = (num_rows + spread - 1) / spread;
+  return std::max<size_t>(1, std::min(plan.morsel, balanced));
+}
+
+// ---- Shared per-record match body ------------------------------------------
+
+/// Enumerates matches of `compiled` for driving record `r` (restricted to
+/// `morsel` when non-null) and appends the extended output rows, exactly as
+/// ExecMatch's sequential sink does. Returns whether any row was emitted
+/// (i.e. some match also passed `where`).
+Result<bool> MatchOneRecord(const EvalContext& ec, const MatchOptions& mopts,
+                            const CompiledMatch& compiled, const Table& input,
+                            size_t r, const Expr* where,
+                            const std::vector<std::string>& new_vars,
+                            const AnchorMorsel* morsel,
+                            std::vector<std::vector<Value>>* out) {
+  Bindings bindings(&input, r);
+  bool any = false;
+  MatchSink sink = [&](const MatchAssignment& assignment) -> Result<bool> {
+    if (where != nullptr) {
+      Bindings wb = bindings;
+      for (const auto& [name, value] : assignment.entries()) {
+        wb.Push(name, value);
+      }
+      CYPHER_ASSIGN_OR_RETURN(Tri pass, EvaluatePredicate(ec, wb, *where));
+      if (pass != Tri::kTrue) return true;  // keep enumerating
+    }
+    const std::vector<Value>& base = input.row(r);
+    std::vector<Value> row;
+    row.reserve(base.size() + new_vars.size());
+    row.insert(row.end(), base.begin(), base.end());
+    for (const std::string& var : new_vars) {
+      const Value* v = assignment.Find(var);
+      CYPHER_CHECK(v != nullptr && "pattern variable not assigned");
+      row.push_back(*v);
+    }
+    out->push_back(std::move(row));
+    any = true;
+    return true;
+  };
+  Status st = morsel != nullptr
+                  ? MatchCompiledMorsel(ec, bindings, compiled, mopts, *morsel,
+                                        sink)
+                  : MatchCompiled(ec, bindings, compiled, mopts, sink);
+  CYPHER_RETURN_NOT_OK(st);
+  return any;
+}
+
+}  // namespace
+
+// ---- Planning ---------------------------------------------------------------
+
+std::optional<ParallelPlan> PlanParallelMatch(const EvalOptions& options,
+                                              const PropertyGraph& graph,
+                                              const CompiledMatch& compiled,
+                                              size_t num_rows) {
+  if (options.parallel_workers <= 1) return std::nullopt;
+  if (num_rows == 0 || compiled.impossible || compiled.paths.empty()) {
+    return std::nullopt;
+  }
+  size_t anchor_cost = std::max<size_t>(1, compiled.paths.front().anchor.cost);
+  if (num_rows * anchor_cost < options.parallel_min_cost) return std::nullopt;
+
+  ParallelPlan plan;
+  plan.workers = options.parallel_workers;
+  plan.morsel = std::max<size_t>(1, options.parallel_morsel_size);
+  // Plenty of driving records: contiguous row ranges saturate the workers
+  // with no per-task anchor bookkeeping.
+  if (num_rows >= plan.workers * 4) return plan;
+  // Few records driving a big scan (the classic `MATCH (n)` opener): split
+  // the anchor domain instead, if it splits into at least two morsels.
+  size_t domain = AnchorScanDomain(graph, compiled);
+  if (domain > plan.morsel) {
+    plan.anchor_mode = true;
+    plan.domain = domain;
+    return plan;
+  }
+  // Not a scan anchor (or a tiny one): row mode still helps when there are
+  // at least two rows to split; a single cheap-anchored row stays sequential.
+  if (num_rows >= 2) return plan;
+  return std::nullopt;
+}
+
+std::string DescribeParallelMatch(const EvalOptions& options,
+                                  const CompiledMatch& compiled) {
+  if (options.parallel_workers <= 1) return "";
+  if (compiled.impossible || compiled.paths.empty()) return "";
+  return "parallel(workers=" + std::to_string(options.parallel_workers) +
+         ", morsel=" +
+         std::to_string(std::max<size_t>(1, options.parallel_morsel_size)) +
+         ")";
+}
+
+// ---- Parallel MATCH ---------------------------------------------------------
+
+Status ParallelMatchRows(const EvalContext& ec, const MatchOptions& mopts,
+                         const ParallelPlan& plan, const Table& input,
+                         const CompiledMatch& compiled, const Expr* where,
+                         const std::vector<std::string>& new_vars,
+                         bool optional_match, std::vector<size_t>* unmatched,
+                         Table* out) {
+  const size_t num_rows = input.num_rows();
+  PropertyGraph::ParallelReadScope read_scope(*ec.graph);
+
+  if (!plan.anchor_mode) {
+    // Row mode: each task owns a contiguous row range and produces its
+    // complete output chunk — including OPTIONAL null extensions and its
+    // slice of the unmatched list — so the merge is pure concatenation in
+    // task order.
+    size_t chunk = RowChunk(plan, num_rows);
+    size_t tasks = (num_rows + chunk - 1) / chunk;
+    struct RowTaskResult {
+      std::vector<std::vector<Value>> rows;
+      std::vector<size_t> unmatched;
+    };
+    std::vector<RowTaskResult> results(tasks);
+    CYPHER_RETURN_NOT_OK(
+        RunOrdered(tasks, plan.workers, [&](size_t task) -> Status {
+          RowTaskResult& res = results[task];
+          size_t begin = task * chunk;
+          size_t end = std::min(num_rows, begin + chunk);
+          for (size_t r = begin; r < end; ++r) {
+            CYPHER_ASSIGN_OR_RETURN(
+                bool any, MatchOneRecord(ec, mopts, compiled, input, r, where,
+                                         new_vars, nullptr, &res.rows));
+            if (!any) {
+              if (optional_match) {
+                std::vector<Value> row = input.row(r);
+                row.resize(row.size() + new_vars.size());  // nulls
+                res.rows.push_back(std::move(row));
+              }
+              if (unmatched != nullptr) res.unmatched.push_back(r);
+            }
+          }
+          return Status::OK();
+        }));
+    for (RowTaskResult& res : results) {
+      for (std::vector<Value>& row : res.rows) out->AddRow(std::move(row));
+      if (unmatched != nullptr) {
+        unmatched->insert(unmatched->end(), res.unmatched.begin(),
+                          res.unmatched.end());
+      }
+    }
+    return Status::OK();
+  }
+
+  // Anchor mode: tasks = driving rows x anchor-domain tiles, tile varying
+  // fastest, so concatenating task outputs in task index order replays the
+  // sequential (row, ascending anchor position) enumeration exactly.
+  // Whether a record matched at all is only known once every tile reports,
+  // so OPTIONAL null rows and the unmatched list are decided at the merge.
+  size_t tiles = (plan.domain + plan.morsel - 1) / plan.morsel;
+  size_t tasks = num_rows * tiles;
+  struct TileResult {
+    std::vector<std::vector<Value>> rows;
+    bool any = false;
+  };
+  std::vector<TileResult> results(tasks);
+  CYPHER_RETURN_NOT_OK(
+      RunOrdered(tasks, plan.workers, [&](size_t task) -> Status {
+        TileResult& res = results[task];
+        size_t r = task / tiles;
+        size_t tile = task % tiles;
+        AnchorMorsel morsel{tile * plan.morsel,
+                            std::min(plan.domain, (tile + 1) * plan.morsel)};
+        CYPHER_ASSIGN_OR_RETURN(
+            res.any, MatchOneRecord(ec, mopts, compiled, input, r, where,
+                                    new_vars, &morsel, &res.rows));
+        return Status::OK();
+      }));
+  for (size_t r = 0; r < num_rows; ++r) {
+    bool any = false;
+    for (size_t tile = 0; tile < tiles; ++tile) {
+      TileResult& res = results[r * tiles + tile];
+      any |= res.any;
+      for (std::vector<Value>& row : res.rows) out->AddRow(std::move(row));
+    }
+    if (!any) {
+      if (optional_match) {
+        std::vector<Value> row = input.row(r);
+        row.resize(row.size() + new_vars.size());  // nulls
+        out->AddRow(std::move(row));
+      }
+      if (unmatched != nullptr) unmatched->push_back(r);
+    }
+  }
+  return Status::OK();
+}
+
+// ---- Parallel projection ----------------------------------------------------
+
+namespace {
+
+/// ORDER BY key evaluation for one output row, replicating ExecProjection's
+/// eval_sort_keys: projected aliases shadow the underlying record.
+Result<std::vector<Value>> EvalSortKeys(const EvalContext& ec,
+                                        const Bindings& base,
+                                        const std::vector<ProjItemView>& items,
+                                        const std::vector<Value>& out_row,
+                                        const std::vector<SortItem>& order_by,
+                                        const AggregateScope* scope) {
+  Bindings sb = base;
+  for (size_t i = 0; i < items.size(); ++i) {
+    sb.Push(*items[i].alias, out_row[i]);
+  }
+  std::vector<Value> keys;
+  keys.reserve(order_by.size());
+  for (const SortItem& sort : order_by) {
+    CYPHER_ASSIGN_OR_RETURN(Value v, Evaluate(ec, sb, *sort.expr, scope));
+    keys.push_back(std::move(v));
+  }
+  return keys;
+}
+
+}  // namespace
+
+Result<bool> TryParallelProject(const EvalContext& ec,
+                                const EvalOptions& options, const Table& input,
+                                const std::vector<ProjItemView>& items,
+                                const std::vector<SortItem>& order_by,
+                                Table* out,
+                                std::vector<std::vector<Value>>* sort_keys) {
+  const size_t num_rows = input.num_rows();
+  if (options.parallel_workers <= 1 || num_rows < 2 ||
+      num_rows < options.parallel_min_cost) {
+    return false;
+  }
+  ParallelPlan plan;
+  plan.workers = options.parallel_workers;
+  plan.morsel = std::max<size_t>(1, options.parallel_morsel_size);
+
+  // RowEval is immutable after construction; one shared set serves every
+  // worker (the per-task state is just the output slot).
+  std::vector<RowEval> fast;
+  fast.reserve(items.size());
+  for (const ProjItemView& item : items) {
+    fast.emplace_back(ec, input, *item.expr);
+  }
+
+  // Results land in slots indexed by input row — placement by index, not by
+  // thread, so the merged order is the sequential order by construction.
+  std::vector<std::vector<Value>> rows(num_rows);
+  std::vector<std::vector<Value>> keys(sort_keys != nullptr ? num_rows : 0);
+
+  PropertyGraph::ParallelReadScope read_scope(*ec.graph);
+  size_t chunk = RowChunk(plan, num_rows);
+  size_t tasks = (num_rows + chunk - 1) / chunk;
+  CYPHER_RETURN_NOT_OK(
+      RunOrdered(tasks, plan.workers, [&](size_t task) -> Status {
+        size_t begin = task * chunk;
+        size_t end = std::min(num_rows, begin + chunk);
+        for (size_t r = begin; r < end; ++r) {
+          std::vector<Value> row;
+          row.reserve(items.size());
+          for (const RowEval& item : fast) {
+            CYPHER_ASSIGN_OR_RETURN(Value v, item.Eval(r));
+            row.push_back(std::move(v));
+          }
+          if (sort_keys != nullptr) {
+            CYPHER_ASSIGN_OR_RETURN(
+                keys[r], EvalSortKeys(ec, Bindings(&input, r), items, row,
+                                      order_by, nullptr));
+          }
+          rows[r] = std::move(row);
+        }
+        return Status::OK();
+      }));
+  for (size_t r = 0; r < num_rows; ++r) {
+    out->AddRow(std::move(rows[r]));
+    if (sort_keys != nullptr) sort_keys->push_back(std::move(keys[r]));
+  }
+  return true;
+}
+
+// ---- Parallel partial aggregation ------------------------------------------
+
+namespace {
+
+// Hash-set of values under grouping equivalence, as the sequential DISTINCT
+// aggregate uses (evaluator.cc keeps its own private copy of this adapter).
+struct ValueHash {
+  uint64_t operator()(const Value& v) const { return HashValue(v); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const {
+    return GroupEquals(a, b);
+  }
+};
+using ValueSet = std::unordered_set<Value, ValueHash, ValueEq>;
+
+/// Aggregates with a partial/merge decomposition. Anything else — avg()
+/// (a float sum), aggregates nested inside larger expressions, unknown
+/// names — carries kGeneric and is finalized by re-running the sequential
+/// evaluator over the group's merged row list.
+enum class AggOp { kGeneric, kCountStar, kCount, kSum, kMin, kMax, kCollect };
+
+struct AggSpec {
+  AggOp op = AggOp::kGeneric;
+  bool distinct = false;
+  const Expr* arg = nullptr;  // null for kCountStar / kGeneric
+};
+
+AggSpec ClassifyAggregate(const Expr& expr) {
+  if (expr.kind == ExprKind::kCountStar) {
+    return {AggOp::kCountStar, false, nullptr};
+  }
+  if (expr.kind != ExprKind::kFunction) return {};
+  const auto& call = static_cast<const FunctionExpr&>(expr);
+  if (!IsAggregateFunctionName(call.name) || call.args.size() != 1) return {};
+  AggOp op;
+  if (call.name == "count") {
+    op = AggOp::kCount;
+  } else if (call.name == "sum") {
+    op = AggOp::kSum;
+  } else if (call.name == "min") {
+    op = AggOp::kMin;
+  } else if (call.name == "max") {
+    op = AggOp::kMax;
+  } else if (call.name == "collect") {
+    op = AggOp::kCollect;
+  } else {
+    return {};
+  }
+  return {op, call.distinct, call.args[0].get()};
+}
+
+/// Exact running stats of an integer-sum prefix sequence, wide enough that
+/// the partials themselves cannot overflow. The sequential loop errors at
+/// the first prefix outside int64 (stepwise __builtin_add_overflow), so two
+/// segments merge by composing prefix extrema under the left segment's
+/// offset: overflow happened iff some row-granular prefix of the merged
+/// sequence escapes int64 — even when later rows bring the total back in
+/// range. The empty prefix (0) is included; it is always in range, so it
+/// never manufactures an error.
+struct SumStats {
+  __int128 sum = 0;
+  __int128 max_prefix = 0;
+  __int128 min_prefix = 0;
+
+  void Add(int64_t v) {
+    sum += v;
+    if (sum > max_prefix) max_prefix = sum;
+    if (sum < min_prefix) min_prefix = sum;
+  }
+  void Merge(const SumStats& next) {
+    max_prefix = std::max(max_prefix, sum + next.max_prefix);
+    min_prefix = std::min(min_prefix, sum + next.min_prefix);
+    sum += next.sum;
+  }
+  bool Overflowed() const {
+    return max_prefix >
+               static_cast<__int128>(std::numeric_limits<int64_t>::max()) ||
+           min_prefix <
+               static_cast<__int128>(std::numeric_limits<int64_t>::min());
+  }
+};
+
+/// Partial state of one (group, item) pair within one task's morsel run,
+/// merged across tasks in morsel order.
+struct Partial {
+  int64_t count = 0;          // kCountStar / kCount
+  SumStats sum;               // kSum (integers only)
+  Value best;                 // kMin / kMax
+  bool has_best = false;
+  std::vector<Value> values;  // kCollect, and every DISTINCT variant
+                              //   (first-occurrence order within the morsel)
+  ValueSet seen;              // DISTINCT: local dedup
+  /// The fast path met something it cannot decompose exactly — an argument
+  /// evaluation error, or a float / non-number in sum() (whose stepwise
+  /// int-overflow check is order-entangled with the float path). Finalize
+  /// re-runs the sequential evaluator for this group, reproducing its value
+  /// or its error verbatim.
+  bool fallback = false;
+};
+
+Status UpdatePartial(const AggSpec& spec, const RowEval* arg, size_t r,
+                     Partial* p) {
+  if (spec.op == AggOp::kCountStar) {
+    ++p->count;
+    return Status::OK();
+  }
+  if (spec.op == AggOp::kGeneric || p->fallback) return Status::OK();
+  Result<Value> rv = arg->Eval(r);
+  if (!rv.ok()) {
+    // Not a task error: the sequential executor only hits this once group
+    // finalization reaches this (group, item) — the generic fallback will
+    // re-raise it at exactly that point.
+    p->fallback = true;
+    return Status::OK();
+  }
+  Value v = std::move(rv).value();
+  if (v.is_null()) return Status::OK();  // every aggregate skips nulls
+  if (spec.distinct) {
+    if (p->seen.insert(v).second) p->values.push_back(std::move(v));
+    return Status::OK();
+  }
+  switch (spec.op) {
+    case AggOp::kCount:
+      ++p->count;
+      break;
+    case AggOp::kCollect:
+      p->values.push_back(std::move(v));
+      break;
+    case AggOp::kSum:
+      if (v.is_int()) {
+        p->sum.Add(v.AsInt());
+      } else {
+        p->fallback = true;
+      }
+      break;
+    case AggOp::kMin:
+    case AggOp::kMax: {
+      if (!p->has_best) {
+        p->best = std::move(v);
+        p->has_best = true;
+      } else {
+        int cmp = TotalOrderCompare(v, p->best);
+        if ((spec.op == AggOp::kMin && cmp < 0) ||
+            (spec.op == AggOp::kMax && cmp > 0)) {
+          p->best = std::move(v);
+        }
+      }
+      break;
+    }
+    case AggOp::kCountStar:
+    case AggOp::kGeneric:
+      break;  // handled above
+  }
+  return Status::OK();
+}
+
+/// Folds `next` (the later morsel) into `into` (the earlier), preserving
+/// sequential row order everywhere order matters.
+void MergePartial(const AggSpec& spec, Partial&& next, Partial* into) {
+  into->fallback |= next.fallback;
+  switch (spec.op) {
+    case AggOp::kCountStar:
+      into->count += next.count;
+      return;
+    case AggOp::kGeneric:
+      return;
+    default:
+      break;
+  }
+  if (spec.distinct) {
+    for (Value& v : next.values) {
+      if (into->seen.insert(v).second) into->values.push_back(std::move(v));
+    }
+    return;
+  }
+  switch (spec.op) {
+    case AggOp::kCount:
+      into->count += next.count;
+      break;
+    case AggOp::kCollect:
+      into->values.insert(into->values.end(),
+                          std::make_move_iterator(next.values.begin()),
+                          std::make_move_iterator(next.values.end()));
+      break;
+    case AggOp::kSum:
+      into->sum.Merge(next.sum);
+      break;
+    case AggOp::kMin:
+    case AggOp::kMax:
+      if (!into->has_best) {
+        into->best = std::move(next.best);
+        into->has_best = next.has_best;
+      } else if (next.has_best) {
+        // `next` holds later rows: it only replaces on a strict win, which
+        // is exactly the sequential first-seen tie-break.
+        int cmp = TotalOrderCompare(next.best, into->best);
+        if ((spec.op == AggOp::kMin && cmp < 0) ||
+            (spec.op == AggOp::kMax && cmp > 0)) {
+          into->best = std::move(next.best);
+        }
+      }
+      break;
+    case AggOp::kCountStar:
+    case AggOp::kGeneric:
+      break;  // handled above
+  }
+}
+
+/// The sequential sum() loop (evaluator.cc), replayed over a DISTINCT
+/// merged value list: same type checks, same stepwise overflow, same
+/// messages.
+Result<Value> ReplaySum(const std::vector<Value>& values) {
+  bool all_int = true;
+  double fsum = 0;
+  int64_t isum = 0;
+  for (const Value& v : values) {
+    if (!v.is_number()) {
+      return Status::ExecutionError("sum() expects numeric values");
+    }
+    if (v.is_int()) {
+      if (__builtin_add_overflow(isum, v.AsInt(), &isum)) {
+        return Status::ExecutionError("integer overflow in sum()");
+      }
+    } else {
+      all_int = false;
+    }
+    fsum += v.AsNumber();
+  }
+  return all_int ? Value::Int(isum) : Value::Float(fsum);
+}
+
+/// The sequential min()/max() scan, replayed over a DISTINCT merged list.
+Result<Value> ReplayMinMax(const std::vector<Value>& values, bool is_min) {
+  if (values.empty()) return Value::Null();
+  const Value* best = &values[0];
+  for (const Value& v : values) {
+    int cmp = TotalOrderCompare(v, *best);
+    if ((is_min && cmp < 0) || (!is_min && cmp > 0)) best = &v;
+  }
+  return *best;
+}
+
+Result<Value> FinalizePartial(const AggSpec& spec, Partial&& p) {
+  if (spec.distinct) {
+    switch (spec.op) {
+      case AggOp::kCount:
+        return Value::Int(static_cast<int64_t>(p.values.size()));
+      case AggOp::kCollect:
+        return Value::List(std::move(p.values));
+      case AggOp::kSum:
+        return ReplaySum(p.values);
+      case AggOp::kMin:
+      case AggOp::kMax:
+        return ReplayMinMax(p.values, spec.op == AggOp::kMin);
+      default:
+        break;
+    }
+  }
+  switch (spec.op) {
+    case AggOp::kCountStar:
+    case AggOp::kCount:
+      return Value::Int(p.count);
+    case AggOp::kCollect:
+      return Value::List(std::move(p.values));
+    case AggOp::kSum:
+      if (p.sum.Overflowed()) {
+        return Status::ExecutionError("integer overflow in sum()");
+      }
+      return Value::Int(static_cast<int64_t>(p.sum.sum));
+    case AggOp::kMin:
+    case AggOp::kMax:
+      if (!p.has_best) return Value::Null();
+      return std::move(p.best);
+    case AggOp::kGeneric:
+      break;
+  }
+  CYPHER_CHECK(false && "generic aggregate has no partial finalize");
+  return Value::Null();
+}
+
+/// One task's (or the merged) grouping state: groups in first-occurrence
+/// order, each with its key, its member rows (ascending), and one Partial
+/// per aggregate item.
+struct GroupSet {
+  std::vector<std::vector<Value>> keys;
+  std::vector<std::vector<size_t>> rows;
+  std::vector<std::vector<Partial>> partials;
+  std::unordered_map<std::vector<Value>, size_t, ValueVecHash, ValueVecEq>
+      index;
+};
+
+}  // namespace
+
+Result<bool> TryParallelAggregate(const EvalContext& ec,
+                                  const EvalOptions& options,
+                                  const Table& input,
+                                  const std::vector<ProjItemView>& items,
+                                  const std::vector<SortItem>& order_by,
+                                  Table* out,
+                                  std::vector<std::vector<Value>>* sort_keys) {
+  const size_t num_rows = input.num_rows();
+  if (options.parallel_workers <= 1 || num_rows < 2 ||
+      num_rows < options.parallel_min_cost) {
+    return false;
+  }
+  ParallelPlan plan;
+  plan.workers = options.parallel_workers;
+  plan.morsel = std::max<size_t>(1, options.parallel_morsel_size);
+
+  // Item classification and shared (immutable) per-row evaluators. Grouping
+  // keys are the non-aggregate items, in item order, as ExecProjection does.
+  std::vector<AggSpec> specs(items.size());
+  std::vector<size_t> key_items;
+  std::vector<RowEval> key_eval;
+  std::vector<std::unique_ptr<RowEval>> arg_eval(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (!items[i].has_agg) {
+      key_items.push_back(i);
+      key_eval.emplace_back(ec, input, *items[i].expr);
+      continue;
+    }
+    specs[i] = ClassifyAggregate(*items[i].expr);
+    if (specs[i].arg != nullptr) {
+      arg_eval[i] = std::make_unique<RowEval>(ec, input, *specs[i].arg);
+    }
+  }
+
+  // Phase 1 (parallel): per-morsel grouping with partial aggregates.
+  size_t chunk = RowChunk(plan, num_rows);
+  size_t tasks = (num_rows + chunk - 1) / chunk;
+  std::vector<GroupSet> task_groups(tasks);
+  {
+    PropertyGraph::ParallelReadScope read_scope(*ec.graph);
+    CYPHER_RETURN_NOT_OK(
+        RunOrdered(tasks, plan.workers, [&](size_t task) -> Status {
+          GroupSet& gs = task_groups[task];
+          size_t begin = task * chunk;
+          size_t end = std::min(num_rows, begin + chunk);
+          for (size_t r = begin; r < end; ++r) {
+            std::vector<Value> key;
+            key.reserve(key_items.size());
+            for (const RowEval& ke : key_eval) {
+              CYPHER_ASSIGN_OR_RETURN(Value v, ke.Eval(r));
+              key.push_back(std::move(v));
+            }
+            auto [it, inserted] = gs.index.try_emplace(key, gs.keys.size());
+            if (inserted) {
+              gs.keys.push_back(std::move(key));
+              gs.rows.emplace_back();
+              gs.partials.emplace_back(items.size());
+            }
+            size_t g = it->second;
+            gs.rows[g].push_back(r);
+            for (size_t i = 0; i < items.size(); ++i) {
+              if (!items[i].has_agg) continue;
+              CYPHER_RETURN_NOT_OK(UpdatePartial(specs[i], arg_eval[i].get(),
+                                                 r, &gs.partials[g][i]));
+            }
+          }
+          return Status::OK();
+        }));
+  }
+
+  // Phase 2 (sequential): merge task group sets in morsel order. First
+  // occurrence across ordered morsels is first occurrence across rows, so
+  // merged group order is exactly the sequential group order.
+  GroupSet merged;
+  if (key_items.empty()) {
+    // The global group exists unconditionally (ExecProjection creates it up
+    // front); every task contributed to the same empty key.
+    merged.keys.emplace_back();
+    merged.rows.emplace_back();
+    merged.partials.emplace_back(items.size());
+    merged.index.emplace(std::vector<Value>(), 0);
+  }
+  for (GroupSet& gs : task_groups) {
+    for (size_t g = 0; g < gs.keys.size(); ++g) {
+      auto [it, inserted] = merged.index.try_emplace(gs.keys[g],
+                                                     merged.keys.size());
+      if (inserted) {
+        merged.keys.push_back(std::move(gs.keys[g]));
+        merged.rows.push_back(std::move(gs.rows[g]));
+        merged.partials.push_back(std::move(gs.partials[g]));
+        continue;
+      }
+      size_t m = it->second;
+      merged.rows[m].insert(merged.rows[m].end(), gs.rows[g].begin(),
+                            gs.rows[g].end());
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (!items[i].has_agg) continue;
+        MergePartial(specs[i], std::move(gs.partials[g][i]),
+                     &merged.partials[m][i]);
+      }
+    }
+  }
+
+  // Phase 3 (sequential, tiny: one step per group): finalize in group
+  // order. Fast partials materialize directly; everything else re-runs the
+  // sequential evaluator over the merged row list, so values and errors
+  // surface in the exact sequential (group, item) order.
+  for (size_t gi = 0; gi < merged.keys.size(); ++gi) {
+    const std::vector<size_t>& rows = merged.rows[gi];
+    Bindings rep = rows.empty() ? Bindings() : Bindings(&input, rows.front());
+    AggregateScope scope{&input, &rows};
+    std::vector<Value> row(items.size());
+    size_t key_slot = 0;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (!items[i].has_agg) {
+        row[i] = merged.keys[gi][key_slot++];
+      } else if (specs[i].op != AggOp::kGeneric &&
+                 !merged.partials[gi][i].fallback) {
+        CYPHER_ASSIGN_OR_RETURN(
+            row[i], FinalizePartial(specs[i], std::move(merged.partials[gi][i])));
+      } else {
+        CYPHER_ASSIGN_OR_RETURN(row[i],
+                                Evaluate(ec, rep, *items[i].expr, &scope));
+      }
+    }
+    if (sort_keys != nullptr) {
+      CYPHER_ASSIGN_OR_RETURN(
+          std::vector<Value> keys,
+          EvalSortKeys(ec, rep, items, row, order_by, &scope));
+      sort_keys->push_back(std::move(keys));
+    }
+    out->AddRow(std::move(row));
+  }
+  return true;
+}
+
+}  // namespace cypher

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "eval/evaluator.h"
 #include "exec/clauses.h"
+#include "exec/parallel.h"
 
 namespace cypher {
 
@@ -33,8 +34,16 @@ Status ExecMatch(ExecContext* ctx, const MatchClause& clause, Table* table) {
   // Compile once per clause: boundness and interned symbols are identical
   // across records of one table; only row values differ (memoized per
   // record inside the engine).
-  CompiledMatch compiled =
-      CompileMatch(ec, Bindings(table, 0), clause.patterns);
+  CompiledMatch compiled = CompileMatch(ec, Bindings(table, 0), clause.patterns,
+                                        {.num_rows = table->num_rows()});
+  if (std::optional<ParallelPlan> plan = PlanParallelMatch(
+          ctx->options, *ec.graph, compiled, table->num_rows())) {
+    CYPHER_RETURN_NOT_OK(ParallelMatchRows(
+        ec, ctx->Match(), *plan, *table, compiled, clause.where.get(),
+        new_vars, clause.optional, /*unmatched=*/nullptr, &out));
+    *table = std::move(out);
+    return Status::OK();
+  }
   for (size_t r = 0; r < table->num_rows(); ++r) {
     Bindings bindings(table, r);
     bool any = false;
@@ -200,7 +209,32 @@ Status ExecProjection(ExecContext* ctx, const ProjectionBody& body,
     return keys;
   };
 
+  // The per-row (and per-group partial) work below is read-only, so large
+  // tables fan out across the morsel pool; the sequential loops remain both
+  // the semantics reference and the small-table path.
+  std::vector<ProjItemView> item_views;
+  item_views.reserve(items.size());
+  for (const ProjItem& item : items) {
+    item_views.push_back({item.expr, &item.alias, item.has_agg});
+  }
+
+  bool parallel_done = false;
   if (!aggregated) {
+    CYPHER_ASSIGN_OR_RETURN(
+        parallel_done,
+        TryParallelProject(ec, ctx->options, *table, item_views, body.order_by,
+                           &out, has_order ? &sort_keys : nullptr));
+  } else {
+    CYPHER_ASSIGN_OR_RETURN(
+        parallel_done,
+        TryParallelAggregate(ec, ctx->options, *table, item_views,
+                             body.order_by, &out,
+                             has_order ? &sort_keys : nullptr));
+  }
+  if (parallel_done) {
+    // Rows (and aligned sort keys) are already in `out`, byte-identical to
+    // the sequential loops below.
+  } else if (!aggregated) {
     // Hoist name resolution out of the row loop (RowEval falls back to the
     // generic evaluator for anything beyond `u` / `u.prop`).
     std::vector<RowEval> fast;

@@ -33,8 +33,19 @@ void SortedErase(std::vector<RelId>* rels, RelId id) {
 
 }  // namespace
 
+
+/// Single-writer epoch check: mutating a graph that a parallel read region
+/// is scanning is memory-unsafe (unordered_map rehash, vector growth), so
+/// fail fast instead. A relaxed load per mutation is noise next to the
+/// mutation itself.
+void PropertyGraph::AssertMutable() const {
+  CYPHER_CHECK(!InParallelReadRegion() &&
+               "graph mutated inside a parallel read region");
+}
+
 NodeId PropertyGraph::CreateNode(std::vector<Symbol> labels,
                                  PropertyMap props) {
+  AssertMutable();
   SortUnique(&labels);
   NodeId id(static_cast<uint32_t>(nodes_.size()));
   NodeData data;
@@ -50,6 +61,7 @@ NodeId PropertyGraph::CreateNode(std::vector<Symbol> labels,
 
 Result<RelId> PropertyGraph::CreateRel(NodeId src, NodeId tgt, Symbol type,
                                        PropertyMap props) {
+  AssertMutable();
   if (!IsNodeAlive(src) || !IsNodeAlive(tgt)) {
     return Status::ExecutionError(
         "cannot create relationship: endpoint node does not exist");
@@ -127,6 +139,7 @@ size_t PropertyGraph::Degree(NodeId id) const {
 }
 
 bool PropertyGraph::AddLabel(NodeId id, Symbol label) {
+  AssertMutable();
   NodeData& data = nodes_[id.value];
   auto it = std::lower_bound(data.labels.begin(), data.labels.end(), label);
   if (it != data.labels.end() && *it == label) return false;
@@ -144,6 +157,7 @@ bool PropertyGraph::AddLabel(NodeId id, Symbol label) {
 }
 
 bool PropertyGraph::RemoveLabel(NodeId id, Symbol label) {
+  AssertMutable();
   NodeData& data = nodes_[id.value];
   auto it = std::lower_bound(data.labels.begin(), data.labels.end(), label);
   if (it == data.labels.end() || *it != label) return false;
@@ -161,6 +175,7 @@ bool PropertyGraph::RemoveLabel(NodeId id, Symbol label) {
 }
 
 bool PropertyGraph::SetProperty(EntityRef entity, Symbol key, Value value) {
+  AssertMutable();
   PropertyMap& props = entity.kind == EntityRef::Kind::kNode
                            ? nodes_[entity.id].props
                            : rels_[entity.id].props;
@@ -187,6 +202,7 @@ bool PropertyGraph::SetProperty(EntityRef entity, Symbol key, Value value) {
 }
 
 void PropertyGraph::ReplaceProperties(EntityRef entity, PropertyMap props) {
+  AssertMutable();
   PropertyMap& target = entity.kind == EntityRef::Kind::kNode
                             ? nodes_[entity.id].props
                             : rels_[entity.id].props;
@@ -213,6 +229,7 @@ const PropertyMap& PropertyGraph::Properties(EntityRef entity) const {
 }
 
 void PropertyGraph::DeleteRel(RelId id) {
+  AssertMutable();
   if (!IsRelAlive(id)) return;
   RelData& data = rels_[id.value];
   Record({.kind = OpKind::kDeleteRel,
@@ -225,6 +242,7 @@ void PropertyGraph::DeleteRel(RelId id) {
 }
 
 void PropertyGraph::DeleteNode(NodeId id) {
+  AssertMutable();
   if (!IsNodeAlive(id)) return;
   CYPHER_CHECK(Degree(id) == 0 &&
                "DeleteNode requires no alive incident relationships");
@@ -232,6 +250,7 @@ void PropertyGraph::DeleteNode(NodeId id) {
 }
 
 void PropertyGraph::DeleteNodeForce(NodeId id) {
+  AssertMutable();
   if (!IsNodeAlive(id)) return;
   NodeData& data = nodes_[id.value];
   Record({.kind = OpKind::kDeleteNode,
@@ -267,6 +286,7 @@ PropertyGraph::JournalMark PropertyGraph::BeginJournal() {
 }
 
 void PropertyGraph::RollbackTo(JournalMark mark) {
+  AssertMutable();
   bool was_journaling = journaling_;
   journaling_ = false;  // Rollback mutations must not journal themselves.
   while (journal_.size() > mark) {
@@ -356,6 +376,7 @@ void PropertyGraph::RollbackTo(JournalMark mark) {
 }
 
 void PropertyGraph::CommitTo(JournalMark mark) {
+  AssertMutable();
   CYPHER_CHECK(mark <= journal_.size());
   journal_.resize(mark);
   if (journal_.empty()) {
@@ -406,6 +427,7 @@ void PropertyGraph::DecLabelCount(Symbol label) {
 // ---- Property indexes ---------------------------------------------------------
 
 void PropertyGraph::CreateIndex(Symbol label, Symbol key) {
+  AssertMutable();
   if (FindPropertyIndex(label, key) != nullptr) return;
   PropertyIndex index;
   index.label = label;
@@ -496,6 +518,7 @@ void PropertyGraph::CompactIndexes() {
 }
 
 void PropertyGraph::DropIndex(Symbol label, Symbol key) {
+  AssertMutable();
   for (size_t i = 0; i < property_indexes_.size(); ++i) {
     if (property_indexes_[i].label == label &&
         property_indexes_[i].key == key) {
@@ -530,6 +553,7 @@ std::string FindDuplicateValue(const PropertyGraph& graph, Symbol label,
 }  // namespace
 
 Status PropertyGraph::AddUniqueConstraint(Symbol label, Symbol key) {
+  AssertMutable();
   if (HasUniqueConstraint(label, key)) return Status::OK();
   std::string duplicate = FindDuplicateValue(*this, label, key);
   if (!duplicate.empty()) {
@@ -542,6 +566,7 @@ Status PropertyGraph::AddUniqueConstraint(Symbol label, Symbol key) {
 }
 
 void PropertyGraph::DropUniqueConstraint(Symbol label, Symbol key) {
+  AssertMutable();
   for (size_t i = 0; i < unique_constraints_.size(); ++i) {
     if (unique_constraints_[i] == std::make_pair(label, key)) {
       unique_constraints_.erase(unique_constraints_.begin() +

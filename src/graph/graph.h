@@ -1,6 +1,8 @@
 #ifndef CYPHER_GRAPH_GRAPH_H_
 #define CYPHER_GRAPH_GRAPH_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -72,8 +74,13 @@ struct RelData {
 ///  * tombstoned deletes, including "force" deletes that model the legacy
 ///    Cypher 9 anomalies of Section 4.2.
 ///
-/// Not thread-safe; one writer at a time (statement-level isolation is the
-/// concern of the paper, not concurrency control).
+/// Not thread-safe for writes; one writer at a time (statement-level
+/// isolation is the concern of the paper, not concurrency control). The
+/// const read surface may be shared by multiple threads *between* write
+/// clauses — the morsel-driven parallel executor opens a ParallelReadScope
+/// for the duration of a read region, and every mutating method asserts
+/// that no such scope is live, so an accidental write-under-read fails
+/// loudly instead of corrupting the scan.
 class PropertyGraph {
  public:
   PropertyGraph() = default;
@@ -181,6 +188,48 @@ class PropertyGraph {
     }
   }
 
+  // ---- Morsel-range scans ---------------------------------------------------
+  //
+  // Range-restricted variants of the scans above, for the parallel executor:
+  // the scan *domain* (node slots, or label-bucket positions — both include
+  // tombstoned/stale entries, which the walk skips exactly like the full
+  // scans) is split into fixed-size morsels, and concatenating the morsels
+  // in range order reproduces the full scan's emission order verbatim.
+
+  /// Entries in the label-index bucket for `label`, including stale ids:
+  /// the partitionable domain of a label scan. 0 when the label has no
+  /// bucket. Pairs with ForEachNodeWithLabelInRange.
+  size_t LabelBucketSize(Symbol label) const {
+    auto it = label_index_.find(label);
+    return it == label_index_.end() ? 0 : it->second.size();
+  }
+
+  /// Visits the alive nodes carrying `label` whose bucket position lies in
+  /// [begin, end) — the morsel restriction of ForEachNodeWithLabel.
+  template <typename Fn>
+  void ForEachNodeWithLabelInRange(Symbol label, size_t begin, size_t end,
+                                   Fn&& fn) const {
+    auto it = label_index_.find(label);
+    if (it == label_index_.end()) return;
+    const std::vector<NodeId>& bucket = it->second;
+    end = std::min(end, bucket.size());
+    for (size_t i = begin; i < end; ++i) {
+      NodeId id = bucket[i];
+      if (!IsNodeAlive(id) || !NodeHasLabel(id, label)) continue;
+      if (!fn(id)) return;
+    }
+  }
+
+  /// Visits the alive nodes whose slot lies in [begin, end) — the morsel
+  /// restriction of ForEachNode (domain: node_capacity()).
+  template <typename Fn>
+  void ForEachNodeInSlotRange(size_t begin, size_t end, Fn&& fn) const {
+    end = std::min(end, nodes_.size());
+    for (size_t i = begin; i < end; ++i) {
+      if (nodes_[i].alive && !fn(NodeId(static_cast<uint32_t>(i)))) return;
+    }
+  }
+
   template <typename Fn>
   void ForEachOutRel(NodeId id, Fn&& fn) const {
     for (RelId r : nodes_[id.value].out_rels) {
@@ -281,6 +330,34 @@ class PropertyGraph {
   /// for the compaction policy (tests, monitoring).
   size_t IndexEntryCount(Symbol label, Symbol key) const;
 
+  // ---- Single-writer epoch --------------------------------------------------
+
+  /// RAII guard marking a parallel read region: while any scope is live,
+  /// every mutating method CYPHER_CHECK-fails. The parallel executor opens
+  /// one around each fanned-out read clause; writes only ever run between
+  /// regions (the paper's semantics applies updates sequentially over the
+  /// driving table the read side produced), so a trip of this assertion is
+  /// always a bug, not a scheduling artifact.
+  class ParallelReadScope {
+   public:
+    explicit ParallelReadScope(const PropertyGraph& graph) : graph_(graph) {
+      graph_.epoch_.readers.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~ParallelReadScope() {
+      graph_.epoch_.readers.fetch_sub(1, std::memory_order_relaxed);
+    }
+    ParallelReadScope(const ParallelReadScope&) = delete;
+    ParallelReadScope& operator=(const ParallelReadScope&) = delete;
+
+   private:
+    const PropertyGraph& graph_;
+  };
+
+  /// True while some ParallelReadScope is live (mutations are forbidden).
+  bool InParallelReadRegion() const {
+    return epoch_.readers.load(std::memory_order_relaxed) != 0;
+  }
+
   // ---- Undo journal -------------------------------------------------------
 
   /// A position in the journal; RollbackTo(mark) undoes everything after.
@@ -356,6 +433,20 @@ class PropertyGraph {
   /// on property writes).
   void IndexNodeKey(NodeId id, Symbol key);
 
+  /// Copy-safe wrapper for the parallel-read counter: copying or assigning
+  /// a graph copies its data, not its (momentary) reader registration.
+  struct ReadEpoch {
+    std::atomic<int> readers{0};
+    ReadEpoch() = default;
+    ReadEpoch(const ReadEpoch&) noexcept {}
+    ReadEpoch& operator=(const ReadEpoch&) noexcept { return *this; }
+  };
+
+  /// Aborts when called inside a parallel read region (see
+  /// ParallelReadScope); every mutating method calls this first.
+  void AssertMutable() const;
+
+  mutable ReadEpoch epoch_;
   Interner labels_;
   Interner types_;
   Interner keys_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "eval/evaluator.h"
+#include "value/compare.h"
 
 namespace cypher {
 
@@ -77,11 +78,12 @@ RelDirection Flip(RelDirection d) {
 class Compiler {
  public:
   Compiler(const EvalContext& ctx, const Bindings& fold_env,
-           const BoundFn& is_bound)
+           const BoundFn& is_bound, const CompileMatchHints& hints)
       : ctx_(ctx),
         graph_(*ctx.graph),
         fold_env_(fold_env),
-        is_bound_(is_bound) {}
+        is_bound_(is_bound),
+        hints_(hints) {}
 
   CompiledMatch Compile(const std::vector<PathPattern>& patterns) {
     CompiledMatch out;
@@ -217,24 +219,64 @@ class Compiler {
         return plan;
       }
     }
+    Symbol scan_label = kNoSymbol;
+    size_t scan_count = graph_.num_nodes();
     if (!node.labels.empty()) {
-      Symbol best = node.labels.front();
-      size_t best_count = graph_.LabelCount(best);
+      scan_label = node.labels.front();
+      scan_count = graph_.LabelCount(scan_label);
       for (Symbol label : node.labels) {
         size_t count = graph_.LabelCount(label);
-        if (count < best_count) {
-          best = label;
-          best_count = count;
+        if (count < scan_count) {
+          scan_label = label;
+          scan_count = count;
         }
       }
+    }
+    // Repeated equality probe with no real index: when the clause drives
+    // enough records over a large enough domain, one O(domain) hash build
+    // beats per-record O(domain) scans (the BM_LookupJoin pathology). The
+    // hash itself is built later, once the path's orientation is settled.
+    if (hints_.num_rows >= kTransientIndexMinRows &&
+        scan_count >= kTransientIndexMinDomain) {
+      for (size_t i = 0; i < node.filters.size(); ++i) {
+        if (node.filters[i].key == kNoSymbol) continue;
+        plan.kind = AnchorKind::kTransientIndex;
+        plan.label = scan_label;
+        plan.key = node.filters[i].key;
+        plan.index_filter = i;
+        plan.cost = 2;
+        return plan;
+      }
+    }
+    if (scan_label != kNoSymbol) {
       plan.kind = AnchorKind::kLabelScan;
-      plan.label = best;
-      plan.cost = 2 + best_count;
+      plan.label = scan_label;
+      plan.cost = 2 + scan_count;
       return plan;
     }
     plan.kind = AnchorKind::kAllScan;
     plan.cost = 2 + graph_.num_nodes();
     return plan;
+  }
+
+  /// Builds the hash for a chosen kTransientIndex anchor: buckets every
+  /// domain node by HashValue of its `key` property, ascending ids within a
+  /// bucket (ForEach* scan order), skipping absent values.
+  std::shared_ptr<const TransientIndex> BuildTransientIndex(
+      const AnchorPlan& plan) const {
+    auto index = std::make_shared<TransientIndex>();
+    index->key = plan.key;
+    auto add = [&](NodeId id) {
+      const Value& v = graph_.node(id).props.Get(plan.key);
+      if (!v.is_null()) index->buckets[HashValue(v)].push_back(id);
+      return true;
+    };
+    if (plan.label != kNoSymbol) {
+      graph_.ForEachNodeWithLabel(plan.label, add);
+    } else {
+      graph_.ForEachNode(add);
+    }
+    return index;
   }
 
   CompiledPath CompilePath(const PathPattern& pattern) {
@@ -271,6 +313,7 @@ class Compiler {
           rel.direction = Flip(rel.direction);
           out.steps.emplace_back(std::move(rel), std::move(nodes[i]));
         }
+        FinishAnchor(&out);
         return out;
       }
     }
@@ -279,13 +322,25 @@ class Compiler {
     for (size_t i = 0; i < rels.size(); ++i) {
       out.steps.emplace_back(std::move(rels[i]), std::move(nodes[i + 1]));
     }
+    FinishAnchor(&out);
     return out;
+  }
+
+  /// Post-orientation anchor work: the transient hash is only built for the
+  /// end that actually anchors (both ends may have planned one) and never
+  /// for impossible paths, which short-circuit before enumerating.
+  void FinishAnchor(CompiledPath* path) const {
+    if (path->anchor.kind == AnchorKind::kTransientIndex &&
+        !path->impossible) {
+      path->transient = BuildTransientIndex(path->anchor);
+    }
   }
 
   const EvalContext& ctx_;
   const PropertyGraph& graph_;
   const Bindings& fold_env_;
   const BoundFn& is_bound_;
+  const CompileMatchHints& hints_;
   std::unordered_set<std::string> earlier_vars_;
   std::unordered_map<std::string, size_t> input_slot_of_;
   size_t memo_slots_ = 0;
@@ -324,11 +379,12 @@ std::string FirstUnknownName(const PropertyGraph& graph,
 }  // namespace
 
 CompiledMatch CompileMatch(const EvalContext& ctx, const Bindings& bindings,
-                           const std::vector<PathPattern>& patterns) {
+                           const std::vector<PathPattern>& patterns,
+                           const CompileMatchHints& hints) {
   BoundFn is_bound = [&bindings](std::string_view name) {
     return bindings.IsBound(name);
   };
-  return Compiler(ctx, bindings, is_bound).Compile(patterns);
+  return Compiler(ctx, bindings, is_bound, hints).Compile(patterns);
 }
 
 CompiledMatch CompileMatchForExplain(
@@ -338,7 +394,9 @@ CompiledMatch CompileMatchForExplain(
   BoundFn is_bound = [&bound](std::string_view name) {
     return bound.count(std::string(name)) > 0;
   };
-  return Compiler(ctx, empty, is_bound).Compile(patterns);
+  // Default hints (num_rows = 1): EXPLAIN never plans (or pays for) a
+  // transient hash — the row count is unknown without executing.
+  return Compiler(ctx, empty, is_bound, {}).Compile(patterns);
 }
 
 std::string DescribeMatchPlan(const PropertyGraph& graph,
@@ -358,6 +416,15 @@ std::string DescribeMatchPlan(const PropertyGraph& graph,
       case AnchorKind::kIndex:
         out += "index: :" + graph.LabelName(path.anchor.label) + "(" +
                graph.KeyName(path.anchor.key) + ")";
+        break;
+      case AnchorKind::kTransientIndex:
+        out += "transient hash: ";
+        if (path.anchor.label != kNoSymbol) {
+          out += ":" + graph.LabelName(path.anchor.label);
+        } else {
+          out += "all nodes";
+        }
+        out += "(" + graph.KeyName(path.anchor.key) + ")";
         break;
       case AnchorKind::kLabelScan:
         out += "scan: label :" + graph.LabelName(path.anchor.label) + " (~" +

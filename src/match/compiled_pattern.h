@@ -2,7 +2,9 @@
 #define CYPHER_MATCH_COMPILED_PATTERN_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -69,14 +71,31 @@ struct CompiledRel {
 };
 
 /// How the engine seeds the first node of a pattern, cheapest first.
-enum class AnchorKind { kBound, kIndex, kLabelScan, kAllScan };
+/// kTransientIndex is a one-shot hash built at compile time when a clause
+/// will probe an unindexed property with equality once per driving record:
+/// one O(domain) build replaces a per-record O(domain) scan.
+enum class AnchorKind { kBound, kIndex, kTransientIndex, kLabelScan, kAllScan };
 
 struct AnchorPlan {
   AnchorKind kind = AnchorKind::kAllScan;
-  Symbol label = kNoSymbol;  // kIndex / kLabelScan
-  Symbol key = kNoSymbol;    // kIndex
-  size_t index_filter = 0;   // kIndex: position in the anchor node's filters
+  Symbol label = kNoSymbol;  // kIndex / kTransientIndex / kLabelScan
+                             //   (kNoSymbol: all-node domain)
+  Symbol key = kNoSymbol;    // kIndex / kTransientIndex
+  size_t index_filter = 0;   // kIndex / kTransientIndex: position in the
+                             //   anchor node's filters
   size_t cost = 0;           // estimated candidates to try
+};
+
+/// The one-shot hash behind a kTransientIndex anchor: HashValue buckets of
+/// the anchor domain's nodes by their `key` property, ascending ids within
+/// each bucket (the scan order the bucket replaces — hash collisions and
+/// group-equal-but-distinct values are re-checked by the engine's filters,
+/// so a bucket only needs to be a superset). Nodes without the property are
+/// omitted: a stored null never equals any probe value. Shared, immutable
+/// after build; parallel workers probe it concurrently.
+struct TransientIndex {
+  Symbol key = kNoSymbol;
+  std::unordered_map<uint64_t, std::vector<NodeId>> buckets;
 };
 
 /// One executable path pattern. When the far end of the chain is a strictly
@@ -95,6 +114,9 @@ struct CompiledPath {
   CompiledNode start;  // the anchor end
   std::vector<std::pair<CompiledRel, CompiledNode>> steps;
   AnchorPlan anchor;
+  /// Built when anchor.kind == kTransientIndex (null on EXPLAIN-only
+  /// compiles, where the engine falls back to the scan it replaced).
+  std::shared_ptr<const TransientIndex> transient;
 };
 
 /// A compiled conjunction of path patterns, ready for record-at-a-time
@@ -109,6 +131,20 @@ struct CompiledMatch {
   bool impossible = false; // some pattern can never match
 };
 
+/// Compile-time knobs that depend on how the compiled match will be driven.
+struct CompileMatchHints {
+  /// Driving-table records the compiled match will execute over. At least
+  /// kTransientIndexMinRows enables transient hash anchors (the build cost
+  /// must amortize over repeated probes); the default of 1 keeps one-record
+  /// compiles — pattern predicates, legacy MERGE — on the plain planner.
+  size_t num_rows = 1;
+};
+
+/// A transient hash anchor needs this many driving records (each probing
+/// once) and at least this large a scan domain to beat rescanning.
+inline constexpr size_t kTransientIndexMinRows = 4;
+inline constexpr size_t kTransientIndexMinDomain = 64;
+
 /// Lowers `patterns` for execution against `ctx.graph`. `bindings` supplies
 /// which variables are already bound (anchor selection — boundness is a
 /// column-level property, identical across records of one table) and the
@@ -116,7 +152,8 @@ struct CompiledMatch {
 /// expression whose evaluation fails is left unfolded so its error still
 /// surfaces exactly when a candidate reaches the filter. Never fails.
 CompiledMatch CompileMatch(const EvalContext& ctx, const Bindings& bindings,
-                           const std::vector<PathPattern>& patterns);
+                           const std::vector<PathPattern>& patterns,
+                           const CompileMatchHints& hints = {});
 
 /// EXPLAIN-time variant: no driving table exists, so `bound` lists the
 /// variable names earlier clauses would have bound. Constant folding sees

@@ -82,13 +82,14 @@ class MatchEngine {
  public:
   MatchEngine(const EvalContext& ctx, const Bindings& bindings,
               const CompiledMatch& compiled, const MatchOptions& options,
-              const MatchSink& sink)
+              const MatchSink& sink, const AnchorMorsel* morsel = nullptr)
       : ctx_(ctx),
         input_(bindings),
         compiled_(compiled),
         options_(options),
         sink_(sink),
         graph_(*ctx.graph),
+        morsel_(morsel),
         memo_(compiled.memo_slots),
         input_cache_(compiled.input_slots) {}
 
@@ -231,9 +232,11 @@ class MatchEngine {
   /// value yields a single candidate; otherwise the compiled anchor plan
   /// picks the access path. Every plan yields a superset of the true
   /// matches (callers re-check NodeMatches), so the plan affects cost only.
+  /// A morsel restriction (parallel execution) applies to the first path's
+  /// scan anchor only — the driver only hands out morsels for scan kinds.
   template <typename Fn>
-  Status ForEachStartCandidate(const CompiledPath& cpath, const Value* bound,
-                               const Fn& fn) {
+  Status ForEachStartCandidate(const CompiledPath& cpath, size_t pattern_idx,
+                               const Value* bound, const Fn& fn) {
     if (bound != nullptr) {
       if (bound->is_null()) return Status::OK();  // null never matches
       if (!bound->is_node()) {
@@ -243,6 +246,8 @@ class MatchEngine {
       }
       return fn(bound->AsNode());
     }
+    const AnchorMorsel* morsel =
+        (morsel_ != nullptr && pattern_idx == 0) ? morsel_ : nullptr;
     switch (cpath.anchor.kind) {
       case AnchorKind::kIndex: {
         const CompiledFilter& filter =
@@ -256,27 +261,60 @@ class MatchEngine {
         }
         return Status::OK();
       }
-      case AnchorKind::kLabelScan: {
-        Status st;
-        graph_.ForEachNodeWithLabel(cpath.anchor.label, [&](NodeId id) {
-          if (stopped_) return false;
-          st = fn(id);
-          return st.ok();
-        });
-        return st;
+      case AnchorKind::kTransientIndex: {
+        const CompiledFilter& filter =
+            cpath.start.filters[cpath.anchor.index_filter];
+        CYPHER_ASSIGN_OR_RETURN(const Value* want, FilterValue(filter));
+        if (want->is_null()) return Status::OK();  // null filter: no match
+        if (cpath.transient == nullptr) {
+          // EXPLAIN-only compile reached execution: fall back to the scan
+          // the hash would have replaced.
+          return ScanDomain(cpath.anchor.label, nullptr, fn);
+        }
+        auto it = cpath.transient->buckets.find(HashValue(*want));
+        if (it == cpath.transient->buckets.end()) return Status::OK();
+        // Bucket entries are ascending and a superset of the true matches
+        // (hash collisions included); NodeMatches re-checks the filter.
+        for (NodeId id : it->second) {
+          if (stopped_) break;
+          CYPHER_RETURN_NOT_OK(fn(id));
+        }
+        return Status::OK();
       }
+      case AnchorKind::kLabelScan:
+        return ScanDomain(cpath.anchor.label, morsel, fn);
       case AnchorKind::kBound:  // planned bound but unbound at runtime
-      case AnchorKind::kAllScan: {
-        Status st;
-        graph_.ForEachNode([&](NodeId id) {
-          if (stopped_) return false;
-          st = fn(id);
-          return st.ok();
-        });
-        return st;
-      }
+      case AnchorKind::kAllScan:
+        return ScanDomain(kNoSymbol, morsel, fn);
     }
     return Status::OK();
+  }
+
+  /// Label scan (label != kNoSymbol) or all-node scan, optionally restricted
+  /// to a morsel of the scan domain.
+  template <typename Fn>
+  Status ScanDomain(Symbol label, const AnchorMorsel* morsel, const Fn& fn) {
+    Status st;
+    auto visit = [&](NodeId id) {
+      if (stopped_) return false;
+      st = fn(id);
+      return st.ok();
+    };
+    if (label != kNoSymbol) {
+      if (morsel != nullptr) {
+        graph_.ForEachNodeWithLabelInRange(label, morsel->begin, morsel->end,
+                                           visit);
+      } else {
+        graph_.ForEachNodeWithLabel(label, visit);
+      }
+    } else {
+      if (morsel != nullptr) {
+        graph_.ForEachNodeInSlotRange(morsel->begin, morsel->end, visit);
+      } else {
+        graph_.ForEachNode(visit);
+      }
+    }
+    return st;
   }
 
   // ---- Search ---------------------------------------------------------------
@@ -299,7 +337,8 @@ class MatchEngine {
     // variable turned out unbound at runtime (environment mismatch).
     bool push_start = !var.empty() && bound_start == nullptr;
     PathValue path;  // reused across candidates to amortize allocation
-    return ForEachStartCandidate(cpath, bound_start, [&](NodeId id) -> Status {
+    return ForEachStartCandidate(cpath, pattern_idx, bound_start,
+                                 [&](NodeId id) -> Status {
       CYPHER_ASSIGN_OR_RETURN(bool ok, NodeMatches(start, id));
       if (!ok) return Status::OK();
       size_t mark = assigned_.size();
@@ -412,7 +451,8 @@ class MatchEngine {
     }
     const Value* bound_start = BoundValue(cpath.start);
     bool push_start = !start_src.variable.empty() && bound_start == nullptr;
-    return ForEachStartCandidate(cpath, bound_start, [&](NodeId s) -> Status {
+    return ForEachStartCandidate(cpath, pattern_idx, bound_start,
+                                 [&](NodeId s) -> Status {
       if (stopped_) return Status::OK();
       CYPHER_ASSIGN_OR_RETURN(bool start_ok, NodeMatches(cpath.start, s));
       if (!start_ok) return Status::OK();
@@ -664,6 +704,9 @@ class MatchEngine {
   const MatchOptions& options_;
   const MatchSink& sink_;
   const PropertyGraph& graph_;
+  /// Anchor-domain restriction for the first path (parallel execution);
+  /// null = unrestricted.
+  const AnchorMorsel* morsel_ = nullptr;
   MatchAssignment assigned_;
   /// Relationships used by the (partial) match, LIFO: pushed entering a
   /// step, popped unwinding it. RelUsable scans it linearly.
@@ -683,6 +726,29 @@ Status MatchCompiled(const EvalContext& ctx, const Bindings& bindings,
                      const CompiledMatch& compiled,
                      const MatchOptions& options, const MatchSink& sink) {
   return MatchEngine(ctx, bindings, compiled, options, sink).Run();
+}
+
+size_t AnchorScanDomain(const PropertyGraph& graph,
+                        const CompiledMatch& compiled) {
+  if (compiled.impossible || compiled.paths.empty()) return 0;
+  const CompiledPath& path = compiled.paths.front();
+  switch (path.anchor.kind) {
+    case AnchorKind::kLabelScan:
+      return graph.LabelBucketSize(path.anchor.label);
+    case AnchorKind::kAllScan:
+      return graph.node_capacity();
+    default:
+      return 0;
+  }
+}
+
+Status MatchCompiledMorsel(const EvalContext& ctx, const Bindings& bindings,
+                           const CompiledMatch& compiled,
+                           const MatchOptions& options,
+                           const AnchorMorsel& morsel, const MatchSink& sink) {
+  CYPHER_CHECK(AnchorScanDomain(*ctx.graph, compiled) > 0 &&
+               "anchor morsels require a scan anchor");
+  return MatchEngine(ctx, bindings, compiled, options, sink, &morsel).Run();
 }
 
 Status MatchPatterns(const EvalContext& ctx, const Bindings& bindings,

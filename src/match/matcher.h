@@ -74,6 +74,34 @@ Status MatchCompiled(const EvalContext& ctx, const Bindings& bindings,
                      const CompiledMatch& compiled, const MatchOptions& options,
                      const MatchSink& sink);
 
+/// A contiguous slice [begin, end) of the first path's anchor-scan domain:
+/// label-index bucket positions for a kLabelScan anchor, node slots for a
+/// kAllScan anchor (see AnchorScanDomain). The parallel executor splits the
+/// domain into fixed-size morsels; concatenating every morsel's matches in
+/// range order is byte-identical to the unrestricted enumeration.
+struct AnchorMorsel {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// The partitionable domain size of `compiled`'s first path: the label
+/// bucket size (kLabelScan), the node-slot capacity (kAllScan), or 0 when
+/// the anchor is not a scan (bound / index / transient-hash anchors probe
+/// value-dependent candidate sets, which are already cheap). 0 also when
+/// the match is impossible or has no paths.
+size_t AnchorScanDomain(const PropertyGraph& graph,
+                        const CompiledMatch& compiled);
+
+/// MatchCompiled restricted to one anchor morsel: only start candidates of
+/// the FIRST path whose domain position falls in `morsel` are enumerated
+/// (later paths of the conjunction enumerate in full — partitioning the
+/// outermost choice point partitions the whole match set). Requires
+/// AnchorScanDomain(graph, compiled) > 0.
+Status MatchCompiledMorsel(const EvalContext& ctx, const Bindings& bindings,
+                           const CompiledMatch& compiled,
+                           const MatchOptions& options,
+                           const AnchorMorsel& morsel, const MatchSink& sink);
+
 /// True if at least one match exists.
 Result<bool> HasMatch(const EvalContext& ctx, const Bindings& bindings,
                       const std::vector<PathPattern>& patterns,

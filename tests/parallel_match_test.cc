@@ -1,0 +1,393 @@
+// Morsel-driven parallel read execution: thread-pool scheduling, anchor
+// morsel partitioning, transient hash anchors, and — the load-bearing
+// property — byte-identical output across every worker/morsel
+// configuration, including aggregation and the revised MERGE match phase.
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "exec/parallel.h"
+#include "match/matcher.h"
+#include "parser/parser.h"
+#include "test_util.h"
+#include "workload/workloads.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunOk;
+
+// ---- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  std::vector<int> counts(997, 0);  // distinct slots: no synchronization needed
+  ThreadPool::Shared().Run(counts.size(), 8,
+                           [&](size_t task) { counts[task]++; });
+  for (int c : counts) ASSERT_EQ(c, 1);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInline) {
+  std::vector<int> counts(64, 0);
+  ThreadPool::Shared().Run(counts.size(), 1,
+                           [&](size_t task) { counts[task]++; });
+  for (int c : counts) ASSERT_EQ(c, 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossRegions) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    ThreadPool::Shared().Run(100, 4, [&](size_t task) { sum += task; });
+    ASSERT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPoolTest, NestedRunDegradesToInline) {
+  std::atomic<size_t> total{0};
+  ThreadPool::Shared().Run(4, 4, [&](size_t) {
+    ThreadPool::Shared().Run(8, 4, [&](size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 32u);
+}
+
+TEST(ThreadPoolTest, MoreWorkersThanTasks) {
+  std::vector<int> counts(3, 0);
+  ThreadPool::Shared().Run(counts.size(), 16,
+                           [&](size_t task) { counts[task]++; });
+  for (int c : counts) ASSERT_EQ(c, 1);
+}
+
+// ---- ParallelReadScope ------------------------------------------------------
+
+TEST(ParallelReadScopeTest, TracksRegionNesting) {
+  PropertyGraph g;
+  EXPECT_FALSE(g.InParallelReadRegion());
+  {
+    PropertyGraph::ParallelReadScope outer(g);
+    EXPECT_TRUE(g.InParallelReadRegion());
+    {
+      PropertyGraph::ParallelReadScope inner(g);
+      EXPECT_TRUE(g.InParallelReadRegion());
+    }
+    EXPECT_TRUE(g.InParallelReadRegion());
+  }
+  EXPECT_FALSE(g.InParallelReadRegion());
+}
+
+// ---- Anchor morsels ---------------------------------------------------------
+
+/// Extracts the patterns of "MATCH <patterns>" for direct matcher tests.
+std::vector<PathPattern> PatternsOf(const std::string& match_clause,
+                                    Query* keep_alive) {
+  auto q = ParseQuery(match_clause + " RETURN 1 AS one");
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  *keep_alive = std::move(*q);
+  auto& match = static_cast<MatchClause&>(*keep_alive->parts[0].clauses[0]);
+  std::vector<PathPattern> out;
+  for (auto& p : match.patterns) out.push_back(ClonePattern(p));
+  return out;
+}
+
+std::vector<NodeId> MatchedNodes(const EvalContext& ctx,
+                                 const CompiledMatch& compiled,
+                                 const AnchorMorsel* morsel) {
+  std::vector<NodeId> ids;
+  MatchSink sink = [&](const MatchAssignment& assignment) -> Result<bool> {
+    const Value* v = assignment.Find("n");
+    EXPECT_NE(v, nullptr);
+    ids.push_back(v->AsNode());
+    return true;
+  };
+  Status st = morsel != nullptr
+                  ? MatchCompiledMorsel(ctx, Bindings(), compiled,
+                                        MatchOptions{}, *morsel, sink)
+                  : MatchCompiled(ctx, Bindings(), compiled, MatchOptions{},
+                                  sink);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return ids;
+}
+
+TEST(AnchorMorselTest, MorselsPartitionLabelAndAllScans) {
+  PropertyGraph g;
+  for (int i = 0; i < 100; ++i) {
+    g.CreateNode({g.InternLabel(i % 2 == 0 ? "Even" : "Odd")}, {});
+  }
+  EvalContext ctx{&g, nullptr};
+  for (const char* clause : {"MATCH (n:Even)", "MATCH (n)"}) {
+    Query keep;
+    std::vector<PathPattern> patterns = PatternsOf(clause, &keep);
+    CompiledMatch compiled = CompileMatch(ctx, Bindings(), patterns);
+    size_t domain = AnchorScanDomain(g, compiled);
+    ASSERT_GT(domain, 0u) << clause;
+    std::vector<NodeId> full = MatchedNodes(ctx, compiled, nullptr);
+    for (size_t morsel_size : {1ul, 7ul, 64ul, 1000ul}) {
+      std::vector<NodeId> pieced;
+      for (size_t begin = 0; begin < domain; begin += morsel_size) {
+        AnchorMorsel morsel{begin, begin + morsel_size};
+        std::vector<NodeId> part = MatchedNodes(ctx, compiled, &morsel);
+        pieced.insert(pieced.end(), part.begin(), part.end());
+      }
+      // Concatenation in domain order IS the sequential enumeration.
+      EXPECT_EQ(pieced, full) << clause << " morsel=" << morsel_size;
+    }
+  }
+}
+
+// ---- Transient hash anchors -------------------------------------------------
+
+TEST(TransientIndexTest, PlannedOnlyForRepeatedUnindexedProbes) {
+  PropertyGraph g;
+  for (int i = 0; i < 200; ++i) {
+    PropertyMap props;
+    props.Set(g.InternKey("k"), Value::Int(i % 50));
+    g.CreateNode({g.InternLabel("Item")}, std::move(props));
+  }
+  EvalContext ctx{&g, nullptr};
+  Query keep;
+  std::vector<PathPattern> patterns = PatternsOf("MATCH (n:Item {k: 7})", &keep);
+  // One driving record: plain label scan.
+  CompiledMatch single = CompileMatch(ctx, Bindings(), patterns);
+  EXPECT_EQ(DescribeMatchPlan(g, single).find("transient"), std::string::npos);
+  // Many driving records: the one-shot hash pays for itself.
+  CompiledMatch repeated =
+      CompileMatch(ctx, Bindings(), patterns, {.num_rows = 500});
+  EXPECT_NE(DescribeMatchPlan(g, repeated).find("transient hash: :Item(k)"),
+            std::string::npos)
+      << DescribeMatchPlan(g, repeated);
+  ASSERT_FALSE(repeated.paths.empty());
+  ASSERT_NE(repeated.paths[0].transient, nullptr);
+  // Same matches either way, in the same order.
+  EXPECT_EQ(MatchedNodes(ctx, repeated, nullptr),
+            MatchedNodes(ctx, single, nullptr));
+}
+
+TEST(TransientIndexTest, ProbeResultsMatchScanSemantics) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("UNWIND range(0, 199) AS i "
+                     "CREATE (:Item {k: i % 50})")
+                  .ok());
+  // 200 driving records, each probing the unindexed Item(k): the compiled
+  // clause builds a transient hash (domain 200 >= 64, rows >= 4). Every
+  // value of k owns exactly 4 nodes.
+  QueryResult r = RunOk(&db,
+                        "UNWIND range(0, 199) AS x "
+                        "MATCH (i:Item {k: x % 50}) "
+                        "RETURN count(*) AS c");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 800);
+  // Null probe values never match (stored nulls are omitted, and a null
+  // filter never equals anything).
+  QueryResult rn = RunOk(&db,
+                         "UNWIND [1, null, 2] AS x "
+                         "MATCH (i:Item {k: x}) "
+                         "RETURN count(*) AS c");
+  EXPECT_EQ(rn.rows[0][0].AsInt(), 8);
+}
+
+// ---- EXPLAIN ----------------------------------------------------------------
+
+TEST(ParallelExplainTest, AnnotatesParallelMatch) {
+  GraphDatabase db;
+  db.options().parallel_workers = 4;
+  db.options().parallel_morsel_size = 128;
+  QueryResult r = RunOk(&db, "EXPLAIN MATCH (n) RETURN n");
+  std::string all;
+  for (const auto& row : r.rows) all += row[2].AsString() + "\n";
+  EXPECT_NE(all.find("parallel(workers=4, morsel=128)"), std::string::npos)
+      << all;
+}
+
+TEST(ParallelExplainTest, NoAnnotationWhenSequential) {
+  GraphDatabase db;
+  QueryResult r = RunOk(&db, "EXPLAIN MATCH (n) RETURN n");
+  std::string all;
+  for (const auto& row : r.rows) all += row[2].AsString() + "\n";
+  EXPECT_EQ(all.find("parallel("), std::string::npos) << all;
+}
+
+// ---- Determinism corpus -----------------------------------------------------
+
+/// Runs `query` on a copy of `base` under the given parallel knobs and
+/// returns the rendered result table (the byte-level artifact the ordering
+/// guarantee is stated over).
+std::string RunConfig(const PropertyGraph& base, const std::string& query,
+                      size_t workers, size_t morsel) {
+  GraphDatabase db;
+  db.graph() = base;
+  db.options().parallel_workers = workers;
+  db.options().parallel_morsel_size = morsel;
+  db.options().parallel_min_cost = 1;  // engage on every eligible clause
+  QueryResult r = RunOk(&db, query);
+  return RenderResult(db.graph(), r);
+}
+
+TEST(ParallelDeterminismTest, MatchProjectionAndAggregationCorpus) {
+  GraphDatabase seed_db;
+  ASSERT_TRUE(
+      workload::LoadRandomMarketplace(&seed_db, 120, 80, 600, 42).ok());
+  const PropertyGraph base = seed_db.graph();
+
+  const std::vector<std::string> corpus = {
+      // Plain scans and expansions (row + anchor morsel modes).
+      "MATCH (u:User)-[:ORDERED]->(p:Product) "
+      "RETURN u.id AS uid, p.id AS pid",
+      "MATCH (n) RETURN n.id AS id",
+      // WHERE inside the parallel sink.
+      "MATCH (u:User)-[:ORDERED]->(p:Product) WHERE p.id % 3 = 0 "
+      "RETURN u.id AS uid, p.id AS pid",
+      // OPTIONAL MATCH null extension, decided per record.
+      "MATCH (u:User) OPTIONAL MATCH (u)-[:ORDERED]->(p:Product) "
+      "WHERE p.id < 5 RETURN u.id AS uid, p.id AS pid",
+      // Two-hop join with cross-record dedup semantics.
+      "MATCH (a:User)-[:ORDERED]->(p:Product)<-[:ORDERED]-(b:User) "
+      "WHERE a.id < b.id RETURN count(*) AS c",
+      // Transient-hash probes under the parallel row loop.
+      "UNWIND range(1, 120) AS x MATCH (u:User {id: x}) "
+      "RETURN count(*) AS c",
+      // Row-parallel projection with ORDER BY / SKIP / LIMIT downstream.
+      "MATCH (u:User) RETURN u.id AS a, u.id * 2 + 1 AS b "
+      "ORDER BY b DESC SKIP 5 LIMIT 20",
+      // DISTINCT over parallel projection output.
+      "MATCH (u:User)-[:ORDERED]->(p:Product) WITH DISTINCT p.id AS pid "
+      "RETURN pid ORDER BY pid",
+      // Partial aggregation: every fast-path aggregate, grouped.
+      "MATCH (u:User)-[:ORDERED]->(p:Product) "
+      "RETURN u.id AS uid, count(*) AS n, count(DISTINCT p.id) AS dp, "
+      "sum(p.id) AS s, min(p.id) AS mn, max(p.id) AS mx, "
+      "collect(p.id) AS ps ORDER BY uid",
+      // Global group, DISTINCT sum/collect, and the avg() generic fallback.
+      "MATCH (u:User)-[:ORDERED]->(p:Product) "
+      "RETURN count(*) AS n, sum(DISTINCT p.id) AS sd, avg(p.id) AS a, "
+      "collect(DISTINCT p.id % 7) AS cd",
+      // min/max over ties (first-seen representative must win).
+      "MATCH (u:User)-[:ORDERED]->(p:Product) "
+      "RETURN min(p.id % 4) AS mn, max(p.id % 4) AS mx, "
+      "count(DISTINCT p.id % 4) AS d",
+      // Aggregate in ORDER BY only (all items are grouping keys).
+      "MATCH (u:User)-[:ORDERED]->(p:Product) "
+      "RETURN u.id AS uid ORDER BY count(p), uid",
+  };
+
+  for (const std::string& query : corpus) {
+    const std::string expected = RunConfig(base, query, 0, 256);
+    for (size_t workers : {1ul, 2ul, 8ul}) {
+      for (size_t morsel : {1ul, 3ul, 64ul, 1024ul}) {
+        EXPECT_EQ(RunConfig(base, query, workers, morsel), expected)
+            << query << "\n  workers=" << workers << " morsel=" << morsel;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, RevisedMergeMatchPhase) {
+  Value rows = workload::RandomOrderRows(400, 50, 30, /*null_permille=*/0, 7);
+  for (const char* keyword : {"MERGE ALL", "MERGE SAME"}) {
+    const std::string query = workload::Example5Query(keyword);
+
+    auto run = [&](size_t workers, size_t morsel, std::string* rendered) {
+      GraphDatabase db;
+      EXPECT_TRUE(
+          workload::LoadRandomMarketplace(&db, 50, 30, 200, 9).ok());
+      db.options().parallel_workers = workers;
+      db.options().parallel_morsel_size = morsel;
+      db.options().parallel_min_cost = 1;
+      QueryResult r = RunOk(&db, query, {{"rows", rows}});
+      *rendered = RenderResult(db.graph(), r);
+      return DumpGraph(db.graph());
+    };
+
+    std::string expected_rendered;
+    const std::string expected_graph = run(0, 256, &expected_rendered);
+    for (size_t workers : {2ul, 8ul}) {
+      for (size_t morsel : {1ul, 64ul}) {
+        std::string rendered;
+        std::string graph = run(workers, morsel, &rendered);
+        EXPECT_EQ(graph, expected_graph)
+            << keyword << " workers=" << workers << " morsel=" << morsel;
+        EXPECT_EQ(rendered, expected_rendered)
+            << keyword << " workers=" << workers << " morsel=" << morsel;
+      }
+    }
+  }
+}
+
+// ---- Error determinism ------------------------------------------------------
+
+Status RunStatus(const std::string& query, const ValueMap& params,
+                 size_t workers) {
+  GraphDatabase db;
+  db.options().parallel_workers = workers;
+  db.options().parallel_morsel_size = 1;  // one row per partial
+  db.options().parallel_min_cost = 1;
+  return db.Execute(query, params).status();
+}
+
+TEST(ParallelDeterminismTest, IntegerSumOverflowSplitAcrossMorsels) {
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  const std::string query = "UNWIND $vals AS v RETURN sum(v) AS s";
+  // The overflowing prefix MAX+1 straddles a morsel boundary while the
+  // total (MAX - 1) is back in range: a naive partial-sum merge would
+  // succeed, the sequential stepwise semantics must error.
+  ValueMap overflow{{"vals", Value::List({Value::Int(kMax), Value::Int(1),
+                                          Value::Int(-2)})}};
+  Status seq = RunStatus(query, overflow, 0);
+  Status par = RunStatus(query, overflow, 8);
+  ASSERT_FALSE(seq.ok());
+  ASSERT_FALSE(par.ok());
+  EXPECT_EQ(par.ToString(), seq.ToString());
+
+  // Stays in range at every prefix: identical value.
+  ValueMap in_range{{"vals", Value::List({Value::Int(kMax), Value::Int(-1),
+                                          Value::Int(-2)})}};
+  GraphDatabase db;
+  db.options().parallel_workers = 8;
+  db.options().parallel_morsel_size = 1;
+  db.options().parallel_min_cost = 1;
+  QueryResult r = RunOk(&db, query, in_range);
+  EXPECT_EQ(r.rows[0][0].AsInt(), kMax - 3);
+
+  // A float in the mix does not disable the stepwise integer check: the
+  // parallel path must fall back and reproduce the sequential error.
+  ValueMap mixed{{"vals", Value::List({Value::Int(kMax), Value::Float(1.5),
+                                       Value::Int(1)})}};
+  Status seq_mixed = RunStatus(query, mixed, 0);
+  Status par_mixed = RunStatus(query, mixed, 8);
+  ASSERT_FALSE(seq_mixed.ok());
+  ASSERT_FALSE(par_mixed.ok());
+  EXPECT_EQ(par_mixed.ToString(), seq_mixed.ToString());
+
+  // All-float sums take the fallback and agree with the sequential value.
+  ValueMap floats{{"vals", Value::List({Value::Float(1.5), Value::Float(2.5),
+                                        Value::Int(4)})}};
+  GraphDatabase db2;
+  db2.options().parallel_workers = 8;
+  db2.options().parallel_morsel_size = 1;
+  db2.options().parallel_min_cost = 1;
+  QueryResult rf = RunOk(&db2, query, floats);
+  EXPECT_DOUBLE_EQ(rf.rows[0][0].AsFloat(), 8.0);
+}
+
+TEST(ParallelDeterminismTest, ExpressionErrorsMatchSequential) {
+  const std::string query = "UNWIND $vals AS d RETURN 10 / d AS q";
+  ValueMap vals{{"vals", Value::List({Value::Int(5), Value::Int(2),
+                                      Value::Int(0), Value::Int(1)})}};
+  Status seq = RunStatus(query, vals, 0);
+  Status par = RunStatus(query, vals, 8);
+  ASSERT_FALSE(seq.ok());
+  ASSERT_FALSE(par.ok());
+  EXPECT_EQ(par.ToString(), seq.ToString());
+
+  const std::string agg = "UNWIND $vals AS v RETURN sum(v) AS s";
+  ValueMap bad{{"vals", Value::List({Value::Int(1), Value::String("x"),
+                                     Value::Int(2)})}};
+  Status seq_agg = RunStatus(agg, bad, 0);
+  Status par_agg = RunStatus(agg, bad, 8);
+  ASSERT_FALSE(seq_agg.ok());
+  ASSERT_FALSE(par_agg.ok());
+  EXPECT_EQ(par_agg.ToString(), seq_agg.ToString());
+}
+
+}  // namespace
+}  // namespace cypher

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compares two BENCH_results.json files and flags regressions.
+
+Both inputs are the flat {benchmark_name: ns_per_op} maps produced by
+tools/run_benches.py. For every benchmark present in both files a ratio
+(new / baseline) is printed; benchmarks only present in one file are
+listed but never fail the comparison (new benches appear, retired ones
+disappear). Exits non-zero iff any shared benchmark slowed down by more
+than --threshold (default 10%). Usage:
+
+    tools/bench_compare.py baseline.json new.json [--threshold 0.10]
+
+Micro-benchmarks on shared machines are noisy; --threshold is a knob, not
+a law. Use e.g. `git show HEAD:BENCH_results.json > /tmp/base.json` to
+compare a fresh run against the committed baseline.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not all(
+        isinstance(v, (int, float)) for v in doc.values()
+    ):
+        raise SystemExit(f"{path}: not a flat {{name: ns_per_op}} map")
+    return doc
+
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.1f}{unit}"
+    return f"{ns:.0f}ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline BENCH_results.json")
+    parser.add_argument("new", help="candidate BENCH_results.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="max allowed slowdown fraction before failing (default 0.10)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    new = load(args.new)
+
+    shared = sorted(set(base) & set(new))
+    only_base = sorted(set(base) - set(new))
+    only_new = sorted(set(new) - set(base))
+
+    width = max((len(n) for n in shared), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'new':>10}  {'ratio':>7}")
+    regressions = []
+    for name in shared:
+        ratio = new[name] / base[name] if base[name] > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, ratio))
+        print(
+            f"{name:<{width}}  {fmt_ns(base[name]):>10}  {fmt_ns(new[name]):>10}"
+            f"  {ratio:>6.2f}x{flag}"
+        )
+
+    for name in only_new:
+        print(f"{name:<{width}}  {'-':>10}  {fmt_ns(new[name]):>10}  (new)")
+    for name in only_base:
+        print(f"{name:<{width}}  {fmt_ns(base[name]):>10}  {'-':>10}  (removed)")
+
+    print(
+        f"\n{len(shared)} compared, {len(only_new)} new, {len(only_base)} removed,"
+        f" {len(regressions)} regression(s) beyond {args.threshold:.0%}"
+    )
+    if regressions:
+        worst = max(regressions, key=lambda r: r[1])
+        print(f"worst: {worst[0]} at {worst[1]:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
