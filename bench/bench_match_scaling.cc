@@ -63,13 +63,23 @@ void BM_VarLengthWalk(benchmark::State& state) {
       "MATCH (a:C), (b:C) WHERE b.id = a.id + 1 CREATE (a)-[:NEXT]->(b)");
   (void)db.Run(
       "MATCH (a:C), (b:C) WHERE b.id = a.id + 3 CREATE (a)-[:NEXT]->(b)");
+  // workers=0 is the plain sequential walk; workers>0 engages the
+  // expand-mode frontier fan-out (single anchored start row).
+  EvalOptions options;
+  options.parallel_workers = static_cast<size_t>(state.range(1));
+  options.parallel_min_cost = 1;
   for (auto _ : state) {
     auto r = db.Execute(
-        "MATCH (a:C {id: 0})-[:NEXT*1..6]->(b) RETURN count(*) AS c");
+        "MATCH (a:C {id: 0})-[:NEXT*1..6]->(b) RETURN count(*) AS c", {},
+        options);
     benchmark::DoNotOptimize(r);
   }
+  state.SetLabel("workers=" + std::to_string(state.range(1)));
 }
-BENCHMARK(BM_VarLengthWalk)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VarLengthWalk)
+    ->Args({32, 0})->Args({32, 8})
+    ->Args({128, 0})->Args({128, 2})->Args({128, 4})->Args({128, 8})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_Aggregation(benchmark::State& state) {
   GraphDatabase db;

@@ -86,6 +86,53 @@ BENCHMARK(BM_ParallelAggregation)
     ->Args({32768, 1})->Args({32768, 2})->Args({32768, 4})->Args({32768, 8})
     ->Unit(benchmark::kMicrosecond);
 
+/// Expand-mode morsels: one anchored start node, all parallelism inside the
+/// var-length frontier fan-out (trail-state arena tasks). workers=1 runs
+/// the sequential DFS enumeration.
+void BM_ParallelVarLength(benchmark::State& state) {
+  GraphDatabase db;
+  (void)workload::LoadRandomMarketplace(&db, state.range(0), state.range(0) / 4,
+                                        state.range(0) * 2, 5);
+  EvalOptions options = ParallelOptions(state.range(1));
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "MATCH (u:User {id: 1})-[:ORDERED*1..3]-(x) "
+        "RETURN count(*) AS c, min(x.id) AS lo",
+        {}, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(WorkerLabel(state.range(1)));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelVarLength)
+    ->Args({256, 1})->Args({256, 2})->Args({256, 4})->Args({256, 8})
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})->Args({1024, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Parallel BFS levels: shortestPath over a dense graph, frontier slices
+/// expanded across workers and merged in slice order per level.
+void BM_ParallelBFS(benchmark::State& state) {
+  GraphDatabase db;
+  (void)workload::LoadRandomMarketplace(&db, state.range(0), state.range(0) / 2,
+                                        state.range(0) * 4, 11);
+  EvalOptions options = ParallelOptions(state.range(1));
+  for (auto _ : state) {
+    auto r = db.Execute(
+        "MATCH (a:User {id: 1}), (b:User {id: " +
+            std::to_string(state.range(0) - 2) +
+            "}) OPTIONAL MATCH p = shortestPath((a)-[*]-(b)) "
+            "RETURN length(p) AS len",
+        {}, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(WorkerLabel(state.range(1)));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelBFS)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})->Args({1024, 8})
+    ->Args({8192, 1})->Args({8192, 2})->Args({8192, 4})->Args({8192, 8})
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace cypher
 

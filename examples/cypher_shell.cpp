@@ -44,7 +44,20 @@ bool HandleMeta(GraphDatabase* db, const std::string& line) {
     std::printf(
         ":legacy/:revised, :order forward|reverse|shuffle [seed],\n"
         ":variant atomic|grouping|weak|collapse|strong|off, :homo/:trail,\n"
-        ":dump, :dot, :stats, :clear, :quit\n");
+        ":parallel <workers> [morsel], :dump, :dot, :stats, :clear, :quit\n");
+    return true;
+  }
+  if (line.rfind(":parallel", 0) == 0) {
+    char* end = nullptr;
+    options.parallel_workers =
+        std::strtoull(line.c_str() + 9, &end, 10);
+    size_t morsel = std::strtoull(end, nullptr, 10);
+    if (morsel > 0) options.parallel_morsel_size = morsel;
+    // Shell graphs are tiny; drop the cost gate so the parallel path
+    // actually engages instead of silently falling back to sequential.
+    options.parallel_min_cost = options.parallel_workers > 0 ? 1 : 2048;
+    std::printf("parallel: workers=%zu morsel=%zu (0 workers = sequential)\n",
+                options.parallel_workers, options.parallel_morsel_size);
     return true;
   }
   if (line == ":legacy") {

@@ -4,14 +4,6 @@
 
 namespace cypher {
 
-namespace {
-
-/// Set while the current thread is executing pool tasks; nested Run calls
-/// from inside a task run inline instead of deadlocking on run_mu_.
-thread_local bool t_in_pool_task = false;
-
-}  // namespace
-
 ThreadPool::ThreadPool(size_t max_helpers) : max_helpers_(max_helpers) {}
 
 ThreadPool::~ThreadPool() {
@@ -30,47 +22,51 @@ ThreadPool& ThreadPool::Shared() {
   return pool;
 }
 
-void ThreadPool::EnsureThreads(size_t helpers) {
-  std::lock_guard<std::mutex> lock(mu_);
-  while (threads_.size() < helpers) {
-    threads_.emplace_back([this] { WorkerMain(); });
+bool ThreadPool::FindJobLocked(std::shared_ptr<Job>* out) {
+  // Newest first: the deepest nested region's submitter is blocked inside
+  // an outer task, so finishing inner jobs unblocks the most work.
+  for (auto it = jobs_.rbegin(); it != jobs_.rend(); ++it) {
+    Job* job = it->get();
+    if (job->joined < job->helpers_wanted &&
+        job->next.load(std::memory_order_relaxed) < job->num_tasks) {
+      *out = *it;
+      return true;
+    }
   }
+  return false;
 }
 
-void ThreadPool::TaskLoop(const std::function<void(size_t)>& fn,
-                          size_t num_tasks) {
+void ThreadPool::DrainJob(Job* job) {
   while (true) {
-    size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
-    if (task >= num_tasks) return;
-    fn(task);
+    size_t task = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (task >= job->num_tasks) return;
+    (*job->fn)(task);
+    // The fetch_add chain forms a release sequence: the submitter's acquire
+    // load that observes the final count sees every task's writes.
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job->num_tasks) {
+      // Lock-then-notify so the submitter is either already past its
+      // predicate or registered on the cv — no missed wakeup.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
   }
 }
 
 void ThreadPool::WorkerMain() {
-  t_in_pool_task = true;  // workers never start nested regions
-  uint64_t seen = 0;
   while (true) {
-    const std::function<void(size_t)>* fn = nullptr;
-    size_t num_tasks = 0;
+    std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || (job_fn_ != nullptr && generation_ != seen &&
-                         joined_ < helpers_wanted_);
-      });
-      if (stop_) return;
-      seen = generation_;
-      ++joined_;
-      ++active_;
-      fn = job_fn_;
-      num_tasks = job_tasks_;
+      work_cv_.wait(lock, [&] { return stop_ || FindJobLocked(&job); });
+      if (job == nullptr) return;  // stop requested, nothing left to adopt
+      ++job->joined;
     }
-    TaskLoop(*fn, num_tasks);
+    DrainJob(job.get());
     {
       std::lock_guard<std::mutex> lock(mu_);
-      --active_;
+      --job->joined;
     }
-    done_cv_.notify_all();
   }
 }
 
@@ -80,33 +76,38 @@ void ThreadPool::Run(size_t num_tasks, size_t workers,
   size_t helpers =
       std::min({workers > 0 ? workers - 1 : size_t{0}, max_helpers_,
                 num_tasks - 1});
-  if (helpers == 0 || t_in_pool_task) {
+  if (helpers == 0) {
     for (size_t i = 0; i < num_tasks; ++i) fn(i);
     return;
   }
-  std::lock_guard<std::mutex> region(run_mu_);
-  EnsureThreads(helpers);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->num_tasks = num_tasks;
+  job->helpers_wanted = helpers;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_fn_ = &fn;
-    job_tasks_ = num_tasks;
-    next_task_.store(0, std::memory_order_relaxed);
-    helpers_wanted_ = helpers;
-    joined_ = 0;
-    ++generation_;
+    jobs_.push_back(job);
+    // Size the fleet to the aggregate demand of every open job; a nested
+    // region may want helpers while the outer region's are all busy.
+    size_t want = 0;
+    for (const auto& j : jobs_) want += j->helpers_wanted;
+    want = std::min(want, max_helpers_);
+    while (threads_.size() < want) {
+      threads_.emplace_back([this] { WorkerMain(); });
+    }
   }
   work_cv_.notify_all();
   // The caller is a full participant: it drains the same task counter, so a
   // region never blocks waiting for a helper to wake up.
-  bool was_in_task = t_in_pool_task;
-  t_in_pool_task = true;
-  TaskLoop(fn, num_tasks);
-  t_in_pool_task = was_in_task;
+  DrainJob(job.get());
   std::unique_lock<std::mutex> lock(mu_);
-  // All tasks are claimed; wait for helpers still finishing theirs. Closing
-  // the job slot keeps late wakers (notified but not yet joined) out.
-  job_fn_ = nullptr;
-  done_cv_.wait(lock, [&] { return active_ == 0; });
+  // Every task is claimed; close the job so parked helpers skip it, then
+  // wait for helpers still finishing theirs. Their shared_ptr copies keep
+  // the Job alive past this erase.
+  jobs_.erase(std::find(jobs_.begin(), jobs_.end(), job));
+  done_cv_.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) >= job->num_tasks;
+  });
 }
 
 }  // namespace cypher

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -16,11 +17,17 @@ namespace cypher {
 /// One process-wide pool (`Shared()`) serves every parallel region; worker
 /// threads are spawned lazily up to `max_helpers` and then parked on a
 /// condition variable between regions, so a region costs two lock/notify
-/// round-trips rather than thread creation. Regions are serialized: the
-/// parallel executor runs strictly between write clauses, one statement at
-/// a time, so overlapping regions would only fight over the same cores.
+/// round-trips rather than thread creation.
 ///
-/// Tasks are claimed from a shared atomic counter (the morsel dispenser of
+/// Regions are *jobs* on an open-job list, so a task may submit a nested
+/// region (e.g. a var-length expansion fanning out its frontier from inside
+/// a row morsel): the nested Run pushes its own job, parked helpers adopt
+/// it, and the submitting task drains it like any other participant.
+/// Helpers prefer the newest open job — the deepest region's submitter is
+/// itself blocked inside an outer task, so finishing inner work first
+/// unblocks the most.
+///
+/// Tasks are claimed from a per-job atomic counter (the morsel dispenser of
 /// morsel-driven scheduling): a slow task does not stall the others, and
 /// task index — not thread identity — determines where each result lands,
 /// which is what keeps parallel output deterministic.
@@ -35,10 +42,9 @@ class ThreadPool {
   /// Runs `fn(0) .. fn(num_tasks - 1)`, each exactly once, across up to
   /// `workers` threads (the calling thread participates, so at most
   /// `workers - 1` helpers join). Blocks until every task has finished.
-  /// Tasks must not throw and must not touch the pool; a task that needs
-  /// nested parallelism runs its inner region inline (re-entrant Run calls
-  /// from worker threads degrade to sequential execution on purpose —
-  /// the outer region already owns the cores).
+  /// Tasks must not throw. Re-entrant calls from inside a task are
+  /// supported and submit a real nested job; with no parked helpers they
+  /// degrade gracefully to the calling task draining its own job inline.
   void Run(size_t num_tasks, size_t workers,
            const std::function<void(size_t)>& fn);
 
@@ -49,32 +55,30 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
+  /// One parallel region. `next` hands out task indices, `done` counts
+  /// finished tasks (the submitter waits on it), `joined` caps simultaneous
+  /// helpers so `workers` is honored even when more threads are parked.
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t num_tasks = 0;
+    size_t helpers_wanted = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t joined = 0;  // guarded by mu_
+  };
+
   void WorkerMain();
-  void TaskLoop(const std::function<void(size_t)>& fn, size_t num_tasks);
-  void EnsureThreads(size_t helpers);
+  void DrainJob(Job* job);
+  bool FindJobLocked(std::shared_ptr<Job>* out);
 
   const size_t max_helpers_;
 
-  /// Serializes whole regions (see class comment).
-  std::mutex run_mu_;
-
-  /// Protects the job slot below and the worker lifecycle.
+  /// Protects the job list, per-job `joined`, and the worker lifecycle.
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   std::vector<std::thread> threads_;
-
-  // One active job at a time. `generation_` lets parked workers distinguish
-  // a new job from the one they already finished; `joined_` caps how many
-  // helpers adopt the job so `workers` is honored even when the pool has
-  // more threads parked.
-  const std::function<void(size_t)>* job_fn_ = nullptr;
-  size_t job_tasks_ = 0;
-  std::atomic<size_t> next_task_{0};
-  uint64_t generation_ = 0;
-  size_t helpers_wanted_ = 0;
-  size_t joined_ = 0;
-  size_t active_ = 0;
+  std::vector<std::shared_ptr<Job>> jobs_;  // open jobs, oldest first
   bool stop_ = false;
 };
 

@@ -100,7 +100,16 @@ std::optional<ParallelPlan> PlanParallelMatch(const EvalOptions& options,
     return std::nullopt;
   }
   size_t anchor_cost = std::max<size_t>(1, compiled.paths.front().anchor.cost);
-  if (num_rows * anchor_cost < options.parallel_min_cost) return std::nullopt;
+  // A var-length / BFS leg multiplies the per-start work; saturate rather
+  // than overflow (both factors are already capped estimates).
+  size_t work = num_rows * anchor_cost;
+  if (compiled.expand_safe && compiled.expand_cost > 1) {
+    constexpr size_t kWorkCap = std::numeric_limits<size_t>::max() / 2;
+    work = work > kWorkCap / compiled.expand_cost
+               ? kWorkCap
+               : work * compiled.expand_cost;
+  }
+  if (work < options.parallel_min_cost) return std::nullopt;
 
   ParallelPlan plan;
   plan.workers = options.parallel_workers;
@@ -108,9 +117,21 @@ std::optional<ParallelPlan> PlanParallelMatch(const EvalOptions& options,
   // Plenty of driving records: contiguous row ranges saturate the workers
   // with no per-task anchor bookkeeping.
   if (num_rows >= plan.workers * 4) return plan;
-  // Few records driving a big scan (the classic `MATCH (n)` opener): split
-  // the anchor domain instead, if it splits into at least two morsels.
+  // Few records driving a big scan: splitting the anchor domain keeps every
+  // worker busy when it yields at least a tile per worker.
   size_t domain = AnchorScanDomain(graph, compiled);
+  if (domain >= plan.workers * plan.morsel) {
+    plan.anchor_mode = true;
+    plan.domain = domain;
+    return plan;
+  }
+  // Few starts but an expensive expansion behind each: parallelism must
+  // come from inside the walk — morsel-split the expansion frontier.
+  if (compiled.expand_safe && compiled.expand_cost > 1) {
+    plan.expand_mode = true;
+    return plan;
+  }
+  // Mid-size scan domain: anchor tiles still beat nothing.
   if (domain > plan.morsel) {
     plan.anchor_mode = true;
     plan.domain = domain;
@@ -126,10 +147,12 @@ std::string DescribeParallelMatch(const EvalOptions& options,
                                   const CompiledMatch& compiled) {
   if (options.parallel_workers <= 1) return "";
   if (compiled.impossible || compiled.paths.empty()) return "";
-  return "parallel(workers=" + std::to_string(options.parallel_workers) +
-         ", morsel=" +
-         std::to_string(std::max<size_t>(1, options.parallel_morsel_size)) +
-         ")";
+  std::string out =
+      "parallel(workers=" + std::to_string(options.parallel_workers) +
+      ", morsel=" +
+      std::to_string(std::max<size_t>(1, options.parallel_morsel_size));
+  if (compiled.expand_safe) out += ", expand";
+  return out + ")";
 }
 
 // ---- Parallel MATCH ---------------------------------------------------------
@@ -142,6 +165,33 @@ Status ParallelMatchRows(const EvalContext& ec, const MatchOptions& mopts,
                          Table* out) {
   const size_t num_rows = input.num_rows();
   PropertyGraph::ParallelReadScope read_scope(*ec.graph);
+
+  if (plan.expand_mode) {
+    // Expand mode: the row loop runs sequentially and the matcher fans each
+    // var-length walk / BFS level out across the pool instead (a per-task
+    // trail-state arena merged in task-index order keeps emission order
+    // byte-identical), so the sink, OPTIONAL null extension, and unmatched
+    // bookkeeping are literally the sequential loop's.
+    MatchOptions expand_opts = mopts;
+    expand_opts.expand_workers = plan.workers;
+    std::vector<std::vector<Value>> rows;
+    for (size_t r = 0; r < num_rows; ++r) {
+      rows.clear();
+      CYPHER_ASSIGN_OR_RETURN(
+          bool any, MatchOneRecord(ec, expand_opts, compiled, input, r, where,
+                                   new_vars, nullptr, &rows));
+      for (std::vector<Value>& row : rows) out->AddRow(std::move(row));
+      if (!any) {
+        if (optional_match) {
+          std::vector<Value> row = input.row(r);
+          row.resize(row.size() + new_vars.size());  // nulls
+          out->AddRow(std::move(row));
+        }
+        if (unmatched != nullptr) unmatched->push_back(r);
+      }
+    }
+    return Status::OK();
+  }
 
   if (!plan.anchor_mode) {
     // Row mode: each task owns a contiguous row range and produces its

@@ -33,6 +33,10 @@ struct ParallelPlan {
   bool anchor_mode = false;  // split the first path's anchor-scan domain
                              // (few rows driving a large scan); otherwise
                              // contiguous row ranges are the tasks
+  bool expand_mode = false;  // few rows, small anchor domain, but a costly
+                             // var-length / BFS leg: rows run sequentially
+                             // and the matcher fans each expansion frontier
+                             // out instead (MatchOptions::expand_workers)
   size_t domain = 0;       // AnchorScanDomain, valid in anchor mode
 };
 

@@ -18,6 +18,12 @@ namespace cypher {
 
 struct MatchOptions {
   MatchMode mode = MatchMode::kRelUnique;
+  /// Worker budget for fanning one var-length expansion or shortest-path
+  /// BFS level out across the shared thread pool; 0/1 runs the walk
+  /// sequentially. Set only by the parallel executor (expand mode) — the
+  /// graph must be in a parallel-read region while a match with
+  /// expand_workers > 1 runs. Emission order is byte-identical either way.
+  size_t expand_workers = 0;
 };
 
 /// Variable assignment produced by one successful match: the bindings added

@@ -1,0 +1,45 @@
+#include "match/trail_arena.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/result.h"
+
+namespace cypher {
+
+size_t TrailArena::AddTask(TrailTask task) {
+  tasks_.push_back(std::move(task));
+  buffers_.emplace_back();
+  statuses_.emplace_back();
+  return tasks_.size() - 1;
+}
+
+Status TrailArena::Drain(const MatchSink& sink, bool* stopped) const {
+  // The first failure in sequential position order: a task's status at its
+  // index, or the seed error positioned after every task.
+  size_t fail = tasks_.size() + 1;
+  if (!seed_error_.ok()) fail = tasks_.size();
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    if (!statuses_[i].ok()) {
+      fail = i;
+      break;
+    }
+  }
+  // Emit everything the sequential engine would have emitted before the
+  // failure point; a sink stop wins over any later error (sequential
+  // execution stops enumerating and never reaches it).
+  for (size_t i = 0; i < std::min(fail, tasks_.size()); ++i) {
+    for (const MatchAssignment& assignment : buffers_[i]) {
+      CYPHER_ASSIGN_OR_RETURN(bool more, sink(assignment));
+      if (!more) {
+        *stopped = true;
+        return Status::OK();
+      }
+    }
+  }
+  if (fail < tasks_.size()) return statuses_[fail];
+  if (fail == tasks_.size()) return seed_error_;
+  return Status::OK();
+}
+
+}  // namespace cypher

@@ -1,0 +1,83 @@
+#ifndef CYPHER_MATCH_TRAIL_ARENA_H_
+#define CYPHER_MATCH_TRAIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "match/matcher.h"
+
+namespace cypher {
+
+/// One frontier slice of a parallelized var-length expansion: the walk
+/// prefix (relationship hops plus the nodes they reached) from the
+/// expansion's start node to the resume point. A worker restores this
+/// state into a private engine, so no trail stack is ever shared between
+/// threads.
+///
+/// Two task shapes cut the sequential DFS tree into ordered pieces:
+///   - `emit_only`: replay just the terminate-at-`node` half of the walk
+///     (a state above the seed depth whose subtree is split further), and
+///   - subtree: resume the full terminate-then-extend recursion at `node`.
+/// Listing an emit-only task for a state before the subtree tasks of its
+/// children reproduces the engine's pre-order exactly.
+struct TrailTask {
+  NodeId node{0};
+  int64_t count = 0;
+  bool emit_only = false;
+  std::vector<RelId> hops;
+  std::vector<NodeId> nodes;  // target of hops[i]; same length as `hops`
+};
+
+/// Per-fan-out state arena: the ordered task list, each worker's private
+/// result buffer, and its completion status. Task order is the sequential
+/// engine's DFS pre-order, so draining buffers in task-index order is
+/// byte-identical to the sequential ascending-id emission order, no matter
+/// which worker ran which task or in what order they finished.
+class TrailArena {
+ public:
+  /// Appends a task (and its buffer/status slot); returns its index.
+  size_t AddTask(TrailTask task);
+
+  size_t size() const { return tasks_.size(); }
+  const TrailTask& task(size_t i) const { return tasks_[i]; }
+
+  /// Worker-side accessors: each task index owns its slots exclusively, so
+  /// concurrent workers never touch the same element.
+  std::vector<MatchAssignment>* buffer(size_t i) { return &buffers_[i]; }
+  void set_status(size_t i, Status st) { statuses_[i] = std::move(st); }
+
+  /// Records an evaluation error hit while seeding, positioned after every
+  /// task created so far (seeding stops there, exactly where the sequential
+  /// engine would have raised it).
+  void SetSeedError(Status st) { seed_error_ = std::move(st); }
+  const Status& seed_error() const { return seed_error_; }
+
+  /// Replays buffered assignments through `sink` in task-index order and
+  /// reports the first failure in sequential position order. A sink that
+  /// asks to stop (returns false) sets `*stopped` and suppresses later
+  /// tasks' results AND errors — sequential execution would never have
+  /// reached them.
+  Status Drain(const MatchSink& sink, bool* stopped) const;
+
+ private:
+  std::vector<TrailTask> tasks_;
+  std::vector<std::vector<MatchAssignment>> buffers_;
+  std::vector<Status> statuses_;
+  Status seed_error_;
+};
+
+/// One candidate edge discovered by a parallel BFS level task, in the exact
+/// order the sequential level loop would have visited it. Merging per-task
+/// edge lists in task order replays the sequential dist/parents updates.
+struct BfsEdge {
+  NodeId from{0};
+  RelId rel{0};
+  NodeId to{0};
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_MATCH_TRAIL_ARENA_H_

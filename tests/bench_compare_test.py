@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py using canned result files.
+
+Run as `bench_compare_test.py <repo_root>`; registered in ctest so the
+bench regression gate itself is under test: a clean or improved run must
+exit 0, a regression beyond the threshold must exit non-zero, and
+benchmarks present in only one file must never fail the comparison.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = None  # set from argv before unittest.main()
+
+
+def run_compare(base, new, *extra_args):
+    """Writes the two dicts to temp files and runs bench_compare.py."""
+    script = os.path.join(REPO_ROOT, "tools", "bench_compare.py")
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "base.json")
+        new_path = os.path.join(tmp, "new.json")
+        for path, doc in ((base_path, base), (new_path, new)):
+            with open(path, "w") as f:
+                if isinstance(doc, str):
+                    f.write(doc)
+                else:
+                    json.dump(doc, f)
+        return subprocess.run(
+            [sys.executable, script, base_path, new_path, *extra_args],
+            capture_output=True,
+            text=True,
+        )
+
+
+class BenchCompareTest(unittest.TestCase):
+    def test_identical_results_pass(self):
+        doc = {"BM_ParallelScan/4096/8": 1200.0, "BM_VarLengthWalk": 88000.0}
+        proc = run_compare(doc, doc)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("0 regression(s)", proc.stdout)
+
+    def test_improvement_passes(self):
+        base = {"BM_ParallelVarLength/8": 100000.0}
+        new = {"BM_ParallelVarLength/8": 42000.0}
+        proc = run_compare(base, new)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_regression_fails(self):
+        base = {"BM_ParallelBFS/8": 50000.0, "BM_ParallelScan/8": 1000.0}
+        new = {"BM_ParallelBFS/8": 90000.0, "BM_ParallelScan/8": 1000.0}
+        proc = run_compare(base, new)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSION", proc.stdout)
+        self.assertIn("worst: BM_ParallelBFS/8", proc.stdout)
+
+    def test_threshold_is_respected(self):
+        base = {"BM_TwoHop": 1000.0}
+        new = {"BM_TwoHop": 1150.0}  # 15% slower
+        self.assertEqual(run_compare(base, new).returncode, 1)
+        self.assertEqual(
+            run_compare(base, new, "--threshold", "0.2").returncode, 0
+        )
+
+    def test_disjoint_benchmarks_never_fail(self):
+        base = {"BM_Retired": 500.0}
+        new = {"BM_Brand/new": 999999.0}
+        proc = run_compare(base, new)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("(new)", proc.stdout)
+        self.assertIn("(removed)", proc.stdout)
+
+    def test_zero_baseline_to_zero_is_not_a_regression(self):
+        base = {"BM_Noop": 0}
+        new = {"BM_Noop": 0}
+        self.assertEqual(run_compare(base, new).returncode, 0)
+
+    def test_zero_baseline_to_nonzero_fails(self):
+        base = {"BM_Noop": 0}
+        new = {"BM_Noop": 10.0}
+        self.assertEqual(run_compare(base, new).returncode, 1)
+
+    def test_malformed_input_rejected(self):
+        proc = run_compare({"ok": 1.0}, '{"bad": "strings"}')
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("not a flat", proc.stderr + proc.stdout)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit("usage: bench_compare_test.py <repo_root>")
+    REPO_ROOT = os.path.abspath(sys.argv.pop(1))
+    unittest.main()

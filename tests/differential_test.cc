@@ -1,0 +1,113 @@
+// Serial-vs-parallel differential harness.
+//
+// The parallel executor promises byte-identical rendered tables regardless
+// of worker count or morsel size. This suite checks that promise against a
+// fuzzer: seeded random graphs (query_gen.cc) crossed with seeded random
+// read-only queries, each run sequentially and under several parallel
+// configurations including the expand mode (var-length / shortestPath
+// frontier fan-out). A second test cross-checks legacy vs revised
+// semantics on the same corpus — read-only evaluation must not depend on
+// the update-semantics mode.
+//
+// A query that fails (e.g. a type error on a generated predicate) must
+// fail with the same status in every configuration; RunCase folds the
+// status into the compared artifact so error ordering is covered too.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/options.h"
+#include "exec/render.h"
+#include "query_gen.h"
+#include "test_util.h"
+
+namespace cypher::testing {
+namespace {
+
+constexpr uint64_t kGraphSeeds = 8;
+constexpr uint64_t kQueriesPerGraph = 30;  // 8 * 30 = 240 cases.
+
+struct ParallelKnobs {
+  size_t workers;
+  size_t morsel;
+};
+
+// The sweep deliberately includes workers=1 (parallel plumbing, sequential
+// schedule), a single-row morsel, and a high worker count that exceeds the
+// row count of most generated intermediates.
+const ParallelKnobs kConfigs[] = {{1, 256}, {2, 16}, {8, 1}, {8, 256}};
+
+/// Runs `query` on a copy of `base` and returns the rendered table, or the
+/// error status as a string so failures are compared byte-for-byte too.
+std::string RunCase(const PropertyGraph& base, const std::string& query,
+                    size_t workers, size_t morsel,
+                    SemanticsMode semantics = SemanticsMode::kRevised) {
+  GraphDatabase db;
+  db.graph() = base;
+  db.options().semantics = semantics;
+  db.options().parallel_workers = workers;
+  db.options().parallel_morsel_size = morsel;
+  db.options().parallel_min_cost = 1;  // engage on every eligible clause
+  auto result = db.Execute(query);
+  if (!result.ok()) return "ERROR: " + result.status().ToString();
+  return RenderResult(db.graph(), *result);
+}
+
+PropertyGraph MakeGraph(uint64_t seed) {
+  GraphDatabase db;
+  Status st = BuildRandomGraph(&db, seed);
+  EXPECT_TRUE(st.ok()) << "graph seed " << seed << ": " << st.ToString();
+  return db.graph();
+}
+
+TEST(DifferentialTest, SerialVsParallelByteIdentical) {
+  size_t succeeded = 0;
+  size_t nonempty = 0;
+  for (uint64_t gs = 0; gs < kGraphSeeds; ++gs) {
+    const PropertyGraph base = MakeGraph(gs);
+    for (uint64_t qs = 0; qs < kQueriesPerGraph; ++qs) {
+      const uint64_t seed = gs * 1000 + qs;
+      const std::string query = GenerateReadQuery(seed);
+      const std::string expected = RunCase(base, query, 0, 256);
+      if (expected.rfind("ERROR:", 0) != 0) {
+        ++succeeded;
+        if (expected.find("\n") != expected.rfind("\n")) ++nonempty;
+      }
+      for (const ParallelKnobs& cfg : kConfigs) {
+        EXPECT_EQ(RunCase(base, query, cfg.workers, cfg.morsel), expected)
+            << "graph seed " << gs << " query seed " << seed << "\n  "
+            << query << "\n  workers=" << cfg.workers
+            << " morsel=" << cfg.morsel;
+      }
+    }
+  }
+  // The harness is only useful if the generator mostly produces queries
+  // that actually execute and return rows; guard against silent decay.
+  const size_t total = kGraphSeeds * kQueriesPerGraph;
+  EXPECT_GE(succeeded, total * 9 / 10)
+      << succeeded << "/" << total << " cases executed without error";
+  EXPECT_GE(nonempty, total / 2)
+      << nonempty << "/" << total << " cases produced at least one row";
+}
+
+TEST(DifferentialTest, LegacyVsRevisedReadOnlyAgree) {
+  // Read-only queries must render identically under both update-semantics
+  // modes; only write clauses may diverge. Sequential execution isolates
+  // the semantics knob from the parallel one.
+  for (uint64_t gs = 0; gs < kGraphSeeds; ++gs) {
+    const PropertyGraph base = MakeGraph(gs);
+    for (uint64_t qs = 0; qs < kQueriesPerGraph; ++qs) {
+      const uint64_t seed = gs * 1000 + qs;
+      const std::string query = GenerateReadQuery(seed);
+      EXPECT_EQ(RunCase(base, query, 0, 256, SemanticsMode::kLegacy),
+                RunCase(base, query, 0, 256, SemanticsMode::kRevised))
+          << "graph seed " << gs << " query seed " << seed << "\n  " << query;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cypher::testing

@@ -45,12 +45,25 @@ TEST(ThreadPoolTest, ReusableAcrossRegions) {
   }
 }
 
-TEST(ThreadPoolTest, NestedRunDegradesToInline) {
+TEST(ThreadPoolTest, NestedRunExecutesEveryTask) {
+  // Nested Run from inside a task submits a real inner job (parked helpers
+  // may adopt it; the submitting task always participates): every inner
+  // task still runs exactly once per outer task.
   std::atomic<size_t> total{0};
   ThreadPool::Shared().Run(4, 4, [&](size_t) {
     ThreadPool::Shared().Run(8, 4, [&](size_t) { ++total; });
   });
   EXPECT_EQ(total.load(), 32u);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedRunCompletes) {
+  std::atomic<size_t> total{0};
+  ThreadPool::Shared().Run(2, 4, [&](size_t) {
+    ThreadPool::Shared().Run(2, 4, [&](size_t) {
+      ThreadPool::Shared().Run(2, 4, [&](size_t) { ++total; });
+    });
+  });
+  EXPECT_EQ(total.load(), 8u);
 }
 
 TEST(ThreadPoolTest, MoreWorkersThanTasks) {
@@ -199,6 +212,19 @@ TEST(ParallelExplainTest, AnnotatesParallelMatch) {
       << all;
 }
 
+TEST(ParallelExplainTest, AnnotatesExpandSafePatterns) {
+  GraphDatabase db;
+  db.options().parallel_workers = 4;
+  db.options().parallel_morsel_size = 128;
+  QueryResult r =
+      RunOk(&db, "EXPLAIN MATCH (a)-[*1..2]->(b) RETURN count(*) AS c");
+  std::string all;
+  for (const auto& row : r.rows) all += row[2].AsString() + "\n";
+  EXPECT_NE(all.find("parallel(workers=4, morsel=128, expand)"),
+            std::string::npos)
+      << all;
+}
+
 TEST(ParallelExplainTest, NoAnnotationWhenSequential) {
   GraphDatabase db;
   QueryResult r = RunOk(&db, "EXPLAIN MATCH (n) RETURN n");
@@ -274,6 +300,72 @@ TEST(ParallelDeterminismTest, MatchProjectionAndAggregationCorpus) {
     const std::string expected = RunConfig(base, query, 0, 256);
     for (size_t workers : {1ul, 2ul, 8ul}) {
       for (size_t morsel : {1ul, 3ul, 64ul, 1024ul}) {
+        EXPECT_EQ(RunConfig(base, query, workers, morsel), expected)
+            << query << "\n  workers=" << workers << " morsel=" << morsel;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, SingleRowMorselWithMoreWorkersThanRows) {
+  // morsel=1 with workers far beyond the row count: every row is its own
+  // task, most workers never claim one, and the ordered merge and partial
+  // aggregation see a long run of single-row buffers.
+  GraphDatabase seed_db;
+  ASSERT_TRUE(workload::LoadRandomMarketplace(&seed_db, 5, 4, 12, 9).ok());
+  const PropertyGraph base = seed_db.graph();
+
+  const std::vector<std::string> corpus = {
+      "MATCH (u:User) RETURN u.id AS id",
+      "MATCH (u:User) RETURN u.id AS id ORDER BY id DESC",
+      "MATCH (u:User)-[:ORDERED]->(p:Product) "
+      "RETURN u.id AS uid, count(*) AS n, collect(p.id) AS ps ORDER BY uid",
+      "MATCH (u:User) RETURN count(*) AS c, sum(u.id) AS s, avg(u.id) AS a",
+      "MATCH (u:User) OPTIONAL MATCH (u)-[:ORDERED]->(p:Product) "
+      "RETURN u.id AS uid, p.id AS pid",
+  };
+  for (const std::string& query : corpus) {
+    const std::string expected = RunConfig(base, query, 0, 256);
+    for (size_t workers : {8ul, 16ul}) {
+      EXPECT_EQ(RunConfig(base, query, workers, 1), expected)
+          << query << "\n  workers=" << workers;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, VarLengthAndShortestPathExpandMode) {
+  // Few driving rows + costly var-length / BFS legs: the planner picks
+  // expand mode and the matcher fans the frontier, which must preserve the
+  // sequential trail enumeration order byte for byte.
+  GraphDatabase seed_db;
+  ASSERT_TRUE(workload::LoadRandomMarketplace(&seed_db, 30, 20, 150, 7).ok());
+  const PropertyGraph base = seed_db.graph();
+
+  const std::vector<std::string> corpus = {
+      // Single anchored start: rows=1, all parallelism is in the frontier.
+      "MATCH (u:User {id: 1})-[:ORDERED*1..3]-(x) "
+      "RETURN count(*) AS c, min(x.id) AS lo, max(x.id) AS hi",
+      // Emission order exposed directly (no ORDER BY, no aggregation).
+      "MATCH (u:User {id: 2})-[*..2]->(x) RETURN x.id AS xid",
+      // Named path with zero-length lower bound.
+      "MATCH p = (u:User {id: 3})-[:ORDERED*0..2]-(x) "
+      "RETURN length(p) AS len, x.id AS xid",
+      // collect() over the walk preserves emission order inside one cell.
+      "MATCH (u:User {id: 1})-[*1..2]-(x) RETURN collect(x.id) AS xs",
+      // BFS levels split across workers.
+      "MATCH (a:User {id: 1}), (b:User {id: 2}) "
+      "MATCH p = shortestPath((a)-[*]-(b)) RETURN length(p) AS len",
+      "MATCH (a:User {id: 1}), (b:Product {id: 5}) "
+      "MATCH p = allShortestPaths((a)-[*]-(b)) "
+      "RETURN length(p) AS len, count(*) AS c",
+      "MATCH (a:User {id: 4}), (b:User {id: 9}) "
+      "OPTIONAL MATCH p = shortestPath((a)-[:ORDERED*..4]->(b)) "
+      "RETURN a.id AS a, b.id AS b, length(p) AS len",
+  };
+  for (const std::string& query : corpus) {
+    const std::string expected = RunConfig(base, query, 0, 256);
+    for (size_t workers : {2ul, 8ul}) {
+      for (size_t morsel : {1ul, 256ul}) {
         EXPECT_EQ(RunConfig(base, query, workers, morsel), expected)
             << query << "\n  workers=" << workers << " morsel=" << morsel;
       }

@@ -1,0 +1,256 @@
+#include "query_gen.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace cypher::testing {
+namespace {
+
+std::string I(int64_t v) { return std::to_string(v); }
+
+// ---------------------------------------------------------------------------
+// Pattern fragments. Every fragment sticks to constructs the parser is known
+// to accept (single and stacked labels, type alternatives, bounded hop
+// windows) so a generated query can only fail for semantic reasons — and a
+// semantic failure must then fail identically in every configuration.
+// ---------------------------------------------------------------------------
+
+std::string Labels(SplitMix64& rng) {
+  switch (rng.NextBelow(6)) {
+    case 0:
+    case 1:
+      return "";
+    case 2:
+    case 3:
+      return ":A";
+    case 4:
+      return ":B";
+    default:
+      return ":A:B";
+  }
+}
+
+std::string RelTypes(SplitMix64& rng) {
+  switch (rng.NextBelow(4)) {
+    case 0:
+      return "";
+    case 1:
+      return ":R";
+    case 2:
+      return ":S";
+    default:
+      return ":R|S";
+  }
+}
+
+// "(v:A {k: 3})" — labels and the property filter each appear with
+// independent probability.
+std::string NodePat(SplitMix64& rng, const std::string& var) {
+  std::string out = "(" + var + Labels(rng);
+  if (rng.NextBelow(3) == 0) {
+    out += " {k: " + I(static_cast<int64_t>(rng.NextBelow(13))) + "}";
+  }
+  out += ")";
+  return out;
+}
+
+// Wraps a relationship body in one of the three directions.
+std::string Arrow(SplitMix64& rng, const std::string& body) {
+  switch (rng.NextBelow(3)) {
+    case 0:
+      return "-[" + body + "]->";
+    case 1:
+      return "<-[" + body + "]-";
+    default:
+      return "-[" + body + "]-";
+  }
+}
+
+// Bounded hop window: trails on a cyclic graph explode combinatorially, so
+// the generator never emits an unbounded upper bound outside shortestPath.
+std::string VarSpec(SplitMix64& rng) {
+  int64_t min = static_cast<int64_t>(rng.NextBelow(3));  // 0..2
+  int64_t max =
+      min + 1 + static_cast<int64_t>(rng.NextBelow(min < 2 ? 3 : 2));
+  if (max > 4) max = 4;
+  switch (rng.NextBelow(3)) {
+    case 0:
+      return "*" + I(min) + ".." + I(max);
+    case 1:
+      return "*.." + I(max);
+    default:
+      return "*1.." + I(max);
+  }
+}
+
+// A WHERE predicate over an already-bound node variable.
+std::string Predicate(SplitMix64& rng, const std::string& var) {
+  switch (rng.NextBelow(5)) {
+    case 0:
+      return var + ".k % " + I(2 + static_cast<int64_t>(rng.NextBelow(4))) +
+             " = " + I(static_cast<int64_t>(rng.NextBelow(3)));
+    case 1:
+      return var + ".k < " + I(static_cast<int64_t>(rng.NextBelow(13)));
+    case 2:
+      return var + ".k > " + I(static_cast<int64_t>(rng.NextBelow(13)));
+    case 3:
+      return var + ".w <> " + I(static_cast<int64_t>(rng.NextBelow(5)));
+    default:
+      return var + ".w = " + I(static_cast<int64_t>(rng.NextBelow(5)));
+  }
+}
+
+std::string MaybeWhere(SplitMix64& rng, const std::string& var) {
+  switch (rng.NextBelow(3)) {
+    case 0:
+      return "";
+    case 1:
+      return " WHERE " + Predicate(rng, var);
+    default:
+      return " WHERE " + Predicate(rng, var) +
+             (rng.NextBelow(2) == 0 ? " AND " : " OR ") + Predicate(rng, var);
+  }
+}
+
+// Paging tail for ordered row-producing queries.
+std::string MaybePage(SplitMix64& rng) {
+  switch (rng.NextBelow(4)) {
+    case 0:
+      return " SKIP " + I(static_cast<int64_t>(rng.NextBelow(4)));
+    case 1:
+      return " LIMIT " + I(5 + static_cast<int64_t>(rng.NextBelow(20)));
+    default:
+      return "";
+  }
+}
+
+}  // namespace
+
+Status BuildRandomGraph(GraphDatabase* db, uint64_t seed) {
+  SplitMix64 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  const int64_t num_nodes = 20 + static_cast<int64_t>(rng.NextBelow(37));
+
+  // All nodes in one CREATE so ids are assigned in a single dense run.
+  std::string create = "CREATE ";
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    if (i > 0) create += ", ";
+    std::string labels;
+    switch (rng.NextBelow(5)) {
+      case 0:
+      case 1:
+        labels = ":A";
+        break;
+      case 2:
+      case 3:
+        labels = ":B";
+        break;
+      default:
+        labels = ":A:B";
+        break;
+    }
+    create += "(" + labels + " {id: " + I(i) +
+              ", k: " + I(static_cast<int64_t>(rng.NextBelow(13))) +
+              ", w: " + I(static_cast<int64_t>(rng.NextBelow(5))) + "})";
+  }
+  CYPHER_RETURN_NOT_OK(db->Run(create));
+
+  // ~1.5x edge density keeps bounded trail enumeration tractable while still
+  // producing cycles, self-loops and parallel edges.
+  const int64_t num_rels =
+      num_nodes + static_cast<int64_t>(rng.NextBelow(num_nodes));
+  for (int64_t r = 0; r < num_rels; ++r) {
+    const int64_t src = static_cast<int64_t>(rng.NextBelow(num_nodes));
+    const int64_t dst = static_cast<int64_t>(rng.NextBelow(num_nodes));
+    const char* type = rng.NextBelow(5) < 3 ? "R" : "S";
+    CYPHER_RETURN_NOT_OK(
+        db->Run("MATCH (a {id: " + I(src) + "}), (b {id: " + I(dst) +
+                "}) CREATE (a)-[:" + std::string(type) +
+                " {c: " + I(static_cast<int64_t>(rng.NextBelow(7))) +
+                "}]->(b)"));
+  }
+
+  // Leave tombstones behind so node/relationship scans skip deleted slots.
+  CYPHER_RETURN_NOT_OK(db->Run("MATCH ()-[r:S {c: 0}]->() DELETE r"));
+  CYPHER_RETURN_NOT_OK(db->Run("MATCH (n {k: 12}) DETACH DELETE n"));
+  CYPHER_RETURN_NOT_OK(
+      db->Run("MATCH (n {id: " +
+              I(static_cast<int64_t>(rng.NextBelow(num_nodes))) +
+              "}) DETACH DELETE n"));
+  return Status::OK();
+}
+
+std::string GenerateReadQuery(uint64_t seed) {
+  SplitMix64 rng(seed * 0xbf58476d1ce4e5b9ULL + 7);
+  switch (rng.NextBelow(12)) {
+    case 0:  // Plain scan with projection and paging.
+      return "MATCH " + NodePat(rng, "n") + MaybeWhere(rng, "n") +
+             " RETURN n.id AS id, n.k AS k, n.w AS w ORDER BY id" +
+             MaybePage(rng);
+    case 1:  // Scan aggregation, grouped by a derived key.
+      return "MATCH " + NodePat(rng, "n") + " WITH n.k % " +
+             I(2 + static_cast<int64_t>(rng.NextBelow(3))) +
+             " AS g, n RETURN g, count(*) AS c, sum(n.w) AS s, min(n.id) AS "
+             "lo, max(n.id) AS hi ORDER BY g";
+    case 2:  // Single fixed hop.
+      return "MATCH " + NodePat(rng, "a") + Arrow(rng, "r" + RelTypes(rng)) +
+             NodePat(rng, "b") + MaybeWhere(rng, "a") +
+             " RETURN a.id AS a, r.c AS c, b.id AS b";
+    case 3:  // Two-hop chain.
+      return "MATCH " + NodePat(rng, "a") + Arrow(rng, RelTypes(rng)) + "(b)" +
+             Arrow(rng, RelTypes(rng)) + NodePat(rng, "c") +
+             MaybeWhere(rng, "b") + " RETURN a.id AS a, b.id AS b, c.id AS c";
+    case 4:  // Var-length rows; ascending-id emission order is under test,
+             // so no ORDER BY — the table must match byte for byte anyway.
+      return "MATCH " + NodePat(rng, "a") +
+             Arrow(rng, RelTypes(rng) + VarSpec(rng)) + NodePat(rng, "b") +
+             MaybeWhere(rng, "b") + " RETURN a.id AS a, b.id AS b";
+    case 5: {  // Named var-length path.
+      std::string q = "MATCH p = " + NodePat(rng, "a") +
+                      Arrow(rng, RelTypes(rng) + VarSpec(rng)) + "(b)" +
+                      MaybeWhere(rng, "a");
+      return q + " RETURN length(p) AS len, a.id AS a, b.id AS b" +
+             MaybePage(rng);
+    }
+    case 6:  // Var-length aggregation (collect exposes emission order).
+      return "MATCH " + NodePat(rng, "a") +
+             Arrow(rng, RelTypes(rng) + VarSpec(rng)) + "(b)" +
+             " RETURN count(*) AS c, min(b.id) AS lo, collect(b.k) AS ks";
+    case 7: {  // shortestPath between two probed endpoints.
+      const int64_t s = static_cast<int64_t>(rng.NextBelow(18));
+      const int64_t t = s + 1 + static_cast<int64_t>(rng.NextBelow(4));
+      return "MATCH (a {id: " + I(s) + "}), (b {id: " + I(t) +
+             "}) MATCH p = shortestPath((a)" + Arrow(rng, RelTypes(rng) + "*") +
+             "(b)) RETURN length(p) AS len, nodes(p) AS ns";
+    }
+    case 8: {  // OPTIONAL shortestPath with a hop window.
+      const int64_t s = static_cast<int64_t>(rng.NextBelow(18));
+      const int64_t t = s + 1 + static_cast<int64_t>(rng.NextBelow(4));
+      return "MATCH (a {id: " + I(s) + "}), (b {id: " + I(t) +
+             "}) OPTIONAL MATCH p = shortestPath((a)" +
+             Arrow(rng, RelTypes(rng) + "*..4") +
+             "(b)) RETURN a.id AS a, b.id AS b, length(p) AS len";
+    }
+    case 9: {  // allShortestPaths, aggregated per path length.
+      const int64_t s = static_cast<int64_t>(rng.NextBelow(18));
+      const int64_t t = s + 1 + static_cast<int64_t>(rng.NextBelow(4));
+      return "MATCH (a {id: " + I(s) + "}), (b {id: " + I(t) +
+             "}) MATCH p = allShortestPaths((a)" +
+             Arrow(rng, RelTypes(rng) + "*") +
+             "(b)) RETURN length(p) AS len, count(*) AS c";
+    }
+    case 10:  // Cartesian conjunction restricted by a join predicate.
+      return "MATCH " + NodePat(rng, "a") + ", " + NodePat(rng, "b") +
+             " WHERE a.id < b.id AND a.k = b.k RETURN count(*) AS c";
+    default:  // UNWIND-driven probe with an optional var-length expansion.
+      return "UNWIND range(0, " +
+             I(4 + static_cast<int64_t>(rng.NextBelow(8))) +
+             ") AS x OPTIONAL MATCH (n {k: x})" +
+             Arrow(rng, RelTypes(rng) + "*1..2") + "(m)" +
+             " RETURN x, count(m) AS c, min(m.id) AS lo ORDER BY x";
+  }
+}
+
+}  // namespace cypher::testing

@@ -1,0 +1,30 @@
+#ifndef CYPHER_TESTS_QUERY_GEN_H_
+#define CYPHER_TESTS_QUERY_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "cypher/database.h"
+
+namespace cypher::testing {
+
+/// Populates `db` with a small deterministic random graph: nodes labeled
+/// :A / :B (a few carry both), integer properties k / w plus a unique id,
+/// :R / :S relationships with an integer property c (self-loops and
+/// parallel edges included), then deletes a few relationships and nodes so
+/// tombstoned slots participate in every scan. The same seed always builds
+/// the same graph.
+Status BuildRandomGraph(GraphDatabase* db, uint64_t seed);
+
+/// A deterministic random read-only query valid over any BuildRandomGraph
+/// graph: fixed-length chains, var-length walks (all directions, hop
+/// windows, type alternatives, named paths), shortestPath /
+/// allShortestPaths, pattern conjunctions, OPTIONAL MATCH, UNWIND-driven
+/// probes, WHERE predicates, and projection / aggregation (count, sum,
+/// min, max, collect, avg, DISTINCT, ORDER BY, SKIP / LIMIT).
+std::string GenerateReadQuery(uint64_t seed);
+
+}  // namespace cypher::testing
+
+#endif  // CYPHER_TESTS_QUERY_GEN_H_

@@ -1,0 +1,119 @@
+// Shutdown and nested-submission stress for ThreadPool. These tests exist
+// to give TSan real interleavings to chew on: repeated pool teardown,
+// concurrent root jobs from independent threads, and nested Run calls
+// racing against each other on the shared open-job list.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace cypher {
+namespace {
+
+TEST(ThreadPoolStressTest, RepeatedCreateRunDestroy) {
+  for (int iter = 0; iter < 50; ++iter) {
+    std::atomic<size_t> total{0};
+    {
+      ThreadPool pool(4);
+      pool.Run(16, 4, [&](size_t) { total.fetch_add(1); });
+      pool.Run(1, 4, [&](size_t) { total.fetch_add(1); });
+      // Destructor must park and join helpers that may still be waking up.
+    }
+    EXPECT_EQ(total.load(), 17u);
+  }
+}
+
+TEST(ThreadPoolStressTest, DestroyWithoutEverRunning) {
+  for (int iter = 0; iter < 100; ++iter) {
+    ThreadPool pool(8);  // no threads spawned yet; teardown of an idle pool
+  }
+}
+
+TEST(ThreadPoolStressTest, ConcurrentRootJobs) {
+  ThreadPool pool(4);
+  constexpr size_t kSubmitters = 4;
+  constexpr size_t kRounds = 100;
+  constexpr size_t kTasks = 8;
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (size_t r = 0; r < kRounds; ++r) {
+        pool.Run(kTasks, 3, [&](size_t) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), kSubmitters * kRounds * kTasks);
+}
+
+TEST(ThreadPoolStressTest, NestedSubmitExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 8;
+  for (int iter = 0; iter < 20; ++iter) {
+    // One slot per (outer, inner) pair: exactly-once, not just a sum.
+    std::vector<std::atomic<int>> slots(kOuter * kInner);
+    for (auto& s : slots) s.store(0);
+    pool.Run(kOuter, 8, [&](size_t outer) {
+      pool.Run(kInner, 4, [&](size_t inner) {
+        slots[outer * kInner + inner].fetch_add(1);
+      });
+    });
+    for (size_t i = 0; i < slots.size(); ++i) {
+      EXPECT_EQ(slots[i].load(), 1) << "slot " << i << " iter " << iter;
+    }
+  }
+}
+
+TEST(ThreadPoolStressTest, NestedJobsUnderConcurrentSubmitters) {
+  ThreadPool pool(6);
+  constexpr size_t kSubmitters = 3;
+  constexpr size_t kRounds = 20;
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (size_t r = 0; r < kRounds; ++r) {
+        pool.Run(4, 4, [&](size_t) {
+          pool.Run(4, 2, [&](size_t) {
+            pool.Run(2, 2, [&](size_t) { total.fetch_add(1); });
+          });
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), kSubmitters * kRounds * 4 * 4 * 2);
+}
+
+TEST(ThreadPoolStressTest, SharedPoolSurvivesHammering) {
+  // The process-wide pool is what the executor actually uses; hammer it
+  // from several threads with mixed flat and nested jobs.
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < 4; ++s) {
+    submitters.emplace_back([&, s] {
+      for (size_t r = 0; r < 50; ++r) {
+        if ((s + r) % 2 == 0) {
+          ThreadPool::Shared().Run(8, 4, [&](size_t) { total.fetch_add(1); });
+        } else {
+          ThreadPool::Shared().Run(2, 2, [&](size_t) {
+            ThreadPool::Shared().Run(4, 2,
+                                     [&](size_t) { total.fetch_add(1); });
+          });
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), 4u * 50u / 2u * 8u + 4u * 50u / 2u * 2u * 4u);
+}
+
+}  // namespace
+}  // namespace cypher

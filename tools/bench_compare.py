@@ -60,7 +60,12 @@ def main():
     print(f"{'benchmark':<{width}}  {'baseline':>10}  {'new':>10}  {'ratio':>7}")
     regressions = []
     for name in shared:
-        ratio = new[name] / base[name] if base[name] > 0 else float("inf")
+        if base[name] > 0:
+            ratio = new[name] / base[name]
+        else:
+            # A zero baseline can't regress to zero; anything above it can
+            # only be treated as infinitely slower.
+            ratio = 1.0 if new[name] == 0 else float("inf")
         flag = ""
         if ratio > 1.0 + args.threshold:
             flag = "  << REGRESSION"
