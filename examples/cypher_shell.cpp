@@ -16,11 +16,15 @@
 //                             persist / restore the graph (dump format)
 //   :dot                      print the graph in Graphviz DOT
 //   :stats                    node/relationship counts
+//   :timeout <ms>             per-statement watchdog deadline (0 = off)
+//   :wal <path>               attach a write-ahead log (recovers if present)
+//   :checkpoint               append a fresh snapshot to the log
 //   :clear                    drop the graph
 //   :quit                     exit
 //
 // Everything else is executed as a Cypher statement.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -28,7 +32,9 @@
 #include "cypher/database.h"
 #include "exec/render.h"
 #include "graph/serialize.h"
+#include "storage/log_file.h"
 
+using cypher::CancelToken;
 using cypher::EvalOptions;
 using cypher::GraphDatabase;
 using cypher::MatchMode;
@@ -38,13 +44,45 @@ using cypher::SemanticsMode;
 
 namespace {
 
+/// Per-statement watchdog budget; 0 disables. A CancelToken is one-shot
+/// (it stays tripped), so the main loop mints a fresh one per statement.
+int64_t g_timeout_ms = 0;
+
 bool HandleMeta(GraphDatabase* db, const std::string& line) {
   auto& options = db->options();
   if (line == ":help") {
     std::printf(
         ":legacy/:revised, :order forward|reverse|shuffle [seed],\n"
         ":variant atomic|grouping|weak|collapse|strong|off, :homo/:trail,\n"
-        ":parallel <workers> [morsel], :dump, :dot, :stats, :clear, :quit\n");
+        ":parallel <workers> [morsel], :timeout <ms>, :wal <path>,\n"
+        ":checkpoint, :dump, :dot, :stats, :clear, :quit\n");
+    return true;
+  }
+  if (line.rfind(":timeout", 0) == 0) {
+    g_timeout_ms = std::strtoll(line.c_str() + 8, nullptr, 10);
+    if (g_timeout_ms > 0) {
+      std::printf("watchdog: statements cancel after %lld ms\n",
+                  static_cast<long long>(g_timeout_ms));
+    } else {
+      g_timeout_ms = 0;
+      std::printf("watchdog off\n");
+    }
+    return true;
+  }
+  if (line.rfind(":wal ", 0) == 0) {
+    auto file = cypher::storage::OpenPosixLogFile(line.substr(5));
+    if (!file.ok()) {
+      std::printf("%s\n", file.status().ToString().c_str());
+      return true;
+    }
+    auto st = db->OpenDurable(std::move(*file));
+    std::printf("%s\n", st.ok() ? "write-ahead log attached (graph recovered)"
+                                : st.ToString().c_str());
+    return true;
+  }
+  if (line == ":checkpoint") {
+    auto st = db->Checkpoint();
+    std::printf("%s\n", st.ok() ? "checkpoint written" : st.ToString().c_str());
     return true;
   }
   if (line.rfind(":parallel", 0) == 0) {
@@ -180,8 +218,16 @@ int main() {
       if (!HandleMeta(&db, line)) std::printf("unknown command; :help\n");
       continue;
     }
+    // Mint a fresh token per statement (tokens are one-shot) and clear any
+    // stale tripped token when the watchdog is off.
+    db.options().cancel =
+        g_timeout_ms > 0
+            ? CancelToken::WithTimeout(std::chrono::milliseconds(g_timeout_ms))
+            : CancelToken();
     auto result = db.Execute(line);
     if (!result.ok()) {
+      // A watchdog abort surfaces as DeadlineExceeded/Aborted; either way
+      // the statement rolled back and the graph is unchanged.
       std::printf("%s\n", result.status().ToString().c_str());
       continue;
     }

@@ -1,0 +1,120 @@
+#ifndef CYPHER_COMMON_CANCEL_H_
+#define CYPHER_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace cypher {
+
+/// Cooperative cancellation handle for one statement (the query watchdog).
+///
+/// A token carries an optional deadline and an explicit cancel flag; the
+/// interpreter, the matcher's DFS/BFS walks and the parallel morsel loops
+/// poll it at their choice points and unwind with kDeadlineExceeded /
+/// kAborted, after which the statement rolls back like any other failure —
+/// the graph is left untouched.
+///
+/// Tokens are cheap shared handles: copy one into EvalOptions, keep the
+/// original, and Cancel() from any thread (a REPL ^C handler, a server
+/// admission controller). A default-constructed token never cancels and
+/// costs one null check per poll.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// A token that trips once `deadline` passes.
+  static CancelToken WithDeadline(std::chrono::steady_clock::time_point d) {
+    CancelToken token;
+    token.state_ = std::make_shared<State>();
+    token.state_->has_deadline = true;
+    token.state_->deadline = d;
+    return token;
+  }
+
+  /// A token that trips after `timeout` from now.
+  static CancelToken WithTimeout(std::chrono::nanoseconds timeout) {
+    return WithDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  /// A token that only trips on an explicit Cancel() call.
+  static CancelToken Cancellable() {
+    CancelToken token;
+    token.state_ = std::make_shared<State>();
+    return token;
+  }
+
+  /// Signals cancellation; safe from any thread, idempotent.
+  void Cancel() const {
+    if (state_ != nullptr) {
+      state_->cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// True when this token can ever cancel (i.e. is worth polling).
+  bool active() const { return state_ != nullptr; }
+
+  /// OK, or the cancellation status: kAborted for an explicit Cancel,
+  /// kDeadlineExceeded for an expired deadline. Reads the clock when a
+  /// deadline is set — hot loops amortize through a CancelGate.
+  Status Check() const {
+    if (state_ == nullptr) return Status::OK();
+    if (state_->cancelled.load(std::memory_order_relaxed)) {
+      // A deadline trip latches `cancelled` (below), so concurrent workers
+      // report the same code the first observer did.
+      return state_->has_deadline && state_->deadline_hit.load(
+                                         std::memory_order_relaxed)
+                 ? Deadline()
+                 : Status::Aborted("statement cancelled");
+    }
+    if (state_->has_deadline &&
+        std::chrono::steady_clock::now() >= state_->deadline) {
+      state_->deadline_hit.store(true, std::memory_order_relaxed);
+      state_->cancelled.store(true, std::memory_order_relaxed);
+      return Deadline();
+    }
+    return Status::OK();
+  }
+
+ private:
+  static Status Deadline() {
+    return Status::DeadlineExceeded("statement deadline exceeded");
+  }
+
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<bool> deadline_hit{false};
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+/// Amortized poll for per-row / per-expansion loops: forwards every
+/// `kStride`-th Check() to the token (plus the very first, so an
+/// already-expired deadline cancels before any work), skipping the clock
+/// read in between. One gate per thread — the countdown is not atomic.
+class CancelGate {
+ public:
+  explicit CancelGate(const CancelToken* token)
+      : token_(token != nullptr && token->active() ? token : nullptr) {}
+
+  Status Check() {
+    if (token_ == nullptr || --countdown_ > 0) return Status::OK();
+    countdown_ = kStride;
+    return token_->Check();
+  }
+
+ private:
+  static constexpr int kStride = 1024;
+
+  const CancelToken* token_;
+  int countdown_ = 1;
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_COMMON_CANCEL_H_

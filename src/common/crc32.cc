@@ -1,0 +1,35 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace cypher {
+
+namespace {
+
+/// Byte-at-a-time table, built once. Throughput is irrelevant next to the
+/// fsync that follows every checksummed record.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace cypher

@@ -1,0 +1,17 @@
+#ifndef CYPHER_COMMON_CRC32_H_
+#define CYPHER_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cypher {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip checksum) over `len` bytes.
+/// `seed` chains partial computations: Crc32(b, n) ==
+/// Crc32(b + k, n - k, Crc32(b, k)). The write-ahead log checksums every
+/// record payload with this so a torn or bit-rotted tail is detectable.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace cypher
+
+#endif  // CYPHER_COMMON_CRC32_H_

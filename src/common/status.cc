@@ -16,6 +16,10 @@ const char* StatusCodeName(StatusCode code) {
       return "InvalidArgument";
     case StatusCode::kInternalError:
       return "InternalError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

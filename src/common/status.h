@@ -27,6 +27,12 @@ enum class StatusCode {
   kInvalidArgument,
   /// Internal invariant violation; indicates an engine bug.
   kInternalError,
+  /// The statement's deadline passed before it finished; the watchdog
+  /// cancelled it and its mutations were rolled back.
+  kDeadlineExceeded,
+  /// The statement was explicitly cancelled (CancelToken::Cancel) or gave
+  /// up on a poisoned write-ahead log; mutations were rolled back.
+  kAborted,
 };
 
 /// Returns a short stable name for a status code, e.g. "SyntaxError".
@@ -67,6 +73,12 @@ class Status {
   }
   static Status InternalError(std::string msg) {
     return Status(StatusCode::kInternalError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

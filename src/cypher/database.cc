@@ -1,20 +1,127 @@
 #include "cypher/database.h"
 
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "common/strings.h"
 #include "graph/serialize.h"
 #include "parser/lexer.h"
 #include "parser/parser.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
 
 namespace cypher {
+
+/// Write-ahead-log state of a durable database: the group-commit writer
+/// plus the lock that serializes statement execution (parse and fsync
+/// happen outside it, so concurrent sessions overlap everywhere the graph
+/// itself is not involved).
+struct GraphDatabase::WalSession {
+  WalSession(std::unique_ptr<storage::LogFile> file, DurabilityOptions opts)
+      : writer(std::move(file)), durability(opts) {}
+
+  std::mutex exec_mu;
+  storage::WalWriter writer;
+  DurabilityOptions durability;
+};
+
+GraphDatabase::GraphDatabase(EvalOptions options)
+    : options_(std::move(options)) {}
+GraphDatabase::GraphDatabase(GraphDatabase&&) noexcept = default;
+GraphDatabase& GraphDatabase::operator=(GraphDatabase&&) noexcept = default;
+GraphDatabase::~GraphDatabase() = default;
 
 Result<QueryResult> GraphDatabase::Execute(std::string_view query,
                                            const ValueMap& params,
                                            const EvalOptions& options) {
   CYPHER_ASSIGN_OR_RETURN(Query ast, ParseQuery(query));
+  if (wal_ != nullptr) return ExecuteDurable(ast, params, options);
   return ExecuteQuery(&graph_, ast, params, options);
+}
+
+Status GraphDatabase::OpenDurable(std::unique_ptr<storage::LogFile> file,
+                                  DurabilityOptions durability) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("write-ahead log already attached");
+  }
+  if (file->size() == 0) {
+    // Fresh log: magic plus a snapshot of whatever the caller loaded so
+    // far, made durable before the first statement can commit against it.
+    CYPHER_RETURN_NOT_OK(
+        file->Append(storage::kWalMagic, storage::kWalMagicSize));
+    std::string snap = storage::EncodeWalRecord(
+        storage::WalRecordType::kSnapshot, storage::EncodeSnapshot(graph_));
+    CYPHER_RETURN_NOT_OK(file->Append(snap.data(), snap.size()));
+    CYPHER_RETURN_NOT_OK(file->Sync());
+  } else {
+    CYPHER_ASSIGN_OR_RETURN(std::string bytes, file->ReadAll());
+    CYPHER_ASSIGN_OR_RETURN(storage::RecoveredGraph recovered,
+                            storage::RecoverGraph(bytes));
+    // Drop the torn tail (if any) so new records append to a clean prefix.
+    CYPHER_RETURN_NOT_OK(file->Truncate(recovered.valid_bytes));
+    graph_ = std::move(recovered.graph);
+  }
+  wal_ = std::make_unique<WalSession>(std::move(file), durability);
+  return Status::OK();
+}
+
+Status GraphDatabase::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("database has no write-ahead log");
+  }
+  std::lock_guard<std::mutex> lock(wal_->exec_mu);
+  Result<uint64_t> lsn = wal_->writer.Append(storage::WalRecordType::kSnapshot,
+                                             storage::EncodeSnapshot(graph_));
+  if (!lsn.ok()) return lsn.status();
+  return wal_->writer.Sync(*lsn);
+}
+
+Status GraphDatabase::wal_error() const {
+  return wal_ == nullptr ? Status::OK() : wal_->writer.error();
+}
+
+storage::WalWriter* GraphDatabase::wal_writer() {
+  return wal_ == nullptr ? nullptr : &wal_->writer;
+}
+
+Result<QueryResult> GraphDatabase::ExecuteDurable(const Query& ast,
+                                                  const ValueMap& params,
+                                                  const EvalOptions& options) {
+  bool group_sync =
+      wal_->durability.sync_mode == DurabilityOptions::SyncMode::kGroupCommit;
+  uint64_t lsn = 0;
+  bool logged = false;
+  Result<QueryResult> result = [&]() -> Result<QueryResult> {
+    std::lock_guard<std::mutex> lock(wal_->exec_mu);
+    // A poisoned log refuses further statements: the in-memory graph may
+    // already be ahead of the durable prefix (group commit), and anything
+    // committed now could silently vanish on recovery.
+    CYPHER_RETURN_NOT_OK(wal_->writer.error());
+    graph_.BeginRedoCapture();
+    CommitHook hook = [&]() -> Status {
+      std::string redo = graph_.TakeRedoLog();
+      if (redo.empty()) return Status::OK();  // read-only: nothing to log
+      Result<uint64_t> appended =
+          wal_->writer.Append(storage::WalRecordType::kStatement, redo);
+      if (!appended.ok()) return appended.status();
+      lsn = *appended;
+      logged = true;
+      // Every-commit mode makes the record durable before the statement
+      // commits in memory; a failure here rolls the statement back whole.
+      if (!group_sync) return wal_->writer.Sync(lsn);
+      return Status::OK();
+    };
+    Result<QueryResult> r = ExecuteQuery(&graph_, ast, params, options, hook);
+    graph_.AbortRedoCapture();  // no-op when the hook consumed the log
+    return r;
+  }();
+  // Group commit: fsync outside the execution lock, so statements executed
+  // meanwhile by other sessions pile their records into the same sync.
+  if (result.ok() && logged && group_sync) {
+    CYPHER_RETURN_NOT_OK(wal_->writer.Sync(lsn));
+  }
+  return result;
 }
 
 Status GraphDatabase::SaveToFile(const std::string& path) const {

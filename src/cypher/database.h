@@ -1,6 +1,7 @@
 #ifndef CYPHER_CYPHER_DATABASE_H_
 #define CYPHER_CYPHER_DATABASE_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -9,8 +10,31 @@
 #include "exec/interpreter.h"
 #include "exec/options.h"
 #include "graph/graph.h"
+#include "storage/log_file.h"
 
 namespace cypher {
+
+namespace storage {
+class WalWriter;
+}  // namespace storage
+
+/// Durability configuration for OpenDurable.
+struct DurabilityOptions {
+  enum class SyncMode {
+    /// fsync inside the commit hook: a statement only commits in memory
+    /// once its log record is durable, so an fsync failure rolls the
+    /// statement back atomically. One fsync per update statement.
+    kEveryCommit,
+    /// Append inside the commit hook, fsync after the execution lock is
+    /// released: concurrent sessions batch their records into one fsync
+    /// (group commit). On a sync failure the statement is applied in
+    /// memory but not durable — the writer poisons itself, Execute
+    /// surfaces kAborted, and recovery replays only the durable prefix.
+    kGroupCommit,
+  };
+
+  SyncMode sync_mode = SyncMode::kEveryCommit;
+};
 
 /// The public entry point: an in-process property graph database speaking
 /// the Cypher dialect of the paper, with both the legacy (Cypher 9) and the
@@ -27,11 +51,18 @@ namespace cypher {
 ///
 /// Statements are atomic: a failed statement (including a conflicting SET
 /// or a dangling-relationship DELETE) leaves the graph unchanged.
-/// Not thread-safe; callers serialize access.
+///
+/// Thread-safety: plain (non-durable) use is single-threaded; callers
+/// serialize. After OpenDurable, concurrent Execute calls are allowed —
+/// an internal lock serializes statement execution and, under group
+/// commit, concurrent sessions batch their log fsyncs.
 class GraphDatabase {
  public:
-  explicit GraphDatabase(EvalOptions options = {})
-      : options_(std::move(options)) {}
+  explicit GraphDatabase(EvalOptions options = {});
+
+  GraphDatabase(GraphDatabase&&) noexcept;
+  GraphDatabase& operator=(GraphDatabase&&) noexcept;
+  ~GraphDatabase();
 
   /// The stored graph; mutate directly only from loaders/tests.
   PropertyGraph& graph() { return graph_; }
@@ -67,9 +98,44 @@ class GraphDatabase {
   /// Replaces the graph with the contents of a DumpGraph-format file.
   Status LoadFromFile(const std::string& path);
 
+  // ---- Durability -----------------------------------------------------------
+
+  /// Attaches a write-ahead log and makes every later Execute crash-safe.
+  ///
+  /// An empty log is initialized with the magic and a snapshot of the
+  /// current graph. A non-empty log is recovered first: the graph is
+  /// REPLACED by the latest snapshot plus every whole committed statement
+  /// after it, and the file is truncated to that valid prefix (dropping a
+  /// torn tail from a crashed writer). From then on each committed update
+  /// statement appends one checksummed record before it becomes visible.
+  Status OpenDurable(std::unique_ptr<storage::LogFile> file,
+                     DurabilityOptions durability = {});
+
+  /// Appends a fresh snapshot record and syncs it; recovery after this
+  /// point replays from the new snapshot instead of the whole statement
+  /// history. The log is append-only, so the file keeps growing until the
+  /// operator rotates it (crash-safe at every point in between).
+  Status Checkpoint();
+
+  /// True once OpenDurable succeeded.
+  bool durable() const { return wal_ != nullptr; }
+
+  /// The write-ahead log's sticky I/O error (OK while healthy); once set,
+  /// every later update statement is refused with the same status.
+  Status wal_error() const;
+
+  /// The log writer; tests use it to reach the underlying LogFile.
+  storage::WalWriter* wal_writer();
+
  private:
+  struct WalSession;
+
+  Result<QueryResult> ExecuteDurable(const Query& ast, const ValueMap& params,
+                                     const EvalOptions& options);
+
   PropertyGraph graph_;
   EvalOptions options_;
+  std::unique_ptr<WalSession> wal_;
 };
 
 /// Splits a script into statements at top-level ';' boundaries using the

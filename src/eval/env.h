@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "graph/graph.h"
 #include "table/table.h"
 #include "value/value.h"
@@ -29,6 +30,9 @@ struct EvalContext {
   const PropertyGraph* graph = nullptr;
   const ValueMap* params = nullptr;
   MatchMode match_mode = MatchMode::kRelUnique;
+  /// Watchdog token the match/expansion loops poll (through a CancelGate);
+  /// null means the statement runs uncancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 /// One record u of the driving table, viewed without copying, plus an

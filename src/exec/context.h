@@ -27,7 +27,7 @@ struct ExecContext {
 
   /// Read-only view for the expression evaluator.
   EvalContext Eval() const {
-    return EvalContext{graph, params, options.match_mode};
+    return EvalContext{graph, params, options.match_mode, &options.cancel};
   }
 
   MatchOptions Match() const { return MatchOptions{options.match_mode}; }

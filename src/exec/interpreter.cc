@@ -74,6 +74,9 @@ Status RunSingleQuery(ExecContext* ctx, const SingleQuery& part, Table* table,
   *has_return = false;
   *table = Table::Unit();
   for (const ClausePtr& clause : part.clauses) {
+    // Watchdog poll at clause granularity; the matcher and the parallel
+    // loops poll the same token at finer grain during long enumerations.
+    CYPHER_RETURN_NOT_OK(ctx->options.cancel.Check());
     CYPHER_RETURN_NOT_OK(ExecClause(ctx, *clause, table));
     if (ctx->options.max_rows != 0 &&
         table->num_rows() > ctx->options.max_rows) {
@@ -229,7 +232,8 @@ QueryResult BuildExplainPlan(const PropertyGraph& graph, const Query& query,
 
 Result<QueryResult> ExecuteQuery(PropertyGraph* graph, const Query& query,
                                  const ValueMap& params,
-                                 const EvalOptions& options) {
+                                 const EvalOptions& options,
+                                 const CommitHook& commit_hook) {
   CYPHER_CHECK(!query.parts.empty());
   // Mixing UNION and UNION ALL is ambiguous; reject like Neo4j does.
   if (!query.union_all.empty()) {
@@ -307,6 +311,13 @@ Result<QueryResult> ExecuteQuery(PropertyGraph* graph, const Query& query,
   // revised SET/DELETE).
   if (Status st = graph->ValidateUniqueConstraints(); !st.ok()) {
     return fail(st);
+  }
+
+  // Last exit before the statement becomes visible: a durable session logs
+  // it here, and a logging failure rolls back — the log never runs behind
+  // the committed state.
+  if (commit_hook != nullptr) {
+    if (Status st = commit_hook(); !st.ok()) return fail(st);
   }
 
   graph->CommitTo(mark);

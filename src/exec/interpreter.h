@@ -1,6 +1,7 @@
 #ifndef CYPHER_EXEC_INTERPRETER_H_
 #define CYPHER_EXEC_INTERPRETER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,13 @@ struct QueryResult {
   size_t num_rows() const { return rows.size(); }
 };
 
+/// Runs after a statement passes every end-of-statement validation but
+/// before its journal commits. A durable session logs the statement here
+/// (the write-ahead property: a statement reaches the log strictly before
+/// it becomes visible as committed); a non-OK return rolls the statement
+/// back exactly like a validation failure.
+using CommitHook = std::function<Status()>;
+
 /// Executes a parsed statement: output(Q, G) of Section 8.
 ///
 /// The graph mutates in place on success. On any error the statement's
@@ -32,7 +40,8 @@ struct QueryResult {
 /// end-of-statement dangling-relationship check.
 Result<QueryResult> ExecuteQuery(PropertyGraph* graph, const Query& query,
                                  const ValueMap& params,
-                                 const EvalOptions& options);
+                                 const EvalOptions& options,
+                                 const CommitHook& commit_hook = nullptr);
 
 }  // namespace cypher
 

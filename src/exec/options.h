@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/cancel.h"
 #include "match/matcher.h"
 
 namespace cypher {
@@ -67,6 +68,12 @@ struct EvalOptions {
   /// exceeds this many records after any clause aborts (and rolls back)
   /// with an ExecutionError. 0 = unlimited.
   size_t max_rows = 0;
+
+  /// Watchdog handle: the interpreter polls it between clauses and the
+  /// matcher/parallel loops poll it at their choice points. A tripped token
+  /// aborts the statement with kDeadlineExceeded / kAborted and rolls it
+  /// back like any other failure. Default-constructed = never cancels.
+  CancelToken cancel;
 
   // ---- Morsel-driven parallel read execution --------------------------------
   //

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "eval/evaluator.h"
@@ -208,9 +209,11 @@ Status ParallelMatchRows(const EvalContext& ec, const MatchOptions& mopts,
     CYPHER_RETURN_NOT_OK(
         RunOrdered(tasks, plan.workers, [&](size_t task) -> Status {
           RowTaskResult& res = results[task];
+          CancelGate gate(ec.cancel);
           size_t begin = task * chunk;
           size_t end = std::min(num_rows, begin + chunk);
           for (size_t r = begin; r < end; ++r) {
+            CYPHER_RETURN_NOT_OK(gate.Check());
             CYPHER_ASSIGN_OR_RETURN(
                 bool any, MatchOneRecord(ec, mopts, compiled, input, r, where,
                                          new_vars, nullptr, &res.rows));
@@ -250,6 +253,7 @@ Status ParallelMatchRows(const EvalContext& ec, const MatchOptions& mopts,
   CYPHER_RETURN_NOT_OK(
       RunOrdered(tasks, plan.workers, [&](size_t task) -> Status {
         TileResult& res = results[task];
+        CYPHER_RETURN_NOT_OK(CancelGate(ec.cancel).Check());
         size_t r = task / tiles;
         size_t tile = task % tiles;
         AnchorMorsel morsel{tile * plan.morsel,
@@ -338,9 +342,11 @@ Result<bool> TryParallelProject(const EvalContext& ec,
   size_t tasks = (num_rows + chunk - 1) / chunk;
   CYPHER_RETURN_NOT_OK(
       RunOrdered(tasks, plan.workers, [&](size_t task) -> Status {
+        CancelGate gate(ec.cancel);
         size_t begin = task * chunk;
         size_t end = std::min(num_rows, begin + chunk);
         for (size_t r = begin; r < end; ++r) {
+          CYPHER_RETURN_NOT_OK(gate.Check());
           std::vector<Value> row;
           row.reserve(items.size());
           for (const RowEval& item : fast) {
@@ -700,9 +706,11 @@ Result<bool> TryParallelAggregate(const EvalContext& ec,
     CYPHER_RETURN_NOT_OK(
         RunOrdered(tasks, plan.workers, [&](size_t task) -> Status {
           GroupSet& gs = task_groups[task];
+          CancelGate gate(ec.cancel);
           size_t begin = task * chunk;
           size_t end = std::min(num_rows, begin + chunk);
           for (size_t r = begin; r < end; ++r) {
+            CYPHER_RETURN_NOT_OK(gate.Check());
             std::vector<Value> key;
             key.reserve(key_items.size());
             for (const RowEval& ke : key_eval) {

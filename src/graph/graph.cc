@@ -43,6 +43,21 @@ void PropertyGraph::AssertMutable() const {
                "graph mutated inside a parallel read region");
 }
 
+void PropertyGraph::RedoAppend(std::string line) {
+  redo_log_ += line;
+  redo_log_ += '\n';
+}
+
+std::string PropertyGraph::RedoLabels(
+    const std::vector<Symbol>& labels) const {
+  std::string out;
+  for (Symbol label : labels) {
+    out += ':';
+    out += LabelName(label);
+  }
+  return out;
+}
+
 NodeId PropertyGraph::CreateNode(std::vector<Symbol> labels,
                                  PropertyMap props) {
   AssertMutable();
@@ -56,6 +71,12 @@ NodeId PropertyGraph::CreateNode(std::vector<Symbol> labels,
   for (Symbol label : nodes_.back().labels) AddToLabelIndex(id, label);
   IndexNode(id);
   Record({.kind = OpKind::kCreateNode, .entity = EntityRef::Node(id)});
+  if (redo_capture_) {
+    const NodeData& created = nodes_.back();
+    RedoAppend("node+ " + std::to_string(id.value) +
+               RedoLabels(created.labels) + " " +
+               DescribeProps(*this, created.props));
+  }
   return id;
 }
 
@@ -77,6 +98,13 @@ Result<RelId> PropertyGraph::CreateRel(NodeId src, NodeId tgt, Symbol type,
   ++alive_rels_;
   RelinkRel(id);
   Record({.kind = OpKind::kCreateRel, .entity = EntityRef::Rel(id)});
+  if (redo_capture_) {
+    const RelData& created = rels_.back();
+    RedoAppend("rel+ " + std::to_string(id.value) + " " +
+               std::to_string(src.value) + " " + std::to_string(tgt.value) +
+               " :" + TypeName(type) + " " +
+               DescribeProps(*this, created.props));
+  }
   return id;
 }
 
@@ -153,6 +181,10 @@ bool PropertyGraph::AddLabel(NodeId id, Symbol label) {
   Record({.kind = OpKind::kAddLabel,
           .entity = EntityRef::Node(id),
           .symbol = label});
+  if (redo_capture_) {
+    RedoAppend("label+ " + std::to_string(id.value) + " :" +
+               LabelName(label));
+  }
   return true;
 }
 
@@ -171,6 +203,10 @@ bool PropertyGraph::RemoveLabel(NodeId id, Symbol label) {
   Record({.kind = OpKind::kRemoveLabel,
           .entity = EntityRef::Node(id),
           .symbol = label});
+  if (redo_capture_) {
+    RedoAppend("label- " + std::to_string(id.value) + " :" +
+               LabelName(label));
+  }
   return true;
 }
 
@@ -179,6 +215,8 @@ bool PropertyGraph::SetProperty(EntityRef entity, Symbol key, Value value) {
   PropertyMap& props = entity.kind == EntityRef::Kind::kNode
                            ? nodes_[entity.id].props
                            : rels_[entity.id].props;
+  Value redo_value;
+  if (redo_capture_) redo_value = value;
   Value old = props.Get(key);
   if (!props.Set(key, std::move(value))) return false;
   if (entity.kind == EntityRef::Kind::kNode) {
@@ -198,6 +236,12 @@ bool PropertyGraph::SetProperty(EntityRef entity, Symbol key, Value value) {
           .entity = entity,
           .symbol = key,
           .old_value = std::move(old)});
+  if (redo_capture_) {
+    RedoAppend(std::string("prop ") +
+               (entity.kind == EntityRef::Kind::kNode ? "N " : "R ") +
+               std::to_string(entity.id) + " " + KeyName(key) + " " +
+               redo_value.ToString());
+  }
   return true;
 }
 
@@ -221,6 +265,11 @@ void PropertyGraph::ReplaceProperties(EntityRef entity, PropertyMap props) {
   }
   target = std::move(props);
   if (entity.kind == EntityRef::Kind::kNode) IndexNode(entity.AsNode());
+  if (redo_capture_) {
+    RedoAppend(std::string("props ") +
+               (entity.kind == EntityRef::Kind::kNode ? "N " : "R ") +
+               std::to_string(entity.id) + " " + DescribeProps(*this, target));
+  }
 }
 
 const PropertyMap& PropertyGraph::Properties(EntityRef entity) const {
@@ -239,6 +288,7 @@ void PropertyGraph::DeleteRel(RelId id) {
   data.alive = false;
   data.props.Clear();
   --alive_rels_;
+  if (redo_capture_) RedoAppend("rel- " + std::to_string(id.value));
 }
 
 void PropertyGraph::DeleteNode(NodeId id) {
@@ -269,6 +319,25 @@ void PropertyGraph::DeleteNodeForce(NodeId id) {
   data.labels.clear();
   data.props.Clear();
   --alive_nodes_;
+  if (redo_capture_) RedoAppend("node- " + std::to_string(id.value));
+}
+
+NodeId PropertyGraph::AppendTombstoneNode() {
+  AssertMutable();
+  NodeId id(static_cast<uint32_t>(nodes_.size()));
+  NodeData data;
+  data.alive = false;
+  nodes_.push_back(std::move(data));
+  return id;
+}
+
+RelId PropertyGraph::AppendTombstoneRel() {
+  AssertMutable();
+  RelId id(static_cast<uint32_t>(rels_.size()));
+  RelData data;
+  data.alive = false;
+  rels_.push_back(std::move(data));
+  return id;
 }
 
 bool PropertyGraph::HasDanglingRels() const {
@@ -429,6 +498,9 @@ void PropertyGraph::DecLabelCount(Symbol label) {
 void PropertyGraph::CreateIndex(Symbol label, Symbol key) {
   AssertMutable();
   if (FindPropertyIndex(label, key) != nullptr) return;
+  if (redo_capture_) {
+    RedoAppend("index+ :" + LabelName(label) + " " + KeyName(key));
+  }
   PropertyIndex index;
   index.label = label;
   index.key = key;
@@ -524,6 +596,9 @@ void PropertyGraph::DropIndex(Symbol label, Symbol key) {
         property_indexes_[i].key == key) {
       property_indexes_.erase(property_indexes_.begin() +
                               static_cast<ptrdiff_t>(i));
+      if (redo_capture_) {
+        RedoAppend("index- :" + LabelName(label) + " " + KeyName(key));
+      }
       return;
     }
   }
@@ -562,6 +637,9 @@ Status PropertyGraph::AddUniqueConstraint(Symbol label, Symbol key) {
         KeyName(key) + "): existing nodes share the value " + duplicate);
   }
   unique_constraints_.emplace_back(label, key);
+  if (redo_capture_) {
+    RedoAppend("uniq+ :" + LabelName(label) + " " + KeyName(key));
+  }
   return Status::OK();
 }
 
@@ -571,6 +649,9 @@ void PropertyGraph::DropUniqueConstraint(Symbol label, Symbol key) {
     if (unique_constraints_[i] == std::make_pair(label, key)) {
       unique_constraints_.erase(unique_constraints_.begin() +
                                 static_cast<ptrdiff_t>(i));
+      if (redo_capture_) {
+        RedoAppend("uniq- :" + LabelName(label) + " " + KeyName(key));
+      }
       return;
     }
   }

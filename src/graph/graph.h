@@ -373,6 +373,50 @@ class PropertyGraph {
   /// the journal becomes empty.
   void CommitTo(JournalMark mark);
 
+  // ---- Redo log (write-ahead logging) -------------------------------------
+  //
+  // While capture is on, every observable mutation appends one line of
+  // textual redo: exact slot ids, label/type/key *names* (so replay is
+  // independent of interner order) and values in property-literal syntax.
+  // The database layer turns the capture of one committed statement into one
+  // WAL record; storage/wal.h replays it with ApplyRedoLog. DDL (index /
+  // constraint create+drop) is captured too, even though it is not
+  // undo-journaled.
+
+  /// Starts capturing redo lines into an empty buffer.
+  void BeginRedoCapture() {
+    redo_capture_ = true;
+    redo_log_.clear();
+  }
+
+  /// Stops capture and returns the accumulated redo text.
+  std::string TakeRedoLog() {
+    redo_capture_ = false;
+    std::string out;
+    out.swap(redo_log_);
+    return out;
+  }
+
+  /// Stops capture and discards the buffer (statement failed, rolled back).
+  void AbortRedoCapture() {
+    redo_capture_ = false;
+    redo_log_.clear();
+  }
+
+  bool redo_capturing() const { return redo_capture_; }
+
+  // ---- Exact-slot restore hooks (crash recovery) --------------------------
+  //
+  // WAL records reference original slot ids, so a graph rebuilt from a
+  // snapshot must keep the exact slot numbering of the source — including
+  // tombstones. Recovery appends dead placeholder slots for the gaps; these
+  // are neither journaled nor redo-captured.
+
+  /// Appends a dead node slot and returns its id.
+  NodeId AppendTombstoneNode();
+  /// Appends a dead relationship slot and returns its id.
+  RelId AppendTombstoneRel();
+
  private:
   enum class OpKind {
     kCreateNode,
@@ -466,6 +510,14 @@ class PropertyGraph {
   size_t alive_rels_ = 0;
   std::vector<JournalOp> journal_;
   bool journaling_ = false;
+
+  /// Appends one redo line (no trailing newline in `line`) when capturing.
+  void RedoAppend(std::string line);
+  /// ":A:B" for a label set, "" when empty.
+  std::string RedoLabels(const std::vector<Symbol>& labels) const;
+
+  std::string redo_log_;
+  bool redo_capture_ = false;
 };
 
 /// Renders a node in Cypher-ish form, e.g. `(:User {id: 89, name: 'Bob'})`.

@@ -1,9 +1,11 @@
 #include "graph/serialize.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cmath>
 #include <unordered_map>
+#include <vector>
 
 #include "common/strings.h"
 
@@ -222,7 +224,70 @@ PropertyMap MapToProps(PropertyGraph* graph, const ValueMap& map) {
   return props;
 }
 
+/// PropsLiteral with keys sorted by name (see DumpGraphCanonical).
+std::string PropsLiteralCanonical(const PropertyGraph& graph,
+                                  const PropertyMap& map) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(map.entries().size());
+  for (const auto& [key, value] : map.entries()) {
+    entries.emplace_back(graph.KeyName(key), value.ToString());
+  }
+  std::sort(entries.begin(), entries.end());
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, literal] : entries) {
+    if (!first) out += ", ";
+    first = false;
+    out += name + ": " + literal;
+  }
+  out += "}";
+  return out;
+}
+
 }  // namespace
+
+Result<Value> ParseLiteral(std::string_view text, size_t* consumed) {
+  LiteralParser parser(text);
+  CYPHER_ASSIGN_OR_RETURN(Value value, parser.ParseValue());
+  if (consumed != nullptr) *consumed = parser.position();
+  return value;
+}
+
+Result<ValueMap> ParseLiteralMap(std::string_view text, size_t* consumed) {
+  LiteralParser parser(text);
+  CYPHER_ASSIGN_OR_RETURN(ValueMap map, parser.ParseMapBody());
+  if (consumed != nullptr) *consumed = parser.position();
+  return map;
+}
+
+std::string DumpGraphCanonical(const PropertyGraph& graph) {
+  std::string out;
+  std::unordered_map<uint32_t, size_t> node_ordinal;
+  size_t next = 0;
+  for (NodeId id : graph.AllNodes()) {
+    node_ordinal[id.value] = next;
+    out += "node " + std::to_string(next);
+    std::vector<std::string> labels;
+    for (Symbol label : graph.node(id).labels) {
+      labels.push_back(graph.LabelName(label));
+    }
+    std::sort(labels.begin(), labels.end());
+    for (const std::string& label : labels) out += " :" + label;
+    out += " " + PropsLiteralCanonical(graph, graph.node(id).props) + "\n";
+    ++next;
+  }
+  size_t rel_next = 0;
+  for (RelId id : graph.AllRels()) {
+    const RelData& rel = graph.rel(id);
+    out += "rel " + std::to_string(rel_next) + " " +
+           std::to_string(node_ordinal.at(rel.src.value)) + " " +
+           std::to_string(node_ordinal.at(rel.tgt.value)) + " :" +
+           graph.TypeName(rel.type) + " " +
+           PropsLiteralCanonical(graph, rel.props) + "\n";
+    ++rel_next;
+  }
+  return out;
+}
 
 std::string DumpGraph(const PropertyGraph& graph) {
   std::string out;

@@ -19,9 +19,24 @@ namespace cypher {
 /// integers, floats, single-quoted strings, lists, maps).
 std::string DumpGraph(const PropertyGraph& graph);
 
+/// DumpGraph with interner-independent ordering: labels within a node line
+/// and keys within a property literal are sorted by *name* instead of by
+/// interned symbol. Two graphs with the same content but different intern
+/// orders (e.g. an original and its crash-recovered twin) dump identically.
+std::string DumpGraphCanonical(const PropertyGraph& graph);
+
 /// Parses the DumpGraph format. Lines starting with '#' and blank lines are
 /// ignored. Returns InvalidArgument with a line number on malformed input.
 Result<PropertyGraph> LoadGraph(const std::string& text);
+
+/// Parses one literal of the DumpGraph property subset (null, booleans,
+/// numbers, single-quoted strings, [lists], {maps}) from the front of
+/// `text`; `consumed`, when non-null, receives the bytes used.
+Result<Value> ParseLiteral(std::string_view text, size_t* consumed = nullptr);
+
+/// Parses a `{key: literal, ...}` map from the front of `text`.
+Result<ValueMap> ParseLiteralMap(std::string_view text,
+                                 size_t* consumed = nullptr);
 
 /// Renders the graph in Graphviz DOT syntax (for the examples' visual
 /// output).

@@ -101,7 +101,8 @@ class MatchEngine {
         graph_(*ctx.graph),
         morsel_(morsel),
         memo_(compiled.memo_slots),
-        input_cache_(compiled.input_slots) {}
+        input_cache_(compiled.input_slots),
+        cancel_gate_(ctx.cancel) {}
 
   Status Run() {
     for (const CompiledPath& path : compiled_.paths) {
@@ -314,7 +315,8 @@ class MatchEngine {
     Status st;
     auto visit = [&](NodeId id) {
       if (stopped_) return false;
-      st = fn(id);
+      st = cancel_gate_.Check();
+      if (st.ok()) st = fn(id);
       return st.ok();
     };
     if (label != kNoSymbol) {
@@ -386,6 +388,7 @@ class MatchEngine {
     int64_t level = 0;
     while (!frontier.empty() &&
            (rel_src.max_hops < 0 || level < rel_src.max_hops)) {
+      CYPHER_RETURN_NOT_OK(cancel_gate_.Check());
       std::vector<NodeId> next;
       if (options_.expand_workers > 1 && frontier.size() >= kMinBfsFrontier) {
         CYPHER_RETURN_NOT_OK(ExpandBfsLevelParallel(rel_pattern, frontier,
@@ -442,6 +445,7 @@ class MatchEngine {
     ThreadPool::Shared().Run(
         num_tasks, options_.expand_workers, [&](size_t t) {
           std::vector<std::optional<Value>> memo = memo_;
+          CancelGate gate(ctx_.cancel);
           size_t begin = t * slice;
           size_t end = std::min(frontier.size(), begin + slice);
           for (size_t i = begin; i < end; ++i) {
@@ -449,6 +453,10 @@ class MatchEngine {
                                       rel_pattern.direction);
             RelCandidate cand;
             while (cursor.Next(&cand)) {
+              if (Status cst = gate.Check(); !cst.ok()) {
+                statuses[t] = std::move(cst);
+                return;
+              }
               if (!RelUsable(cand.rel)) continue;
               Result<bool> ok = RelMatches(rel_pattern, cand.rel, &memo);
               if (!ok.ok()) {
@@ -654,6 +662,7 @@ class MatchEngine {
     RelCandidate cand;
     while (cursor.Next(&cand)) {
       if (stopped_) break;
+      CYPHER_RETURN_NOT_OK(cancel_gate_.Check());
       if (!RelUsable(cand.rel)) continue;
       CYPHER_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(rel_pattern, cand.rel));
       if (!rel_ok) continue;
@@ -754,6 +763,7 @@ class MatchEngine {
                        NodeId cur, int64_t count, std::vector<RelId>* hops,
                        PathValue* path, size_t pattern_idx) {
     if (stopped_) return Status::OK();
+    CYPHER_RETURN_NOT_OK(cancel_gate_.Check());
     const CompiledRel& rel_pattern = cpath.steps[step_idx].first;
     const RelPattern& rel_src = *rel_pattern.source;
     if (count >= rel_src.min_hops) {
@@ -949,6 +959,9 @@ class MatchEngine {
   /// Per-record cache of driving-record variable values, indexed by
   /// input_slot (see PrefetchInputs).
   std::vector<std::optional<Value>> input_cache_;
+  /// Amortized watchdog poll for this engine's walks (one per thread: the
+  /// parallel fan-outs give every worker engine or task its own gate).
+  CancelGate cancel_gate_;
   bool stopped_ = false;
 };
 

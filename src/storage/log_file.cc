@@ -1,0 +1,97 @@
+#include "storage/log_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cypher::storage {
+
+namespace {
+
+Status IoError(const std::string& what) {
+  return Status::Aborted("log file: " + what + ": " + std::strerror(errno));
+}
+
+/// fsync-backed append-only file. The descriptor is opened O_APPEND so a
+/// crashed writer can never scribble into the committed prefix.
+class PosixLogFile : public LogFile {
+ public:
+  PosixLogFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+
+  ~PosixLogFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t size) override {
+    const char* p = static_cast<const char*>(data);
+    size_t left = size;
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return IoError("write");
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+      size_ += static_cast<uint64_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return IoError("fsync");
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t new_size) override {
+    if (new_size >= size_) return Status::OK();
+    if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+      return IoError("ftruncate");
+    }
+    size_ = new_size;
+    // O_APPEND writes always go to the (new) end; no lseek needed.
+    return Status::OK();
+  }
+
+  Result<std::string> ReadAll() override {
+    std::string out;
+    out.resize(size_);
+    size_t done = 0;
+    while (done < out.size()) {
+      ssize_t n = ::pread(fd_, out.data() + done, out.size() - done,
+                          static_cast<off_t>(done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return IoError("pread");
+      }
+      if (n == 0) break;  // shorter than expected: trust what is there
+      done += static_cast<size_t>(n);
+    }
+    out.resize(done);
+    return out;
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  int fd_;
+  uint64_t size_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<LogFile>> OpenPosixLogFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return IoError("open " + path);
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return IoError("lseek " + path);
+  }
+  return std::unique_ptr<LogFile>(
+      new PosixLogFile(fd, static_cast<uint64_t>(end)));
+}
+
+}  // namespace cypher::storage

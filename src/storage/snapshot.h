@@ -1,0 +1,59 @@
+#ifndef CYPHER_STORAGE_SNAPSHOT_H_
+#define CYPHER_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace cypher::storage {
+
+/// Exact-slot snapshot of a graph, the payload of a WAL kSnapshot record.
+///
+/// Unlike DumpGraph (which compacts ids, producing an isomorphic but not
+/// identical graph), this encoding preserves slot numbering *including
+/// tombstones*, because statement records appended after the snapshot
+/// reference entities by original slot id. Line-oriented text:
+///
+///   nodes <slot-capacity>
+///   rels <slot-capacity>
+///   node <slot>[:Label...] {key: literal, ...}      alive nodes only
+///   rel <slot> <src> <tgt> :TYPE {key: literal, ...} alive rels only
+///   index :Label key
+///   uniq :Label key
+///
+/// Dead slots are implicit (the gaps); the decoder re-creates them as
+/// tombstones. Adjacency, the label index and cardinalities are rebuilt;
+/// property indexes and uniqueness constraints are re-declared by name.
+std::string EncodeSnapshot(const PropertyGraph& graph);
+
+/// Rebuilds a graph from EncodeSnapshot output. The result has the exact
+/// slot layout of the source; interner order may differ (compare with
+/// DumpGraphCanonical, not DumpGraph).
+Result<PropertyGraph> DecodeSnapshot(std::string_view payload);
+
+/// Replays one committed statement's redo text (PropertyGraph::TakeRedoLog,
+/// the payload of a kStatement record) onto `graph`, which must be in the
+/// exact-slot state the statement was captured against.
+Status ApplyRedoLog(PropertyGraph* graph, std::string_view redo);
+
+struct RecoveredGraph {
+  PropertyGraph graph;
+  /// Statement records applied (after the latest snapshot).
+  size_t statements = 0;
+  /// Valid prefix length of the log; bytes past this are torn/corrupt.
+  uint64_t valid_bytes = 0;
+  bool torn_tail = false;
+};
+
+/// Crash recovery over a raw log image: decode records (stopping at the
+/// first torn or corrupt one), restore the latest snapshot, then replay
+/// every following statement. The caller truncates the file to
+/// `valid_bytes` before appending new records.
+Result<RecoveredGraph> RecoverGraph(std::string_view wal_bytes);
+
+}  // namespace cypher::storage
+
+#endif  // CYPHER_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,106 @@
+#ifndef CYPHER_STORAGE_WAL_H_
+#define CYPHER_STORAGE_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/log_file.h"
+
+namespace cypher::storage {
+
+/// Logical write-ahead log, one file:
+///
+///   [8-byte magic "CYWAL001"]
+///   [u32 length][u32 crc32][u8 type][payload...]     repeated
+///
+/// Integers are little-endian; `length` counts the type byte plus the
+/// payload, and the CRC covers the same bytes. A kSnapshot payload is an
+/// exact-slot graph image (see snapshot.h); a kStatement payload is one
+/// committed statement's redo text (PropertyGraph::TakeRedoLog). Recovery
+/// replays the latest snapshot, then every following statement, and stops
+/// at the first incomplete or checksum-failing record — the torn-write
+/// rule that keeps a half-written commit invisible.
+inline constexpr char kWalMagic[8] = {'C', 'Y', 'W', 'A', 'L', '0', '0', '1'};
+inline constexpr size_t kWalMagicSize = sizeof(kWalMagic);
+inline constexpr size_t kWalFrameHeaderSize = 9;  // len + crc + type
+
+enum class WalRecordType : uint8_t {
+  kSnapshot = 1,
+  kStatement = 2,
+};
+
+struct WalRecord {
+  WalRecordType type;
+  std::string payload;
+};
+
+/// Frames one record (header + checksummed body) for appending.
+std::string EncodeWalRecord(WalRecordType type, std::string_view payload);
+
+struct WalContents {
+  std::vector<WalRecord> records;
+  /// Length of the valid prefix: magic plus every whole, checksum-clean
+  /// record. Recovery truncates the file to this.
+  uint64_t valid_bytes = 0;
+  /// True when trailing bytes past valid_bytes were dropped (torn record,
+  /// bad checksum, or unknown record type).
+  bool torn_tail = false;
+};
+
+/// Decodes a log image. Fails (InvalidArgument) only when the magic itself
+/// is wrong or short — anything after a good magic degrades to a torn tail,
+/// never an error, because that is exactly what a crash leaves behind.
+Result<WalContents> DecodeWal(std::string_view bytes);
+
+/// Serializes appends and batches fsyncs (group commit).
+///
+/// Append buffers a framed record in memory and returns its LSN — the byte
+/// offset just past the record. Sync(lsn) blocks until the log is durable
+/// through that offset: the first waiter becomes the leader, writes and
+/// fsyncs everything buffered so far (covering every concurrent follower),
+/// and followers just wait. Under concurrent sessions this collapses N
+/// commits into one fsync.
+///
+/// Any I/O failure is sticky: the writer poisons itself and every later
+/// Append/Sync returns the same kAborted status. The bytes of the failed
+/// batch may sit torn at the end of the file; recovery truncates them.
+class WalWriter {
+ public:
+  /// Takes over a log whose on-disk prefix (`file->size()` bytes) is valid.
+  explicit WalWriter(std::unique_ptr<LogFile> file);
+
+  /// Frames and buffers one record; returns its LSN to pass to Sync.
+  Result<uint64_t> Append(WalRecordType type, std::string_view payload);
+
+  /// Blocks until the log is durable through `lsn` (see class comment).
+  Status Sync(uint64_t lsn);
+
+  /// The sticky I/O failure, or OK.
+  Status error() const;
+
+  uint64_t durable_lsn() const;
+  uint64_t appended_lsn() const;
+
+  /// The underlying file; tests peek, nothing else should.
+  LogFile* file() { return file_.get(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unique_ptr<LogFile> file_;
+  std::string pending_;      // framed records not yet handed to the file
+  uint64_t appended_lsn_;    // end offset including pending_
+  uint64_t durable_lsn_;     // end offset through the last good fsync
+  bool leader_active_ = false;
+  Status error_;
+};
+
+}  // namespace cypher::storage
+
+#endif  // CYPHER_STORAGE_WAL_H_

@@ -121,5 +121,102 @@ INSTANTIATE_TEST_SUITE_P(
                   "RETURN 1 AS a UNION RETURN 2 AS b",
                   StatusCode::kExecutionError}));
 
+// ---- Rollback sweep -------------------------------------------------------
+//
+// Statements that perform real mutations before failing partway: the
+// write-ahead property says the graph must come back BYTE-identical (same
+// slots, same dump), not merely isomorphic, in both the legacy and the
+// revised semantics. This is the same journal the WAL's commit hook relies
+// on, so any leak here is a durability bug too.
+
+struct RollbackCase {
+  const char* name;
+  const char* setup;
+  const char* query;
+};
+
+class RollbackSweepTest : public ::testing::TestWithParam<RollbackCase> {};
+
+TEST_P(RollbackSweepTest, FailureRestoresTheExactGraph) {
+  const RollbackCase& c = GetParam();
+  for (SemanticsMode mode : {SemanticsMode::kRevised, SemanticsMode::kLegacy}) {
+    GraphDatabase db;
+    db.options().semantics = mode;
+    auto setup = db.ExecuteScript(c.setup);
+    ASSERT_TRUE(setup.ok()) << c.name << ": " << setup.status().ToString();
+    std::string before = DumpGraph(db.graph());
+    auto result = db.Execute(c.query);
+    ASSERT_FALSE(result.ok())
+        << c.name << " unexpectedly succeeded ("
+        << (mode == SemanticsMode::kLegacy ? "legacy" : "revised") << ")";
+    EXPECT_EQ(DumpGraph(db.graph()), before)
+        << c.name << " ("
+        << (mode == SemanticsMode::kLegacy ? "legacy" : "revised")
+        << "): failed statement left the graph changed";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mutations, RollbackSweepTest,
+    ::testing::Values(
+        // SET applied to some rows, then a later clause fails.
+        RollbackCase{"set_then_error",
+                     "CREATE (:S {v: 1}), (:S {v: 2}), (:S {v: 3})",
+                     "MATCH (n:S) SET n.x = 99 WITH n RETURN 1 / 0"},
+        RollbackCase{"set_map_then_error", "CREATE (:S {v: 1})",
+                     "MATCH (n:S) SET n = {fresh: true} WITH n "
+                     "RETURN n.fresh + 1"},
+        RollbackCase{"set_label_then_error", "CREATE (:S {v: 1})",
+                     "MATCH (n:S) SET n:Extra:Hot WITH n RETURN 1 % 0"},
+        // REMOVE applied, then failure.
+        RollbackCase{"remove_then_error",
+                     "CREATE (:S {v: 1, w: 2}), (:S {v: 2, w: 3})",
+                     "MATCH (n:S) REMOVE n.w WITH n RETURN 1 / 0"},
+        RollbackCase{"remove_label_then_error", "CREATE (:S:Hot {v: 1})",
+                     "MATCH (n:S) REMOVE n:Hot WITH n RETURN 1 / 0"},
+        // DELETE applied, then failure: tombstoned slots must come back.
+        RollbackCase{"delete_rel_then_error",
+                     "CREATE (:A {v: 1})-[:T {c: 7}]->(:B {v: 2})",
+                     "MATCH ()-[r:T]->() DELETE r WITH 1 AS one "
+                     "RETURN 1 / 0"},
+        RollbackCase{"detach_delete_then_error",
+                     "CREATE (:A {v: 1})-[:T]->(:B {v: 2})",
+                     "MATCH (a:A) DETACH DELETE a WITH 1 AS one "
+                     "RETURN 1 / 0"},
+        // CREATE applied, then failure (fresh slots must be reclaimed).
+        RollbackCase{"create_then_error", "CREATE (:S {v: 1})",
+                     "MATCH (n:S) CREATE (:Fresh {src: n.v}) "
+                     "WITH n RETURN 1 / 0"},
+        RollbackCase{"create_rel_then_error",
+                     "CREATE (:A {v: 1}), (:B {v: 2})",
+                     "MATCH (a:A), (b:B) CREATE (a)-[:NEW]->(b) "
+                     "WITH a RETURN 1 / 0"},
+        // MERGE created its pattern, then the statement fails (SAME / ALL
+        // run identically in both semantics; bare MERGE is legacy-only).
+        RollbackCase{"merge_then_error", "",
+                     "MERGE SAME (m:M {id: 1}) WITH m RETURN 1 / 0"},
+        RollbackCase{"merge_rel_then_error",
+                     "CREATE (:A {v: 1}), (:B {v: 2})",
+                     "MATCH (a:A), (b:B) MERGE ALL (a)-[:L]->(b) "
+                     "WITH a RETURN 1 / 0"},
+        // FOREACH fails mid-iteration: earlier iterations' writes undone.
+        RollbackCase{"foreach_create_mid_error", "CREATE (:S {v: 1})",
+                     "FOREACH (x IN [1, 2, 0, 3] | CREATE (:F {inv: 1 / x}))"},
+        RollbackCase{"foreach_set_mid_error",
+                     "CREATE (:S {v: 1}), (:S {v: 2})",
+                     "MATCH (n:S) FOREACH (x IN [5, 0] | "
+                     "SET n.w = 10 / x)"},
+        RollbackCase{"foreach_delete_mid_error",
+                     "CREATE (:A {v: 1})-[:T]->(:B {v: 2}), "
+                     "(:A {v: 3})-[:T]->(:B {v: 4})",
+                     "MATCH (a:A)-[r:T]->() FOREACH (x IN [1] | DELETE r) "
+                     "WITH a RETURN 1 / 0"},
+        // Mixed clauses: everything staged before the failure unwinds.
+        RollbackCase{"mixed_then_constraint",
+                     "CREATE CONSTRAINT ON (n:K) ASSERT n.id IS UNIQUE; "
+                     "CREATE (:K {id: 1}), (:S {v: 1})",
+                     "MATCH (n:S) SET n.touched = true "
+                     "CREATE (:K {id: 1})"}));
+
 }  // namespace
 }  // namespace cypher

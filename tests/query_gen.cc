@@ -253,4 +253,53 @@ std::string GenerateReadQuery(uint64_t seed) {
   }
 }
 
+std::string GenerateUpdateQuery(uint64_t seed) {
+  SplitMix64 rng(seed * 0x94d049bb133111ebULL + 13);
+  // Probe ids stay inside the BuildRandomGraph id range (0..55); deleted
+  // nodes simply make some probes match nothing, which must still commit.
+  const int64_t id = static_cast<int64_t>(rng.NextBelow(56));
+  const int64_t id2 = static_cast<int64_t>(rng.NextBelow(56));
+  const int64_t k = static_cast<int64_t>(rng.NextBelow(13));
+  const int64_t v = static_cast<int64_t>(rng.NextBelow(100));
+  switch (rng.NextBelow(14)) {
+    case 0:  // Fresh node; ids above the seed range keep {id} probes unique.
+      return "CREATE (:A:New {id: " + I(1000 + v) + ", k: " + I(k) + "})";
+    case 1:  // Fresh relationship between two probed endpoints.
+      return "MATCH (a {id: " + I(id) + "}), (b {id: " + I(id2) +
+             "}) CREATE (a)-[:R {c: " + I(k) + "}]->(b)";
+    case 2:  // Single-property SET across a k-cohort.
+      return "MATCH (n {k: " + I(k) + "}) SET n.w = " + I(v);
+    case 3:  // Whole-map replacement on one node.
+      return "MATCH (n {id: " + I(id) + "}) SET n = {id: " + I(id) +
+             ", k: " + I(k) + ", w: " + I(v % 5) + "}";
+    case 4:  // Additive map merge.
+      return "MATCH (n {id: " + I(id) + "}) SET n += {tag: " + I(v) + "}";
+    case 5:  // Label add.
+      return "MATCH (n {id: " + I(id) + "}) SET n:B:Hot";
+    case 6:  // Property removal across a cohort.
+      return "MATCH (n {k: " + I(k) + "}) REMOVE n.w";
+    case 7:  // Label removal.
+      return "MATCH (n {id: " + I(id) + "}) REMOVE n:Hot";
+    case 8:  // Relationship deletion by property probe.
+      return "MATCH ()-[r:" + std::string(rng.NextBelow(2) == 0 ? "R" : "S") +
+             " {c: " + I(static_cast<int64_t>(rng.NextBelow(7))) +
+             "}]->() DELETE r";
+    case 9:  // Node deletion with its incident relationships.
+      return "MATCH (n {id: " + I(id) + "}) DETACH DELETE n";
+    case 10:  // MERGE SAME: match-or-create one node (works in both
+              // semantics; bare MERGE is legacy-only).
+      return "MERGE SAME (m:M {mid: " +
+             I(static_cast<int64_t>(rng.NextBelow(6))) + "})";
+    case 11:  // MERGE ALL over a probed cohort.
+      return "MERGE ALL (:C {v: " + I(static_cast<int64_t>(rng.NextBelow(4))) +
+             "})";
+    case 12:  // FOREACH creating a small batch.
+      return "FOREACH (x IN range(0, " +
+             I(1 + static_cast<int64_t>(rng.NextBelow(3))) +
+             ") | CREATE (:F {fx: x, run: " + I(v) + "}))";
+    default:  // FOREACH mutating matched rows.
+      return "MATCH (n {k: " + I(k) + "}) FOREACH (x IN [1, 2] | SET n.w = x)";
+  }
+}
+
 }  // namespace cypher::testing

@@ -25,6 +25,15 @@ Status BuildRandomGraph(GraphDatabase* db, uint64_t seed);
 /// min, max, collect, avg, DISTINCT, ORDER BY, SKIP / LIMIT).
 std::string GenerateReadQuery(uint64_t seed);
 
+/// A deterministic random update statement valid over any BuildRandomGraph
+/// graph: node/relationship CREATE, single-property and whole-map SET,
+/// label SET, REMOVE, DELETE / DETACH DELETE, standalone MERGE, MERGE ALL,
+/// and FOREACH bodies. Statements may legitimately match nothing (a no-op
+/// commit) but never fail; the durability tests rely on every generated
+/// statement committing so the crash sweep's committed-prefix accounting
+/// stays simple.
+std::string GenerateUpdateQuery(uint64_t seed);
+
 }  // namespace cypher::testing
 
 #endif  // CYPHER_TESTS_QUERY_GEN_H_
