@@ -3,6 +3,7 @@
 #include "ast/clause.h"
 #include "ast/expr.h"
 #include "ast/pattern.h"
+#include "ast/query.h"
 #include "common/check.h"
 
 namespace cypher {
@@ -273,6 +274,183 @@ bool IsUpdateClause(const Clause& clause) {
     default:
       return false;
   }
+}
+
+namespace {
+
+std::vector<PathPattern> ClonePatterns(const std::vector<PathPattern>& in) {
+  std::vector<PathPattern> out;
+  out.reserve(in.size());
+  for (const PathPattern& p : in) out.push_back(ClonePattern(p));
+  return out;
+}
+
+SetItem CloneSetItem(const SetItem& item) {
+  SetItem out;
+  out.kind = item.kind;
+  out.target = CloneExpr(*item.target);
+  out.key = item.key;
+  out.value = item.value ? CloneExpr(*item.value) : nullptr;
+  out.labels = item.labels;
+  return out;
+}
+
+std::vector<SetItem> CloneSetItems(const std::vector<SetItem>& in) {
+  std::vector<SetItem> out;
+  out.reserve(in.size());
+  for (const SetItem& item : in) out.push_back(CloneSetItem(item));
+  return out;
+}
+
+ProjectionBody CloneProjectionBody(const ProjectionBody& body) {
+  ProjectionBody out;
+  out.distinct = body.distinct;
+  out.include_existing = body.include_existing;
+  out.items.reserve(body.items.size());
+  for (const ReturnItem& item : body.items) {
+    out.items.push_back({CloneExpr(*item.expr), item.alias});
+  }
+  out.order_by.reserve(body.order_by.size());
+  for (const SortItem& item : body.order_by) {
+    out.order_by.push_back({CloneExpr(*item.expr), item.ascending});
+  }
+  out.skip = body.skip ? CloneExpr(*body.skip) : nullptr;
+  out.limit = body.limit ? CloneExpr(*body.limit) : nullptr;
+  return out;
+}
+
+std::vector<ClausePtr> CloneClauses(const std::vector<ClausePtr>& in) {
+  std::vector<ClausePtr> out;
+  out.reserve(in.size());
+  for (const ClausePtr& clause : in) out.push_back(CloneClause(*clause));
+  return out;
+}
+
+}  // namespace
+
+ClausePtr CloneClause(const Clause& clause) {
+  switch (clause.kind) {
+    case ClauseKind::kMatch: {
+      const auto& c = static_cast<const MatchClause&>(clause);
+      auto out = std::make_unique<MatchClause>();
+      out->optional = c.optional;
+      out->patterns = ClonePatterns(c.patterns);
+      out->where = c.where ? CloneExpr(*c.where) : nullptr;
+      return out;
+    }
+    case ClauseKind::kUnwind: {
+      const auto& c = static_cast<const UnwindClause&>(clause);
+      auto out = std::make_unique<UnwindClause>();
+      out->list = CloneExpr(*c.list);
+      out->variable = c.variable;
+      return out;
+    }
+    case ClauseKind::kWith: {
+      const auto& c = static_cast<const WithClause&>(clause);
+      auto out = std::make_unique<WithClause>();
+      out->body = CloneProjectionBody(c.body);
+      out->where = c.where ? CloneExpr(*c.where) : nullptr;
+      return out;
+    }
+    case ClauseKind::kReturn: {
+      const auto& c = static_cast<const ReturnClause&>(clause);
+      auto out = std::make_unique<ReturnClause>();
+      out->body = CloneProjectionBody(c.body);
+      return out;
+    }
+    case ClauseKind::kCreate: {
+      const auto& c = static_cast<const CreateClause&>(clause);
+      auto out = std::make_unique<CreateClause>();
+      out->patterns = ClonePatterns(c.patterns);
+      return out;
+    }
+    case ClauseKind::kSet: {
+      const auto& c = static_cast<const SetClause&>(clause);
+      auto out = std::make_unique<SetClause>();
+      out->items = CloneSetItems(c.items);
+      return out;
+    }
+    case ClauseKind::kRemove: {
+      const auto& c = static_cast<const RemoveClause&>(clause);
+      auto out = std::make_unique<RemoveClause>();
+      out->items.reserve(c.items.size());
+      for (const RemoveItem& item : c.items) {
+        RemoveItem copy;
+        copy.kind = item.kind;
+        copy.target = CloneExpr(*item.target);
+        copy.key = item.key;
+        copy.labels = item.labels;
+        out->items.push_back(std::move(copy));
+      }
+      return out;
+    }
+    case ClauseKind::kDelete: {
+      const auto& c = static_cast<const DeleteClause&>(clause);
+      auto out = std::make_unique<DeleteClause>();
+      out->detach = c.detach;
+      out->exprs.reserve(c.exprs.size());
+      for (const ExprPtr& e : c.exprs) out->exprs.push_back(CloneExpr(*e));
+      return out;
+    }
+    case ClauseKind::kMerge: {
+      const auto& c = static_cast<const MergeClause&>(clause);
+      auto out = std::make_unique<MergeClause>();
+      out->form = c.form;
+      out->patterns = ClonePatterns(c.patterns);
+      out->on_create = CloneSetItems(c.on_create);
+      out->on_match = CloneSetItems(c.on_match);
+      return out;
+    }
+    case ClauseKind::kForeach: {
+      const auto& c = static_cast<const ForeachClause&>(clause);
+      auto out = std::make_unique<ForeachClause>();
+      out->variable = c.variable;
+      out->list = CloneExpr(*c.list);
+      out->body = CloneClauses(c.body);
+      return out;
+    }
+    case ClauseKind::kCreateIndex: {
+      const auto& c = static_cast<const CreateIndexClause&>(clause);
+      auto out = std::make_unique<CreateIndexClause>();
+      out->drop = c.drop;
+      out->label = c.label;
+      out->key = c.key;
+      return out;
+    }
+    case ClauseKind::kConstraint: {
+      const auto& c = static_cast<const ConstraintClause&>(clause);
+      auto out = std::make_unique<ConstraintClause>();
+      out->drop = c.drop;
+      out->label = c.label;
+      out->key = c.key;
+      return out;
+    }
+    case ClauseKind::kCallSubquery: {
+      const auto& c = static_cast<const CallSubqueryClause&>(clause);
+      auto out = std::make_unique<CallSubqueryClause>();
+      out->body = CloneClauses(c.body);
+      return out;
+    }
+  }
+  CYPHER_CHECK(false && "unreachable clause kind");
+  return nullptr;
+}
+
+SingleQuery CloneSingleQuery(const SingleQuery& query) {
+  SingleQuery out;
+  out.clauses = CloneClauses(query.clauses);
+  return out;
+}
+
+Query CloneQuery(const Query& query) {
+  Query out;
+  out.mode = query.mode;
+  out.parts.reserve(query.parts.size());
+  for (const SingleQuery& part : query.parts) {
+    out.parts.push_back(CloneSingleQuery(part));
+  }
+  out.union_all = query.union_all;
+  return out;
 }
 
 }  // namespace cypher

@@ -42,6 +42,10 @@ using ClausePtr = std::unique_ptr<Clause>;
 /// True for CREATE/SET/REMOVE/DELETE/MERGE/FOREACH.
 bool IsUpdateClause(const Clause& clause);
 
+/// Deep copy of a clause tree (including FOREACH / CALL bodies). The copy
+/// shares nothing with the source; rewrite passes mutate copies freely.
+ClausePtr CloneClause(const Clause& clause);
+
 /// MATCH / OPTIONAL MATCH with an optional WHERE filter.
 struct MatchClause : Clause {
   MatchClause() : Clause(ClauseKind::kMatch) {}

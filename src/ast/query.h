@@ -27,6 +27,10 @@ struct Query {
   std::vector<bool> union_all;
 };
 
+/// Deep copies (clauses own expression and pattern trees).
+SingleQuery CloneSingleQuery(const SingleQuery& query);
+Query CloneQuery(const Query& query);
+
 }  // namespace cypher
 
 #endif  // CYPHER_AST_QUERY_H_

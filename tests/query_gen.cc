@@ -184,7 +184,11 @@ Status BuildRandomGraph(GraphDatabase* db, uint64_t seed) {
 
 std::string GenerateReadQuery(uint64_t seed) {
   SplitMix64 rng(seed * 0xbf58476d1ce4e5b9ULL + 7);
-  switch (rng.NextBelow(12)) {
+  switch (rng.NextBelow(13)) {
+    case 12:  // OPTIONAL MATCH expansion driven by a plain scan.
+      return "MATCH " + NodePat(rng, "a") + " OPTIONAL MATCH (a)" +
+             Arrow(rng, "r" + RelTypes(rng)) + NodePat(rng, "b") +
+             " RETURN a.id AS a, r.c AS c, b.id AS b";
     case 0:  // Plain scan with projection and paging.
       return "MATCH " + NodePat(rng, "n") + MaybeWhere(rng, "n") +
              " RETURN n.id AS id, n.k AS k, n.w AS w ORDER BY id" +
@@ -261,7 +265,25 @@ std::string GenerateUpdateQuery(uint64_t seed) {
   const int64_t id2 = static_cast<int64_t>(rng.NextBelow(56));
   const int64_t k = static_cast<int64_t>(rng.NextBelow(13));
   const int64_t v = static_cast<int64_t>(rng.NextBelow(100));
-  switch (rng.NextBelow(14)) {
+  switch (rng.NextBelow(18)) {
+    case 14:  // OPTIONAL MATCH-driven SET; a deleted probe target leaves n
+              // null and the SET is skipped, so the statement still commits.
+      return "OPTIONAL MATCH (n {id: " + I(id) + "}) SET n.tag = " + I(v);
+    case 15:  // OPTIONAL MATCH-driven delete of a possibly-absent node.
+      return "OPTIONAL MATCH (n:New {id: " + I(1000 + v) +
+             "}) DETACH DELETE n";
+    case 16:  // MERGE with a multi-key property-map literal.
+      return rng.NextBelow(2) == 0
+                 ? "MERGE SAME (m:M {mid: " +
+                       I(static_cast<int64_t>(rng.NextBelow(6))) +
+                       ", grp: " + I(k % 3) + "})"
+                 : "MERGE ALL (:C {v: " +
+                       I(static_cast<int64_t>(rng.NextBelow(4))) +
+                       ", grp: " + I(k % 3) + "})";
+    case 17:  // FOREACH with a nested MERGE body.
+      return "FOREACH (x IN range(0, " +
+             I(1 + static_cast<int64_t>(rng.NextBelow(3))) +
+             ") | MERGE SAME (:F2 {fx: x}))";
     case 0:  // Fresh node; ids above the seed range keep {id} probes unique.
       return "CREATE (:A:New {id: " + I(1000 + v) + ", k: " + I(k) + "})";
     case 1:  // Fresh relationship between two probed endpoints.
@@ -300,6 +322,15 @@ std::string GenerateUpdateQuery(uint64_t seed) {
     default:  // FOREACH mutating matched rows.
       return "MATCH (n {k: " + I(k) + "}) FOREACH (x IN [1, 2] | SET n.w = x)";
   }
+}
+
+std::vector<std::string> GenerateUpdateWorkload(uint64_t seed, size_t count) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(GenerateUpdateQuery(seed * 977 + i));
+  }
+  return out;
 }
 
 }  // namespace cypher::testing

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "cypher/database.h"
@@ -27,12 +28,20 @@ std::string GenerateReadQuery(uint64_t seed);
 
 /// A deterministic random update statement valid over any BuildRandomGraph
 /// graph: node/relationship CREATE, single-property and whole-map SET,
-/// label SET, REMOVE, DELETE / DETACH DELETE, standalone MERGE, MERGE ALL,
-/// and FOREACH bodies. Statements may legitimately match nothing (a no-op
-/// commit) but never fail; the durability tests rely on every generated
-/// statement committing so the crash sweep's committed-prefix accounting
-/// stays simple.
+/// label SET, REMOVE, DELETE / DETACH DELETE, standalone MERGE ALL / MERGE
+/// SAME (single- and multi-key property maps), OPTIONAL MATCH-driven SET
+/// and DETACH DELETE (null targets are skipped), and FOREACH bodies
+/// (CREATE, SET, and nested MERGE). Statements may legitimately match
+/// nothing (a no-op commit) but never fail; the durability tests rely on
+/// every generated statement committing so the crash sweep's
+/// committed-prefix accounting stays simple.
 std::string GenerateUpdateQuery(uint64_t seed);
+
+/// `count` statements from GenerateUpdateQuery with seeds derived from
+/// `seed` — the one randomized update workload shared by the WAL crash
+/// sweep and the rewrite-equivalence fuzzer, so both suites age graphs
+/// through the same statement mix.
+std::vector<std::string> GenerateUpdateWorkload(uint64_t seed, size_t count);
 
 }  // namespace cypher::testing
 

@@ -1,0 +1,834 @@
+// Rule-driven equivalence-preserving rewrites over parsed statements.
+//
+// Every rule takes a SingleQuery in place and reports whether it changed
+// anything; GenerateRewrites clones the parsed seed once per rule (plus
+// once for the chained composition) and prints the result back to Cypher
+// text with ToCypher, so each variant also exercises the parser round
+// trip. The per-rule equivalence arguments live in DESIGN.md ("Rewrite-
+// equivalence fuzzing"); the gating here is deliberately conservative —
+// a rule that cannot *prove* its applicability condition simply does not
+// fire, and the fuzzer's self-check catches rules that stop firing
+// entirely.
+
+#include "rewriter.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "ast/printer.h"
+#include "ast/query.h"
+#include "parser/parser.h"
+
+namespace cypher::testing {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small AST helpers
+// ---------------------------------------------------------------------------
+
+/// Applies `fn` to every direct child expression of `e`.
+void ForEachChild(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kParameter:
+    case ExprKind::kVariable:
+    case ExprKind::kCountStar:
+      return;
+    case ExprKind::kProperty:
+      fn(*static_cast<const PropertyExpr&>(e).object);
+      return;
+    case ExprKind::kHasLabels:
+      fn(*static_cast<const HasLabelsExpr&>(e).object);
+      return;
+    case ExprKind::kUnary:
+      fn(*static_cast<const UnaryExpr&>(e).operand);
+      return;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      fn(*b.left);
+      fn(*b.right);
+      return;
+    }
+    case ExprKind::kIsNull:
+      fn(*static_cast<const IsNullExpr&>(e).operand);
+      return;
+    case ExprKind::kList:
+      for (const auto& item : static_cast<const ListExpr&>(e).items) fn(*item);
+      return;
+    case ExprKind::kMap:
+      for (const auto& [key, value] : static_cast<const MapExpr&>(e).entries) {
+        fn(*value);
+      }
+      return;
+    case ExprKind::kIndex: {
+      const auto& i = static_cast<const IndexExpr&>(e);
+      fn(*i.object);
+      fn(*i.index);
+      return;
+    }
+    case ExprKind::kFunction:
+      for (const auto& arg : static_cast<const FunctionExpr&>(e).args) fn(*arg);
+      return;
+    case ExprKind::kCase: {
+      const auto& c = static_cast<const CaseExpr&>(e);
+      for (const auto& [cond, value] : c.whens) {
+        fn(*cond);
+        fn(*value);
+      }
+      if (c.otherwise) fn(*c.otherwise);
+      return;
+    }
+    case ExprKind::kListComprehension: {
+      const auto& c = static_cast<const ListComprehensionExpr&>(e);
+      fn(*c.list);
+      if (c.where) fn(*c.where);
+      if (c.projection) fn(*c.projection);
+      return;
+    }
+    case ExprKind::kQuantifier: {
+      const auto& q = static_cast<const QuantifierExpr&>(e);
+      fn(*q.list);
+      fn(*q.predicate);
+      return;
+    }
+    case ExprKind::kReduce: {
+      const auto& r = static_cast<const ReduceExpr&>(e);
+      fn(*r.init);
+      fn(*r.list);
+      fn(*r.body);
+      return;
+    }
+    case ExprKind::kPatternPredicate: {
+      const auto& p = static_cast<const PatternPredicateExpr&>(e).pattern;
+      for (const auto& [key, value] : p.start.properties) fn(*value);
+      for (const auto& [rel, node] : p.steps) {
+        for (const auto& [key, value] : rel.properties) fn(*value);
+        for (const auto& [key, value] : node.properties) fn(*value);
+      }
+      return;
+    }
+    case ExprKind::kMapProjection: {
+      const auto& m = static_cast<const MapProjectionExpr&>(e);
+      fn(*m.subject);
+      for (const MapProjectionItem& item : m.items) {
+        if (item.value) fn(*item.value);
+      }
+      return;
+    }
+  }
+}
+
+bool ContainsCollect(const Expr& e) {
+  if (e.kind == ExprKind::kFunction &&
+      static_cast<const FunctionExpr&>(e).name == "collect") {
+    return true;
+  }
+  bool found = false;
+  ForEachChild(e, [&found](const Expr& child) {
+    if (!found) found = ContainsCollect(child);
+  });
+  return found;
+}
+
+/// Constant expressions: evaluate to the same value on every row of every
+/// graph. `range` is the one pure function the workload generators emit.
+bool IsConstExpr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kUnary:
+      return IsConstExpr(*static_cast<const UnaryExpr&>(e).operand);
+    case ExprKind::kList: {
+      for (const auto& item : static_cast<const ListExpr&>(e).items) {
+        if (!IsConstExpr(*item)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kMap: {
+      for (const auto& [key, value] : static_cast<const MapExpr&>(e).entries) {
+        if (!IsConstExpr(*value)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kFunction: {
+      const auto& f = static_cast<const FunctionExpr&>(e);
+      if (f.name != "range") return false;
+      for (const auto& arg : f.args) {
+        if (!IsConstExpr(*arg)) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Flattens a left/right nested AND tree into its conjunct list (moving
+/// ownership out of `e`).
+void FlattenAnd(ExprPtr e, std::vector<ExprPtr>* out) {
+  if (e->kind == ExprKind::kBinary &&
+      static_cast<BinaryExpr&>(*e).op == BinaryOp::kAnd) {
+    auto& b = static_cast<BinaryExpr&>(*e);
+    FlattenAnd(std::move(b.left), out);
+    FlattenAnd(std::move(b.right), out);
+    return;
+  }
+  out->push_back(std::move(e));
+}
+
+/// Left-folds conjuncts back into an AND tree; nullptr for an empty list.
+ExprPtr FoldAnd(std::vector<ExprPtr> conjuncts) {
+  ExprPtr out;
+  for (ExprPtr& c : conjuncts) {
+    if (!c) continue;
+    out = out ? std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(out),
+                                             std::move(c))
+              : std::move(c);
+  }
+  return out;
+}
+
+RelDirection Flip(RelDirection d) {
+  switch (d) {
+    case RelDirection::kLeftToRight:
+      return RelDirection::kRightToLeft;
+    case RelDirection::kRightToLeft:
+      return RelDirection::kLeftToRight;
+    case RelDirection::kUndirected:
+      return RelDirection::kUndirected;
+  }
+  return d;
+}
+
+/// The variables in scope after executing `clauses[0..upto)`. WITH/RETURN
+/// without `*` restrict the scope to their aliases; CALL bodies are treated
+/// as defining nothing (under-claiming only disables rules, never breaks
+/// them).
+std::set<std::string> ScopeAfter(const std::vector<ClausePtr>& clauses,
+                                 size_t upto) {
+  std::set<std::string> scope;
+  for (size_t i = 0; i < upto && i < clauses.size(); ++i) {
+    const Clause& c = *clauses[i];
+    switch (c.kind) {
+      case ClauseKind::kMatch:
+        for (const auto& p : static_cast<const MatchClause&>(c).patterns) {
+          for (const std::string& v : PatternVariables(p)) scope.insert(v);
+        }
+        break;
+      case ClauseKind::kCreate:
+        for (const auto& p : static_cast<const CreateClause&>(c).patterns) {
+          for (const std::string& v : PatternVariables(p)) scope.insert(v);
+        }
+        break;
+      case ClauseKind::kMerge:
+        for (const auto& p : static_cast<const MergeClause&>(c).patterns) {
+          for (const std::string& v : PatternVariables(p)) scope.insert(v);
+        }
+        break;
+      case ClauseKind::kUnwind:
+        scope.insert(static_cast<const UnwindClause&>(c).variable);
+        break;
+      case ClauseKind::kWith: {
+        const auto& body = static_cast<const WithClause&>(c).body;
+        std::set<std::string> next;
+        if (body.include_existing) next = scope;
+        for (const ReturnItem& item : body.items) next.insert(item.alias);
+        scope = std::move(next);
+        break;
+      }
+      case ClauseKind::kReturn: {
+        const auto& body = static_cast<const ReturnClause&>(c).body;
+        std::set<std::string> next;
+        if (body.include_existing) next = scope;
+        for (const ReturnItem& item : body.items) next.insert(item.alias);
+        scope = std::move(next);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return scope;
+}
+
+// ---------------------------------------------------------------------------
+// Applicability analysis
+// ---------------------------------------------------------------------------
+
+struct QueryInfo {
+  /// False when row order is observable: collect() in a projection, or
+  /// SKIP/LIMIT (which select rows BY position). Order-perturbing rules
+  /// require this.
+  bool order_insensitive_output = true;
+  /// True when every update clause provably produces the same final graph
+  /// (including entity-id assignment) for any driving-row order.
+  bool perturbable_updates = true;
+  bool has_update = false;
+  /// Fresh `_rw<n>` variables may be introduced: the text does not already
+  /// use the prefix and no projection re-exports the whole scope via `*`
+  /// (which would leak the new binding into the observable output).
+  bool allow_synth = true;
+
+  bool allow_perturbing() const {
+    return order_insensitive_output && (!has_update || perturbable_updates);
+  }
+};
+
+bool SetItemsRowLocal(const std::vector<SetItem>& items,
+                      const std::string& foreach_var) {
+  for (const SetItem& item : items) {
+    if (item.kind == SetItemKind::kSetLabels) continue;
+    if (!item.value) return false;
+    if (IsConstExpr(*item.value)) continue;
+    // A reference to the FOREACH loop variable is row-local too: every
+    // driving row replays the identical write sequence, so any entity
+    // reached from several rows still ends at the same final value.
+    if (!foreach_var.empty() && item.value->kind == ExprKind::kVariable &&
+        static_cast<const VariableExpr&>(*item.value).name == foreach_var) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+/// True when re-ordering the driving rows of this update clause cannot
+/// change the final graph. CREATE and MERGE allocate entity ids per row,
+/// so they only qualify in single-clause statements (unit driving table),
+/// which Analyze handles separately.
+bool UpdateClauseOrderInsensitive(const Clause& c) {
+  switch (c.kind) {
+    case ClauseKind::kSet:
+      return SetItemsRowLocal(static_cast<const SetClause&>(c).items, "");
+    case ClauseKind::kRemove:
+    case ClauseKind::kDelete:
+      return true;
+    case ClauseKind::kForeach: {
+      const auto& f = static_cast<const ForeachClause&>(c);
+      if (!IsConstExpr(*f.list)) return false;
+      for (const ClausePtr& inner : f.body) {
+        switch (inner->kind) {
+          case ClauseKind::kSet:
+            if (!SetItemsRowLocal(static_cast<const SetClause&>(*inner).items,
+                                  f.variable)) {
+              return false;
+            }
+            break;
+          case ClauseKind::kRemove:
+          case ClauseKind::kDelete:
+            break;
+          default:
+            return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+QueryInfo Analyze(const SingleQuery& q, const std::string& text) {
+  QueryInfo info;
+  if (text.find("_rw") != std::string::npos) info.allow_synth = false;
+  for (const ClausePtr& clause : q.clauses) {
+    const ProjectionBody* body = nullptr;
+    if (clause->kind == ClauseKind::kWith) {
+      body = &static_cast<const WithClause&>(*clause).body;
+    } else if (clause->kind == ClauseKind::kReturn) {
+      body = &static_cast<const ReturnClause&>(*clause).body;
+    }
+    if (body) {
+      if (body->skip || body->limit) info.order_insensitive_output = false;
+      if (body->include_existing) info.allow_synth = false;
+      for (const ReturnItem& item : body->items) {
+        if (ContainsCollect(*item.expr)) info.order_insensitive_output = false;
+      }
+    }
+    if (IsUpdateClause(*clause)) {
+      info.has_update = true;
+      if (!UpdateClauseOrderInsensitive(*clause)) {
+        info.perturbable_updates = false;
+      }
+    }
+  }
+  // A single-clause statement runs its update on the unit driving table;
+  // there is no row order to perturb, so even CREATE/MERGE qualify.
+  if (q.clauses.size() == 1) info.perturbable_updates = true;
+  return info;
+}
+
+struct RuleCtx {
+  const QueryInfo* info;
+  int next_fresh = 0;
+
+  std::string Fresh() { return "_rw" + std::to_string(next_fresh++); }
+};
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+// reverse-match-pattern: (a)-[r]->(b) and (b)<-[r]-(a) denote the same
+// relation; reversing the syntactic chain (and flipping every arrow)
+// preserves the match set exactly, only the enumeration order can move.
+// Named paths are excluded (nodes(p)/relationships(p) observe orientation)
+// as are shortestPath/allShortestPaths wrappers.
+bool ReversePath(PathPattern* p) {
+  if (p->function != PathFunction::kNone || !p->path_variable.empty()) {
+    return false;
+  }
+  if (p->steps.empty()) return false;
+  std::vector<NodePattern> nodes;
+  std::vector<RelPattern> rels;
+  nodes.push_back(std::move(p->start));
+  for (auto& [rel, node] : p->steps) {
+    rels.push_back(std::move(rel));
+    nodes.push_back(std::move(node));
+  }
+  p->start = std::move(nodes.back());
+  p->steps.clear();
+  for (size_t i = rels.size(); i-- > 0;) {
+    RelPattern rel = std::move(rels[i]);
+    rel.direction = Flip(rel.direction);
+    p->steps.emplace_back(std::move(rel), std::move(nodes[i]));
+  }
+  return true;
+}
+
+bool ReverseMatchPattern(SingleQuery* q, RuleCtx*) {
+  bool changed = false;
+  for (ClausePtr& clause : q->clauses) {
+    if (clause->kind != ClauseKind::kMatch) continue;
+    for (PathPattern& p : static_cast<MatchClause&>(*clause).patterns) {
+      changed |= ReversePath(&p);
+    }
+  }
+  return changed;
+}
+
+// reverse-create-pattern: a created relationship's endpoints are fixed by
+// the pattern, not by its notation, so CREATE (a)-[:R]->(b) and
+// CREATE (b)<-[:R]-(a) build the same edge. Restricted to single-step
+// patterns whose BOTH endpoints are already bound (only the relationship
+// is created, so no node-id assignment order can change).
+bool ReverseCreatePattern(SingleQuery* q, RuleCtx*) {
+  bool changed = false;
+  for (size_t i = 0; i < q->clauses.size(); ++i) {
+    if (q->clauses[i]->kind != ClauseKind::kCreate) continue;
+    std::set<std::string> bound = ScopeAfter(q->clauses, i);
+    for (PathPattern& p : static_cast<CreateClause&>(*q->clauses[i]).patterns) {
+      if (p.steps.size() != 1) continue;
+      const std::string& a = p.start.variable;
+      const std::string& b = p.steps[0].second.variable;
+      if (a.empty() || b.empty() || !bound.count(a) || !bound.count(b)) {
+        continue;
+      }
+      changed |= ReversePath(&p);
+    }
+  }
+  return changed;
+}
+
+// conjunct-rotate: the comma-separated patterns of one MATCH form a
+// conjunction (a product restricted by relationship uniqueness across the
+// WHOLE clause); conjunction is commutative, and rotating keeps all
+// conjuncts in the same clause so the uniqueness constraint set is
+// unchanged. Only enumeration order moves.
+bool ConjunctRotate(SingleQuery* q, RuleCtx*) {
+  bool changed = false;
+  for (ClausePtr& clause : q->clauses) {
+    if (clause->kind != ClauseKind::kMatch) continue;
+    auto& m = static_cast<MatchClause&>(*clause);
+    if (m.patterns.size() < 2) continue;
+    std::rotate(m.patterns.begin(), m.patterns.begin() + 1, m.patterns.end());
+    changed = true;
+  }
+  return changed;
+}
+
+// match-split: MATCH p1, p2 WHERE w  ==  MATCH p1 MATCH p2 WHERE w when
+// every conjunct is a single node (relationship uniqueness is vacuous
+// without relationships, so splitting the clause cannot admit new
+// matches). The WHERE stays on the last clause, where the full scope is
+// visible. OPTIONAL MATCH is excluded: splitting would change its
+// all-or-nothing null padding.
+bool MatchSplit(SingleQuery* q, RuleCtx*) {
+  for (size_t i = 0; i < q->clauses.size(); ++i) {
+    if (q->clauses[i]->kind != ClauseKind::kMatch) continue;
+    auto& m = static_cast<MatchClause&>(*q->clauses[i]);
+    if (m.optional || m.patterns.size() < 2) continue;
+    bool nodes_only = true;
+    for (const PathPattern& p : m.patterns) {
+      if (!p.steps.empty() || p.function != PathFunction::kNone ||
+          !p.path_variable.empty()) {
+        nodes_only = false;
+        break;
+      }
+    }
+    if (!nodes_only) continue;
+    std::vector<ClausePtr> pieces;
+    for (size_t k = 0; k < m.patterns.size(); ++k) {
+      auto piece = std::make_unique<MatchClause>();
+      piece->patterns.push_back(std::move(m.patterns[k]));
+      if (k + 1 == m.patterns.size()) piece->where = std::move(m.where);
+      pieces.push_back(std::move(piece));
+    }
+    q->clauses.erase(q->clauses.begin() + static_cast<ptrdiff_t>(i));
+    q->clauses.insert(q->clauses.begin() + static_cast<ptrdiff_t>(i),
+                      std::make_move_iterator(pieces.begin()),
+                      std::make_move_iterator(pieces.end()));
+    return true;
+  }
+  return false;
+}
+
+// map-to-where: a property map on a MATCH element is sugar for equality
+// conjuncts — {k: e} filters exactly the entities whose property k exists
+// and equals e, which is the ternary-logic value of `v.k = e` (a missing
+// property makes the comparison null, so the row is dropped either way).
+// Anonymous elements get a fresh `_rw<n>` name first: naming an element
+// never changes the match set, and the gate guarantees the new binding is
+// not observable. Var-length relationships are excluded (their map filters
+// every hop; no single conjunct over the bound list expresses that).
+bool MapToWhere(SingleQuery* q, RuleCtx* ctx) {
+  bool changed = false;
+  for (ClausePtr& clause : q->clauses) {
+    if (clause->kind != ClauseKind::kMatch) continue;
+    auto& m = static_cast<MatchClause&>(*clause);
+    std::vector<ExprPtr> conjuncts;
+    auto migrate = [&](std::string* variable,
+                       std::vector<std::pair<std::string, ExprPtr>>* props) {
+      if (props->empty()) return;
+      if (variable->empty()) {
+        if (!ctx->info->allow_synth) return;
+        *variable = ctx->Fresh();
+      }
+      for (auto& [key, value] : *props) {
+        conjuncts.push_back(std::make_unique<BinaryExpr>(
+            BinaryOp::kEq,
+            std::make_unique<PropertyExpr>(
+                std::make_unique<VariableExpr>(*variable), key),
+            std::move(value)));
+      }
+      props->clear();
+    };
+    for (PathPattern& p : m.patterns) {
+      if (p.function != PathFunction::kNone) continue;
+      migrate(&p.start.variable, &p.start.properties);
+      for (auto& [rel, node] : p.steps) {
+        if (!rel.var_length) migrate(&rel.variable, &rel.properties);
+        migrate(&node.variable, &node.properties);
+      }
+    }
+    if (conjuncts.empty()) continue;
+    std::vector<ExprPtr> all;
+    if (m.where) FlattenAnd(std::move(m.where), &all);
+    for (ExprPtr& c : conjuncts) all.push_back(std::move(c));
+    m.where = FoldAnd(std::move(all));
+    changed = true;
+  }
+  return changed;
+}
+
+// where-to-map: the inverse — a top-level AND-conjunct of the shape
+// `v.key = <literal>` (either operand order) moves into the property map
+// of v's first occurrence in the same clause, if v names a node or a
+// fixed-length relationship there and the map has no entry for key yet.
+bool WhereToMap(SingleQuery* q, RuleCtx*) {
+  bool changed = false;
+  for (ClausePtr& clause : q->clauses) {
+    if (clause->kind != ClauseKind::kMatch) continue;
+    auto& m = static_cast<MatchClause&>(*clause);
+    if (!m.where) continue;
+    // First syntactic occurrence of each migratable element.
+    struct Element {
+      std::vector<std::pair<std::string, ExprPtr>>* props;
+    };
+    std::vector<std::pair<std::string, Element>> elements;
+    auto add = [&elements](const std::string& var,
+                           std::vector<std::pair<std::string, ExprPtr>>* p) {
+      if (var.empty()) return;
+      for (const auto& [name, el] : elements) {
+        if (name == var) return;
+      }
+      elements.push_back({var, Element{p}});
+    };
+    for (PathPattern& p : m.patterns) {
+      if (p.function != PathFunction::kNone) continue;
+      add(p.start.variable, &p.start.properties);
+      for (auto& [rel, node] : p.steps) {
+        if (!rel.var_length) add(rel.variable, &rel.properties);
+        add(node.variable, &node.properties);
+      }
+    }
+    if (elements.empty()) continue;
+    std::vector<ExprPtr> conjuncts;
+    FlattenAnd(std::move(m.where), &conjuncts);
+    std::vector<ExprPtr> rest;
+    for (ExprPtr& c : conjuncts) {
+      bool moved = false;
+      if (c->kind == ExprKind::kBinary) {
+        auto& b = static_cast<BinaryExpr&>(*c);
+        Expr* prop = nullptr;
+        Expr* lit = nullptr;
+        if (b.op == BinaryOp::kEq) {
+          if (b.left->kind == ExprKind::kProperty &&
+              b.right->kind == ExprKind::kLiteral) {
+            prop = b.left.get();
+            lit = b.right.get();
+          } else if (b.right->kind == ExprKind::kProperty &&
+                     b.left->kind == ExprKind::kLiteral) {
+            prop = b.right.get();
+            lit = b.left.get();
+          }
+        }
+        if (prop != nullptr) {
+          auto& pe = static_cast<PropertyExpr&>(*prop);
+          if (pe.object->kind == ExprKind::kVariable) {
+            const std::string& var =
+                static_cast<VariableExpr&>(*pe.object).name;
+            for (auto& [name, el] : elements) {
+              if (name != var) continue;
+              bool has_key = false;
+              for (const auto& [key, value] : *el.props) {
+                if (key == pe.key) has_key = true;
+              }
+              if (!has_key) {
+                el.props->emplace_back(pe.key, CloneExpr(*lit));
+                moved = true;
+                changed = true;
+              }
+              break;
+            }
+          }
+        }
+      }
+      if (!moved) rest.push_back(std::move(c));
+    }
+    m.where = FoldAnd(std::move(rest));
+  }
+  return changed;
+}
+
+// where-to-with-where: MATCH ps WHERE w <rest> == MATCH ps WITH * WHERE w
+// <rest> for non-optional MATCH — the WHERE of a plain MATCH is a pure
+// post-filter (it cannot aggregate), and WITH * passes every binding
+// through unchanged, in order. OPTIONAL MATCH is excluded: its WHERE
+// participates in the match-or-null decision BEFORE padding.
+bool WhereToWithWhere(SingleQuery* q, RuleCtx*) {
+  for (size_t i = 0; i < q->clauses.size(); ++i) {
+    if (q->clauses[i]->kind != ClauseKind::kMatch) continue;
+    auto& m = static_cast<MatchClause&>(*q->clauses[i]);
+    if (m.optional || !m.where) continue;
+    if (i + 1 >= q->clauses.size()) continue;  // keep statements well-ended
+    auto with = std::make_unique<WithClause>();
+    with->body.include_existing = true;
+    with->where = std::move(m.where);
+    q->clauses.insert(q->clauses.begin() + static_cast<ptrdiff_t>(i) + 1,
+                      std::move(with));
+    return true;
+  }
+  return false;
+}
+
+// with-star-insert: WITH * (no DISTINCT/ORDER/SKIP/LIMIT/WHERE) projects
+// every binding through unchanged — a no-op barrier, inserted before the
+// final clause. Requires a non-empty scope so the projection is legal.
+bool WithStarInsert(SingleQuery* q, RuleCtx*) {
+  if (q->clauses.size() < 2) return false;
+  size_t pos = q->clauses.size() - 1;
+  if (ScopeAfter(q->clauses, pos).empty()) return false;
+  auto with = std::make_unique<WithClause>();
+  with->body.include_existing = true;
+  q->clauses.insert(q->clauses.begin() + static_cast<ptrdiff_t>(pos),
+                    std::move(with));
+  return true;
+}
+
+// bool-commute: AND/OR/XOR are commutative in Cypher's ternary logic and
+// filter evaluation is side-effect-free, so swapping operands everywhere
+// in a WHERE tree leaves every row's filter verdict unchanged. (Both
+// operands of a generated predicate are error-free by construction; a
+// dialect with short-circuit error semantics would need a purity check.)
+void FlipCommutative(Expr* e, bool* changed) {
+  if (e->kind == ExprKind::kBinary) {
+    auto& b = static_cast<BinaryExpr&>(*e);
+    if (b.op == BinaryOp::kAnd || b.op == BinaryOp::kOr ||
+        b.op == BinaryOp::kXor) {
+      std::swap(b.left, b.right);
+      *changed = true;
+    }
+    FlipCommutative(b.left.get(), changed);
+    FlipCommutative(b.right.get(), changed);
+    return;
+  }
+  if (e->kind == ExprKind::kUnary) {
+    FlipCommutative(static_cast<UnaryExpr&>(*e).operand.get(), changed);
+  }
+  if (e->kind == ExprKind::kIsNull) {
+    FlipCommutative(static_cast<IsNullExpr&>(*e).operand.get(), changed);
+  }
+}
+
+bool BoolCommute(SingleQuery* q, RuleCtx*) {
+  bool changed = false;
+  for (ClausePtr& clause : q->clauses) {
+    ExprPtr* where = nullptr;
+    if (clause->kind == ClauseKind::kMatch) {
+      where = &static_cast<MatchClause&>(*clause).where;
+    } else if (clause->kind == ClauseKind::kWith) {
+      where = &static_cast<WithClause&>(*clause).where;
+    }
+    if (where && *where) FlipCommutative(where->get(), &changed);
+  }
+  return changed;
+}
+
+// merge-conditional-create (revised semantics only): for a standalone
+// single-node constant-property MERGE ALL / MERGE SAME,
+//
+//   MERGE ALL (m:L {props})
+//   ==  OPTIONAL MATCH (m:L {props}) WITH * WHERE m IS NULL
+//       CREATE (:L {props})
+//
+// Under the revised semantics (paper Sections 7-8) the merge matches
+// against the INPUT graph; on the unit driving table it either binds the
+// existing matches and creates nothing, or creates exactly one instance
+// (Atomic plans one per failed record = one; Strong Collapse collapses
+// equal instances to one). The rewrite reproduces both branches: the
+// OPTIONAL MATCH either yields the matches (all filtered out by
+// `m IS NULL`, creating nothing) or one null row (creating one instance).
+// Legacy MERGE reads its own writes record-at-a-time, so the rule is
+// gated to revised runs.
+bool MergeConditionalCreate(SingleQuery* q, RuleCtx* ctx) {
+  if (q->clauses.size() != 1 || q->clauses[0]->kind != ClauseKind::kMerge) {
+    return false;
+  }
+  auto& merge = static_cast<MergeClause&>(*q->clauses[0]);
+  if (merge.form == MergeForm::kLegacy) return false;
+  if (!merge.on_create.empty() || !merge.on_match.empty()) return false;
+  if (merge.patterns.size() != 1) return false;
+  PathPattern& p = merge.patterns[0];
+  if (!p.steps.empty() || p.function != PathFunction::kNone ||
+      !p.path_variable.empty()) {
+    return false;
+  }
+  for (const auto& [key, value] : p.start.properties) {
+    if (!IsConstExpr(*value)) return false;
+  }
+  std::string var = p.start.variable;
+  if (var.empty()) {
+    if (!ctx->info->allow_synth) return false;
+    var = ctx->Fresh();
+  }
+
+  auto probe = std::make_unique<MatchClause>();
+  probe->optional = true;
+  PathPattern probe_pattern;
+  probe_pattern.start.variable = var;
+  probe_pattern.start.labels = p.start.labels;
+  for (const auto& [key, value] : p.start.properties) {
+    probe_pattern.start.properties.emplace_back(key, CloneExpr(*value));
+  }
+  probe->patterns.push_back(std::move(probe_pattern));
+
+  auto guard = std::make_unique<WithClause>();
+  guard->body.include_existing = true;
+  guard->where = std::make_unique<IsNullExpr>(
+      std::make_unique<VariableExpr>(var), /*neg=*/false);
+
+  auto create = std::make_unique<CreateClause>();
+  PathPattern instance;
+  instance.start.labels = p.start.labels;
+  for (auto& [key, value] : p.start.properties) {
+    instance.start.properties.emplace_back(key, std::move(value));
+  }
+  create->patterns.push_back(std::move(instance));
+
+  q->clauses.clear();
+  q->clauses.push_back(std::move(probe));
+  q->clauses.push_back(std::move(guard));
+  q->clauses.push_back(std::move(create));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct RuleDef {
+  const char* name;
+  bool (*fn)(SingleQuery*, RuleCtx*);
+  bool perturbs_order;  // gated on QueryInfo::allow_perturbing()
+  bool revised_only;
+  bool chainable;  // participates in the chained composition variant
+};
+
+// Declaration order is chain-application order. where-to-map is excluded
+// from the chain (it would undo map-to-where), as is the whole-statement
+// MERGE rewrite.
+const RuleDef kRules[] = {
+    {"conjunct-rotate", ConjunctRotate, true, false, true},
+    {"match-split", MatchSplit, true, false, true},
+    {"reverse-match-pattern", ReverseMatchPattern, true, false, true},
+    {"reverse-create-pattern", ReverseCreatePattern, false, false, true},
+    {"map-to-where", MapToWhere, true, false, true},
+    {"where-to-map", WhereToMap, true, false, false},
+    {"where-to-with-where", WhereToWithWhere, false, false, true},
+    {"with-star-insert", WithStarInsert, false, false, true},
+    {"bool-commute", BoolCommute, false, false, true},
+    {"merge-conditional-create", MergeConditionalCreate, false, true, false},
+};
+
+}  // namespace
+
+const std::vector<std::string>& RewriteRuleNames() {
+  static const std::vector<std::string>* names = [] {
+    auto* v = new std::vector<std::string>();
+    for (const RuleDef& rule : kRules) v->push_back(rule.name);
+    return v;
+  }();
+  return *names;
+}
+
+std::vector<RewriteVariant> GenerateRewrites(const std::string& query_text) {
+  auto parsed = ParseQuery(query_text);
+  if (!parsed.ok()) return {};
+  const Query& query = *parsed;
+  if (query.mode != QueryMode::kNormal || query.parts.size() != 1) return {};
+  const QueryInfo info = Analyze(query.parts[0], query_text);
+
+  std::vector<RewriteVariant> out;
+  for (const RuleDef& rule : kRules) {
+    if (rule.perturbs_order && !info.allow_perturbing()) continue;
+    Query copy = CloneQuery(query);
+    RuleCtx ctx{&info};
+    if (rule.fn(&copy.parts[0], &ctx)) {
+      out.push_back({rule.name, ToCypher(copy), rule.revised_only});
+    }
+  }
+
+  Query chained = CloneQuery(query);
+  RuleCtx ctx{&info};
+  std::string fired;
+  size_t fired_count = 0;
+  for (const RuleDef& rule : kRules) {
+    if (!rule.chainable) continue;
+    if (rule.perturbs_order && !info.allow_perturbing()) continue;
+    if (rule.fn(&chained.parts[0], &ctx)) {
+      if (!fired.empty()) fired += "+";
+      fired += rule.name;
+      ++fired_count;
+    }
+  }
+  if (fired_count >= 2) {
+    out.push_back({"chain(" + fired + ")", ToCypher(chained), false});
+  }
+  return out;
+}
+
+}  // namespace cypher::testing

@@ -1,0 +1,42 @@
+#ifndef CYPHER_TESTS_REWRITER_H_
+#define CYPHER_TESTS_REWRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace cypher::testing {
+
+/// One equivalence-preserving rewrite of a statement.
+///
+/// `rule` names the rule that produced the variant (or "chain(a+b+...)" for
+/// the all-applicable-rules composition); `query` is the rewritten text,
+/// produced by printing the rewritten AST with ToCypher so it also
+/// exercises the parser round trip. `revised_only` marks variants whose
+/// equivalence argument leans on the revised update semantics (currently
+/// the MERGE -> MATCH + conditional CREATE rewrite, paper Sections 7-8);
+/// they must not be compared against the original under legacy semantics.
+struct RewriteVariant {
+  std::string rule;
+  std::string query;
+  bool revised_only = false;
+};
+
+/// The stable list of rule names. The fuzzer's self-check asserts every
+/// name fires at least once over the corpus, so a rule whose applicability
+/// condition silently rots (never matching anything) fails the suite.
+const std::vector<std::string>& RewriteRuleNames();
+
+/// Generates every applicable single-rule variant of `query_text` plus one
+/// chained variant, each equivalent to the original under BAG semantics:
+/// the same multiset of result rows (order may differ) and the same final
+/// graph. Rules that can perturb row order are only offered when the
+/// statement's observable behaviour is provably row-order-insensitive
+/// (no collect()/SKIP/LIMIT in projections; update clauses restricted to
+/// shapes whose final graph does not depend on driving-row order).
+/// Returns an empty vector when the text does not parse, is a UNION or
+/// EXPLAIN/PROFILE statement, or no rule applies.
+std::vector<RewriteVariant> GenerateRewrites(const std::string& query_text);
+
+}  // namespace cypher::testing
+
+#endif  // CYPHER_TESTS_REWRITER_H_

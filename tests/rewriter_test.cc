@@ -1,0 +1,188 @@
+// Unit tests for the rewrite-rule engine itself: rules fire on canonical
+// inputs, applicability gates hold (order-perturbing rules stay off when
+// row order is observable, synthesis stays off when `*` projections or
+// `_rw` names could leak it), and every produced variant re-parses. The
+// end-to-end equivalence claims are checked by differential_test.cc.
+
+#include "rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "parser/parser.h"
+#include "query_gen.h"
+
+namespace cypher::testing {
+namespace {
+
+std::vector<std::string> RuleNamesFor(const std::string& query) {
+  std::vector<std::string> names;
+  for (const RewriteVariant& v : GenerateRewrites(query)) {
+    names.push_back(v.rule);
+  }
+  return names;
+}
+
+bool Has(const std::vector<std::string>& names, const std::string& rule) {
+  return std::find(names.begin(), names.end(), rule) != names.end();
+}
+
+bool HasChain(const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    if (name.rfind("chain(", 0) == 0) return true;
+  }
+  return false;
+}
+
+TEST(RewriterTest, RuleRegistryIsStable) {
+  const std::vector<std::string>& names = RewriteRuleNames();
+  EXPECT_EQ(names.size(), 10u);
+  EXPECT_TRUE(Has(names, "conjunct-rotate"));
+  EXPECT_TRUE(Has(names, "match-split"));
+  EXPECT_TRUE(Has(names, "reverse-match-pattern"));
+  EXPECT_TRUE(Has(names, "reverse-create-pattern"));
+  EXPECT_TRUE(Has(names, "map-to-where"));
+  EXPECT_TRUE(Has(names, "where-to-map"));
+  EXPECT_TRUE(Has(names, "where-to-with-where"));
+  EXPECT_TRUE(Has(names, "with-star-insert"));
+  EXPECT_TRUE(Has(names, "bool-commute"));
+  EXPECT_TRUE(Has(names, "merge-conditional-create"));
+}
+
+TEST(RewriterTest, ReadQueryFiresFilterAndPatternRules) {
+  const std::vector<std::string> names = RuleNamesFor(
+      "MATCH (a:A {k: 1})-[r:R]->(b) WHERE b.w = 2 AND a.w = 0 "
+      "RETURN a.id AS a, b.id AS b");
+  EXPECT_TRUE(Has(names, "reverse-match-pattern"));
+  EXPECT_TRUE(Has(names, "map-to-where"));
+  EXPECT_TRUE(Has(names, "where-to-map"));
+  EXPECT_TRUE(Has(names, "where-to-with-where"));
+  EXPECT_TRUE(Has(names, "with-star-insert"));
+  EXPECT_TRUE(Has(names, "bool-commute"));
+  EXPECT_TRUE(HasChain(names));
+}
+
+TEST(RewriterTest, ConjunctionFiresRotateAndSplit) {
+  const std::vector<std::string> names = RuleNamesFor(
+      "MATCH (a:A), (b:B) WHERE a.id < b.id RETURN count(*) AS c");
+  EXPECT_TRUE(Has(names, "conjunct-rotate"));
+  EXPECT_TRUE(Has(names, "match-split"));
+}
+
+TEST(RewriterTest, BoundEndpointCreateReverses) {
+  const std::vector<std::string> names = RuleNamesFor(
+      "MATCH (a {id: 1}), (b {id: 2}) CREATE (a)-[:R {c: 3}]->(b)");
+  EXPECT_TRUE(Has(names, "reverse-create-pattern"));
+  // The CREATE drives off a two-pattern product, so row order reaches an
+  // id-allocating clause: order-perturbing rules must stay off.
+  EXPECT_FALSE(Has(names, "conjunct-rotate"));
+  EXPECT_FALSE(Has(names, "match-split"));
+}
+
+TEST(RewriterTest, UnboundEndpointCreateDoesNotReverse) {
+  // `b` is created by the pattern itself, not bound upstream.
+  const std::vector<std::string> names =
+      RuleNamesFor("MATCH (a {id: 1}) CREATE (a)-[:R]->(b:New)");
+  EXPECT_FALSE(Has(names, "reverse-create-pattern"));
+}
+
+TEST(RewriterTest, RevisedMergeBecomesConditionalCreate) {
+  const std::vector<RewriteVariant> variants =
+      GenerateRewrites("MERGE SAME (m:M {mid: 2, grp: 1})");
+  bool found = false;
+  for (const RewriteVariant& v : variants) {
+    if (v.rule != "merge-conditional-create") continue;
+    found = true;
+    EXPECT_TRUE(v.revised_only);
+    EXPECT_NE(v.query.find("OPTIONAL MATCH"), std::string::npos) << v.query;
+    EXPECT_NE(v.query.find("IS NULL"), std::string::npos) << v.query;
+    EXPECT_NE(v.query.find("CREATE"), std::string::npos) << v.query;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RewriterTest, LegacyMergeIsNotRewritten) {
+  // Bare MERGE reads its own writes record-at-a-time (legacy semantics);
+  // the conditional-CREATE equivalence only holds for the revised forms.
+  EXPECT_FALSE(Has(RuleNamesFor("MERGE (m:M {mid: 2})"),
+                   "merge-conditional-create"));
+}
+
+TEST(RewriterTest, CollectGatesOrderPerturbingRules) {
+  const std::vector<std::string> names = RuleNamesFor(
+      "MATCH (a:A), (b:B) RETURN collect(a.id) AS xs, count(b) AS c");
+  EXPECT_FALSE(Has(names, "conjunct-rotate"));
+  EXPECT_FALSE(Has(names, "match-split"));
+  // Exact-order-preserving rules still apply.
+  EXPECT_TRUE(Has(names, "with-star-insert"));
+}
+
+TEST(RewriterTest, LimitGatesOrderPerturbingRules) {
+  const std::vector<std::string> names = RuleNamesFor(
+      "MATCH (a:A), (b:B) RETURN a.id AS a, b.id AS b ORDER BY a, b LIMIT 3");
+  // LIMIT selects rows by position; ORDER BY ties make that order-
+  // sensitive, so rotation/splitting must not fire.
+  EXPECT_FALSE(Has(names, "conjunct-rotate"));
+  EXPECT_FALSE(Has(names, "match-split"));
+}
+
+TEST(RewriterTest, StarProjectionDisablesSynthesis) {
+  // Naming the anonymous node would leak a `_rw0` column through `RETURN *`.
+  const std::vector<std::string> names =
+      RuleNamesFor("MATCH (a:A), ({k: 1}) RETURN *");
+  EXPECT_FALSE(Has(names, "map-to-where"));
+  EXPECT_TRUE(Has(names, "conjunct-rotate"));
+}
+
+TEST(RewriterTest, ExistingRwPrefixDisablesSynthesis) {
+  const std::vector<std::string> names =
+      RuleNamesFor("MATCH (_rw0:A), ({k: 1}) RETURN count(*) AS c");
+  EXPECT_FALSE(Has(names, "map-to-where"));
+}
+
+TEST(RewriterTest, OptionalMatchIsNotSplitOrWithFiltered) {
+  const std::vector<std::string> names = RuleNamesFor(
+      "MATCH (a:A) OPTIONAL MATCH (b:B) WHERE b.k = 1 "
+      "RETURN a.id AS a, b.id AS b");
+  // OPTIONAL MATCH's WHERE participates in the match-or-null decision;
+  // hoisting it behind the padding would turn null rows into dropped rows.
+  EXPECT_FALSE(Has(names, "where-to-with-where"));
+  EXPECT_FALSE(Has(names, "match-split"));
+}
+
+TEST(RewriterTest, NamedPathBlocksReversal) {
+  const std::vector<std::string> names = RuleNamesFor(
+      "MATCH p = (a:A)-[:R]->(b) RETURN length(p) AS l");
+  EXPECT_FALSE(Has(names, "reverse-match-pattern"));
+}
+
+TEST(RewriterTest, UnparsableAndUnionInputsYieldNothing) {
+  EXPECT_TRUE(GenerateRewrites("MATCH (a RETURN").empty());
+  EXPECT_TRUE(GenerateRewrites(
+                  "MATCH (a:A) RETURN a.id AS i UNION MATCH (b:B) "
+                  "RETURN b.id AS i")
+                  .empty());
+}
+
+TEST(RewriterTest, AllVariantsReparse) {
+  // Every variant is printed from a rewritten AST; it must survive the
+  // parser round trip. Sweep the same generators the fuzzer uses.
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    for (const std::string& query :
+         {GenerateReadQuery(seed), GenerateUpdateQuery(seed)}) {
+      for (const RewriteVariant& v : GenerateRewrites(query)) {
+        auto reparsed = ParseQuery(v.query);
+        EXPECT_TRUE(reparsed.ok())
+            << "rule " << v.rule << " on seed " << seed << "\n  seed query: "
+            << query << "\n  variant:    " << v.query << "\n  error: "
+            << reparsed.status().ToString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cypher::testing

@@ -30,7 +30,7 @@ using storage::MemoryLogFile;
 using storage::RecoverGraph;
 using storage::WalRecordType;
 using testing::BuildRandomGraph;
-using testing::GenerateUpdateQuery;
+using testing::GenerateUpdateWorkload;
 
 constexpr int kWorkloadStatements = 24;
 
@@ -132,8 +132,7 @@ ReferenceRun RecordReference(uint64_t seed) {
   MemoryLogFile* raw = mem.get();
   EXPECT_TRUE(db.OpenDurable(std::move(mem)).ok());
   run.boundaries.push_back({raw->size(), DumpGraphCanonical(db.graph())});
-  for (int i = 0; i < kWorkloadStatements; ++i) {
-    std::string q = GenerateUpdateQuery(seed * 977 + static_cast<uint64_t>(i));
+  for (std::string& q : GenerateUpdateWorkload(seed, kWorkloadStatements)) {
     auto result = db.Execute(q);
     EXPECT_TRUE(result.ok()) << q << "\n  -> " << result.status().ToString();
     run.statements.push_back(std::move(q));
@@ -326,14 +325,14 @@ TEST(WalRecovery, CheckpointRebasesRecovery) {
   auto mem = std::make_unique<MemoryLogFile>();
   MemoryLogFile* raw = mem.get();
   ASSERT_TRUE(db.OpenDurable(std::move(mem)).ok());
-  for (int i = 0; i < 8; ++i) {
-    ASSERT_TRUE(db.Run(GenerateUpdateQuery(seed * 31 + i)).ok());
+  const std::vector<std::string> workload = GenerateUpdateWorkload(seed, 12);
+  for (size_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(db.Run(workload[i]).ok());
   }
   ASSERT_TRUE(db.Checkpoint().ok());
   size_t after_checkpoint = 0;
-  for (int i = 8; i < 12; ++i) {
-    std::string q = GenerateUpdateQuery(seed * 31 + i);
-    ASSERT_TRUE(db.Run(q).ok());
+  for (size_t i = 8; i < workload.size(); ++i) {
+    ASSERT_TRUE(db.Run(workload[i]).ok());
     ++after_checkpoint;
   }
   auto recovered = RecoverGraph(raw->bytes());
@@ -499,8 +498,8 @@ TEST(WalRecovery, PosixLogRoundTrip) {
     auto file = storage::OpenPosixLogFile(path);
     ASSERT_TRUE(file.ok()) << file.status().ToString();
     ASSERT_TRUE(db.OpenDurable(std::move(*file)).ok());
-    for (int i = 0; i < 10; ++i) {
-      ASSERT_TRUE(db.Run(GenerateUpdateQuery(10 * 977 + i)).ok());
+    for (const std::string& q : GenerateUpdateWorkload(10, 10)) {
+      ASSERT_TRUE(db.Run(q).ok());
     }
     dump = DumpGraphCanonical(db.graph());
   }  // db (and the file handle) gone — the process "crashed"
