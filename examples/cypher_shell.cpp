@@ -19,6 +19,9 @@
 //   :timeout <ms>             per-statement watchdog deadline (0 = off)
 //   :wal <path>               attach a write-ahead log (recovers if present)
 //   :checkpoint               append a fresh snapshot to the log
+//   :cache                    plan-cache hit/miss/eviction counters
+//   :cache clear              drop cached plans and reset the counters
+//   :cache on|off             route statements through the plan cache / VM
 //   :clear                    drop the graph
 //   :quit                     exit
 //
@@ -55,7 +58,8 @@ bool HandleMeta(GraphDatabase* db, const std::string& line) {
         ":legacy/:revised, :order forward|reverse|shuffle [seed],\n"
         ":variant atomic|grouping|weak|collapse|strong|off, :homo/:trail,\n"
         ":parallel <workers> [morsel], :timeout <ms>, :wal <path>,\n"
-        ":checkpoint, :dump, :dot, :stats, :clear, :quit\n");
+        ":checkpoint, :cache [clear|on|off], :dump, :dot, :stats, :clear,\n"
+        ":quit\n");
     return true;
   }
   if (line.rfind(":timeout", 0) == 0) {
@@ -189,6 +193,31 @@ bool HandleMeta(GraphDatabase* db, const std::string& line) {
     if (g.Indexes().empty() && g.UniqueConstraints().empty()) {
       std::printf("(no indexes or constraints)\n");
     }
+    return true;
+  }
+  if (line == ":cache") {
+    const cypher::PlanCacheStats stats = db->plan_cache().Stats();
+    std::printf(
+        "plan cache: %s — %zu entr%s\n"
+        "  hits=%llu (raw=%llu shape=%llu) misses=%llu evictions=%llu\n",
+        options.use_plan_cache ? "on" : "off", stats.entries,
+        stats.entries == 1 ? "y" : "ies",
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.raw_hits),
+        static_cast<unsigned long long>(stats.shape_hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.evictions));
+    return true;
+  }
+  if (line == ":cache clear") {
+    db->plan_cache().Clear();
+    db->plan_cache().ResetStats();
+    std::printf("plan cache cleared\n");
+    return true;
+  }
+  if (line == ":cache on" || line == ":cache off") {
+    options.use_plan_cache = line == ":cache on";
+    std::printf("plan cache %s\n", options.use_plan_cache ? "on" : "off");
     return true;
   }
   if (line == ":clear") {

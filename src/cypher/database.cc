@@ -4,14 +4,53 @@
 #include <mutex>
 #include <sstream>
 
+#include "ast/printer.h"
 #include "common/strings.h"
 #include "graph/serialize.h"
 #include "parser/lexer.h"
 #include "parser/parser.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
+#include "vm/compiler.h"
+#include "vm/normalize.h"
+#include "vm/vm.h"
 
 namespace cypher {
+
+namespace {
+
+/// Execution options that could conceivably steer plan compilation are
+/// folded into every cache key, so sessions running different semantics
+/// never share an entry. (Today's Programs read all options at runtime —
+/// the fingerprint is cheap insurance against that ever changing.)
+std::string OptionsFingerprint(const EvalOptions& options) {
+  std::string fp;
+  fp += std::to_string(static_cast<int>(options.semantics));
+  fp += '|';
+  fp += std::to_string(static_cast<int>(options.match_mode));
+  fp += '|';
+  fp += options.strict_cypher9_syntax ? '1' : '0';
+  fp += '|';
+  fp += options.plain_merge_variant
+            ? std::to_string(static_cast<int>(*options.plain_merge_variant))
+            : std::string("-");
+  fp += '|';
+  return fp;
+}
+
+/// Appends the execution-tier row to an EXPLAIN plan, after the SEMANTICS
+/// row: which tier a normal execution of this statement takes (vm /
+/// interpreter) and how the plan cache would treat it.
+void AppendTierRow(QueryResult* result, const char* tier,
+                   const std::string& disposition) {
+  int64_t step =
+      result->rows.empty() ? 0 : result->rows.back().front().AsInt() + 1;
+  result->rows.push_back(
+      {Value::Int(step), Value::String("TIER"),
+       Value::String(std::string(tier) + "; plan cache: " + disposition)});
+}
+
+}  // namespace
 
 /// Write-ahead-log state of a durable database: the group-commit writer
 /// plus the lock that serializes statement execution (parse and fsync
@@ -27,7 +66,8 @@ struct GraphDatabase::WalSession {
 };
 
 GraphDatabase::GraphDatabase(EvalOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      plan_cache_(std::make_unique<PlanCache>()) {}
 GraphDatabase::GraphDatabase(GraphDatabase&&) noexcept = default;
 GraphDatabase& GraphDatabase::operator=(GraphDatabase&&) noexcept = default;
 GraphDatabase::~GraphDatabase() = default;
@@ -35,9 +75,89 @@ GraphDatabase::~GraphDatabase() = default;
 Result<QueryResult> GraphDatabase::Execute(std::string_view query,
                                            const ValueMap& params,
                                            const EvalOptions& options) {
+  if (options.use_plan_cache) return ExecuteCached(query, params, options);
   CYPHER_ASSIGN_OR_RETURN(Query ast, ParseQuery(query));
-  if (wal_ != nullptr) return ExecuteDurable(ast, params, options);
-  return ExecuteQuery(&graph_, ast, params, options);
+  auto run = [&](const CommitHook& hook) -> Result<QueryResult> {
+    return ExecuteQuery(&graph_, ast, params, options, hook);
+  };
+  Result<QueryResult> result =
+      wal_ != nullptr ? ExecuteDurableWith(run) : run(nullptr);
+  if (result.ok() && ast.mode == QueryMode::kExplain) {
+    AppendTierRow(&*result, "interpreter", "disabled");
+  }
+  return result;
+}
+
+Result<QueryResult> GraphDatabase::ExecuteCached(std::string_view query,
+                                                 const ValueMap& params,
+                                                 const EvalOptions& options) {
+  std::string fingerprint = OptionsFingerprint(options);
+  std::string raw_key = fingerprint + "raw:" + std::string(query);
+
+  std::shared_ptr<const CachedPlan> plan;
+  std::vector<Value> literals;
+  if (auto raw_hit = plan_cache_->LookupRaw(raw_key)) {
+    plan = std::move(raw_hit->first);
+    literals = std::move(raw_hit->second);
+  } else {
+    CYPHER_ASSIGN_OR_RETURN(Query ast, ParseQuery(query));
+    if (ast.mode != QueryMode::kNormal || HasDdlClause(ast)) {
+      // Uncacheable: EXPLAIN/PROFILE report on plans rather than produce
+      // rows (and must print the statement's own literals, not $#N), and
+      // DDL self-invalidates whatever it would cache. Run the interpreter
+      // on the original, un-parametrized statement.
+      bool ddl = HasDdlClause(ast);
+      auto run = [&](const CommitHook& hook) -> Result<QueryResult> {
+        return ExecuteQuery(&graph_, ast, params, options, hook);
+      };
+      Result<QueryResult> result =
+          wal_ != nullptr ? ExecuteDurableWith(run) : run(nullptr);
+      if (result.ok() && ast.mode == QueryMode::kExplain) {
+        if (ddl) {
+          AppendTierRow(&*result, "interpreter", "uncacheable (DDL)");
+        } else {
+          // What would a normal execution of this statement do right now?
+          Query probe = CloneQuery(ast);
+          probe.mode = QueryMode::kNormal;
+          std::vector<Value> probe_literals;
+          ParametrizeQuery(&probe, &probe_literals);
+          bool warm = plan_cache_->PeekShape(fingerprint +
+                                             "shape:" + ToCypher(probe));
+          AppendTierRow(&*result, "vm", warm ? "hit" : "miss");
+        }
+      }
+      return result;
+    }
+
+    ParametrizeQuery(&ast, &literals);
+    std::string shape_key = fingerprint + "shape:" + ToCypher(ast);
+    plan = plan_cache_->LookupShape(shape_key);
+    if (plan == nullptr) {
+      // Move the AST into the entry first, compile second: the Program's
+      // pointers reach into heap-allocated clause nodes, which do not move
+      // with the Query object.
+      auto fresh = std::make_shared<CachedPlan>();
+      fresh->ast = std::move(ast);
+      fresh->num_params = literals.size();
+      fresh->program = CompileStatement(fresh->ast);
+      plan = std::move(fresh);
+      plan_cache_->InsertShape(shape_key, plan);
+    }
+    plan_cache_->InsertRaw(raw_key, plan, literals);
+  }
+
+  // Bind the extracted literals as `$#i`. The lexer cannot produce a `#`
+  // parameter name, so emplace never collides with a user parameter.
+  ValueMap merged = params;
+  for (size_t i = 0; i < literals.size(); ++i) {
+    merged.emplace("#" + std::to_string(i), std::move(literals[i]));
+  }
+  auto run = [&](const CommitHook& hook) -> Result<QueryResult> {
+    return RunProgram(&graph_, *plan->program, plan->ast, merged, options,
+                      hook);
+  };
+  if (wal_ != nullptr) return ExecuteDurableWith(run);
+  return run(nullptr);
 }
 
 Status GraphDatabase::OpenDurable(std::unique_ptr<storage::LogFile> file,
@@ -61,6 +181,9 @@ Status GraphDatabase::OpenDurable(std::unique_ptr<storage::LogFile> file,
     // Drop the torn tail (if any) so new records append to a clean prefix.
     CYPHER_RETURN_NOT_OK(file->Truncate(recovered.valid_bytes));
     graph_ = std::move(recovered.graph);
+    // The graph object was replaced: every cached match plan is stamped
+    // against the old one, and an equal-looking stamp must not revive it.
+    plan_cache_->Clear();
   }
   wal_ = std::make_unique<WalSession>(std::move(file), durability);
   return Status::OK();
@@ -85,9 +208,7 @@ storage::WalWriter* GraphDatabase::wal_writer() {
   return wal_ == nullptr ? nullptr : &wal_->writer;
 }
 
-Result<QueryResult> GraphDatabase::ExecuteDurable(const Query& ast,
-                                                  const ValueMap& params,
-                                                  const EvalOptions& options) {
+Result<QueryResult> GraphDatabase::ExecuteDurableWith(const PlanExecutor& run) {
   bool group_sync =
       wal_->durability.sync_mode == DurabilityOptions::SyncMode::kGroupCommit;
   uint64_t lsn = 0;
@@ -112,7 +233,7 @@ Result<QueryResult> GraphDatabase::ExecuteDurable(const Query& ast,
       if (!group_sync) return wal_->writer.Sync(lsn);
       return Status::OK();
     };
-    Result<QueryResult> r = ExecuteQuery(&graph_, ast, params, options, hook);
+    Result<QueryResult> r = run(hook);
     graph_.AbortRedoCapture();  // no-op when the hook consumed the log
     return r;
   }();
@@ -143,6 +264,7 @@ Status GraphDatabase::LoadFromFile(const std::string& path) {
   buffer << in.rdbuf();
   CYPHER_ASSIGN_OR_RETURN(PropertyGraph loaded, LoadGraph(buffer.str()));
   graph_ = std::move(loaded);
+  plan_cache_->Clear();  // cached plans are stamped against the old graph
   return Status::OK();
 }
 

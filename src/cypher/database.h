@@ -6,11 +6,14 @@
 #include <string_view>
 #include <vector>
 
+#include <functional>
+
 #include "common/result.h"
 #include "exec/interpreter.h"
 #include "exec/options.h"
 #include "graph/graph.h"
 #include "storage/log_file.h"
+#include "vm/plan_cache.h"
 
 namespace cypher {
 
@@ -127,15 +130,37 @@ class GraphDatabase {
   /// The log writer; tests use it to reach the underlying LogFile.
   storage::WalWriter* wal_writer();
 
+  // ---- Plan cache -----------------------------------------------------------
+
+  /// The session's parametrized plan cache (see vm/plan_cache.h). Execute
+  /// consults it unless EvalOptions::use_plan_cache is off: literals are
+  /// auto-parametrized, the normalized shape keys a compiled bytecode
+  /// Program, and repeat statements skip parse + compile entirely. The
+  /// cache is cleared whenever the graph object is replaced wholesale
+  /// (LoadFromFile, WAL recovery) — cached match plans are stamped against
+  /// graph statistics and must not survive a swap.
+  PlanCache& plan_cache() { return *plan_cache_; }
+  const PlanCache& plan_cache() const { return *plan_cache_; }
+
  private:
   struct WalSession;
 
-  Result<QueryResult> ExecuteDurable(const Query& ast, const ValueMap& params,
-                                     const EvalOptions& options);
+  /// Runs one statement's executor under the WAL session: execution lock,
+  /// redo capture, the commit hook that appends (and, per sync mode,
+  /// fsyncs) the statement record. The executor is either the interpreter
+  /// or the VM — durability is tier-agnostic.
+  using PlanExecutor = std::function<Result<QueryResult>(const CommitHook&)>;
+  Result<QueryResult> ExecuteDurableWith(const PlanExecutor& run);
+
+  /// The plan-cache + VM route of Execute (use_plan_cache on).
+  Result<QueryResult> ExecuteCached(std::string_view query,
+                                    const ValueMap& params,
+                                    const EvalOptions& options);
 
   PropertyGraph graph_;
   EvalOptions options_;
   std::unique_ptr<WalSession> wal_;
+  std::unique_ptr<PlanCache> plan_cache_;
 };
 
 /// Splits a script into statements at top-level ';' boundaries using the

@@ -160,9 +160,14 @@ struct ValueEq {
 };
 using ValueSet = std::unordered_set<Value, ValueHash, ValueEq>;
 
-// ---- Scalar functions -------------------------------------------------------
+}  // namespace
 
-Result<Value> CallScalarFunction(const EvalContext& ctx,
+// ---- Shared value kernels ---------------------------------------------------
+//
+// Applied to already-evaluated operands by both the tree evaluator below and
+// the bytecode expression VM; see the declarations in evaluator.h.
+
+Result<Value> EvalScalarFunction(const EvalContext& ctx,
                                  const std::string& name,
                                  std::vector<Value> args) {
   const PropertyGraph& g = *ctx.graph;
@@ -538,7 +543,147 @@ Result<Value> CallScalarFunction(const EvalContext& ctx,
   return TypeError("unknown function: " + name);
 }
 
-}  // namespace
+Result<Value> EvalUnaryValue(UnaryOp op, const Value& v) {
+  switch (op) {
+    case UnaryOp::kNot: {
+      if (v.is_null()) return Value::Null();
+      if (!v.is_bool()) return TypeError("NOT expects a boolean");
+      return Value::Bool(!v.AsBool());
+    }
+    case UnaryOp::kMinus: {
+      if (v.is_null()) return Value::Null();
+      if (v.is_int()) return Value::Int(-v.AsInt());
+      if (v.is_float()) return Value::Float(-v.AsFloat());
+      return TypeError("unary minus expects a number");
+    }
+    case UnaryOp::kPlus: {
+      if (v.is_null() || v.is_number()) return v;
+      return TypeError("unary plus expects a number");
+    }
+  }
+  return Value::Null();
+}
+
+Result<Value> EvalBinaryValues(BinaryOp op, const Value& a, const Value& b) {
+  auto as_tri = [](const Value& v) -> Result<Tri> {
+    if (v.is_null()) return Tri::kNull;
+    if (v.is_bool()) return TriFromBool(v.AsBool());
+    return TypeError("expected a boolean operand");
+  };
+  switch (op) {
+    case BinaryOp::kAnd: {
+      CYPHER_ASSIGN_OR_RETURN(Tri ta, as_tri(a));
+      CYPHER_ASSIGN_OR_RETURN(Tri tb, as_tri(b));
+      return TriToValue(TriAnd(ta, tb));
+    }
+    case BinaryOp::kOr: {
+      CYPHER_ASSIGN_OR_RETURN(Tri ta, as_tri(a));
+      CYPHER_ASSIGN_OR_RETURN(Tri tb, as_tri(b));
+      return TriToValue(TriOr(ta, tb));
+    }
+    case BinaryOp::kXor: {
+      CYPHER_ASSIGN_OR_RETURN(Tri ta, as_tri(a));
+      CYPHER_ASSIGN_OR_RETURN(Tri tb, as_tri(b));
+      return TriToValue(TriXor(ta, tb));
+    }
+    case BinaryOp::kAdd:
+      return EvalAdd(a, b);
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+    case BinaryOp::kPow:
+      return EvalArith(op, a, b);
+    case BinaryOp::kEq:
+      return TriToValue(CypherEquals(a, b));
+    case BinaryOp::kNe:
+      return TriToValue(TriNot(CypherEquals(a, b)));
+    case BinaryOp::kLt:
+      return TriToValue(CypherLess(a, b));
+    case BinaryOp::kGt:
+      return TriToValue(CypherLess(b, a));
+    case BinaryOp::kLe:
+      return TriToValue(TriOr(CypherLess(a, b), CypherEquals(a, b)));
+    case BinaryOp::kGe:
+      return TriToValue(TriOr(CypherLess(b, a), CypherEquals(a, b)));
+    case BinaryOp::kIn: {
+      if (!b.is_null() && !b.is_list()) {
+        return TypeError("IN expects a list on the right-hand side");
+      }
+      return TriToValue(EvalIn(a, b));
+    }
+    case BinaryOp::kStartsWith:
+    case BinaryOp::kEndsWith:
+    case BinaryOp::kContains:
+      return TriToValue(EvalStringOp(op, a, b));
+  }
+  return Value::Null();
+}
+
+Result<Value> EvalPropertyValue(const EvalContext& ctx, const Value& object,
+                                const std::string& key) {
+  if (object.is_null()) return Value::Null();
+  if (object.is_node()) {
+    Symbol sym = ctx.graph->FindKey(key);
+    if (sym == kNoSymbol) return Value::Null();
+    return ctx.graph->node(object.AsNode()).props.Get(sym);
+  }
+  if (object.is_rel()) {
+    Symbol sym = ctx.graph->FindKey(key);
+    if (sym == kNoSymbol) return Value::Null();
+    return ctx.graph->rel(object.AsRel()).props.Get(sym);
+  }
+  if (object.is_map()) {
+    auto it = object.AsMap().find(key);
+    return it == object.AsMap().end() ? Value::Null() : it->second;
+  }
+  return TypeError(std::string("cannot access property '") + key + "' of " +
+                   ValueTypeName(object.type()));
+}
+
+Result<Value> EvalHasLabelsValue(const EvalContext& ctx, const Value& object,
+                                 const std::vector<std::string>& labels) {
+  if (object.is_null()) return Value::Null();
+  if (!object.is_node()) {
+    return TypeError("label predicate applies to nodes only");
+  }
+  NodeId id = object.AsNode();
+  for (const std::string& label : labels) {
+    Symbol s = ctx.graph->FindLabel(label);
+    if (s == kNoSymbol || !ctx.graph->NodeHasLabel(id, s)) {
+      return Value::Bool(false);
+    }
+  }
+  return Value::Bool(true);
+}
+
+Result<Value> EvalIndexValue(const Value& object, const Value& index) {
+  if (object.is_null() || index.is_null()) return Value::Null();
+  if (object.is_list()) {
+    if (!index.is_int()) return TypeError("list index must be an integer");
+    int64_t i = index.AsInt();
+    const ValueList& list = object.AsList();
+    if (i < 0) i += static_cast<int64_t>(list.size());
+    if (i < 0 || i >= static_cast<int64_t>(list.size())) {
+      return Value::Null();
+    }
+    return list[static_cast<size_t>(i)];
+  }
+  if (object.is_map()) {
+    if (!index.is_string()) return TypeError("map key must be a string");
+    auto it = object.AsMap().find(index.AsString());
+    return it == object.AsMap().end() ? Value::Null() : it->second;
+  }
+  return TypeError("subscript applies to lists and maps");
+}
+
+Result<Tri> PredicateTri(const Value& v) {
+  if (v.is_bool()) return TriFromBool(v.AsBool());
+  if (v.is_null()) return Tri::kNull;
+  return Status::ExecutionError("predicate evaluated to " +
+                                std::string(ValueTypeName(v.type())) +
+                                ", expected a boolean");
+}
 
 // ---- Row-loop fast path -----------------------------------------------------
 
@@ -690,61 +835,17 @@ Result<Value> Evaluate(const EvalContext& ctx, const Bindings& bindings,
     case ExprKind::kProperty: {
       const auto& e = static_cast<const PropertyExpr&>(expr);
       CYPHER_ASSIGN_OR_RETURN(Value object, Evaluate(ctx, bindings, *e.object, agg));
-      if (object.is_null()) return Value::Null();
-      if (object.is_node()) {
-        Symbol key = ctx.graph->FindKey(e.key);
-        if (key == kNoSymbol) return Value::Null();
-        return ctx.graph->node(object.AsNode()).props.Get(key);
-      }
-      if (object.is_rel()) {
-        Symbol key = ctx.graph->FindKey(e.key);
-        if (key == kNoSymbol) return Value::Null();
-        return ctx.graph->rel(object.AsRel()).props.Get(key);
-      }
-      if (object.is_map()) {
-        auto it = object.AsMap().find(e.key);
-        return it == object.AsMap().end() ? Value::Null() : it->second;
-      }
-      return TypeError(std::string("cannot access property '") + e.key +
-                       "' of " + ValueTypeName(object.type()));
+      return EvalPropertyValue(ctx, object, e.key);
     }
     case ExprKind::kHasLabels: {
       const auto& e = static_cast<const HasLabelsExpr&>(expr);
       CYPHER_ASSIGN_OR_RETURN(Value object, Evaluate(ctx, bindings, *e.object, agg));
-      if (object.is_null()) return Value::Null();
-      if (!object.is_node()) {
-        return TypeError("label predicate applies to nodes only");
-      }
-      NodeId id = object.AsNode();
-      for (const std::string& label : e.labels) {
-        Symbol s = ctx.graph->FindLabel(label);
-        if (s == kNoSymbol || !ctx.graph->NodeHasLabel(id, s)) {
-          return Value::Bool(false);
-        }
-      }
-      return Value::Bool(true);
+      return EvalHasLabelsValue(ctx, object, e.labels);
     }
     case ExprKind::kUnary: {
       const auto& e = static_cast<const UnaryExpr&>(expr);
       CYPHER_ASSIGN_OR_RETURN(Value v, Evaluate(ctx, bindings, *e.operand, agg));
-      switch (e.op) {
-        case UnaryOp::kNot: {
-          if (v.is_null()) return Value::Null();
-          if (!v.is_bool()) return TypeError("NOT expects a boolean");
-          return Value::Bool(!v.AsBool());
-        }
-        case UnaryOp::kMinus: {
-          if (v.is_null()) return Value::Null();
-          if (v.is_int()) return Value::Int(-v.AsInt());
-          if (v.is_float()) return Value::Float(-v.AsFloat());
-          return TypeError("unary minus expects a number");
-        }
-        case UnaryOp::kPlus: {
-          if (v.is_null() || v.is_number()) return v;
-          return TypeError("unary plus expects a number");
-        }
-      }
-      return Value::Null();
+      return EvalUnaryValue(e.op, v);
     }
     case ExprKind::kBinary: {
       const auto& e = static_cast<const BinaryExpr&>(expr);
@@ -753,59 +854,7 @@ Result<Value> Evaluate(const EvalContext& ctx, const Bindings& bindings,
       // side surface.
       CYPHER_ASSIGN_OR_RETURN(Value a, Evaluate(ctx, bindings, *e.left, agg));
       CYPHER_ASSIGN_OR_RETURN(Value b, Evaluate(ctx, bindings, *e.right, agg));
-      auto as_tri = [](const Value& v) -> Result<Tri> {
-        if (v.is_null()) return Tri::kNull;
-        if (v.is_bool()) return TriFromBool(v.AsBool());
-        return TypeError("expected a boolean operand");
-      };
-      switch (e.op) {
-        case BinaryOp::kAnd: {
-          CYPHER_ASSIGN_OR_RETURN(Tri ta, as_tri(a));
-          CYPHER_ASSIGN_OR_RETURN(Tri tb, as_tri(b));
-          return TriToValue(TriAnd(ta, tb));
-        }
-        case BinaryOp::kOr: {
-          CYPHER_ASSIGN_OR_RETURN(Tri ta, as_tri(a));
-          CYPHER_ASSIGN_OR_RETURN(Tri tb, as_tri(b));
-          return TriToValue(TriOr(ta, tb));
-        }
-        case BinaryOp::kXor: {
-          CYPHER_ASSIGN_OR_RETURN(Tri ta, as_tri(a));
-          CYPHER_ASSIGN_OR_RETURN(Tri tb, as_tri(b));
-          return TriToValue(TriXor(ta, tb));
-        }
-        case BinaryOp::kAdd:
-          return EvalAdd(a, b);
-        case BinaryOp::kSub:
-        case BinaryOp::kMul:
-        case BinaryOp::kDiv:
-        case BinaryOp::kMod:
-        case BinaryOp::kPow:
-          return EvalArith(e.op, a, b);
-        case BinaryOp::kEq:
-          return TriToValue(CypherEquals(a, b));
-        case BinaryOp::kNe:
-          return TriToValue(TriNot(CypherEquals(a, b)));
-        case BinaryOp::kLt:
-          return TriToValue(CypherLess(a, b));
-        case BinaryOp::kGt:
-          return TriToValue(CypherLess(b, a));
-        case BinaryOp::kLe:
-          return TriToValue(TriOr(CypherLess(a, b), CypherEquals(a, b)));
-        case BinaryOp::kGe:
-          return TriToValue(TriOr(CypherLess(b, a), CypherEquals(a, b)));
-        case BinaryOp::kIn: {
-          if (!b.is_null() && !b.is_list()) {
-            return TypeError("IN expects a list on the right-hand side");
-          }
-          return TriToValue(EvalIn(a, b));
-        }
-        case BinaryOp::kStartsWith:
-        case BinaryOp::kEndsWith:
-        case BinaryOp::kContains:
-          return TriToValue(EvalStringOp(e.op, a, b));
-      }
-      return Value::Null();
+      return EvalBinaryValues(e.op, a, b);
     }
     case ExprKind::kIsNull: {
       const auto& e = static_cast<const IsNullExpr&>(expr);
@@ -836,23 +885,7 @@ Result<Value> Evaluate(const EvalContext& ctx, const Bindings& bindings,
       const auto& e = static_cast<const IndexExpr&>(expr);
       CYPHER_ASSIGN_OR_RETURN(Value object, Evaluate(ctx, bindings, *e.object, agg));
       CYPHER_ASSIGN_OR_RETURN(Value index, Evaluate(ctx, bindings, *e.index, agg));
-      if (object.is_null() || index.is_null()) return Value::Null();
-      if (object.is_list()) {
-        if (!index.is_int()) return TypeError("list index must be an integer");
-        int64_t i = index.AsInt();
-        const ValueList& list = object.AsList();
-        if (i < 0) i += static_cast<int64_t>(list.size());
-        if (i < 0 || i >= static_cast<int64_t>(list.size())) {
-          return Value::Null();
-        }
-        return list[static_cast<size_t>(i)];
-      }
-      if (object.is_map()) {
-        if (!index.is_string()) return TypeError("map key must be a string");
-        auto it = object.AsMap().find(index.AsString());
-        return it == object.AsMap().end() ? Value::Null() : it->second;
-      }
-      return TypeError("subscript applies to lists and maps");
+      return EvalIndexValue(object, index);
     }
     case ExprKind::kFunction: {
       const auto& e = static_cast<const FunctionExpr&>(expr);
@@ -872,7 +905,7 @@ Result<Value> Evaluate(const EvalContext& ctx, const Bindings& bindings,
         CYPHER_ASSIGN_OR_RETURN(Value v, Evaluate(ctx, bindings, *arg, agg));
         args.push_back(std::move(v));
       }
-      return CallScalarFunction(ctx, e.name, std::move(args));
+      return EvalScalarFunction(ctx, e.name, std::move(args));
     }
     case ExprKind::kCountStar: {
       if (agg == nullptr) {
@@ -1065,11 +1098,7 @@ Result<Value> Evaluate(const EvalContext& ctx, const Bindings& bindings,
 Result<Tri> EvaluatePredicate(const EvalContext& ctx, const Bindings& bindings,
                               const Expr& expr) {
   CYPHER_ASSIGN_OR_RETURN(Value v, Evaluate(ctx, bindings, expr, nullptr));
-  if (v.is_bool()) return TriFromBool(v.AsBool());
-  if (v.is_null()) return Tri::kNull;
-  return Status::ExecutionError("predicate evaluated to " +
-                                std::string(ValueTypeName(v.type())) +
-                                ", expected a boolean");
+  return PredicateTri(v);
 }
 
 }  // namespace cypher

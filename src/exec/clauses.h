@@ -4,6 +4,7 @@
 #include "ast/clause.h"
 #include "common/result.h"
 #include "exec/context.h"
+#include "match/compiled_pattern.h"
 #include "table/table.h"
 
 namespace cypher {
@@ -29,6 +30,27 @@ Status ExecCallSubquery(ExecContext* ctx, const CallSubqueryClause& clause,
 
 /// Dispatches on clause kind. WITH/RETURN both route to ExecProjection.
 Status ExecClause(ExecContext* ctx, const Clause& clause, Table* table);
+
+/// The fresh variables a MATCH introduces on top of `table`'s columns, in
+/// first-occurrence order (consistent across records of one table).
+std::vector<std::string> MatchNewVars(const MatchClause& clause,
+                                      const Table& table);
+
+/// The enumeration half of ExecMatch, driven by an already-compiled plan:
+/// runs `compiled` for every record of `*table` (fanning out through the
+/// morsel pool when the planner says so), applies the clause's WHERE and
+/// OPTIONAL null-padding, and replaces `*table` with the joined output.
+/// The bytecode VM compiles (or cache-hits) the plan itself and delegates
+/// here, so both tiers share one enumeration loop.
+Status ExecMatchCompiled(ExecContext* ctx, const MatchClause& clause,
+                         const CompiledMatch& compiled,
+                         const std::vector<std::string>& new_vars,
+                         Table* table);
+
+/// Evaluates a SKIP/LIMIT operand against an empty record; anything but a
+/// non-negative integer is an ExecutionError naming `what`.
+Result<int64_t> EvalRowCount(const EvalContext& ec, const Expr& expr,
+                             const char* what);
 
 /// Applies a list of SET items to a single record, legacy-style (immediate,
 /// left to right). Shared by the legacy SET executor and legacy MERGE's

@@ -31,8 +31,6 @@ std::string UpdateStats::ToString() const {
   return out;
 }
 
-namespace {
-
 /// The Cypher 9 clause-ordering rule of Figure 2: reading clauses may not
 /// follow an update clause without an intervening WITH (Section 4.4).
 Status CheckStrictCypher9Ordering(const SingleQuery& part) {
@@ -61,40 +59,7 @@ Status CheckStrictCypher9Ordering(const SingleQuery& part) {
   return Status::OK();
 }
 
-/// Per-clause cardinality record for PROFILE.
-struct ProfileRow {
-  std::string clause;
-  size_t rows_out;
-};
-
-const char* ClauseName(const Clause& clause);
-
-Status RunSingleQuery(ExecContext* ctx, const SingleQuery& part, Table* table,
-                      bool* has_return, std::vector<ProfileRow>* profile) {
-  *has_return = false;
-  *table = Table::Unit();
-  for (const ClausePtr& clause : part.clauses) {
-    // Watchdog poll at clause granularity; the matcher and the parallel
-    // loops poll the same token at finer grain during long enumerations.
-    CYPHER_RETURN_NOT_OK(ctx->options.cancel.Check());
-    CYPHER_RETURN_NOT_OK(ExecClause(ctx, *clause, table));
-    if (ctx->options.max_rows != 0 &&
-        table->num_rows() > ctx->options.max_rows) {
-      return Status::ExecutionError(
-          "driving table exceeded the configured row limit (" +
-          std::to_string(ctx->options.max_rows) + " records) after " +
-          ClauseName(*clause));
-    }
-    if (clause->kind == ClauseKind::kReturn) *has_return = true;
-    if (profile != nullptr) {
-      profile->push_back({ToCypher(*clause), table->num_rows()});
-    }
-  }
-  if (!*has_return) *table = Table();
-  return Status::OK();
-}
-
-const char* ClauseName(const Clause& clause) {
+const char* ClauseDisplayName(const Clause& clause) {
   switch (clause.kind) {
     case ClauseKind::kMatch:
       return static_cast<const MatchClause&>(clause).optional
@@ -139,6 +104,39 @@ const char* ClauseName(const Clause& clause) {
       return "CALL {...}";
   }
   return "?";
+}
+
+namespace {
+
+/// Per-clause cardinality record for PROFILE.
+struct ProfileRow {
+  std::string clause;
+  size_t rows_out;
+};
+
+Status RunSingleQuery(ExecContext* ctx, const SingleQuery& part, Table* table,
+                      bool* has_return, std::vector<ProfileRow>* profile) {
+  *has_return = false;
+  *table = Table::Unit();
+  for (const ClausePtr& clause : part.clauses) {
+    // Watchdog poll at clause granularity; the matcher and the parallel
+    // loops poll the same token at finer grain during long enumerations.
+    CYPHER_RETURN_NOT_OK(ctx->options.cancel.Check());
+    CYPHER_RETURN_NOT_OK(ExecClause(ctx, *clause, table));
+    if (ctx->options.max_rows != 0 &&
+        table->num_rows() > ctx->options.max_rows) {
+      return Status::ExecutionError(
+          "driving table exceeded the configured row limit (" +
+          std::to_string(ctx->options.max_rows) + " records) after " +
+          ClauseDisplayName(*clause));
+    }
+    if (clause->kind == ClauseKind::kReturn) *has_return = true;
+    if (profile != nullptr) {
+      profile->push_back({ToCypher(*clause), table->num_rows()});
+    }
+  }
+  if (!*has_return) *table = Table();
+  return Status::OK();
 }
 
 /// EXPLAIN: a plan description, no execution. MATCH and MERGE clauses show
@@ -216,7 +214,7 @@ QueryResult BuildExplainPlan(const PropertyGraph& graph, const Query& query,
           break;  // SET/REMOVE/DELETE/FOREACH/DDL bind nothing
       }
       result.rows.push_back({Value::Int(step++),
-                             Value::String(ClauseName(*clause)),
+                             Value::String(ClauseDisplayName(*clause)),
                              Value::String(details)});
     }
   }

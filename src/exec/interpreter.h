@@ -43,6 +43,15 @@ Result<QueryResult> ExecuteQuery(PropertyGraph* graph, const Query& query,
                                  const EvalOptions& options,
                                  const CommitHook& commit_hook = nullptr);
 
+/// The Cypher 9 clause-ordering rule of Figure 2 (Section 4.4): reading
+/// clauses may not follow an updating clause without an intervening WITH.
+/// Shared with the bytecode VM, which enforces the same rule per part.
+Status CheckStrictCypher9Ordering(const SingleQuery& part);
+
+/// Display name of a clause for error messages and plan rows
+/// ("OPTIONAL MATCH", "MERGE ALL", "CALL {...}", ...).
+const char* ClauseDisplayName(const Clause& clause);
+
 }  // namespace cypher
 
 #endif  // CYPHER_EXEC_INTERPRETER_H_

@@ -64,6 +64,13 @@ struct EvalOptions {
   /// default; the revised syntax (Figure 10) drops the rule.
   bool strict_cypher9_syntax = false;
 
+  /// Route statements through the parametrized plan cache and the bytecode
+  /// VM (GraphDatabase::Execute only; the lower-level ExecuteQuery entry
+  /// point is always the tree-walking interpreter). Off = every statement
+  /// reparses and runs interpreted — the reference path the differential
+  /// suites compare the VM against.
+  bool use_plan_cache = true;
+
   /// Runaway-query guard: when non-zero, a statement whose driving table
   /// exceeds this many records after any clause aborts (and rolls back)
   /// with an ExecutionError. 0 = unlimited.

@@ -12,23 +12,29 @@ namespace cypher {
 
 // ---- MATCH / OPTIONAL MATCH ---------------------------------------------
 
-Status ExecMatch(ExecContext* ctx, const MatchClause& clause, Table* table) {
-  // Fresh variables this MATCH introduces (consistent across records).
+std::vector<std::string> MatchNewVars(const MatchClause& clause,
+                                      const Table& table) {
   std::vector<std::string> new_vars;
   for (const PathPattern& pattern : clause.patterns) {
     for (const std::string& var : PatternVariables(pattern)) {
-      if (table->HasColumn(var)) continue;
+      if (table.HasColumn(var)) continue;
       if (std::find(new_vars.begin(), new_vars.end(), var) == new_vars.end()) {
         new_vars.push_back(var);
       }
     }
   }
-  Table out = Table::WithColumns(table->columns());
-  for (const std::string& var : new_vars) out.AddColumn(var);
+  return new_vars;
+}
 
+Status ExecMatch(ExecContext* ctx, const MatchClause& clause, Table* table) {
+  // Fresh variables this MATCH introduces (consistent across records).
+  std::vector<std::string> new_vars = MatchNewVars(clause, *table);
   EvalContext ec = ctx->Eval();
   if (table->num_rows() == 0) {
-    *table = std::move(out);  // still introduces the new (empty) columns
+    // Still introduces the new (empty) columns.
+    Table out = Table::WithColumns(table->columns());
+    for (const std::string& var : new_vars) out.AddColumn(var);
+    *table = std::move(out);
     return Status::OK();
   }
   // Compile once per clause: boundness and interned symbols are identical
@@ -36,6 +42,16 @@ Status ExecMatch(ExecContext* ctx, const MatchClause& clause, Table* table) {
   // record inside the engine).
   CompiledMatch compiled = CompileMatch(ec, Bindings(table, 0), clause.patterns,
                                         {.num_rows = table->num_rows()});
+  return ExecMatchCompiled(ctx, clause, compiled, new_vars, table);
+}
+
+Status ExecMatchCompiled(ExecContext* ctx, const MatchClause& clause,
+                         const CompiledMatch& compiled,
+                         const std::vector<std::string>& new_vars,
+                         Table* table) {
+  Table out = Table::WithColumns(table->columns());
+  for (const std::string& var : new_vars) out.AddColumn(var);
+  EvalContext ec = ctx->Eval();
   if (std::optional<ParallelPlan> plan = PlanParallelMatch(
           ctx->options, *ec.graph, compiled, table->num_rows())) {
     CYPHER_RETURN_NOT_OK(ParallelMatchRows(
@@ -136,6 +152,8 @@ struct SortKeyLess {
   }
 };
 
+}  // namespace
+
 Result<int64_t> EvalRowCount(const EvalContext& ec, const Expr& expr,
                              const char* what) {
   Bindings empty;
@@ -146,8 +164,6 @@ Result<int64_t> EvalRowCount(const EvalContext& ec, const Expr& expr,
   }
   return v.AsInt();
 }
-
-}  // namespace
 
 Status ExecProjection(ExecContext* ctx, const ProjectionBody& body,
                       const Expr* where, Table* table) {

@@ -501,6 +501,7 @@ void PropertyGraph::CreateIndex(Symbol label, Symbol key) {
   if (redo_capture_) {
     RedoAppend("index+ :" + LabelName(label) + " " + KeyName(key));
   }
+  ++index_epoch_;
   PropertyIndex index;
   index.label = label;
   index.key = key;
@@ -596,6 +597,7 @@ void PropertyGraph::DropIndex(Symbol label, Symbol key) {
         property_indexes_[i].key == key) {
       property_indexes_.erase(property_indexes_.begin() +
                               static_cast<ptrdiff_t>(i));
+      ++index_epoch_;
       if (redo_capture_) {
         RedoAppend("index- :" + LabelName(label) + " " + KeyName(key));
       }

@@ -107,6 +107,13 @@ class PropertyGraph {
   const std::string& TypeName(Symbol s) const { return types_.Name(s); }
   const std::string& KeyName(Symbol s) const { return keys_.Name(s); }
 
+  /// Interned-vocabulary sizes. Interners only grow within one graph's
+  /// lifetime, so an unchanged size means an unchanged symbol table — the
+  /// plan cache stamps compiled match plans with these to detect staleness.
+  size_t num_label_symbols() const { return labels_.size(); }
+  size_t num_type_symbols() const { return types_.size(); }
+  size_t num_key_symbols() const { return keys_.size(); }
+
   // ---- Creation -----------------------------------------------------------
 
   /// Creates a node with the given (unsorted, possibly duplicated) labels.
@@ -299,6 +306,11 @@ class PropertyGraph {
 
   /// All (label, key) pairs with an index, in creation order.
   std::vector<std::pair<Symbol, Symbol>> Indexes() const;
+
+  /// Monotonic counter bumped whenever an index is created or dropped.
+  /// Cached match plans bake access-path choices that depend on index
+  /// presence; comparing epochs detects when those choices went stale.
+  uint64_t index_epoch() const { return index_epoch_; }
 
   // ---- Uniqueness constraints -----------------------------------------------
 
@@ -506,6 +518,7 @@ class PropertyGraph {
   std::unordered_map<Symbol, size_t> label_counts_;
   std::vector<PropertyIndex> property_indexes_;
   std::vector<std::pair<Symbol, Symbol>> unique_constraints_;
+  uint64_t index_epoch_ = 0;
   size_t alive_nodes_ = 0;
   size_t alive_rels_ = 0;
   std::vector<JournalOp> journal_;

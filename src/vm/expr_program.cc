@@ -1,0 +1,297 @@
+#include "vm/expr_program.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "eval/evaluator.h"
+
+namespace cypher {
+
+ExprProgram ExprProgram::Compile(const Expr& expr) {
+  ExprProgram program;
+  program.CompileInto(expr, 0);
+  return program;
+}
+
+uint32_t ExprProgram::AddName(std::string name) {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<uint32_t>(i);
+  }
+  names_.push_back(std::move(name));
+  return static_cast<uint32_t>(names_.size() - 1);
+}
+
+uint32_t ExprProgram::AddColumn(std::string name) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return static_cast<uint32_t>(i);
+  }
+  columns_.push_back(std::move(name));
+  return static_cast<uint32_t>(columns_.size() - 1);
+}
+
+void ExprProgram::Reserve(uint16_t dst) {
+  if (static_cast<size_t>(dst) + 1 > num_regs_) num_regs_ = dst + 1;
+}
+
+void ExprProgram::CompileInto(const Expr& expr, uint16_t dst) {
+  Reserve(dst);
+  switch (expr.kind) {
+    case ExprKind::kLiteral: {
+      consts_.push_back(static_cast<const LiteralExpr&>(expr).value);
+      ops_.push_back({OpKind::kLoadConst, 0, dst, 0, 0,
+                      static_cast<uint32_t>(consts_.size() - 1)});
+      return;
+    }
+    case ExprKind::kParameter: {
+      uint32_t name = AddName(static_cast<const ParameterExpr&>(expr).name);
+      ops_.push_back({OpKind::kLoadParam, 0, dst, 0, 0, name});
+      return;
+    }
+    case ExprKind::kVariable: {
+      uint32_t col = AddColumn(static_cast<const VariableExpr&>(expr).name);
+      ops_.push_back({OpKind::kLoadColumn, 0, dst, 0, 0, col});
+      return;
+    }
+    case ExprKind::kProperty: {
+      const auto& e = static_cast<const PropertyExpr&>(expr);
+      CompileInto(*e.object, dst);
+      ops_.push_back({OpKind::kProperty, 0, dst, dst, 0, AddName(e.key)});
+      return;
+    }
+    case ExprKind::kHasLabels: {
+      const auto& e = static_cast<const HasLabelsExpr&>(expr);
+      CompileInto(*e.object, dst);
+      name_lists_.push_back(e.labels);
+      ops_.push_back({OpKind::kHasLabels, 0, dst, dst, 0,
+                      static_cast<uint32_t>(name_lists_.size() - 1)});
+      return;
+    }
+    case ExprKind::kUnary: {
+      const auto& e = static_cast<const UnaryExpr&>(expr);
+      CompileInto(*e.operand, dst);
+      ops_.push_back(
+          {OpKind::kUnary, static_cast<uint8_t>(e.op), dst, dst, 0, 0});
+      return;
+    }
+    case ExprKind::kBinary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      CompileInto(*e.left, dst);
+      CompileInto(*e.right, static_cast<uint16_t>(dst + 1));
+      ops_.push_back({OpKind::kBinary, static_cast<uint8_t>(e.op), dst, dst,
+                      static_cast<uint16_t>(dst + 1), 0});
+      return;
+    }
+    case ExprKind::kIsNull: {
+      const auto& e = static_cast<const IsNullExpr&>(expr);
+      CompileInto(*e.operand, dst);
+      ops_.push_back({OpKind::kIsNull, static_cast<uint8_t>(e.negated), dst,
+                      dst, 0, 0});
+      return;
+    }
+    case ExprKind::kList: {
+      const auto& e = static_cast<const ListExpr&>(expr);
+      for (size_t i = 0; i < e.items.size(); ++i) {
+        CompileInto(*e.items[i], static_cast<uint16_t>(dst + i));
+      }
+      ops_.push_back({OpKind::kMakeList, 0, dst, dst, 0,
+                      static_cast<uint32_t>(e.items.size())});
+      return;
+    }
+    case ExprKind::kMap: {
+      const auto& e = static_cast<const MapExpr&>(expr);
+      std::vector<std::string> keys;
+      keys.reserve(e.entries.size());
+      for (size_t i = 0; i < e.entries.size(); ++i) {
+        keys.push_back(e.entries[i].first);
+        CompileInto(*e.entries[i].second, static_cast<uint16_t>(dst + i));
+      }
+      name_lists_.push_back(std::move(keys));
+      ops_.push_back({OpKind::kMakeMap, 0, dst, dst, 0,
+                      static_cast<uint32_t>(name_lists_.size() - 1)});
+      return;
+    }
+    case ExprKind::kIndex: {
+      const auto& e = static_cast<const IndexExpr&>(expr);
+      CompileInto(*e.object, dst);
+      CompileInto(*e.index, static_cast<uint16_t>(dst + 1));
+      ops_.push_back({OpKind::kIndexOp, 0, dst, dst,
+                      static_cast<uint16_t>(dst + 1), 0});
+      return;
+    }
+    case ExprKind::kFunction: {
+      const auto& e = static_cast<const FunctionExpr&>(expr);
+      // Aggregates need an AggregateScope the bytecode contexts never have;
+      // route them through the tree so its "not allowed here" error fires.
+      if (IsAggregateFunctionName(e.name)) break;
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        CompileInto(*e.args[i], static_cast<uint16_t>(dst + i));
+      }
+      ops_.push_back({OpKind::kCall, 0, dst, dst,
+                      static_cast<uint16_t>(e.args.size()), AddName(e.name)});
+      return;
+    }
+    case ExprKind::kCase: {
+      // Lazy branch selection, exactly like the tree: a condition that is
+      // not (boolean AND true) falls through to the next WHEN. Every branch
+      // value lands in `dst`, so no joins are needed.
+      const auto& e = static_cast<const CaseExpr&>(expr);
+      std::vector<size_t> jumps_to_end;
+      for (const auto& [cond, value] : e.whens) {
+        CompileInto(*cond, dst);
+        size_t skip = ops_.size();
+        ops_.push_back({OpKind::kJumpIfNotTrue, 0, 0, dst, 0, 0});
+        CompileInto(*value, dst);
+        jumps_to_end.push_back(ops_.size());
+        ops_.push_back({OpKind::kJump, 0, 0, 0, 0, 0});
+        ops_[skip].imm = static_cast<uint32_t>(ops_.size());
+      }
+      if (e.otherwise != nullptr) {
+        CompileInto(*e.otherwise, dst);
+      } else {
+        ops_.push_back({OpKind::kLoadNull, 0, dst, 0, 0, 0});
+      }
+      for (size_t j : jumps_to_end) {
+        ops_[j].imm = static_cast<uint32_t>(ops_.size());
+      }
+      return;
+    }
+    case ExprKind::kCountStar:
+    case ExprKind::kListComprehension:
+    case ExprKind::kQuantifier:
+    case ExprKind::kReduce:
+    case ExprKind::kPatternPredicate:
+    case ExprKind::kMapProjection:
+      break;  // tree fallback below
+  }
+  trees_.push_back(&expr);
+  ops_.push_back({OpKind::kEvalTree, 0, dst, 0, 0,
+                  static_cast<uint32_t>(trees_.size() - 1)});
+}
+
+std::vector<size_t> ExprProgram::Bind(const Table& table) const {
+  std::vector<size_t> cols;
+  cols.reserve(columns_.size());
+  for (const std::string& name : columns_) {
+    cols.push_back(table.ColumnIndex(name));
+  }
+  return cols;
+}
+
+Result<Value> ExprProgram::Run(const EvalContext& ec, const Table* table,
+                               size_t row, const std::vector<size_t>& cols,
+                               std::vector<Value>* regs) const {
+  if (regs->size() < num_regs_) regs->resize(num_regs_);
+  std::vector<Value>& r = *regs;
+  for (size_t pc = 0; pc < ops_.size(); ++pc) {
+    const Op& op = ops_[pc];
+    switch (op.kind) {
+      case OpKind::kLoadConst:
+        r[op.dst] = consts_[op.imm];
+        break;
+      case OpKind::kLoadParam: {
+        const std::string& name = names_[op.imm];
+        if (ec.params != nullptr) {
+          auto it = ec.params->find(name);
+          if (it != ec.params->end()) {
+            r[op.dst] = it->second;
+            break;
+          }
+        }
+        return Status::ExecutionError("missing parameter: $" + name);
+      }
+      case OpKind::kLoadColumn: {
+        size_t col = cols[op.imm];
+        if (col == Table::kNoColumn) {
+          return Status::SemanticError("undefined variable: " +
+                                       columns_[op.imm]);
+        }
+        r[op.dst] = table->At(row, col);
+        break;
+      }
+      case OpKind::kLoadNull:
+        r[op.dst] = Value::Null();
+        break;
+      case OpKind::kProperty: {
+        CYPHER_ASSIGN_OR_RETURN(
+            r[op.dst], EvalPropertyValue(ec, r[op.src], names_[op.imm]));
+        break;
+      }
+      case OpKind::kHasLabels: {
+        CYPHER_ASSIGN_OR_RETURN(
+            r[op.dst],
+            EvalHasLabelsValue(ec, r[op.src], name_lists_[op.imm]));
+        break;
+      }
+      case OpKind::kUnary: {
+        CYPHER_ASSIGN_OR_RETURN(
+            r[op.dst],
+            EvalUnaryValue(static_cast<UnaryOp>(op.aux), r[op.src]));
+        break;
+      }
+      case OpKind::kBinary: {
+        CYPHER_ASSIGN_OR_RETURN(
+            r[op.dst], EvalBinaryValues(static_cast<BinaryOp>(op.aux),
+                                        r[op.src], r[op.src2]));
+        break;
+      }
+      case OpKind::kIsNull: {
+        bool is_null = r[op.src].is_null();
+        r[op.dst] = Value::Bool(op.aux != 0 ? !is_null : is_null);
+        break;
+      }
+      case OpKind::kMakeList: {
+        ValueList items;
+        items.reserve(op.imm);
+        for (uint32_t i = 0; i < op.imm; ++i) {
+          items.push_back(std::move(r[op.src + i]));
+        }
+        r[op.dst] = Value::List(std::move(items));
+        break;
+      }
+      case OpKind::kMakeMap: {
+        const std::vector<std::string>& keys = name_lists_[op.imm];
+        ValueMap entries;
+        for (size_t i = 0; i < keys.size(); ++i) {
+          entries[keys[i]] = std::move(r[op.src + i]);
+        }
+        r[op.dst] = Value::Map(std::move(entries));
+        break;
+      }
+      case OpKind::kIndexOp: {
+        CYPHER_ASSIGN_OR_RETURN(r[op.dst],
+                                EvalIndexValue(r[op.src], r[op.src2]));
+        break;
+      }
+      case OpKind::kCall: {
+        std::vector<Value> args;
+        args.reserve(op.src2);
+        for (uint16_t i = 0; i < op.src2; ++i) {
+          args.push_back(std::move(r[op.src + i]));
+        }
+        CYPHER_ASSIGN_OR_RETURN(
+            r[op.dst], EvalScalarFunction(ec, names_[op.imm], std::move(args)));
+        break;
+      }
+      case OpKind::kJumpIfNotTrue: {
+        const Value& c = r[op.src];
+        if (!(c.is_bool() && c.AsBool())) pc = op.imm - 1;
+        break;
+      }
+      case OpKind::kJump: {
+        pc = op.imm - 1;
+        break;
+      }
+      case OpKind::kEvalTree: {
+        Bindings bindings =
+            table != nullptr ? Bindings(table, row) : Bindings();
+        CYPHER_ASSIGN_OR_RETURN(
+            r[op.dst], Evaluate(ec, bindings, *trees_[op.imm], nullptr));
+        break;
+      }
+    }
+  }
+  CYPHER_CHECK(!r.empty());
+  return std::move(r[0]);
+}
+
+}  // namespace cypher

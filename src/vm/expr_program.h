@@ -1,0 +1,105 @@
+#ifndef CYPHER_VM_EXPR_PROGRAM_H_
+#define CYPHER_VM_EXPR_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/expr.h"
+#include "ast/pattern.h"
+#include "common/result.h"
+#include "eval/env.h"
+#include "table/table.h"
+#include "value/value.h"
+
+namespace cypher {
+
+/// One expression lowered to flat register bytecode.
+///
+/// Registers are stack positions: compiling a node into register `dst`
+/// compiles its children into `dst`, `dst+1`, ... and leaves the result in
+/// `dst`, so the frame size is simply the maximum expression depth and no
+/// separate allocator is needed. Operand application goes through the
+/// shared value kernels of eval/evaluator.h — the same functions the tree
+/// evaluator calls — so both tiers produce identical values and identical
+/// error strings by construction.
+///
+/// Subtrees the bytecode does not model (comprehensions, quantifiers,
+/// reduce, pattern predicates, map projections, aggregate calls) compile to
+/// a kEvalTree op that defers to the tree evaluator for exactly that
+/// subtree; everything around it still runs as bytecode.
+///
+/// Compilation happens once per cached plan; Bind() resolves column names
+/// against a concrete driving table once per execution; Run() then touches
+/// only integer indices per row. A program is immutable after Compile and
+/// safe to share across threads; each runner passes its own register frame.
+class ExprProgram {
+ public:
+  ExprProgram() = default;
+
+  /// Lowers `expr`, which must outlive the program (the cached plan owns
+  /// the AST). Never fails — unsupported shapes become tree fallbacks.
+  static ExprProgram Compile(const Expr& expr);
+
+  /// Resolves the referenced variable names against a table's columns.
+  /// Absent columns map to Table::kNoColumn — not an error here, because a
+  /// zero-row table must not raise; Run reports "undefined variable" only
+  /// when a row actually reads the missing column (tree semantics).
+  std::vector<size_t> Bind(const Table& table) const;
+
+  /// Evaluates for `row` of `table` (which may be null when the program
+  /// references no columns). `cols` must come from Bind on the same table;
+  /// `regs` is caller-owned scratch, resized to num_regs().
+  Result<Value> Run(const EvalContext& ec, const Table* table, size_t row,
+                    const std::vector<size_t>& cols,
+                    std::vector<Value>* regs) const;
+
+  size_t num_regs() const { return num_regs_; }
+  size_t num_ops() const { return ops_.size(); }
+
+ private:
+  enum class OpKind : uint8_t {
+    kLoadConst,      // dst <- consts[imm]
+    kLoadParam,      // dst <- params[names[imm]]
+    kLoadColumn,     // dst <- table[row][cols[imm]]
+    kLoadNull,       // dst <- null
+    kProperty,       // dst <- src . names[imm]
+    kHasLabels,      // dst <- src has all of name_lists[imm]
+    kUnary,          // dst <- UnaryOp(aux) src
+    kBinary,         // dst <- src BinaryOp(aux) src2
+    kIsNull,         // dst <- src IS [NOT aux] NULL
+    kMakeList,       // dst <- [src .. src+imm-1]
+    kMakeMap,        // dst <- {name_lists[imm][i]: src+i}
+    kIndexOp,        // dst <- src[src2]
+    kCall,           // dst <- names[imm](src .. src+src2-1)
+    kJumpIfNotTrue,  // if src is not (bool AND true): pc <- imm
+    kJump,           // pc <- imm
+    kEvalTree,       // dst <- Evaluate(trees[imm])  (tree fallback)
+  };
+
+  struct Op {
+    OpKind kind;
+    uint8_t aux = 0;  // UnaryOp/BinaryOp ordinal; IsNull negation flag
+    uint16_t dst = 0;
+    uint16_t src = 0;
+    uint16_t src2 = 0;  // second operand register / argument count
+    uint32_t imm = 0;   // pool index / list length / jump target
+  };
+
+  void CompileInto(const Expr& expr, uint16_t dst);
+  uint32_t AddName(std::string name);
+  uint32_t AddColumn(std::string name);
+  void Reserve(uint16_t dst);
+
+  std::vector<Op> ops_;
+  std::vector<Value> consts_;
+  std::vector<std::string> names_;    // parameter/property/function names
+  std::vector<std::string> columns_;  // variable names, resolved by Bind
+  std::vector<std::vector<std::string>> name_lists_;  // labels / map keys
+  std::vector<const Expr*> trees_;  // tree-fallback subexpressions
+  size_t num_regs_ = 0;
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_VM_EXPR_PROGRAM_H_

@@ -1,0 +1,251 @@
+#include "vm/normalize.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "ast/clause.h"
+#include "ast/expr.h"
+#include "ast/pattern.h"
+
+namespace cypher {
+
+namespace {
+
+/// Mutating walker over every ExprPtr slot of a statement. Visits children
+/// before deciding about the node itself, but only literals are rewritten,
+/// and a literal has no children — so order does not matter beyond keeping
+/// slot numbering in syntactic (source) order for readability.
+class Parametrizer {
+ public:
+  explicit Parametrizer(std::vector<Value>* literals) : literals_(literals) {}
+
+  void WalkExpr(ExprPtr* slot) {
+    if (slot == nullptr || *slot == nullptr) return;
+    Expr& e = **slot;
+    switch (e.kind) {
+      case ExprKind::kLiteral: {
+        Value& v = static_cast<LiteralExpr&>(e).value;
+        if (v.is_int() || v.is_float() || v.is_string()) {
+          std::string name = "#" + std::to_string(literals_->size());
+          literals_->push_back(std::move(v));
+          *slot = std::make_unique<ParameterExpr>(std::move(name));
+        }
+        return;
+      }
+      case ExprKind::kParameter:
+      case ExprKind::kVariable:
+      case ExprKind::kCountStar:
+        return;
+      case ExprKind::kProperty:
+        WalkExpr(&static_cast<PropertyExpr&>(e).object);
+        return;
+      case ExprKind::kHasLabels:
+        WalkExpr(&static_cast<HasLabelsExpr&>(e).object);
+        return;
+      case ExprKind::kUnary:
+        WalkExpr(&static_cast<UnaryExpr&>(e).operand);
+        return;
+      case ExprKind::kBinary: {
+        auto& b = static_cast<BinaryExpr&>(e);
+        WalkExpr(&b.left);
+        WalkExpr(&b.right);
+        return;
+      }
+      case ExprKind::kIsNull:
+        WalkExpr(&static_cast<IsNullExpr&>(e).operand);
+        return;
+      case ExprKind::kList:
+        for (ExprPtr& item : static_cast<ListExpr&>(e).items) WalkExpr(&item);
+        return;
+      case ExprKind::kMap:
+        for (auto& [key, value] : static_cast<MapExpr&>(e).entries) {
+          WalkExpr(&value);
+        }
+        return;
+      case ExprKind::kIndex: {
+        auto& i = static_cast<IndexExpr&>(e);
+        WalkExpr(&i.object);
+        WalkExpr(&i.index);
+        return;
+      }
+      case ExprKind::kFunction:
+        for (ExprPtr& arg : static_cast<FunctionExpr&>(e).args) WalkExpr(&arg);
+        return;
+      case ExprKind::kCase: {
+        auto& c = static_cast<CaseExpr&>(e);
+        for (auto& [cond, value] : c.whens) {
+          WalkExpr(&cond);
+          WalkExpr(&value);
+        }
+        WalkExpr(&c.otherwise);
+        return;
+      }
+      case ExprKind::kListComprehension: {
+        auto& l = static_cast<ListComprehensionExpr&>(e);
+        WalkExpr(&l.list);
+        WalkExpr(&l.where);
+        WalkExpr(&l.projection);
+        return;
+      }
+      case ExprKind::kQuantifier: {
+        auto& q = static_cast<QuantifierExpr&>(e);
+        WalkExpr(&q.list);
+        WalkExpr(&q.predicate);
+        return;
+      }
+      case ExprKind::kReduce: {
+        auto& r = static_cast<ReduceExpr&>(e);
+        WalkExpr(&r.init);
+        WalkExpr(&r.list);
+        WalkExpr(&r.body);
+        return;
+      }
+      case ExprKind::kPatternPredicate:
+        WalkPath(&static_cast<PatternPredicateExpr&>(e).pattern);
+        return;
+      case ExprKind::kMapProjection: {
+        auto& m = static_cast<MapProjectionExpr&>(e);
+        WalkExpr(&m.subject);
+        for (MapProjectionItem& item : m.items) WalkExpr(&item.value);
+        return;
+      }
+    }
+  }
+
+  void WalkPath(PathPattern* path) {
+    WalkNode(&path->start);
+    for (auto& [rel, node] : path->steps) {
+      for (auto& [key, value] : rel.properties) WalkExpr(&value);
+      WalkNode(&node);
+    }
+  }
+
+  void WalkNode(NodePattern* node) {
+    for (auto& [key, value] : node->properties) WalkExpr(&value);
+  }
+
+  void WalkBody(ProjectionBody* body) {
+    for (ReturnItem& item : body->items) WalkExpr(&item.expr);
+    for (SortItem& item : body->order_by) WalkExpr(&item.expr);
+    WalkExpr(&body->skip);
+    WalkExpr(&body->limit);
+  }
+
+  void WalkSetItems(std::vector<SetItem>* items) {
+    for (SetItem& item : *items) {
+      WalkExpr(&item.target);
+      WalkExpr(&item.value);
+    }
+  }
+
+  void WalkClause(Clause* clause) {
+    switch (clause->kind) {
+      case ClauseKind::kMatch: {
+        auto& c = static_cast<MatchClause&>(*clause);
+        for (PathPattern& p : c.patterns) WalkPath(&p);
+        WalkExpr(&c.where);
+        return;
+      }
+      case ClauseKind::kUnwind:
+        WalkExpr(&static_cast<UnwindClause&>(*clause).list);
+        return;
+      case ClauseKind::kWith: {
+        auto& c = static_cast<WithClause&>(*clause);
+        WalkBody(&c.body);
+        WalkExpr(&c.where);
+        return;
+      }
+      case ClauseKind::kReturn:
+        WalkBody(&static_cast<ReturnClause&>(*clause).body);
+        return;
+      case ClauseKind::kCreate: {
+        auto& c = static_cast<CreateClause&>(*clause);
+        for (PathPattern& p : c.patterns) WalkPath(&p);
+        return;
+      }
+      case ClauseKind::kSet:
+        WalkSetItems(&static_cast<SetClause&>(*clause).items);
+        return;
+      case ClauseKind::kRemove:
+        for (RemoveItem& item : static_cast<RemoveClause&>(*clause).items) {
+          WalkExpr(&item.target);
+        }
+        return;
+      case ClauseKind::kDelete:
+        for (ExprPtr& e : static_cast<DeleteClause&>(*clause).exprs) {
+          WalkExpr(&e);
+        }
+        return;
+      case ClauseKind::kMerge: {
+        auto& c = static_cast<MergeClause&>(*clause);
+        for (PathPattern& p : c.patterns) WalkPath(&p);
+        WalkSetItems(&c.on_create);
+        WalkSetItems(&c.on_match);
+        return;
+      }
+      case ClauseKind::kForeach: {
+        auto& c = static_cast<ForeachClause&>(*clause);
+        WalkExpr(&c.list);
+        for (ClausePtr& inner : c.body) WalkClause(inner.get());
+        return;
+      }
+      case ClauseKind::kCreateIndex:
+      case ClauseKind::kConstraint:
+        return;  // label/key are names, not expressions
+      case ClauseKind::kCallSubquery:
+        for (ClausePtr& inner :
+             static_cast<CallSubqueryClause&>(*clause).body) {
+          WalkClause(inner.get());
+        }
+        return;
+    }
+  }
+
+ private:
+  std::vector<Value>* literals_;
+};
+
+bool ClauseHasDdl(const Clause& clause) {
+  switch (clause.kind) {
+    case ClauseKind::kCreateIndex:
+    case ClauseKind::kConstraint:
+      return true;
+    case ClauseKind::kForeach:
+      for (const ClausePtr& inner :
+           static_cast<const ForeachClause&>(clause).body) {
+        if (ClauseHasDdl(*inner)) return true;
+      }
+      return false;
+    case ClauseKind::kCallSubquery:
+      for (const ClausePtr& inner :
+           static_cast<const CallSubqueryClause&>(clause).body) {
+        if (ClauseHasDdl(*inner)) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+size_t ParametrizeQuery(Query* query, std::vector<Value>* literals) {
+  size_t before = literals->size();
+  Parametrizer walker(literals);
+  for (SingleQuery& part : query->parts) {
+    for (ClausePtr& clause : part.clauses) walker.WalkClause(clause.get());
+  }
+  return literals->size() - before;
+}
+
+bool HasDdlClause(const Query& query) {
+  for (const SingleQuery& part : query.parts) {
+    for (const ClausePtr& clause : part.clauses) {
+      if (ClauseHasDdl(*clause)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cypher

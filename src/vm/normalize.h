@@ -1,0 +1,37 @@
+#ifndef CYPHER_VM_NORMALIZE_H_
+#define CYPHER_VM_NORMALIZE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ast/query.h"
+#include "value/value.h"
+
+namespace cypher {
+
+/// Auto-parametrization: hoists every int, float, and string literal out of
+/// the statement into an implicit parameter slot, rewriting the literal
+/// node to `$#N` (N = slot index, appended to `literals` in encounter
+/// order). Two statements differing only in such literals then normalize
+/// to the same shape — the plan-cache key — and share one compiled plan.
+///
+/// Bool and null literals stay inline: they have two (one) possible values,
+/// so folding them into the shape costs nothing and keeps predicates like
+/// `WHERE x = true` foldable at pattern-compile time.
+///
+/// The `#N` namespace cannot collide with user parameters — the lexer
+/// requires `$` to be followed by an identifier character, so `$#0` is
+/// unwritable in source text.
+///
+/// Returns the number of literals extracted.
+size_t ParametrizeQuery(Query* query, std::vector<Value>* literals);
+
+/// True if any clause (including FOREACH / CALL subquery bodies) is DDL —
+/// CREATE/DROP INDEX or CREATE/DROP CONSTRAINT. DDL statements bypass the
+/// plan cache: they are rare, self-invalidating (an index flips planner
+/// decisions), and idempotency checks want the interpreter's exact path.
+bool HasDdlClause(const Query& query);
+
+}  // namespace cypher
+
+#endif  // CYPHER_VM_NORMALIZE_H_

@@ -1,0 +1,134 @@
+#include "vm/plan_cache.h"
+
+#include <functional>
+
+namespace cypher {
+
+PlanCache::PlanCache(size_t capacity)
+    : per_shard_capacity_(capacity / kNumShards > 0 ? capacity / kNumShards
+                                                    : 1) {}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+const PlanCache::Shard& PlanCache::ShardFor(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+void PlanCache::Touch(Shard& shard, Entry& entry, const std::string& key) {
+  shard.order.erase(entry.lru);
+  shard.order.push_front(key);
+  entry.lru = shard.order.begin();
+}
+
+std::optional<
+    std::pair<std::shared_ptr<const CachedPlan>, std::vector<Value>>>
+PlanCache::LookupRaw(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  Touch(shard, it->second, key);
+  auto result = std::make_pair(it->second.plan, it->second.literals);
+  lock.unlock();
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  raw_hits_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::LookupShape(
+    const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    lock.unlock();
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Touch(shard, it->second, key);
+  std::shared_ptr<const CachedPlan> plan = it->second.plan;
+  lock.unlock();
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  shape_hits_.fetch_add(1, std::memory_order_relaxed);
+  return plan;
+}
+
+bool PlanCache::PeekShape(const std::string& key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.count(key) > 0;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const CachedPlan> plan,
+                       std::vector<Value> literals) {
+  Shard& shard = ShardFor(key);
+  size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // Racing compile of the same statement: keep the resident plan (its
+      // match-plan slots may already be warm) and just refresh recency.
+      Touch(shard, it->second, key);
+      return;
+    }
+    shard.order.push_front(key);
+    Entry entry;
+    entry.plan = std::move(plan);
+    entry.literals = std::move(literals);
+    entry.lru = shard.order.begin();
+    shard.map.emplace(key, std::move(entry));
+    while (shard.map.size() > per_shard_capacity_) {
+      shard.map.erase(shard.order.back());
+      shard.order.pop_back();
+      ++evicted;
+    }
+  }
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+}
+
+void PlanCache::InsertRaw(const std::string& key,
+                          std::shared_ptr<const CachedPlan> plan,
+                          std::vector<Value> literals) {
+  Insert(key, std::move(plan), std::move(literals));
+}
+
+void PlanCache::InsertShape(const std::string& key,
+                            std::shared_ptr<const CachedPlan> plan) {
+  Insert(key, std::move(plan), {});
+}
+
+void PlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.order.clear();
+  }
+}
+
+PlanCacheStats PlanCache::Stats() const {
+  PlanCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.raw_hits = raw_hits_.load(std::memory_order_relaxed);
+  stats.shape_hits = shape_hits_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.entries += shard.map.size();
+  }
+  return stats;
+}
+
+void PlanCache::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  raw_hits_.store(0, std::memory_order_relaxed);
+  shape_hits_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cypher

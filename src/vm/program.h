@@ -1,0 +1,109 @@
+#ifndef CYPHER_VM_PROGRAM_H_
+#define CYPHER_VM_PROGRAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "graph/graph.h"
+#include "match/compiled_pattern.h"
+#include "vm/expr_program.h"
+
+namespace cypher {
+
+/// Everything PlanAnchor and the reversal/expansion cost model read from
+/// the graph: interner sizes (a grown interner can resolve a label/type/key
+/// that previously compiled to "impossible"), index presence (the epoch
+/// counts creations and drops), alive-entity counts, and every per-label
+/// cardinality (folded into one hash). Two executions with equal stamps see
+/// identical planner inputs, so a cached match plan replays byte-identically
+/// — including emission order. Over-invalidation (a write that changes
+/// counts without changing the best plan) only costs a re-compile.
+struct PlanStamp {
+  size_t num_label_symbols = 0;
+  size_t num_type_symbols = 0;
+  size_t num_key_symbols = 0;
+  uint64_t index_epoch = 0;
+  size_t num_nodes = 0;
+  size_t num_rels = 0;
+  uint64_t label_counts_hash = 0;
+
+  bool operator==(const PlanStamp& o) const {
+    return num_label_symbols == o.num_label_symbols &&
+           num_type_symbols == o.num_type_symbols &&
+           num_key_symbols == o.num_key_symbols &&
+           index_epoch == o.index_epoch && num_nodes == o.num_nodes &&
+           num_rels == o.num_rels &&
+           label_counts_hash == o.label_counts_hash;
+  }
+};
+
+PlanStamp TakeStamp(const PropertyGraph& graph);
+
+/// A MATCH / OPTIONAL MATCH step. The pattern plan cannot be compiled at
+/// statement-compile time — anchor selection reads live graph statistics —
+/// so the step holds a stamped slot that Vm fills lazily and revalidates
+/// per execution (see Vm::RunMatchStep for the small/large-table split).
+/// The slot is shared by every session running this cached plan; `mu`
+/// guards it.
+struct MatchStepData {
+  const MatchClause* clause = nullptr;
+
+  mutable std::mutex mu;
+  mutable PlanStamp stamp;
+  mutable std::shared_ptr<const CompiledMatch> plan;  // null until compiled
+};
+
+/// A WITH / RETURN step whose pipeline the compiler fully covers: plain
+/// item list (no `*`, no aggregates, no ORDER BY), optional DISTINCT,
+/// optional WHERE, optional SKIP/LIMIT. Anything richer stays a kClause
+/// step and runs the reference projection executor.
+struct ProjectStepData {
+  const ProjectionBody* body = nullptr;
+  const Expr* where = nullptr;  // WITH ... WHERE only
+  std::vector<std::string> aliases;
+  std::vector<ExprProgram> items;  // one per body->items, same order
+  ExprProgram where_program;       // meaningful when where != nullptr
+};
+
+enum class StepKind {
+  kMatch,    // MatchStepData: cached-plan pattern enumeration
+  kProject,  // ProjectStepData: bytecode projection pipeline
+  kClause,   // interpreter delegation (ExecClause) for everything else
+};
+
+/// One clause of one UNION branch, lowered.
+struct Step {
+  StepKind kind = StepKind::kClause;
+  const Clause* clause = nullptr;  // always set; names errors, drives kClause
+  std::unique_ptr<MatchStepData> match;      // kind == kMatch
+  std::unique_ptr<ProjectStepData> project;  // kind == kProject
+};
+
+/// A whole statement lowered for the dispatch loop: one step list per
+/// UNION branch, mirroring Query::parts. Immutable after compilation
+/// except for the stamped match-plan slots (internally locked), so one
+/// Program is shared by concurrent sessions via the plan cache.
+struct Program {
+  struct Part {
+    std::vector<Step> steps;
+  };
+  std::vector<Part> parts;
+};
+
+/// A plan-cache entry: the (auto-parametrized) AST plus its bytecode. The
+/// Query owns every Clause and Expr the Program and its ExprPrograms point
+/// into — clause nodes are heap-allocated behind ClausePtr, so the pointers
+/// stay stable for the life of the entry.
+struct CachedPlan {
+  Query ast;
+  std::unique_ptr<Program> program;
+  size_t num_params = 0;  // auto-extracted literal slots ($#0 .. $#N-1)
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_VM_PROGRAM_H_

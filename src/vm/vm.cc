@@ -1,0 +1,260 @@
+#include "vm/vm.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "eval/evaluator.h"
+#include "exec/clauses.h"
+#include "exec/context.h"
+#include "match/compiled_pattern.h"
+#include "table/table.h"
+
+namespace cypher {
+
+namespace {
+
+/// MATCH through the step's stamped plan slot.
+///
+/// Three regimes, chosen to make the executed plan *identical* to what the
+/// interpreter would compile for the same table:
+///  * 0 rows: no plan needed — introduce the new empty columns and return
+///    (the interpreter's early-out).
+///  * >= kTransientIndexMinRows rows: the interpreter's compile may plan a
+///    transient hash index, which bakes live NodeIds — never cacheable.
+///    Compile fresh with the real row count, exactly like ExecMatch.
+///  * small tables (the hot parametrized-statement case): reuse the slot's
+///    plan when the graph stamp still matches, else recompile. The compile
+///    context carries no parameters — constant folding only ever folds
+///    literal/parameter subtrees, and a failed `$#N` fold stays a lazy
+///    filter evaluated with the session's real parameters at match time, so
+///    the cached plan has the same anchors, orientation, and emission order
+///    as the interpreter's params-in-hand compile. Hints stay at the
+///    default num_rows=1: for tables below the transient-index threshold
+///    the hint changes nothing else.
+Status RunMatchStep(ExecContext* ctx, const MatchStepData& data,
+                    Table* table) {
+  const MatchClause& clause = *data.clause;
+  std::vector<std::string> new_vars = MatchNewVars(clause, *table);
+  EvalContext ec = ctx->Eval();
+  size_t rows = table->num_rows();
+  if (rows == 0) {
+    Table out = Table::WithColumns(table->columns());
+    for (const std::string& var : new_vars) out.AddColumn(var);
+    *table = std::move(out);
+    return Status::OK();
+  }
+  if (rows >= kTransientIndexMinRows) {
+    CompiledMatch compiled = CompileMatch(ec, Bindings(table, 0),
+                                          clause.patterns, {.num_rows = rows});
+    return ExecMatchCompiled(ctx, clause, compiled, new_vars, table);
+  }
+  std::shared_ptr<const CompiledMatch> plan;
+  {
+    std::lock_guard<std::mutex> lock(data.mu);
+    PlanStamp stamp = TakeStamp(*ec.graph);
+    if (data.plan == nullptr || !(data.stamp == stamp)) {
+      EvalContext compile_ec{ec.graph, nullptr, ctx->options.match_mode,
+                             &ctx->options.cancel};
+      data.plan = std::make_shared<const CompiledMatch>(
+          CompileMatch(compile_ec, Bindings(table, 0), clause.patterns, {}));
+      data.stamp = stamp;
+    }
+    plan = data.plan;
+  }
+  return ExecMatchCompiled(ctx, clause, *plan, new_vars, table);
+}
+
+/// The bytecode projection pipeline, in the interpreter's exact order:
+/// items per row -> DISTINCT -> WHERE -> SKIP/LIMIT. The parallel pool is
+/// row-partitioned over bindings the bytecode does not model, so a session
+/// with workers falls back to the reference executor wholesale.
+Status RunProjectStep(ExecContext* ctx, const Step& step, Table* table) {
+  const ProjectStepData& data = *step.project;
+  if (ctx->options.parallel_workers > 1) {
+    return ExecClause(ctx, *step.clause, table);
+  }
+  EvalContext ec = ctx->Eval();
+  Table out = Table::WithColumns(data.aliases);
+
+  std::vector<std::vector<size_t>> cols;
+  cols.reserve(data.items.size());
+  for (const ExprProgram& item : data.items) cols.push_back(item.Bind(*table));
+  std::vector<Value> regs;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    std::vector<Value> row;
+    row.reserve(data.items.size());
+    for (size_t i = 0; i < data.items.size(); ++i) {
+      CYPHER_ASSIGN_OR_RETURN(Value v,
+                              data.items[i].Run(ec, table, r, cols[i], &regs));
+      row.push_back(std::move(v));
+    }
+    out.AddRow(std::move(row));
+  }
+
+  if (data.body->distinct) {
+    Table deduped = Table::WithColumns(out.columns());
+    std::unordered_set<std::vector<Value>, ValueVecHash, ValueVecEq> seen;
+    for (size_t r = 0; r < out.num_rows(); ++r) {
+      if (seen.insert(out.row(r)).second) deduped.AddRow(out.row(r));
+    }
+    out = std::move(deduped);
+  }
+
+  if (data.where != nullptr) {
+    // The filter sees only the projected record, like Bindings(&out, r).
+    std::vector<size_t> where_cols = data.where_program.Bind(out);
+    Table filtered = Table::WithColumns(out.columns());
+    for (size_t r = 0; r < out.num_rows(); ++r) {
+      CYPHER_ASSIGN_OR_RETURN(
+          Value v, data.where_program.Run(ec, &out, r, where_cols, &regs));
+      CYPHER_ASSIGN_OR_RETURN(Tri pass, PredicateTri(v));
+      if (pass == Tri::kTrue) filtered.AddRow(out.row(r));
+    }
+    out = std::move(filtered);
+  }
+
+  size_t begin = 0;
+  size_t end = out.num_rows();
+  if (data.body->skip != nullptr) {
+    CYPHER_ASSIGN_OR_RETURN(int64_t skip,
+                            EvalRowCount(ec, *data.body->skip, "SKIP"));
+    begin = std::min<size_t>(static_cast<size_t>(skip), end);
+  }
+  if (data.body->limit != nullptr) {
+    CYPHER_ASSIGN_OR_RETURN(int64_t limit,
+                            EvalRowCount(ec, *data.body->limit, "LIMIT"));
+    end = std::min(end, begin + static_cast<size_t>(limit));
+  }
+  if (begin != 0 || end != out.num_rows()) {
+    Table window = Table::WithColumns(out.columns());
+    for (size_t r = begin; r < end; ++r) window.AddRow(out.row(r));
+    out = std::move(window);
+  }
+
+  *table = std::move(out);
+  return Status::OK();
+}
+
+/// One UNION branch: the VM's RunSingleQuery. Same clause-granularity
+/// cancel polls, same max_rows diagnostics, same RETURN bookkeeping.
+Status RunPart(ExecContext* ctx, const Program::Part& part, Table* table,
+               bool* has_return) {
+  *has_return = false;
+  *table = Table::Unit();
+  for (const Step& step : part.steps) {
+    CYPHER_RETURN_NOT_OK(ctx->options.cancel.Check());
+    switch (step.kind) {
+      case StepKind::kMatch:
+        CYPHER_RETURN_NOT_OK(RunMatchStep(ctx, *step.match, table));
+        break;
+      case StepKind::kProject:
+        CYPHER_RETURN_NOT_OK(RunProjectStep(ctx, step, table));
+        break;
+      case StepKind::kClause:
+        CYPHER_RETURN_NOT_OK(ExecClause(ctx, *step.clause, table));
+        break;
+    }
+    if (ctx->options.max_rows != 0 &&
+        table->num_rows() > ctx->options.max_rows) {
+      return Status::ExecutionError(
+          "driving table exceeded the configured row limit (" +
+          std::to_string(ctx->options.max_rows) + " records) after " +
+          ClauseDisplayName(*step.clause));
+    }
+    if (step.clause->kind == ClauseKind::kReturn) *has_return = true;
+  }
+  if (!*has_return) *table = Table();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<QueryResult> RunProgram(PropertyGraph* graph, const Program& program,
+                               const Query& query, const ValueMap& params,
+                               const EvalOptions& options,
+                               const CommitHook& commit_hook) {
+  CYPHER_CHECK(!query.parts.empty());
+  CYPHER_CHECK(query.mode == QueryMode::kNormal);
+  CYPHER_CHECK(program.parts.size() == query.parts.size());
+  if (!query.union_all.empty()) {
+    bool first = query.union_all.front();
+    for (bool all : query.union_all) {
+      if (all != first) {
+        return Status::SemanticError(
+            "cannot mix UNION and UNION ALL in one statement");
+      }
+    }
+  }
+
+  ExecContext ctx(graph, &params, options);
+  PropertyGraph::JournalMark mark = graph->BeginJournal();
+  auto fail = [&](Status status) -> Status {
+    graph->RollbackTo(mark);
+    return status;
+  };
+
+  Table combined;
+  bool combined_has_return = false;
+  for (size_t p = 0; p < program.parts.size(); ++p) {
+    if (options.semantics == SemanticsMode::kLegacy &&
+        options.strict_cypher9_syntax) {
+      if (Status st = CheckStrictCypher9Ordering(query.parts[p]); !st.ok()) {
+        return fail(st);
+      }
+    }
+    Table table;
+    bool has_return = false;
+    if (Status st = RunPart(&ctx, program.parts[p], &table, &has_return);
+        !st.ok()) {
+      return fail(st);
+    }
+    if (p == 0) {
+      combined = std::move(table);
+      combined_has_return = has_return;
+      continue;
+    }
+    if (has_return != combined_has_return) {
+      return fail(Status::SemanticError(
+          "all UNION branches must RETURN, or none may"));
+    }
+    if (has_return) {
+      Result<Table> merged = Table::BagUnion(combined, table);
+      if (!merged.ok()) return fail(merged.status());
+      combined = *std::move(merged);
+    }
+  }
+  if (!query.union_all.empty() && !query.union_all.front() &&
+      combined_has_return) {
+    combined = combined.Distinct();
+  }
+
+  if (options.semantics == SemanticsMode::kLegacy &&
+      graph->HasDanglingRels()) {
+    return fail(Status::ExecutionError(
+        "cannot commit: deleting nodes left relationships without "
+        "endpoints (delete the relationships too, or use DETACH DELETE)"));
+  }
+
+  if (Status st = graph->ValidateUniqueConstraints(); !st.ok()) {
+    return fail(st);
+  }
+
+  if (commit_hook != nullptr) {
+    if (Status st = commit_hook(); !st.ok()) return fail(st);
+  }
+
+  graph->CommitTo(mark);
+  QueryResult result;
+  result.columns = combined.columns();
+  result.rows = combined.rows();
+  result.stats = ctx.stats;
+  return result;
+}
+
+}  // namespace cypher

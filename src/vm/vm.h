@@ -1,0 +1,35 @@
+#ifndef CYPHER_VM_VM_H_
+#define CYPHER_VM_VM_H_
+
+#include "ast/query.h"
+#include "exec/interpreter.h"
+#include "exec/options.h"
+#include "graph/graph.h"
+#include "value/value.h"
+#include "vm/program.h"
+
+namespace cypher {
+
+/// Executes a lowered statement: the VM twin of ExecuteQuery.
+///
+/// `program` must have been compiled from `query` (CompileStatement) and
+/// the query's mode must be kNormal — EXPLAIN/PROFILE are uncacheable and
+/// stay on the interpreter. The statement shell is the interpreter's,
+/// step for step: the same (G, T) threading through every clause, the same
+/// cancel-token polling and max_rows guard between clauses, the same UNION
+/// merge, end-of-statement dangling / uniqueness validation, commit hook,
+/// and atomic rollback on any failure. Only the per-step execution differs:
+/// kMatch steps reuse a stamped cached pattern plan, kProject steps run
+/// register bytecode, kClause steps delegate to the reference executors.
+///
+/// `program` may be shared by concurrent sessions (the plan cache does);
+/// the match-plan slots are internally locked and everything else is
+/// read-only here.
+Result<QueryResult> RunProgram(PropertyGraph* graph, const Program& program,
+                               const Query& query, const ValueMap& params,
+                               const EvalOptions& options,
+                               const CommitHook& commit_hook = nullptr);
+
+}  // namespace cypher
+
+#endif  // CYPHER_VM_VM_H_

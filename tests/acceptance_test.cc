@@ -254,7 +254,8 @@ INSTANTIATE_TEST_SUITE_P(
                  "EXPLAIN CREATE (:Never)",
                  {"0 | 'CREATE' | 'CREATE (:Never)'",
                   "1 | 'SEMANTICS' | 'revised (Sections 7-8), atomic "
-                  "updates'"}},
+                  "updates'",
+                  "2 | 'TIER' | 'vm; plan cache: miss'"}},
         Scenario{"profile_cardinalities", kMovies,
                  "PROFILE MATCH (p:Person) RETURN p.name AS n",
                  {"0 | 'MATCH (p:Person)' | 3",

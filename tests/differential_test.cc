@@ -97,16 +97,8 @@ std::string RunCase(const PropertyGraph& base, const std::string& query,
 /// are bags, paper Section 2), the mutation-stats line, and the canonical
 /// dump of the post-statement graph. Errors keep the dump too, so the
 /// roll-back-on-failure guarantee is differential-tested as well.
-std::string RunBagArtifact(const PropertyGraph& base, const std::string& query,
-                           size_t workers, size_t morsel,
-                           SemanticsMode semantics) {
-  GraphDatabase db;
-  db.graph() = base;
-  db.options().semantics = semantics;
-  db.options().parallel_workers = workers;
-  db.options().parallel_morsel_size = morsel;
-  db.options().parallel_min_cost = 1;
-  auto result = db.Execute(query);
+std::string BagArtifact(const GraphDatabase& db,
+                        const Result<QueryResult>& result) {
   std::string out;
   if (!result.ok()) {
     out = "ERROR: " + result.status().ToString() + "\n";
@@ -130,6 +122,19 @@ std::string RunBagArtifact(const PropertyGraph& base, const std::string& query,
   }
   out += "-- graph --\n" + DumpGraphCanonical(db.graph());
   return out;
+}
+
+std::string RunBagArtifact(const PropertyGraph& base, const std::string& query,
+                           size_t workers, size_t morsel,
+                           SemanticsMode semantics) {
+  GraphDatabase db;
+  db.graph() = base;
+  db.options().semantics = semantics;
+  db.options().parallel_workers = workers;
+  db.options().parallel_morsel_size = morsel;
+  db.options().parallel_min_cost = 1;
+  auto result = db.Execute(query);
+  return BagArtifact(db, result);
 }
 
 PropertyGraph MakeGraph(uint64_t seed) {
@@ -384,6 +389,133 @@ TEST(RewriteFuzz, EquivalenceOracle) {
     EXPECT_GT(fired[rule], 0u)
         << "rewrite rule '" << rule << "' never fired over " << corpus
         << " corpus statements";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution-tier differential: interpreter vs VM, cold vs warm plan cache
+// ---------------------------------------------------------------------------
+
+/// One statement on a copy of `base` with the plan cache on or off;
+/// returns the canonical bag artifact (including the post-statement graph,
+/// so rollback-on-error parity is covered too).
+std::string RunTierArtifact(const PropertyGraph& base, const std::string& query,
+                            const ValueMap& params, SemanticsMode semantics,
+                            bool use_plan_cache) {
+  GraphDatabase db;
+  db.graph() = base;
+  db.options().semantics = semantics;
+  db.options().use_plan_cache = use_plan_cache;
+  auto result = db.Execute(query, params);
+  return BagArtifact(db, result);
+}
+
+/// Same, against a long-lived database whose plan cache has been aging
+/// across many prior statements: the statement is primed once (mutations
+/// rewound by restoring `base`), then re-run — the second run is a raw
+/// cache hit, and earlier same-shaped statements make shape hits with
+/// literal replay happen naturally across the sweep.
+std::string RunWarmArtifact(GraphDatabase* db, const PropertyGraph& base,
+                            const std::string& query, const ValueMap& params,
+                            SemanticsMode semantics) {
+  db->options().semantics = semantics;
+  db->options().use_plan_cache = true;
+  db->graph() = base;
+  auto primed = db->Execute(query, params);
+  (void)primed;
+  db->graph() = base;
+  auto result = db->Execute(query, params);
+  return BagArtifact(*db, result);
+}
+
+/// Every generated statement must produce a byte-identical artifact across
+/// the three execution regimes: the tree interpreter (use_plan_cache off),
+/// a cold VM compile (fresh cache), and a warm VM run (raw hit in a cache
+/// aged across the whole sweep). This is the gate for the plan-cache PR:
+/// caching may never change results, stats, error text, or the graph.
+TEST(PlanCacheDifferential, InterpreterVsColdVsWarmByteIdentical) {
+  const size_t graphs = EnvCount("CYPHER_FUZZ_GRAPHS", 4);
+  for (uint64_t gs = 0; gs < graphs; ++gs) {
+    const PropertyGraph base = MakeGraph(gs);
+    // Note: graph() assignment replaces the member wholesale but keeps the
+    // plan cache; the stamp mechanism must notice the swap by statistics.
+    GraphDatabase warm_db;
+    for (uint64_t qs = 0; qs < kQueriesPerGraph; ++qs) {
+      const uint64_t seed = gs * 1000 + qs;
+      for (SemanticsMode semantics :
+           {SemanticsMode::kRevised, SemanticsMode::kLegacy}) {
+        for (const std::string& query :
+             {GenerateReadQuery(seed), GenerateUpdateQuery(seed)}) {
+          const std::string expected =
+              RunTierArtifact(base, query, {}, semantics, false);
+          const std::string cold =
+              RunTierArtifact(base, query, {}, semantics, true);
+          if (cold != expected) {
+            const std::string repro = ReproLine("tier-cold", gs, qs, "", semantics,
+                                                0, 256, query);
+            LogRepro(repro);
+            FAIL() << repro << "\n" << FirstDivergence(expected, cold);
+          }
+          const std::string warm =
+              RunWarmArtifact(&warm_db, base, query, {}, semantics);
+          if (warm != expected) {
+            const std::string repro = ReproLine("tier-warm", gs, qs, "", semantics,
+                                                0, 256, query);
+            LogRepro(repro);
+            FAIL() << repro << "\n" << FirstDivergence(expected, warm);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// The `$pN`-parametrized form of every generated statement must behave
+/// exactly like its inline-literal sibling — interpreted, cold, and warm.
+/// This exercises user parameters flowing through auto-parametrization,
+/// cache keying, and match-plan compilation without value baking.
+TEST(PlanCacheDifferential, ParametrizedMatchesInline) {
+  const size_t graphs = EnvCount("CYPHER_FUZZ_GRAPHS", 4);
+  for (uint64_t gs = 0; gs < graphs; ++gs) {
+    const PropertyGraph base = MakeGraph(gs);
+    GraphDatabase warm_db;
+    for (uint64_t qs = 0; qs < kQueriesPerGraph; ++qs) {
+      const uint64_t seed = gs * 1000 + qs;
+      const GeneratedQuery cases[] = {GenerateReadQueryWithParams(seed),
+                                      GenerateUpdateQueryWithParams(seed)};
+      const std::string inline_cases[] = {GenerateReadQuery(seed),
+                                          GenerateUpdateQuery(seed)};
+      for (size_t c = 0; c < 2; ++c) {
+        const std::string expected = RunTierArtifact(
+            base, inline_cases[c], {}, SemanticsMode::kRevised, false);
+        const std::string interp =
+            RunTierArtifact(base, cases[c].text, cases[c].params,
+                            SemanticsMode::kRevised, false);
+        const std::string cold =
+            RunTierArtifact(base, cases[c].text, cases[c].params,
+                            SemanticsMode::kRevised, true);
+        const std::string warm =
+            RunWarmArtifact(&warm_db, base, cases[c].text, cases[c].params,
+                            SemanticsMode::kRevised);
+        const struct {
+          const char* kind;
+          const std::string& got;
+        } runs[] = {{"param-interp", interp},
+                    {"param-cold", cold},
+                    {"param-warm", warm}};
+        for (const auto& run : runs) {
+          if (run.got != expected) {
+            const std::string repro =
+                ReproLine(run.kind, gs, qs, "", SemanticsMode::kRevised, 0, 256,
+                          cases[c].text);
+            LogRepro(repro);
+            FAIL() << repro << "\n"
+                   << "inline: " << inline_cases[c] << "\n"
+                   << FirstDivergence(expected, run.got);
+          }
+        }
+      }
+    }
   }
 }
 

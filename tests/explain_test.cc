@@ -22,10 +22,16 @@ TEST(ExplainTest, DescribesClausesWithoutExecuting) {
   // Nothing was executed.
   EXPECT_EQ(db.graph().num_nodes(), 0u);
   EXPECT_EQ(r.columns, (std::vector<std::string>{"step", "clause", "details"}));
-  ASSERT_GE(r.rows.size(), 5u);  // 4 clauses + semantics line
+  ASSERT_GE(r.rows.size(), 6u);  // 4 clauses + semantics + tier lines
   EXPECT_EQ(Cell(r, 0, 1), "CREATE");
   EXPECT_EQ(Cell(r, 2, 1), "MATCH");
-  EXPECT_EQ(Cell(r, r.rows.size() - 1, 1), "SEMANTICS");
+  EXPECT_EQ(Cell(r, r.rows.size() - 2, 1), "SEMANTICS");
+  // The trailing TIER row reports where the statement would execute and how
+  // the plan cache would treat it.
+  EXPECT_EQ(Cell(r, r.rows.size() - 1, 1), "TIER");
+  EXPECT_NE(Cell(r, r.rows.size() - 1, 2).find("vm"), std::string::npos);
+  EXPECT_NE(Cell(r, r.rows.size() - 1, 2).find("plan cache"),
+            std::string::npos);
 }
 
 TEST(ExplainTest, ReportsAccessPath) {
@@ -44,7 +50,37 @@ TEST(ExplainTest, ReportsSemanticsMode) {
   legacy.semantics = SemanticsMode::kLegacy;
   GraphDatabase db(legacy);
   QueryResult r = RunOk(&db, "EXPLAIN MATCH (n) RETURN n");
-  EXPECT_NE(Cell(r, r.rows.size() - 1, 2).find("legacy"), std::string::npos);
+  EXPECT_NE(Cell(r, r.rows.size() - 2, 2).find("legacy"), std::string::npos);
+}
+
+TEST(ExplainTest, TierRowTracksCacheDisposition) {
+  GraphDatabase db;
+  // Cold: the shape is not cached yet.
+  QueryResult cold = RunOk(&db, "EXPLAIN MATCH (n {v: 1}) RETURN n");
+  EXPECT_NE(Cell(cold, cold.rows.size() - 1, 2).find("miss"),
+            std::string::npos);
+  // Execute the statement for real, then EXPLAIN again: hit.
+  ASSERT_TRUE(db.Run("MATCH (n {v: 1}) RETURN n").ok());
+  QueryResult warm = RunOk(&db, "EXPLAIN MATCH (n {v: 1}) RETURN n");
+  EXPECT_NE(Cell(warm, warm.rows.size() - 1, 2).find("hit"),
+            std::string::npos);
+  // A different literal normalizes to the same shape — still a hit.
+  QueryResult sibling = RunOk(&db, "EXPLAIN MATCH (n {v: 42}) RETURN n");
+  EXPECT_NE(Cell(sibling, sibling.rows.size() - 1, 2).find("hit"),
+            std::string::npos);
+  // DDL never enters the cache.
+  QueryResult ddl = RunOk(&db, "EXPLAIN CREATE INDEX ON :User(id)");
+  EXPECT_NE(Cell(ddl, ddl.rows.size() - 1, 2).find("uncacheable"),
+            std::string::npos);
+  EXPECT_NE(Cell(ddl, ddl.rows.size() - 1, 2).find("interpreter"),
+            std::string::npos);
+  // With the cache disabled, statements run on the interpreter.
+  db.options().use_plan_cache = false;
+  QueryResult off = RunOk(&db, "EXPLAIN MATCH (n) RETURN n");
+  EXPECT_NE(Cell(off, off.rows.size() - 1, 2).find("interpreter"),
+            std::string::npos);
+  EXPECT_NE(Cell(off, off.rows.size() - 1, 2).find("disabled"),
+            std::string::npos);
 }
 
 TEST(ExplainTest, UnionBranchesListed) {

@@ -1,0 +1,179 @@
+// Plan cache + bytecode VM tests: counter accounting, literal replay
+// (no value baking), option-fingerprint keying, stamp/graph invalidation,
+// interpreter parity on errors, and LRU eviction at the unit level.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "test_util.h"
+#include "vm/plan_cache.h"
+
+namespace cypher {
+namespace {
+
+using ::cypher::testing::RunErr;
+using ::cypher::testing::RunOk;
+using ::cypher::testing::Scalar;
+
+TEST(PlanCacheTest, CountersTrackRawAndShapeHits) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:N {v: 1}), (:N {v: 2}), (:N {v: 3})").ok());
+  db.plan_cache().ResetStats();
+
+  // Cold: parse, parametrize, compile.
+  RunOk(&db, "MATCH (n:N {v: 1}) RETURN n.v AS v");
+  PlanCacheStats s = db.plan_cache().Stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 0u);
+
+  // Same text again: raw hit, no parse.
+  RunOk(&db, "MATCH (n:N {v: 1}) RETURN n.v AS v");
+  s = db.plan_cache().Stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.raw_hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+
+  // Different literal, same normalized shape: shape hit after a raw miss.
+  RunOk(&db, "MATCH (n:N {v: 2}) RETURN n.v AS v");
+  s = db.plan_cache().Stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.shape_hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+
+  // The sibling text is now raw-cached too.
+  RunOk(&db, "MATCH (n:N {v: 2}) RETURN n.v AS v");
+  s = db.plan_cache().Stats();
+  EXPECT_EQ(s.raw_hits, 2u);
+  EXPECT_GT(s.entries, 0u);
+}
+
+TEST(PlanCacheTest, ShapeHitReplaysLiteralsNotCachedValues) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:N {v: 1}), (:N {v: 2}), (:N {v: 3})").ok());
+  EXPECT_EQ(Scalar(RunOk(&db, "MATCH (n:N {v: 1}) RETURN n.v AS v")).AsInt(),
+            1);
+  // Must return 2, not the 1 the cached plan was first compiled against.
+  EXPECT_EQ(Scalar(RunOk(&db, "MATCH (n:N {v: 2}) RETURN n.v AS v")).AsInt(),
+            2);
+  // User parameters flow unchanged alongside the lifted literals.
+  EXPECT_EQ(
+      Scalar(RunOk(&db, "MATCH (n:N {v: $x}) RETURN n.v + 1 AS v",
+                   {{"x", Value::Int(3)}}))
+          .AsInt(),
+      4);
+  EXPECT_EQ(
+      Scalar(RunOk(&db, "MATCH (n:N {v: $x}) RETURN n.v + 1 AS v",
+                   {{"x", Value::Int(2)}}))
+          .AsInt(),
+      3);
+}
+
+TEST(PlanCacheTest, OptionFingerprintKeepsModesApart) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:N {v: 1})").ok());
+  db.plan_cache().ResetStats();
+  const std::string query = "MATCH (n:N) RETURN n.v AS v";
+  RunOk(&db, query);
+  EXPECT_EQ(db.plan_cache().Stats().misses, 1u);
+  // The same text under different session semantics may not reuse the
+  // cached plan: the options are part of the key.
+  db.options().semantics = SemanticsMode::kLegacy;
+  RunOk(&db, query);
+  PlanCacheStats s = db.plan_cache().Stats();
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.hits, 0u);
+}
+
+TEST(PlanCacheTest, IndexCreationInvalidatesCachedMatchPlans) {
+  GraphDatabase db;
+  ASSERT_TRUE(
+      db.Run("CREATE (:U {id: 1, v: 10}), (:U {id: 2, v: 20}), "
+             "(:U {id: 3, v: 30})")
+          .ok());
+  // Prime a label-scan plan for the probe shape.
+  EXPECT_EQ(Scalar(RunOk(&db, "MATCH (u:U {id: 2}) RETURN u.v AS v")).AsInt(),
+            20);
+  // DDL bumps the graph's index epoch; the stamped slot must recompile
+  // (now through the index) and still produce identical results.
+  ASSERT_TRUE(db.Run("CREATE INDEX ON :U(id)").ok());
+  EXPECT_EQ(Scalar(RunOk(&db, "MATCH (u:U {id: 2}) RETURN u.v AS v")).AsInt(),
+            20);
+  EXPECT_EQ(Scalar(RunOk(&db, "MATCH (u:U {id: 3}) RETURN u.v AS v")).AsInt(),
+            30);
+}
+
+TEST(PlanCacheTest, GraphSwapClearsCache) {
+  GraphDatabase db;
+  ASSERT_TRUE(db.Run("CREATE (:N {v: 1})").ok());
+  RunOk(&db, "MATCH (n:N) RETURN n.v AS v");
+  EXPECT_GT(db.plan_cache().Stats().entries, 0u);
+
+  const std::string path = ::testing::TempDir() + "/plan_cache_swap.graph";
+  ASSERT_TRUE(db.SaveToFile(path).ok());
+  ASSERT_TRUE(db.LoadFromFile(path).ok());
+  // A wholesale graph replacement drops every cached plan.
+  EXPECT_EQ(db.plan_cache().Stats().entries, 0u);
+  EXPECT_EQ(Scalar(RunOk(&db, "MATCH (n:N) RETURN n.v AS v")).AsInt(), 1);
+}
+
+TEST(PlanCacheTest, DisabledCacheBypassesVm) {
+  GraphDatabase db;
+  db.options().use_plan_cache = false;
+  ASSERT_TRUE(db.Run("CREATE (:N {v: 1})").ok());
+  EXPECT_EQ(Scalar(RunOk(&db, "MATCH (n:N) RETURN n.v AS v")).AsInt(), 1);
+  PlanCacheStats s = db.plan_cache().Stats();
+  EXPECT_EQ(s.hits + s.misses, 0u);
+  EXPECT_EQ(s.entries, 0u);
+}
+
+TEST(PlanCacheTest, ErrorsAndRollbackMatchInterpreter) {
+  // A failing statement must report the interpreter's exact error and leave
+  // the graph untouched on both tiers.
+  const std::string failing = "CREATE (:T) WITH 1 AS one RETURN 1 / 0";
+  GraphDatabase vm_db;
+  GraphDatabase interp_db;
+  interp_db.options().use_plan_cache = false;
+  Status vm_err = RunErr(&vm_db, failing);
+  Status interp_err = RunErr(&interp_db, failing);
+  EXPECT_EQ(vm_err.ToString(), interp_err.ToString());
+  EXPECT_EQ(vm_db.graph().num_nodes(), 0u);
+  EXPECT_EQ(interp_db.graph().num_nodes(), 0u);
+
+  // Missing-parameter diagnostics agree too.
+  Status vm_missing = RunErr(&vm_db, "RETURN $nope AS x");
+  Status interp_missing = RunErr(&interp_db, "RETURN $nope AS x");
+  EXPECT_EQ(vm_missing.ToString(), interp_missing.ToString());
+}
+
+TEST(PlanCacheTest, AutoParametrizationCannotCollideWithUserParams) {
+  // Lifted literals become `$#N` parameters; the lexer cannot produce a
+  // `$#` reference, so a user map may never shadow one, and mixing user
+  // parameters with literals in one statement stays well-defined.
+  GraphDatabase db;
+  EXPECT_EQ(Scalar(RunOk(&db, "RETURN 40 + $p AS x", {{"p", Value::Int(2)}}))
+                .AsInt(),
+            42);
+  EXPECT_EQ(Scalar(RunOk(&db, "RETURN 40 + $p AS x", {{"p", Value::Int(5)}}))
+                .AsInt(),
+            45);
+}
+
+TEST(PlanCacheTest, LruEvictsAndCounts) {
+  // Unit-level: a tiny cache sheds least-recently-used entries and counts
+  // the evictions.
+  PlanCache cache(8);  // 8 shards -> one entry per shard
+  for (int i = 0; i < 64; ++i) {
+    auto plan = std::make_shared<const CachedPlan>();
+    cache.InsertRaw("q" + std::to_string(i), plan, {});
+  }
+  PlanCacheStats s = cache.Stats();
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LE(s.entries, 8u);
+  cache.Clear();
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+}  // namespace
+}  // namespace cypher

@@ -11,6 +11,27 @@ namespace {
 
 std::string I(int64_t v) { return std::to_string(v); }
 
+// Collects lifted literals into a parameter map. Fragments emit values via
+// IL(sink, v): with a sink the literal becomes a fresh `$pN` reference and
+// lands in the map; without one it renders inline. The sink never touches
+// the RNG, so both modes consume randomness identically and a seed always
+// yields the same statement *shape* either way — the property the
+// parametrized-vs-inline differential oracle depends on.
+struct ParamSink {
+  ValueMap params;
+  int counter = 0;
+
+  std::string Add(int64_t v) {
+    std::string name = "p" + std::to_string(counter++);
+    params.emplace(name, Value::Int(v));
+    return "$" + name;
+  }
+};
+
+std::string IL(ParamSink* sink, int64_t v) {
+  return sink != nullptr ? sink->Add(v) : I(v);
+}
+
 // ---------------------------------------------------------------------------
 // Pattern fragments. Every fragment sticks to constructs the parser is known
 // to accept (single and stacked labels, type alternatives, bounded hop
@@ -48,10 +69,11 @@ std::string RelTypes(SplitMix64& rng) {
 
 // "(v:A {k: 3})" — labels and the property filter each appear with
 // independent probability.
-std::string NodePat(SplitMix64& rng, const std::string& var) {
+std::string NodePat(SplitMix64& rng, const std::string& var,
+                    ParamSink* sink = nullptr) {
   std::string out = "(" + var + Labels(rng);
   if (rng.NextBelow(3) == 0) {
-    out += " {k: " + I(static_cast<int64_t>(rng.NextBelow(13))) + "}";
+    out += " {k: " + IL(sink, static_cast<int64_t>(rng.NextBelow(13))) + "}";
   }
   out += ")";
   return out;
@@ -87,43 +109,201 @@ std::string VarSpec(SplitMix64& rng) {
 }
 
 // A WHERE predicate over an already-bound node variable.
-std::string Predicate(SplitMix64& rng, const std::string& var) {
+std::string Predicate(SplitMix64& rng, const std::string& var,
+                      ParamSink* sink = nullptr) {
   switch (rng.NextBelow(5)) {
     case 0:
-      return var + ".k % " + I(2 + static_cast<int64_t>(rng.NextBelow(4))) +
-             " = " + I(static_cast<int64_t>(rng.NextBelow(3)));
+      return var + ".k % " +
+             IL(sink, 2 + static_cast<int64_t>(rng.NextBelow(4))) + " = " +
+             IL(sink, static_cast<int64_t>(rng.NextBelow(3)));
     case 1:
-      return var + ".k < " + I(static_cast<int64_t>(rng.NextBelow(13)));
+      return var + ".k < " + IL(sink, static_cast<int64_t>(rng.NextBelow(13)));
     case 2:
-      return var + ".k > " + I(static_cast<int64_t>(rng.NextBelow(13)));
+      return var + ".k > " + IL(sink, static_cast<int64_t>(rng.NextBelow(13)));
     case 3:
-      return var + ".w <> " + I(static_cast<int64_t>(rng.NextBelow(5)));
+      return var + ".w <> " + IL(sink, static_cast<int64_t>(rng.NextBelow(5)));
     default:
-      return var + ".w = " + I(static_cast<int64_t>(rng.NextBelow(5)));
+      return var + ".w = " + IL(sink, static_cast<int64_t>(rng.NextBelow(5)));
   }
 }
 
-std::string MaybeWhere(SplitMix64& rng, const std::string& var) {
+std::string MaybeWhere(SplitMix64& rng, const std::string& var,
+                       ParamSink* sink = nullptr) {
   switch (rng.NextBelow(3)) {
     case 0:
       return "";
     case 1:
-      return " WHERE " + Predicate(rng, var);
+      return " WHERE " + Predicate(rng, var, sink);
     default:
-      return " WHERE " + Predicate(rng, var) +
-             (rng.NextBelow(2) == 0 ? " AND " : " OR ") + Predicate(rng, var);
+      return " WHERE " + Predicate(rng, var, sink) +
+             (rng.NextBelow(2) == 0 ? " AND " : " OR ") +
+             Predicate(rng, var, sink);
   }
 }
 
 // Paging tail for ordered row-producing queries.
-std::string MaybePage(SplitMix64& rng) {
+std::string MaybePage(SplitMix64& rng, ParamSink* sink = nullptr) {
   switch (rng.NextBelow(4)) {
     case 0:
-      return " SKIP " + I(static_cast<int64_t>(rng.NextBelow(4)));
+      return " SKIP " + IL(sink, static_cast<int64_t>(rng.NextBelow(4)));
     case 1:
-      return " LIMIT " + I(5 + static_cast<int64_t>(rng.NextBelow(20)));
+      return " LIMIT " + IL(sink, 5 + static_cast<int64_t>(rng.NextBelow(20)));
     default:
       return "";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statement bodies, shared by the inline and parametrized entry points.
+// ---------------------------------------------------------------------------
+
+std::string ReadQueryImpl(uint64_t seed, ParamSink* sink) {
+  SplitMix64 rng(seed * 0xbf58476d1ce4e5b9ULL + 7);
+  switch (rng.NextBelow(13)) {
+    case 12:  // OPTIONAL MATCH expansion driven by a plain scan.
+      return "MATCH " + NodePat(rng, "a", sink) + " OPTIONAL MATCH (a)" +
+             Arrow(rng, "r" + RelTypes(rng)) + NodePat(rng, "b", sink) +
+             " RETURN a.id AS a, r.c AS c, b.id AS b";
+    case 0:  // Plain scan with projection and paging.
+      return "MATCH " + NodePat(rng, "n", sink) + MaybeWhere(rng, "n", sink) +
+             " RETURN n.id AS id, n.k AS k, n.w AS w ORDER BY id" +
+             MaybePage(rng, sink);
+    case 1:  // Scan aggregation, grouped by a derived key.
+      return "MATCH " + NodePat(rng, "n", sink) + " WITH n.k % " +
+             IL(sink, 2 + static_cast<int64_t>(rng.NextBelow(3))) +
+             " AS g, n RETURN g, count(*) AS c, sum(n.w) AS s, min(n.id) AS "
+             "lo, max(n.id) AS hi ORDER BY g";
+    case 2:  // Single fixed hop.
+      return "MATCH " + NodePat(rng, "a", sink) +
+             Arrow(rng, "r" + RelTypes(rng)) + NodePat(rng, "b", sink) +
+             MaybeWhere(rng, "a", sink) +
+             " RETURN a.id AS a, r.c AS c, b.id AS b";
+    case 3:  // Two-hop chain.
+      return "MATCH " + NodePat(rng, "a", sink) + Arrow(rng, RelTypes(rng)) +
+             "(b)" + Arrow(rng, RelTypes(rng)) + NodePat(rng, "c", sink) +
+             MaybeWhere(rng, "b", sink) +
+             " RETURN a.id AS a, b.id AS b, c.id AS c";
+    case 4:  // Var-length rows; ascending-id emission order is under test,
+             // so no ORDER BY — the table must match byte for byte anyway.
+      return "MATCH " + NodePat(rng, "a", sink) +
+             Arrow(rng, RelTypes(rng) + VarSpec(rng)) + NodePat(rng, "b", sink) +
+             MaybeWhere(rng, "b", sink) + " RETURN a.id AS a, b.id AS b";
+    case 5: {  // Named var-length path.
+      std::string q = "MATCH p = " + NodePat(rng, "a", sink) +
+                      Arrow(rng, RelTypes(rng) + VarSpec(rng)) + "(b)" +
+                      MaybeWhere(rng, "a", sink);
+      return q + " RETURN length(p) AS len, a.id AS a, b.id AS b" +
+             MaybePage(rng, sink);
+    }
+    case 6:  // Var-length aggregation (collect exposes emission order).
+      return "MATCH " + NodePat(rng, "a", sink) +
+             Arrow(rng, RelTypes(rng) + VarSpec(rng)) + "(b)" +
+             " RETURN count(*) AS c, min(b.id) AS lo, collect(b.k) AS ks";
+    case 7: {  // shortestPath between two probed endpoints.
+      const int64_t s = static_cast<int64_t>(rng.NextBelow(18));
+      const int64_t t = s + 1 + static_cast<int64_t>(rng.NextBelow(4));
+      return "MATCH (a {id: " + IL(sink, s) + "}), (b {id: " + IL(sink, t) +
+             "}) MATCH p = shortestPath((a)" + Arrow(rng, RelTypes(rng) + "*") +
+             "(b)) RETURN length(p) AS len, nodes(p) AS ns";
+    }
+    case 8: {  // OPTIONAL shortestPath with a hop window.
+      const int64_t s = static_cast<int64_t>(rng.NextBelow(18));
+      const int64_t t = s + 1 + static_cast<int64_t>(rng.NextBelow(4));
+      return "MATCH (a {id: " + IL(sink, s) + "}), (b {id: " + IL(sink, t) +
+             "}) OPTIONAL MATCH p = shortestPath((a)" +
+             Arrow(rng, RelTypes(rng) + "*..4") +
+             "(b)) RETURN a.id AS a, b.id AS b, length(p) AS len";
+    }
+    case 9: {  // allShortestPaths, aggregated per path length.
+      const int64_t s = static_cast<int64_t>(rng.NextBelow(18));
+      const int64_t t = s + 1 + static_cast<int64_t>(rng.NextBelow(4));
+      return "MATCH (a {id: " + IL(sink, s) + "}), (b {id: " + IL(sink, t) +
+             "}) MATCH p = allShortestPaths((a)" +
+             Arrow(rng, RelTypes(rng) + "*") +
+             "(b)) RETURN length(p) AS len, count(*) AS c";
+    }
+    case 10:  // Cartesian conjunction restricted by a join predicate.
+      return "MATCH " + NodePat(rng, "a", sink) + ", " +
+             NodePat(rng, "b", sink) +
+             " WHERE a.id < b.id AND a.k = b.k RETURN count(*) AS c";
+    default:  // UNWIND-driven probe with an optional var-length expansion.
+      return "UNWIND range(0, " +
+             IL(sink, 4 + static_cast<int64_t>(rng.NextBelow(8))) +
+             ") AS x OPTIONAL MATCH (n {k: x})" +
+             Arrow(rng, RelTypes(rng) + "*1..2") + "(m)" +
+             " RETURN x, count(m) AS c, min(m.id) AS lo ORDER BY x";
+  }
+}
+
+std::string UpdateQueryImpl(uint64_t seed, ParamSink* sink) {
+  SplitMix64 rng(seed * 0x94d049bb133111ebULL + 13);
+  // Probe ids stay inside the BuildRandomGraph id range (0..55); deleted
+  // nodes simply make some probes match nothing, which must still commit.
+  const int64_t id = static_cast<int64_t>(rng.NextBelow(56));
+  const int64_t id2 = static_cast<int64_t>(rng.NextBelow(56));
+  const int64_t k = static_cast<int64_t>(rng.NextBelow(13));
+  const int64_t v = static_cast<int64_t>(rng.NextBelow(100));
+  switch (rng.NextBelow(18)) {
+    case 14:  // OPTIONAL MATCH-driven SET; a deleted probe target leaves n
+              // null and the SET is skipped, so the statement still commits.
+      return "OPTIONAL MATCH (n {id: " + IL(sink, id) +
+             "}) SET n.tag = " + IL(sink, v);
+    case 15:  // OPTIONAL MATCH-driven delete of a possibly-absent node.
+      return "OPTIONAL MATCH (n:New {id: " + IL(sink, 1000 + v) +
+             "}) DETACH DELETE n";
+    case 16:  // MERGE with a multi-key property-map literal.
+      return rng.NextBelow(2) == 0
+                 ? "MERGE SAME (m:M {mid: " +
+                       IL(sink, static_cast<int64_t>(rng.NextBelow(6))) +
+                       ", grp: " + IL(sink, k % 3) + "})"
+                 : "MERGE ALL (:C {v: " +
+                       IL(sink, static_cast<int64_t>(rng.NextBelow(4))) +
+                       ", grp: " + IL(sink, k % 3) + "})";
+    case 17:  // FOREACH with a nested MERGE body.
+      return "FOREACH (x IN range(0, " +
+             IL(sink, 1 + static_cast<int64_t>(rng.NextBelow(3))) +
+             ") | MERGE SAME (:F2 {fx: x}))";
+    case 0:  // Fresh node; ids above the seed range keep {id} probes unique.
+      return "CREATE (:A:New {id: " + IL(sink, 1000 + v) +
+             ", k: " + IL(sink, k) + "})";
+    case 1:  // Fresh relationship between two probed endpoints.
+      return "MATCH (a {id: " + IL(sink, id) + "}), (b {id: " + IL(sink, id2) +
+             "}) CREATE (a)-[:R {c: " + IL(sink, k) + "}]->(b)";
+    case 2:  // Single-property SET across a k-cohort.
+      return "MATCH (n {k: " + IL(sink, k) + "}) SET n.w = " + IL(sink, v);
+    case 3:  // Whole-map replacement on one node.
+      return "MATCH (n {id: " + IL(sink, id) + "}) SET n = {id: " +
+             IL(sink, id) + ", k: " + IL(sink, k) + ", w: " + IL(sink, v % 5) +
+             "}";
+    case 4:  // Additive map merge.
+      return "MATCH (n {id: " + IL(sink, id) + "}) SET n += {tag: " +
+             IL(sink, v) + "}";
+    case 5:  // Label add.
+      return "MATCH (n {id: " + IL(sink, id) + "}) SET n:B:Hot";
+    case 6:  // Property removal across a cohort.
+      return "MATCH (n {k: " + IL(sink, k) + "}) REMOVE n.w";
+    case 7:  // Label removal.
+      return "MATCH (n {id: " + IL(sink, id) + "}) REMOVE n:Hot";
+    case 8:  // Relationship deletion by property probe.
+      return "MATCH ()-[r:" + std::string(rng.NextBelow(2) == 0 ? "R" : "S") +
+             " {c: " + IL(sink, static_cast<int64_t>(rng.NextBelow(7))) +
+             "}]->() DELETE r";
+    case 9:  // Node deletion with its incident relationships.
+      return "MATCH (n {id: " + IL(sink, id) + "}) DETACH DELETE n";
+    case 10:  // MERGE SAME: match-or-create one node (works in both
+              // semantics; bare MERGE is legacy-only).
+      return "MERGE SAME (m:M {mid: " +
+             IL(sink, static_cast<int64_t>(rng.NextBelow(6))) + "})";
+    case 11:  // MERGE ALL over a probed cohort.
+      return "MERGE ALL (:C {v: " +
+             IL(sink, static_cast<int64_t>(rng.NextBelow(4))) + "})";
+    case 12:  // FOREACH creating a small batch.
+      return "FOREACH (x IN range(0, " +
+             IL(sink, 1 + static_cast<int64_t>(rng.NextBelow(3))) +
+             ") | CREATE (:F {fx: x, run: " + IL(sink, v) + "}))";
+    default:  // FOREACH mutating matched rows.
+      return "MATCH (n {k: " + IL(sink, k) +
+             "}) FOREACH (x IN [1, 2] | SET n.w = x)";
   }
 }
 
@@ -183,145 +363,27 @@ Status BuildRandomGraph(GraphDatabase* db, uint64_t seed) {
 }
 
 std::string GenerateReadQuery(uint64_t seed) {
-  SplitMix64 rng(seed * 0xbf58476d1ce4e5b9ULL + 7);
-  switch (rng.NextBelow(13)) {
-    case 12:  // OPTIONAL MATCH expansion driven by a plain scan.
-      return "MATCH " + NodePat(rng, "a") + " OPTIONAL MATCH (a)" +
-             Arrow(rng, "r" + RelTypes(rng)) + NodePat(rng, "b") +
-             " RETURN a.id AS a, r.c AS c, b.id AS b";
-    case 0:  // Plain scan with projection and paging.
-      return "MATCH " + NodePat(rng, "n") + MaybeWhere(rng, "n") +
-             " RETURN n.id AS id, n.k AS k, n.w AS w ORDER BY id" +
-             MaybePage(rng);
-    case 1:  // Scan aggregation, grouped by a derived key.
-      return "MATCH " + NodePat(rng, "n") + " WITH n.k % " +
-             I(2 + static_cast<int64_t>(rng.NextBelow(3))) +
-             " AS g, n RETURN g, count(*) AS c, sum(n.w) AS s, min(n.id) AS "
-             "lo, max(n.id) AS hi ORDER BY g";
-    case 2:  // Single fixed hop.
-      return "MATCH " + NodePat(rng, "a") + Arrow(rng, "r" + RelTypes(rng)) +
-             NodePat(rng, "b") + MaybeWhere(rng, "a") +
-             " RETURN a.id AS a, r.c AS c, b.id AS b";
-    case 3:  // Two-hop chain.
-      return "MATCH " + NodePat(rng, "a") + Arrow(rng, RelTypes(rng)) + "(b)" +
-             Arrow(rng, RelTypes(rng)) + NodePat(rng, "c") +
-             MaybeWhere(rng, "b") + " RETURN a.id AS a, b.id AS b, c.id AS c";
-    case 4:  // Var-length rows; ascending-id emission order is under test,
-             // so no ORDER BY — the table must match byte for byte anyway.
-      return "MATCH " + NodePat(rng, "a") +
-             Arrow(rng, RelTypes(rng) + VarSpec(rng)) + NodePat(rng, "b") +
-             MaybeWhere(rng, "b") + " RETURN a.id AS a, b.id AS b";
-    case 5: {  // Named var-length path.
-      std::string q = "MATCH p = " + NodePat(rng, "a") +
-                      Arrow(rng, RelTypes(rng) + VarSpec(rng)) + "(b)" +
-                      MaybeWhere(rng, "a");
-      return q + " RETURN length(p) AS len, a.id AS a, b.id AS b" +
-             MaybePage(rng);
-    }
-    case 6:  // Var-length aggregation (collect exposes emission order).
-      return "MATCH " + NodePat(rng, "a") +
-             Arrow(rng, RelTypes(rng) + VarSpec(rng)) + "(b)" +
-             " RETURN count(*) AS c, min(b.id) AS lo, collect(b.k) AS ks";
-    case 7: {  // shortestPath between two probed endpoints.
-      const int64_t s = static_cast<int64_t>(rng.NextBelow(18));
-      const int64_t t = s + 1 + static_cast<int64_t>(rng.NextBelow(4));
-      return "MATCH (a {id: " + I(s) + "}), (b {id: " + I(t) +
-             "}) MATCH p = shortestPath((a)" + Arrow(rng, RelTypes(rng) + "*") +
-             "(b)) RETURN length(p) AS len, nodes(p) AS ns";
-    }
-    case 8: {  // OPTIONAL shortestPath with a hop window.
-      const int64_t s = static_cast<int64_t>(rng.NextBelow(18));
-      const int64_t t = s + 1 + static_cast<int64_t>(rng.NextBelow(4));
-      return "MATCH (a {id: " + I(s) + "}), (b {id: " + I(t) +
-             "}) OPTIONAL MATCH p = shortestPath((a)" +
-             Arrow(rng, RelTypes(rng) + "*..4") +
-             "(b)) RETURN a.id AS a, b.id AS b, length(p) AS len";
-    }
-    case 9: {  // allShortestPaths, aggregated per path length.
-      const int64_t s = static_cast<int64_t>(rng.NextBelow(18));
-      const int64_t t = s + 1 + static_cast<int64_t>(rng.NextBelow(4));
-      return "MATCH (a {id: " + I(s) + "}), (b {id: " + I(t) +
-             "}) MATCH p = allShortestPaths((a)" +
-             Arrow(rng, RelTypes(rng) + "*") +
-             "(b)) RETURN length(p) AS len, count(*) AS c";
-    }
-    case 10:  // Cartesian conjunction restricted by a join predicate.
-      return "MATCH " + NodePat(rng, "a") + ", " + NodePat(rng, "b") +
-             " WHERE a.id < b.id AND a.k = b.k RETURN count(*) AS c";
-    default:  // UNWIND-driven probe with an optional var-length expansion.
-      return "UNWIND range(0, " +
-             I(4 + static_cast<int64_t>(rng.NextBelow(8))) +
-             ") AS x OPTIONAL MATCH (n {k: x})" +
-             Arrow(rng, RelTypes(rng) + "*1..2") + "(m)" +
-             " RETURN x, count(m) AS c, min(m.id) AS lo ORDER BY x";
-  }
+  return ReadQueryImpl(seed, nullptr);
 }
 
 std::string GenerateUpdateQuery(uint64_t seed) {
-  SplitMix64 rng(seed * 0x94d049bb133111ebULL + 13);
-  // Probe ids stay inside the BuildRandomGraph id range (0..55); deleted
-  // nodes simply make some probes match nothing, which must still commit.
-  const int64_t id = static_cast<int64_t>(rng.NextBelow(56));
-  const int64_t id2 = static_cast<int64_t>(rng.NextBelow(56));
-  const int64_t k = static_cast<int64_t>(rng.NextBelow(13));
-  const int64_t v = static_cast<int64_t>(rng.NextBelow(100));
-  switch (rng.NextBelow(18)) {
-    case 14:  // OPTIONAL MATCH-driven SET; a deleted probe target leaves n
-              // null and the SET is skipped, so the statement still commits.
-      return "OPTIONAL MATCH (n {id: " + I(id) + "}) SET n.tag = " + I(v);
-    case 15:  // OPTIONAL MATCH-driven delete of a possibly-absent node.
-      return "OPTIONAL MATCH (n:New {id: " + I(1000 + v) +
-             "}) DETACH DELETE n";
-    case 16:  // MERGE with a multi-key property-map literal.
-      return rng.NextBelow(2) == 0
-                 ? "MERGE SAME (m:M {mid: " +
-                       I(static_cast<int64_t>(rng.NextBelow(6))) +
-                       ", grp: " + I(k % 3) + "})"
-                 : "MERGE ALL (:C {v: " +
-                       I(static_cast<int64_t>(rng.NextBelow(4))) +
-                       ", grp: " + I(k % 3) + "})";
-    case 17:  // FOREACH with a nested MERGE body.
-      return "FOREACH (x IN range(0, " +
-             I(1 + static_cast<int64_t>(rng.NextBelow(3))) +
-             ") | MERGE SAME (:F2 {fx: x}))";
-    case 0:  // Fresh node; ids above the seed range keep {id} probes unique.
-      return "CREATE (:A:New {id: " + I(1000 + v) + ", k: " + I(k) + "})";
-    case 1:  // Fresh relationship between two probed endpoints.
-      return "MATCH (a {id: " + I(id) + "}), (b {id: " + I(id2) +
-             "}) CREATE (a)-[:R {c: " + I(k) + "}]->(b)";
-    case 2:  // Single-property SET across a k-cohort.
-      return "MATCH (n {k: " + I(k) + "}) SET n.w = " + I(v);
-    case 3:  // Whole-map replacement on one node.
-      return "MATCH (n {id: " + I(id) + "}) SET n = {id: " + I(id) +
-             ", k: " + I(k) + ", w: " + I(v % 5) + "}";
-    case 4:  // Additive map merge.
-      return "MATCH (n {id: " + I(id) + "}) SET n += {tag: " + I(v) + "}";
-    case 5:  // Label add.
-      return "MATCH (n {id: " + I(id) + "}) SET n:B:Hot";
-    case 6:  // Property removal across a cohort.
-      return "MATCH (n {k: " + I(k) + "}) REMOVE n.w";
-    case 7:  // Label removal.
-      return "MATCH (n {id: " + I(id) + "}) REMOVE n:Hot";
-    case 8:  // Relationship deletion by property probe.
-      return "MATCH ()-[r:" + std::string(rng.NextBelow(2) == 0 ? "R" : "S") +
-             " {c: " + I(static_cast<int64_t>(rng.NextBelow(7))) +
-             "}]->() DELETE r";
-    case 9:  // Node deletion with its incident relationships.
-      return "MATCH (n {id: " + I(id) + "}) DETACH DELETE n";
-    case 10:  // MERGE SAME: match-or-create one node (works in both
-              // semantics; bare MERGE is legacy-only).
-      return "MERGE SAME (m:M {mid: " +
-             I(static_cast<int64_t>(rng.NextBelow(6))) + "})";
-    case 11:  // MERGE ALL over a probed cohort.
-      return "MERGE ALL (:C {v: " + I(static_cast<int64_t>(rng.NextBelow(4))) +
-             "})";
-    case 12:  // FOREACH creating a small batch.
-      return "FOREACH (x IN range(0, " +
-             I(1 + static_cast<int64_t>(rng.NextBelow(3))) +
-             ") | CREATE (:F {fx: x, run: " + I(v) + "}))";
-    default:  // FOREACH mutating matched rows.
-      return "MATCH (n {k: " + I(k) + "}) FOREACH (x IN [1, 2] | SET n.w = x)";
-  }
+  return UpdateQueryImpl(seed, nullptr);
+}
+
+GeneratedQuery GenerateReadQueryWithParams(uint64_t seed) {
+  ParamSink sink;
+  GeneratedQuery out;
+  out.text = ReadQueryImpl(seed, &sink);
+  out.params = std::move(sink.params);
+  return out;
+}
+
+GeneratedQuery GenerateUpdateQueryWithParams(uint64_t seed) {
+  ParamSink sink;
+  GeneratedQuery out;
+  out.text = UpdateQueryImpl(seed, &sink);
+  out.params = std::move(sink.params);
+  return out;
 }
 
 std::vector<std::string> GenerateUpdateWorkload(uint64_t seed, size_t count) {

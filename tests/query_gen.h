@@ -37,6 +37,26 @@ std::string GenerateReadQuery(uint64_t seed);
 /// committed-prefix accounting stays simple.
 std::string GenerateUpdateQuery(uint64_t seed);
 
+/// A generated statement paired with the parameter map its `$pN`
+/// references resolve against.
+struct GeneratedQuery {
+  std::string text;
+  ValueMap params;
+};
+
+/// GenerateReadQuery with every *value* literal (property filters, WHERE
+/// comparands, SKIP/LIMIT counts, probe ids, range bounds) lifted into a
+/// `$pN` parameter reference plus a matching entry in `params`. Hop
+/// windows (`*1..3`) stay literal — they are pattern syntax, not value
+/// expressions. The same seed produces the same query shape as
+/// GenerateReadQuery, so the two forms must return identical tables; the
+/// differential suite uses that as its parametrized-execution oracle.
+GeneratedQuery GenerateReadQueryWithParams(uint64_t seed);
+
+/// GenerateUpdateQuery with value literals lifted to `$pN` parameters,
+/// shape-identical to the inline form for the same seed.
+GeneratedQuery GenerateUpdateQueryWithParams(uint64_t seed);
+
 /// `count` statements from GenerateUpdateQuery with seeds derived from
 /// `seed` — the one randomized update workload shared by the WAL crash
 /// sweep and the rewrite-equivalence fuzzer, so both suites age graphs
