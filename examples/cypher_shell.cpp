@@ -197,21 +197,27 @@ bool HandleMeta(GraphDatabase* db, const std::string& line) {
   }
   if (line == ":cache") {
     const cypher::PlanCacheStats stats = db->plan_cache().Stats();
+    const cypher::SessionCacheCounters& session = db->session_cache_counters();
     std::printf(
         "plan cache: %s — %zu entr%s\n"
-        "  hits=%llu (raw=%llu shape=%llu) misses=%llu evictions=%llu\n",
+        "  global:       hits=%llu (raw=%llu shape=%llu) misses=%llu "
+        "evictions=%llu\n"
+        "  this session: hits=%llu misses=%llu\n",
         options.use_plan_cache ? "on" : "off", stats.entries,
         stats.entries == 1 ? "y" : "ies",
         static_cast<unsigned long long>(stats.hits),
         static_cast<unsigned long long>(stats.raw_hits),
         static_cast<unsigned long long>(stats.shape_hits),
         static_cast<unsigned long long>(stats.misses),
-        static_cast<unsigned long long>(stats.evictions));
+        static_cast<unsigned long long>(stats.evictions),
+        static_cast<unsigned long long>(session.hits),
+        static_cast<unsigned long long>(session.misses));
     return true;
   }
   if (line == ":cache clear") {
     db->plan_cache().Clear();
     db->plan_cache().ResetStats();
+    db->ResetSessionCacheCounters();
     std::printf("plan cache cleared\n");
     return true;
   }

@@ -1,23 +1,103 @@
 #include "common/interner.h"
 
+#include <functional>
+
 #include "common/check.h"
 
 namespace cypher {
 
-Symbol Interner::Intern(std::string_view text) {
-  auto it = index_.find(std::string(text));
-  if (it != index_.end()) return it->second;
-  Symbol symbol = static_cast<Symbol>(names_.size());
-  CYPHER_CHECK(symbol != kNoSymbol);
-  names_.emplace_back(text);
-  index_.emplace(names_.back(), symbol);
-  return symbol;
+namespace {
+
+uint64_t HashText(std::string_view text) {
+  return std::hash<std::string_view>{}(text);
+}
+
+}  // namespace
+
+Interner::Interner() {
+  auto table = std::make_unique<Table>(16);
+  table_.store(table.get(), std::memory_order_release);
+  tables_.push_back(std::move(table));
+}
+
+Interner::Interner(const Interner& other) : Interner() {
+  size_t n = other.names_.size();
+  for (size_t i = 0; i < n; ++i) Intern(other.names_[i]);
+}
+
+Interner& Interner::operator=(const Interner& other) {
+  if (this != &other) {
+    Interner copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+// The atomic table pointer deletes the defaulted moves; steal by hand and
+// leave the source usable (fresh empty table), since moved-from graphs are
+// still destroyed and occasionally reused.
+Interner::Interner(Interner&& other) noexcept { StealFrom(&other); }
+
+Interner& Interner::operator=(Interner&& other) noexcept {
+  if (this != &other) StealFrom(&other);
+  return *this;
+}
+
+void Interner::StealFrom(Interner* other) noexcept {
+  names_ = std::move(other->names_);
+  tables_ = std::move(other->tables_);
+  table_.store(other->table_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  auto fresh = std::make_unique<Table>(16);
+  other->table_.store(fresh.get(), std::memory_order_relaxed);
+  other->tables_.clear();
+  other->tables_.push_back(std::move(fresh));
 }
 
 Symbol Interner::Find(std::string_view text) const {
-  auto it = index_.find(std::string(text));
-  if (it == index_.end()) return kNoSymbol;
-  return it->second;
+  const Table* table = table_.load(std::memory_order_acquire);
+  size_t i = HashText(text) & table->mask;
+  while (true) {
+    uint32_t stored = table->slots[i].load(std::memory_order_acquire);
+    if (stored == 0) return kNoSymbol;
+    Symbol symbol = stored - 1;
+    if (names_[symbol] == text) return symbol;
+    i = (i + 1) & table->mask;
+  }
+}
+
+Symbol Interner::Intern(std::string_view text) {
+  Symbol existing = Find(text);
+  if (existing != kNoSymbol) return existing;
+  Symbol symbol = static_cast<Symbol>(names_.size());
+  CYPHER_CHECK(symbol != kNoSymbol);
+  // Publish the name before its table slot: a reader that acquires the slot
+  // must be able to dereference the name.
+  names_.Append(std::string(text));
+  // Keep the load factor under 2/3 so probes terminate.
+  Table* table = table_.load(std::memory_order_relaxed);
+  if ((names_.size() + 1) * 3 >= (table->mask + 1) * 2) Grow();
+  InsertIntoTable(table_.load(std::memory_order_relaxed), symbol);
+  return symbol;
+}
+
+void Interner::InsertIntoTable(Table* table, Symbol symbol) {
+  size_t i = HashText(names_[symbol]) & table->mask;
+  while (table->slots[i].load(std::memory_order_relaxed) != 0) {
+    i = (i + 1) & table->mask;
+  }
+  table->slots[i].store(symbol + 1, std::memory_order_release);
+}
+
+void Interner::Grow() {
+  Table* old = table_.load(std::memory_order_relaxed);
+  auto fresh = std::make_unique<Table>((old->mask + 1) * 2);
+  // The fresh symbol is not yet in any table; rehash only published ones.
+  for (Symbol s = 0; s + 1 < names_.size(); ++s) {
+    InsertIntoTable(fresh.get(), s);
+  }
+  table_.store(fresh.get(), std::memory_order_release);
+  tables_.push_back(std::move(fresh));
 }
 
 }  // namespace cypher

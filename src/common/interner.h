@@ -1,11 +1,14 @@
 #ifndef CYPHER_COMMON_INTERNER_H_
 #define CYPHER_COMMON_INTERNER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "common/slot_vector.h"
 
 namespace cypher {
 
@@ -21,28 +24,58 @@ inline constexpr Symbol kNoSymbol = static_cast<Symbol>(-1);
 ///
 /// The graph store keeps one interner per graph and represents node labels,
 /// relationship types and property keys as Symbols, so hot-path comparisons
-/// are integer comparisons. Not thread-safe.
+/// are integer comparisons.
+///
+/// Single-writer / many-reader: Intern may only be called by the graph's
+/// one writer (between or inside its own statements), while Find, Name and
+/// size are lock-free and safe to call concurrently from snapshot readers.
+/// Names live in stable chunked storage (Name's reference never moves) and
+/// the hash table is an open-addressed array of symbol slots republished
+/// wholesale on growth; superseded tables are kept until destruction, so a
+/// reader mid-probe on an old table simply misses the newest symbols —
+/// which a pinned-snapshot reader cannot observe data for anyway.
 class Interner {
  public:
-  Interner() = default;
-  Interner(const Interner&) = default;
-  Interner& operator=(const Interner&) = default;
+  Interner();
+  ~Interner() = default;
 
-  /// Returns the symbol for `text`, interning it on first use.
+  /// Copies and moves require quiescence (no concurrent reader on either
+  /// side); the database only copies/moves whole graphs between statements.
+  Interner(const Interner& other);
+  Interner& operator=(const Interner& other);
+  Interner(Interner&& other) noexcept;
+  Interner& operator=(Interner&& other) noexcept;
+
+  /// Returns the symbol for `text`, interning it on first use. Writer only.
   Symbol Intern(std::string_view text);
 
   /// Returns the symbol for `text`, or kNoSymbol if never interned.
-  /// Does not modify the interner; usable for lookups on const graphs.
+  /// Lock-free; usable concurrently with the writer interning.
   Symbol Find(std::string_view text) const;
 
-  /// Returns the string for a symbol previously returned by Intern.
+  /// Returns the string for a symbol previously returned by Intern. The
+  /// reference is stable for the interner's lifetime.
   const std::string& Name(Symbol symbol) const { return names_[symbol]; }
 
   size_t size() const { return names_.size(); }
 
  private:
-  std::unordered_map<std::string, Symbol> index_;
-  std::vector<std::string> names_;
+  /// Open-addressed table of symbol+1 values (0 = empty), linear probing.
+  struct Table {
+    explicit Table(size_t capacity)
+        : mask(capacity - 1), slots(new std::atomic<uint32_t>[capacity]()) {}
+    size_t mask;
+    std::unique_ptr<std::atomic<uint32_t>[]> slots;
+  };
+
+  void InsertIntoTable(Table* table, Symbol symbol);
+  void Grow();
+  void StealFrom(Interner* other) noexcept;
+
+  SlotVector<std::string> names_;
+  std::atomic<Table*> table_{nullptr};
+  /// Every table ever published, newest last; old ones stay for stragglers.
+  std::vector<std::unique_ptr<Table>> tables_;
 };
 
 }  // namespace cypher

@@ -1,0 +1,7 @@
+#include "common/read_pin.h"
+
+namespace cypher::detail {
+
+thread_local ReadPin g_thread_read_pin;
+
+}  // namespace cypher::detail

@@ -1,0 +1,62 @@
+#ifndef CYPHER_COMMON_READ_PIN_H_
+#define CYPHER_COMMON_READ_PIN_H_
+
+#include <cstdint>
+
+namespace cypher {
+
+/// A pinned snapshot epoch of one MVCC-enabled graph.
+///
+/// A pin names the newest committed statement (`epoch`) a reader observes
+/// plus the node/rel slot watermarks published with it; the graph's
+/// accessors resolve every record against these when the *current thread*
+/// carries an active pin for that graph (see ScopedReadPin). While a pin is
+/// registered in its graph's pin registry, no version the pin can reach is
+/// reclaimed — pinning is what makes lock-free snapshot reads safe.
+///
+/// The pin travels two ways: explicitly through EvalOptions/ExecContext/
+/// MatchOptions (so executors and plan caching know they run pinned), and
+/// through a thread-local slot (so deep graph accessors resolve without a
+/// parameter on every call). ScopedReadPin installs the thread-local side;
+/// the shared ThreadPool re-installs the submitting thread's pin inside
+/// every task it fans out, so morsel-parallel readers stay on the snapshot.
+struct ReadPin {
+  const void* owner = nullptr;  // the PropertyGraph the pin applies to
+  uint64_t epoch = 0;           // newest committed statement visible
+  uint64_t node_slots = 0;      // node slots published at `epoch`
+  uint64_t rel_slots = 0;       // rel slots published at `epoch`
+  uint32_t registry_slot = 0;   // position held in the owner's pin registry
+  bool active = false;
+};
+
+namespace detail {
+extern thread_local ReadPin g_thread_read_pin;
+}  // namespace detail
+
+/// The calling thread's active pin; `active` is false when the thread reads
+/// latest state. Cheap enough for per-record accessor checks.
+inline const ReadPin& CurrentThreadReadPin() {
+  return detail::g_thread_read_pin;
+}
+
+/// RAII installation of a pin into the thread-local slot, restoring the
+/// previous pin (usually inactive) on exit. Install-only: acquiring and
+/// releasing the registry slot is the graph layer's job.
+class ScopedReadPin {
+ public:
+  explicit ScopedReadPin(const ReadPin& pin)
+      : saved_(detail::g_thread_read_pin) {
+    detail::g_thread_read_pin = pin;
+  }
+  ~ScopedReadPin() { detail::g_thread_read_pin = saved_; }
+
+  ScopedReadPin(const ScopedReadPin&) = delete;
+  ScopedReadPin& operator=(const ScopedReadPin&) = delete;
+
+ private:
+  ReadPin saved_;
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_COMMON_READ_PIN_H_

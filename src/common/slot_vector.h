@@ -1,0 +1,155 @@
+#ifndef CYPHER_COMMON_SLOT_VECTOR_H_
+#define CYPHER_COMMON_SLOT_VECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace cypher {
+
+/// Chunked append-only vector with stable element addresses and a
+/// single-writer / many-reader publication contract:
+///
+///  * one writer thread at a time Appends (or EnsureSize-grows);
+///  * any number of reader threads may concurrently index positions below a
+///    size() they observed — size() is stored with release ordering after
+///    the element is fully constructed, so an acquire load of size() makes
+///    every element below it visible;
+///  * elements never move. Storage is a spine of fixed-size chunks; a full
+///    spine is replaced by a doubled copy and the old spine is kept alive
+///    until destruction, because a reader may still be mid-walk on it.
+///
+/// This is the storage base of the MVCC graph: node/rel slots, version-chain
+/// heads, label buckets and interned names all need "readers index while the
+/// writer appends" without locks. The SlotVector synchronizes only element
+/// *existence* — element payloads must be immutable after publication (or
+/// use atomic fields) if readers and the writer overlap on them.
+template <typename T>
+class SlotVector {
+ public:
+  static constexpr size_t kChunkBits = 9;  // 512 elements per chunk
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+
+  SlotVector() = default;
+
+  SlotVector(const SlotVector&) = delete;
+  SlotVector& operator=(const SlotVector&) = delete;
+
+  /// Moves require quiescence (no concurrent reader or writer on either
+  /// side); the graph layer only moves whole graphs between statements.
+  SlotVector(SlotVector&& other) noexcept { StealFrom(&other); }
+  SlotVector& operator=(SlotVector&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      StealFrom(&other);
+    }
+    return *this;
+  }
+
+  ~SlotVector() { Destroy(); }
+
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  T& operator[](size_t i) { return Slot(i); }
+  const T& operator[](size_t i) const { return Slot(i); }
+
+  /// Appends and publishes one element (writer only).
+  T& Append(T value) {
+    size_t i = size_.load(std::memory_order_relaxed);
+    T& slot = SlotForWrite(i);
+    slot = std::move(value);
+    size_.store(i + 1, std::memory_order_release);
+    return slot;
+  }
+
+  /// Grows to at least `n` elements, value-initialized (writer only).
+  void EnsureSize(size_t n) {
+    size_t i = size_.load(std::memory_order_relaxed);
+    if (n <= i) return;
+    for (size_t k = i; k < n; ++k) (void)SlotForWrite(k);
+    size_.store(n, std::memory_order_release);
+  }
+
+ private:
+  /// A resizable directory of chunk pointers. Chunks are published into
+  /// their directory slot with release ordering; a full directory is
+  /// replaced wholesale (see SlotForWrite).
+  struct Spine {
+    explicit Spine(size_t capacity)
+        : cap(capacity), chunks(new std::atomic<T*>[capacity]()) {}
+    size_t cap;
+    std::unique_ptr<std::atomic<T*>[]> chunks;
+  };
+
+  T& Slot(size_t i) const {
+    Spine* spine = spine_.load(std::memory_order_acquire);
+    T* chunk = spine->chunks[i >> kChunkBits].load(std::memory_order_acquire);
+    return chunk[i & kChunkMask];
+  }
+
+  T& SlotForWrite(size_t i) {
+    Spine* spine = spine_.load(std::memory_order_relaxed);
+    size_t ci = i >> kChunkBits;
+    if (spine == nullptr || ci >= spine->cap) {
+      size_t cap = spine == nullptr ? 8 : spine->cap * 2;
+      while (cap <= ci) cap *= 2;
+      auto fresh = std::make_unique<Spine>(cap);
+      if (spine != nullptr) {
+        for (size_t k = 0; k < spine->cap; ++k) {
+          fresh->chunks[k].store(spine->chunks[k].load(
+                                     std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+        }
+        old_spines_.push_back(std::move(spine_owner_));
+      }
+      spine = fresh.get();
+      spine_owner_ = std::move(fresh);
+      spine_.store(spine, std::memory_order_release);
+    }
+    T* chunk = spine->chunks[ci].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new T[kChunkSize]();
+      spine->chunks[ci].store(chunk, std::memory_order_release);
+    }
+    return chunk[i & kChunkMask];
+  }
+
+  void Destroy() {
+    // Retired spines share chunk pointers with the live spine (which holds
+    // the superset), so chunks are freed from the live spine only.
+    Spine* spine = spine_.load(std::memory_order_relaxed);
+    if (spine != nullptr) {
+      for (size_t k = 0; k < spine->cap; ++k) {
+        delete[] spine->chunks[k].load(std::memory_order_relaxed);
+      }
+    }
+    spine_owner_.reset();
+    old_spines_.clear();
+    spine_.store(nullptr, std::memory_order_relaxed);
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+  void StealFrom(SlotVector* other) {
+    spine_owner_ = std::move(other->spine_owner_);
+    old_spines_ = std::move(other->old_spines_);
+    spine_.store(other->spine_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    size_.store(other->size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    other->spine_.store(nullptr, std::memory_order_relaxed);
+    other->size_.store(0, std::memory_order_relaxed);
+    other->old_spines_.clear();
+  }
+
+  std::atomic<Spine*> spine_{nullptr};
+  std::atomic<size_t> size_{0};
+  std::unique_ptr<Spine> spine_owner_;
+  std::vector<std::unique_ptr<Spine>> old_spines_;
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_COMMON_SLOT_VECTOR_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/read_pin.h"
+
 namespace cypher {
 
 ThreadPool::ThreadPool(size_t max_helpers) : max_helpers_(max_helpers) {}
@@ -72,6 +74,24 @@ void ThreadPool::WorkerMain() {
 
 void ThreadPool::Run(size_t num_tasks, size_t workers,
                      const std::function<void(size_t)>& fn) {
+  // Tasks may land on pool helpers, which must read the same pinned MVCC
+  // snapshot as the submitting thread — re-install its pin around each
+  // task. (The submitter participates too; re-installing its own pin is
+  // idempotent, and an inactive pin makes this a no-op wrapper.)
+  const ReadPin pin = CurrentThreadReadPin();
+  if (!pin.active) {
+    RunImpl(num_tasks, workers, fn);
+    return;
+  }
+  std::function<void(size_t)> pinned = [&pin, &fn](size_t task) {
+    ScopedReadPin scope(pin);
+    fn(task);
+  };
+  RunImpl(num_tasks, workers, pinned);
+}
+
+void ThreadPool::RunImpl(size_t num_tasks, size_t workers,
+                         const std::function<void(size_t)>& fn) {
   if (num_tasks == 0) return;
   size_t helpers =
       std::min({workers > 0 ? workers - 1 : size_t{0}, max_helpers_,

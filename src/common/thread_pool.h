@@ -48,6 +48,12 @@ class ThreadPool {
   void Run(size_t num_tasks, size_t workers,
            const std::function<void(size_t)>& fn);
 
+  /// Runs `fn` across the pool with no snapshot-pin propagation (Run wraps
+  /// tasks so helpers inherit the submitting thread's MVCC read pin; this
+  /// is the raw path it delegates to).
+  void RunImpl(size_t num_tasks, size_t workers,
+               const std::function<void(size_t)>& fn);
+
   /// Helper threads this pool may spawn (not counting callers).
   size_t max_helpers() const { return max_helpers_; }
 

@@ -5,7 +5,9 @@
 #include <sstream>
 
 #include "ast/printer.h"
+#include "common/check.h"
 #include "common/strings.h"
+#include "exec/render.h"
 #include "graph/serialize.h"
 #include "parser/lexer.h"
 #include "parser/parser.h"
@@ -35,6 +37,17 @@ std::string OptionsFingerprint(const EvalOptions& options) {
             ? std::to_string(static_cast<int>(*options.plain_merge_variant))
             : std::string("-");
   fp += '|';
+  // Snapshot sessions key on their pinned epoch: a pinned compile skips
+  // index anchors and its stamped match-plan slots are epoch-specific, so
+  // sharing one Program between the writer and a pinned session (or two
+  // sessions at different epochs) would recompile the slot on every
+  // alternation — under the slot mutex, serializing the very readers MVCC
+  // is meant to unleash. Distinct keys give each (session, epoch) a stable
+  // warm plan; the LRU evicts entries from epochs nobody pins anymore.
+  if (options.read_pin != nullptr) {
+    fp += "pin" + std::to_string(options.read_pin->epoch);
+    fp += '|';
+  }
   return fp;
 }
 
@@ -63,11 +76,15 @@ struct GraphDatabase::WalSession {
   std::mutex exec_mu;
   storage::WalWriter writer;
   DurabilityOptions durability;
+  /// Log size right after the last (auto or explicit) checkpoint; the
+  /// auto-checkpoint hysteresis compares against it. Guarded by exec_mu.
+  uint64_t last_checkpoint_bytes = 0;
 };
 
 GraphDatabase::GraphDatabase(EvalOptions options)
     : options_(std::move(options)),
-      plan_cache_(std::make_unique<PlanCache>()) {}
+      plan_cache_(std::make_unique<PlanCache>()),
+      open_read_sessions_(std::make_unique<std::atomic<int>>(0)) {}
 GraphDatabase::GraphDatabase(GraphDatabase&&) noexcept = default;
 GraphDatabase& GraphDatabase::operator=(GraphDatabase&&) noexcept = default;
 GraphDatabase::~GraphDatabase() = default;
@@ -75,13 +92,21 @@ GraphDatabase::~GraphDatabase() = default;
 Result<QueryResult> GraphDatabase::Execute(std::string_view query,
                                            const ValueMap& params,
                                            const EvalOptions& options) {
-  if (options.use_plan_cache) return ExecuteCached(query, params, options);
+  return ExecuteWith(query, params, options, &session_counters_);
+}
+
+Result<QueryResult> GraphDatabase::ExecuteWith(std::string_view query,
+                                               const ValueMap& params,
+                                               const EvalOptions& options,
+                                               SessionCacheCounters* counters) {
+  if (options.use_plan_cache) {
+    return ExecuteCached(query, params, options, counters);
+  }
   CYPHER_ASSIGN_OR_RETURN(Query ast, ParseQuery(query));
   auto run = [&](const CommitHook& hook) -> Result<QueryResult> {
     return ExecuteQuery(&graph_, ast, params, options, hook);
   };
-  Result<QueryResult> result =
-      wal_ != nullptr ? ExecuteDurableWith(run) : run(nullptr);
+  Result<QueryResult> result = RunStatement(run, options);
   if (result.ok() && ast.mode == QueryMode::kExplain) {
     AppendTierRow(&*result, "interpreter", "disabled");
   }
@@ -90,13 +115,15 @@ Result<QueryResult> GraphDatabase::Execute(std::string_view query,
 
 Result<QueryResult> GraphDatabase::ExecuteCached(std::string_view query,
                                                  const ValueMap& params,
-                                                 const EvalOptions& options) {
+                                                 const EvalOptions& options,
+                                                 SessionCacheCounters* counters) {
   std::string fingerprint = OptionsFingerprint(options);
   std::string raw_key = fingerprint + "raw:" + std::string(query);
 
   std::shared_ptr<const CachedPlan> plan;
   std::vector<Value> literals;
   if (auto raw_hit = plan_cache_->LookupRaw(raw_key)) {
+    ++counters->hits;
     plan = std::move(raw_hit->first);
     literals = std::move(raw_hit->second);
   } else {
@@ -110,8 +137,7 @@ Result<QueryResult> GraphDatabase::ExecuteCached(std::string_view query,
       auto run = [&](const CommitHook& hook) -> Result<QueryResult> {
         return ExecuteQuery(&graph_, ast, params, options, hook);
       };
-      Result<QueryResult> result =
-          wal_ != nullptr ? ExecuteDurableWith(run) : run(nullptr);
+      Result<QueryResult> result = RunStatement(run, options);
       if (result.ok() && ast.mode == QueryMode::kExplain) {
         if (ddl) {
           AppendTierRow(&*result, "interpreter", "uncacheable (DDL)");
@@ -133,6 +159,7 @@ Result<QueryResult> GraphDatabase::ExecuteCached(std::string_view query,
     std::string shape_key = fingerprint + "shape:" + ToCypher(ast);
     plan = plan_cache_->LookupShape(shape_key);
     if (plan == nullptr) {
+      ++counters->misses;
       // Move the AST into the entry first, compile second: the Program's
       // pointers reach into heap-allocated clause nodes, which do not move
       // with the Query object.
@@ -142,6 +169,8 @@ Result<QueryResult> GraphDatabase::ExecuteCached(std::string_view query,
       fresh->program = CompileStatement(fresh->ast);
       plan = std::move(fresh);
       plan_cache_->InsertShape(shape_key, plan);
+    } else {
+      ++counters->hits;
     }
     plan_cache_->InsertRaw(raw_key, plan, literals);
   }
@@ -156,14 +185,33 @@ Result<QueryResult> GraphDatabase::ExecuteCached(std::string_view query,
     return RunProgram(&graph_, *plan->program, plan->ast, merged, options,
                       hook);
   };
+  return RunStatement(run, options);
+}
+
+Result<QueryResult> GraphDatabase::RunStatement(const PlanExecutor& run,
+                                                const EvalOptions& options) {
+  // Snapshot session: the statement reads a pinned committed epoch and
+  // writes nothing — no execution lock, no WAL, no epoch publication. This
+  // is the lock-free path that lets N readers run concurrently with the
+  // committing writer.
+  if (options.read_pin != nullptr) return run(nullptr);
   if (wal_ != nullptr) return ExecuteDurableWith(run);
-  return run(nullptr);
+  Result<QueryResult> result = run(nullptr);
+  if (result.ok() && graph_.mvcc_enabled()) graph_.PublishEpoch();
+  return result;
 }
 
 Status GraphDatabase::OpenDurable(std::unique_ptr<storage::LogFile> file,
                                   DurabilityOptions durability) {
   if (wal_ != nullptr) {
     return Status::InvalidArgument("write-ahead log already attached");
+  }
+  if (open_read_sessions_->load() != 0) {
+    // Recovery may replace the graph object wholesale; live pins reference
+    // the old graph's registry and version chains.
+    return Status::InvalidArgument(
+        "cannot attach a write-ahead log while snapshot read sessions are "
+        "open");
   }
   if (file->size() == 0) {
     // Fresh log: magic plus a snapshot of whatever the caller loaded so
@@ -184,8 +232,11 @@ Status GraphDatabase::OpenDurable(std::unique_ptr<storage::LogFile> file,
     // The graph object was replaced: every cached match plan is stamped
     // against the old one, and an equal-looking stamp must not revive it.
     plan_cache_->Clear();
+    // A recovered graph starts life non-MVCC; restore the session switch.
+    if (mvcc_requested_) graph_.EnableMvcc();
   }
   wal_ = std::make_unique<WalSession>(std::move(file), durability);
+  wal_->last_checkpoint_bytes = wal_->writer.LogBytes();
   return Status::OK();
 }
 
@@ -197,7 +248,28 @@ Status GraphDatabase::Checkpoint() {
   Result<uint64_t> lsn = wal_->writer.Append(storage::WalRecordType::kSnapshot,
                                              storage::EncodeSnapshot(graph_));
   if (!lsn.ok()) return lsn.status();
-  return wal_->writer.Sync(*lsn);
+  CYPHER_RETURN_NOT_OK(wal_->writer.Sync(*lsn));
+  wal_->last_checkpoint_bytes = wal_->writer.LogBytes();
+  return Status::OK();
+}
+
+void GraphDatabase::MaybeAutoCheckpoint() {
+  uint64_t threshold = wal_->durability.auto_checkpoint_bytes;
+  if (threshold == 0) return;
+  uint64_t bytes = wal_->writer.LogBytes();
+  // Hysteresis: a graph whose snapshot alone exceeds the threshold would
+  // otherwise compact on every commit; require the log to have doubled
+  // since the last checkpoint before paying for another one.
+  if (bytes <= threshold || bytes < 2 * wal_->last_checkpoint_bytes) return;
+  Status st = wal_->writer.Rewrite(storage::WalRecordType::kSnapshot,
+                                   storage::EncodeSnapshot(graph_));
+  // A failed rewrite poisons the writer (sticky error); the next update
+  // statement surfaces it. The current statement already committed — its
+  // effects are in the snapshot we just failed to write, and the old log
+  // contents still hold its record or predecessors up to the durable
+  // prefix, so nothing acknowledged is lost beyond the existing
+  // group-commit contract.
+  if (st.ok()) wal_->last_checkpoint_bytes = wal_->writer.LogBytes();
 }
 
 Status GraphDatabase::wal_error() const {
@@ -235,6 +307,13 @@ Result<QueryResult> GraphDatabase::ExecuteDurableWith(const PlanExecutor& run) {
     };
     Result<QueryResult> r = run(hook);
     graph_.AbortRedoCapture();  // no-op when the hook consumed the log
+    if (r.ok()) {
+      // The commit point: the statement is in memory and its record at
+      // least appended. Publish the next epoch while still holding the
+      // execution lock — a pin acquired from here on observes it.
+      if (graph_.mvcc_enabled()) graph_.PublishEpoch();
+      MaybeAutoCheckpoint();
+    }
     return r;
   }();
   // Group commit: fsync outside the execution lock, so statements executed
@@ -256,6 +335,10 @@ Status GraphDatabase::SaveToFile(const std::string& path) const {
 }
 
 Status GraphDatabase::LoadFromFile(const std::string& path) {
+  if (open_read_sessions_->load() != 0) {
+    return Status::InvalidArgument(
+        "cannot replace the graph while snapshot read sessions are open");
+  }
   std::ifstream in(path);
   if (!in) {
     return Status::InvalidArgument("cannot open file for reading: " + path);
@@ -265,7 +348,54 @@ Status GraphDatabase::LoadFromFile(const std::string& path) {
   CYPHER_ASSIGN_OR_RETURN(PropertyGraph loaded, LoadGraph(buffer.str()));
   graph_ = std::move(loaded);
   plan_cache_->Clear();  // cached plans are stamped against the old graph
+  if (mvcc_requested_) graph_.EnableMvcc();
   return Status::OK();
+}
+
+// ---- Snapshot read sessions -------------------------------------------------
+
+Status GraphDatabase::EnableMvcc() {
+  if (mvcc_requested_ && graph_.mvcc_enabled()) return Status::OK();
+  mvcc_requested_ = true;
+  graph_.EnableMvcc();
+  return Status::OK();
+}
+
+Result<GraphDatabase::ReadSession> GraphDatabase::BeginReadSession() {
+  if (!graph_.mvcc_enabled()) {
+    return Status::InvalidArgument(
+        "snapshot read sessions require EnableMvcc() first");
+  }
+  ReadPin pin = graph_.AcquireReadPin();
+  open_read_sessions_->fetch_add(1);
+  return ReadSession(this, pin);
+}
+
+Result<QueryResult> GraphDatabase::ReadSession::Execute(
+    std::string_view query, const ValueMap& params) {
+  CYPHER_CHECK(db_ != nullptr && "Execute on a moved-from ReadSession");
+  EvalOptions options = db_->options_;
+  options.read_pin = &pin_;
+  return db_->ExecuteWith(query, params, options, &counters_);
+}
+
+Result<std::string> GraphDatabase::ReadSession::ExecuteRendered(
+    std::string_view query, const ValueMap& params) {
+  CYPHER_ASSIGN_OR_RETURN(QueryResult result, Execute(query, params));
+  ScopedReadPin scope(pin_);
+  return RenderResult(db_->graph_, result);
+}
+
+void GraphDatabase::ReadSession::Refresh() {
+  CYPHER_CHECK(db_ != nullptr && "Refresh on a moved-from ReadSession");
+  db_->graph_.RefreshReadPin(&pin_);
+}
+
+void GraphDatabase::ReadSession::Close() {
+  if (db_ == nullptr) return;
+  db_->graph_.ReleaseReadPin(pin_);
+  db_->open_read_sessions_->fetch_sub(1);
+  db_ = nullptr;
 }
 
 Result<std::vector<std::string>> SplitStatements(std::string_view script) {

@@ -1,6 +1,7 @@
 #ifndef CYPHER_CYPHER_DATABASE_H_
 #define CYPHER_CYPHER_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -8,6 +9,7 @@
 
 #include <functional>
 
+#include "common/read_pin.h"
 #include "common/result.h"
 #include "exec/interpreter.h"
 #include "exec/options.h"
@@ -37,6 +39,16 @@ struct DurabilityOptions {
   };
 
   SyncMode sync_mode = SyncMode::kEveryCommit;
+
+  /// Size-threshold auto-checkpoint: when non-zero and a commit leaves the
+  /// log larger than this many bytes, the log is compacted in place to
+  /// [magic, fresh snapshot] (WalWriter::Rewrite — crash-atomic on disk),
+  /// bounding growth for long-running mixed workloads without an operator
+  /// Checkpoint(). A 2x-since-last-checkpoint hysteresis keeps a graph
+  /// whose snapshot alone exceeds the threshold from rewriting on every
+  /// commit. 0 (the default) disables the hook: the log is append-only
+  /// forever, exactly as before.
+  uint64_t auto_checkpoint_bytes = 0;
 };
 
 /// The public entry point: an in-process property graph database speaking
@@ -142,25 +154,149 @@ class GraphDatabase {
   PlanCache& plan_cache() { return *plan_cache_; }
   const PlanCache& plan_cache() const { return *plan_cache_; }
 
+  /// The writer (default) session's own plan-cache hit/miss tally; snapshot
+  /// read sessions carry their own (ReadSession::cache_counters). The
+  /// shell's `:cache` reports these next to the global PlanCacheStats, and
+  /// `:cache clear` resets them together with the global counters.
+  const SessionCacheCounters& session_cache_counters() const {
+    return session_counters_;
+  }
+  void ResetSessionCacheCounters() { session_counters_ = {}; }
+
+  // ---- Snapshot read sessions -----------------------------------------------
+
+  /// Switches the stored graph to epoch-based MVCC (DESIGN.md §4g) so
+  /// BeginReadSession becomes available. Idempotent; call it between
+  /// statements (never from inside one). The switch survives graph
+  /// replacement (LoadFromFile, WAL recovery re-enable it on the new
+  /// graph). Writer statements keep executing exactly as before — each
+  /// successful one additionally publishes a new committed epoch and
+  /// retires superseded record versions once no session pins them.
+  Status EnableMvcc();
+
+  bool mvcc_enabled() const { return graph_.mvcc_enabled(); }
+
+  class ReadSession;
+
+  /// Opens a read-only session pinned to the newest committed epoch.
+  /// Requires EnableMvcc(). The session's statements (pure MATCH / UNWIND /
+  /// WITH / RETURN) run lock-free and fully concurrently with writer
+  /// Execute calls on this database — they never take the execution lock —
+  /// and observe exactly the state as of the pinned epoch, however many
+  /// statements the writer commits meanwhile. Update or DDL statements are
+  /// refused. A session costs one registry slot (at most 256 concurrently)
+  /// plus whatever superseded versions its pin holds back from
+  /// reclamation; Refresh() or destruction lets them go. The session must
+  /// not outlive the database, and the database must not be moved, loaded
+  /// from a file, or recovered while sessions are open.
+  Result<ReadSession> BeginReadSession();
+
  private:
   struct WalSession;
+  friend class ReadSession;
 
   /// Runs one statement's executor under the WAL session: execution lock,
   /// redo capture, the commit hook that appends (and, per sync mode,
   /// fsyncs) the statement record. The executor is either the interpreter
-  /// or the VM — durability is tier-agnostic.
+  /// or the VM — durability is tier-agnostic. On success the new epoch is
+  /// published (MVCC) and the auto-checkpoint threshold consulted.
   using PlanExecutor = std::function<Result<QueryResult>(const CommitHook&)>;
   Result<QueryResult> ExecuteDurableWith(const PlanExecutor& run);
+
+  /// Statement dispatch shared by every Execute path: pinned statements
+  /// bypass the WAL session entirely (lock-free reads), writer statements
+  /// take the durable route when a WAL is attached, and successful writer
+  /// statements publish the next MVCC epoch.
+  Result<QueryResult> RunStatement(const PlanExecutor& run,
+                                   const EvalOptions& options);
+
+  /// Execute with an explicit per-session counter sink (the public Execute
+  /// uses the writer session's; ReadSession::Execute passes its own).
+  Result<QueryResult> ExecuteWith(std::string_view query,
+                                  const ValueMap& params,
+                                  const EvalOptions& options,
+                                  SessionCacheCounters* counters);
 
   /// The plan-cache + VM route of Execute (use_plan_cache on).
   Result<QueryResult> ExecuteCached(std::string_view query,
                                     const ValueMap& params,
-                                    const EvalOptions& options);
+                                    const EvalOptions& options,
+                                    SessionCacheCounters* counters);
+
+  /// Under the execution lock, after a successful commit: compacts the log
+  /// to [magic, snapshot] once it outgrows the configured threshold.
+  void MaybeAutoCheckpoint();
 
   PropertyGraph graph_;
   EvalOptions options_;
   std::unique_ptr<WalSession> wal_;
   std::unique_ptr<PlanCache> plan_cache_;
+  SessionCacheCounters session_counters_;
+  bool mvcc_requested_ = false;
+  /// Open ReadSession count (heap-allocated so the database stays movable;
+  /// sessions hold a stable pointer to it). Guards graph replacement.
+  std::unique_ptr<std::atomic<int>> open_read_sessions_;
+};
+
+/// A pinned snapshot session (see GraphDatabase::BeginReadSession). Movable,
+/// not copyable; releases its pin on destruction. One session is one
+/// thread's view — concurrent Execute calls on the same session are not
+/// allowed (open one session per reader thread; they are cheap).
+class GraphDatabase::ReadSession {
+ public:
+  ReadSession(ReadSession&& other) noexcept
+      : db_(other.db_), pin_(other.pin_), counters_(other.counters_) {
+    other.db_ = nullptr;
+  }
+  ReadSession& operator=(ReadSession&& other) noexcept {
+    if (this != &other) {
+      Close();
+      db_ = other.db_;
+      pin_ = other.pin_;
+      counters_ = other.counters_;
+      other.db_ = nullptr;
+    }
+    return *this;
+  }
+  ~ReadSession() { Close(); }
+
+  /// The committed epoch every statement of this session observes.
+  uint64_t epoch() const { return pin_.epoch; }
+
+  /// Executes one read-only statement against the pinned epoch. Never
+  /// blocks on the writer; rejects update/DDL statements.
+  Result<QueryResult> Execute(std::string_view query) {
+    return Execute(query, ValueMap());
+  }
+  Result<QueryResult> Execute(std::string_view query, const ValueMap& params);
+
+  /// Execute + RenderResult in one call, with the pin installed around
+  /// rendering too: node/relationship cells expand against the pinned
+  /// epoch. (Rendering the QueryResult after Execute returns would expand
+  /// entity handles against the writer's latest state instead.)
+  Result<std::string> ExecuteRendered(std::string_view query,
+                                      const ValueMap& params = {});
+
+  /// Moves the pin forward to the newest committed epoch (like closing and
+  /// reopening the session, but keeps the registry slot — the reclamation
+  /// horizon only ever advances).
+  void Refresh();
+
+  /// This session's plan-cache hit/miss tally.
+  const SessionCacheCounters& cache_counters() const { return counters_; }
+  void ResetCacheCounters() { counters_ = {}; }
+
+  /// Releases the pin early (destruction does the same); the session is
+  /// unusable afterwards. Idempotent.
+  void Close();
+
+ private:
+  friend class GraphDatabase;
+  ReadSession(GraphDatabase* db, ReadPin pin) : db_(db), pin_(pin) {}
+
+  GraphDatabase* db_ = nullptr;  // null = moved-from/closed
+  ReadPin pin_;
+  SessionCacheCounters counters_;
 };
 
 /// Splits a script into statements at top-level ';' boundaries using the

@@ -4,10 +4,12 @@
 
 #include "ast/printer.h"
 #include "common/check.h"
+#include "common/read_pin.h"
 #include "exec/clauses.h"
 #include "exec/context.h"
 #include "exec/parallel.h"
 #include "match/compiled_pattern.h"
+#include "vm/normalize.h"
 
 namespace cypher {
 
@@ -252,48 +254,82 @@ Result<QueryResult> ExecuteQuery(PropertyGraph* graph, const Query& query,
   std::vector<ProfileRow> profile;
   std::vector<ProfileRow>* profile_ptr =
       query.mode == QueryMode::kProfile ? &profile : nullptr;
+
+  Table combined;
+  bool combined_has_return = false;
+  auto run_parts = [&]() -> Status {
+    for (size_t p = 0; p < query.parts.size(); ++p) {
+      const SingleQuery& part = query.parts[p];
+      if (options.semantics == SemanticsMode::kLegacy &&
+          options.strict_cypher9_syntax) {
+        CYPHER_RETURN_NOT_OK(CheckStrictCypher9Ordering(part));
+      }
+      Table table;
+      bool has_return = false;
+      CYPHER_RETURN_NOT_OK(
+          RunSingleQuery(&ctx, part, &table, &has_return, profile_ptr));
+      if (p == 0) {
+        combined = std::move(table);
+        combined_has_return = has_return;
+        continue;
+      }
+      if (has_return != combined_has_return) {
+        return Status::SemanticError(
+            "all UNION branches must RETURN, or none may");
+      }
+      if (has_return) {
+        CYPHER_ASSIGN_OR_RETURN(combined, Table::BagUnion(combined, table));
+      }
+    }
+    if (!query.union_all.empty() && !query.union_all.front() &&
+        combined_has_return) {
+      combined = combined.Distinct();
+    }
+    return Status::OK();
+  };
+
+  auto build_result = [&]() -> QueryResult {
+    QueryResult result;
+    if (query.mode == QueryMode::kProfile) {
+      // PROFILE commits the statement but reports per-clause cardinalities
+      // instead of the query output.
+      result.columns = {"step", "clause", "rows_out"};
+      for (size_t i = 0; i < profile.size(); ++i) {
+        result.rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                               Value::String(profile[i].clause),
+                               Value::Int(static_cast<int64_t>(
+                                   profile[i].rows_out))});
+      }
+    } else {
+      result.columns = combined.columns();
+      result.rows = combined.rows();
+    }
+    result.stats = ctx.stats;
+    return result;
+  };
+
+  // Snapshot read session: execute lock-free against the pinned committed
+  // epoch, concurrently with the writer. Pure reads touch neither journal
+  // nor indexes nor the WAL, so the whole statement lifecycle collapses to
+  // "install the pin thread-locally and enumerate".
+  if (options.read_pin != nullptr) {
+    if (!IsReadOnlyQuery(query)) {
+      return Status::ExecutionError(
+          "snapshot read session is read-only: update and DDL statements "
+          "must run on the writer database");
+    }
+    ScopedReadPin scope(*options.read_pin);
+    CYPHER_RETURN_NOT_OK(run_parts());
+    return build_result();
+  }
+
   PropertyGraph::JournalMark mark = graph->BeginJournal();
   auto fail = [&](Status status) -> Status {
     graph->RollbackTo(mark);
     return status;
   };
 
-  Table combined;
-  bool combined_has_return = false;
-  for (size_t p = 0; p < query.parts.size(); ++p) {
-    const SingleQuery& part = query.parts[p];
-    if (options.semantics == SemanticsMode::kLegacy &&
-        options.strict_cypher9_syntax) {
-      if (Status st = CheckStrictCypher9Ordering(part); !st.ok()) {
-        return fail(st);
-      }
-    }
-    Table table;
-    bool has_return = false;
-    if (Status st =
-            RunSingleQuery(&ctx, part, &table, &has_return, profile_ptr);
-        !st.ok()) {
-      return fail(st);
-    }
-    if (p == 0) {
-      combined = std::move(table);
-      combined_has_return = has_return;
-      continue;
-    }
-    if (has_return != combined_has_return) {
-      return fail(Status::SemanticError(
-          "all UNION branches must RETURN, or none may"));
-    }
-    if (has_return) {
-      Result<Table> merged = Table::BagUnion(combined, table);
-      if (!merged.ok()) return fail(merged.status());
-      combined = *std::move(merged);
-    }
-  }
-  if (!query.union_all.empty() && !query.union_all.front() &&
-      combined_has_return) {
-    combined = combined.Distinct();
-  }
+  if (Status st = run_parts(); !st.ok()) return fail(st);
 
   // Legacy mode defers the dangling-relationship check to statement end
   // (Neo4j's commit-time validation; Section 4.2).
@@ -319,23 +355,7 @@ Result<QueryResult> ExecuteQuery(PropertyGraph* graph, const Query& query,
   }
 
   graph->CommitTo(mark);
-  QueryResult result;
-  if (query.mode == QueryMode::kProfile) {
-    // PROFILE commits the statement but reports per-clause cardinalities
-    // instead of the query output.
-    result.columns = {"step", "clause", "rows_out"};
-    for (size_t i = 0; i < profile.size(); ++i) {
-      result.rows.push_back({Value::Int(static_cast<int64_t>(i)),
-                             Value::String(profile[i].clause),
-                             Value::Int(static_cast<int64_t>(
-                                 profile[i].rows_out))});
-    }
-  } else {
-    result.columns = combined.columns();
-    result.rows = combined.rows();
-  }
-  result.stats = ctx.stats;
-  return result;
+  return build_result();
 }
 
 }  // namespace cypher

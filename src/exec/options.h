@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/cancel.h"
+#include "common/read_pin.h"
 #include "match/matcher.h"
 
 namespace cypher {
@@ -70,6 +71,14 @@ struct EvalOptions {
   /// reparses and runs interpreted — the reference path the differential
   /// suites compare the VM against.
   bool use_plan_cache = true;
+
+  /// Snapshot session pin (MVCC reads, DESIGN.md §4g). When set, the
+  /// statement executes read-only against the pin's committed epoch:
+  /// executors install the pin thread-locally around evaluation (graph
+  /// accessors resolve against it), skip the journal/validation/commit
+  /// machinery, and refuse update clauses. Owned by the ReadSession that
+  /// issued the statement; must outlive the Execute call.
+  const ReadPin* read_pin = nullptr;
 
   /// Runaway-query guard: when non-zero, a statement whose driving table
   /// exceeds this many records after any clause aborts (and rolls back)

@@ -31,13 +31,299 @@ void SortedErase(std::vector<RelId>* rels, RelId id) {
   if (it != rels->end() && *it == id) rels->erase(it);
 }
 
+template <typename T>
+void DeleteAs(void* p) {
+  delete static_cast<T*>(p);
+}
+
 }  // namespace
 
+// ---- Lifecycle ------------------------------------------------------------
 
-/// Single-writer epoch check: mutating a graph that a parallel read region
-/// is scanning is memory-unsafe (unordered_map rehash, vector growth), so
-/// fail fast instead. A relaxed load per mutation is noise next to the
-/// mutation itself.
+PropertyGraph::PropertyGraph(const PropertyGraph& other)
+    : labels_(other.labels_), types_(other.types_), keys_(other.keys_) {
+  // Materialize the source's latest state (version chains flattened); the
+  // copy starts in non-MVCC mode with empty chains.
+  size_t num_node_slots = other.nodes_.size();
+  for (size_t i = 0; i < num_node_slots; ++i) {
+    nodes_.Append(other.NodeLatest(static_cast<uint32_t>(i)));
+  }
+  node_chains_.EnsureSize(num_node_slots);
+  size_t num_rel_slots = other.rels_.size();
+  for (size_t i = 0; i < num_rel_slots; ++i) {
+    rels_.Append(other.RelLatest(static_cast<uint32_t>(i)));
+  }
+  rel_chains_.EnsureSize(num_rel_slots);
+  size_t num_labels = other.label_buckets_.size();
+  label_buckets_.EnsureSize(num_labels);
+  for (size_t s = 0; s < num_labels; ++s) {
+    const LabelBucket* head =
+        other.label_buckets_[s].head.load(std::memory_order_relaxed);
+    if (head != nullptr) {
+      auto* bucket = new LabelBucket;
+      bucket->ids = head->ids;
+      label_buckets_[s].head.store(bucket, std::memory_order_relaxed);
+    }
+  }
+  label_counts_.EnsureSize(other.label_counts_.size());
+  for (size_t s = 0; s < other.label_counts_.size(); ++s) {
+    label_counts_[s].store(
+        other.label_counts_[s].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  property_indexes_ = other.property_indexes_;
+  unique_constraints_ = other.unique_constraints_;
+  index_epoch_.store(other.index_epoch_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  alive_nodes_.store(other.alive_nodes_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  alive_rels_.store(other.alive_rels_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  journal_ = other.journal_;
+  journaling_ = other.journaling_;
+  redo_log_ = other.redo_log_;
+  redo_capture_ = other.redo_capture_;
+}
+
+PropertyGraph& PropertyGraph::operator=(const PropertyGraph& other) {
+  if (this != &other) {
+    PropertyGraph copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+PropertyGraph::PropertyGraph(PropertyGraph&& other) noexcept {
+  StealFrom(&other);
+}
+
+PropertyGraph& PropertyGraph::operator=(PropertyGraph&& other) noexcept {
+  if (this != &other) {
+    DestroyVersions();
+    StealFrom(&other);
+  }
+  return *this;
+}
+
+PropertyGraph::~PropertyGraph() { DestroyVersions(); }
+
+void PropertyGraph::StealFrom(PropertyGraph* other) noexcept {
+  labels_ = std::move(other->labels_);
+  types_ = std::move(other->types_);
+  keys_ = std::move(other->keys_);
+  nodes_ = std::move(other->nodes_);
+  rels_ = std::move(other->rels_);
+  node_chains_ = std::move(other->node_chains_);
+  rel_chains_ = std::move(other->rel_chains_);
+  label_buckets_ = std::move(other->label_buckets_);
+  label_counts_ = std::move(other->label_counts_);
+  property_indexes_ = std::move(other->property_indexes_);
+  unique_constraints_ = std::move(other->unique_constraints_);
+  index_epoch_.store(other->index_epoch_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  alive_nodes_.store(other->alive_nodes_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  alive_rels_.store(other->alive_rels_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  other->alive_nodes_.store(0, std::memory_order_relaxed);
+  other->alive_rels_.store(0, std::memory_order_relaxed);
+  journal_ = std::move(other->journal_);
+  journaling_ = other->journaling_;
+  other->journal_.clear();
+  other->journaling_ = false;
+  mvcc_on_ = other->mvcc_on_;
+  write_epoch_ = other->write_epoch_;
+  published_node_count_ = other->published_node_count_;
+  published_rel_count_ = other->published_rel_count_;
+  published_.store(other->published_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  registry_ = std::move(other->registry_);
+  retired_ = std::move(other->retired_);
+  other->mvcc_on_ = false;
+  other->write_epoch_ = 1;
+  other->published_node_count_ = 0;
+  other->published_rel_count_ = 0;
+  other->published_.store(nullptr, std::memory_order_relaxed);
+  redo_log_ = std::move(other->redo_log_);
+  redo_capture_ = other->redo_capture_;
+  other->redo_log_.clear();
+  other->redo_capture_ = false;
+}
+
+void PropertyGraph::DestroyVersions() {
+  // Invariant: every superseded version record (and epoch descriptor) sits
+  // in the retire list exactly once, so freeing the chain heads plus
+  // draining the list frees everything. Dangling `prev` pointers into
+  // already-drained entries are never followed — nothing reads chains here.
+  for (size_t i = 0; i < node_chains_.size(); ++i) {
+    delete node_chains_[i].head.load(std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < rel_chains_.size(); ++i) {
+    delete rel_chains_[i].head.load(std::memory_order_relaxed);
+  }
+  for (size_t s = 0; s < label_buckets_.size(); ++s) {
+    delete label_buckets_[s].head.load(std::memory_order_relaxed);
+  }
+  retired_.Drain();
+  delete published_.load(std::memory_order_relaxed);
+  published_.store(nullptr, std::memory_order_relaxed);
+}
+
+// ---- MVCC lifecycle -------------------------------------------------------
+
+void PropertyGraph::EnableMvcc() {
+  AssertMutable();
+  if (mvcc_on_) return;
+  CYPHER_CHECK(journal_.empty() && "EnableMvcc inside an open statement");
+  mvcc_on_ = true;
+  write_epoch_ = 1;
+  published_node_count_ = nodes_.size();
+  published_rel_count_ = rels_.size();
+  registry_ = std::make_unique<PinRegistry>();
+  // Epoch 0 = everything committed so far. From here on the base slots
+  // below the watermarks are frozen; mutators install version records.
+  published_.store(new EpochState{0, nodes_.size(), rels_.size()},
+                   std::memory_order_seq_cst);
+}
+
+void PropertyGraph::PublishEpoch() {
+  if (!mvcc_on_) return;
+  AssertMutable();
+  const EpochState* old = published_.load(std::memory_order_relaxed);
+  published_.store(new EpochState{write_epoch_, nodes_.size(), rels_.size()},
+                   std::memory_order_seq_cst);
+  // The old descriptor may still be mid-copy inside a concurrent Pin; it
+  // retires like any superseded version and is freed once no pin predates
+  // this publication (Pin's 0-placeholder blocks reclamation meanwhile).
+  retired_.Add(const_cast<EpochState*>(old), &DeleteAs<const EpochState>,
+               write_epoch_);
+  published_node_count_ = nodes_.size();
+  published_rel_count_ = rels_.size();
+  ++write_epoch_;
+  ReclaimRetired();
+}
+
+void PropertyGraph::ReclaimRetired() {
+  if (registry_ == nullptr) return;
+  retired_.Reclaim(registry_->MinActive());
+}
+
+ReadPin PropertyGraph::AcquireReadPin() const {
+  CYPHER_CHECK(mvcc_on_ && "AcquireReadPin requires EnableMvcc");
+  const EpochState* state = nullptr;
+  uint32_t slot = registry_->Pin(published_, &state);
+  ReadPin pin;
+  pin.owner = this;
+  pin.epoch = state->epoch;
+  pin.node_slots = state->node_slots;
+  pin.rel_slots = state->rel_slots;
+  pin.registry_slot = slot;
+  pin.active = true;
+  return pin;
+}
+
+void PropertyGraph::RefreshReadPin(ReadPin* pin) const {
+  CYPHER_CHECK(pin != nullptr && pin->active && pin->owner == this);
+  const EpochState* state = nullptr;
+  registry_->Refresh(pin->registry_slot, published_, &state);
+  pin->epoch = state->epoch;
+  pin->node_slots = state->node_slots;
+  pin->rel_slots = state->rel_slots;
+}
+
+void PropertyGraph::ReleaseReadPin(const ReadPin& pin) const {
+  CYPHER_CHECK(pin.active && pin.owner == this);
+  registry_->Unpin(pin.registry_slot);
+}
+
+// ---- Copy-on-first-touch (writer side) ------------------------------------
+
+NodeData& PropertyGraph::MutableNode(NodeId id) {
+  // Slots no published epoch covers are invisible to every pin: mutate the
+  // base in place, chain-free. Without MVCC that is the only path.
+  if (!mvcc_on_ || id.value >= published_node_count_) return nodes_[id.value];
+  Chain<NodeData>& chain = node_chains_[id.value];
+  VersionRec<NodeData>* head = chain.head.load(std::memory_order_relaxed);
+  // Current statement already touched this slot (including a failed prior
+  // statement at the same unpublished epoch — rollback restored the copy's
+  // contents, so reusing it is correct): keep editing in place.
+  if (head != nullptr && head->since == write_epoch_) return head->data;
+  auto* rec = new VersionRec<NodeData>;
+  rec->since = write_epoch_;
+  rec->prev = head;
+  rec->data = head != nullptr ? head->data : nodes_[id.value];
+  chain.head.store(rec, std::memory_order_release);
+  // The superseded head serves pins up to epoch write_epoch_ - 1; it frees
+  // once the minimum active pin reaches write_epoch_ (or no pins remain),
+  // which can only happen after this epoch publishes.
+  if (head != nullptr) {
+    retired_.Add(head, &DeleteAs<VersionRec<NodeData>>, write_epoch_);
+  }
+  return rec->data;
+}
+
+RelData& PropertyGraph::MutableRel(RelId id) {
+  if (!mvcc_on_ || id.value >= published_rel_count_) return rels_[id.value];
+  Chain<RelData>& chain = rel_chains_[id.value];
+  VersionRec<RelData>* head = chain.head.load(std::memory_order_relaxed);
+  if (head != nullptr && head->since == write_epoch_) return head->data;
+  auto* rec = new VersionRec<RelData>;
+  rec->since = write_epoch_;
+  rec->prev = head;
+  rec->data = head != nullptr ? head->data : rels_[id.value];
+  chain.head.store(rec, std::memory_order_release);
+  if (head != nullptr) {
+    retired_.Add(head, &DeleteAs<VersionRec<RelData>>, write_epoch_);
+  }
+  return rec->data;
+}
+
+PropertyGraph::LabelBucket& PropertyGraph::MutableBucket(Symbol label) {
+  BucketHead& slot = label_buckets_[label];
+  LabelBucket* head = slot.head.load(std::memory_order_relaxed);
+  if (head == nullptr) {
+    // First node ever with this label. since = the installing epoch, so
+    // older pins resolve to "no bucket" (the label did not exist for them).
+    auto* bucket = new LabelBucket;
+    bucket->since = mvcc_on_ ? write_epoch_ : 0;
+    slot.head.store(bucket, std::memory_order_release);
+    return *bucket;
+  }
+  if (!mvcc_on_ || head->since == write_epoch_) return *head;
+  auto* bucket = new LabelBucket;
+  bucket->since = write_epoch_;
+  bucket->prev = head;
+  bucket->ids = head->ids;
+  slot.head.store(bucket, std::memory_order_release);
+  retired_.Add(head, &DeleteAs<LabelBucket>, write_epoch_);
+  return *bucket;
+}
+
+PropertyMap& PropertyGraph::MutableProps(EntityRef entity) {
+  return entity.kind == EntityRef::Kind::kNode
+             ? MutableNode(entity.AsNode()).props
+             : MutableRel(entity.AsRel()).props;
+}
+
+void PropertyGraph::EnsureLabelSlots(Symbol label) {
+  if (label == kNoSymbol) return;
+  size_t need = static_cast<size_t>(label) + 1;
+  if (label_buckets_.size() < need) label_buckets_.EnsureSize(need);
+  if (label_counts_.size() < need) label_counts_.EnsureSize(need);
+}
+
+void PropertyGraph::DecLabelCount(Symbol label) {
+  int64_t prev = label_counts_[label].fetch_sub(1, std::memory_order_relaxed);
+  CYPHER_CHECK(prev > 0);
+}
+
+// ---- Single-writer epoch check --------------------------------------------
+
+/// Mutating a graph that a parallel read region is scanning is
+/// memory-unsafe (the writer's own fan-out shares latest state), so fail
+/// fast. Snapshot-pinned readers do not register — their reads resolve
+/// against immutable epochs and tolerate the writer by construction. A
+/// relaxed load per mutation is noise next to the mutation itself.
 void PropertyGraph::AssertMutable() const {
   CYPHER_CHECK(!InParallelReadRegion() &&
                "graph mutated inside a parallel read region");
@@ -58,6 +344,8 @@ std::string PropertyGraph::RedoLabels(
   return out;
 }
 
+// ---- Creation -------------------------------------------------------------
+
 NodeId PropertyGraph::CreateNode(std::vector<Symbol> labels,
                                  PropertyMap props) {
   AssertMutable();
@@ -66,13 +354,13 @@ NodeId PropertyGraph::CreateNode(std::vector<Symbol> labels,
   NodeData data;
   data.labels = std::move(labels);
   data.props = std::move(props);
-  nodes_.push_back(std::move(data));
-  ++alive_nodes_;
-  for (Symbol label : nodes_.back().labels) AddToLabelIndex(id, label);
+  NodeData& created = nodes_.Append(std::move(data));
+  node_chains_.EnsureSize(nodes_.size());
+  alive_nodes_.fetch_add(1, std::memory_order_relaxed);
+  for (Symbol label : created.labels) AddToLabelIndex(id, label);
   IndexNode(id);
   Record({.kind = OpKind::kCreateNode, .entity = EntityRef::Node(id)});
   if (redo_capture_) {
-    const NodeData& created = nodes_.back();
     RedoAppend("node+ " + std::to_string(id.value) +
                RedoLabels(created.labels) + " " +
                DescribeProps(*this, created.props));
@@ -94,12 +382,12 @@ Result<RelId> PropertyGraph::CreateRel(NodeId src, NodeId tgt, Symbol type,
   data.src = src;
   data.tgt = tgt;
   data.props = std::move(props);
-  rels_.push_back(std::move(data));
-  ++alive_rels_;
+  RelData& created = rels_.Append(std::move(data));
+  rel_chains_.EnsureSize(rels_.size());
+  alive_rels_.fetch_add(1, std::memory_order_relaxed);
   RelinkRel(id);
   Record({.kind = OpKind::kCreateRel, .entity = EntityRef::Rel(id)});
   if (redo_capture_) {
-    const RelData& created = rels_.back();
     RedoAppend("rel+ " + std::to_string(id.value) + " " +
                std::to_string(src.value) + " " + std::to_string(tgt.value) +
                " :" + TypeName(type) + " " +
@@ -108,25 +396,29 @@ Result<RelId> PropertyGraph::CreateRel(NodeId src, NodeId tgt, Symbol type,
   return id;
 }
 
+// ---- Access ---------------------------------------------------------------
+
 bool PropertyGraph::NodeHasLabel(NodeId id, Symbol label) const {
-  const auto& labels = nodes_[id.value].labels;
+  const auto& labels = node(id).labels;
   return std::binary_search(labels.begin(), labels.end(), label);
 }
 
 std::vector<NodeId> PropertyGraph::AllNodes() const {
   std::vector<NodeId> out;
-  out.reserve(alive_nodes_);
-  for (uint32_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].alive) out.push_back(NodeId(i));
-  }
+  out.reserve(num_nodes());
+  ForEachNode([&](NodeId id) {
+    out.push_back(id);
+    return true;
+  });
   return out;
 }
 
 std::vector<RelId> PropertyGraph::AllRels() const {
   std::vector<RelId> out;
-  out.reserve(alive_rels_);
-  for (uint32_t i = 0; i < rels_.size(); ++i) {
-    if (rels_[i].alive) out.push_back(RelId(i));
+  out.reserve(num_rels());
+  size_t n = rel_capacity();
+  for (uint32_t i = 0; i < n; ++i) {
+    if (rel(RelId(i)).alive) out.push_back(RelId(i));
   }
   return out;
 }
@@ -160,15 +452,18 @@ std::vector<RelId> PropertyGraph::InRels(NodeId id) const {
 }
 
 size_t PropertyGraph::Degree(NodeId id) const {
+  const NodeData& data = node(id);
   size_t n = 0;
-  for (RelId r : nodes_[id.value].out_rels) n += IsRelAlive(r) ? 1 : 0;
-  for (RelId r : nodes_[id.value].in_rels) n += IsRelAlive(r) ? 1 : 0;
+  for (RelId r : data.out_rels) n += IsRelAlive(r) ? 1 : 0;
+  for (RelId r : data.in_rels) n += IsRelAlive(r) ? 1 : 0;
   return n;
 }
 
+// ---- Mutation -------------------------------------------------------------
+
 bool PropertyGraph::AddLabel(NodeId id, Symbol label) {
   AssertMutable();
-  NodeData& data = nodes_[id.value];
+  NodeData& data = MutableNode(id);
   auto it = std::lower_bound(data.labels.begin(), data.labels.end(), label);
   if (it != data.labels.end() && *it == label) return false;
   data.labels.insert(it, label);
@@ -190,7 +485,7 @@ bool PropertyGraph::AddLabel(NodeId id, Symbol label) {
 
 bool PropertyGraph::RemoveLabel(NodeId id, Symbol label) {
   AssertMutable();
-  NodeData& data = nodes_[id.value];
+  NodeData& data = MutableNode(id);
   auto it = std::lower_bound(data.labels.begin(), data.labels.end(), label);
   if (it == data.labels.end() || *it != label) return false;
   data.labels.erase(it);
@@ -212,16 +507,14 @@ bool PropertyGraph::RemoveLabel(NodeId id, Symbol label) {
 
 bool PropertyGraph::SetProperty(EntityRef entity, Symbol key, Value value) {
   AssertMutable();
-  PropertyMap& props = entity.kind == EntityRef::Kind::kNode
-                           ? nodes_[entity.id].props
-                           : rels_[entity.id].props;
+  PropertyMap& props = MutableProps(entity);
   Value redo_value;
   if (redo_capture_) redo_value = value;
   Value old = props.Get(key);
   if (!props.Set(key, std::move(value))) return false;
   if (entity.kind == EntityRef::Kind::kNode) {
     if (!old.is_null()) {
-      const NodeData& data = nodes_[entity.id];
+      const NodeData& data = node(entity.AsNode());
       for (PropertyIndex& index : property_indexes_) {
         if (index.key == key &&
             std::binary_search(data.labels.begin(), data.labels.end(),
@@ -247,14 +540,12 @@ bool PropertyGraph::SetProperty(EntityRef entity, Symbol key, Value value) {
 
 void PropertyGraph::ReplaceProperties(EntityRef entity, PropertyMap props) {
   AssertMutable();
-  PropertyMap& target = entity.kind == EntityRef::Kind::kNode
-                            ? nodes_[entity.id].props
-                            : rels_[entity.id].props;
+  PropertyMap& target = MutableProps(entity);
   Record({.kind = OpKind::kReplaceProps,
           .entity = entity,
           .old_props = target});
   if (entity.kind == EntityRef::Kind::kNode) {
-    const NodeData& data = nodes_[entity.id];
+    const NodeData& data = node(entity.AsNode());
     for (PropertyIndex& index : property_indexes_) {
       if (std::binary_search(data.labels.begin(), data.labels.end(),
                              index.label) &&
@@ -273,21 +564,21 @@ void PropertyGraph::ReplaceProperties(EntityRef entity, PropertyMap props) {
 }
 
 const PropertyMap& PropertyGraph::Properties(EntityRef entity) const {
-  return entity.kind == EntityRef::Kind::kNode ? nodes_[entity.id].props
-                                               : rels_[entity.id].props;
+  return entity.kind == EntityRef::Kind::kNode ? node(entity.AsNode()).props
+                                               : rel(entity.AsRel()).props;
 }
 
 void PropertyGraph::DeleteRel(RelId id) {
   AssertMutable();
   if (!IsRelAlive(id)) return;
-  RelData& data = rels_[id.value];
+  RelData& data = MutableRel(id);
   Record({.kind = OpKind::kDeleteRel,
           .entity = EntityRef::Rel(id),
           .old_rel = data});
   UnlinkRel(id);
   data.alive = false;
   data.props.Clear();
-  --alive_rels_;
+  alive_rels_.fetch_sub(1, std::memory_order_relaxed);
   if (redo_capture_) RedoAppend("rel- " + std::to_string(id.value));
 }
 
@@ -302,7 +593,7 @@ void PropertyGraph::DeleteNode(NodeId id) {
 void PropertyGraph::DeleteNodeForce(NodeId id) {
   AssertMutable();
   if (!IsNodeAlive(id)) return;
-  NodeData& data = nodes_[id.value];
+  NodeData& data = MutableNode(id);
   Record({.kind = OpKind::kDeleteNode,
           .entity = EntityRef::Node(id),
           .old_props = data.props,
@@ -318,7 +609,7 @@ void PropertyGraph::DeleteNodeForce(NodeId id) {
   data.alive = false;
   data.labels.clear();
   data.props.Clear();
-  --alive_nodes_;
+  alive_nodes_.fetch_sub(1, std::memory_order_relaxed);
   if (redo_capture_) RedoAppend("node- " + std::to_string(id.value));
 }
 
@@ -327,7 +618,8 @@ NodeId PropertyGraph::AppendTombstoneNode() {
   NodeId id(static_cast<uint32_t>(nodes_.size()));
   NodeData data;
   data.alive = false;
-  nodes_.push_back(std::move(data));
+  nodes_.Append(std::move(data));
+  node_chains_.EnsureSize(nodes_.size());
   return id;
 }
 
@@ -336,18 +628,22 @@ RelId PropertyGraph::AppendTombstoneRel() {
   RelId id(static_cast<uint32_t>(rels_.size()));
   RelData data;
   data.alive = false;
-  rels_.push_back(std::move(data));
+  rels_.Append(std::move(data));
+  rel_chains_.EnsureSize(rels_.size());
   return id;
 }
 
 bool PropertyGraph::HasDanglingRels() const {
-  for (uint32_t i = 0; i < rels_.size(); ++i) {
-    const RelData& data = rels_[i];
+  size_t n = rels_.size();
+  for (uint32_t i = 0; i < n; ++i) {
+    const RelData& data = RelLatest(i);
     if (!data.alive) continue;
     if (!IsNodeAlive(data.src) || !IsNodeAlive(data.tgt)) return true;
   }
   return false;
 }
+
+// ---- Undo journal ---------------------------------------------------------
 
 PropertyGraph::JournalMark PropertyGraph::BeginJournal() {
   journaling_ = true;
@@ -363,41 +659,41 @@ void PropertyGraph::RollbackTo(JournalMark mark) {
     journal_.pop_back();
     switch (op.kind) {
       case OpKind::kCreateNode: {
-        NodeData& data = nodes_[op.entity.id];
+        NodeData& data = MutableNode(op.entity.AsNode());
         CYPHER_CHECK(data.alive);
         for (Symbol label : data.labels) DecLabelCount(label);
         data.alive = false;
         data.labels.clear();
         data.props.Clear();
-        --alive_nodes_;
+        alive_nodes_.fetch_sub(1, std::memory_order_relaxed);
         break;
       }
       case OpKind::kCreateRel: {
-        RelData& data = rels_[op.entity.id];
+        RelData& data = MutableRel(op.entity.AsRel());
         if (data.alive) {
           UnlinkRel(op.entity.AsRel());
           data.alive = false;
           data.props.Clear();
-          --alive_rels_;
+          alive_rels_.fetch_sub(1, std::memory_order_relaxed);
         }
         break;
       }
       case OpKind::kDeleteRel: {
-        RelData& data = rels_[op.entity.id];
+        RelData& data = MutableRel(op.entity.AsRel());
         CYPHER_CHECK(!data.alive);
         data = op.old_rel;
         data.alive = true;
         RelinkRel(op.entity.AsRel());
-        ++alive_rels_;
+        alive_rels_.fetch_add(1, std::memory_order_relaxed);
         break;
       }
       case OpKind::kDeleteNode: {
-        NodeData& data = nodes_[op.entity.id];
+        NodeData& data = MutableNode(op.entity.AsNode());
         CYPHER_CHECK(!data.alive);
         data.alive = true;
         data.labels = std::move(op.old_labels);
         data.props = std::move(op.old_props);
-        ++alive_nodes_;
+        alive_nodes_.fetch_add(1, std::memory_order_relaxed);
         for (Symbol label : data.labels) {
           AddToLabelIndex(op.entity.AsNode(), label);
         }
@@ -407,7 +703,7 @@ void PropertyGraph::RollbackTo(JournalMark mark) {
         CYPHER_CHECK(false && "kForceDeleteNode is recorded as kDeleteNode");
         break;
       case OpKind::kAddLabel: {
-        NodeData& data = nodes_[op.entity.id];
+        NodeData& data = MutableNode(op.entity.AsNode());
         auto it = std::lower_bound(data.labels.begin(), data.labels.end(),
                                    op.symbol);
         if (it != data.labels.end() && *it == op.symbol) {
@@ -417,7 +713,7 @@ void PropertyGraph::RollbackTo(JournalMark mark) {
         break;
       }
       case OpKind::kRemoveLabel: {
-        NodeData& data = nodes_[op.entity.id];
+        NodeData& data = MutableNode(op.entity.AsNode());
         auto it = std::lower_bound(data.labels.begin(), data.labels.end(),
                                    op.symbol);
         data.labels.insert(it, op.symbol);
@@ -425,17 +721,11 @@ void PropertyGraph::RollbackTo(JournalMark mark) {
         break;
       }
       case OpKind::kSetProp: {
-        PropertyMap& props = op.entity.kind == EntityRef::Kind::kNode
-                                 ? nodes_[op.entity.id].props
-                                 : rels_[op.entity.id].props;
-        props.Set(op.symbol, std::move(op.old_value));
+        MutableProps(op.entity).Set(op.symbol, std::move(op.old_value));
         break;
       }
       case OpKind::kReplaceProps: {
-        PropertyMap& props = op.entity.kind == EntityRef::Kind::kNode
-                                 ? nodes_[op.entity.id].props
-                                 : rels_[op.entity.id].props;
-        props = std::move(op.old_props);
+        MutableProps(op.entity) = std::move(op.old_props);
         break;
       }
     }
@@ -457,15 +747,15 @@ void PropertyGraph::CommitTo(JournalMark mark) {
 }
 
 void PropertyGraph::UnlinkRel(RelId id) {
-  const RelData& data = rels_[id.value];
-  SortedErase(&nodes_[data.src.value].out_rels, id);
-  SortedErase(&nodes_[data.tgt.value].in_rels, id);
+  const RelData& data = RelLatest(id.value);
+  SortedErase(&MutableNode(data.src).out_rels, id);
+  SortedErase(&MutableNode(data.tgt).in_rels, id);
 }
 
 void PropertyGraph::RelinkRel(RelId id) {
-  const RelData& data = rels_[id.value];
-  SortedInsert(&nodes_[data.src.value].out_rels, id);
-  SortedInsert(&nodes_[data.tgt.value].in_rels, id);
+  const RelData& data = RelLatest(id.value);
+  SortedInsert(&MutableNode(data.src).out_rels, id);
+  SortedInsert(&MutableNode(data.tgt).in_rels, id);
 }
 
 void PropertyGraph::AddToLabelIndex(NodeId id, Symbol label) {
@@ -473,24 +763,13 @@ void PropertyGraph::AddToLabelIndex(NodeId id, Symbol label) {
   // the cached cardinality is maintained here; removals decrement at their
   // own sites (the index bucket itself keeps stale ids — readers validate).
   IncLabelCount(label);
-  std::vector<NodeId>& bucket = label_index_[label];
+  std::vector<NodeId>& bucket = MutableBucket(label).ids;
   if (bucket.empty() || bucket.back() < id) {
     bucket.push_back(id);
     return;
   }
   auto it = std::lower_bound(bucket.begin(), bucket.end(), id);
   if (it == bucket.end() || *it != id) bucket.insert(it, id);
-}
-
-size_t PropertyGraph::LabelCount(Symbol label) const {
-  auto it = label_counts_.find(label);
-  return it == label_counts_.end() ? 0 : it->second;
-}
-
-void PropertyGraph::DecLabelCount(Symbol label) {
-  auto it = label_counts_.find(label);
-  CYPHER_CHECK(it != label_counts_.end() && it->second > 0);
-  --it->second;
 }
 
 // ---- Property indexes ---------------------------------------------------------
@@ -501,14 +780,14 @@ void PropertyGraph::CreateIndex(Symbol label, Symbol key) {
   if (redo_capture_) {
     RedoAppend("index+ :" + LabelName(label) + " " + KeyName(key));
   }
-  ++index_epoch_;
+  index_epoch_.fetch_add(1, std::memory_order_relaxed);
   PropertyIndex index;
   index.label = label;
   index.key = key;
   property_indexes_.push_back(std::move(index));
   PropertyIndex& created = property_indexes_.back();
   for (NodeId id : NodesByLabel(label)) {
-    const Value& value = nodes_[id.value].props.Get(key);
+    const Value& value = node(id).props.Get(key);
     if (!value.is_null()) {
       created.buckets[HashValue(value)].push_back(id);
       ++created.entries;
@@ -531,6 +810,10 @@ std::vector<std::pair<Symbol, Symbol>> PropertyGraph::Indexes() const {
 
 std::vector<NodeId> PropertyGraph::IndexLookup(Symbol label, Symbol key,
                                                const Value& value) const {
+  // Index buckets are plain unordered_maps mutated in place by the writer;
+  // they are not versioned, so snapshot sessions must never reach them
+  // (their plans compile without index anchors).
+  CYPHER_CHECK(ActivePin() == nullptr && "IndexLookup under a snapshot pin");
   std::vector<NodeId> out;
   const PropertyIndex* index = FindPropertyIndex(label, key);
   CYPHER_CHECK(index != nullptr && "IndexLookup without an index");
@@ -539,7 +822,7 @@ std::vector<NodeId> PropertyGraph::IndexLookup(Symbol label, Symbol key,
   for (NodeId id : it->second) {
     if (!IsNodeAlive(id)) continue;
     if (!NodeHasLabel(id, label)) continue;
-    const Value& stored = nodes_[id.value].props.Get(key);
+    const Value& stored = node(id).props.Get(key);
     if (!GroupEquals(stored, value)) continue;
     out.push_back(id);
   }
@@ -561,7 +844,7 @@ void PropertyGraph::CompactIndexes() {
     index.stale_hint = 0;
     auto valid = [&](uint64_t hash, NodeId id) {
       if (!IsNodeAlive(id) || !NodeHasLabel(id, index.label)) return false;
-      const Value& value = nodes_[id.value].props.Get(index.key);
+      const Value& value = node(id).props.Get(index.key);
       return !value.is_null() && HashValue(value) == hash;
     };
     size_t total = 0;
@@ -597,7 +880,7 @@ void PropertyGraph::DropIndex(Symbol label, Symbol key) {
         property_indexes_[i].key == key) {
       property_indexes_.erase(property_indexes_.begin() +
                               static_cast<ptrdiff_t>(i));
-      ++index_epoch_;
+      index_epoch_.fetch_add(1, std::memory_order_relaxed);
       if (redo_capture_) {
         RedoAppend("index- :" + LabelName(label) + " " + KeyName(key));
       }
@@ -701,7 +984,7 @@ const PropertyGraph::PropertyIndex* PropertyGraph::FindPropertyIndex(
 
 void PropertyGraph::IndexNode(NodeId id) {
   if (property_indexes_.empty()) return;
-  const NodeData& data = nodes_[id.value];
+  const NodeData& data = NodeLatest(id.value);
   for (PropertyIndex& index : property_indexes_) {
     if (!std::binary_search(data.labels.begin(), data.labels.end(),
                             index.label)) {
@@ -717,7 +1000,7 @@ void PropertyGraph::IndexNode(NodeId id) {
 
 void PropertyGraph::IndexNodeKey(NodeId id, Symbol key) {
   if (property_indexes_.empty()) return;
-  const NodeData& data = nodes_[id.value];
+  const NodeData& data = NodeLatest(id.value);
   for (PropertyIndex& index : property_indexes_) {
     if (index.key != key) continue;
     if (!std::binary_search(data.labels.begin(), data.labels.end(),

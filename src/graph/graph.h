@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -11,7 +12,10 @@
 
 #include "common/ids.h"
 #include "common/interner.h"
+#include "common/read_pin.h"
 #include "common/result.h"
+#include "common/slot_vector.h"
+#include "graph/mvcc.h"
 #include "graph/property_map.h"
 
 namespace cypher {
@@ -72,28 +76,46 @@ struct RelData {
 ///  * an undo journal so a failed statement leaves the graph untouched
 ///    (the paper's output(Q, G) commits only on success);
 ///  * tombstoned deletes, including "force" deletes that model the legacy
-///    Cypher 9 anomalies of Section 4.2.
+///    Cypher 9 anomalies of Section 4.2;
+///  * an opt-in epoch-based MVCC layer (EnableMvcc) so read-only snapshot
+///    sessions execute lock-free against a pinned committed epoch while the
+///    one writer keeps committing (DESIGN.md §4g).
 ///
-/// Not thread-safe for writes; one writer at a time (statement-level
-/// isolation is the concern of the paper, not concurrency control). The
-/// const read surface may be shared by multiple threads *between* write
-/// clauses — the morsel-driven parallel executor opens a ParallelReadScope
-/// for the duration of a read region, and every mutating method asserts
-/// that no such scope is live, so an accidental write-under-read fails
-/// loudly instead of corrupting the scan.
+/// Threading model: one writer at a time, always (statement-level isolation
+/// is the concern of the paper; multi-writer concurrency control is not).
+/// Two read-sharing regimes layer on top:
+///
+///  * The writer's own morsel-parallel executor shares the const read
+///    surface *between* write clauses; it opens a ParallelReadScope for the
+///    duration of each read region, and every mutating method asserts that
+///    no such scope is live.
+///  * With MVCC enabled, any number of reader threads holding an active
+///    ReadPin (thread-local, see common/read_pin.h) read a pinned epoch
+///    *concurrently with* the writer mutating: mutators install fresh
+///    version records instead of touching published state in place, commit
+///    publishes them as one new epoch (PublishEpoch), and superseded
+///    versions retire until no pin can reach them. Readers never block the
+///    writer and the writer never waits on readers.
 class PropertyGraph {
  public:
   PropertyGraph() = default;
 
-  // Copyable: benches snapshot graphs to replay workloads.
-  PropertyGraph(const PropertyGraph&) = default;
-  PropertyGraph& operator=(const PropertyGraph&) = default;
-  PropertyGraph(PropertyGraph&&) = default;
-  PropertyGraph& operator=(PropertyGraph&&) = default;
+  /// Copies materialize the source's latest state (benches snapshot graphs
+  /// to replay workloads); the copy starts in non-MVCC mode with no version
+  /// chains. Copying and moving require quiescence on both sides.
+  PropertyGraph(const PropertyGraph& other);
+  PropertyGraph& operator=(const PropertyGraph& other);
+  PropertyGraph(PropertyGraph&& other) noexcept;
+  PropertyGraph& operator=(PropertyGraph&& other) noexcept;
+  ~PropertyGraph();
 
   // ---- Vocabulary ---------------------------------------------------------
 
-  Symbol InternLabel(std::string_view name) { return labels_.Intern(name); }
+  Symbol InternLabel(std::string_view name) {
+    Symbol s = labels_.Intern(name);
+    EnsureLabelSlots(s);
+    return s;
+  }
   Symbol InternType(std::string_view name) { return types_.Intern(name); }
   Symbol InternKey(std::string_view name) { return keys_.Intern(name); }
 
@@ -124,28 +146,62 @@ class PropertyGraph {
                           PropertyMap props);
 
   // ---- Access -------------------------------------------------------------
+  //
+  // Every accessor is snapshot-aware: when the calling thread carries an
+  // active ReadPin for this graph (installed by a read session or
+  // propagated into pool workers), records resolve against the pinned
+  // epoch's version; otherwise they read the latest state. Without MVCC
+  // enabled the original direct-slot path runs unchanged.
 
-  bool IsValidNode(NodeId id) const { return id.value < nodes_.size(); }
-  bool IsValidRel(RelId id) const { return id.value < rels_.size(); }
+  bool IsValidNode(NodeId id) const {
+    if (const ReadPin* pin = ActivePin()) return id.value < pin->node_slots;
+    return id.value < nodes_.size();
+  }
+  bool IsValidRel(RelId id) const {
+    if (const ReadPin* pin = ActivePin()) return id.value < pin->rel_slots;
+    return id.value < rels_.size();
+  }
   bool IsNodeAlive(NodeId id) const {
-    return IsValidNode(id) && nodes_[id.value].alive;
+    return IsValidNode(id) && node(id).alive;
   }
-  bool IsRelAlive(RelId id) const {
-    return IsValidRel(id) && rels_[id.value].alive;
-  }
+  bool IsRelAlive(RelId id) const { return IsValidRel(id) && rel(id).alive; }
 
-  const NodeData& node(NodeId id) const { return nodes_[id.value]; }
-  const RelData& rel(RelId id) const { return rels_[id.value]; }
+  const NodeData& node(NodeId id) const {
+    if (!mvcc_on_) return nodes_[id.value];
+    if (const ReadPin* pin = ActivePin()) {
+      return ResolveNode(id.value, pin->epoch);
+    }
+    return NodeLatest(id.value);
+  }
+  const RelData& rel(RelId id) const {
+    if (!mvcc_on_) return rels_[id.value];
+    if (const ReadPin* pin = ActivePin()) {
+      return ResolveRel(id.value, pin->epoch);
+    }
+    return RelLatest(id.value);
+  }
 
   bool NodeHasLabel(NodeId id, Symbol label) const;
 
-  /// Alive node count / alive relationship count.
-  size_t num_nodes() const { return alive_nodes_; }
-  size_t num_rels() const { return alive_rels_; }
+  /// Alive node count / alive relationship count (latest state; planner
+  /// hints, not snapshot-resolved).
+  size_t num_nodes() const {
+    return alive_nodes_.load(std::memory_order_relaxed);
+  }
+  size_t num_rels() const {
+    return alive_rels_.load(std::memory_order_relaxed);
+  }
 
-  /// Total slots ever allocated (alive + tombstoned).
-  size_t node_capacity() const { return nodes_.size(); }
-  size_t rel_capacity() const { return rels_.size(); }
+  /// Total slots ever allocated (alive + tombstoned). Pin-aware: a pinned
+  /// thread sees the slot watermark of its epoch.
+  size_t node_capacity() const {
+    if (const ReadPin* pin = ActivePin()) return pin->node_slots;
+    return nodes_.size();
+  }
+  size_t rel_capacity() const {
+    if (const ReadPin* pin = ActivePin()) return pin->rel_slots;
+    return rels_.size();
+  }
 
   /// All alive node ids in ascending order.
   std::vector<NodeId> AllNodes() const;
@@ -164,8 +220,13 @@ class PropertyGraph {
 
   /// Cached count of alive nodes carrying `label`. O(1); maintained across
   /// creation, deletion, label mutation and rollback. The match planner uses
-  /// this as the label-scan cardinality estimate.
-  size_t LabelCount(Symbol label) const;
+  /// this as the label-scan cardinality estimate (latest state — a pinned
+  /// reader's plan costs are approximate, its results are not).
+  size_t LabelCount(Symbol label) const {
+    if (label == kNoSymbol || label >= label_counts_.size()) return 0;
+    int64_t n = label_counts_[label].load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<size_t>(n) : 0;
+  }
 
   // ---- Zero-copy iteration ------------------------------------------------
   //
@@ -177,9 +238,7 @@ class PropertyGraph {
 
   template <typename Fn>
   void ForEachNode(Fn&& fn) const {
-    for (uint32_t i = 0; i < nodes_.size(); ++i) {
-      if (nodes_[i].alive && !fn(NodeId(i))) return;
-    }
+    ForEachNodeInSlotRange(0, node_capacity(), std::forward<Fn>(fn));
   }
 
   /// Visits alive nodes carrying `label`, ascending. The label-index bucket
@@ -187,12 +246,7 @@ class PropertyGraph {
   /// those are skipped here, exactly as in NodesByLabel.
   template <typename Fn>
   void ForEachNodeWithLabel(Symbol label, Fn&& fn) const {
-    auto it = label_index_.find(label);
-    if (it == label_index_.end()) return;
-    for (NodeId id : it->second) {
-      if (!IsNodeAlive(id) || !NodeHasLabel(id, label)) continue;
-      if (!fn(id)) return;
-    }
+    ForEachNodeWithLabelInRange(label, 0, ~size_t{0}, std::forward<Fn>(fn));
   }
 
   // ---- Morsel-range scans ---------------------------------------------------
@@ -205,10 +259,11 @@ class PropertyGraph {
 
   /// Entries in the label-index bucket for `label`, including stale ids:
   /// the partitionable domain of a label scan. 0 when the label has no
-  /// bucket. Pairs with ForEachNodeWithLabelInRange.
+  /// bucket. Pairs with ForEachNodeWithLabelInRange. Pin-aware: a pinned
+  /// thread sees its epoch's bucket, so domain and walk agree.
   size_t LabelBucketSize(Symbol label) const {
-    auto it = label_index_.find(label);
-    return it == label_index_.end() ? 0 : it->second.size();
+    const LabelBucket* bucket = BucketFor(label);
+    return bucket == nullptr ? 0 : bucket->ids.size();
   }
 
   /// Visits the alive nodes carrying `label` whose bucket position lies in
@@ -216,13 +271,28 @@ class PropertyGraph {
   template <typename Fn>
   void ForEachNodeWithLabelInRange(Symbol label, size_t begin, size_t end,
                                    Fn&& fn) const {
-    auto it = label_index_.find(label);
-    if (it == label_index_.end()) return;
-    const std::vector<NodeId>& bucket = it->second;
-    end = std::min(end, bucket.size());
+    const ReadPin* pin = ActivePin();
+    const LabelBucket* bucket =
+        pin != nullptr ? ResolveBucket(label, pin->epoch) : BucketFor(label);
+    if (bucket == nullptr) return;
+    const std::vector<NodeId>& ids = bucket->ids;
+    end = std::min(end, ids.size());
     for (size_t i = begin; i < end; ++i) {
-      NodeId id = bucket[i];
-      if (!IsNodeAlive(id) || !NodeHasLabel(id, label)) continue;
+      NodeId id = ids[i];
+      const NodeData* data;
+      if (pin != nullptr) {
+        if (id.value >= pin->node_slots) continue;
+        data = &ResolveNode(id.value, pin->epoch);
+      } else if (mvcc_on_) {
+        data = &NodeLatest(id.value);
+      } else {
+        data = &nodes_[id.value];
+      }
+      if (!data->alive) continue;
+      if (!std::binary_search(data->labels.begin(), data->labels.end(),
+                              label)) {
+        continue;
+      }
       if (!fn(id)) return;
     }
   }
@@ -231,33 +301,52 @@ class PropertyGraph {
   /// restriction of ForEachNode (domain: node_capacity()).
   template <typename Fn>
   void ForEachNodeInSlotRange(size_t begin, size_t end, Fn&& fn) const {
+    if (const ReadPin* pin = ActivePin()) {
+      end = std::min(end, static_cast<size_t>(pin->node_slots));
+      for (size_t i = begin; i < end; ++i) {
+        if (ResolveNode(i, pin->epoch).alive &&
+            !fn(NodeId(static_cast<uint32_t>(i)))) {
+          return;
+        }
+      }
+      return;
+    }
     end = std::min(end, nodes_.size());
+    if (!mvcc_on_) {
+      for (size_t i = begin; i < end; ++i) {
+        if (nodes_[i].alive && !fn(NodeId(static_cast<uint32_t>(i)))) return;
+      }
+      return;
+    }
     for (size_t i = begin; i < end; ++i) {
-      if (nodes_[i].alive && !fn(NodeId(static_cast<uint32_t>(i)))) return;
+      if (NodeLatest(i).alive && !fn(NodeId(static_cast<uint32_t>(i)))) {
+        return;
+      }
     }
   }
 
   template <typename Fn>
   void ForEachOutRel(NodeId id, Fn&& fn) const {
-    for (RelId r : nodes_[id.value].out_rels) {
-      if (rels_[r.value].alive && !fn(r)) return;
+    for (RelId r : node(id).out_rels) {
+      if (rel(r).alive && !fn(r)) return;
     }
   }
 
   template <typename Fn>
   void ForEachInRel(NodeId id, Fn&& fn) const {
-    for (RelId r : nodes_[id.value].in_rels) {
-      if (rels_[r.value].alive && !fn(r)) return;
+    for (RelId r : node(id).in_rels) {
+      if (rel(r).alive && !fn(r)) return;
     }
   }
 
   /// Raw sorted adjacency (no aliveness filtering) — the matcher's expansion
-  /// cursor merge-walks these directly.
+  /// cursor merge-walks these directly. The reference is stable while the
+  /// caller's pin (or, for the writer, the current statement) is live.
   const std::vector<RelId>& RawOutRels(NodeId id) const {
-    return nodes_[id.value].out_rels;
+    return node(id).out_rels;
   }
   const std::vector<RelId>& RawInRels(NodeId id) const {
-    return nodes_[id.value].in_rels;
+    return node(id).in_rels;
   }
 
   // ---- Mutation -----------------------------------------------------------
@@ -310,7 +399,9 @@ class PropertyGraph {
   /// Monotonic counter bumped whenever an index is created or dropped.
   /// Cached match plans bake access-path choices that depend on index
   /// presence; comparing epochs detects when those choices went stale.
-  uint64_t index_epoch() const { return index_epoch_; }
+  uint64_t index_epoch() const {
+    return index_epoch_.load(std::memory_order_relaxed);
+  }
 
   // ---- Uniqueness constraints -----------------------------------------------
 
@@ -333,7 +424,9 @@ class PropertyGraph {
   Status ValidateUniqueConstraints() const;
 
   /// Alive nodes with `label` whose `key` property is group-equal to
-  /// `value`, ascending. Only valid when HasIndex(label, key).
+  /// `value`, ascending. Only valid when HasIndex(label, key). Writer-only:
+  /// index buckets are not versioned, so pinned snapshot sessions compile
+  /// plans without index anchors and must never call this.
   std::vector<NodeId> IndexLookup(Symbol label, Symbol key,
                                   const Value& value) const;
 
@@ -350,25 +443,75 @@ class PropertyGraph {
   /// regions (the paper's semantics applies updates sequentially over the
   /// driving table the read side produced), so a trip of this assertion is
   /// always a bug, not a scheduling artifact.
+  ///
+  /// A thread running under a snapshot pin does NOT register: its reads
+  /// resolve against an immutable epoch, so the concurrent writer is free
+  /// to keep mutating — that is the entire point of the MVCC layer.
   class ParallelReadScope {
    public:
     explicit ParallelReadScope(const PropertyGraph& graph) : graph_(graph) {
-      graph_.epoch_.readers.fetch_add(1, std::memory_order_relaxed);
+      const ReadPin& pin = CurrentThreadReadPin();
+      pinned_ = pin.active && pin.owner == &graph;
+      if (!pinned_) {
+        graph_.epoch_.readers.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     ~ParallelReadScope() {
-      graph_.epoch_.readers.fetch_sub(1, std::memory_order_relaxed);
+      if (!pinned_) {
+        graph_.epoch_.readers.fetch_sub(1, std::memory_order_relaxed);
+      }
     }
     ParallelReadScope(const ParallelReadScope&) = delete;
     ParallelReadScope& operator=(const ParallelReadScope&) = delete;
 
    private:
     const PropertyGraph& graph_;
+    bool pinned_ = false;
   };
 
   /// True while some ParallelReadScope is live (mutations are forbidden).
   bool InParallelReadRegion() const {
     return epoch_.readers.load(std::memory_order_relaxed) != 0;
   }
+
+  // ---- MVCC lifecycle -------------------------------------------------------
+  //
+  // See DESIGN.md §4g. The statement is the visibility unit: the epoch
+  // counts successfully committed writer statements. EnableMvcc freezes the
+  // base slots (mutators copy-on-first-touch per epoch from then on),
+  // publishes epoch 0, and allocates the pin registry. The database layer
+  // calls PublishEpoch after each committed statement; readers pin with
+  // AcquireReadPin and install the pin thread-locally (ScopedReadPin) while
+  // they execute.
+
+  /// Switches the graph into MVCC mode. Requires quiescence (no concurrent
+  /// readers yet, no open journal); idempotent.
+  void EnableMvcc();
+
+  bool mvcc_enabled() const { return mvcc_on_; }
+
+  /// Publishes everything mutated since the last publish as one new
+  /// committed epoch and reclaims versions no active pin can reach.
+  /// Writer-only; a no-op without MVCC.
+  void PublishEpoch();
+
+  /// The newest committed epoch a new pin would observe (0 = initial state).
+  uint64_t published_epoch() const {
+    const EpochState* st = published_.load(std::memory_order_acquire);
+    return st == nullptr ? 0 : st->epoch;
+  }
+
+  /// Registers a pin on the newest committed epoch. The caller installs it
+  /// with ScopedReadPin around reads and must ReleaseReadPin exactly once.
+  ReadPin AcquireReadPin() const;
+
+  /// Moves an acquired pin forward to the newest committed epoch.
+  void RefreshReadPin(ReadPin* pin) const;
+
+  void ReleaseReadPin(const ReadPin& pin) const;
+
+  /// Superseded versions awaiting reclamation (observability for tests).
+  size_t RetiredPending() const { return retired_.pending(); }
 
   // ---- Undo journal -------------------------------------------------------
 
@@ -456,6 +599,101 @@ class PropertyGraph {
     if (journaling_) journal_.push_back(std::move(op));
   }
 
+  /// One version chain head. Value-initialized to null by SlotVector.
+  template <typename T>
+  struct Chain {
+    std::atomic<VersionRec<T>*> head{nullptr};
+  };
+
+  /// One label-index bucket version: sorted, deduplicated, may hold stale
+  /// ids (dead or relabeled nodes — readers validate). `since`/`prev` are
+  /// immutable after publication; `ids` is mutable only while `since` is
+  /// the unpublished write epoch (and, without MVCC, always: the single
+  /// base version is edited in place, exactly like the old flat index).
+  struct LabelBucket {
+    uint64_t since = 0;
+    LabelBucket* prev = nullptr;
+    std::vector<NodeId> ids;
+  };
+  struct BucketHead {
+    std::atomic<LabelBucket*> head{nullptr};
+  };
+
+  // ---- Snapshot resolution (lock-free read hot path) ----------------------
+
+  /// The calling thread's pin when it targets this graph, else nullptr.
+  const ReadPin* ActivePin() const {
+    if (!mvcc_on_) return nullptr;
+    const ReadPin& pin = CurrentThreadReadPin();
+    return (pin.active && pin.owner == this) ? &pin : nullptr;
+  }
+
+  /// The newest version of slot `i` visible at `epoch`: walk the chain
+  /// (newest first) past versions installed later, fall back to the frozen
+  /// base slot. Chain fields are safe to read un-locked: heads publish with
+  /// release stores and `since`/`prev` never change after publication.
+  const NodeData& ResolveNode(uint32_t slot, uint64_t epoch) const {
+    const VersionRec<NodeData>* rec =
+        node_chains_[slot].head.load(std::memory_order_acquire);
+    while (rec != nullptr && rec->since > epoch) rec = rec->prev;
+    return rec != nullptr ? rec->data : nodes_[slot];
+  }
+  const RelData& ResolveRel(uint32_t slot, uint64_t epoch) const {
+    const VersionRec<RelData>* rec =
+        rel_chains_[slot].head.load(std::memory_order_acquire);
+    while (rec != nullptr && rec->since > epoch) rec = rec->prev;
+    return rec != nullptr ? rec->data : rels_[slot];
+  }
+  const LabelBucket* ResolveBucket(Symbol label, uint64_t epoch) const {
+    if (label == kNoSymbol || label >= label_buckets_.size()) return nullptr;
+    const LabelBucket* b =
+        label_buckets_[label].head.load(std::memory_order_acquire);
+    while (b != nullptr && b->since > epoch) b = b->prev;
+    return b;
+  }
+
+  /// Latest (writer-visible) version of a slot, chains included.
+  const NodeData& NodeLatest(uint32_t slot) const {
+    if (!mvcc_on_) return nodes_[slot];
+    const VersionRec<NodeData>* rec =
+        node_chains_[slot].head.load(std::memory_order_acquire);
+    return rec != nullptr ? rec->data : nodes_[slot];
+  }
+  const RelData& RelLatest(uint32_t slot) const {
+    if (!mvcc_on_) return rels_[slot];
+    const VersionRec<RelData>* rec =
+        rel_chains_[slot].head.load(std::memory_order_acquire);
+    return rec != nullptr ? rec->data : rels_[slot];
+  }
+
+  /// Pin-aware bucket dispatch (latest when unpinned).
+  const LabelBucket* BucketFor(Symbol label) const {
+    if (const ReadPin* pin = ActivePin()) {
+      return ResolveBucket(label, pin->epoch);
+    }
+    if (label == kNoSymbol || label >= label_buckets_.size()) return nullptr;
+    return label_buckets_[label].head.load(std::memory_order_acquire);
+  }
+
+  // ---- Writer-side copy-on-first-touch ------------------------------------
+
+  /// Mutable access to a slot's current-statement version: without MVCC (or
+  /// for a slot no published epoch covers yet) the base slot in place;
+  /// otherwise the version record of the current write epoch, installing a
+  /// fresh copy of the newest published version on first touch and retiring
+  /// the superseded record.
+  NodeData& MutableNode(NodeId id);
+  RelData& MutableRel(RelId id);
+  LabelBucket& MutableBucket(Symbol label);
+  PropertyMap& MutableProps(EntityRef entity);
+
+  /// Grows the dense per-label bucket/count tables to cover `label`.
+  void EnsureLabelSlots(Symbol label);
+
+  void ReclaimRetired();
+  void DestroyVersions();
+  void StealFrom(PropertyGraph* other) noexcept;
+
   void UnlinkRel(RelId id);
   void RelinkRel(RelId id);
   void AddToLabelIndex(NodeId id, Symbol label);
@@ -506,23 +744,46 @@ class PropertyGraph {
   Interner labels_;
   Interner types_;
   Interner keys_;
-  std::vector<NodeData> nodes_;
-  std::vector<RelData> rels_;
-  void IncLabelCount(Symbol label) { ++label_counts_[label]; }
+  SlotVector<NodeData> nodes_;
+  SlotVector<RelData> rels_;
+  SlotVector<Chain<NodeData>> node_chains_;
+  SlotVector<Chain<RelData>> rel_chains_;
+
+  void IncLabelCount(Symbol label) {
+    label_counts_[label].fetch_add(1, std::memory_order_relaxed);
+  }
   void DecLabelCount(Symbol label);
 
-  /// Buckets are sorted, deduplicated, and may hold stale ids (dead or
-  /// relabeled nodes); readers validate.
-  std::unordered_map<Symbol, std::vector<NodeId>> label_index_;
-  /// Alive-node count per label, maintained eagerly (including rollback).
-  std::unordered_map<Symbol, size_t> label_counts_;
+  /// Dense per-label tables, indexed by label Symbol (grown at InternLabel
+  /// so any findable symbol has a slot): bucket version-chain heads and the
+  /// cached alive-node-per-label counts.
+  SlotVector<BucketHead> label_buckets_;
+  SlotVector<std::atomic<int64_t>> label_counts_;
+
   std::vector<PropertyIndex> property_indexes_;
   std::vector<std::pair<Symbol, Symbol>> unique_constraints_;
-  uint64_t index_epoch_ = 0;
-  size_t alive_nodes_ = 0;
-  size_t alive_rels_ = 0;
+  std::atomic<uint64_t> index_epoch_{0};
+  std::atomic<size_t> alive_nodes_{0};
+  std::atomic<size_t> alive_rels_{0};
   std::vector<JournalOp> journal_;
   bool journaling_ = false;
+
+  // ---- MVCC state (writer-owned except where noted) ------------------------
+
+  bool mvcc_on_ = false;
+  /// The epoch in-flight mutations belong to; published - not yet - as
+  /// `published_epoch() + 1` on the next successful commit.
+  uint64_t write_epoch_ = 1;
+  /// Slot watermarks covered by some published epoch: slots at or above
+  /// these were created by the current (unpublished) statement, are
+  /// invisible to every pin, and are therefore mutated in place chain-free.
+  uint64_t published_node_count_ = 0;
+  uint64_t published_rel_count_ = 0;
+  /// The committed snapshot descriptor readers pin (shared with readers).
+  std::atomic<const EpochState*> published_{nullptr};
+  /// Active reader pins (shared with readers).
+  mutable std::unique_ptr<PinRegistry> registry_;
+  RetireList retired_;
 
   /// Appends one redo line (no trailing newline in `line`) when capturing.
   void RedoAppend(std::string line);

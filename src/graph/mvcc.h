@@ -1,0 +1,181 @@
+#ifndef CYPHER_GRAPH_MVCC_H_
+#define CYPHER_GRAPH_MVCC_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/read_pin.h"
+
+namespace cypher {
+
+/// Epoch-based MVCC building blocks for the property graph (DESIGN.md §4g).
+///
+/// The statement is the atomic unit of visibility (the paper's revised
+/// semantics), so the global version counter — the *epoch* — is simply the
+/// number of successfully committed writer statements. Readers pin the
+/// newest published epoch and resolve every record against it; the writer
+/// installs new versions ("install, never mutate shared state in place")
+/// and publishes them all at once by advancing the epoch at statement
+/// commit. Superseded versions retire into a deferred list and are freed
+/// once no pin can reach them.
+
+/// One version of a record. `since` is the write epoch that installed it;
+/// `prev` links to the next-older version. Both are immutable once the
+/// record is published (a release store of the chain head); `data` is
+/// mutable only while the record's epoch is still unpublished — i.e. the
+/// writer may keep editing its own current statement's copy in place,
+/// because no reader pin can name that epoch yet.
+template <typename T>
+struct VersionRec {
+  uint64_t since = 0;
+  VersionRec* prev = nullptr;
+  T data;
+};
+
+/// The globally published snapshot descriptor: the committed epoch and the
+/// node/rel slot watermarks at its commit point. Slots at or above the
+/// watermark were created by later (or in-flight) statements and are
+/// invisible to pins of this epoch — which is also what makes it safe for
+/// the writer to build fresh slots in place, chain-free.
+struct EpochState {
+  uint64_t epoch = 0;
+  uint64_t node_slots = 0;
+  uint64_t rel_slots = 0;
+};
+
+/// Lock-free registry of active reader pins: a fixed array of epoch slots.
+/// Pinning claims a slot, stamps it with the published epoch, and
+/// re-validates that the publication did not move mid-stamp; reclamation
+/// takes the minimum stamped epoch as its safety horizon. Writers never
+/// wait on readers and readers never block writers — the only writer-side
+/// cost is a slot scan at reclaim time.
+class PinRegistry {
+ public:
+  static constexpr size_t kSlots = 256;
+  static constexpr uint64_t kFree = ~uint64_t{0};
+
+  PinRegistry() {
+    for (auto& s : slots_) s.store(kFree, std::memory_order_relaxed);
+  }
+
+  /// Claims a slot and pins the currently published state. Returns the slot
+  /// index and stores the pinned state descriptor in `*state`. The caller
+  /// must copy the descriptor's fields before any chance of it retiring —
+  /// in practice immediately, which ReadPin does.
+  ///
+  /// Safety argument: the slot is first stamped with epoch 0, a value no
+  /// retired version can be gated on (epochs start at 1), so from that
+  /// store on, no reclamation scan frees anything. Then the published
+  /// pointer is loaded, the slot re-stamped with its epoch, and the load
+  /// repeated: if publication moved in between, retry. Once the two loads
+  /// agree, any later reclamation scan observes the stamp (both sides use
+  /// seq_cst, so the scan either preceded our stamp — and could only free
+  /// versions older than what we loaded — or follows it and respects it).
+  uint32_t Pin(const std::atomic<const EpochState*>& published,
+               const EpochState** state) {
+    uint32_t slot = Claim();
+    Stamp(slot, published, state);
+    return slot;
+  }
+
+  /// Re-pins an already-claimed slot to the newest published state. The old
+  /// stamp stays in place until overwritten, so the horizon only moves
+  /// forward — no unprotected window.
+  void Refresh(uint32_t slot, const std::atomic<const EpochState*>& published,
+               const EpochState** state) {
+    Stamp(slot, published, state);
+  }
+
+  void Unpin(uint32_t slot) {
+    slots_[slot].store(kFree, std::memory_order_release);
+  }
+
+  /// The reclamation horizon: the minimum epoch any active pin holds, or
+  /// kFree (= everything reclaimable) when no pin is active.
+  uint64_t MinActive() const {
+    uint64_t min = kFree;
+    for (const auto& s : slots_) {
+      uint64_t e = s.load(std::memory_order_seq_cst);
+      if (e < min) min = e;
+    }
+    return min;
+  }
+
+ private:
+  uint32_t Claim() {
+    while (true) {
+      for (uint32_t i = 0; i < kSlots; ++i) {
+        uint64_t expected = kFree;
+        // 0 = "pinning in progress": blocks all reclamation (no version is
+        // ever gated on epoch 0) until the real stamp lands.
+        if (slots_[i].compare_exchange_strong(expected, 0,
+                                              std::memory_order_seq_cst)) {
+          return i;
+        }
+      }
+      // All slots busy: extremely unlikely (256 simultaneous pins); spin.
+    }
+  }
+
+  void Stamp(uint32_t slot, const std::atomic<const EpochState*>& published,
+             const EpochState** state) {
+    while (true) {
+      const EpochState* s = published.load(std::memory_order_seq_cst);
+      slots_[slot].store(s->epoch, std::memory_order_seq_cst);
+      if (published.load(std::memory_order_seq_cst) == s) {
+        *state = s;
+        return;
+      }
+    }
+  }
+
+  std::array<std::atomic<uint64_t>, kSlots> slots_;
+};
+
+/// Deferred reclamation list: every superseded version (or epoch
+/// descriptor) enters exactly once, tagged with the write epoch whose
+/// publication superseded it, and is freed once the registry's minimum
+/// active pin reaches that epoch. Writer-only structure.
+class RetireList {
+ public:
+  void Add(void* ptr, void (*deleter)(void*), uint64_t retired_at) {
+    entries_.push_back({ptr, deleter, retired_at});
+  }
+
+  /// Frees every entry whose retire epoch is covered by `min_pin`
+  /// (inclusive: a pin at epoch e still reads versions superseded at
+  /// epochs > e, so an entry retired at e is free once min_pin >= e).
+  void Reclaim(uint64_t min_pin) {
+    size_t kept = 0;
+    for (Entry& e : entries_) {
+      if (e.retired_at <= min_pin) {
+        e.deleter(e.ptr);
+      } else {
+        entries_[kept++] = e;
+      }
+    }
+    entries_.resize(kept);
+  }
+
+  /// Frees everything unconditionally (graph destruction; no pins remain).
+  void Drain() {
+    for (Entry& e : entries_) e.deleter(e.ptr);
+    entries_.clear();
+  }
+
+  size_t pending() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    void* ptr;
+    void (*deleter)(void*);
+    uint64_t retired_at;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace cypher
+
+#endif  // CYPHER_GRAPH_MVCC_H_

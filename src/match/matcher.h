@@ -24,6 +24,12 @@ struct MatchOptions {
   /// graph must be in a parallel-read region while a match with
   /// expand_workers > 1 runs. Emission order is byte-identical either way.
   size_t expand_workers = 0;
+  /// The pinned committed epoch this match reads (0 = latest state / no
+  /// MVCC session). Set from EvalOptions::read_pin by ExecContext::Match;
+  /// fanned-out helpers inherit the actual pin through the thread pool, so
+  /// this field's job is plan identity: cached match plans compiled under a
+  /// pin are stamped with it and never shared across epochs.
+  uint64_t snapshot_epoch = 0;
 };
 
 /// Variable assignment produced by one successful match: the bindings added

@@ -5,6 +5,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
 namespace cypher::storage {
 
@@ -18,7 +19,8 @@ Status IoError(const std::string& what) {
 /// crashed writer can never scribble into the committed prefix.
 class PosixLogFile : public LogFile {
  public:
-  PosixLogFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+  PosixLogFile(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
 
   ~PosixLogFile() override {
     if (fd_ >= 0) ::close(fd_);
@@ -73,11 +75,51 @@ class PosixLogFile : public LogFile {
     return out;
   }
 
+  /// Crash-atomic whole-file replacement: write a sibling temp file, fsync
+  /// it, rename over the log, then reopen in append mode. rename(2) is
+  /// atomic on POSIX filesystems, so a crash anywhere in here leaves either
+  /// the complete old log or the complete new one.
+  Status Replace(const void* data, size_t size) override {
+    std::string tmp = path_ + ".compact";
+    int tfd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (tfd < 0) return IoError("open " + tmp);
+    const char* p = static_cast<const char*>(data);
+    size_t left = size;
+    while (left > 0) {
+      ssize_t n = ::write(tfd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(tfd);
+        return IoError("write " + tmp);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    if (::fsync(tfd) != 0) {
+      ::close(tfd);
+      return IoError("fsync " + tmp);
+    }
+    if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+      ::close(tfd);
+      return IoError("rename " + tmp);
+    }
+    // tfd still names the (renamed) file but was opened without O_APPEND;
+    // swap in a fresh append-mode descriptor.
+    ::close(tfd);
+    int fd = ::open(path_.c_str(), O_RDWR | O_APPEND);
+    if (fd < 0) return IoError("reopen " + path_);
+    ::close(fd_);
+    fd_ = fd;
+    size_ = size;
+    return Status::OK();
+  }
+
   uint64_t size() const override { return size_; }
 
  private:
   int fd_;
   uint64_t size_;
+  std::string path_;
 };
 
 }  // namespace
@@ -91,7 +133,7 @@ Result<std::unique_ptr<LogFile>> OpenPosixLogFile(const std::string& path) {
     return IoError("lseek " + path);
   }
   return std::unique_ptr<LogFile>(
-      new PosixLogFile(fd, static_cast<uint64_t>(end)));
+      new PosixLogFile(fd, static_cast<uint64_t>(end), path));
 }
 
 }  // namespace cypher::storage

@@ -33,6 +33,18 @@ class LogFile {
   /// Drops everything past `new_size` (recovery truncates torn tails).
   virtual Status Truncate(uint64_t new_size) = 0;
 
+  /// Replaces the whole contents with `size` bytes and makes the result
+  /// durable (log compaction, see WalWriter::Rewrite). The default is
+  /// truncate + append + sync — correct but not crash-atomic; PosixLogFile
+  /// overrides it with write-to-temp + rename so a crash mid-compaction
+  /// leaves either the old log or the new one, never a hybrid.
+  virtual Status Replace(const void* data, size_t size) {
+    Status st = Truncate(0);
+    if (st.ok()) st = Append(data, size);
+    if (st.ok()) st = Sync();
+    return st;
+  }
+
   /// The full current contents (recovery reads the log once at open).
   virtual Result<std::string> ReadAll() = 0;
 

@@ -95,7 +95,7 @@ Status WalWriter::Sync(uint64_t lsn) {
     std::string batch;
     batch.swap(pending_);
     uint64_t target = appended_lsn_;
-    uint64_t durable = durable_lsn_;
+    uint64_t durable = durable_lsn_ - base_offset_;  // as a file offset
     lock.unlock();
     Status st = batch.empty() ? Status::OK()
                               : file_->Append(batch.data(), batch.size());
@@ -118,6 +118,43 @@ Status WalWriter::Sync(uint64_t lsn) {
     }
     cv_.notify_all();
   }
+}
+
+Status WalWriter::Rewrite(WalRecordType type, std::string_view payload) {
+  std::string contents(kWalMagic, kWalMagicSize);
+  contents += EncodeWalRecord(type, payload);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (leader_active_) cv_.wait(lock);
+  if (!error_.ok()) return error_;
+  // Take the leader role so no concurrent Sync touches the file while it
+  // is being replaced. Buffered records are dropped — the payload subsumes
+  // them (see header contract) — so the virtual end LSN simply becomes
+  // fully durable.
+  leader_active_ = true;
+  pending_.clear();
+  // If the compacted image outgrows every LSN handed out so far (a graph
+  // whose snapshot is larger than its whole statement history), advance the
+  // virtual clock so the new base offset stays non-negative.
+  if (appended_lsn_ < contents.size()) appended_lsn_ = contents.size();
+  uint64_t target = appended_lsn_;
+  lock.unlock();
+  Status st = file_->Replace(contents.data(), contents.size());
+  lock.lock();
+  leader_active_ = false;
+  if (st.ok()) {
+    durable_lsn_ = target;
+    base_offset_ = target - contents.size();
+  } else {
+    error_ = st;  // the file may hold either old or new contents; recovery
+                  // decodes whichever survived
+  }
+  cv_.notify_all();
+  return st;
+}
+
+uint64_t WalWriter::LogBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_lsn_ - base_offset_;
 }
 
 Status WalWriter::error() const {

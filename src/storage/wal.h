@@ -81,6 +81,24 @@ class WalWriter {
   /// Blocks until the log is durable through `lsn` (see class comment).
   Status Sync(uint64_t lsn);
 
+  /// Log compaction: durably replaces the whole file with [magic, one
+  /// `type` record carrying `payload`] — in practice a fresh kSnapshot.
+  /// Buffered-but-unsynced records are DROPPED, so the caller must
+  /// guarantee the payload captures every appended record's effects; the
+  /// database layer calls this under its execution lock with a snapshot it
+  /// encodes right there, which covers exactly the records in flight. LSNs
+  /// are virtual and monotone across compactions (the file offset of an
+  /// LSN is `lsn - base`): every outstanding Sync(lsn) target becomes
+  /// durable the moment the rewrite lands, because the snapshot subsumes
+  /// it. Waits out an in-flight group-commit leader; a failure is sticky
+  /// like any other log I/O error.
+  Status Rewrite(WalRecordType type, std::string_view payload);
+
+  /// Bytes the file will hold once everything buffered is flushed — the
+  /// auto-checkpoint trigger. (Not an LSN: compaction resets file size but
+  /// never rewinds LSNs.)
+  uint64_t LogBytes() const;
+
   /// The sticky I/O failure, or OK.
   Status error() const;
 
@@ -95,8 +113,12 @@ class WalWriter {
   std::condition_variable cv_;
   std::unique_ptr<LogFile> file_;
   std::string pending_;      // framed records not yet handed to the file
-  uint64_t appended_lsn_;    // end offset including pending_
-  uint64_t durable_lsn_;     // end offset through the last good fsync
+  uint64_t appended_lsn_;    // virtual end offset including pending_
+  uint64_t durable_lsn_;     // virtual end offset through the last good fsync
+  /// LSN-to-file-offset shift: file offset = lsn - base_offset_. Starts at
+  /// 0 and grows at each Rewrite by however many bytes compaction dropped,
+  /// keeping LSNs monotone so callers' saved LSNs stay comparable.
+  uint64_t base_offset_ = 0;
   bool leader_active_ = false;
   Status error_;
 };

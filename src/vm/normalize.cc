@@ -248,4 +248,37 @@ bool HasDdlClause(const Query& query) {
   return false;
 }
 
+namespace {
+
+bool ClauseReadsOnly(const Clause& clause) {
+  switch (clause.kind) {
+    case ClauseKind::kMatch:
+    case ClauseKind::kUnwind:
+    case ClauseKind::kWith:
+    case ClauseKind::kReturn:
+      return true;
+    case ClauseKind::kCallSubquery:
+      for (const ClausePtr& inner :
+           static_cast<const CallSubqueryClause&>(clause).body) {
+        if (!ClauseReadsOnly(*inner)) return false;
+      }
+      return true;
+    default:
+      // CREATE / SET / REMOVE / DELETE / MERGE / FOREACH / DDL. FOREACH
+      // bodies hold only update clauses, so the clause itself decides.
+      return false;
+  }
+}
+
+}  // namespace
+
+bool IsReadOnlyQuery(const Query& query) {
+  for (const SingleQuery& part : query.parts) {
+    for (const ClausePtr& clause : part.clauses) {
+      if (!ClauseReadsOnly(*clause)) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace cypher

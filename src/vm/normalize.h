@@ -32,6 +32,12 @@ size_t ParametrizeQuery(Query* query, std::vector<Value>* literals);
 /// decisions), and idempotency checks want the interpreter's exact path.
 bool HasDdlClause(const Query& query);
 
+/// True when no clause (including FOREACH / CALL subquery bodies) updates
+/// the graph and none is DDL — i.e. the statement is pure MATCH / UNWIND /
+/// WITH / RETURN. Snapshot read sessions admit exactly these statements:
+/// they can run without a journal against a pinned epoch.
+bool IsReadOnlyQuery(const Query& query);
+
 }  // namespace cypher
 
 #endif  // CYPHER_VM_NORMALIZE_H_

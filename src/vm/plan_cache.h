@@ -17,6 +17,16 @@
 
 namespace cypher {
 
+/// One session's view of cache effectiveness. The PlanCacheStats counters
+/// below are process-global (every session shares one cache); each session
+/// — the writer database's default session and every snapshot ReadSession —
+/// additionally tallies its own lookups here so the shell can report "this
+/// session's" hit rate next to the global one.
+struct SessionCacheCounters {
+  uint64_t hits = 0;    // raw + shape
+  uint64_t misses = 0;  // parsed and compiled fresh
+};
+
 /// Point-in-time counters (see PlanCache). `hits` = raw_hits + shape_hits.
 struct PlanCacheStats {
   uint64_t hits = 0;

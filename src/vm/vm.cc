@@ -9,11 +9,13 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/read_pin.h"
 #include "eval/evaluator.h"
 #include "exec/clauses.h"
 #include "exec/context.h"
 #include "match/compiled_pattern.h"
 #include "table/table.h"
+#include "vm/normalize.h"
 
 namespace cypher {
 
@@ -58,9 +60,10 @@ Status RunMatchStep(ExecContext* ctx, const MatchStepData& data,
   {
     std::lock_guard<std::mutex> lock(data.mu);
     PlanStamp stamp = TakeStamp(*ec.graph);
+    if (ec.read_pin != nullptr) stamp.pinned_epoch = ec.read_pin->epoch + 1;
     if (data.plan == nullptr || !(data.stamp == stamp)) {
       EvalContext compile_ec{ec.graph, nullptr, ctx->options.match_mode,
-                             &ctx->options.cancel};
+                             &ctx->options.cancel, ec.read_pin};
       data.plan = std::make_shared<const CompiledMatch>(
           CompileMatch(compile_ec, Bindings(table, 0), clause.patterns, {}));
       data.stamp = stamp;
@@ -193,46 +196,65 @@ Result<QueryResult> RunProgram(PropertyGraph* graph, const Program& program,
   }
 
   ExecContext ctx(graph, &params, options);
+
+  Table combined;
+  bool combined_has_return = false;
+  auto run_parts = [&]() -> Status {
+    for (size_t p = 0; p < program.parts.size(); ++p) {
+      if (options.semantics == SemanticsMode::kLegacy &&
+          options.strict_cypher9_syntax) {
+        CYPHER_RETURN_NOT_OK(CheckStrictCypher9Ordering(query.parts[p]));
+      }
+      Table table;
+      bool has_return = false;
+      CYPHER_RETURN_NOT_OK(
+          RunPart(&ctx, program.parts[p], &table, &has_return));
+      if (p == 0) {
+        combined = std::move(table);
+        combined_has_return = has_return;
+        continue;
+      }
+      if (has_return != combined_has_return) {
+        return Status::SemanticError(
+            "all UNION branches must RETURN, or none may");
+      }
+      if (has_return) {
+        CYPHER_ASSIGN_OR_RETURN(combined, Table::BagUnion(combined, table));
+      }
+    }
+    if (!query.union_all.empty() && !query.union_all.front() &&
+        combined_has_return) {
+      combined = combined.Distinct();
+    }
+    return Status::OK();
+  };
+
+  // Snapshot read session: same fast path as the interpreter — the
+  // statement was admitted as read-only at session level, so the whole
+  // journal/validate/commit lifecycle drops away and the VM runs lock-free
+  // against the pinned epoch.
+  if (options.read_pin != nullptr) {
+    if (!IsReadOnlyQuery(query)) {
+      return Status::ExecutionError(
+          "snapshot read session is read-only: update and DDL statements "
+          "must run on the writer database");
+    }
+    ScopedReadPin scope(*options.read_pin);
+    CYPHER_RETURN_NOT_OK(run_parts());
+    QueryResult result;
+    result.columns = combined.columns();
+    result.rows = combined.rows();
+    result.stats = ctx.stats;
+    return result;
+  }
+
   PropertyGraph::JournalMark mark = graph->BeginJournal();
   auto fail = [&](Status status) -> Status {
     graph->RollbackTo(mark);
     return status;
   };
 
-  Table combined;
-  bool combined_has_return = false;
-  for (size_t p = 0; p < program.parts.size(); ++p) {
-    if (options.semantics == SemanticsMode::kLegacy &&
-        options.strict_cypher9_syntax) {
-      if (Status st = CheckStrictCypher9Ordering(query.parts[p]); !st.ok()) {
-        return fail(st);
-      }
-    }
-    Table table;
-    bool has_return = false;
-    if (Status st = RunPart(&ctx, program.parts[p], &table, &has_return);
-        !st.ok()) {
-      return fail(st);
-    }
-    if (p == 0) {
-      combined = std::move(table);
-      combined_has_return = has_return;
-      continue;
-    }
-    if (has_return != combined_has_return) {
-      return fail(Status::SemanticError(
-          "all UNION branches must RETURN, or none may"));
-    }
-    if (has_return) {
-      Result<Table> merged = Table::BagUnion(combined, table);
-      if (!merged.ok()) return fail(merged.status());
-      combined = *std::move(merged);
-    }
-  }
-  if (!query.union_all.empty() && !query.union_all.front() &&
-      combined_has_return) {
-    combined = combined.Distinct();
-  }
+  if (Status st = run_parts(); !st.ok()) return fail(st);
 
   if (options.semantics == SemanticsMode::kLegacy &&
       graph->HasDanglingRels()) {

@@ -6,6 +6,12 @@ of every benchmark is collected into one flat {name: ns_per_op} map and
 written to BENCH_results.json. Usage:
 
     tools/run_benches.py <build-dir>/bench [-o BENCH_results.json]
+                         [--filter SUBSTRING]
+
+--filter runs only the binaries whose name contains SUBSTRING (e.g.
+`--filter mvcc` to refresh one bench's numbers without an hour-long full
+sweep); the output file then holds just that subset, so merge it into
+BENCH_results.json by hand rather than overwriting.
 
 Exits non-zero if any binary fails to run or produces unparsable output.
 """
@@ -65,17 +71,24 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench_dir", help="directory holding bench_* binaries")
     parser.add_argument("-o", "--output", default="BENCH_results.json")
+    parser.add_argument(
+        "--filter",
+        default="",
+        help="run only binaries whose name contains this substring",
+    )
     args = parser.parse_args()
 
     binaries = sorted(
         os.path.join(args.bench_dir, f)
         for f in os.listdir(args.bench_dir)
-        if f.startswith("bench_") and os.access(
+        if f.startswith("bench_") and args.filter in f and os.access(
             os.path.join(args.bench_dir, f), os.X_OK)
         and os.path.isfile(os.path.join(args.bench_dir, f))
     )
     if not binaries:
-        print(f"no bench_* binaries in {args.bench_dir}", file=sys.stderr)
+        where = f"matching --filter {args.filter!r} " if args.filter else ""
+        print(f"no bench_* binaries {where}in {args.bench_dir}",
+              file=sys.stderr)
         return 1
 
     results = {}
