@@ -1,0 +1,121 @@
+// Engineering bench: what log-shipping replication costs.
+//
+//   catch-up      — a fresh follower bootstraps and drains an N-statement
+//                   backlog in one attach/poll cycle: statements/second of
+//                   the replay path (segment decode + ApplyRedoLog + one
+//                   epoch publish per record)
+//   steady state  — leader commits with a caught-up follower attached,
+//                   pump + poll after every commit: the per-commit overhead
+//                   of shipping (segment cut + CRC + apply) on top of the
+//                   memory-WAL commit from bench_wal_commit
+//
+// The interesting ratios: catch-up items/second should sit well above the
+// leader's own commit rate (replay skips parse/plan/match), and steady
+// state / memory-WAL isolates the shipping tax, which should be small.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "replication/replica.h"
+#include "replication/transport.h"
+#include "storage/log_file.h"
+#include "storage/wal.h"
+
+namespace cypher {
+namespace {
+
+constexpr int64_t kNodes = 64;
+
+void Seed(GraphDatabase* db) {
+  std::string create = "CREATE ";
+  for (int64_t i = 0; i < kNodes; ++i) {
+    if (i > 0) create += ", ";
+    create += "(:W {id: " + std::to_string(i) + ", v: 0})";
+  }
+  (void)db->Run(create);
+}
+
+std::string SetStmt(int64_t i) {
+  return "MATCH (n:W {id: " + std::to_string(i % kNodes) +
+         "}) SET n.v = " + std::to_string(i);
+}
+
+// A follower attaching to a leader that already has state.range(0)
+// committed statements in its log: one iteration = bootstrap + drain to
+// the leader's head. Items/second is replay throughput.
+void BM_ReplicaCatchUp(benchmark::State& state) {
+  const int64_t backlog = state.range(0);
+  GraphDatabase leader;
+  Seed(&leader);
+  (void)leader.OpenDurable(std::make_unique<storage::MemoryLogFile>());
+  for (int64_t i = 0; i < backlog; ++i) {
+    (void)leader.Run(SetStmt(i));
+  }
+  for (auto _ : state) {
+    auto transport = std::make_shared<replication::InProcessTransport>();
+    replication::Replica replica(transport);
+    auto id = leader.AttachFollower(transport);
+    if (!id.ok()) {
+      state.SkipWithError(id.status().ToString().c_str());
+      return;
+    }
+    auto applied = replica.PollOnce();
+    if (!applied.ok() ||
+        replica.applied_lsn() != leader.wal_writer()->appended_lsn()) {
+      state.SkipWithError("follower did not catch up in one poll");
+      return;
+    }
+    benchmark::DoNotOptimize(replica.applied_lsn());
+    (void)leader.DetachFollower(*id);
+  }
+  state.SetLabel("backlog=" + std::to_string(backlog));
+  state.SetItemsProcessed(state.iterations() * backlog);
+}
+BENCHMARK(BM_ReplicaCatchUp)
+    ->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+// Steady state: a caught-up follower tails the leader commit by commit.
+// Each iteration is one committed statement fully replicated (commit +
+// auto-pump + poll), so comparing against BM_CommitMemoryWal isolates the
+// shipping overhead per commit.
+void BM_ReplicaSteadyStateLag(benchmark::State& state) {
+  GraphDatabase leader;
+  Seed(&leader);
+  (void)leader.OpenDurable(std::make_unique<storage::MemoryLogFile>());
+  auto transport = std::make_shared<replication::InProcessTransport>();
+  replication::Replica replica(transport);
+  auto id = leader.AttachFollower(transport);
+  if (!id.ok()) {
+    state.SkipWithError(id.status().ToString().c_str());
+    return;
+  }
+  (void)replica.PollOnce();
+  int64_t i = 0;
+  uint64_t max_lag = 0;
+  for (auto _ : state) {
+    auto r = leader.Execute(SetStmt(i++));
+    benchmark::DoNotOptimize(r);
+    auto applied = replica.PollOnce();
+    if (!applied.ok()) {
+      state.SkipWithError(applied.status().ToString().c_str());
+      return;
+    }
+    uint64_t lag =
+        leader.wal_writer()->appended_lsn() - replica.applied_lsn();
+    if (lag > max_lag) max_lag = lag;
+    (void)leader.PumpReplication();  // deliver the ack
+  }
+  state.SetLabel("max_lag_bytes=" + std::to_string(max_lag));
+  state.SetItemsProcessed(state.iterations());
+  (void)leader.DetachFollower(*id);
+}
+BENCHMARK(BM_ReplicaSteadyStateLag)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cypher
+
+BENCHMARK_MAIN();

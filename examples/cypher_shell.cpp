@@ -19,6 +19,11 @@
 //   :timeout <ms>             per-statement watchdog deadline (0 = off)
 //   :wal <path>               attach a write-ahead log (recovers if present)
 //   :checkpoint               append a fresh snapshot to the log
+//   :replicate                attach an in-process read-only follower
+//                             (requires :wal; follower tails every commit)
+//   :replicate detach <id>    detach a follower (releases its WAL retention)
+//   :lag                      per-follower applied/acked LSN vs the leader,
+//                             plus retained log bytes
 //   :cache                    plan-cache hit/miss/eviction counters
 //   :cache clear              drop cached plans and reset the counters
 //   :cache on|off             route statements through the plan cache / VM
@@ -27,14 +32,19 @@
 //
 // Everything else is executed as a Cypher statement.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "cypher/database.h"
 #include "exec/render.h"
 #include "graph/serialize.h"
+#include "replication/replica.h"
+#include "replication/transport.h"
 #include "storage/log_file.h"
 
 using cypher::CancelToken;
@@ -51,6 +61,35 @@ namespace {
 /// (it stays tripped), so the main loop mints a fresh one per statement.
 int64_t g_timeout_ms = 0;
 
+/// In-process followers attached via :replicate, keyed by the leader-side
+/// follower id. Each tails the shell database's WAL; the main loop polls
+/// them after every executed statement.
+struct ShellFollower {
+  int id;
+  std::unique_ptr<cypher::replication::Replica> replica;
+};
+std::vector<ShellFollower> g_followers;
+
+/// Drains shipped segments into every follower and returns acks to the
+/// leader, so :lag reflects a settled steady state after each statement.
+void PumpFollowers(GraphDatabase* db) {
+  if (g_followers.empty()) return;
+  (void)db->PumpReplication();
+  for (ShellFollower& f : g_followers) {
+    auto applied = f.replica->PollOnce();
+    if (!applied.ok()) {
+      std::printf("follower %d: %s\n", f.id,
+                  applied.status().ToString().c_str());
+    }
+  }
+  (void)db->PumpReplication();  // deliver the acks
+}
+
+void DropFollowers(GraphDatabase* db) {
+  for (ShellFollower& f : g_followers) (void)db->DetachFollower(f.id);
+  g_followers.clear();
+}
+
 bool HandleMeta(GraphDatabase* db, const std::string& line) {
   auto& options = db->options();
   if (line == ":help") {
@@ -58,8 +97,8 @@ bool HandleMeta(GraphDatabase* db, const std::string& line) {
         ":legacy/:revised, :order forward|reverse|shuffle [seed],\n"
         ":variant atomic|grouping|weak|collapse|strong|off, :homo/:trail,\n"
         ":parallel <workers> [morsel], :timeout <ms>, :wal <path>,\n"
-        ":checkpoint, :cache [clear|on|off], :dump, :dot, :stats, :clear,\n"
-        ":quit\n");
+        ":checkpoint, :replicate [detach <id>], :lag,\n"
+        ":cache [clear|on|off], :dump, :dot, :stats, :clear, :quit\n");
     return true;
   }
   if (line.rfind(":timeout", 0) == 0) {
@@ -87,6 +126,63 @@ bool HandleMeta(GraphDatabase* db, const std::string& line) {
   if (line == ":checkpoint") {
     auto st = db->Checkpoint();
     std::printf("%s\n", st.ok() ? "checkpoint written" : st.ToString().c_str());
+    return true;
+  }
+  if (line == ":replicate") {
+    auto transport = std::make_shared<cypher::replication::InProcessTransport>();
+    auto replica = std::make_unique<cypher::replication::Replica>(transport);
+    auto id = db->AttachFollower(transport);
+    if (!id.ok()) {
+      std::printf("%s\n", id.status().ToString().c_str());
+      return true;
+    }
+    auto applied = replica->PollOnce();  // bootstrap from the snapshot frame
+    if (!applied.ok()) {
+      std::printf("%s\n", applied.status().ToString().c_str());
+      (void)db->DetachFollower(*id);
+      return true;
+    }
+    g_followers.push_back({*id, std::move(replica)});
+    (void)db->PumpReplication();  // deliver the bootstrap ack
+    std::printf("follower %d attached (bootstrapped at lsn %llu)\n", *id,
+                static_cast<unsigned long long>(
+                    g_followers.back().replica->applied_lsn()));
+    return true;
+  }
+  if (line.rfind(":replicate detach", 0) == 0) {
+    int id = static_cast<int>(std::strtol(line.c_str() + 17, nullptr, 10));
+    auto it = std::find_if(g_followers.begin(), g_followers.end(),
+                           [id](const ShellFollower& f) { return f.id == id; });
+    if (it == g_followers.end()) {
+      std::printf("no follower %d; :lag lists them\n", id);
+      return true;
+    }
+    auto st = db->DetachFollower(id);
+    g_followers.erase(it);
+    std::printf("%s\n", st.ok() ? "detached (WAL retention released)"
+                                : st.ToString().c_str());
+    return true;
+  }
+  if (line == ":lag") {
+    if (!db->replicating() || g_followers.empty()) {
+      std::printf("no followers; :replicate attaches one\n");
+      return true;
+    }
+    auto status = db->replication_status();
+    std::printf("leader: appended=%llu durable=%llu log=%llu bytes\n",
+                static_cast<unsigned long long>(status.appended_lsn),
+                static_cast<unsigned long long>(status.durable_lsn),
+                static_cast<unsigned long long>(status.log_bytes));
+    for (const ShellFollower& f : g_followers) {
+      uint64_t applied = f.replica->applied_lsn();
+      std::printf(
+          "follower %d: applied=%llu (lag %llu bytes), %llu statement%s "
+          "applied\n",
+          f.id, static_cast<unsigned long long>(applied),
+          static_cast<unsigned long long>(status.appended_lsn - applied),
+          static_cast<unsigned long long>(f.replica->statements_applied()),
+          f.replica->statements_applied() == 1 ? "" : "s");
+    }
     return true;
   }
   if (line.rfind(":parallel", 0) == 0) {
@@ -227,6 +323,9 @@ bool HandleMeta(GraphDatabase* db, const std::string& line) {
     return true;
   }
   if (line == ":clear") {
+    // Followers tail the WAL being thrown away; detach them first so the
+    // shipper's retention pins release before the database is replaced.
+    DropFollowers(db);
     EvalOptions kept = db->options();
     *db = GraphDatabase(kept);
     std::printf("graph cleared\n");
@@ -268,6 +367,9 @@ int main() {
     }
     std::string rendered = RenderResult(db.graph(), *result);
     std::printf("%s", rendered.empty() ? "OK\n" : rendered.c_str());
+    // Commits auto-ship to attached followers; polling here keeps them
+    // caught up statement by statement, so :lag normally reads zero.
+    PumpFollowers(&db);
   }
   return 0;
 }

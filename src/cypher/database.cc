@@ -1,5 +1,7 @@
 #include "cypher/database.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -11,6 +13,8 @@
 #include "graph/serialize.h"
 #include "parser/lexer.h"
 #include "parser/parser.h"
+#include "replication/log_shipper.h"
+#include "replication/transport.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
 #include "vm/compiler.h"
@@ -244,12 +248,18 @@ Status GraphDatabase::Checkpoint() {
   if (wal_ == nullptr) {
     return Status::InvalidArgument("database has no write-ahead log");
   }
-  std::lock_guard<std::mutex> lock(wal_->exec_mu);
-  Result<uint64_t> lsn = wal_->writer.Append(storage::WalRecordType::kSnapshot,
-                                             storage::EncodeSnapshot(graph_));
-  if (!lsn.ok()) return lsn.status();
-  CYPHER_RETURN_NOT_OK(wal_->writer.Sync(*lsn));
-  wal_->last_checkpoint_bytes = wal_->writer.LogBytes();
+  {
+    std::lock_guard<std::mutex> lock(wal_->exec_mu);
+    Result<uint64_t> lsn = wal_->writer.Append(
+        storage::WalRecordType::kSnapshot, storage::EncodeSnapshot(graph_));
+    if (!lsn.ok()) return lsn.status();
+    CYPHER_RETURN_NOT_OK(wal_->writer.Sync(*lsn));
+    wal_->last_checkpoint_bytes = wal_->writer.LogBytes();
+  }
+  // A checkpoint record is just another shippable record: contiguous
+  // followers skip its payload (they already hold that state) but their
+  // cursors advance past it.
+  if (shipper_ != nullptr) (void)shipper_->Pump();
   return Status::OK();
 }
 
@@ -261,6 +271,12 @@ void GraphDatabase::MaybeAutoCheckpoint() {
   // otherwise compact on every commit; require the log to have doubled
   // since the last checkpoint before paying for another one.
   if (bytes <= threshold || bytes < 2 * wal_->last_checkpoint_bytes) return;
+  // Retention: a lagging follower's pin means compaction would drop bytes
+  // it has not fetched yet. Skip — the log keeps growing until the pin
+  // catches up or the follower detaches, then the next commit compacts.
+  // (Rewrite re-checks under its own lock; this just avoids paying for a
+  // snapshot encode that would be refused.)
+  if (wal_->writer.MinRetentionPin() < wal_->writer.appended_lsn()) return;
   Status st = wal_->writer.Rewrite(storage::WalRecordType::kSnapshot,
                                    storage::EncodeSnapshot(graph_));
   // A failed rewrite poisons the writer (sticky error); the next update
@@ -321,7 +337,70 @@ Result<QueryResult> GraphDatabase::ExecuteDurableWith(const PlanExecutor& run) {
   if (result.ok() && logged && group_sync) {
     CYPHER_RETURN_NOT_OK(wal_->writer.Sync(lsn));
   }
+  // Ship the newly durable bytes to any attached followers. A transport
+  // hiccup never fails the statement — the shipper's cursors stay put and
+  // the next pump retries.
+  if (result.ok() && logged && shipper_ != nullptr) (void)shipper_->Pump();
   return result;
+}
+
+// ---- Log-shipping replication -----------------------------------------------
+
+Result<int> GraphDatabase::AttachFollower(
+    std::shared_ptr<replication::Transport> transport,
+    ReplicationOptions options) {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "replication requires a write-ahead log (OpenDurable first)");
+  }
+  if (transport == nullptr) {
+    return Status::InvalidArgument("AttachFollower needs a transport");
+  }
+  if (shipper_ == nullptr) {
+    shipper_ = std::make_unique<replication::LogShipper>(
+        &wal_->writer, replication::ShipperOptions{options.segment_bytes});
+  }
+  int id;
+  {
+    // Under the execution lock the graph and the log end cannot move, so
+    // the bootstrap snapshot is consistent with exactly the statements
+    // below the attach LSN — the invariant every later segment extends.
+    std::lock_guard<std::mutex> lock(wal_->exec_mu);
+    id = shipper_->Attach(std::move(transport), wal_->writer.appended_lsn(),
+                          storage::EncodeSnapshot(graph_));
+  }
+  (void)shipper_->Pump();
+  return id;
+}
+
+Status GraphDatabase::DetachFollower(int id) {
+  if (shipper_ == nullptr) {
+    return Status::InvalidArgument("no followers attached");
+  }
+  return shipper_->Detach(id);
+}
+
+Status GraphDatabase::PumpReplication() {
+  if (shipper_ == nullptr) return Status::OK();
+  return shipper_->Pump();
+}
+
+ReplicationStatus GraphDatabase::replication_status() const {
+  ReplicationStatus status;
+  if (wal_ != nullptr) {
+    status.appended_lsn = wal_->writer.appended_lsn();
+    status.durable_lsn = wal_->writer.durable_lsn();
+    status.log_bytes = wal_->writer.LogBytes();
+  }
+  status.min_acked_lsn = UINT64_MAX;
+  if (shipper_ != nullptr) {
+    for (const replication::FollowerStatus& f : shipper_->Statuses()) {
+      status.detail.push_back({f.id, f.acked_lsn, f.shipped_lsn});
+      status.min_acked_lsn = std::min(status.min_acked_lsn, f.acked_lsn);
+    }
+    status.followers = status.detail.size();
+  }
+  return status;
 }
 
 Status GraphDatabase::SaveToFile(const std::string& path) const {

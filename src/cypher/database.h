@@ -23,6 +23,11 @@ namespace storage {
 class WalWriter;
 }  // namespace storage
 
+namespace replication {
+class LogShipper;
+class Transport;
+}  // namespace replication
+
 /// Durability configuration for OpenDurable.
 struct DurabilityOptions {
   enum class SyncMode {
@@ -48,7 +53,40 @@ struct DurabilityOptions {
   /// whose snapshot alone exceeds the threshold from rewriting on every
   /// commit. 0 (the default) disables the hook: the log is append-only
   /// forever, exactly as before.
+  ///
+  /// With followers attached (AttachFollower), compaction additionally
+  /// waits for every follower's retention pin: bytes a lagging follower has
+  /// not acked are never dropped, however far past the threshold the log
+  /// grows, and detaching releases them (the next commit compacts).
   uint64_t auto_checkpoint_bytes = 0;
+};
+
+/// Knobs for AttachFollower.
+struct ReplicationOptions {
+  /// Target replication segment size (whole WAL records per segment, cut
+  /// under this many bytes; one oversized record still ships alone).
+  uint64_t segment_bytes = 64 * 1024;
+};
+
+struct FollowerInfo {
+  int id = 0;
+  uint64_t acked_lsn = 0;
+  uint64_t shipped_lsn = 0;
+};
+
+/// What `replication_status` reports: per-follower cursors plus the
+/// leader-side log coordinates lag is measured against.
+struct ReplicationStatus {
+  size_t followers = 0;
+  uint64_t appended_lsn = 0;
+  uint64_t durable_lsn = 0;
+  /// Smallest acked LSN across followers (UINT64_MAX when none) — retention
+  /// holds every log byte from here on.
+  uint64_t min_acked_lsn = 0;
+  /// Current WAL size — with a lagging follower attached this keeps growing
+  /// past the auto-checkpoint threshold until the follower catches up.
+  uint64_t log_bytes = 0;
+  std::vector<FollowerInfo> detail;
 };
 
 /// The public entry point: an in-process property graph database speaking
@@ -142,6 +180,30 @@ class GraphDatabase {
   /// The log writer; tests use it to reach the underlying LogFile.
   storage::WalWriter* wal_writer();
 
+  // ---- Log-shipping replication ---------------------------------------------
+
+  /// Attaches a read-only follower (a replication::Replica on the other end
+  /// of `transport`): under the execution lock, snapshots the graph at the
+  /// current end LSN, registers a WAL retention pin there, and starts
+  /// streaming every later committed statement as record-aligned segments.
+  /// Requires a write-ahead log (the statement stream IS the WAL). Commits
+  /// pump the stream automatically; tests and pollers can PumpReplication()
+  /// at any time. Returns the follower id for DetachFollower.
+  Result<int> AttachFollower(std::shared_ptr<replication::Transport> transport,
+                             ReplicationOptions options = {});
+
+  /// Releases the follower's retention pin and stops streaming to it. The
+  /// next commit past the auto-checkpoint threshold can compact again.
+  Status DetachFollower(int id);
+
+  /// One replication round: process follower acks/resend requests, ship new
+  /// durable bytes. Called automatically after each durable commit.
+  Status PumpReplication();
+
+  ReplicationStatus replication_status() const;
+
+  bool replicating() const { return shipper_ != nullptr; }
+
   // ---- Plan cache -----------------------------------------------------------
 
   /// The session's parametrized plan cache (see vm/plan_cache.h). Execute
@@ -230,6 +292,9 @@ class GraphDatabase {
   PropertyGraph graph_;
   EvalOptions options_;
   std::unique_ptr<WalSession> wal_;
+  /// Declared after wal_: the shipper holds retention pins in wal_'s writer
+  /// and must release them first on destruction.
+  std::unique_ptr<replication::LogShipper> shipper_;
   std::unique_ptr<PlanCache> plan_cache_;
   SessionCacheCounters session_counters_;
   bool mvcc_requested_ = false;

@@ -1,0 +1,149 @@
+#include "replication/log_shipper.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/crc32.h"
+
+namespace cypher::replication {
+
+LogShipper::LogShipper(storage::WalWriter* wal, ShipperOptions options)
+    : wal_(wal), options_(options) {
+  if (options_.segment_bytes == 0) options_.segment_bytes = 1;
+}
+
+LogShipper::~LogShipper() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Follower& f : followers_) wal_->ReleaseRetentionPin(f.pin_id);
+}
+
+int LogShipper::Attach(std::shared_ptr<Transport> transport, uint64_t lsn,
+                       std::string snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Follower f;
+  f.id = next_id_++;
+  f.transport = std::move(transport);
+  // Pin at the bootstrap LSN: the follower never needs bytes below it (the
+  // snapshot subsumes them), and compaction must hold everything after it
+  // until acks move the pin forward.
+  f.pin_id = wal_->RegisterRetentionPin(lsn);
+  f.acked_lsn = lsn;
+  f.shipped_lsn = lsn;
+  SegmentFrame frame;
+  frame.type = FrameType::kSnapshot;
+  frame.from_lsn = 0;
+  frame.to_lsn = lsn;
+  frame.crc = Crc32(snapshot.data(), snapshot.size());
+  frame.payload = std::move(snapshot);
+  f.bootstrap = frame;
+  (void)f.transport->Send(std::move(frame));
+  followers_.push_back(std::move(f));
+  return followers_.back().id;
+}
+
+Status LogShipper::Detach(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = followers_.begin(); it != followers_.end(); ++it) {
+    if (it->id != id) continue;
+    wal_->ReleaseRetentionPin(it->pin_id);
+    followers_.erase(it);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("no attached follower with id " +
+                                 std::to_string(id));
+}
+
+void LogShipper::DrainControlLocked(Follower* f) {
+  ControlFrame control;
+  while (f->transport->PollControl(&control)) {
+    if (control.type == ControlType::kAck) {
+      if (control.lsn > f->acked_lsn) {
+        f->acked_lsn = control.lsn;
+        wal_->AdvanceRetentionPin(f->pin_id, control.lsn);
+      }
+      if (f->bootstrap && control.lsn >= f->bootstrap->to_lsn) {
+        f->bootstrap.reset();  // bootstrap landed; stop retaining it
+      }
+    } else {
+      // Resume the stream from the follower's applied position — never
+      // below its ack (an ack is a promise the bytes landed). If the
+      // bootstrap itself was lost, serve the retained copy first.
+      uint64_t from = std::max(control.lsn, f->acked_lsn);
+      if (f->bootstrap && from <= f->bootstrap->to_lsn) {
+        (void)f->transport->Send(*f->bootstrap);
+        from = f->bootstrap->to_lsn;
+      }
+      f->shipped_lsn = from;
+    }
+  }
+}
+
+Status LogShipper::ShipLocked(Follower* f) {
+  uint64_t end = 0;
+  CYPHER_ASSIGN_OR_RETURN(std::string bytes,
+                          wal_->ReadDurableFrom(f->shipped_lsn, &end));
+  std::string_view view = bytes;
+  size_t pos = 0;
+  while (pos < view.size()) {
+    // Cut the next segment: whole records only, at most segment_bytes
+    // (always at least one record, however large).
+    size_t seg_end = pos;
+    while (seg_end < view.size()) {
+      size_t frame_size = storage::WalFrameSize(view.substr(seg_end));
+      if (frame_size == 0) {
+        // The durable prefix holds only whole records; a torn one here is
+        // an engine bug, not an I/O condition.
+        return Status::InternalError("torn record inside the durable prefix");
+      }
+      if (seg_end > pos && seg_end + frame_size - pos > options_.segment_bytes) {
+        break;
+      }
+      seg_end += frame_size;
+    }
+    SegmentFrame frame;
+    frame.type = FrameType::kSegment;
+    frame.from_lsn = f->shipped_lsn + pos;
+    frame.to_lsn = f->shipped_lsn + seg_end;
+    frame.payload = std::string(view.substr(pos, seg_end - pos));
+    frame.crc = Crc32(frame.payload.data(), frame.payload.size());
+    CYPHER_RETURN_NOT_OK(f->transport->Send(std::move(frame)));
+    pos = seg_end;
+  }
+  f->shipped_lsn += pos;
+  return Status::OK();
+}
+
+Status LogShipper::Pump() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status first_error = Status::OK();
+  for (Follower& f : followers_) {
+    DrainControlLocked(&f);
+    Status st = ShipLocked(&f);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+std::vector<FollowerStatus> LogShipper::Statuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FollowerStatus> out;
+  out.reserve(followers_.size());
+  for (const Follower& f : followers_) {
+    out.push_back({f.id, f.acked_lsn, f.shipped_lsn});
+  }
+  return out;
+}
+
+size_t LogShipper::follower_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return followers_.size();
+}
+
+uint64_t LogShipper::min_acked_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t min = UINT64_MAX;
+  for (const Follower& f : followers_) min = std::min(min, f.acked_lsn);
+  return min;
+}
+
+}  // namespace cypher::replication

@@ -1,0 +1,105 @@
+#ifndef CYPHER_REPLICATION_LOG_SHIPPER_H_
+#define CYPHER_REPLICATION_LOG_SHIPPER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "replication/transport.h"
+#include "storage/wal.h"
+
+namespace cypher::replication {
+
+struct ShipperOptions {
+  /// Target segment size: a segment carries as many whole WAL records as
+  /// fit under this many bytes (always at least one, so a single oversized
+  /// record still ships alone).
+  uint64_t segment_bytes = 64 * 1024;
+};
+
+struct FollowerStatus {
+  int id = 0;
+  /// Last LSN the follower confirmed applied — the retention pin position.
+  uint64_t acked_lsn = 0;
+  /// Stream cursor: everything durable below this has been sent.
+  uint64_t shipped_lsn = 0;
+};
+
+/// Leader-side replication: cuts the WAL's durable byte stream into
+/// record-aligned, checksummed segments and ships them to each attached
+/// follower over its Transport. Per follower it keeps an ack cursor (backed
+/// by a WalWriter retention pin, so auto-checkpoint compaction can never
+/// drop bytes a follower still needs) and a shipped cursor that a kResend
+/// control frame rewinds — a damaged or dropped segment is simply re-read
+/// from the log and re-sent.
+///
+/// The bootstrap snapshot handed to Attach is retained until the follower's
+/// first ack covers it, so a snapshot frame lost on the wire can be served
+/// again without consulting the database.
+///
+/// Thread-safe; Pump is called after every durable commit (and by tests /
+/// the shell directly), from any thread.
+class LogShipper {
+ public:
+  LogShipper(storage::WalWriter* wal, ShipperOptions options);
+  ~LogShipper();
+
+  LogShipper(const LogShipper&) = delete;
+  LogShipper& operator=(const LogShipper&) = delete;
+
+  /// Registers a follower whose state will be bootstrapped from `snapshot`,
+  /// a leader graph image consistent with exactly the statements below
+  /// `lsn`. The caller (the database layer) guarantees that consistency by
+  /// encoding the snapshot under its execution lock. Sends the bootstrap
+  /// frame immediately; returns the follower id.
+  int Attach(std::shared_ptr<Transport> transport, uint64_t lsn,
+             std::string snapshot);
+
+  /// Releases the follower's retention pin and forgets it.
+  Status Detach(int id);
+
+  /// One replication round: drain control frames (acks advance retention
+  /// pins, resend requests rewind stream cursors and re-serve retained
+  /// bootstraps), then ship every follower the durable bytes past its
+  /// cursor in record-aligned segments. Transport errors are reported but
+  /// leave cursors unadvanced — the next Pump retries.
+  Status Pump();
+
+  std::vector<FollowerStatus> Statuses() const;
+  size_t follower_count() const;
+
+  /// Smallest acked LSN across followers (UINT64_MAX when none) — how far
+  /// back retention reaches.
+  uint64_t min_acked_lsn() const;
+
+ private:
+  struct Follower {
+    int id = 0;
+    std::shared_ptr<Transport> transport;
+    uint64_t pin_id = 0;
+    uint64_t acked_lsn = 0;
+    uint64_t shipped_lsn = 0;
+    /// Bootstrap frame, retained until the follower acks past it.
+    std::optional<SegmentFrame> bootstrap;
+  };
+
+  /// Processes one follower's queued control frames. Holds mu_.
+  void DrainControlLocked(Follower* follower);
+
+  /// Ships [shipped_lsn, durable) to one follower. Holds mu_.
+  Status ShipLocked(Follower* follower);
+
+  mutable std::mutex mu_;
+  storage::WalWriter* wal_;
+  ShipperOptions options_;
+  std::vector<Follower> followers_;
+  int next_id_ = 1;
+};
+
+}  // namespace cypher::replication
+
+#endif  // CYPHER_REPLICATION_LOG_SHIPPER_H_

@@ -1,0 +1,103 @@
+#include "replication/replica.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/crc32.h"
+#include "graph/serialize.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace cypher::replication {
+
+Replica::Replica(std::shared_ptr<Transport> transport, EvalOptions options)
+    : transport_(std::move(transport)), db_(std::move(options)) {}
+
+Result<size_t> Replica::PollOnce() {
+  size_t applied = 0;
+  SegmentFrame frame;
+  bool damaged = false;
+  while (transport_->Receive(&frame)) {
+    if (damaged) continue;  // drain the rest; the shipper will resend
+    Status st = ApplyFrame(frame, &applied);
+    if (!st.ok()) {
+      // Never apply a damaged, torn, gapped, or overlapping frame. Ask the
+      // shipper to resume from our applied position and discard everything
+      // still queued — it was cut against the stream we just rejected.
+      damaged = true;
+      CYPHER_RETURN_NOT_OK(transport_->SendControl(
+          {ControlType::kResend, applied_lsn_.load()}));
+    }
+  }
+  if (applied > 0 && !damaged) {
+    CYPHER_RETURN_NOT_OK(
+        transport_->SendControl({ControlType::kAck, applied_lsn_.load()}));
+  }
+  return applied;
+}
+
+Status Replica::ApplyFrame(const SegmentFrame& frame, size_t* applied) {
+  if (Crc32(frame.payload.data(), frame.payload.size()) != frame.crc) {
+    return Status::InvalidArgument("replication frame failed its checksum");
+  }
+  if (frame.type == FrameType::kSnapshot) {
+    if (bootstrapped_.load() && frame.to_lsn <= applied_lsn_.load()) {
+      return Status::OK();  // duplicate bootstrap: already there
+    }
+    CYPHER_ASSIGN_OR_RETURN(PropertyGraph graph,
+                            storage::DecodeSnapshot(frame.payload));
+    db_.graph() = std::move(graph);
+    // The graph object was replaced wholesale: stale stamped plans must not
+    // revive, and MVCC starts fresh with the bootstrap state as epoch 0.
+    db_.plan_cache().Clear();
+    CYPHER_RETURN_NOT_OK(db_.EnableMvcc());
+    applied_lsn_.store(frame.to_lsn);
+    bootstrapped_.store(true);
+    ++*applied;
+    return Status::OK();
+  }
+  if (!bootstrapped_.load()) {
+    return Status::InvalidArgument("segment before bootstrap snapshot");
+  }
+  uint64_t at = applied_lsn_.load();
+  if (frame.to_lsn <= at) return Status::OK();  // duplicate: skip whole
+  if (frame.from_lsn != at) {
+    return Status::InvalidArgument("segment out of order: follower at lsn " +
+                                   std::to_string(at) + ", segment starts " +
+                                   std::to_string(frame.from_lsn));
+  }
+  if (frame.to_lsn - frame.from_lsn != frame.payload.size()) {
+    return Status::InvalidArgument("segment length disagrees with lsn span");
+  }
+  // Validate the WHOLE segment before applying anything: a torn or
+  // checksum-failing record anywhere means the transport damaged the frame,
+  // and none of it may touch the graph.
+  CYPHER_ASSIGN_OR_RETURN(std::vector<storage::WalRecord> records,
+                          storage::DecodeWalSegment(frame.payload));
+  std::string_view payload = frame.payload;
+  size_t offset = 0;
+  for (const storage::WalRecord& record : records) {
+    offset += storage::WalFrameSize(payload.substr(offset));
+    if (record.type == storage::WalRecordType::kStatement) {
+      CYPHER_RETURN_NOT_OK(storage::ApplyRedoLog(&db_.graph(), record.payload));
+      // Publish per statement: a read session opened mid-segment pins a
+      // committed leader prefix, never a half-applied record.
+      if (db_.mvcc_enabled()) db_.graph().PublishEpoch();
+      statements_.fetch_add(1);
+    }
+    // kSnapshot: a contiguous follower already holds exactly this state
+    // (an explicit leader checkpoint); only the LSN advances.
+    //
+    // The LSN moves per record, not per segment, so even a failure between
+    // records resumes exactly at the failed record — never a re-apply.
+    applied_lsn_.store(frame.from_lsn + offset);
+  }
+  ++*applied;
+  return Status::OK();
+}
+
+std::string Replica::CanonicalDump() const {
+  return DumpGraphCanonical(db_.graph());
+}
+
+}  // namespace cypher::replication

@@ -1,0 +1,86 @@
+#ifndef CYPHER_REPLICATION_REPLICA_H_
+#define CYPHER_REPLICATION_REPLICA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "cypher/database.h"
+#include "replication/transport.h"
+
+namespace cypher::replication {
+
+/// A read-only follower: wraps its own GraphDatabase, bootstraps from the
+/// leader's snapshot frame, then applies committed statements in leader
+/// order via the same replay path crash recovery uses (ApplyRedoLog). Every
+/// applied statement publishes an MVCC epoch, so BeginReadSession serves
+/// snapshot-isolated reads at the follower's applied position, lock-free
+/// against the applier.
+///
+/// The applied-LSN invariant: after any PollOnce, the follower's graph is
+/// byte-for-byte (DumpGraphCanonical) the state some committed leader
+/// statement prefix produced, and applied_lsn() names exactly which one. A
+/// frame that is damaged (CRC), torn (record framing), gapped, or
+/// overlapping is never applied — the replica requests a resend from its
+/// applied position and discards the rest of the queue (the shipper rewinds
+/// and re-reads the log). Duplicate frames are skipped idempotently.
+///
+/// Mid-stream kSnapshot records (an explicit leader Checkpoint) advance the
+/// LSN without touching the graph: a contiguous follower is already in
+/// exactly the state the snapshot encodes.
+///
+/// Threading: one applier thread calls PollOnce; status getters are safe
+/// from anywhere; concurrent reads go through BeginReadSession (one session
+/// per reader thread, as on the leader).
+class Replica {
+ public:
+  explicit Replica(std::shared_ptr<Transport> transport,
+                   EvalOptions options = {});
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// Drains every queued frame, applying in order. Returns the number of
+  /// frames applied (bootstrap counts as one).
+  Result<size_t> PollOnce();
+
+  /// The LSN of the last applied record boundary (0 before bootstrap).
+  uint64_t applied_lsn() const { return applied_lsn_.load(); }
+
+  bool bootstrapped() const { return bootstrapped_.load(); }
+
+  /// Statement records applied since bootstrap.
+  uint64_t statements_applied() const { return statements_.load(); }
+
+  /// Snapshot-isolated read session pinned at the applied epoch; requires a
+  /// completed bootstrap (the database is MVCC-enabled from then on).
+  Result<GraphDatabase::ReadSession> BeginReadSession() {
+    return db_.BeginReadSession();
+  }
+
+  /// The wrapped database — inspection and read-only use only; writing to
+  /// it would diverge from the leader stream. Call from the applier thread
+  /// (or with it quiescent); concurrent readers use BeginReadSession.
+  GraphDatabase& database() { return db_; }
+
+  /// DumpGraphCanonical of the applied state (applier thread only).
+  std::string CanonicalDump() const;
+
+ private:
+  /// Validates and applies one frame; `*applied` increments when the frame
+  /// advanced state. Any non-OK return means "damaged or out of order" and
+  /// triggers the resend protocol in PollOnce.
+  Status ApplyFrame(const SegmentFrame& frame, size_t* applied);
+
+  std::shared_ptr<Transport> transport_;
+  GraphDatabase db_;
+  std::atomic<uint64_t> applied_lsn_{0};
+  std::atomic<bool> bootstrapped_{false};
+  std::atomic<uint64_t> statements_{0};
+};
+
+}  // namespace cypher::replication
+
+#endif  // CYPHER_REPLICATION_REPLICA_H_

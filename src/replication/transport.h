@@ -1,0 +1,195 @@
+#ifndef CYPHER_REPLICATION_TRANSPORT_H_
+#define CYPHER_REPLICATION_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+
+namespace cypher::replication {
+
+/// One leader→follower message. A kSnapshot frame bootstraps: `payload` is
+/// an exact-slot snapshot (storage::EncodeSnapshot) of the leader graph as
+/// of `to_lsn`. A kSegment frame tails: `payload` is a run of whole,
+/// CRC-framed WAL records covering exactly the leader's durable byte range
+/// [from_lsn, to_lsn). `crc` covers `payload` end to end, so a transport
+/// that corrupts or truncates a frame is caught before anything applies.
+enum class FrameType : uint8_t {
+  kSnapshot = 1,
+  kSegment = 2,
+};
+
+struct SegmentFrame {
+  FrameType type = FrameType::kSegment;
+  uint64_t from_lsn = 0;
+  uint64_t to_lsn = 0;
+  uint32_t crc = 0;
+  std::string payload;
+};
+
+/// One follower→leader message. kAck: "applied through `lsn`, retention may
+/// advance". kResend: "something arrived damaged or out of order; resume the
+/// stream from `lsn`" (the follower's applied position — 0 asks for the
+/// bootstrap snapshot again).
+enum class ControlType : uint8_t {
+  kAck = 1,
+  kResend = 2,
+};
+
+struct ControlFrame {
+  ControlType type = ControlType::kAck;
+  uint64_t lsn = 0;
+};
+
+/// The pluggable wire between a LogShipper and a Replica: a data channel
+/// leader→follower and a control channel back. The interface is
+/// socket-shaped — frames are self-delimiting, checksummed, and carry their
+/// own LSN coordinates, so a TCP implementation is a serialization detail —
+/// but the only implementation today is an in-process pair of queues.
+///
+/// Receive/Poll calls are non-blocking polls (a follower tails at its own
+/// pace). Implementations must be safe for one sender and one receiver
+/// thread per channel.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Leader endpoint.
+  virtual Status Send(SegmentFrame frame) = 0;
+  virtual bool PollControl(ControlFrame* out) = 0;
+
+  // Follower endpoint.
+  virtual bool Receive(SegmentFrame* out) = 0;
+  virtual Status SendControl(ControlFrame frame) = 0;
+};
+
+/// Two mutex-guarded deques; the in-process "wire".
+class InProcessTransport : public Transport {
+ public:
+  Status Send(SegmentFrame frame) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    data_.push_back(std::move(frame));
+    return Status::OK();
+  }
+
+  bool Receive(SegmentFrame* out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (data_.empty()) return false;
+    *out = std::move(data_.front());
+    data_.pop_front();
+    return true;
+  }
+
+  Status SendControl(ControlFrame frame) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    control_.push_back(frame);
+    return Status::OK();
+  }
+
+  bool PollControl(ControlFrame* out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (control_.empty()) return false;
+    *out = control_.front();
+    control_.pop_front();
+    return true;
+  }
+
+  /// Queued-but-undelivered data frames (tests size the pipe).
+  size_t pending_data() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return data_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<SegmentFrame> data_;
+  std::deque<ControlFrame> control_;
+};
+
+/// Fault-injection wrapper over a real transport, in the FaultyLogFile
+/// style: schedule a fault on the n-th (1-based) data Send and the frame is
+/// corrupted, truncated, duplicated, or dropped on the wire. The follower's
+/// CRC/LSN checks must catch every one of these — a torn record must never
+/// apply, an LSN must never be skipped — and the resend protocol must
+/// converge afterwards. Control frames pass through untouched.
+class FaultyTransport : public Transport {
+ public:
+  explicit FaultyTransport(std::shared_ptr<Transport> base)
+      : base_(std::move(base)) {}
+
+  enum class Fault { kCorrupt, kTruncate, kDuplicate, kDrop };
+
+  /// Schedules `fault` for the `send`-th data Send (1-based). Multiple
+  /// sends can each carry their own fault.
+  void InjectOnSend(uint64_t send, Fault fault) {
+    std::lock_guard<std::mutex> lock(mu_);
+    faults_[send] = fault;
+  }
+
+  uint64_t sends() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sends_;
+  }
+
+  Status Send(SegmentFrame frame) override {
+    Fault fault;
+    bool faulty = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++sends_;
+      auto it = faults_.find(sends_);
+      if (it != faults_.end()) {
+        faulty = true;
+        fault = it->second;
+        faults_.erase(it);
+      }
+    }
+    if (!faulty) return base_->Send(std::move(frame));
+    switch (fault) {
+      case Fault::kCorrupt:
+        // Flip one payload bit, leaving the frame CRC stale.
+        if (!frame.payload.empty()) {
+          frame.payload[frame.payload.size() / 2] ^= 0x20;
+        } else {
+          frame.crc ^= 1;
+        }
+        return base_->Send(std::move(frame));
+      case Fault::kTruncate:
+        frame.payload.resize(frame.payload.size() / 2);
+        return base_->Send(std::move(frame));
+      case Fault::kDuplicate: {
+        SegmentFrame copy = frame;
+        Status st = base_->Send(std::move(copy));
+        if (!st.ok()) return st;
+        return base_->Send(std::move(frame));
+      }
+      case Fault::kDrop:
+        return Status::OK();  // vanished on the wire, sender none the wiser
+    }
+    return Status::OK();
+  }
+
+  bool Receive(SegmentFrame* out) override { return base_->Receive(out); }
+
+  Status SendControl(ControlFrame frame) override {
+    return base_->SendControl(frame);
+  }
+
+  bool PollControl(ControlFrame* out) override {
+    return base_->PollControl(out);
+  }
+
+ private:
+  std::shared_ptr<Transport> base_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Fault> faults_;
+  uint64_t sends_ = 0;
+};
+
+}  // namespace cypher::replication
+
+#endif  // CYPHER_REPLICATION_TRANSPORT_H_

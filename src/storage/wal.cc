@@ -1,5 +1,6 @@
 #include "storage/wal.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/crc32.h"
@@ -34,6 +35,39 @@ std::string EncodeWalRecord(WalRecordType type, std::string_view payload) {
   PutU32(&out, Crc32(body.data(), body.size()));
   out += body;
   return out;
+}
+
+size_t WalFrameSize(std::string_view bytes) {
+  if (bytes.size() < 8) return 0;
+  uint32_t len = GetU32(bytes.data());
+  if (len == 0 || bytes.size() - 8 < len) return 0;
+  return 8 + len;
+}
+
+Result<std::vector<WalRecord>> DecodeWalSegment(std::string_view bytes) {
+  std::vector<WalRecord> records;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    size_t frame = WalFrameSize(bytes.substr(pos));
+    if (frame == 0) {
+      return Status::InvalidArgument("torn record in replication segment");
+    }
+    uint32_t crc = GetU32(bytes.data() + pos + 4);
+    const char* body = bytes.data() + pos + 8;
+    size_t len = frame - 8;
+    if (Crc32(body, len) != crc) {
+      return Status::InvalidArgument("corrupt record in replication segment");
+    }
+    auto type = static_cast<WalRecordType>(static_cast<unsigned char>(*body));
+    if (type != WalRecordType::kSnapshot &&
+        type != WalRecordType::kStatement) {
+      return Status::InvalidArgument(
+          "unknown record type in replication segment");
+    }
+    records.push_back({type, std::string(body + 1, len - 1)});
+    pos += frame;
+  }
+  return records;
 }
 
 Result<WalContents> DecodeWal(std::string_view bytes) {
@@ -126,6 +160,18 @@ Status WalWriter::Rewrite(WalRecordType type, std::string_view payload) {
   std::unique_lock<std::mutex> lock(mu_);
   while (leader_active_) cv_.wait(lock);
   if (!error_.ok()) return error_;
+  // Retention check BEFORE anything is mutated: a pin below the
+  // post-compaction end means some reader still needs old bytes the
+  // rewrite would drop. Refuse without poisoning — the log just keeps
+  // growing until the pinned cursor catches up or detaches.
+  for (const auto& [id, pinned_lsn] : pins_) {
+    if (pinned_lsn < appended_lsn_) {
+      return Status::InvalidArgument(
+          "rewrite refused: retention pin at lsn " +
+          std::to_string(pinned_lsn) + " still needs bytes before lsn " +
+          std::to_string(appended_lsn_));
+    }
+  }
   // Take the leader role so no concurrent Sync touches the file while it
   // is being replaced. Buffered records are dropped — the payload subsumes
   // them (see header contract) — so the virtual end LSN simply becomes
@@ -150,6 +196,60 @@ Status WalWriter::Rewrite(WalRecordType type, std::string_view payload) {
   }
   cv_.notify_all();
   return st;
+}
+
+uint64_t WalWriter::RegisterRetentionPin(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_pin_id_++;
+  pins_[id] = lsn;
+  return id;
+}
+
+void WalWriter::AdvanceRetentionPin(uint64_t pin_id, uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pins_.find(pin_id);
+  if (it != pins_.end() && lsn > it->second) it->second = lsn;
+}
+
+void WalWriter::ReleaseRetentionPin(uint64_t pin_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pins_.erase(pin_id);
+}
+
+uint64_t WalWriter::MinRetentionPin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t min = UINT64_MAX;
+  for (const auto& [id, lsn] : pins_) min = std::min(min, lsn);
+  return min;
+}
+
+Result<std::string> WalWriter::ReadDurableFrom(uint64_t from_lsn,
+                                               uint64_t* end_lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wait out an in-flight group-commit leader (or rewrite): it appends to
+  // the file without holding mu_, and the read must not race that. Once
+  // leader_active_ is false and we hold mu_, nobody touches the file.
+  while (leader_active_) cv_.wait(lock);
+  if (from_lsn < base_offset_ + kWalMagicSize) {
+    return Status::InvalidArgument(
+        "durable read below the compaction base: lsn " +
+        std::to_string(from_lsn) + " < " +
+        std::to_string(base_offset_ + kWalMagicSize));
+  }
+  if (from_lsn >= durable_lsn_) {
+    // A cursor at (or ahead of — appended but unsynced records) the durable
+    // end: nothing to read yet.
+    *end_lsn = from_lsn;
+    return std::string();
+  }
+  *end_lsn = durable_lsn_;
+  CYPHER_ASSIGN_OR_RETURN(std::string bytes, file_->ReadAll());
+  uint64_t begin = from_lsn - base_offset_;
+  uint64_t end = durable_lsn_ - base_offset_;
+  if (end > bytes.size()) {
+    return Status::InternalError("durable prefix exceeds log file size");
+  }
+  return bytes.substr(begin, end - begin);
 }
 
 uint64_t WalWriter::LogBytes() const {

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -58,6 +59,17 @@ struct WalContents {
 /// never an error, because that is exactly what a crash leaves behind.
 Result<WalContents> DecodeWal(std::string_view bytes);
 
+/// Size (header + body) of the complete frame at the front of `bytes`, or 0
+/// when no whole frame is there. Does not verify the checksum — this is the
+/// record-boundary walker the replication shipper cuts segments with.
+size_t WalFrameSize(std::string_view bytes);
+
+/// Decodes a run of frames with no leading magic — a replication segment.
+/// Unlike DecodeWal, a torn or checksum-failing byte here is an ERROR, not a
+/// tail to drop: a shipped segment is whole by construction, so damage means
+/// the transport corrupted it and the follower must re-fetch, never apply.
+Result<std::vector<WalRecord>> DecodeWalSegment(std::string_view bytes);
+
 /// Serializes appends and batches fsyncs (group commit).
 ///
 /// Append buffers a framed record in memory and returns its LSN — the byte
@@ -92,7 +104,39 @@ class WalWriter {
   /// durable the moment the rewrite lands, because the snapshot subsumes
   /// it. Waits out an in-flight group-commit leader; a failure is sticky
   /// like any other log I/O error.
+  ///
+  /// Refused (InvalidArgument, NOT sticky) while any retention pin sits
+  /// below the post-compaction end: the pinned reader still needs bytes the
+  /// rewrite would drop, so the log keeps growing until the pin catches up
+  /// or is released. The database's auto-checkpoint treats the refusal as
+  /// "retry after the next commit".
   Status Rewrite(WalRecordType type, std::string_view payload);
+
+  // ---- Retention pins -------------------------------------------------------
+  // A pin marks "some reader (a replication follower's shipper cursor)
+  // still needs every durable byte from `lsn` on". Rewrite refuses to
+  // compact past a pin; everything else is unaffected. Pins only advance.
+
+  /// Registers a pin at `lsn`; returns an id for Advance/Release.
+  uint64_t RegisterRetentionPin(uint64_t lsn);
+
+  /// Moves a pin forward (backward moves are ignored — retention only
+  /// ever shrinks).
+  void AdvanceRetentionPin(uint64_t pin_id, uint64_t lsn);
+
+  void ReleaseRetentionPin(uint64_t pin_id);
+
+  /// The smallest pinned LSN, or UINT64_MAX when no pin is registered.
+  uint64_t MinRetentionPin() const;
+
+  /// Reads the durable byte range [from_lsn, durable_lsn) — whole framed
+  /// records by construction — and reports the range end in `*end_lsn`.
+  /// Waits out an in-flight group-commit leader so the read never races an
+  /// append. `from_lsn` must be at or above the compaction base (guaranteed
+  /// for any pinned cursor); a cursor at or ahead of the durable end (a
+  /// group-commit record appended but not yet synced) reads an empty string
+  /// with *end_lsn == from_lsn — nothing new durable yet, not an error.
+  Result<std::string> ReadDurableFrom(uint64_t from_lsn, uint64_t* end_lsn);
 
   /// Bytes the file will hold once everything buffered is flushed — the
   /// auto-checkpoint trigger. (Not an LSN: compaction resets file size but
@@ -121,6 +165,9 @@ class WalWriter {
   uint64_t base_offset_ = 0;
   bool leader_active_ = false;
   Status error_;
+  /// Retention pins by id (see RegisterRetentionPin). Guarded by mu_.
+  std::map<uint64_t, uint64_t> pins_;
+  uint64_t next_pin_id_ = 1;
 };
 
 }  // namespace cypher::storage

@@ -344,6 +344,58 @@ TEST(WalRecovery, CheckpointRebasesRecovery) {
   EXPECT_LE(recovered->statements, after_checkpoint);
 }
 
+// ---- Retention pins --------------------------------------------------------
+
+// Rewrite used to assume nobody still reads the old bytes; a replication
+// follower's shipper cursor does. A pin below the post-compaction end must
+// make Rewrite refuse (without poisoning the writer), and releasing or
+// advancing the pin re-enables compaction.
+TEST(WalRetention, RewriteRefusesWhilePinnedThenSucceeds) {
+  storage::WalWriter writer(std::make_unique<MemoryLogFile>());
+  auto append = [&](const std::string& payload) {
+    auto lsn = writer.Append(WalRecordType::kStatement, payload);
+    ASSERT_TRUE(lsn.ok());
+    ASSERT_TRUE(writer.Sync(*lsn).ok());
+  };
+  append("first");
+  uint64_t pin = writer.RegisterRetentionPin(writer.appended_lsn());
+  append("second");  // the pinned reader has not fetched this yet
+
+  uint64_t bytes_before = writer.LogBytes();
+  Status refused = writer.Rewrite(WalRecordType::kSnapshot, "snap");
+  EXPECT_FALSE(refused.ok());
+  EXPECT_NE(refused.ToString().find("retention pin"), std::string::npos)
+      << refused.ToString();
+  // Refusal is not an I/O failure: nothing dropped, writer not poisoned.
+  EXPECT_EQ(writer.LogBytes(), bytes_before);
+  EXPECT_TRUE(writer.error().ok());
+  append("third");  // still healthy
+
+  // The pinned reader can still fetch everything from its pin on.
+  uint64_t min_pin = writer.MinRetentionPin();
+  uint64_t end = 0;
+  auto bytes = writer.ReadDurableFrom(min_pin, &end);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_EQ(end, writer.durable_lsn());
+  auto records = storage::DecodeWalSegment(*bytes);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].payload, "second");
+  EXPECT_EQ((*records)[1].payload, "third");
+
+  // Caught up: the pin sits at the end, compaction may proceed.
+  writer.AdvanceRetentionPin(pin, writer.appended_lsn());
+  ASSERT_TRUE(writer.Rewrite(WalRecordType::kSnapshot, "snap").ok());
+  EXPECT_LT(writer.LogBytes(), bytes_before);
+
+  // Reads below the new compaction base are refused, never garbage.
+  uint64_t stale = 0;
+  EXPECT_FALSE(writer.ReadDurableFrom(min_pin, &stale).ok());
+
+  writer.ReleaseRetentionPin(pin);
+  EXPECT_EQ(writer.MinRetentionPin(), UINT64_MAX);
+}
+
 // ---- Open-time behaviour --------------------------------------------------
 
 TEST(WalRecovery, OpenTruncatesTornTailAndKeepsAppending) {
