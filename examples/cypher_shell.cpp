@@ -22,8 +22,13 @@
 //   :replicate                attach an in-process read-only follower
 //                             (requires :wal; follower tails every commit)
 //   :replicate detach <id>    detach a follower (releases its WAL retention)
-//   :lag                      per-follower applied/acked LSN vs the leader,
-//                             plus retained log bytes
+//   :serve <endpoint>         serve replication on a socket (tcp:host:port
+//                             or unix:path) so follower processes — e.g.
+//                             replica_server — can attach; requires :wal
+//   :serve stop               stop serving (abrupt: how a leader dies)
+//   :lag                      per-follower cursors, connection state,
+//                             reconnects, heartbeat age, resend counts, and
+//                             staleness-detach warnings
 //   :cache                    plan-cache hit/miss/eviction counters
 //   :cache clear              drop cached plans and reset the counters
 //   :cache on|off             route statements through the plan cache / VM
@@ -44,6 +49,7 @@
 #include "exec/render.h"
 #include "graph/serialize.h"
 #include "replication/replica.h"
+#include "replication/socket_transport.h"
 #include "replication/transport.h"
 #include "storage/log_file.h"
 
@@ -69,6 +75,9 @@ struct ShellFollower {
   std::unique_ptr<cypher::replication::Replica> replica;
 };
 std::vector<ShellFollower> g_followers;
+
+/// The socket replication server started by :serve (null when not serving).
+std::unique_ptr<cypher::replication::SocketReplicationServer> g_server;
 
 /// Drains shipped segments into every follower and returns acks to the
 /// leader, so :lag reflects a settled steady state after each statement.
@@ -97,7 +106,7 @@ bool HandleMeta(GraphDatabase* db, const std::string& line) {
         ":legacy/:revised, :order forward|reverse|shuffle [seed],\n"
         ":variant atomic|grouping|weak|collapse|strong|off, :homo/:trail,\n"
         ":parallel <workers> [morsel], :timeout <ms>, :wal <path>,\n"
-        ":checkpoint, :replicate [detach <id>], :lag,\n"
+        ":checkpoint, :replicate [detach <id>], :serve <endpoint>|stop, :lag,\n"
         ":cache [clear|on|off], :dump, :dot, :stats, :clear, :quit\n");
     return true;
   }
@@ -163,9 +172,44 @@ bool HandleMeta(GraphDatabase* db, const std::string& line) {
                                 : st.ToString().c_str());
     return true;
   }
+  if (line.rfind(":serve", 0) == 0) {
+    std::string arg = line.size() > 7 ? line.substr(7) : "";
+    if (arg == "stop") {
+      if (g_server == nullptr) {
+        std::printf("not serving\n");
+      } else {
+        g_server->Stop();
+        g_server.reset();
+        std::printf("replication server stopped\n");
+      }
+      return true;
+    }
+    if (g_server != nullptr) {
+      std::printf("already serving on %s; :serve stop first\n",
+                  g_server->endpoint().ToString().c_str());
+      return true;
+    }
+    auto endpoint = cypher::replication::Endpoint::Parse(arg);
+    if (!endpoint.ok()) {
+      std::printf("%s\n", endpoint.status().ToString().c_str());
+      return true;
+    }
+    auto server =
+        std::make_unique<cypher::replication::SocketReplicationServer>();
+    auto st = server->Start(db, *endpoint, cypher::ReplicationOptions{},
+                            cypher::replication::SocketOptions{});
+    if (!st.ok()) {
+      std::printf("%s\n", st.ToString().c_str());
+      return true;
+    }
+    g_server = std::move(server);
+    std::printf("serving replication on %s\n",
+                g_server->endpoint().ToString().c_str());
+    return true;
+  }
   if (line == ":lag") {
-    if (!db->replicating() || g_followers.empty()) {
-      std::printf("no followers; :replicate attaches one\n");
+    if (!db->replicating()) {
+      std::printf("no followers; :replicate or :serve attaches them\n");
       return true;
     }
     auto status = db->replication_status();
@@ -173,15 +217,39 @@ bool HandleMeta(GraphDatabase* db, const std::string& line) {
                 static_cast<unsigned long long>(status.appended_lsn),
                 static_cast<unsigned long long>(status.durable_lsn),
                 static_cast<unsigned long long>(status.log_bytes));
+    for (const cypher::FollowerInfo& f : status.detail) {
+      std::string wire = cypher::replication::LinkStateName(f.link.state);
+      if (f.link.reconnects > 0) {
+        wire += ", " + std::to_string(f.link.reconnects) + " reconnect" +
+                (f.link.reconnects == 1 ? "" : "s");
+      }
+      if (f.link.heartbeat_age_ms >= 0) {
+        wire += ", heard " + std::to_string(f.link.heartbeat_age_ms) +
+                "ms ago";
+      }
+      if (f.resends > 0) wire += ", " + std::to_string(f.resends) + " resends";
+      std::printf("follower %d: acked=%llu shipped=%llu (lag %llu bytes) "
+                  "[%s]\n",
+                  f.id, static_cast<unsigned long long>(f.acked_lsn),
+                  static_cast<unsigned long long>(f.shipped_lsn),
+                  static_cast<unsigned long long>(status.appended_lsn -
+                                                  f.acked_lsn),
+                  wire.c_str());
+    }
+    // In-process replicas carry extra apply-side detail the wire ones
+    // report over their own protocol.
     for (const ShellFollower& f : g_followers) {
-      uint64_t applied = f.replica->applied_lsn();
-      std::printf(
-          "follower %d: applied=%llu (lag %llu bytes), %llu statement%s "
-          "applied\n",
-          f.id, static_cast<unsigned long long>(applied),
-          static_cast<unsigned long long>(status.appended_lsn - applied),
-          static_cast<unsigned long long>(f.replica->statements_applied()),
-          f.replica->statements_applied() == 1 ? "" : "s");
+      std::printf("  in-process %d: applied=%llu, %llu statement%s applied\n",
+                  f.id,
+                  static_cast<unsigned long long>(f.replica->applied_lsn()),
+                  static_cast<unsigned long long>(
+                      f.replica->statements_applied()),
+                  f.replica->statements_applied() == 1 ? "" : "s");
+    }
+    if (status.stale_detaches > 0) {
+      std::printf("stale detaches: %llu (last: %s)\n",
+                  static_cast<unsigned long long>(status.stale_detaches),
+                  status.last_stale_warning.c_str());
     }
     return true;
   }
@@ -323,6 +391,12 @@ bool HandleMeta(GraphDatabase* db, const std::string& line) {
     return true;
   }
   if (line == ":clear") {
+    if (g_server != nullptr) {
+      // The server thread pumps this database; replacing it underneath
+      // would be a use-after-move.
+      std::printf("serving replication; :serve stop before :clear\n");
+      return true;
+    }
     // Followers tail the WAL being thrown away; detach them first so the
     // shipper's retention pins release before the database is replaced.
     DropFollowers(db);
@@ -370,6 +444,12 @@ int main() {
     // Commits auto-ship to attached followers; polling here keeps them
     // caught up statement by statement, so :lag normally reads zero.
     PumpFollowers(&db);
+  }
+  // The server thread holds a pointer to `db`; stop it before `db` dies
+  // (the global's destructor would run too late).
+  if (g_server != nullptr) {
+    g_server->Stop();
+    g_server.reset();
   }
   return 0;
 }

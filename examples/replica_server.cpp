@@ -1,0 +1,157 @@
+// replica_server — a follower process.
+//
+// Dials a leader's replication endpoint, bootstraps (or resumes from its
+// own durable WAL), tails the statement stream, and serves snapshot reads
+// while doing so. Driven over stdin by a tiny line protocol so the
+// multi-process fault-injection harness (tests/socket_replication_test.cc)
+// can interrogate and kill it at will:
+//
+//   usage: replica_server <endpoint> <wal-path> <meta-path>
+//
+//   stdin commands (one per line):
+//     DUMP           -> canonical graph dump at the applied position
+//     LSN            -> "<applied_lsn> <bootstraps> <statements>"
+//     TOKEN          -> the follower's identity token
+//     EXEC <query>   -> run a read-only statement in a snapshot session,
+//                       reply with its rendered table
+//     PROMOTE        -> seal the replica, promote to a durable leader over
+//                       its own WAL, reply "promoted <statements>"; later
+//                       EXEC statements (writes included) run on the new
+//                       leader
+//     QUIT           -> exit 0
+//
+//   every reply is length-prefixed:  "#<nbytes>\n" then exactly nbytes of
+//   payload — unambiguous over a pipe even when a dump contains newlines.
+//
+// The applier loop runs on the main thread between commands (stdin is
+// polled non-blockingly), so a `kill -9` can land at any point of apply,
+// sync, or ack — exactly what the harness wants to exercise.
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "cypher/database.h"
+#include "exec/render.h"
+#include "graph/serialize.h"
+#include "replication/replica.h"
+#include "replication/socket_transport.h"
+#include "storage/log_file.h"
+
+namespace {
+
+using cypher::GraphDatabase;
+using cypher::Result;
+using cypher::replication::Endpoint;
+using cypher::replication::Replica;
+using cypher::replication::ReplicaDurability;
+using cypher::replication::SocketTransport;
+
+void Reply(const std::string& payload) {
+  std::printf("#%zu\n", payload.size());
+  std::fwrite(payload.data(), 1, payload.size(), stdout);
+  std::fflush(stdout);
+}
+
+bool StdinReadable() {
+  pollfd pfd{STDIN_FILENO, POLLIN, 0};
+  return ::poll(&pfd, 1, 0) > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr,
+                 "usage: replica_server <endpoint> <wal-path> <meta-path>\n");
+    return 2;
+  }
+  auto endpoint = Endpoint::Parse(argv[1]);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "%s\n", endpoint.status().message().c_str());
+    return 2;
+  }
+  auto wal = cypher::storage::OpenPosixLogFile(argv[2]);
+  auto meta = cypher::storage::OpenPosixLogFile(argv[3]);
+  if (!wal.ok() || !meta.ok()) {
+    std::fprintf(stderr, "cannot open follower log files\n");
+    return 2;
+  }
+
+  auto transport = std::make_shared<SocketTransport>(*endpoint);
+  ReplicaDurability durability;
+  durability.wal = std::move(*wal);
+  durability.meta = std::move(*meta);
+  auto replica_or =
+      Replica::Open(transport, std::move(durability), cypher::EvalOptions{});
+  if (!replica_or.ok()) {
+    std::fprintf(stderr, "replica open failed: %s\n",
+                 replica_or.status().message().c_str());
+    return 2;
+  }
+  std::unique_ptr<Replica> replica = std::move(*replica_or);
+  // The hello each (re)connect sends: who we are, where our durable stream
+  // stands. Recovery already set both when this is a restart.
+  Replica* replica_ptr = replica.get();
+  transport->SetHelloSource([replica_ptr] {
+    return std::make_pair(replica_ptr->token(), replica_ptr->applied_lsn());
+  });
+
+  std::unique_ptr<GraphDatabase> promoted;  // set by PROMOTE
+  std::string line;
+  while (true) {
+    if (promoted == nullptr) {
+      auto polled = replica->PollOnce();
+      (void)polled;  // transport hiccups are the reconnect machinery's job
+      transport->Pump();  // keep heartbeats flowing when the stream is idle
+    }
+    if (!StdinReadable()) {
+      usleep(2000);
+      continue;
+    }
+    if (!std::getline(std::cin, line)) break;  // harness closed the pipe
+    if (line == "QUIT") break;
+    if (line == "DUMP") {
+      Reply(promoted ? cypher::DumpGraphCanonical(promoted->graph())
+                     : replica->CanonicalDump());
+    } else if (line == "LSN") {
+      Reply(std::to_string(replica->applied_lsn()) + " " +
+            std::to_string(replica->bootstraps()) + " " +
+            std::to_string(replica->statements_applied()));
+    } else if (line == "TOKEN") {
+      Reply(std::to_string(replica->token()));
+    } else if (line == "PROMOTE") {
+      auto leader = replica->PromoteToLeader();
+      if (!leader.ok()) {
+        Reply("error: " + leader.status().message());
+      } else {
+        promoted = std::make_unique<GraphDatabase>(std::move(*leader));
+        Reply("promoted " + std::to_string(replica->statements_applied()));
+      }
+    } else if (line.rfind("EXEC ", 0) == 0) {
+      std::string query = line.substr(5);
+      if (promoted != nullptr) {
+        auto result = promoted->Execute(query);
+        Reply(result.ok()
+                  ? cypher::RenderResult(promoted->graph(), *result)
+                  : "error: " + result.status().message());
+      } else {
+        auto session = replica->BeginReadSession();
+        if (!session.ok()) {
+          Reply("error: " + session.status().message());
+        } else {
+          auto rendered = session->ExecuteRendered(query);
+          Reply(rendered.ok() ? *rendered
+                              : "error: " + rendered.status().message());
+        }
+      }
+    } else {
+      Reply("error: unknown command: " + line);
+    }
+  }
+  return 0;
+}

@@ -356,10 +356,7 @@ Result<int> GraphDatabase::AttachFollower(
   if (transport == nullptr) {
     return Status::InvalidArgument("AttachFollower needs a transport");
   }
-  if (shipper_ == nullptr) {
-    shipper_ = std::make_unique<replication::LogShipper>(
-        &wal_->writer, replication::ShipperOptions{options.segment_bytes});
-  }
+  EnsureShipper(options);
   int id;
   {
     // Under the execution lock the graph and the log end cannot move, so
@@ -371,6 +368,54 @@ Result<int> GraphDatabase::AttachFollower(
   }
   (void)shipper_->Pump();
   return id;
+}
+
+Result<int> GraphDatabase::AttachFollowerAt(
+    std::shared_ptr<replication::Transport> transport, uint64_t lsn,
+    ReplicationOptions options) {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "replication requires a write-ahead log (OpenDurable first)");
+  }
+  if (transport == nullptr) {
+    return Status::InvalidArgument("AttachFollowerAt needs a transport");
+  }
+  if (lsn < wal_->writer.min_resume_lsn()) {
+    return Status::InvalidArgument(
+        "resume lsn " + std::to_string(lsn) +
+        " predates log retention (resume floor " +
+        std::to_string(wal_->writer.min_resume_lsn()) +
+        "); the follower must re-bootstrap");
+  }
+  if (lsn > wal_->writer.appended_lsn()) {
+    return Status::InvalidArgument(
+        "resume lsn " + std::to_string(lsn) + " is past the log end " +
+        std::to_string(wal_->writer.appended_lsn()));
+  }
+  EnsureShipper(options);
+  // No snapshot and no execution lock needed: the follower's own durable
+  // log stands in for the bootstrap. AttachAt registers the retention pin;
+  // a compaction racing between the resume-floor check above and the pin
+  // could still have dropped the bytes, so re-check once the pin is in
+  // place and undo the attach if retention moved past us.
+  int id = shipper_->AttachAt(std::move(transport), lsn);
+  if (lsn < wal_->writer.min_resume_lsn()) {
+    (void)shipper_->Detach(id);
+    return Status::InvalidArgument(
+        "resume lsn " + std::to_string(lsn) +
+        " was compacted away during attach; the follower must re-bootstrap");
+  }
+  (void)shipper_->Pump();
+  return id;
+}
+
+void GraphDatabase::EnsureShipper(const ReplicationOptions& options) {
+  if (shipper_ != nullptr) return;
+  replication::ShipperOptions shipper_options;
+  shipper_options.segment_bytes = options.segment_bytes;
+  shipper_options.max_retained_bytes = options.max_retained_bytes;
+  shipper_ =
+      std::make_unique<replication::LogShipper>(&wal_->writer, shipper_options);
 }
 
 Status GraphDatabase::DetachFollower(int id) {
@@ -395,10 +440,13 @@ ReplicationStatus GraphDatabase::replication_status() const {
   status.min_acked_lsn = UINT64_MAX;
   if (shipper_ != nullptr) {
     for (const replication::FollowerStatus& f : shipper_->Statuses()) {
-      status.detail.push_back({f.id, f.acked_lsn, f.shipped_lsn});
+      status.detail.push_back({f.id, f.acked_lsn, f.shipped_lsn, f.resends,
+                               f.link});
       status.min_acked_lsn = std::min(status.min_acked_lsn, f.acked_lsn);
     }
     status.followers = status.detail.size();
+    status.stale_detaches = shipper_->stale_detaches();
+    status.last_stale_warning = shipper_->last_stale_warning();
   }
   return status;
 }

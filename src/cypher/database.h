@@ -14,6 +14,7 @@
 #include "exec/interpreter.h"
 #include "exec/options.h"
 #include "graph/graph.h"
+#include "replication/transport.h"
 #include "storage/log_file.h"
 #include "vm/plan_cache.h"
 
@@ -25,7 +26,6 @@ class WalWriter;
 
 namespace replication {
 class LogShipper;
-class Transport;
 }  // namespace replication
 
 /// Durability configuration for OpenDurable.
@@ -66,12 +66,25 @@ struct ReplicationOptions {
   /// Target replication segment size (whole WAL records per segment, cut
   /// under this many bytes; one oversized record still ships alone).
   uint64_t segment_bytes = 64 * 1024;
+
+  /// Staleness cap: a follower whose unacked backlog exceeds this many
+  /// bytes is auto-detached (its retention pin released, a warning counted
+  /// in ReplicationStatus) so a dead follower cannot pin WAL compaction
+  /// forever. 0 (the default) never detaches. Applies to the shared
+  /// shipper, so the first attach's value wins for the database.
+  uint64_t max_retained_bytes = 0;
 };
 
 struct FollowerInfo {
   int id = 0;
   uint64_t acked_lsn = 0;
   uint64_t shipped_lsn = 0;
+  /// Resend requests this follower issued (wire damage or reconnects).
+  uint64_t resends = 0;
+  /// Wire health: connection state, completed reconnects, and how long ago
+  /// the peer was last heard from (socket transports; the in-process queue
+  /// reports a static "in-process").
+  replication::LinkStatus link;
 };
 
 /// What `replication_status` reports: per-follower cursors plus the
@@ -86,6 +99,10 @@ struct ReplicationStatus {
   /// Current WAL size — with a lagging follower attached this keeps growing
   /// past the auto-checkpoint threshold until the follower catches up.
   uint64_t log_bytes = 0;
+  /// Followers auto-detached by the staleness cap, with the latest warning
+  /// (empty when none) — the shell prints both under `:lag`.
+  uint64_t stale_detaches = 0;
+  std::string last_stale_warning;
   std::vector<FollowerInfo> detail;
 };
 
@@ -192,6 +209,17 @@ class GraphDatabase {
   Result<int> AttachFollower(std::shared_ptr<replication::Transport> transport,
                              ReplicationOptions options = {});
 
+  /// Re-attaches a RETURNING follower that already holds every committed
+  /// byte below `lsn` in its own durable log (a socket follower
+  /// reconnecting after a crash): no snapshot is taken — the stream simply
+  /// resumes at `lsn`, which must still be a record boundary the WAL can
+  /// serve (at or above WalWriter::min_resume_lsn(), not past the durable
+  /// end; callers that cannot guarantee it fall back to AttachFollower for
+  /// a fresh bootstrap).
+  Result<int> AttachFollowerAt(
+      std::shared_ptr<replication::Transport> transport, uint64_t lsn,
+      ReplicationOptions options = {});
+
   /// Releases the follower's retention pin and stops streaming to it. The
   /// next commit past the auto-checkpoint threshold can compact again.
   Status DetachFollower(int id);
@@ -288,6 +316,9 @@ class GraphDatabase {
   /// Under the execution lock, after a successful commit: compacts the log
   /// to [magic, snapshot] once it outgrows the configured threshold.
   void MaybeAutoCheckpoint();
+
+  /// Lazily creates the shared shipper; the first attach's options win.
+  void EnsureShipper(const ReplicationOptions& options);
 
   PropertyGraph graph_;
   EvalOptions options_;

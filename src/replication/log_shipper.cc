@@ -41,6 +41,20 @@ int LogShipper::Attach(std::shared_ptr<Transport> transport, uint64_t lsn,
   return followers_.back().id;
 }
 
+int LogShipper::AttachAt(std::shared_ptr<Transport> transport, uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Follower f;
+  f.id = next_id_++;
+  f.transport = std::move(transport);
+  // The follower's own durable log covers everything below `lsn`; pin there
+  // and resume the stream without a snapshot.
+  f.pin_id = wal_->RegisterRetentionPin(lsn);
+  f.acked_lsn = lsn;
+  f.shipped_lsn = lsn;
+  followers_.push_back(std::move(f));
+  return followers_.back().id;
+}
+
 Status LogShipper::Detach(int id) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = followers_.begin(); it != followers_.end(); ++it) {
@@ -68,6 +82,7 @@ void LogShipper::DrainControlLocked(Follower* f) {
       // Resume the stream from the follower's applied position — never
       // below its ack (an ack is a promise the bytes landed). If the
       // bootstrap itself was lost, serve the retained copy first.
+      ++f->resends;
       uint64_t from = std::max(control.lsn, f->acked_lsn);
       if (f->bootstrap && from <= f->bootstrap->to_lsn) {
         (void)f->transport->Send(*f->bootstrap);
@@ -75,6 +90,29 @@ void LogShipper::DrainControlLocked(Follower* f) {
       }
       f->shipped_lsn = from;
     }
+  }
+}
+
+void LogShipper::EnforceStalenessLocked() {
+  if (options_.max_retained_bytes == 0) return;
+  uint64_t durable = wal_->durable_lsn();
+  for (auto it = followers_.begin(); it != followers_.end();) {
+    uint64_t retained = durable > it->acked_lsn ? durable - it->acked_lsn : 0;
+    if (retained <= options_.max_retained_bytes) {
+      ++it;
+      continue;
+    }
+    // The follower has fallen further behind than the cap tolerates —
+    // likely dead. Sacrifice it rather than pin compaction forever: release
+    // the pin and forget it. If it ever returns, re-attach decides between
+    // resuming (retention still covers its position) and a fresh snapshot.
+    ++stale_detaches_;
+    last_stale_warning_ =
+        "follower " + std::to_string(it->id) + " auto-detached: " +
+        std::to_string(retained) + " unacked bytes exceed the staleness cap " +
+        std::to_string(options_.max_retained_bytes);
+    wal_->ReleaseRetentionPin(it->pin_id);
+    it = followers_.erase(it);
   }
 }
 
@@ -118,9 +156,19 @@ Status LogShipper::Pump() {
   Status first_error = Status::OK();
   for (Follower& f : followers_) {
     DrainControlLocked(&f);
+    // A link in backoff (socket lost, reconnect pending) gets nothing
+    // shipped: the bytes would only pile into a dead buffer. Its cursors
+    // freeze; the reconnect hello rewinds them via a resend request.
+    LinkStatus link = f.transport->link();
+    if (link.state == LinkStatus::State::kConnecting ||
+        link.state == LinkStatus::State::kBackoff ||
+        link.state == LinkStatus::State::kClosed) {
+      continue;
+    }
     Status st = ShipLocked(&f);
     if (!st.ok() && first_error.ok()) first_error = st;
   }
+  EnforceStalenessLocked();
   return first_error;
 }
 
@@ -129,7 +177,13 @@ std::vector<FollowerStatus> LogShipper::Statuses() const {
   std::vector<FollowerStatus> out;
   out.reserve(followers_.size());
   for (const Follower& f : followers_) {
-    out.push_back({f.id, f.acked_lsn, f.shipped_lsn});
+    FollowerStatus status;
+    status.id = f.id;
+    status.acked_lsn = f.acked_lsn;
+    status.shipped_lsn = f.shipped_lsn;
+    status.resends = f.resends;
+    status.link = f.transport->link();
+    out.push_back(std::move(status));
   }
   return out;
 }
@@ -144,6 +198,16 @@ uint64_t LogShipper::min_acked_lsn() const {
   uint64_t min = UINT64_MAX;
   for (const Follower& f : followers_) min = std::min(min, f.acked_lsn);
   return min;
+}
+
+uint64_t LogShipper::stale_detaches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stale_detaches_;
+}
+
+std::string LogShipper::last_stale_warning() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_stale_warning_;
 }
 
 }  // namespace cypher::replication

@@ -19,6 +19,15 @@ struct ShipperOptions {
   /// fit under this many bytes (always at least one, so a single oversized
   /// record still ships alone).
   uint64_t segment_bytes = 64 * 1024;
+
+  /// Retention-pin staleness cap: when non-zero and a follower's unacked
+  /// backlog (durable end minus its acked LSN) exceeds this many bytes, the
+  /// follower is auto-detached — its pin released, a warning counted — so a
+  /// dead or stuck follower degrades gracefully instead of pinning WAL
+  /// compaction forever. A detached follower that returns re-attaches
+  /// normally: from its own position if retention still covers it, from a
+  /// fresh snapshot otherwise. 0 (the default) never detaches.
+  uint64_t max_retained_bytes = 0;
 };
 
 struct FollowerStatus {
@@ -27,6 +36,10 @@ struct FollowerStatus {
   uint64_t acked_lsn = 0;
   /// Stream cursor: everything durable below this has been sent.
   uint64_t shipped_lsn = 0;
+  /// Resend requests this follower has issued (wire damage or reconnects).
+  uint64_t resends = 0;
+  /// Wire health as reported by the follower's transport.
+  LinkStatus link;
 };
 
 /// Leader-side replication: cuts the WAL's durable byte stream into
@@ -40,6 +53,10 @@ struct FollowerStatus {
 /// The bootstrap snapshot handed to Attach is retained until the follower's
 /// first ack covers it, so a snapshot frame lost on the wire can be served
 /// again without consulting the database.
+///
+/// A transport that reports its link down (socket in backoff) is skipped by
+/// Pump — cursors freeze until the follower reconnects and its hello-driven
+/// resend request rewinds the stream to wherever it actually stands.
 ///
 /// Thread-safe; Pump is called after every durable commit (and by tests /
 /// the shell directly), from any thread.
@@ -59,14 +76,22 @@ class LogShipper {
   int Attach(std::shared_ptr<Transport> transport, uint64_t lsn,
              std::string snapshot);
 
+  /// Registers a RETURNING follower that already holds every byte below
+  /// `lsn` (its own durable WAL says so) — no bootstrap snapshot; the
+  /// stream simply resumes at `lsn`. The caller must verify the log still
+  /// serves `lsn` (WalWriter::base_lsn()); this is the reconnect fast path
+  /// that makes re-attach cheap after a follower crash.
+  int AttachAt(std::shared_ptr<Transport> transport, uint64_t lsn);
+
   /// Releases the follower's retention pin and forgets it.
   Status Detach(int id);
 
   /// One replication round: drain control frames (acks advance retention
   /// pins, resend requests rewind stream cursors and re-serve retained
-  /// bootstraps), then ship every follower the durable bytes past its
-  /// cursor in record-aligned segments. Transport errors are reported but
-  /// leave cursors unadvanced — the next Pump retries.
+  /// bootstraps), enforce the staleness cap, then ship every follower with
+  /// a live link the durable bytes past its cursor in record-aligned
+  /// segments. Transport errors are reported but leave cursors unadvanced —
+  /// the next Pump retries.
   Status Pump();
 
   std::vector<FollowerStatus> Statuses() const;
@@ -76,6 +101,12 @@ class LogShipper {
   /// back retention reaches.
   uint64_t min_acked_lsn() const;
 
+  /// Followers auto-detached by the staleness cap since construction, and
+  /// the most recent warning line (empty when none) — the shell surfaces
+  /// both under `:lag`.
+  uint64_t stale_detaches() const;
+  std::string last_stale_warning() const;
+
  private:
   struct Follower {
     int id = 0;
@@ -83,6 +114,7 @@ class LogShipper {
     uint64_t pin_id = 0;
     uint64_t acked_lsn = 0;
     uint64_t shipped_lsn = 0;
+    uint64_t resends = 0;
     /// Bootstrap frame, retained until the follower acks past it.
     std::optional<SegmentFrame> bootstrap;
   };
@@ -93,11 +125,17 @@ class LogShipper {
   /// Ships [shipped_lsn, durable) to one follower. Holds mu_.
   Status ShipLocked(Follower* follower);
 
+  /// Detaches every follower whose unacked backlog exceeds the staleness
+  /// cap, releasing its pin and recording a warning. Holds mu_.
+  void EnforceStalenessLocked();
+
   mutable std::mutex mu_;
   storage::WalWriter* wal_;
   ShipperOptions options_;
   std::vector<Follower> followers_;
   int next_id_ = 1;
+  uint64_t stale_detaches_ = 0;
+  std::string last_stale_warning_;
 };
 
 }  // namespace cypher::replication

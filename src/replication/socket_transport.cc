@@ -1,0 +1,819 @@
+#include "replication/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "storage/wal.h"
+
+namespace cypher::replication {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+Status Errno(const std::string& what) {
+  return Status::Aborted(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+/// Fills a sockaddr for the endpoint. TCP resolution is numeric-only plus
+/// "localhost" — replication peers are addressed by IP; pulling in a DNS
+/// resolver for this would be all liability.
+Status FillAddr(const Endpoint& ep, sockaddr_storage* storage,
+                socklen_t* len) {
+  std::memset(storage, 0, sizeof(*storage));
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    auto* addr = reinterpret_cast<sockaddr_in*>(storage);
+    addr->sin_family = AF_INET;
+    addr->sin_port = htons(static_cast<uint16_t>(ep.port));
+    std::string host = ep.host;
+    if (host.empty() || host == "localhost") host = "127.0.0.1";
+    if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+      return Status::InvalidArgument("unresolvable tcp host: " + ep.host);
+    }
+    *len = sizeof(sockaddr_in);
+    return Status::OK();
+  }
+  auto* addr = reinterpret_cast<sockaddr_un*>(storage);
+  addr->sun_family = AF_UNIX;
+  if (ep.path.size() + 1 > sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("unix socket path too long: " + ep.path);
+  }
+  std::memcpy(addr->sun_path, ep.path.c_str(), ep.path.size() + 1);
+  *len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                ep.path.size() + 1);
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---- Endpoint ---------------------------------------------------------------
+
+Endpoint Endpoint::Tcp(std::string host, int port) {
+  Endpoint ep;
+  ep.kind = Kind::kTcp;
+  ep.host = std::move(host);
+  ep.port = port;
+  return ep;
+}
+
+Endpoint Endpoint::Unix(std::string path) {
+  Endpoint ep;
+  ep.kind = Kind::kUnix;
+  ep.path = std::move(path);
+  return ep;
+}
+
+Result<Endpoint> Endpoint::Parse(std::string_view text) {
+  if (text.rfind("unix:", 0) == 0) {
+    std::string path(text.substr(5));
+    if (path.empty()) {
+      return Status::InvalidArgument("empty unix socket path");
+    }
+    return Unix(std::move(path));
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    std::string_view rest = text.substr(4);
+    size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon + 1 == rest.size()) {
+      return Status::InvalidArgument(
+          "tcp endpoint needs host:port, got: " + std::string(text));
+    }
+    int port = 0;
+    for (char c : rest.substr(colon + 1)) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("bad tcp port in: " + std::string(text));
+      }
+      port = port * 10 + (c - '0');
+      if (port > 65535) {
+        return Status::InvalidArgument("tcp port out of range: " +
+                                       std::string(text));
+      }
+    }
+    return Tcp(std::string(rest.substr(0, colon)), port);
+  }
+  return Status::InvalidArgument(
+      "endpoint must start with tcp: or unix:, got: " + std::string(text));
+}
+
+std::string Endpoint::ToString() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---- SocketTransport (follower client) --------------------------------------
+
+SocketTransport::SocketTransport(Endpoint endpoint, SocketOptions options)
+    : endpoint_(std::move(endpoint)), options_(options) {
+  uint64_t seed = options_.jitter_seed != 0
+                      ? options_.jitter_seed
+                      : std::hash<std::string>{}(endpoint_.ToString());
+  rng_.seed(seed);
+}
+
+SocketTransport::~SocketTransport() { Close(); }
+
+void SocketTransport::SetHelloSource(
+    std::function<std::pair<uint64_t, uint64_t>()> source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hello_source_ = std::move(source);
+}
+
+void SocketTransport::Pump() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PumpLocked(SteadyNowMs());
+}
+
+void SocketTransport::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  state_ = State::kClosed;
+}
+
+void SocketTransport::TestSetPaused(bool paused) {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = paused;
+}
+
+void SocketTransport::PumpLocked(int64_t now) {
+  if (state_ == State::kClosed || paused_) return;
+  switch (state_) {
+    case State::kIdle:
+      StartConnectLocked(now);
+      break;
+    case State::kBackoff:
+      if (now >= next_attempt_ms_) StartConnectLocked(now);
+      break;
+    case State::kConnecting: {
+      pollfd pfd{fd_, POLLOUT, 0};
+      int ready = ::poll(&pfd, 1, 0);
+      if (ready > 0) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+            err != 0) {
+          DropLocked(now, "connect failed");
+        } else {
+          OnConnectedLocked(now);
+        }
+      } else if (now - connect_started_ms_ > options_.connect_timeout_ms) {
+        DropLocked(now, "connect timed out");
+      }
+      break;
+    }
+    case State::kConnected:
+      ReadLocked(now);
+      if (state_ != State::kConnected) break;  // read dropped the link
+      if (now - last_beat_ms_ >= options_.heartbeat_interval_ms) {
+        outbuf_ += EncodeHeartbeat(static_cast<uint64_t>(now));
+        last_beat_ms_ = now;
+      }
+      WriteLocked(now);
+      if (state_ != State::kConnected) break;
+      if (last_heard_ms_ >= 0 &&
+          now - last_heard_ms_ > options_.peer_deadline_ms) {
+        DropLocked(now, "peer deadline");
+      }
+      break;
+    case State::kClosed:
+      break;  // unreachable (early return above)
+  }
+}
+
+void SocketTransport::StartConnectLocked(int64_t now) {
+  sockaddr_storage addr;
+  socklen_t addr_len = 0;
+  if (!FillAddr(endpoint_, &addr, &addr_len).ok()) {
+    // A malformed endpoint never becomes connectable; park the transport.
+    state_ = State::kClosed;
+    return;
+  }
+  int af = endpoint_.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  int fd = ::socket(af, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0 || !SetNonBlocking(fd).ok()) {
+    if (fd >= 0) ::close(fd);
+    DropLocked(now, "socket()");
+    return;
+  }
+  fd_ = fd;
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), addr_len);
+  if (rc == 0) {
+    OnConnectedLocked(now);
+    return;
+  }
+  if (errno == EINPROGRESS || errno == EAGAIN || errno == EINTR) {
+    state_ = State::kConnecting;
+    connect_started_ms_ = now;
+    return;
+  }
+  DropLocked(now, "connect()");
+}
+
+void SocketTransport::OnConnectedLocked(int64_t now) {
+  if (endpoint_.kind == Endpoint::Kind::kTcp) {
+    int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  decoder_ = WireDecoder();
+  outbuf_.clear();
+  uint64_t token = 0;
+  uint64_t lsn = 0;
+  if (hello_source_) {
+    auto [t, l] = hello_source_();
+    token = t;
+    lsn = l;
+  }
+  // Hello first on every connection: who this follower is and where its
+  // applied stream stands. The leader resumes (or re-bootstraps) from that.
+  outbuf_ = EncodeHello(token, lsn);
+  state_ = State::kConnected;
+  if (ever_connected_) ++reconnects_;
+  ever_connected_ = true;
+  backoff_ms_ = 0;  // a successful dial resets the backoff ladder
+  last_heard_ms_ = now;
+  last_beat_ms_ = now;
+  WriteLocked(now);
+}
+
+void SocketTransport::DropLocked(int64_t now, const char* /*why*/) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = WireDecoder();
+  outbuf_.clear();
+  if (state_ == State::kClosed) return;
+  state_ = State::kBackoff;
+  // Exponential backoff, capped, half-jittered: wait/2 fixed plus a uniform
+  // draw over the other half, so repeated failures spread out but never
+  // wait longer than the cap.
+  backoff_ms_ = backoff_ms_ == 0
+                    ? options_.backoff_initial_ms
+                    : std::min(backoff_ms_ * 2, options_.backoff_max_ms);
+  int64_t wait = backoff_ms_ / 2 +
+                 static_cast<int64_t>(rng_() %
+                                      static_cast<uint64_t>(backoff_ms_ / 2 + 1));
+  next_attempt_ms_ = now + wait;
+}
+
+void SocketTransport::ReadLocked(int64_t now) {
+  char buf[kReadChunk];
+  while (true) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      DropLocked(now, "peer closed");
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    DropLocked(now, "recv()");
+    return;
+  }
+  WireMessage msg;
+  while (true) {
+    Result<bool> next = decoder_.Next(&msg);
+    if (!next.ok()) {
+      // Structural damage: the byte stream desynchronized. Tear down and
+      // let reconnect + hello/resend re-establish a clean stream.
+      DropLocked(now, "stream desync");
+      return;
+    }
+    if (!*next) break;
+    last_heard_ms_ = now;
+    switch (msg.kind) {
+      case WireKind::kData:
+        inbox_.push_back(std::move(msg.data));
+        break;
+      case WireKind::kHeartbeat:
+        break;  // its arrival already fed the deadline
+      case WireKind::kHello:
+      case WireKind::kControl:
+        DropLocked(now, "unexpected message kind");  // leader-bound kinds
+        return;
+    }
+  }
+}
+
+void SocketTransport::WriteLocked(int64_t now) {
+  size_t written = 0;
+  while (written < outbuf_.size()) {
+    ssize_t n = ::send(fd_, outbuf_.data() + written, outbuf_.size() - written,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    DropLocked(now, "send()");
+    return;
+  }
+  outbuf_.erase(0, written);
+}
+
+bool SocketTransport::Receive(SegmentFrame* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PumpLocked(SteadyNowMs());
+  if (inbox_.empty()) return false;
+  *out = std::move(inbox_.front());
+  inbox_.pop_front();
+  return true;
+}
+
+Status SocketTransport::SendControl(ControlFrame frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = SteadyNowMs();
+  PumpLocked(now);
+  if (state_ != State::kConnected) {
+    // A control frame into a down link is just lost on the wire — exactly
+    // like a black-holed packet. The hello on reconnect carries the same
+    // position, so nothing depends on this delivery.
+    return Status::OK();
+  }
+  outbuf_ += EncodeControl(frame);
+  WriteLocked(now);
+  return Status::OK();
+}
+
+Status SocketTransport::Send(SegmentFrame /*frame*/) {
+  return Status::InvalidArgument(
+      "SocketTransport is the follower end; it does not send data frames");
+}
+
+bool SocketTransport::PollControl(ControlFrame* /*out*/) { return false; }
+
+LinkStatus SocketTransport::link() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LinkStatus status;
+  switch (state_) {
+    case State::kIdle:
+    case State::kConnecting:
+      status.state = LinkStatus::State::kConnecting;
+      break;
+    case State::kConnected:
+      status.state = LinkStatus::State::kConnected;
+      if (last_heard_ms_ >= 0) {
+        status.heartbeat_age_ms = SteadyNowMs() - last_heard_ms_;
+      }
+      break;
+    case State::kBackoff:
+      status.state = LinkStatus::State::kBackoff;
+      break;
+    case State::kClosed:
+      status.state = LinkStatus::State::kClosed;
+      break;
+  }
+  status.reconnects = reconnects_;
+  return status;
+}
+
+// ---- ServerLinkTransport (leader end of one follower link) ------------------
+
+ServerLinkTransport::ServerLinkTransport(SocketOptions options)
+    : options_(options) {}
+
+ServerLinkTransport::~ServerLinkTransport() { Shutdown(); }
+
+void ServerLinkTransport::Bind(int fd, bool resume, uint64_t resume_lsn,
+                               std::string residual) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    ::close(fd);
+    return;
+  }
+  if (fd_ >= 0) ::close(fd_);  // a reconnect replaces a half-dead socket
+  fd_ = fd;
+  decoder_ = WireDecoder();
+  if (!residual.empty()) decoder_.Feed(residual);
+  // Bytes buffered for the dead connection would arrive mid-stream garbage
+  // on the new one; the resend below re-cuts everything from the follower's
+  // announced position instead.
+  outbuf_.clear();
+  int64_t now = SteadyNowMs();
+  last_heard_ms_ = now;
+  last_beat_ms_ = now;
+  if (ever_bound_) ++reconnects_;
+  ever_bound_ = true;
+  if (resume) control_.push_back({ControlType::kResend, resume_lsn});
+}
+
+bool ServerLinkTransport::PumpIo(int64_t now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_ || fd_ < 0) return false;
+  // Write first: shipped segments and heartbeats drain toward the follower.
+  if (now - last_beat_ms_ >= options_.heartbeat_interval_ms) {
+    outbuf_ += EncodeHeartbeat(static_cast<uint64_t>(now));
+    last_beat_ms_ = now;
+  }
+  size_t written = 0;
+  while (written < outbuf_.size()) {
+    ssize_t n = ::send(fd_, outbuf_.data() + written, outbuf_.size() - written,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    outbuf_.erase(0, written);
+    DropLocked("send()");
+    return false;
+  }
+  outbuf_.erase(0, written);
+  // Read: control frames and heartbeats from the follower.
+  char buf[kReadChunk];
+  while (true) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      DropLocked("peer closed");
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    DropLocked("recv()");
+    return false;
+  }
+  WireMessage msg;
+  while (true) {
+    Result<bool> next = decoder_.Next(&msg);
+    if (!next.ok()) {
+      DropLocked("stream desync");
+      return false;
+    }
+    if (!*next) break;
+    last_heard_ms_ = now;
+    switch (msg.kind) {
+      case WireKind::kControl:
+        control_.push_back(msg.control);
+        break;
+      case WireKind::kHeartbeat:
+        break;
+      case WireKind::kHello:
+      case WireKind::kData:
+        DropLocked("unexpected message kind");  // follower-bound kinds
+        return false;
+    }
+  }
+  if (last_heard_ms_ >= 0 && now - last_heard_ms_ > options_.peer_deadline_ms) {
+    // The follower went silent past the deadline: drop the socket and wait
+    // for it to dial back in (its hello will Rebind onto this link).
+    DropLocked("peer deadline");
+    return false;
+  }
+  return true;
+}
+
+void ServerLinkTransport::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  shutdown_ = true;
+}
+
+void ServerLinkTransport::DropLocked(const char* /*why*/) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  decoder_ = WireDecoder();
+  outbuf_.clear();
+}
+
+Status ServerLinkTransport::Send(SegmentFrame frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_ || fd_ < 0) {
+    return Status::Aborted("follower link is down");
+  }
+  std::string msg = EncodeData(frame);
+  if (outbuf_.size() + msg.size() > options_.max_buffered_bytes) {
+    // Backpressure, not an error state: the shipper's cursor stays put and
+    // a later pump retries once the follower drains the buffer.
+    return Status::Aborted("follower send buffer full");
+  }
+  outbuf_ += msg;
+  return Status::OK();
+}
+
+bool ServerLinkTransport::PollControl(ControlFrame* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (control_.empty()) return false;
+  *out = control_.front();
+  control_.pop_front();
+  return true;
+}
+
+LinkStatus ServerLinkTransport::link() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LinkStatus status;
+  if (shutdown_) {
+    status.state = LinkStatus::State::kClosed;
+  } else if (fd_ >= 0) {
+    status.state = LinkStatus::State::kConnected;
+    if (last_heard_ms_ >= 0) {
+      status.heartbeat_age_ms = SteadyNowMs() - last_heard_ms_;
+    }
+  } else {
+    status.state = LinkStatus::State::kBackoff;
+  }
+  status.reconnects = reconnects_;
+  return status;
+}
+
+bool ServerLinkTransport::Receive(SegmentFrame* /*out*/) { return false; }
+
+Status ServerLinkTransport::SendControl(ControlFrame /*frame*/) {
+  return Status::InvalidArgument(
+      "ServerLinkTransport is the leader end; it does not send control");
+}
+
+// ---- SocketReplicationServer ------------------------------------------------
+
+SocketReplicationServer::~SocketReplicationServer() { Stop(); }
+
+Status SocketReplicationServer::Start(GraphDatabase* db,
+                                      const Endpoint& endpoint,
+                                      const ReplicationOptions& replication,
+                                      SocketOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::InvalidArgument("server already running");
+  if (db == nullptr || !db->durable()) {
+    return Status::InvalidArgument(
+        "socket replication serves a durable leader (OpenDurable first)");
+  }
+  sockaddr_storage addr;
+  socklen_t addr_len = 0;
+  CYPHER_RETURN_NOT_OK(FillAddr(endpoint, &addr, &addr_len));
+  int af = endpoint.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  int fd = ::socket(af, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket()");
+  Status st = SetNonBlocking(fd);
+  if (st.ok() && endpoint.kind == Endpoint::Kind::kTcp) {
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  if (st.ok() && endpoint.kind == Endpoint::Kind::kUnix) {
+    ::unlink(endpoint.path.c_str());  // a stale path from a dead process
+  }
+  if (st.ok() && ::bind(fd, reinterpret_cast<sockaddr*>(&addr), addr_len) != 0) {
+    st = Errno("bind(" + endpoint.ToString() + ")");
+  }
+  if (st.ok() && ::listen(fd, 64) != 0) st = Errno("listen()");
+  endpoint_ = endpoint;
+  if (st.ok() && endpoint.kind == Endpoint::Kind::kTcp && endpoint.port == 0) {
+    // Ephemeral port: report what the OS picked so tests (and the shell)
+    // can hand followers a dialable address.
+    sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+      endpoint_.port = ntohs(bound.sin_port);
+    }
+  }
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  db_ = db;
+  replication_ = replication;
+  options_ = options;
+  listen_fd_ = fd;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread(&SocketReplicationServer::RunLoop, this);
+  return Status::OK();
+}
+
+void SocketReplicationServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (endpoint_.kind == Endpoint::Kind::kUnix) {
+    ::unlink(endpoint_.path.c_str());
+  }
+  for (Pending& p : pending_) ::close(p.fd);
+  pending_.clear();
+  for (Link& link : links_) link.transport->Shutdown();
+  links_.clear();
+  running_ = false;
+}
+
+bool SocketReplicationServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+Endpoint SocketReplicationServer::endpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return endpoint_;
+}
+
+SocketReplicationServer::Stats SocketReplicationServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SocketReplicationServer::SetPaused(bool paused) {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = paused;
+}
+
+void SocketReplicationServer::RunLoop() {
+  while (true) {
+    bool pump_db = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+      if (!paused_) {
+        int64_t now = SteadyNowMs();
+        AcceptReadyLocked(now);
+        PumpPendingLocked(now);
+        ReapDetachedLinksLocked();
+        for (Link& link : links_) link.transport->PumpIo(now);
+        pump_db = true;
+      }
+    }
+    // Replication rounds run outside mu_ so status calls never wait on
+    // database work; the lock order stays server → database → shipper →
+    // link in every path that takes more than one.
+    if (pump_db) (void)db_->PumpReplication();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void SocketReplicationServer::AcceptReadyLocked(int64_t now) {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN, EINTR next tick, or listener gone
+    ++stats_.accepted;
+    Pending p;
+    p.fd = fd;
+    // A connection that cannot produce its hello within the peer deadline
+    // is noise (a port scanner, a wedged peer) — cut it.
+    p.deadline_ms = now + options_.peer_deadline_ms;
+    pending_.push_back(std::move(p));
+  }
+}
+
+void SocketReplicationServer::PumpPendingLocked(int64_t now) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    bool drop = false;
+    bool routed = false;
+    char buf[4096];
+    while (true) {
+      ssize_t n = ::recv(it->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        it->decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+        if (static_cast<size_t>(n) < sizeof(buf)) break;
+        continue;
+      }
+      if (n == 0) {
+        drop = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      drop = true;
+      break;
+    }
+    if (!drop) {
+      WireMessage msg;
+      Result<bool> next = it->decoder.Next(&msg);
+      if (!next.ok()) {
+        drop = true;
+      } else if (*next) {
+        if (msg.kind == WireKind::kHello) {
+          HandleHelloLocked(it->fd, msg.token, msg.lsn,
+                            it->decoder.TakeRemaining());
+          routed = true;
+        } else {
+          drop = true;  // anything before a hello is a protocol violation
+        }
+      } else if (now > it->deadline_ms) {
+        drop = true;
+      }
+    }
+    if (drop) {
+      ::close(it->fd);
+      ++stats_.hello_rejects;
+    }
+    if (drop || routed) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SocketReplicationServer::ReapDetachedLinksLocked() {
+  if (links_.empty()) return;
+  ReplicationStatus status = db_->replication_status();
+  for (auto it = links_.begin(); it != links_.end();) {
+    bool attached = false;
+    for (const FollowerInfo& info : status.detail) {
+      if (info.id == it->follower_id) {
+        attached = true;
+        break;
+      }
+    }
+    if (attached) {
+      ++it;
+    } else {
+      it->transport->Shutdown();
+      it = links_.erase(it);
+    }
+  }
+}
+
+void SocketReplicationServer::HandleHelloLocked(int fd, uint64_t token,
+                                                uint64_t lsn,
+                                                std::string residual) {
+  // Forget links whose follower the database no longer carries: a returning
+  // follower with that token must go through a fresh attach, not rebind
+  // onto a link the shipper stopped serving. (The serve loop also reaps
+  // every tick — this keeps hello routing correct even when it races a
+  // detach within the same tick.)
+  ReapDetachedLinksLocked();
+  if (token != 0) {
+    for (Link& link : links_) {
+      if (link.token == token) {
+        // A returning follower: same identity, new socket. Rebind and let
+        // the injected resend rewind the stream to its announced position.
+        link.transport->Bind(fd, /*resume=*/true, lsn, std::move(residual));
+        ++stats_.rebinds;
+        return;
+      }
+    }
+  }
+  auto transport = std::make_shared<ServerLinkTransport>(options_);
+  transport->Bind(fd, /*resume=*/false, lsn, std::move(residual));
+  // Resume-vs-bootstrap: the follower may resume at `lsn` only when the WAL
+  // still serves that position as a record boundary (at or above the
+  // post-compaction resume floor, not past the durable end). Anything else —
+  // a fresh follower (lsn 0), one whose position was compacted away, or one
+  // from an unrelated history — gets a full snapshot bootstrap.
+  uint64_t floor = db_->wal_writer()->min_resume_lsn();
+  uint64_t durable = db_->wal_writer()->durable_lsn();
+  bool resumable = lsn >= floor && lsn <= durable;
+  Result<int> id = resumable
+                       ? db_->AttachFollowerAt(transport, lsn, replication_)
+                       : db_->AttachFollower(transport, replication_);
+  // A compaction racing the attach can invalidate the resume position; the
+  // follower is not wrong, just stale — bootstrap it instead.
+  if (!id.ok() && resumable) id = db_->AttachFollower(transport, replication_);
+  if (!id.ok()) {
+    transport->Shutdown();
+    ++stats_.hello_rejects;
+    return;
+  }
+  links_.push_back(Link{token, *id, std::move(transport)});
+  ++stats_.attaches;
+}
+
+}  // namespace cypher::replication

@@ -1,0 +1,310 @@
+#ifndef CYPHER_REPLICATION_SOCKET_TRANSPORT_H_
+#define CYPHER_REPLICATION_SOCKET_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "cypher/database.h"
+#include "replication/transport.h"
+#include "replication/wire.h"
+
+namespace cypher::replication {
+
+/// Where a replication server listens / a follower dials: a TCP host:port
+/// or a Unix-domain socket path. Text form "tcp:host:port" / "unix:path"
+/// (what the shell's `:serve` and the replica_server binary take).
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+
+  Kind kind = Kind::kTcp;
+  std::string host;  // kTcp
+  int port = 0;      // kTcp; 0 asks the OS for an ephemeral port
+  std::string path;  // kUnix
+
+  static Endpoint Tcp(std::string host, int port);
+  static Endpoint Unix(std::string path);
+  static Result<Endpoint> Parse(std::string_view text);
+  std::string ToString() const;
+};
+
+/// Timing knobs shared by both ends of a socket link. The defaults suit the
+/// tests' timescale (everything sub-second); production use would stretch
+/// them by an order of magnitude.
+struct SocketOptions {
+  /// A heartbeat goes out whenever this long passes without one.
+  int64_t heartbeat_interval_ms = 100;
+
+  /// The peer is declared lost when nothing (data, control, heartbeat)
+  /// arrives for this long; the connection is dropped and — on the follower
+  /// side — reconnect begins.
+  int64_t peer_deadline_ms = 1500;
+
+  /// Reconnect backoff: first wait, doubling per failed attempt up to the
+  /// max, each wait jittered (half fixed, half uniform-random) so a herd of
+  /// followers does not dial in lockstep.
+  int64_t backoff_initial_ms = 20;
+  int64_t backoff_max_ms = 2000;
+
+  /// Seed for the jitter PRNG; 0 derives one from the endpoint so distinct
+  /// followers jitter differently while any given test stays deterministic.
+  uint64_t jitter_seed = 0;
+
+  /// A connect attempt that is still pending after this long is abandoned
+  /// (and backed off).
+  int64_t connect_timeout_ms = 1000;
+
+  /// Leader-side cap on bytes buffered toward one follower; a Send that
+  /// would exceed it fails with kAborted (backpressure) and the shipper
+  /// retries on a later pump.
+  uint64_t max_buffered_bytes = 64ull << 20;
+};
+
+/// Milliseconds on the steady clock (the time base for every deadline here).
+int64_t SteadyNowMs();
+
+/// The follower end of a socket link: a Transport whose Receive/SendControl
+/// drive a non-blocking connection state machine. No background thread —
+/// the replica's poll loop IS the event loop (each Receive/SendControl/Pump
+/// call advances connects, reads, writes, heartbeats, and deadlines).
+///
+/// Lifecycle: kConnecting → kConnected ⇄ kBackoff (lost peer, exponential
+/// backoff with jitter, reconnect) → kClosed (Close()). On every successful
+/// connect the transport sends a hello [token, applied lsn] obtained from
+/// the hello source — the replica's identity and resume position — and the
+/// leader answers by resuming the stream there (or re-bootstrapping a
+/// follower it no longer remembers). Either end dying, `kill -9` included,
+/// therefore needs no handshake to recover: the survivor just dials (or
+/// accepts) again.
+///
+/// Thread-safe; in practice one applier thread drives it.
+class SocketTransport : public Transport {
+ public:
+  SocketTransport(Endpoint endpoint, SocketOptions options = {});
+  ~SocketTransport() override;
+
+  /// Installs the hello source: called at every (re)connect for the
+  /// {token, applied lsn} pair to announce. Wire this to the Replica's
+  /// token() and applied_lsn() before the first Pump.
+  void SetHelloSource(std::function<std::pair<uint64_t, uint64_t>()> source);
+
+  /// Advances the state machine: connect progress, socket reads (decoded
+  /// frames queue for Receive), writes, heartbeats, deadlines. Receive and
+  /// SendControl call this implicitly; tests and idle loops call it
+  /// directly to keep heartbeats flowing.
+  void Pump();
+
+  /// Permanently shuts the link down (state kClosed, no reconnects).
+  void Close();
+
+  // Transport (follower endpoint).
+  bool Receive(SegmentFrame* out) override;
+  Status SendControl(ControlFrame frame) override;
+  LinkStatus link() const override;
+
+  // Transport (leader endpoint) — not this end's role.
+  Status Send(SegmentFrame frame) override;
+  bool PollControl(ControlFrame* out) override;
+
+  /// Test hook simulating a network partition from this end: while paused
+  /// the state machine is frozen — no reads, writes, heartbeats, connects,
+  /// or deadline checks. On unpause the stalled deadline fires naturally
+  /// and the reconnect/hello/resume protocol runs for real.
+  void TestSetPaused(bool paused);
+
+ private:
+  enum class State { kIdle, kConnecting, kConnected, kBackoff, kClosed };
+
+  void PumpLocked(int64_t now);
+  void StartConnectLocked(int64_t now);
+  void OnConnectedLocked(int64_t now);
+  /// Drops the live/pending connection and schedules the next attempt.
+  void DropLocked(int64_t now, const char* why);
+  void ReadLocked(int64_t now);
+  void WriteLocked(int64_t now);
+
+  const Endpoint endpoint_;
+  const SocketOptions options_;
+  mutable std::mutex mu_;
+  std::function<std::pair<uint64_t, uint64_t>()> hello_source_;
+  State state_ = State::kIdle;
+  int fd_ = -1;
+  WireDecoder decoder_;
+  std::string outbuf_;
+  std::deque<SegmentFrame> inbox_;
+  std::mt19937_64 rng_;
+  int64_t backoff_ms_ = 0;
+  int64_t next_attempt_ms_ = 0;    // earliest next dial (kIdle/kBackoff)
+  int64_t connect_started_ms_ = 0;
+  int64_t last_heard_ms_ = -1;     // peer bytes last seen (kConnected)
+  int64_t last_beat_ms_ = 0;       // our last heartbeat out
+  uint64_t reconnects_ = 0;
+  bool ever_connected_ = false;
+  bool paused_ = false;
+};
+
+/// The leader end of one follower's socket link: a Transport the LogShipper
+/// ships into, backed by a socket the SocketReplicationServer owns and
+/// pumps. Sends buffer into an outbound queue (bounded —
+/// SocketOptions::max_buffered_bytes — a full buffer fails the Send with
+/// kAborted and the shipper retries later); received control frames queue
+/// for PollControl.
+///
+/// The link survives its socket: when the follower vanishes the fd closes
+/// and the link reports kBackoff (the shipper stops shipping, cursors
+/// freeze), and when the follower dials back in the server Rebinds the new
+/// fd onto this same transport, injecting a kResend at the follower's
+/// announced position so the stream rewinds exactly to where it stands.
+class ServerLinkTransport : public Transport {
+ public:
+  explicit ServerLinkTransport(SocketOptions options);
+  ~ServerLinkTransport() override;
+
+  /// Adopts `fd` as the live connection (the first bind, or a reconnect).
+  /// On reconnect (`resume`) a kResend at `resume_lsn` is queued for the
+  /// shipper, rewinding the stream to the follower's announced position.
+  /// `residual` is any bytes that arrived behind the hello on the same
+  /// socket read (WireDecoder::TakeRemaining) — they belong to this link.
+  void Bind(int fd, bool resume, uint64_t resume_lsn,
+            std::string residual = {});
+
+  /// One IO round: flush the outbound buffer, read + decode inbound bytes,
+  /// heartbeat, enforce the peer deadline. Returns false when the link lost
+  /// its socket this round (the caller keeps the transport; the follower
+  /// may dial back in).
+  bool PumpIo(int64_t now);
+
+  /// Closes the socket for good (server shutdown / detach).
+  void Shutdown();
+
+  // Transport (leader endpoint).
+  Status Send(SegmentFrame frame) override;
+  bool PollControl(ControlFrame* out) override;
+  LinkStatus link() const override;
+
+  // Transport (follower endpoint) — not this end's role.
+  bool Receive(SegmentFrame* out) override;
+  Status SendControl(ControlFrame frame) override;
+
+ private:
+  void DropLocked(const char* why);
+
+  const SocketOptions options_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  bool shutdown_ = false;
+  WireDecoder decoder_;
+  std::string outbuf_;
+  std::deque<ControlFrame> control_;
+  int64_t last_heard_ms_ = -1;
+  int64_t last_beat_ms_ = 0;
+  uint64_t reconnects_ = 0;
+  bool ever_bound_ = false;
+};
+
+/// Serves a leader database's replication stream on a socket endpoint.
+///
+/// A background thread accepts connections, reads each one's hello, and
+/// routes it: a token it has seen (and whose follower the database still
+/// carries) is a returning follower — the new fd Rebinds onto the existing
+/// ServerLinkTransport and a resend rewinds the stream; an unknown token is
+/// a new follower — attached at its announced LSN when the WAL still serves
+/// it (AttachFollowerAt: the follower's own durable log has the rest), or
+/// from a fresh snapshot bootstrap otherwise. The same thread pumps every
+/// link's socket IO and the database's replication rounds, so followers
+/// advance even when the leader commits nothing.
+///
+/// Stop() is abrupt by design — thread halted, sockets closed, followers
+/// left attached — because the tests use it as the "leader crashed" switch;
+/// destroying or continuing to use the database afterwards behaves exactly
+/// as if the process had died mid-stream.
+class SocketReplicationServer {
+ public:
+  SocketReplicationServer() = default;
+  ~SocketReplicationServer();
+
+  SocketReplicationServer(const SocketReplicationServer&) = delete;
+  SocketReplicationServer& operator=(const SocketReplicationServer&) = delete;
+
+  /// Binds + listens on `endpoint` and starts the serving thread. The
+  /// database must outlive the server (or Stop() must run first).
+  Status Start(GraphDatabase* db, const Endpoint& endpoint,
+               const ReplicationOptions& replication, SocketOptions options);
+
+  /// Halts the serving thread and closes every socket, abruptly (see class
+  /// comment). Idempotent.
+  void Stop();
+
+  bool running() const;
+
+  /// The endpoint actually bound — for kTcp with port 0 this carries the
+  /// ephemeral port the OS picked.
+  Endpoint endpoint() const;
+
+  struct Stats {
+    uint64_t accepted = 0;      // connections accepted
+    uint64_t rebinds = 0;       // hellos routed to an existing link
+    uint64_t attaches = 0;      // hellos that attached a new follower
+    uint64_t hello_rejects = 0; // connections dropped before a valid hello
+  };
+  Stats stats() const;
+
+  /// Test hook simulating a partition at the server: while paused the
+  /// serving thread neither accepts nor pumps any socket, so followers see
+  /// silence (heartbeat deadlines fire, reconnects queue in the backlog)
+  /// until unpause, when every queued hello is processed and links rebind.
+  void SetPaused(bool paused);
+
+ private:
+  struct Pending {  // accepted, hello not yet read
+    int fd = -1;
+    WireDecoder decoder;
+    int64_t deadline_ms = 0;
+  };
+  struct Link {
+    uint64_t token = 0;
+    int follower_id = 0;
+    std::shared_ptr<ServerLinkTransport> transport;
+  };
+
+  void RunLoop();
+  void AcceptReadyLocked(int64_t now);
+  void PumpPendingLocked(int64_t now);
+  /// Drops links whose follower the database no longer carries (explicitly
+  /// detached, or auto-detached by the staleness cap). Runs every serve
+  /// tick: a stale-detached link must stop heartbeating, or its follower
+  /// keeps seeing a live peer and never reconnects for its re-bootstrap.
+  void ReapDetachedLinksLocked();
+  /// Routes one hello (see class comment). Takes database locks; called
+  /// with mu_ held — the lock order db-exec → shipper → link never inverts
+  /// because nothing inside the database layer calls back into the server.
+  void HandleHelloLocked(int fd, uint64_t token, uint64_t lsn,
+                         std::string residual);
+
+  mutable std::mutex mu_;
+  GraphDatabase* db_ = nullptr;
+  Endpoint endpoint_;
+  ReplicationOptions replication_{};
+  SocketOptions options_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+  bool paused_ = false;
+  std::vector<Pending> pending_;
+  std::vector<Link> links_;
+  Stats stats_;
+};
+
+}  // namespace cypher::replication
+
+#endif  // CYPHER_REPLICATION_SOCKET_TRANSPORT_H_

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 
@@ -45,11 +46,43 @@ struct ControlFrame {
   uint64_t lsn = 0;
 };
 
+/// Health of the wire under a Transport, as seen from the reporting end.
+/// The in-process queue is always "connected"; the socket transport reports
+/// its real connection state machine (see socket_transport.h), which the
+/// shipper surfaces in ReplicationStatus and the shell prints under `:lag`.
+struct LinkStatus {
+  enum class State {
+    kInProcess,   // no real wire (queue transport)
+    kConnecting,  // dialing, or waiting for the peer's hello
+    kConnected,   // live, heartbeats flowing
+    kBackoff,     // lost the peer; waiting out the reconnect backoff
+    kClosed,      // shut down for good
+  };
+  State state = State::kInProcess;
+  /// Completed reconnections (0 for a link that never dropped).
+  uint64_t reconnects = 0;
+  /// Milliseconds since the peer was last heard from (any message counts);
+  /// -1 when never heard from or not applicable.
+  int64_t heartbeat_age_ms = -1;
+};
+
+inline const char* LinkStateName(LinkStatus::State state) {
+  switch (state) {
+    case LinkStatus::State::kInProcess: return "in-process";
+    case LinkStatus::State::kConnecting: return "connecting";
+    case LinkStatus::State::kConnected: return "connected";
+    case LinkStatus::State::kBackoff: return "backoff";
+    case LinkStatus::State::kClosed: return "closed";
+  }
+  return "unknown";
+}
+
 /// The pluggable wire between a LogShipper and a Replica: a data channel
 /// leader→follower and a control channel back. The interface is
 /// socket-shaped — frames are self-delimiting, checksummed, and carry their
-/// own LSN coordinates, so a TCP implementation is a serialization detail —
-/// but the only implementation today is an in-process pair of queues.
+/// own LSN coordinates, so a TCP implementation is a serialization detail.
+/// Two implementations: the in-process queue pair below, and the real
+/// socket transport (socket_transport.h).
 ///
 /// Receive/Poll calls are non-blocking polls (a follower tails at its own
 /// pace). Implementations must be safe for one sender and one receiver
@@ -65,6 +98,10 @@ class Transport {
   // Follower endpoint.
   virtual bool Receive(SegmentFrame* out) = 0;
   virtual Status SendControl(ControlFrame frame) = 0;
+
+  /// Wire health from this end; the default is the in-process "always
+  /// connected" report.
+  virtual LinkStatus link() const { return LinkStatus{}; }
 };
 
 /// Two mutex-guarded deques; the in-process "wire".
@@ -112,16 +149,25 @@ class InProcessTransport : public Transport {
 
 /// Fault-injection wrapper over a real transport, in the FaultyLogFile
 /// style: schedule a fault on the n-th (1-based) data Send and the frame is
-/// corrupted, truncated, duplicated, or dropped on the wire. The follower's
-/// CRC/LSN checks must catch every one of these — a torn record must never
-/// apply, an LSN must never be skipped — and the resend protocol must
-/// converge afterwards. Control frames pass through untouched.
+/// corrupted, truncated, duplicated, dropped, delayed, or reordered on the
+/// wire; or partition the whole link for a stretch. The follower's CRC/LSN
+/// checks must catch every one of these — a torn record must never apply,
+/// an LSN must never be skipped — and the resend protocol must converge
+/// afterwards. Control frames pass through untouched except during a
+/// partition, which silences both directions.
 class FaultyTransport : public Transport {
  public:
   explicit FaultyTransport(std::shared_ptr<Transport> base)
       : base_(std::move(base)) {}
 
-  enum class Fault { kCorrupt, kTruncate, kDuplicate, kDrop };
+  enum class Fault {
+    kCorrupt,    // flip a payload bit (stale CRC)
+    kTruncate,   // cut the payload in half
+    kDuplicate,  // deliver twice
+    kDrop,       // vanish silently
+    kDelay,      // hold back; delivered after two later sends (or a flush)
+    kReorder,    // hold back; delivered right after the next send (a swap)
+  };
 
   /// Schedules `fault` for the `send`-th data Send (1-based). Multiple
   /// sends can each carry their own fault.
@@ -130,24 +176,119 @@ class FaultyTransport : public Transport {
     faults_[send] = fault;
   }
 
+  /// Network partition: until Heal(), nothing crosses in either direction —
+  /// data and control frames sent meanwhile are silently lost (the sender
+  /// sees OK, exactly like packets into a black hole) and the receive side
+  /// polls empty. The resend protocol must reconverge after Heal().
+  void Partition() {
+    std::lock_guard<std::mutex> lock(mu_);
+    partitioned_ = true;
+  }
+
+  void Heal() {
+    std::lock_guard<std::mutex> lock(mu_);
+    partitioned_ = false;
+  }
+
+  /// Delivers every held (delayed/reordered) frame now. Tests call this
+  /// before the final catch-up: a frame delayed behind the last send of a
+  /// workload would otherwise wait forever.
+  Status FlushDelayed() {
+    std::vector<SegmentFrame> held;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (Held& h : held_) held.push_back(std::move(h.frame));
+      held_.clear();
+      if (partitioned_) return Status::OK();  // flushed into the void
+    }
+    for (SegmentFrame& frame : held) {
+      CYPHER_RETURN_NOT_OK(base_->Send(std::move(frame)));
+    }
+    return Status::OK();
+  }
+
   uint64_t sends() const {
     std::lock_guard<std::mutex> lock(mu_);
     return sends_;
   }
 
   Status Send(SegmentFrame frame) override {
-    Fault fault;
+    Fault fault = Fault::kDrop;
     bool faulty = false;
+    bool partitioned = false;
+    std::vector<SegmentFrame> release;
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++sends_;
+      partitioned = partitioned_;
       auto it = faults_.find(sends_);
       if (it != faults_.end()) {
         faulty = true;
         fault = it->second;
         faults_.erase(it);
       }
+      if (faulty && (fault == Fault::kDelay || fault == Fault::kReorder)) {
+        // Hold the frame back; it re-enters the stream after `release_after`
+        // later sends pass through (1 = swapped with the next frame).
+        held_.push_back({std::move(frame), fault == Fault::kReorder ? 1 : 2});
+        return Status::OK();
+      }
+      // This send passes through: held frames tick down, and any that hit
+      // zero ride out right behind it (out of their original order).
+      for (auto it2 = held_.begin(); it2 != held_.end();) {
+        if (--it2->release_after == 0) {
+          release.push_back(std::move(it2->frame));
+          it2 = held_.erase(it2);
+        } else {
+          ++it2;
+        }
+      }
     }
+    Status st = SendThrough(std::move(frame), faulty, fault, partitioned);
+    for (SegmentFrame& late : release) {
+      if (!st.ok()) return st;
+      st = partitioned ? Status::OK() : base_->Send(std::move(late));
+    }
+    return st;
+  }
+
+  bool Receive(SegmentFrame* out) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (partitioned_) return false;
+    }
+    return base_->Receive(out);
+  }
+
+  Status SendControl(ControlFrame frame) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (partitioned_) return Status::OK();  // lost in the partition
+    }
+    return base_->SendControl(frame);
+  }
+
+  bool PollControl(ControlFrame* out) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (partitioned_) return false;
+    }
+    return base_->PollControl(out);
+  }
+
+  LinkStatus link() const override { return base_->link(); }
+
+ private:
+  struct Held {
+    SegmentFrame frame;
+    int release_after;
+  };
+
+  /// Applies the per-frame byte faults and forwards to the base transport
+  /// (or the void, during a partition).
+  Status SendThrough(SegmentFrame frame, bool faulty, Fault fault,
+                     bool partitioned) {
+    if (partitioned) return Status::OK();  // black hole
     if (!faulty) return base_->Send(std::move(frame));
     switch (fault) {
       case Fault::kCorrupt:
@@ -169,25 +310,19 @@ class FaultyTransport : public Transport {
       }
       case Fault::kDrop:
         return Status::OK();  // vanished on the wire, sender none the wiser
+      case Fault::kDelay:
+      case Fault::kReorder:
+        break;  // handled in Send; unreachable here
     }
     return Status::OK();
   }
 
-  bool Receive(SegmentFrame* out) override { return base_->Receive(out); }
-
-  Status SendControl(ControlFrame frame) override {
-    return base_->SendControl(frame);
-  }
-
-  bool PollControl(ControlFrame* out) override {
-    return base_->PollControl(out);
-  }
-
- private:
   std::shared_ptr<Transport> base_;
   mutable std::mutex mu_;
   std::map<uint64_t, Fault> faults_;
+  std::vector<Held> held_;
   uint64_t sends_ = 0;
+  bool partitioned_ = false;
 };
 
 }  // namespace cypher::replication

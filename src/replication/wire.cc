@@ -1,0 +1,169 @@
+#include "replication/wire.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace cypher::replication {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char bytes[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                   static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out->append(bytes, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>(v >> shift));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+std::string Seal(WireKind kind, std::string payload) {
+  std::string out;
+  out.reserve(kWireHeaderSize + payload.size());
+  out.push_back(static_cast<char>(kind));
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, Crc32(payload.data(), payload.size()));
+  out += payload;
+  return out;
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed wire message: ") +
+                                 what);
+}
+
+Status DecodePayload(WireKind kind, std::string_view p, WireMessage* out) {
+  out->kind = kind;
+  switch (kind) {
+    case WireKind::kHello:
+      if (p.size() != 16) return Malformed("hello length");
+      out->token = GetU64(p.data());
+      out->lsn = GetU64(p.data() + 8);
+      return Status::OK();
+    case WireKind::kData: {
+      if (p.size() < 21) return Malformed("data header length");
+      auto type = static_cast<FrameType>(static_cast<unsigned char>(p[0]));
+      if (type != FrameType::kSnapshot && type != FrameType::kSegment) {
+        return Malformed("segment frame type");
+      }
+      out->data.type = type;
+      out->data.from_lsn = GetU64(p.data() + 1);
+      out->data.to_lsn = GetU64(p.data() + 9);
+      out->data.crc = GetU32(p.data() + 17);
+      out->data.payload.assign(p.data() + 21, p.size() - 21);
+      return Status::OK();
+    }
+    case WireKind::kControl: {
+      if (p.size() != 9) return Malformed("control length");
+      auto type = static_cast<ControlType>(static_cast<unsigned char>(p[0]));
+      if (type != ControlType::kAck && type != ControlType::kResend) {
+        return Malformed("control frame type");
+      }
+      out->control.type = type;
+      out->control.lsn = GetU64(p.data() + 1);
+      return Status::OK();
+    }
+    case WireKind::kHeartbeat:
+      if (p.size() != 8) return Malformed("heartbeat length");
+      out->clock_ms = GetU64(p.data());
+      return Status::OK();
+  }
+  return Malformed("unknown kind");
+}
+
+}  // namespace
+
+std::string EncodeHello(uint64_t token, uint64_t lsn) {
+  std::string payload;
+  payload.reserve(16);
+  PutU64(&payload, token);
+  PutU64(&payload, lsn);
+  return Seal(WireKind::kHello, std::move(payload));
+}
+
+std::string EncodeData(const SegmentFrame& frame) {
+  std::string payload;
+  payload.reserve(21 + frame.payload.size());
+  payload.push_back(static_cast<char>(frame.type));
+  PutU64(&payload, frame.from_lsn);
+  PutU64(&payload, frame.to_lsn);
+  PutU32(&payload, frame.crc);
+  payload += frame.payload;
+  return Seal(WireKind::kData, std::move(payload));
+}
+
+std::string EncodeControl(const ControlFrame& frame) {
+  std::string payload;
+  payload.reserve(9);
+  payload.push_back(static_cast<char>(frame.type));
+  PutU64(&payload, frame.lsn);
+  return Seal(WireKind::kControl, std::move(payload));
+}
+
+std::string EncodeHeartbeat(uint64_t clock_ms) {
+  std::string payload;
+  payload.reserve(8);
+  PutU64(&payload, clock_ms);
+  return Seal(WireKind::kHeartbeat, std::move(payload));
+}
+
+void WireDecoder::Feed(std::string_view bytes) {
+  // Compact lazily: only once the consumed prefix dominates, so a fast
+  // stream does not memmove per message.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+Result<bool> WireDecoder::Next(WireMessage* out) {
+  if (!error_.ok()) return error_;
+  std::string_view view = std::string_view(buffer_).substr(consumed_);
+  if (view.size() < kWireHeaderSize) return false;  // torn header: wait
+  auto kind = static_cast<WireKind>(static_cast<unsigned char>(view[0]));
+  if (kind != WireKind::kHello && kind != WireKind::kData &&
+      kind != WireKind::kControl && kind != WireKind::kHeartbeat) {
+    error_ = Malformed("unknown kind (stream desync)");
+    return error_;
+  }
+  uint32_t length = GetU32(view.data() + 1);
+  uint32_t crc = GetU32(view.data() + 5);
+  if (length > kMaxWirePayload) {
+    error_ = Malformed("implausible length (stream desync)");
+    return error_;
+  }
+  if (view.size() - kWireHeaderSize < length) return false;  // torn payload
+  std::string_view payload = view.substr(kWireHeaderSize, length);
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    error_ = Malformed("payload checksum");
+    return error_;
+  }
+  Status st = DecodePayload(kind, payload, out);
+  if (!st.ok()) {
+    error_ = st;
+    return error_;
+  }
+  consumed_ += kWireHeaderSize + length;
+  return true;
+}
+
+}  // namespace cypher::replication

@@ -1,0 +1,108 @@
+#ifndef CYPHER_REPLICATION_WIRE_H_
+#define CYPHER_REPLICATION_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "replication/transport.h"
+
+namespace cypher::replication {
+
+/// The socket wire format (DESIGN.md §4i). A connection is a stream of
+/// self-delimiting messages:
+///
+///   [u8 kind][u32 length][u32 crc32][payload: length bytes]
+///
+/// Integers are little-endian; `crc` covers the payload end to end, so a
+/// flipped bit anywhere is caught before the message is interpreted. The
+/// decoder is incremental: a TCP read may end mid-header or mid-payload (a
+/// torn read), and the partial bytes simply wait in the buffer for the next
+/// read. Anything structurally wrong — an unknown kind, an implausible
+/// length, a checksum mismatch — is an ERROR, not a wait: a byte stream
+/// that desynchronizes can never resynchronize reliably, so the connection
+/// is torn down and the reconnect/resend protocol recovers.
+///
+/// Message kinds:
+///   kHello      follower -> leader, first message on every connection:
+///               [u64 token][u64 lsn]. `token` identifies the follower
+///               across reconnects (0 = never attached, a fresh bootstrap);
+///               `lsn` is its applied position, where the stream resumes.
+///   kData       leader -> follower: a SegmentFrame
+///               [u8 frame-type][u64 from][u64 to][u32 seg-crc][bytes].
+///   kControl    follower -> leader: a ControlFrame [u8 type][u64 lsn].
+///   kHeartbeat  either direction: [u64 sender-clock-ms]. Keeps deadlines
+///               fed when no data flows; carries no state.
+enum class WireKind : uint8_t {
+  kHello = 1,
+  kData = 2,
+  kControl = 3,
+  kHeartbeat = 4,
+};
+
+/// One decoded wire message; which fields are meaningful depends on `kind`.
+struct WireMessage {
+  WireKind kind = WireKind::kHeartbeat;
+  // kHello
+  uint64_t token = 0;
+  uint64_t lsn = 0;
+  // kData
+  SegmentFrame data;
+  // kControl
+  ControlFrame control;
+  // kHeartbeat
+  uint64_t clock_ms = 0;
+};
+
+/// Hard sanity cap on a single message payload. A length field above this
+/// is treated as stream desync (connection torn down), not as a request to
+/// allocate: segments are cut well under it, and snapshots of graphs that
+/// big have no business on a single unframed message anyway.
+inline constexpr uint32_t kMaxWirePayload = 1u << 30;  // 1 GiB
+
+inline constexpr size_t kWireHeaderSize = 9;  // kind + length + crc
+
+std::string EncodeHello(uint64_t token, uint64_t lsn);
+std::string EncodeData(const SegmentFrame& frame);
+std::string EncodeControl(const ControlFrame& frame);
+std::string EncodeHeartbeat(uint64_t clock_ms);
+
+/// Incremental stream decoder: Feed() appends raw socket bytes, Next() pops
+/// complete messages. Torn reads are the normal case — Next() returns false
+/// until the buffered prefix holds a whole message. A structural error
+/// (bad kind, oversized length, CRC mismatch, malformed payload) is sticky:
+/// every later Next() fails too, and the owner must drop the connection.
+class WireDecoder {
+ public:
+  /// Appends bytes read off the socket.
+  void Feed(std::string_view bytes);
+
+  /// Pops the next complete message into `*out`. Returns false when the
+  /// buffer holds no complete message (read more and try again); a non-OK
+  /// status means the stream is damaged beyond recovery.
+  Result<bool> Next(WireMessage* out);
+
+  /// Bytes buffered but not yet consumed (tests size torn reads with this).
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+  /// Takes the unconsumed bytes out of the decoder (which is left empty).
+  /// The server uses this when it hands an accepted connection's fd over to
+  /// a follower link: bytes that arrived behind the hello in the same read
+  /// must follow the fd, not die with the handshake decoder.
+  std::string TakeRemaining() {
+    std::string rest = buffer_.substr(consumed_);
+    buffer_.clear();
+    consumed_ = 0;
+    return rest;
+  }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+  Status error_;
+};
+
+}  // namespace cypher::replication
+
+#endif  // CYPHER_REPLICATION_WIRE_H_

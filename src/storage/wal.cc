@@ -190,6 +190,9 @@ Status WalWriter::Rewrite(WalRecordType type, std::string_view payload) {
   if (st.ok()) {
     durable_lsn_ = target;
     base_offset_ = target - contents.size();
+    // Everything before the rewrite point was folded into one snapshot
+    // record, so no LSN below `target` is a record boundary any more.
+    min_resume_lsn_ = target;
   } else {
     error_ = st;  // the file may hold either old or new contents; recovery
                   // decodes whichever survived
@@ -255,6 +258,16 @@ Result<std::string> WalWriter::ReadDurableFrom(uint64_t from_lsn,
 uint64_t WalWriter::LogBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return appended_lsn_ - base_offset_;
+}
+
+uint64_t WalWriter::base_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_offset_ + kWalMagicSize;
+}
+
+uint64_t WalWriter::min_resume_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_resume_lsn_;
 }
 
 Status WalWriter::error() const {

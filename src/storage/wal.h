@@ -143,6 +143,19 @@ class WalWriter {
   /// never rewinds LSNs.)
   uint64_t LogBytes() const;
 
+  /// The smallest LSN the log can still serve bytes from: the compaction
+  /// base plus the magic, i.e. where the compacted snapshot record begins.
+  uint64_t base_lsn() const;
+
+  /// The smallest LSN a tailing follower may resume from. Distinct from
+  /// base_lsn(): a rewrite replaces every record up to the rewrite point
+  /// with ONE snapshot record, so LSNs strictly between base_lsn() and the
+  /// rewrite point no longer land on record boundaries — serving a tail
+  /// from there would ship bytes out of the middle of the snapshot frame.
+  /// A follower whose position sits below this floor must re-bootstrap
+  /// from a fresh snapshot instead of tailing.
+  uint64_t min_resume_lsn() const;
+
   /// The sticky I/O failure, or OK.
   Status error() const;
 
@@ -163,6 +176,9 @@ class WalWriter {
   /// 0 and grows at each Rewrite by however many bytes compaction dropped,
   /// keeping LSNs monotone so callers' saved LSNs stay comparable.
   uint64_t base_offset_ = 0;
+  /// Smallest record-aligned LSN a tail may resume from; jumps to the
+  /// rewrite point at each Rewrite (see min_resume_lsn()). Guarded by mu_.
+  uint64_t min_resume_lsn_ = kWalMagicSize;
   bool leader_active_ = false;
   Status error_;
   /// Retention pins by id (see RegisterRetentionPin). Guarded by mu_.

@@ -315,16 +315,92 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(FaultyTransport::Fault::kCorrupt,
                       FaultyTransport::Fault::kTruncate,
                       FaultyTransport::Fault::kDuplicate,
-                      FaultyTransport::Fault::kDrop),
+                      FaultyTransport::Fault::kDrop,
+                      FaultyTransport::Fault::kDelay,
+                      FaultyTransport::Fault::kReorder),
     [](const ::testing::TestParamInfo<FaultyTransport::Fault>& info) {
       switch (info.param) {
         case FaultyTransport::Fault::kCorrupt: return "BitFlip";
         case FaultyTransport::Fault::kTruncate: return "Truncated";
         case FaultyTransport::Fault::kDuplicate: return "Duplicated";
         case FaultyTransport::Fault::kDrop: return "Dropped";
+        case FaultyTransport::Fault::kDelay: return "Delayed";
+        case FaultyTransport::Fault::kReorder: return "Reordered";
       }
       return "Unknown";
     });
+
+// A delayed frame arriving long after its slot — behind frames the follower
+// already rejected past — must be skipped as a duplicate once the resend
+// stream has moved on, never applied out of order. FlushDelayed simulates
+// "the network finally delivers the straggler".
+TEST(ReplicationFaultTest, StragglerAfterResendIsIgnored) {
+  Reference ref = BuildReference(kSeed, kWorkloadStatements);
+
+  GraphDatabase leader;
+  ASSERT_TRUE(BuildRandomGraph(&leader, kSeed).ok());
+  ASSERT_TRUE(leader.OpenDurable(std::make_unique<MemoryLogFile>()).ok());
+
+  auto wire = std::make_shared<InProcessTransport>();
+  auto faulty = std::make_shared<FaultyTransport>(wire);
+  faulty->InjectOnSend(3, FaultyTransport::Fault::kDelay);
+  faulty->InjectOnSend(5, FaultyTransport::Fault::kReorder);
+
+  Replica replica(faulty);
+  ASSERT_TRUE(leader.AttachFollower(faulty, ReplicationOptions{128}).ok());
+  for (const std::string& statement : ref.statements) {
+    ASSERT_TRUE(leader.Run(statement).ok());
+    ASSERT_TRUE(replica.PollOnce().ok());
+    ExpectAtBoundary(ref, &replica, "with in-flight stragglers");
+    ASSERT_TRUE(leader.PumpReplication().ok());
+  }
+  // Whatever is still held back arrives now, as stale duplicates.
+  ASSERT_TRUE(faulty->FlushDelayed().ok());
+  CatchUp(&leader, &replica);
+  ExpectAtBoundary(ref, &replica, "after straggler flush");
+  EXPECT_EQ(replica.CanonicalDump(), DumpGraphCanonical(leader.graph()));
+}
+
+// A partition black-holes both directions mid-workload; commits keep piling
+// up on the leader. After Heal, one resend round must reconverge the
+// follower to the exact leader state — and the segments lost inside the
+// partition must never surface as gaps or duplicates.
+TEST(ReplicationFaultTest, PartitionHealsAndReconverges) {
+  Reference ref = BuildReference(kSeed, kWorkloadStatements);
+
+  GraphDatabase leader;
+  ASSERT_TRUE(BuildRandomGraph(&leader, kSeed).ok());
+  ASSERT_TRUE(leader.OpenDurable(std::make_unique<MemoryLogFile>()).ok());
+
+  auto wire = std::make_shared<InProcessTransport>();
+  auto faulty = std::make_shared<FaultyTransport>(wire);
+  Replica replica(faulty);
+  ASSERT_TRUE(leader.AttachFollower(faulty, ReplicationOptions{128}).ok());
+  ASSERT_TRUE(replica.PollOnce().ok());
+
+  const size_t cut = kWorkloadStatements / 4;
+  const size_t heal = (3 * kWorkloadStatements) / 4;
+  for (size_t i = 0; i < ref.statements.size(); ++i) {
+    if (i == cut) faulty->Partition();
+    ASSERT_TRUE(leader.Run(ref.statements[i]).ok());
+    ASSERT_TRUE(replica.PollOnce().ok());
+    ExpectAtBoundary(ref, &replica, "around the partition");
+    if (i < cut) {
+      // Before the cut the pipe keeps up statement by statement.
+      ASSERT_TRUE(leader.PumpReplication().ok());
+    } else if (i == heal) {
+      // Inside the partition the follower froze at its pre-cut boundary.
+      // Heal, then force the follower to notice the gap: the next shipped
+      // segment starts past its applied LSN, triggering a resend.
+      EXPECT_LE(replica.applied_lsn(), ref.lsn_after[cut]);
+      faulty->Heal();
+    }
+  }
+  CatchUp(&leader, &replica);
+  ExpectAtBoundary(ref, &replica, "after heal");
+  EXPECT_EQ(replica.CanonicalDump(), DumpGraphCanonical(leader.graph()));
+  EXPECT_EQ(replica.applied_lsn(), leader.wal_writer()->appended_lsn());
+}
 
 // A duplicated statement must not double-apply: count statement records on
 // the leader's log and require exactly that many applies on the follower.
@@ -435,6 +511,124 @@ TEST(ReplicationRetentionTest, AutoCheckpointHeldByFollowerReleasedOnDetach) {
   ASSERT_TRUE(leader.Run("CREATE (:Pinned {held: 2})").ok());
   EXPECT_LT(leader.wal_writer()->LogBytes(), before_detach)
       << "detach did not release retention";
+}
+
+// The staleness cap bounds how long a dead follower may pin the log: once
+// its unacked backlog exceeds max_retained_bytes the shipper detaches it,
+// releases the pin, and counts a warning. A fresh attach afterwards
+// re-bootstraps from a snapshot and converges — nothing was lost, only the
+// cheap resume path.
+TEST(ReplicationTest, StalenessCapDetachesDeadFollower) {
+  const std::vector<std::string> workload =
+      GenerateUpdateWorkload(kSeed, 2 * kWorkloadStatements);
+  DurabilityOptions durability;
+  durability.sync_mode = DurabilityOptions::SyncMode::kEveryCommit;
+  durability.auto_checkpoint_bytes = 1;
+
+  GraphDatabase leader;
+  ASSERT_TRUE(BuildRandomGraph(&leader, kSeed).ok());
+  ASSERT_TRUE(
+      leader.OpenDurable(std::make_unique<MemoryLogFile>(), durability).ok());
+
+  // A follower that attaches and then never polls again — a crashed process
+  // whose socket the leader has not noticed dying.
+  auto dead_wire = std::make_shared<InProcessTransport>();
+  Replica dead(dead_wire);
+  ReplicationOptions caps;
+  caps.segment_bytes = 128;
+  caps.max_retained_bytes = 512;
+  ASSERT_TRUE(leader.AttachFollower(dead_wire, caps).ok());
+  uint64_t attach_durable = leader.wal_writer()->durable_lsn();
+
+  for (const std::string& statement : workload) {
+    ASSERT_TRUE(leader.Run(statement).ok());
+  }
+  ASSERT_GT(leader.wal_writer()->durable_lsn() - attach_durable,
+            caps.max_retained_bytes)
+      << "workload appended too little redo to exceed the staleness cap; "
+         "the detach assertions below would test nothing";
+  ReplicationStatus status = leader.replication_status();
+  EXPECT_EQ(status.followers, 0u) << "stale follower still attached";
+  EXPECT_GE(status.stale_detaches, 1u);
+  EXPECT_FALSE(status.last_stale_warning.empty());
+
+  // The pin is gone: the next commit may compact. More importantly a new
+  // follower attaches fine even though the dead one's position has been
+  // compacted out from under it.
+  auto wire = std::make_shared<InProcessTransport>();
+  Replica replica(wire);
+  ASSERT_TRUE(leader.AttachFollower(wire, caps).ok());
+  CatchUp(&leader, &replica);
+  EXPECT_EQ(replica.CanonicalDump(), DumpGraphCanonical(leader.graph()));
+  EXPECT_GE(replica.bootstraps(), 1u);
+}
+
+// AttachFollowerAt resumes a follower that already holds the prefix in its
+// own durable log: a valid position tails without a second snapshot; a
+// position compaction has passed is refused (the follower must come back
+// through the bootstrap path); a position past the log is nonsense.
+TEST(ReplicationTest, AttachFollowerAtResumesOrRefuses) {
+  const std::vector<std::string> workload =
+      GenerateUpdateWorkload(kSeed, 2 * kWorkloadStatements);
+  DurabilityOptions durability;
+  durability.sync_mode = DurabilityOptions::SyncMode::kEveryCommit;
+  durability.auto_checkpoint_bytes = 1;
+
+  GraphDatabase leader;
+  ASSERT_TRUE(BuildRandomGraph(&leader, kSeed).ok());
+  ASSERT_TRUE(
+      leader.OpenDurable(std::make_unique<MemoryLogFile>(), durability).ok());
+
+  // A durable follower bootstraps and catches up the first half.
+  auto wire = std::make_shared<InProcessTransport>();
+  replication::ReplicaDurability files;
+  files.wal = std::make_unique<MemoryLogFile>();
+  files.meta = std::make_unique<MemoryLogFile>();
+  auto replica_or = Replica::Open(wire, std::move(files));
+  ASSERT_TRUE(replica_or.ok());
+  Replica* replica = replica_or->get();
+  auto id = leader.AttachFollower(wire);
+  ASSERT_TRUE(id.ok());
+  for (size_t i = 0; i < workload.size() / 2; ++i) {
+    ASSERT_TRUE(leader.Run(workload[i]).ok());
+  }
+  CatchUp(&leader, replica);
+  ASSERT_TRUE(leader.DetachFollower(*id).ok());
+  uint64_t resume_lsn = replica->applied_lsn();
+
+  // Off the end of the log is never a resume point.
+  EXPECT_FALSE(
+      leader.AttachFollowerAt(wire, leader.wal_writer()->appended_lsn() + 1)
+          .ok());
+
+  // The detached stretch commits more; the pin is gone, so retention is
+  // whatever the auto-checkpoint leaves. Whether the resume position is
+  // still servable depends on the resume floor (the last rewrite point, not
+  // base_lsn: a rewrite destroys record boundaries below it).
+  size_t i = workload.size() / 2;
+  for (; i < workload.size(); ++i) {
+    ASSERT_TRUE(leader.Run(workload[i]).ok());
+  }
+  if (leader.wal_writer()->min_resume_lsn() <= resume_lsn) {
+    // Resume is still servable: re-attach mid-log, no second bootstrap.
+    ASSERT_TRUE(leader.AttachFollowerAt(wire, resume_lsn).ok());
+    CatchUp(&leader, replica);
+    EXPECT_EQ(replica->CanonicalDump(), DumpGraphCanonical(leader.graph()));
+    EXPECT_EQ(replica->bootstraps(), 1u)
+        << "a resumable position must not re-bootstrap";
+  } else {
+    // Compaction passed the follower while it was away: resume is refused
+    // with marching orders, and the bootstrap path still works.
+    auto refused = leader.AttachFollowerAt(wire, resume_lsn);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_NE(refused.status().ToString().find("re-bootstrap"),
+              std::string::npos)
+        << refused.status().ToString();
+    ASSERT_TRUE(leader.AttachFollower(wire).ok());
+    CatchUp(&leader, replica);
+    EXPECT_EQ(replica->CanonicalDump(), DumpGraphCanonical(leader.graph()));
+    EXPECT_EQ(replica->bootstraps(), 2u);
+  }
 }
 
 // ---- Concurrent leader / follower / readers (TSan) -------------------------

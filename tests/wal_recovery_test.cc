@@ -396,6 +396,51 @@ TEST(WalRetention, RewriteRefusesWhilePinnedThenSucceeds) {
   EXPECT_EQ(writer.MinRetentionPin(), UINT64_MAX);
 }
 
+// base_lsn names the smallest LSN the log can still serve (compaction base
+// plus magic). A follower whose resume position sits below it predates
+// retention — the reconnect protocol must re-bootstrap it, never hand out
+// bytes the log no longer has.
+TEST(WalRetention, BaseLsnAdvancesWithCompaction) {
+  storage::WalWriter writer(std::make_unique<MemoryLogFile>());
+  EXPECT_EQ(writer.base_lsn(), storage::kWalMagicSize)
+      << "a fresh log serves from just past the magic";
+  EXPECT_EQ(writer.min_resume_lsn(), storage::kWalMagicSize)
+      << "a never-compacted log lets a tail resume anywhere";
+
+  auto append = [&](const std::string& payload) {
+    auto lsn = writer.Append(WalRecordType::kStatement, payload);
+    ASSERT_TRUE(lsn.ok());
+    ASSERT_TRUE(writer.Sync(*lsn).ok());
+  };
+  append("one");
+  uint64_t old_position = writer.base_lsn();  // a resume point, pre-compaction
+  append("two");
+
+  uint64_t rewrite_point = writer.appended_lsn();
+  ASSERT_TRUE(writer.Rewrite(WalRecordType::kSnapshot, "snap").ok());
+  EXPECT_GT(writer.base_lsn(), old_position)
+      << "compaction did not advance the servable base";
+  // The resume floor jumps all the way to the rewrite point: everything
+  // below was folded into one snapshot record, so no lower LSN is a record
+  // boundary any more — not even those above base_lsn().
+  EXPECT_EQ(writer.min_resume_lsn(), rewrite_point);
+  EXPECT_GT(writer.min_resume_lsn(), writer.base_lsn());
+
+  // Below the base: refused, never garbage. At the base: the whole
+  // remaining log, starting with the compaction snapshot.
+  uint64_t end = 0;
+  EXPECT_FALSE(writer.ReadDurableFrom(old_position, &end).ok());
+  append("three");
+  auto bytes = writer.ReadDurableFrom(writer.base_lsn(), &end);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_EQ(end, writer.durable_lsn());
+  auto records = storage::DecodeWalSegment(*bytes);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].type, WalRecordType::kSnapshot);
+  EXPECT_EQ((*records)[1].payload, "three");
+}
+
 // ---- Open-time behaviour --------------------------------------------------
 
 TEST(WalRecovery, OpenTruncatesTornTailAndKeepsAppending) {
